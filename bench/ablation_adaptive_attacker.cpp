@@ -1,0 +1,73 @@
+// Ablation — the adaptive attacker the paper does not model: repeated
+// queries. A Stochastic-HMD's answer is a noisy sample of a fixed
+// underlying boundary, so an attacker willing to query each window k times
+// and take the MAJORITY label averages the noise away (the
+// expectation-over-transformations attack, in HMD form).
+//
+// This bench quantifies both sides of that trade: how much proxy fidelity
+// and evasion success the attacker buys per k, and what it costs in victim
+// queries — the detection-side opportunity (each query is an observable
+// probe of a security monitor).
+#include <cstdio>
+
+#include "common.hpp"
+#include "attack/transferability.hpp"
+#include "hmd/space_exploration.hpp"
+
+namespace {
+
+using namespace shmd;
+
+int run(const bench::BenchConfig& cfg) {
+  const trace::Dataset ds = trace::Dataset::build(cfg.dataset);
+  const trace::FeatureConfig fc = bench::victim_config(ds);
+  const trace::FoldSplit folds = ds.folds(0);
+  hmd::BaselineHmd baseline = hmd::make_baseline(ds, folds.victim_training, fc, cfg.train);
+  const auto explored =
+      hmd::explore_error_rate(ds, folds.victim_training, baseline.network(), fc);
+  hmd::StochasticHmd victim(baseline.network(), fc, explored.error_rate);
+  const std::vector<std::size_t> targets =
+      bench::malware_subset(ds, folds, cfg.attack_samples);
+  const attack::EvasionConfig evasion_base = bench::make_evasion_config(ds, folds);
+
+  std::printf("Ablation — adaptive (repeat-query, majority-label) attacker "
+              "vs Stochastic-HMD at er=%.2f\n\n", explored.error_rate);
+
+  attack::ReverseEngineer re(ds);
+  util::Table table({"queries per window", "victim queries", "RE effectiveness",
+                     "evasion success", "detected"});
+  for (int k : {1, 3, 8, 16}) {
+    attack::ReverseEngineerConfig rc;
+    rc.kind = attack::ProxyKind::kMlp;
+    rc.proxy_configs = {fc};
+    rc.repeat_queries = k;
+    rc.label_rule = k == 1 ? attack::ReverseEngineerConfig::LabelRule::kSingle
+                           : attack::ReverseEngineerConfig::LabelRule::kMajority;
+    const auto proxy = re.run(victim, folds.victim_training, folds.testing, rc);
+    attack::EvasionConfig ec = evasion_base;
+    ec.craft_threshold = proxy.craft_threshold;
+    const auto transfer = attack::TransferabilityEval(ds, ec)
+                              .run(victim, *proxy.proxy, targets, rc.proxy_configs);
+    table.add_row({std::to_string(k), std::to_string(proxy.query_count),
+                   util::Table::pct(proxy.effectiveness, 1),
+                   util::Table::pct(transfer.success_rate(), 1),
+                   util::Table::pct(transfer.detected_rate(), 1)});
+  }
+  bench::emit(table, cfg);
+  std::printf(
+      "\nTakeaway: majority-of-k querying denoises the moving boundary — proxy\n"
+      "fidelity and evasion success climb with k, at k-times the query volume\n"
+      "against a live security monitor. Randomization defenses buy effort, not\n"
+      "impossibility; deployments should pair them with query-rate anomaly\n"
+      "detection. (The paper's threat model is the single-query attacker.)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  shmd::util::CliParser cli;
+  const auto cfg = shmd::bench::parse_bench_args(argc, argv, cli);
+  if (!cfg) return 0;
+  return run(*cfg);
+}

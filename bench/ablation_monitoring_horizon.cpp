@@ -1,0 +1,103 @@
+// Ablation — the monitoring horizon: HMDs are "always on", so an evasive
+// sample must survive EVERY detection round, while the defender only needs
+// one hit. A deterministic baseline's verdict never changes; the
+// stochastic boundary re-rolls per round.
+//
+// Sweeps the number of rounds and reports (a) the fraction of evasive
+// malware caught within the horizon and (b) the benign false-alarm
+// probability over the same horizon — the operational trade-off a deployer
+// actually tunes.
+#include <cstdio>
+
+#include "common.hpp"
+#include "attack/transferability.hpp"
+#include "hmd/space_exploration.hpp"
+
+namespace {
+
+using namespace shmd;
+
+int run(const bench::BenchConfig& cfg) {
+  const trace::Dataset ds = trace::Dataset::build(cfg.dataset);
+  const trace::FeatureConfig fc = bench::victim_config(ds);
+  const trace::FoldSplit folds = ds.folds(0);
+  hmd::BaselineHmd baseline = hmd::make_baseline(ds, folds.victim_training, fc, cfg.train);
+  const auto explored =
+      hmd::explore_error_rate(ds, folds.victim_training, baseline.network(), fc);
+  hmd::StochasticHmd stochastic(baseline.network(), fc, explored.error_rate);
+
+  // One batch of evasive traces, crafted once against the stochastic
+  // victim's proxy; reusable across horizons.
+  attack::ReverseEngineer re(ds);
+  attack::ReverseEngineerConfig rc;
+  rc.kind = attack::ProxyKind::kMlp;
+  rc.proxy_configs = {fc};
+  const auto proxy = re.run(stochastic, folds.victim_training, folds.testing, rc);
+  attack::EvasionConfig ec = bench::make_evasion_config(ds, folds);
+  ec.craft_threshold = proxy.craft_threshold;
+  const attack::EvasionAttack attack(ec);
+
+  std::vector<trace::FeatureSet> evasive;
+  for (std::size_t idx : bench::malware_subset(ds, folds, cfg.attack_samples)) {
+    attack::EvasionConfig per_sample = ec;
+    per_sample.seed = ec.seed ^ (0x9E3779B97F4A7C15ULL * (idx + 1));
+    const attack::EvasionAttack sample_attack(per_sample);
+    const auto crafted =
+        sample_attack.craft(ds.trace_of(idx), *proxy.proxy, rc.proxy_configs);
+    if (crafted.proxy_evaded) {
+      evasive.push_back(trace::extract_feature_set(crafted.trace, ds.config().periods));
+    }
+  }
+
+  std::vector<const trace::FeatureSet*> benign;
+  for (std::size_t idx : folds.testing) {
+    if (!ds.samples()[idx].malware()) benign.push_back(&ds.samples()[idx].features);
+  }
+
+  std::printf("Ablation — monitoring horizon (er=%.2f, %zu evasive samples, %zu benign)\n\n",
+              explored.error_rate, evasive.size(), benign.size());
+
+  util::Table table({"rounds", "evasive caught (stochastic)", "evasive caught (baseline)",
+                     "benign false alarm (stochastic)"});
+  for (int rounds : {1, 2, 4, 8, 16, 32}) {
+    std::size_t caught_sto = 0;
+    for (const auto& features : evasive) {
+      bool detected = false;
+      for (int r = 0; r < rounds && !detected; ++r) detected = stochastic.detect(features);
+      caught_sto += detected;
+    }
+    std::size_t caught_base = 0;
+    for (const auto& features : evasive) caught_base += baseline.detect(features);
+
+    std::size_t benign_alarms = 0;
+    for (const auto* features : benign) {
+      bool alarmed = false;
+      for (int r = 0; r < rounds && !alarmed; ++r) alarmed = stochastic.detect(*features);
+      benign_alarms += alarmed;
+    }
+
+    table.add_row(
+        {std::to_string(rounds),
+         util::Table::pct(static_cast<double>(caught_sto) /
+                              static_cast<double>(evasive.size()), 1),
+         util::Table::pct(static_cast<double>(caught_base) /
+                              static_cast<double>(evasive.size()), 1),
+         util::Table::pct(static_cast<double>(benign_alarms) /
+                              static_cast<double>(benign.size()), 1)});
+  }
+  bench::emit(table, cfg);
+  std::printf("\nTakeaway: the deterministic baseline's column is flat — fooled once,\n"
+              "fooled forever. The stochastic column climbs with the horizon (every\n"
+              "round is a fresh boundary), at the cost of benign false alarms also\n"
+              "accumulating; deployments pick the horizon/alarm-threshold trade-off.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  shmd::util::CliParser cli;
+  const auto cfg = shmd::bench::parse_bench_args(argc, argv, cli);
+  if (!cfg) return 0;
+  return run(*cfg);
+}

@@ -1,0 +1,72 @@
+// Ablation — operating-point analysis: how much RANKING quality does the
+// undervolting noise cost, independent of where the alarm threshold sits?
+//
+// Fig. 2(a) fixes the threshold at 0.5; the ROC view separates two effects
+// the accuracy numbers conflate: boundary blur (AUC loss) and threshold
+// miscalibration (recoverable by moving the operating point — which the
+// deployment layer can do, e.g. via Youden's J on the defender's own
+// validation data).
+#include <cstdio>
+
+#include "common.hpp"
+#include "eval/roc.hpp"
+
+namespace {
+
+using namespace shmd;
+
+int run(const bench::BenchConfig& cfg) {
+  const trace::Dataset ds = trace::Dataset::build(cfg.dataset);
+  const trace::FeatureConfig fc = bench::victim_config(ds);
+  const trace::FoldSplit folds = ds.folds(0);
+  hmd::BaselineHmd baseline = hmd::make_baseline(ds, folds.victim_training, fc, cfg.train);
+  hmd::StochasticHmd stochastic(baseline.network(), fc, 0.0);
+
+  std::printf("Ablation — ROC / operating point vs error rate (program-level scores)\n\n");
+
+  util::Table table({"er", "AUC", "Youden threshold", "TPR @ Youden", "FPR @ Youden",
+                     "TPR @ 0.5", "FPR @ 0.5"});
+  for (double er : {0.0, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0}) {
+    stochastic.set_error_rate(er);
+    std::vector<eval::ScoredSample> scored;
+    for (int rep = 0; rep < cfg.repeats; ++rep) {
+      for (std::size_t idx : folds.testing) {
+        const auto& s = ds.samples()[idx];
+        scored.push_back({stochastic.program_score(s.features), s.malware()});
+      }
+    }
+    const auto curve = eval::roc_curve(scored);
+    const auto youden = eval::best_youden(curve);
+
+    // Rates at the conventional 0.5 threshold, from the same scores.
+    std::size_t tp = 0;
+    std::size_t fn = 0;
+    std::size_t fp = 0;
+    std::size_t tn = 0;
+    for (const auto& s : scored) {
+      const bool flagged = s.score >= 0.5;
+      if (s.positive) ++(flagged ? tp : fn);
+      else ++(flagged ? fp : tn);
+    }
+    table.add_row({util::Table::fmt(er, 2), util::Table::fmt(eval::auc(curve), 3),
+                   util::Table::fmt(youden.threshold, 3), util::Table::pct(youden.tpr, 1),
+                   util::Table::pct(youden.fpr, 1),
+                   util::Table::pct(static_cast<double>(tp) / static_cast<double>(tp + fn), 1),
+                   util::Table::pct(static_cast<double>(fp) / static_cast<double>(fp + tn), 1)});
+  }
+  bench::emit(table, cfg);
+  std::printf("\nTakeaway: at the deployed error rates (er <= ~0.2) the AUC is nearly\n"
+              "untouched — the noise moves scores around but barely reorders programs —\n"
+              "so a defender can recover threshold calibration for free. Past er ~0.4\n"
+              "the ranking itself erodes: that loss no threshold can undo.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  shmd::util::CliParser cli;
+  const auto cfg = shmd::bench::parse_bench_args(argc, argv, cli);
+  if (!cfg) return 0;
+  return run(*cfg);
+}

@@ -1,0 +1,120 @@
+// Figure 1 — Probability distribution of faulty-bit locations for
+// undervolted multiplication results (i7-5557U at 2.2 GHz, 49 °C,
+// undervolted by -130 mV), plus the §II characterization claims:
+//   * fault onset between -103 mV and -145 mV depending on inputs,
+//   * sign bit and 8 LSBs never flip,
+//   * fault locations are stochastic (approximate-entropy test),
+//   * add/sub/bitwise operations never fault.
+#include <bit>
+#include <cstdio>
+
+#include "common.hpp"
+#include "faultsim/fault_injector.hpp"
+#include "faultsim/faulty_alu.hpp"
+#include "rng/entropy.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "util/table.hpp"
+#include "volt/voltage_domain.hpp"
+
+namespace {
+
+using namespace shmd;
+
+int run(const bench::BenchConfig& cfg, double offset_mv, double temp_c,
+        std::size_t operand_sets, std::size_t runs_per_set, bool uniform_ablation) {
+  const volt::DeviceProfile profile;  // the paper's characterized device
+  const volt::VoltFaultModel model(profile);
+
+  auto distribution = uniform_ablation ? faultsim::BitFaultDistribution::uniform()
+                                       : faultsim::BitFaultDistribution::measured();
+  faultsim::FaultInjector injector(0.0, distribution);
+  faultsim::FaultyAlu alu(injector);
+  alu.set_operand_probability([&](std::uint64_t a, std::uint64_t b) {
+    return model.operand_fault_probability(a, b, offset_mv, temp_c);
+  });
+  injector.set_error_rate(1.0);  // gate per-op probability via operands
+
+  // Repeatedly run multiply on the same operands across many operand sets
+  // (paper: "repeatedly run multiply operations on same operands several
+  // times for 100k sets of operands").
+  rng::Xoshiro256ss gen(cfg.dataset.corpus.master_seed);
+  std::vector<std::uint8_t> location_parity;
+  std::size_t nonmul_faults = 0;
+  for (std::size_t set = 0; set < operand_sets; ++set) {
+    const std::uint64_t a = gen();
+    const std::uint64_t b = gen();
+    for (std::size_t run = 0; run < runs_per_set; ++run) {
+      const std::uint64_t product = alu.mul(a, b);
+      const std::uint64_t diff = product ^ (a * b);
+      if (diff != 0) {
+        location_parity.push_back(static_cast<std::uint8_t>(std::countr_zero(diff) & 1));
+      }
+      // §II control experiment: other ALU ops at the same voltage.
+      nonmul_faults += (alu.add(a, b) != a + b);
+      nonmul_faults += (alu.sub(a, b) != a - b);
+      nonmul_faults += (alu.bit_xor(a, b) != (a ^ b));
+    }
+  }
+
+  const auto& stats = injector.stats();
+  std::printf("Fig. 1 — bit-wise error rate of undervolted multiplications\n");
+  std::printf("device: onset %.0f mV, saturation %.0f mV; operating point %.0f mV @ %.0f C\n",
+              -profile.fault_onset_mv, -profile.fault_saturation_mv, offset_mv, temp_c);
+  std::printf("multiplications: %llu, faulty: %llu (rate %.4f); non-mul faults: %zu\n\n",
+              static_cast<unsigned long long>(stats.operations),
+              static_cast<unsigned long long>(stats.faults), stats.fault_rate(), nonmul_faults);
+
+  util::Table table({"bit", "error rate", "profile"});
+  double max_rate = 0.0;
+  for (int b = 63; b >= 0; --b) max_rate = std::max(max_rate, stats.bit_error_rate(b));
+  for (int b = 63; b >= 0; --b) {
+    const double rate = stats.bit_error_rate(b);
+    table.add_row({std::to_string(b), util::Table::pct(rate, 4),
+                   util::ascii_bar(rate, max_rate, 36)});
+  }
+  bench::emit(table, cfg);
+
+  // Stochasticity validation, as in §II.
+  if (location_parity.size() >= 128) {
+    const auto apen = rng::apen_test(location_parity, 2);
+    std::printf("\nApEn test on fault locations: ApEn=%.4f p=%.4f -> %s\n", apen.apen,
+                apen.p_value, apen.random() ? "stochastic (passes)" : "NOT random");
+  }
+
+  // Onset window: shallowest / deepest offsets where individual operand
+  // pairs start faulting (paper: -103 mV .. -145 mV "depending on inputs").
+  double shallowest = -1e9;
+  double deepest = 0.0;
+  rng::Xoshiro256ss probe(1);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = probe();
+    const std::uint64_t b = probe();
+    for (double depth = 95.0; depth <= 155.0; depth += 1.0) {
+      if (model.operand_fault_probability(a, b, -depth, temp_c) > 0.5) {
+        shallowest = std::max(shallowest, -depth);
+        deepest = std::min(deepest, -depth);
+        break;
+      }
+    }
+  }
+  std::printf("operand-dependent fault onset observed between %.0f mV and %.0f mV\n",
+              shallowest, deepest);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  shmd::util::CliParser cli;
+  cli.add_flag("offset-mv", "undervolt offset in mV (negative)", "-130");
+  cli.add_flag("temperature", "CPU temperature in deg C", "49");
+  cli.add_flag("operand-sets", "number of operand sets", "100000");
+  cli.add_flag("runs-per-set", "repeated multiplications per operand set", "4");
+  cli.add_bool("uniform", "ablation: uniform fault-location profile");
+  const auto cfg = shmd::bench::parse_bench_args(argc, argv, cli);
+  if (!cfg) return 0;
+  std::size_t sets = static_cast<std::size_t>(cli.get_int("operand-sets"));
+  if (cli.get_bool("quick")) sets = 10000;
+  return run(*cfg, cli.get_double("offset-mv"), cli.get_double("temperature"), sets,
+             static_cast<std::size_t>(cli.get_int("runs-per-set")), cli.get_bool("uniform"));
+}

@@ -1,0 +1,64 @@
+// Figure 2(b) — Confidence (output-score) distributions of the
+// Stochastic-HMD for benign and malware samples at er in {0.1, 0.5, 1.0}:
+// the higher the error rate, the wider the score distribution — the
+// injected uncertainty the moving-target defense is built on.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace shmd;
+
+int run(const bench::BenchConfig& cfg) {
+  const trace::Dataset ds = trace::Dataset::build(cfg.dataset);
+  const trace::FeatureConfig fc = bench::victim_config(ds);
+  const trace::FoldSplit folds = ds.folds(0);
+  hmd::StochasticHmd det = hmd::make_stochastic(ds, folds.victim_training, fc, 0.0, cfg.train);
+
+  std::printf("Fig. 2(b) — window-score distributions per class and error rate\n\n");
+
+  constexpr int kBins = 10;
+  util::Table table({"class", "er", "mean", "std", "score histogram 0..1"});
+  for (const bool malware_class : {false, true}) {
+    for (double er : {0.1, 0.5, 1.0}) {
+      det.set_error_rate(er);
+      util::Histogram hist(0.0, 1.0, kBins);
+      util::RunningStats stats;
+      for (int rep = 0; rep < cfg.repeats; ++rep) {
+        for (std::size_t idx : folds.testing) {
+          const auto& s = ds.samples()[idx];
+          if (s.malware() != malware_class) continue;
+          for (double score : det.window_scores(s.features)) {
+            hist.add(score);
+            stats.add(score);
+          }
+        }
+      }
+      std::string sketch;
+      for (std::size_t b = 0; b < hist.bins(); ++b) {
+        static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#", "%", "@"};
+        const double d = hist.density(b);
+        const auto level = std::min<std::size_t>(9, static_cast<std::size_t>(d * 25.0));
+        sketch += kLevels[level];
+      }
+      table.add_row({malware_class ? "malware" : "benign", util::Table::fmt(er, 1),
+                     util::Table::fmt(stats.mean(), 3), util::Table::fmt(stats.stddev(), 3),
+                     "[" + sketch + "]"});
+    }
+  }
+  bench::emit(table, cfg);
+  std::printf("\nPaper shape check: score std grows with er for both classes, while the\n"
+              "class means stay separated at er=0.1 (accuracy nearly intact).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  shmd::util::CliParser cli;
+  const auto cfg = shmd::bench::parse_bench_args(argc, argv, cli);
+  if (!cfg) return 0;
+  return run(*cfg);
+}

@@ -1,0 +1,122 @@
+// Figure 5 — Percentage of evasive malware detected: the four RHMD
+// constructions (2F, 3F, 2F2P, 3F2P) versus the most resilient
+// Stochastic-HMD (er = 0.1).
+//
+// Attack methodology per §VII.C: each RHMD is reverse-engineered "using
+// all the feature vectors used in the construction". Our attacker
+// additionally exploits that RHMD randomness is a FINITE set: it queries
+// each window repeatedly and learns the union of the base boundaries
+// (any-flag labels) — the strongest practical proxy. The evasion budget is
+// raised for ensemble victims (clearing several views takes far more
+// injected instructions than crossing one boundary).
+#include <cstdio>
+
+#include "common.hpp"
+#include "attack/transferability.hpp"
+#include "hmd/space_exploration.hpp"
+
+namespace {
+
+using namespace shmd;
+
+struct Row {
+  std::string name;
+  std::size_t evaded = 0;
+  std::size_t tested = 0;
+  double detected = 0.0;
+  double mean_injected = 0.0;
+};
+
+Row attack_victim(const trace::Dataset& ds, const trace::FoldSplit& folds,
+                  hmd::Detector& victim, const std::vector<trace::FeatureConfig>& proxy_cfgs,
+                  const std::vector<std::size_t>& targets, attack::EvasionConfig evasion,
+                  bool union_learning) {
+  attack::ReverseEngineer re(ds);
+  attack::ReverseEngineerConfig rc;
+  rc.kind = attack::ProxyKind::kMlp;
+  rc.proxy_configs = proxy_cfgs;
+  if (union_learning) {
+    rc.repeat_queries = 8;
+    rc.label_rule = attack::ReverseEngineerConfig::LabelRule::kAny;
+  }
+  const auto proxy = re.run(victim, folds.victim_training, folds.testing, rc);
+  evasion.craft_threshold = proxy.craft_threshold;
+  const auto result = attack::TransferabilityEval(ds, evasion)
+                          .run(victim, *proxy.proxy, targets, rc.proxy_configs);
+  Row row;
+  row.name = std::string(victim.name());
+  row.evaded = result.proxy_evaded;
+  row.tested = result.malware_tested;
+  row.detected = result.detected_rate();
+  row.mean_injected = static_cast<double>(result.mean_injected);
+  return row;
+}
+
+int run(const bench::BenchConfig& cfg, double er) {
+  const trace::Dataset ds = trace::Dataset::build(cfg.dataset);
+  const trace::FeatureConfig fc = bench::victim_config(ds);
+  const trace::FoldSplit folds = ds.folds(0);
+  const auto periods = ds.config().periods;
+  const std::vector<std::size_t> targets =
+      bench::malware_subset(ds, folds, cfg.attack_samples);
+
+  attack::EvasionConfig evasion = bench::make_evasion_config(ds, folds);
+  evasion.max_injection_fraction = 6.0;  // ensembles need deep budgets
+  evasion.max_rounds = 400;
+
+  std::printf("Fig. 5 — %% of evasive malware detected (%zu malware attacked)\n\n",
+              targets.size());
+
+  std::vector<Row> rows;
+  {
+    hmd::BaselineHmd base = hmd::make_baseline(ds, folds.victim_training, fc, cfg.train);
+    double selected_er = er;
+    if (er <= 0.0) {
+      const auto explored =
+          hmd::explore_error_rate(ds, folds.victim_training, base.network(), fc);
+      selected_er = explored.error_rate;
+      std::printf("explored er* = %.2f\n\n", selected_er);
+    }
+    hmd::StochasticHmd stochastic(base.network(), fc, selected_er);
+    rows.push_back(attack_victim(ds, folds, stochastic, {fc}, targets, evasion,
+                                 /*union_learning=*/false));
+  }
+  for (const auto& construction :
+       {hmd::rhmd_2f(periods[0]), hmd::rhmd_3f(periods[0]),
+        hmd::rhmd_2f2p(periods[0], periods[1]), hmd::rhmd_3f2p(periods[0], periods[1])}) {
+    hmd::Rhmd victim = hmd::make_rhmd(ds, folds.victim_training, construction, cfg.train);
+    // Proxy views: every view in the construction at the epoch period.
+    std::vector<trace::FeatureConfig> proxy_cfgs;
+    for (const auto& c : construction.configs) {
+      if (c.period == victim.epoch_period()) proxy_cfgs.push_back(c);
+    }
+    rows.push_back(attack_victim(ds, folds, victim, proxy_cfgs, targets, evasion,
+                                 /*union_learning=*/true));
+  }
+
+  util::Table table({"defense", "proxy evaded", "evasive malware detected", "bar",
+                     "mean injected insns"});
+  for (const Row& row : rows) {
+    table.add_row({row.name, std::to_string(row.evaded) + "/" + std::to_string(row.tested),
+                   util::Table::pct(row.detected, 1), util::ascii_bar(row.detected, 1.0, 25),
+                   util::Table::fmt(row.mean_injected, 0)});
+  }
+  bench::emit(table, cfg);
+  std::printf(
+      "\nPaper shape check: Stochastic-HMD detects the bulk (~94%% in the paper) of the\n"
+      "evasive malware with ONE model. Known deviation: our three synthetic feature\n"
+      "views are more orthogonal than the paper's, so 3-view RHMDs resist the\n"
+      "instruction-injection attack outright (few/no proxy evasions) — at 6x the\n"
+      "memory and ~10%% higher latency; the paper's 3F2P missed far more.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  shmd::util::CliParser cli;
+  cli.add_flag("error-rate", "Stochastic-HMD error rate (0 = space exploration)", "0");
+  const auto cfg = shmd::bench::parse_bench_args(argc, argv, cli);
+  if (!cfg) return 0;
+  return run(*cfg, cli.get_double("error-rate"));
+}

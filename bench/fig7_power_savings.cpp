@@ -1,0 +1,73 @@
+// Figure 7 — Power savings of the Stochastic-HMD over (a) the baseline HMD
+// at nominal voltage and (b) RHMD-2F, for supply voltages from 1.18 V
+// (nominal) down to 0.68 V in 0.1 V steps, measured over a 100k-detection
+// run with the Power-Gadget-style energy meter.
+#include <cstdio>
+
+#include "common.hpp"
+#include "sys/energy_meter.hpp"
+#include "volt/volt_fault_model.hpp"
+
+namespace {
+
+using namespace shmd;
+
+int run(const bench::BenchConfig& cfg, std::size_t detections) {
+  // Paper-scale model (71 KB) — the footprint the latency/power models are
+  // calibrated against.
+  const std::vector<std::size_t> topo{16, 232, 60, 1};
+  const nn::Network net(topo, nn::Activation::kSigmoid, nn::Activation::kSigmoid, 1);
+
+  sys::EnergyMeter meter{sys::PowerModel{}, sys::LatencyModel{}};
+  const volt::VoltFaultModel fault_model{volt::DeviceProfile{}};
+
+  // Reference energies per detection at nominal voltage. RHMD burns the
+  // same core power for LONGER (model selection + L1 refill), so the
+  // per-inference comparison — what Power Gadget's "average consumed power
+  // per inference" captures — is energy-based.
+  sys::EnergyMeter rhmd_meter{sys::PowerModel{}, sys::LatencyModel{}};
+  for (std::size_t i = 0; i < detections; ++i) {
+    rhmd_meter.record(rhmd_meter.rhmd_detection(net, 2));
+  }
+  const double rhmd_energy_uj =
+      rhmd_meter.total_energy_uj() / static_cast<double>(detections);
+  const double nominal_energy_uj = meter.detection(net, 1.18).energy_uj;
+
+  std::printf("Fig. 7 — power savings vs supply voltage (%zu detections per point)\n", detections);
+  std::printf("per-detection energy at 1.18 V: baseline HMD %.1f uJ, RHMD-2F %.1f uJ\n\n",
+              nominal_energy_uj, rhmd_energy_uj);
+
+  util::Table table({"supply (V)", "undervolt (mV)", "energy/det (uJ)", "er at 49C",
+                     "savings vs baseline", "savings vs RHMD-2F", "stable?"});
+  for (double v = 1.18; v >= 0.679; v -= 0.1) {
+    const double offset_mv = (v - 1.18) * 1000.0;
+    meter.reset();
+    for (std::size_t i = 0; i < detections; ++i) meter.record(meter.detection(net, v));
+    const double energy = meter.total_energy_uj() / static_cast<double>(detections);
+    const bool frozen = fault_model.freezes(offset_mv, 49.0);
+    const double er = frozen ? 1.0 : fault_model.fault_probability(offset_mv, 49.0);
+    table.add_row({util::Table::fmt(v, 2), util::Table::fmt(offset_mv, 0),
+                   util::Table::fmt(energy, 1),
+                   frozen ? "-" : util::Table::fmt(er, 3),
+                   util::Table::pct(1.0 - energy / nominal_energy_uj, 1),
+                   util::Table::pct(1.0 - energy / rhmd_energy_uj, 1),
+                   frozen ? "no (freeze)" : "yes"});
+  }
+  bench::emit(table, cfg);
+  std::printf(
+      "\nPaper shape check: ~15-20%% savings at the er=0.1 operating point (~1.07 V);\n"
+      ">75%% savings vs RHMD under 40%% voltage scaling (0.71 V). Points below the\n"
+      "freeze threshold are power-model extrapolations — a real core locks up there,\n"
+      "which is why deployment stays inside the calibrated window.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  shmd::util::CliParser cli;
+  cli.add_flag("detections", "detections per measurement run", "100000");
+  const auto cfg = shmd::bench::parse_bench_args(argc, argv, cli);
+  if (!cfg) return 0;
+  return run(*cfg, static_cast<std::size_t>(cli.get_int("detections")));
+}

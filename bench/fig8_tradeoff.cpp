@@ -1,0 +1,98 @@
+// Figure 8 — The Stochastic-HMD trade-off: detection accuracy,
+// transferability robustness (% of evasive malware that FAILS to evade the
+// victim), and reverse-engineering robustness (100% - RE effectiveness),
+// all as a function of the error rate. Identifies the practical region
+// (the paper's area "1", er <~ 0.2) where security rises steeply at
+// negligible accuracy cost.
+#include <cstdio>
+
+#include "common.hpp"
+#include "attack/transferability.hpp"
+#include "eval/metrics.hpp"
+
+namespace {
+
+using namespace shmd;
+
+int run(const bench::BenchConfig& cfg) {
+  const trace::Dataset ds = trace::Dataset::build(cfg.dataset);
+  const trace::FeatureConfig fc = bench::victim_config(ds);
+
+  std::printf("Fig. 8 — accuracy / transferability robustness / RE robustness vs er "
+              "(%d rotations)\n\n", cfg.rotations);
+
+  // Per-rotation victims and attack scaffolding; transferability is a
+  // high-variance quantity, so every point aggregates all rotations.
+  std::vector<trace::FoldSplit> splits;
+  std::vector<hmd::BaselineHmd> baselines;
+  std::vector<std::vector<std::size_t>> target_sets;
+  std::vector<attack::EvasionConfig> evasion_bases;
+  for (int rotation = 0; rotation < cfg.rotations; ++rotation) {
+    splits.push_back(ds.folds(rotation));
+    baselines.push_back(
+        hmd::make_baseline(ds, splits.back().victim_training, fc, cfg.train));
+    target_sets.push_back(bench::malware_subset(ds, splits.back(), cfg.attack_samples));
+    evasion_bases.push_back(bench::make_evasion_config(ds, splits.back()));
+  }
+
+  util::Table table({"er", "accuracy", "transfer robustness", "RE robustness", "accuracy bar"});
+  for (double er : {0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0}) {
+    eval::ConfusionMatrix cm;
+    std::size_t evaded = 0;
+    std::size_t transferred = 0;
+    double effectiveness = 0.0;
+    for (int rotation = 0; rotation < cfg.rotations; ++rotation) {
+      const trace::FoldSplit& folds = splits[static_cast<std::size_t>(rotation)];
+      hmd::StochasticHmd victim(baselines[static_cast<std::size_t>(rotation)].network(), fc,
+                                er);
+      for (int rep = 0; rep < cfg.repeats; ++rep) {
+        for (std::size_t idx : folds.testing) {
+          const auto& s = ds.samples()[idx];
+          cm.add(s.malware(), victim.detect(s.features));
+        }
+      }
+
+      attack::ReverseEngineer re(ds);
+      attack::ReverseEngineerConfig rc;
+      rc.kind = attack::ProxyKind::kMlp;
+      rc.proxy_configs = {fc};
+      rc.seed = 0xA77AC4ULL + static_cast<std::uint64_t>(rotation);
+      const auto proxy = re.run(victim, folds.victim_training, folds.testing, rc);
+      effectiveness += proxy.effectiveness;
+      attack::EvasionConfig ec = evasion_bases[static_cast<std::size_t>(rotation)];
+      ec.craft_threshold = proxy.craft_threshold;
+      const auto transfer =
+          attack::TransferabilityEval(ds, ec)
+              .run(victim, *proxy.proxy, target_sets[static_cast<std::size_t>(rotation)],
+                   rc.proxy_configs);
+      evaded += transfer.proxy_evaded;
+      transferred += static_cast<std::size_t>(
+          transfer.success_rate() * static_cast<double>(transfer.proxy_evaded) + 0.5);
+    }
+    effectiveness /= static_cast<double>(cfg.rotations);
+    const double robustness =
+        evaded == 0 ? 1.0
+                    : 1.0 - static_cast<double>(transferred) / static_cast<double>(evaded);
+    table.add_row({util::Table::fmt(er, 2), util::Table::pct(cm.accuracy(), 1),
+                   util::Table::pct(robustness, 1),
+                   util::Table::pct(1.0 - effectiveness, 1),
+                   util::ascii_bar(cm.accuracy(), 1.0, 25)});
+  }
+  bench::emit(table, cfg);
+  std::printf(
+      "\nPaper shape check: in area (1), er <= ~0.2, transfer and RE robustness climb\n"
+      "steeply while accuracy stays within ~1 point of baseline; beyond er ~0.3\n"
+      "(area 2) accuracy decays faster than security improves — and at very high er\n"
+      "the 'robustness' numbers become meaningless because the detector itself is\n"
+      "near-random. The deployable sweet spot is the er ~0.1-0.2 shelf.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  shmd::util::CliParser cli;
+  const auto cfg = shmd::bench::parse_bench_args(argc, argv, cli);
+  if (!cfg) return 0;
+  return run(*cfg);
+}

@@ -1,0 +1,87 @@
+// google-benchmark microbenchmarks: raw host-side cost of the simulation
+// itself (not the modeled i7-5557U numbers — those come from
+// sys::LatencyModel). Useful for keeping the fault-injection hot path
+// fast: FaultyContext must stay cheap enough to sweep er x repeats x folds
+// in the figure benches.
+#include <benchmark/benchmark.h>
+
+#include "faultsim/fault_injector.hpp"
+#include "nn/arithmetic.hpp"
+#include "nn/network.hpp"
+#include "rng/lgm_prng.hpp"
+#include "rng/trng_sim.hpp"
+#include "trace/features.hpp"
+#include "trace/program.hpp"
+
+namespace {
+
+using namespace shmd;
+
+nn::Network make_net() {
+  const std::vector<std::size_t> topo{16, 32, 16, 1};
+  return nn::Network(topo, nn::Activation::kSigmoid, nn::Activation::kSigmoid, 1);
+}
+
+void BM_InferenceExact(benchmark::State& state) {
+  const nn::Network net = make_net();
+  nn::ExactContext ctx;
+  const std::vector<double> x(16, 0.3);
+  for (auto _ : state) benchmark::DoNotOptimize(net.forward(x, ctx));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.mac_count()));
+}
+BENCHMARK(BM_InferenceExact);
+
+void BM_InferenceFaulty(benchmark::State& state) {
+  const nn::Network net = make_net();
+  faultsim::FaultInjector inj(static_cast<double>(state.range(0)) / 100.0,
+                              faultsim::BitFaultDistribution::measured());
+  nn::FaultyContext ctx(inj);
+  const std::vector<double> x(16, 0.3);
+  for (auto _ : state) benchmark::DoNotOptimize(net.forward(x, ctx));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.mac_count()));
+}
+BENCHMARK(BM_InferenceFaulty)->Arg(0)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_InferenceNoisePrng(benchmark::State& state) {
+  const nn::Network net = make_net();
+  rng::LgmPrng prng;
+  nn::NoiseContext ctx(prng, 0.02);
+  const std::vector<double> x(16, 0.3);
+  for (auto _ : state) benchmark::DoNotOptimize(net.forward(x, ctx));
+}
+BENCHMARK(BM_InferenceNoisePrng);
+
+void BM_CorruptProduct(benchmark::State& state) {
+  faultsim::FaultInjector inj(1.0, faultsim::BitFaultDistribution::measured());
+  double x = 0.372;
+  for (auto _ : state) {
+    x = inj.corrupt_product(0.372);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_CorruptProduct);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const trace::Program program(0, trace::Family::kWorm, 42);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(program.generate(n));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(2048)->Arg(32768);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const trace::Program program(0, trace::Family::kBrowser, 7);
+  const auto trace_data = program.generate(32768);
+  const auto view = static_cast<trace::FeatureView>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::extract_windows(trace_data, view, 2048));
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Provisioning pipeline: the factory/device split of a real rollout.
+//
+//   FACTORY: build the corpus, train the model at nominal voltage, run the
+//            §VI space exploration to pick the operating error rate, run
+//            the §IX per-device temperature calibration, and pack it all
+//            into one deployment bundle (the network travels in FANN
+//            interchange format).
+//   DEVICE:  load the bundle from disk, claim the detection core's rail,
+//            program the offset for the current die temperature, and start
+//            detecting.
+#include <cstdio>
+#include <fstream>
+
+#include "hmd/builders.hpp"
+#include "hmd/deployment.hpp"
+#include "hmd/space_exploration.hpp"
+#include "volt/calibration.hpp"
+#include "volt/cpu_package.hpp"
+
+int main() {
+  using namespace shmd;
+  const char* bundle_path = "stochastic_hmd_bundle.txt";
+
+  // ------------------------------------------------------------- factory
+  std::printf("[factory] training fleet model...\n");
+  trace::DatasetConfig dataset_config;
+  dataset_config.corpus.n_malware = 500;
+  dataset_config.corpus.n_benign = 100;
+  const trace::Dataset dataset = trace::Dataset::build(dataset_config);
+  const trace::FoldSplit folds = dataset.folds(0);
+  const trace::FeatureConfig features{trace::FeatureView::kInsnCategory,
+                                      dataset.config().periods.front()};
+  hmd::BaselineHmd trained = hmd::make_baseline(dataset, folds.victim_training, features);
+
+  const auto explored =
+      hmd::explore_error_rate(dataset, folds.victim_training, trained.network(), features);
+  std::printf("[factory] space exploration selected er* = %.2f\n", explored.error_rate);
+
+  // Per-device calibration on the target chip (here: simulated SKU).
+  volt::MsrInterface factory_msr;
+  volt::VoltageDomain factory_rail(factory_msr, 0,
+                                   volt::VoltFaultModel(volt::DeviceProfile::sample(0xD117)),
+                                   49.0);
+  volt::CalibrationController calibration(factory_rail, 25000);
+  hmd::DeploymentBundle bundle{trained.network(), features, explored.error_rate, {}};
+  for (const auto& [temp, result] :
+       calibration.calibration_table(explored.error_rate, 35.0, 75.0, 10.0)) {
+    bundle.calibration[temp] = result.offset_mv;
+  }
+  {
+    std::ofstream out(bundle_path);
+    hmd::save_deployment(bundle, out);
+  }
+  std::printf("[factory] bundle written to %s (%zu calibration points)\n\n", bundle_path,
+              bundle.calibration.size());
+
+  // -------------------------------------------------------------- device
+  std::ifstream in(bundle_path);
+  const hmd::DeploymentBundle loaded = hmd::load_deployment(in);
+  std::printf("[device] bundle loaded: view=%s period=%zu er=%.2f\n",
+              trace::view_name(loaded.feature_config.view).data(),
+              loaded.feature_config.period, loaded.target_error_rate);
+
+  volt::CpuPackage package(4, volt::DeviceProfile::sample(0xD117));
+  const std::uint64_t token = package.dedicate_detection_core(3);
+  const double die_temp = 58.0;
+  package.core(3).set_temperature_c(die_temp);
+  const double offset = loaded.offset_for_temperature(die_temp);
+  std::printf("[device] die at %.0f C -> programming %.1f mV on core %u\n", die_temp, offset,
+              package.detection_core());
+
+  hmd::StochasticHmd detector = loaded.make_detector();
+  detector.attach_domain(package.core(3), offset, token);
+
+  std::size_t flagged = 0;
+  std::size_t scanned = 0;
+  for (std::size_t idx : folds.testing) {
+    if (scanned >= 40) break;
+    const auto& sample = dataset.samples()[idx];
+    flagged += detector.detect(sample.features);
+    ++scanned;
+  }
+  std::printf("[device] scanned %zu programs, flagged %zu; application cores nominal: %s\n",
+              scanned, flagged, package.application_cores_nominal() ? "yes" : "NO");
+  std::printf("[device] effective error rate during bursts: %.3f\n", detector.error_rate());
+
+  detector.detach_domain();
+  std::remove(bundle_path);
+  std::printf("\nOne artifact carries the model (FANN format), the operating point, and\n"
+              "the silicon calibration — everything the enclave firmware needs.\n");
+  return 0;
+}

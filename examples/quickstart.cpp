@@ -1,0 +1,72 @@
+// Quickstart: train a hardware malware detector, harden it with
+// undervolting, and classify programs.
+//
+//   1. build a corpus of program behavior (the paper's dataset substrate),
+//   2. train the baseline HMD at nominal voltage,
+//   3. wrap the SAME trained network as a Stochastic-HMD (no retraining),
+//   4. pick the operating error rate via space exploration,
+//   5. classify — and watch the decision scores move run to run.
+#include <cstdio>
+
+#include "eval/metrics.hpp"
+#include "hmd/builders.hpp"
+#include "hmd/space_exploration.hpp"
+
+int main() {
+  using namespace shmd;
+
+  // 1. Corpus: 500 malware (5 theZoo-style families) + 100 benign programs.
+  trace::DatasetConfig dataset_config;
+  dataset_config.corpus.n_malware = 500;
+  dataset_config.corpus.n_benign = 100;
+  std::printf("building corpus (%zu programs)...\n",
+              dataset_config.corpus.n_malware + dataset_config.corpus.n_benign);
+  const trace::Dataset dataset = trace::Dataset::build(dataset_config);
+  const trace::FoldSplit folds = dataset.folds(0);
+
+  // 2. Train the baseline detector on instruction-category frequencies.
+  const trace::FeatureConfig features{trace::FeatureView::kInsnCategory,
+                                      dataset.config().periods.front()};
+  std::printf("training baseline HMD...\n");
+  hmd::BaselineHmd baseline = hmd::make_baseline(dataset, folds.victim_training, features);
+
+  // 3+4. Space exploration, then deploy the same network stochastic.
+  const hmd::SpaceExplorationResult explored =
+      hmd::explore_error_rate(dataset, folds.victim_training, baseline.network(), features);
+  std::printf("space exploration: er* = %.2f (accuracy %.1f%% -> %.1f%%)\n",
+              explored.error_rate, 100.0 * explored.baseline_accuracy,
+              100.0 * explored.selected_accuracy);
+  hmd::StochasticHmd detector(baseline.network(), features, explored.error_rate);
+
+  // 5a. Test-set accuracy of both detectors.
+  eval::ConfusionMatrix base_cm;
+  eval::ConfusionMatrix sto_cm;
+  for (std::size_t idx : folds.testing) {
+    const auto& sample = dataset.samples()[idx];
+    base_cm.add(sample.malware(), baseline.detect(sample.features));
+    sto_cm.add(sample.malware(), detector.detect(sample.features));
+  }
+  std::printf("\n                    accuracy   FPR     FNR\n");
+  std::printf("baseline HMD        %5.1f%%   %5.1f%%  %5.1f%%\n", 100 * base_cm.accuracy(),
+              100 * base_cm.fpr(), 100 * base_cm.fnr());
+  std::printf("Stochastic-HMD      %5.1f%%   %5.1f%%  %5.1f%%\n", 100 * sto_cm.accuracy(),
+              100 * sto_cm.fpr(), 100 * sto_cm.fnr());
+
+  // 5b. The moving target: repeated scores on one malware program.
+  for (std::size_t idx : folds.testing) {
+    const auto& sample = dataset.samples()[idx];
+    if (!sample.malware()) continue;
+    std::printf("\nprogram #%u (%s): repeated detection scores under undervolting:\n",
+                sample.program.id(), trace::family_name(sample.program.family()).data());
+    std::printf("  nominal (fault-free): %.3f\n",
+                baseline.program_score(sample.features));
+    for (int run = 0; run < 5; ++run) {
+      std::printf("  undervolted run %d:    %.3f\n", run,
+                  detector.program_score(sample.features));
+    }
+    break;
+  }
+  std::printf("\nSame program, same model — different scores every run: that is the\n"
+              "moving-target boundary an attacker has to reverse-engineer.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "attack/composite_proxy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace shmd::attack {
+
+CompositeProxy::CompositeProxy(std::vector<Part> parts) : parts_(std::move(parts)) {
+  if (parts_.empty()) throw std::invalid_argument("CompositeProxy: need >= 1 part");
+  for (const Part& p : parts_) {
+    if (!p.model) throw std::invalid_argument("CompositeProxy: null part model");
+    if (p.dim == 0) throw std::invalid_argument("CompositeProxy: zero-dim part");
+  }
+}
+
+double CompositeProxy::recalibrate(double score, double threshold) {
+  threshold = std::clamp(threshold, 1e-6, 1.0 - 1e-6);
+  if (score <= threshold) return 0.5 * score / threshold;
+  return 0.5 + 0.5 * (score - threshold) / (1.0 - threshold);
+}
+
+double CompositeProxy::predict(std::span<const double> x) const {
+  double worst = 0.0;
+  for (const Part& p : parts_) {
+    if (p.offset + p.dim > x.size()) {
+      throw std::invalid_argument("CompositeProxy::predict: input too short for part slice");
+    }
+    worst = std::max(
+        worst, recalibrate(p.model->predict(x.subspan(p.offset, p.dim)), p.threshold));
+  }
+  return worst;
+}
+
+void CompositeProxy::fit(std::span<const nn::TrainSample> /*data*/) {
+  throw std::logic_error("CompositeProxy: fit the parts individually before assembly");
+}
+
+bool CompositeProxy::differentiable() const noexcept {
+  return std::all_of(parts_.begin(), parts_.end(),
+                     [](const Part& p) { return p.model->differentiable(); });
+}
+
+}  // namespace shmd::attack

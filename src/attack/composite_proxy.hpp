@@ -1,0 +1,58 @@
+// CompositeProxy: the attacker's model of a randomized ensemble.
+//
+// Against an RHMD the attacker knows the construction's feature vectors
+// (§VII.C: the proxy is built "using all the feature vectors used in the
+// construction"). A single model over concatenated views approximates the
+// ensemble *average* — but evading the average still loses to whichever
+// base detector was not fooled. The effective attacker instead trains one
+// proxy per view and treats the ensemble as the MAX over them: a window
+// only counts as benign when every per-view proxy agrees. Driving the
+// composite score down therefore drives every base boundary down.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/classifier.hpp"
+
+namespace shmd::attack {
+
+class CompositeProxy final : public nn::Classifier {
+ public:
+  struct Part {
+    std::unique_ptr<nn::Classifier> model;
+    std::size_t offset = 0;  ///< slice start within the concatenated input
+    std::size_t dim = 0;     ///< slice length
+    /// Calibrated decision threshold. Per-view models fitted to ensemble
+    /// mixture labels are systematically miscalibrated (a benign-looking
+    /// memory window often carries a malware label because a *different*
+    /// view's model flagged that epoch), so the attacker picks, per part,
+    /// the threshold that best reproduces the queried labels and the
+    /// composite rescales scores so that threshold maps to 0.5.
+    double threshold = 0.5;
+  };
+
+  /// Piecewise-linear rescale mapping `threshold` to 0.5 (0→0, 1→1).
+  [[nodiscard]] static double recalibrate(double score, double threshold);
+
+  explicit CompositeProxy(std::vector<Part> parts);
+
+  /// Max over the per-view proxies, each reading its own slice of the
+  /// concatenated feature vector.
+  [[nodiscard]] double predict(std::span<const double> x) const override;
+
+  /// Fitting happens per part before construction; a composite refuses
+  /// blanket fit() calls.
+  void fit(std::span<const nn::TrainSample> data) override;
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "composite-max"; }
+  [[nodiscard]] bool differentiable() const noexcept override;
+
+  [[nodiscard]] std::size_t part_count() const noexcept { return parts_.size(); }
+  [[nodiscard]] const nn::Classifier& part(std::size_t i) const { return *parts_.at(i).model; }
+
+ private:
+  std::vector<Part> parts_;
+};
+
+}  // namespace shmd::attack

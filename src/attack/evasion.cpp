@@ -1,0 +1,354 @@
+#include "attack/evasion.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "eval/data_adapter.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::attack {
+
+namespace {
+
+using trace::FeatureConfig;
+using trace::FeatureView;
+using trace::Instruction;
+using trace::InsnCategory;
+
+std::vector<std::vector<double>> extract_proxy_windows(
+    std::span<const Instruction> trace, std::span<const FeatureConfig> configs) {
+  std::vector<std::vector<std::vector<double>>> per_view;
+  per_view.reserve(configs.size());
+  for (const auto& c : configs) {
+    per_view.push_back(trace::extract_windows(trace, c.view, c.period));
+  }
+  return eval::concat_views(per_view);
+}
+
+/// Expected per-instruction feature contribution of an injected
+/// instruction of `category` for one view. Ratio-style features that an
+/// injection leaves roughly untouched take the current mean value, so that
+/// the dilution blend below is a no-op for them.
+std::vector<double> category_contribution(FeatureView view, InsnCategory category,
+                                          std::span<const double> current) {
+  const trace::CategoryBehavior& b = trace::category_behavior(category);
+  switch (view) {
+    case FeatureView::kInsnCategory: {
+      std::vector<double> phi(trace::kNumCategories, 0.0);
+      phi[static_cast<std::size_t>(category)] = 1.0;
+      return phi;
+    }
+    case FeatureView::kMemory: {
+      std::vector<double> phi(current.begin(), current.end());
+      const double pa = std::min(1.0, b.mem_read_prob + b.mem_write_prob);
+      phi[0] = b.mem_read_prob;
+      phi[1] = b.mem_write_prob;
+      for (std::size_t s = 0; s < trace::kNumStrideBuckets; ++s) {
+        // Stride fractions are ratios among accesses: injections pull them
+        // toward the category's own stride mix in proportion to how often
+        // the category touches memory.
+        phi[2 + s] = pa > 0.0 ? b.stride_probs[s] : current[2 + s];
+      }
+      phi[7] = pa;
+      return phi;
+    }
+    case FeatureView::kControlFlow: {
+      std::vector<double> phi(current.begin(), current.end());
+      const bool is_control = category == InsnCategory::kControlTransfer;
+      phi[0] = is_control ? 1.0 : 0.0;
+      if (is_control) {
+        phi[1] = b.control_mix[0];
+        phi[5] = b.control_mix[1];
+        phi[3] = b.control_mix[2];
+        phi[4] = b.control_mix[3];
+        phi[2] = 0.68;  // injected branches mimic benign taken ratios
+      }
+      // Basic-block length (index 6) and taken-alternation (7) keep their
+      // current values: the dilution model cannot express them usefully.
+      return phi;
+    }
+  }
+  throw std::invalid_argument("category_contribution: unknown view");
+}
+
+/// Dilution estimate: blend the current mean features toward the
+/// category's contribution as if `m_new` of `n_total` instructions in each
+/// window were injections of `category`.
+std::vector<double> estimate_after_injection(std::span<const double> mean,
+                                             std::span<const FeatureConfig> configs,
+                                             InsnCategory category, double blend) {
+  std::vector<double> estimate;
+  estimate.reserve(mean.size());
+  std::size_t offset = 0;
+  for (const auto& c : configs) {
+    const std::size_t dim = trace::view_dim(c.view);
+    const std::span<const double> cur = mean.subspan(offset, dim);
+    const std::vector<double> phi = category_contribution(c.view, category, cur);
+    for (std::size_t i = 0; i < dim; ++i) {
+      estimate.push_back((1.0 - blend) * cur[i] + blend * phi[i]);
+    }
+    offset += dim;
+  }
+  return estimate;
+}
+
+/// Mixture analogue: contribution is the mix-weighted average of the
+/// per-category contributions.
+std::vector<double> estimate_after_mix_injection(std::span<const double> mean,
+                                                 std::span<const FeatureConfig> configs,
+                                                 std::span<const double> mix, double blend) {
+  std::vector<double> estimate;
+  estimate.reserve(mean.size());
+  std::size_t offset = 0;
+  for (const auto& c : configs) {
+    const std::size_t dim = trace::view_dim(c.view);
+    const std::span<const double> cur = mean.subspan(offset, dim);
+    std::vector<double> phi(dim, 0.0);
+    for (std::size_t cat = 0; cat < trace::kNumCategories; ++cat) {
+      if (mix[cat] <= 0.0) continue;
+      const std::vector<double> part =
+          category_contribution(c.view, static_cast<InsnCategory>(cat), cur);
+      for (std::size_t i = 0; i < dim; ++i) phi[i] += mix[cat] * part[i];
+    }
+    for (std::size_t i = 0; i < dim; ++i) {
+      estimate.push_back((1.0 - blend) * cur[i] + blend * phi[i]);
+    }
+    offset += dim;
+  }
+  return estimate;
+}
+
+InsnCategory sample_mix(std::span<const double> mix, rng::Xoshiro256ss& gen) {
+  double u = gen.uniform01();
+  for (std::size_t c = 0; c < trace::kNumCategories; ++c) {
+    u -= mix[c];
+    if (u < 0.0) return static_cast<InsnCategory>(c);
+  }
+  return InsnCategory::kDataMovement;
+}
+
+Instruction synthesize_instruction(InsnCategory category, rng::Xoshiro256ss& gen) {
+  const trace::CategoryBehavior& b = trace::category_behavior(category);
+  Instruction insn;
+  insn.category = category;
+  insn.mem_read = gen.bernoulli(b.mem_read_prob);
+  insn.mem_write = gen.bernoulli(b.mem_write_prob);
+  if (insn.mem_read || insn.mem_write) {
+    double u = gen.uniform01();
+    for (std::size_t s = 0; s < trace::kNumStrideBuckets; ++s) {
+      u -= b.stride_probs[s];
+      if (u < 0.0) {
+        insn.stride_bucket = static_cast<std::uint8_t>(s);
+        break;
+      }
+    }
+  }
+  if (category == InsnCategory::kControlTransfer) {
+    double u = gen.uniform01();
+    for (std::size_t k = 0; k < 4; ++k) {
+      u -= b.control_mix[k];
+      if (u < 0.0) {
+        insn.control = static_cast<trace::ControlKind>(k + 1);
+        break;
+      }
+    }
+    if (insn.control == trace::ControlKind::kCondBranch) {
+      // Injected branches mimic benign branch behavior (mostly-taken loop
+      // back-edges): 50/50 outcomes would make padding-heavy windows stand
+      // out to a control-flow-view detector as unlike any real program.
+      insn.branch_taken = gen.bernoulli(0.68);
+    }
+  }
+  return insn;
+}
+
+}  // namespace
+
+EvasionAttack::EvasionAttack(EvasionConfig config) : config_(config) {
+  if (config_.chunk_window_fraction <= 0.0) {
+    throw std::invalid_argument("EvasionAttack: chunk_window_fraction must be positive");
+  }
+  if (config_.max_rounds <= 0) {
+    throw std::invalid_argument("EvasionAttack: max_rounds must be positive");
+  }
+}
+
+double EvasionAttack::proxy_program_score(std::span<const Instruction> trace,
+                                          const nn::Classifier& proxy,
+                                          std::span<const FeatureConfig> proxy_configs) {
+  const auto windows = extract_proxy_windows(trace, proxy_configs);
+  if (windows.empty()) throw std::invalid_argument("proxy_program_score: trace too short");
+  double sum = 0.0;
+  for (const auto& w : windows) sum += proxy.predict(w);
+  return sum / static_cast<double>(windows.size());
+}
+
+std::vector<Instruction> EvasionAttack::inject(std::span<const Instruction> trace,
+                                               InsnCategory category, std::size_t count,
+                                               std::uint64_t seed, std::size_t begin,
+                                               std::size_t end) {
+  end = std::min(end, trace.size());
+  begin = std::min(begin, end);
+  rng::Xoshiro256ss gen(seed);
+  // Sample insertion points (indices into the original stream, within
+  // [begin, end]) and merge in one pass. Duplicates are fine — several
+  // injections may land between the same pair of original instructions.
+  std::vector<std::size_t> points(count);
+  for (auto& p : points) p = begin + gen.below(end - begin + 1);
+  std::sort(points.begin(), points.end());
+
+  std::vector<Instruction> out;
+  out.reserve(trace.size() + count);
+  std::size_t next = 0;
+  for (std::size_t src = 0; src <= trace.size(); ++src) {
+    while (next < count && points[next] == src) {
+      out.push_back(synthesize_instruction(category, gen));
+      ++next;
+    }
+    if (src < trace.size()) out.push_back(trace[src]);
+  }
+  return out;
+}
+
+std::vector<Instruction> EvasionAttack::inject_mix(std::span<const Instruction> trace,
+                                                   std::span<const double> mix,
+                                                   std::size_t count, std::uint64_t seed,
+                                                   std::size_t begin, std::size_t end) {
+  if (mix.size() != trace::kNumCategories) {
+    throw std::invalid_argument("inject_mix: mix must cover all categories");
+  }
+  end = std::min(end, trace.size());
+  begin = std::min(begin, end);
+  rng::Xoshiro256ss gen(seed);
+  std::vector<std::size_t> points(count);
+  for (auto& p : points) p = begin + gen.below(end - begin + 1);
+  std::sort(points.begin(), points.end());
+
+  std::vector<Instruction> out;
+  out.reserve(trace.size() + count);
+  std::size_t next = 0;
+  for (std::size_t src = 0; src <= trace.size(); ++src) {
+    while (next < count && points[next] == src) {
+      out.push_back(synthesize_instruction(sample_mix(mix, gen), gen));
+      ++next;
+    }
+    if (src < trace.size()) out.push_back(trace[src]);
+  }
+  return out;
+}
+
+std::vector<double> benign_category_mix(const trace::Dataset& dataset,
+                                        std::span<const std::size_t> indices,
+                                        std::size_t period) {
+  std::vector<double> mix(trace::kNumCategories, 0.0);
+  std::size_t windows = 0;
+  const FeatureConfig config{FeatureView::kInsnCategory, period};
+  for (std::size_t idx : indices) {
+    const trace::ProgramSample& sample = dataset.samples().at(idx);
+    if (sample.malware()) continue;
+    for (const std::vector<double>& w : sample.features.windows(config)) {
+      for (std::size_t c = 0; c < trace::kNumCategories; ++c) mix[c] += w[c];
+      ++windows;
+    }
+  }
+  if (windows == 0) throw std::invalid_argument("benign_category_mix: no benign programs");
+  for (double& m : mix) m /= static_cast<double>(windows);
+  return mix;
+}
+
+EvasionResult EvasionAttack::craft(std::span<const Instruction> original,
+                                   const nn::Classifier& proxy,
+                                   std::span<const FeatureConfig> proxy_configs) const {
+  if (proxy_configs.empty()) throw std::invalid_argument("craft: no proxy configs");
+
+  EvasionResult result;
+  result.trace.assign(original.begin(), original.end());
+
+  const std::size_t period = proxy_configs.front().period;
+  const auto chunk = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.chunk_window_fraction * static_cast<double>(period)));
+  const auto budget = static_cast<std::size_t>(config_.max_injection_fraction *
+                                               static_cast<double>(original.size()));
+  rng::Xoshiro256ss gen(config_.seed);
+
+  for (int round = 0; round < config_.max_rounds; ++round) {
+    result.rounds = round;
+    const auto windows = extract_proxy_windows(result.trace, proxy_configs);
+    double mean_score = 0.0;
+    std::size_t flagged = 0;
+    std::size_t worst = 0;
+    double worst_score = -1.0;
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+      const double s = proxy.predict(windows[w]);
+      mean_score += s;
+      if (s >= config_.craft_threshold) ++flagged;
+      if (s > worst_score) {
+        worst_score = s;
+        worst = w;
+      }
+    }
+    mean_score /= static_cast<double>(windows.size());
+    result.final_proxy_score = mean_score;
+    const double flagged_fraction =
+        static_cast<double>(flagged) / static_cast<double>(windows.size());
+    if (flagged_fraction <= config_.margin_fraction) break;
+    if (result.injected + chunk > budget) break;
+
+    // Targeted injection: pad inside the worst-scoring window. Candidates
+    // are the 16 single categories plus (when configured) the benign
+    // mimicry mixture, ranked by the dilution estimate on that window's
+    // own features; `blend` is the injected fraction within the window.
+    const double blend =
+        static_cast<double>(chunk) / static_cast<double>(period + chunk);
+    const bool have_mimicry = config_.mimicry_mix.size() == trace::kNumCategories;
+    InsnCategory best_cat = InsnCategory::kDataMovement;
+    bool use_mimicry = false;
+    double best_est = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < trace::kNumCategories; ++c) {
+      const auto cat = static_cast<InsnCategory>(c);
+      const std::vector<double> est_features =
+          estimate_after_injection(windows[worst], proxy_configs, cat, blend);
+      const double est = proxy.predict(est_features);
+      if (est < best_est) {
+        best_est = est;
+        best_cat = cat;
+      }
+    }
+    if (have_mimicry) {
+      const std::vector<double> est_features = estimate_after_mix_injection(
+          windows[worst], proxy_configs, config_.mimicry_mix, blend);
+      // Slight preference for mimicry on ties: it is the lower-variance
+      // move (padding looks like real benign code in every view).
+      if (proxy.predict(est_features) <= best_est + 0.02) use_mimicry = true;
+    }
+    // Occasionally explore a random category to escape estimate errors.
+    if (!use_mimicry && gen.bernoulli(0.1)) {
+      best_cat = static_cast<InsnCategory>(gen.below(trace::kNumCategories));
+    }
+
+    const std::size_t begin = worst * period;
+    const std::size_t end = std::min(begin + period, result.trace.size());
+    result.trace = use_mimicry
+                       ? inject_mix(result.trace, config_.mimicry_mix, chunk, gen(), begin, end)
+                       : inject(result.trace, best_cat, chunk, gen(), begin, end);
+    result.injected += chunk;
+  }
+
+  // Final verdict against the assumed deployment rule: the proxy is evaded
+  // when fewer than vote_fraction of windows remain flagged.
+  const auto windows = extract_proxy_windows(result.trace, proxy_configs);
+  std::size_t flagged = 0;
+  double mean_score = 0.0;
+  for (const auto& w : windows) {
+    const double s = proxy.predict(w);
+    mean_score += s;
+    if (s >= 0.5) ++flagged;
+  }
+  result.final_proxy_score = mean_score / static_cast<double>(windows.size());
+  result.proxy_evaded = static_cast<double>(flagged) <
+                        config_.vote_fraction * static_cast<double>(windows.size());
+  return result;
+}
+
+}  // namespace shmd::attack

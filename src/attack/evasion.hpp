@@ -1,0 +1,120 @@
+// Evasive-malware generation (§V, §VII.B): the second attack stage.
+//
+// Given a reverse-engineered proxy, the attacker mutates a malware binary
+// so the proxy classifies it benign, then ships it hoping the evasion
+// *transfers* to the real victim. Following the RHMD methodology the paper
+// adopts ("we use our evasion framework to inject instructions to evade
+// it"), the mutation operator is **add-only instruction injection**: the
+// malicious payload's own instructions are never removed — extra
+// instructions of chosen categories are interleaved to reshape the
+// observed instruction-category mix. Functionality is preserved by
+// construction.
+//
+// Search: iterated greedy. Each round estimates, for every candidate
+// category, how the program's mean feature vector would move if a chunk of
+// that category were injected (an analytic dilution model — cheap, and
+// usable even against the non-differentiable DT proxy), injects a real
+// chunk of the best category, and re-extracts true features. The attack
+// succeeds when the proxy's majority verdict over windows flips to benign.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/classifier.hpp"
+#include "trace/dataset.hpp"
+
+namespace shmd::attack {
+
+struct EvasionConfig {
+  /// Injection budget relative to the original trace length. Evasive
+  /// malware that doubles its own dynamic footprint is already pushing
+  /// plausibility; the budget is the attacker's stealth/effort constraint
+  /// and the main reason noisy proxies hurt so much — with limited
+  /// injection there is no room to overshoot a misplaced boundary.
+  double max_injection_fraction = 1.0;
+  /// Instructions injected per round, relative to the detection period.
+  /// Injection is *targeted*: each round picks the worst-scoring window
+  /// and pads inside it, instead of diluting the whole trace uniformly.
+  double chunk_window_fraction = 0.30;
+  int max_rounds = 150;
+  /// Deployment rule the attacker assumes: the detector flags a program
+  /// when >= this fraction of windows score malicious (majority vote).
+  double vote_fraction = 0.50;
+  /// Keep injecting until at most this fraction of proxy windows is still
+  /// flagged. The gap below vote_fraction is the attacker's safety margin
+  /// against proxy/victim disagreement; a *minimal* margin keeps the
+  /// injected footprint small (every injected instruction costs the
+  /// attacker stealth), which is why evasive samples end up parked close
+  /// to the boundary — where a moving-target defense hurts them most.
+  double margin_fraction = 0.20;
+  /// Conservative score threshold used while crafting: a window counts as
+  /// "still flagged" above this (below the real 0.5 decision threshold),
+  /// so windows are pushed clearly into benign territory rather than
+  /// parked at 0.499 — margin in *score* that survives proxy/victim model
+  /// mismatch.
+  double craft_threshold = 0.42;
+  std::uint64_t seed = 0xE7A51ULL;
+  /// Mimicry mix: a probability distribution over the 16 instruction
+  /// categories (typically the mean benign profile measured on the
+  /// attacker's own fold — see benign_category_mix()). When non-empty,
+  /// crafting may inject *mixture* chunks drawn from this profile in
+  /// addition to single-category chunks. Mixture padding is what defeats
+  /// multi-view detectors: it drags every feature view toward the benign
+  /// centroid at once, where single-category padding creates windows
+  /// unlike any real program.
+  std::vector<double> mimicry_mix;
+};
+
+struct EvasionResult {
+  bool proxy_evaded = false;
+  std::vector<trace::Instruction> trace;  ///< mutated instruction stream
+  std::size_t injected = 0;
+  double final_proxy_score = 1.0;
+  int rounds = 0;
+};
+
+class EvasionAttack {
+ public:
+  explicit EvasionAttack(EvasionConfig config = {});
+
+  /// Craft an evasive variant of `original` against `proxy`, which reads
+  /// the concatenation of `proxy_configs` (all sharing one period).
+  [[nodiscard]] EvasionResult craft(std::span<const trace::Instruction> original,
+                                    const nn::Classifier& proxy,
+                                    std::span<const trace::FeatureConfig> proxy_configs) const;
+
+  /// Mean proxy score over the windows of `trace` (the quantity the attack
+  /// drives below 0.5).
+  [[nodiscard]] static double proxy_program_score(
+      std::span<const trace::Instruction> trace, const nn::Classifier& proxy,
+      std::span<const trace::FeatureConfig> proxy_configs);
+
+  /// Inject `count` synthetic instructions of `category` at uniformly
+  /// random positions within [begin, end) of the stream (whole stream by
+  /// default; deterministic in `seed`). Exposed for tests.
+  [[nodiscard]] static std::vector<trace::Instruction> inject(
+      std::span<const trace::Instruction> trace, trace::InsnCategory category,
+      std::size_t count, std::uint64_t seed, std::size_t begin = 0,
+      std::size_t end = SIZE_MAX);
+
+  /// Mixture variant: each injected instruction's category is drawn from
+  /// `mix` (a distribution over the 16 categories).
+  [[nodiscard]] static std::vector<trace::Instruction> inject_mix(
+      std::span<const trace::Instruction> trace, std::span<const double> mix,
+      std::size_t count, std::uint64_t seed, std::size_t begin = 0,
+      std::size_t end = SIZE_MAX);
+
+ private:
+  EvasionConfig config_;
+};
+
+/// Mean instruction-category frequency profile of the *benign* programs in
+/// `indices` (measured at `period`) — the attacker's mimicry target,
+/// computed from data the attacker legitimately owns.
+[[nodiscard]] std::vector<double> benign_category_mix(const trace::Dataset& dataset,
+                                                      std::span<const std::size_t> indices,
+                                                      std::size_t period);
+
+}  // namespace shmd::attack

@@ -1,0 +1,106 @@
+// Reverse engineering (§V, §VII.A): the first stage of the black-box
+// evasion pipeline.
+//
+// The attacker queries the victim HMD with programs it controls, records
+// the victim's *observed* decisions (which, for a Stochastic-HMD, are
+// noisy samples of a moving boundary), and trains a proxy model on those
+// labels. Effectiveness is measured on the held-out testing fold as the
+// agreement between the proxy and the victim's underlying (noise-free)
+// boundary — the quantity Fig. 3 reports.
+//
+// Proxy model classes per the paper: MLP, logistic regression, and
+// decision tree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hmd/detector.hpp"
+#include "nn/classifier.hpp"
+#include "trace/dataset.hpp"
+
+namespace shmd::attack {
+
+enum class ProxyKind : std::uint8_t { kMlp = 0, kLr, kDt };
+
+[[nodiscard]] std::string_view proxy_kind_name(ProxyKind kind);
+
+struct ReverseEngineerConfig {
+  ProxyKind kind = ProxyKind::kMlp;
+  /// Feature configurations the proxy observes, concatenated. For single-
+  /// model victims this is the victim's own config; for RHMD victims it is
+  /// every config in the construction at the epoch period ("we
+  /// reverse-engineer each RHMD construction using all the feature vectors
+  /// used in the construction", §VII.C).
+  std::vector<trace::FeatureConfig> proxy_configs;
+  std::uint64_t seed = 0xA77AC4ULL;
+  /// MLP proxy hidden widths.
+  std::vector<std::size_t> mlp_hidden = {24, 12};
+  /// With multiple proxy configs (RHMD victims), train one proxy per view
+  /// and combine them with a max — evading the composite then means
+  /// evading *every* base boundary. Off by default: the stronger RHMD
+  /// attacker is repeat-query union learning (below); the composite is
+  /// kept as an ablation.
+  bool per_view_composite = false;
+  /// Query each window this many times. A randomized ensemble's
+  /// randomness is a small FINITE set: repeated queries enumerate it, and
+  /// with the kAny label rule the attacker learns the *union* of all base
+  /// boundaries — evading that union evades every base model. Undervolting
+  /// noise is continuous and operand-dependent; repetition just samples
+  /// more noise, which is exactly the asymmetry that makes Stochastic-HMDs
+  /// harder to reverse-engineer.
+  int repeat_queries = 1;
+  enum class LabelRule : std::uint8_t {
+    kSingle = 0,  ///< one query, its verdict is the label (the paper's attacker)
+    kAny,         ///< label malware if ANY repeat flagged (union learning)
+    kMajority,    ///< majority of repeats (noise-averaging adaptive attacker)
+  };
+  LabelRule label_rule = LabelRule::kSingle;
+};
+
+struct ReverseEngineeringResult {
+  std::unique_ptr<nn::Classifier> proxy;
+  /// Test-fold agreement between proxy and the victim's nominal boundary.
+  double effectiveness = 0.0;
+  /// Number of label queries issued against the (live) victim.
+  std::size_t query_count = 0;
+  /// Attacker's calibrated crafting target: the 75th percentile of the
+  /// proxy's scores over windows the victim labeled benign (clamped to
+  /// [0.30, 0.46]). Driving malware windows below this score puts them
+  /// squarely inside the score range the victim treats as benign —
+  /// meaningful even for composite proxies whose absolute scale is
+  /// distorted by ensemble-mixture labels.
+  double craft_threshold = 0.42;
+};
+
+class ReverseEngineer {
+ public:
+  explicit ReverseEngineer(const trace::Dataset& dataset) : dataset_(&dataset) {}
+
+  /// Query `victim` on the programs of `query_indices` (victim-training or
+  /// attacker-training fold, per the two attack scenarios of §VII.A),
+  /// train the proxy, and score it on `test_indices`.
+  [[nodiscard]] ReverseEngineeringResult run(hmd::Detector& victim,
+                                             std::span<const std::size_t> query_indices,
+                                             std::span<const std::size_t> test_indices,
+                                             const ReverseEngineerConfig& config) const;
+
+  /// Build (features, label) pairs by querying the live victim — exposed
+  /// for tests and ablations.
+  [[nodiscard]] std::vector<nn::TrainSample> query_victim(
+      hmd::Detector& victim, std::span<const std::size_t> indices,
+      std::span<const trace::FeatureConfig> proxy_configs, int repeat_queries = 1,
+      ReverseEngineerConfig::LabelRule rule =
+          ReverseEngineerConfig::LabelRule::kSingle) const;
+
+ private:
+  const trace::Dataset* dataset_;
+};
+
+/// Instantiate an (unfitted) proxy classifier of `kind`.
+[[nodiscard]] std::unique_ptr<nn::Classifier> make_proxy(const ReverseEngineerConfig& config,
+                                                         std::size_t input_dim);
+
+}  // namespace shmd::attack

@@ -1,0 +1,40 @@
+#include "attack/transferability.hpp"
+
+namespace shmd::attack {
+
+TransferabilityResult TransferabilityEval::run(
+    hmd::Detector& victim, const nn::Classifier& proxy, std::span<const std::size_t> indices,
+    std::span<const trace::FeatureConfig> proxy_configs) const {
+  TransferabilityResult result;
+  std::size_t injected_total = 0;
+
+  for (std::size_t idx : indices) {
+    const trace::ProgramSample& sample = dataset_->samples().at(idx);
+    if (!sample.malware()) continue;
+    ++result.malware_tested;
+
+    EvasionConfig cfg = evasion_config_;
+    cfg.seed = evasion_config_.seed ^ (0x9E3779B97F4A7C15ULL * (idx + 1));
+    const EvasionAttack attack(cfg);
+    const std::vector<trace::Instruction> original = dataset_->trace_of(idx);
+    EvasionResult evasive = attack.craft(original, proxy, proxy_configs);
+    if (!evasive.proxy_evaded) continue;
+    ++result.proxy_evaded;
+    injected_total += evasive.injected;
+
+    // Ship the evasive sample: the victim re-classifies it every round for
+    // as long as it executes; one flagged round is a detection.
+    const trace::FeatureSet features =
+        trace::extract_feature_set(evasive.trace, dataset_->config().periods);
+    bool detected = false;
+    for (int round = 0; round < detection_rounds_ && !detected; ++round) {
+      detected = victim.detect(features);
+    }
+    if (!detected) ++result.transferred;
+  }
+
+  if (result.proxy_evaded > 0) result.mean_injected = injected_total / result.proxy_evaded;
+  return result;
+}
+
+}  // namespace shmd::attack

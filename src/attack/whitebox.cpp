@@ -1,0 +1,110 @@
+#include "attack/whitebox.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace shmd::attack {
+
+WhiteBoxFeatureAttack::WhiteBoxFeatureAttack(WhiteBoxConfig config) : config_(config) {
+  if (config_.gradient_samples < 1 || config_.verify_samples < 1) {
+    throw std::invalid_argument("WhiteBoxFeatureAttack: sample counts must be >= 1");
+  }
+  if (config_.max_steps < 1) {
+    throw std::invalid_argument("WhiteBoxFeatureAttack: max_steps must be >= 1");
+  }
+  if (config_.epsilon <= 0.0 || config_.step <= 0.0) {
+    throw std::invalid_argument("WhiteBoxFeatureAttack: epsilon/step must be positive");
+  }
+}
+
+std::vector<double> WhiteBoxFeatureAttack::project_simplex(std::span<const double> x) {
+  // Euclidean projection (Held et al.): sort descending, find the largest
+  // k with u_k + (1 - sum_{i<=k} u_i)/k > 0, shift and clip.
+  std::vector<double> u(x.begin(), x.end());
+  std::sort(u.begin(), u.end(), std::greater<>());
+  double cumulative = 0.0;
+  double theta = 0.0;
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    cumulative += u[i];
+    const double candidate = (cumulative - 1.0) / static_cast<double>(i + 1);
+    if (u[i] - candidate > 0.0) {
+      theta = candidate;
+      k = i + 1;
+    }
+  }
+  if (k == 0) {
+    // Degenerate input: fall back to the uniform point.
+    return std::vector<double>(x.size(), 1.0 / static_cast<double>(x.size()));
+  }
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::max(0.0, x[i] - theta);
+  }
+  return out;
+}
+
+WhiteBoxResult WhiteBoxFeatureAttack::attack(QueryFn query, std::span<const double> x0) const {
+  if (x0.empty()) throw std::invalid_argument("WhiteBoxFeatureAttack: empty input");
+
+  WhiteBoxResult result;
+  result.adversarial.assign(x0.begin(), x0.end());
+  std::vector<double> x(x0.begin(), x0.end());
+
+  const auto averaged_query = [&](std::span<const double> point, int samples) {
+    double sum = 0.0;
+    for (int s = 0; s < samples; ++s) sum += query(point);
+    result.queries += static_cast<std::size_t>(samples);
+    return sum / static_cast<double>(samples);
+  };
+  const auto l1_from_origin = [&](const std::vector<double>& point) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < point.size(); ++i) d += std::abs(point[i] - x0[i]);
+    return d;
+  };
+
+  std::vector<double> gradient(x.size());
+  std::vector<double> probe(x.size());
+  for (int step_idx = 0; step_idx < config_.max_steps; ++step_idx) {
+    result.steps = step_idx + 1;
+
+    // Success check on the averaged live score.
+    const double score = averaged_query(x, config_.verify_samples);
+    result.final_score = score;
+    if (score < config_.target_score) {
+      result.evaded = true;
+      break;
+    }
+
+    // Finite-difference gradient estimate over live queries.
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      probe = x;
+      probe[i] = x[i] + config_.epsilon;
+      const double up = averaged_query(probe, config_.gradient_samples);
+      probe[i] = x[i] - config_.epsilon;
+      const double down = averaged_query(probe, config_.gradient_samples);
+      gradient[i] = (up - down) / (2.0 * config_.epsilon);
+    }
+
+    // Descend and project back onto the simplex; enforce the L1 budget by
+    // backtracking toward the origin point when exceeded.
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] -= config_.step * gradient[i];
+    x = project_simplex(x);
+    double distance = l1_from_origin(x);
+    if (distance > config_.max_l1_distance) {
+      const double blend = config_.max_l1_distance / distance;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = x0[i] + blend * (x[i] - x0[i]);
+      }
+      x = project_simplex(x);
+      distance = l1_from_origin(x);
+    }
+    result.adversarial = x;
+    result.l1_distance = distance;
+  }
+  return result;
+}
+
+}  // namespace shmd::attack

@@ -1,0 +1,74 @@
+// White-box feature-space attack: §I claim (ii) made testable.
+//
+// "These non-deterministic variations of the model lead to ... (ii) a
+//  stochastic gradient over the input, which makes the estimation of the
+//  gradient direction challenging for the adversary."
+//
+// This attacker is strictly stronger than the paper's black-box pipeline:
+// it works directly in feature space (no instruction-realization
+// constraint except the frequency simplex), and estimates the victim's
+// gradient by finite differences over LIVE queries. Against a
+// deterministic victim the estimate is exact; against a Stochastic-HMD
+// every probe is a fresh noise sample, so the attacker must average
+// `gradient_samples` queries per probe — and still descends a blurred
+// landscape. The bench sweeping `gradient_samples` quantifies exactly how
+// much query volume the undervolting noise extorts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace shmd::attack {
+
+struct WhiteBoxConfig {
+  /// Live queries averaged per probe point during gradient estimation.
+  int gradient_samples = 1;
+  /// Finite-difference probe radius.
+  double epsilon = 0.02;
+  /// Gradient-descent step size.
+  double step = 0.15;
+  int max_steps = 60;
+  /// Success requires the (averaged) live score below this.
+  double target_score = 0.45;
+  /// Live queries averaged for the success check.
+  int verify_samples = 5;
+  /// Movement budget: L1 distance from the original feature point (the
+  /// feature-space analogue of the injection budget).
+  double max_l1_distance = 0.8;
+  std::uint64_t seed = 0x3B17E0ULL;
+};
+
+struct WhiteBoxResult {
+  bool evaded = false;
+  std::vector<double> adversarial;  ///< final feature point
+  std::size_t queries = 0;          ///< live victim queries consumed
+  int steps = 0;
+  double final_score = 1.0;
+  double l1_distance = 0.0;
+};
+
+class WhiteBoxFeatureAttack {
+ public:
+  /// `query` returns one LIVE victim score for a feature vector (a fresh
+  /// noise sample each call for stochastic victims).
+  using QueryFn = std::function<double(std::span<const double>)>;
+
+  explicit WhiteBoxFeatureAttack(WhiteBoxConfig config = {});
+
+  /// Drive `x0` (a point on the probability simplex, e.g. an
+  /// instruction-category frequency vector) toward the benign side of the
+  /// victim's boundary by estimated-gradient descent, projecting every
+  /// iterate back onto the simplex.
+  [[nodiscard]] WhiteBoxResult attack(QueryFn query, std::span<const double> x0) const;
+
+  /// Euclidean projection onto the probability simplex
+  /// {x : x_i >= 0, sum x_i = 1}. Exposed for tests.
+  [[nodiscard]] static std::vector<double> project_simplex(std::span<const double> x);
+
+ private:
+  WhiteBoxConfig config_;
+};
+
+}  // namespace shmd::attack

@@ -1,0 +1,68 @@
+#include "eval/data_adapter.hpp"
+
+#include <stdexcept>
+
+namespace shmd::eval {
+
+std::vector<nn::TrainSample> window_samples(const trace::Dataset& dataset,
+                                            std::span<const std::size_t> indices,
+                                            trace::FeatureConfig config) {
+  std::vector<nn::TrainSample> out;
+  for (std::size_t idx : indices) {
+    const trace::ProgramSample& sample = dataset.samples().at(idx);
+    const double label = sample.malware() ? 1.0 : 0.0;
+    for (const std::vector<double>& window : sample.features.windows(config)) {
+      out.push_back(nn::TrainSample{window, label});
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> concat_views(
+    std::span<const std::vector<std::vector<double>>> per_view_windows) {
+  if (per_view_windows.empty()) return {};
+  const std::size_t n_windows = per_view_windows.front().size();
+  for (const auto& view : per_view_windows) {
+    if (view.size() != n_windows) {
+      throw std::invalid_argument("concat_views: window-count mismatch across views");
+    }
+  }
+  std::vector<std::vector<double>> out(n_windows);
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    for (const auto& view : per_view_windows) {
+      out[w].insert(out[w].end(), view[w].begin(), view[w].end());
+    }
+  }
+  return out;
+}
+
+std::vector<nn::TrainSample> window_samples_multiview(
+    const trace::Dataset& dataset, std::span<const std::size_t> indices,
+    std::span<const trace::FeatureConfig> configs) {
+  if (configs.empty()) throw std::invalid_argument("window_samples_multiview: no views");
+  for (const auto& c : configs) {
+    if (c.period != configs.front().period) {
+      throw std::invalid_argument("window_samples_multiview: views must share one period");
+    }
+  }
+  std::vector<nn::TrainSample> out;
+  for (std::size_t idx : indices) {
+    const trace::ProgramSample& sample = dataset.samples().at(idx);
+    const double label = sample.malware() ? 1.0 : 0.0;
+    std::vector<std::vector<std::vector<double>>> per_view;
+    per_view.reserve(configs.size());
+    for (const auto& c : configs) per_view.push_back(sample.features.windows(c));
+    for (auto& window : concat_views(per_view)) {
+      out.push_back(nn::TrainSample{std::move(window), label});
+    }
+  }
+  return out;
+}
+
+std::size_t multiview_dim(std::span<const trace::FeatureConfig> configs) {
+  std::size_t dim = 0;
+  for (const auto& c : configs) dim += trace::view_dim(c.view);
+  return dim;
+}
+
+}  // namespace shmd::eval

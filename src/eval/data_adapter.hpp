@@ -1,0 +1,38 @@
+// Adapters from the trace-level Dataset to classifier training samples.
+//
+// Detectors are *window* classifiers: every window of a program inherits
+// the program's label (the standard HMD training setup). The multi-view
+// adapter concatenates several views of the same window — used when the
+// attacker reverse-engineers an RHMD "using all the feature vectors used
+// in the construction" (§VII.C).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/trainer.hpp"
+#include "trace/dataset.hpp"
+
+namespace shmd::eval {
+
+/// One TrainSample per window of each program in `indices`, using the
+/// features of `config`. Label: 1 for malware programs.
+[[nodiscard]] std::vector<nn::TrainSample> window_samples(
+    const trace::Dataset& dataset, std::span<const std::size_t> indices,
+    trace::FeatureConfig config);
+
+/// Multi-view variant: for each window index, the feature vectors of all
+/// `configs` (which must share one period) are concatenated.
+[[nodiscard]] std::vector<nn::TrainSample> window_samples_multiview(
+    const trace::Dataset& dataset, std::span<const std::size_t> indices,
+    std::span<const trace::FeatureConfig> configs);
+
+/// Concatenate several views of the same window list (helper shared with
+/// the attack layer when it re-extracts features from mutated traces).
+[[nodiscard]] std::vector<std::vector<double>> concat_views(
+    std::span<const std::vector<std::vector<double>>> per_view_windows);
+
+/// Total input dimension of a multi-view concatenation.
+[[nodiscard]] std::size_t multiview_dim(std::span<const trace::FeatureConfig> configs);
+
+}  // namespace shmd::eval

@@ -1,0 +1,99 @@
+#include "eval/dataset_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "trace/families.hpp"
+
+namespace shmd::eval {
+
+void export_windows_csv(const trace::Dataset& dataset,
+                        std::span<const std::size_t> indices, trace::FeatureConfig config,
+                        std::ostream& os) {
+  const std::size_t dim = trace::view_dim(config.view);
+  os << "program_id,family,label";
+  for (std::size_t f = 0; f < dim; ++f) os << ",f" << f;
+  os << '\n';
+  os.precision(17);
+  for (std::size_t idx : indices) {
+    const trace::ProgramSample& sample = dataset.samples().at(idx);
+    for (const std::vector<double>& window : sample.features.windows(config)) {
+      os << sample.program.id() << ',' << trace::family_name(sample.program.family()) << ','
+         << (sample.malware() ? 1 : 0);
+      for (double x : window) os << ',' << x;
+      os << '\n';
+    }
+  }
+  if (!os) throw std::runtime_error("export_windows_csv: stream write failed");
+}
+
+std::vector<ImportedWindow> import_windows_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) throw std::runtime_error("import_windows_csv: empty input");
+  if (line.rfind("program_id,family,label", 0) != 0) {
+    throw std::runtime_error("import_windows_csv: unexpected header");
+  }
+  // Feature dimensionality from the header: columns named f<digits>.
+  std::size_t dim = 0;
+  {
+    std::istringstream header(line);
+    std::string column;
+    while (std::getline(header, column, ',')) {
+      if (column.size() >= 2 && column[0] == 'f' &&
+          column.find_first_not_of("0123456789", 1) == std::string::npos) {
+        ++dim;
+      }
+    }
+  }
+  if (dim == 0) throw std::runtime_error("import_windows_csv: no feature columns");
+
+  std::vector<ImportedWindow> out;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    ImportedWindow window;
+
+    if (!std::getline(row, cell, ',')) {
+      throw std::runtime_error("import_windows_csv: missing program_id on line " +
+                               std::to_string(line_no));
+    }
+    window.program_id = static_cast<std::uint32_t>(std::stoul(cell));
+    if (!std::getline(row, window.family, ',')) {
+      throw std::runtime_error("import_windows_csv: missing family on line " +
+                               std::to_string(line_no));
+    }
+    if (!std::getline(row, cell, ',')) {
+      throw std::runtime_error("import_windows_csv: missing label on line " +
+                               std::to_string(line_no));
+    }
+    window.sample.y = std::stod(cell);
+    if (window.sample.y != 0.0 && window.sample.y != 1.0) {
+      throw std::runtime_error("import_windows_csv: label must be 0 or 1 on line " +
+                               std::to_string(line_no));
+    }
+    window.sample.x.reserve(dim);
+    while (std::getline(row, cell, ',')) window.sample.x.push_back(std::stod(cell));
+    if (window.sample.x.size() != dim) {
+      throw std::runtime_error("import_windows_csv: expected " + std::to_string(dim) +
+                               " features on line " + std::to_string(line_no) + ", got " +
+                               std::to_string(window.sample.x.size()));
+    }
+    out.push_back(std::move(window));
+  }
+  return out;
+}
+
+std::vector<nn::TrainSample> to_train_samples(std::vector<ImportedWindow> windows) {
+  std::vector<nn::TrainSample> out;
+  out.reserve(windows.size());
+  for (ImportedWindow& w : windows) out.push_back(std::move(w.sample));
+  return out;
+}
+
+}  // namespace shmd::eval

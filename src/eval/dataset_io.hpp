@@ -1,0 +1,41 @@
+// Dataset interchange: CSV export/import of window features.
+//
+// Lets the synthetic corpus leave the C++ world (scikit-learn baselines,
+// plotting) and external window datasets come in (e.g., features extracted
+// from a real Pin deployment) so detectors can be trained on them through
+// the same pipeline.
+//
+// Format: header `program_id,family,label,f0,...,fN`, one row per window.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/trainer.hpp"
+#include "trace/dataset.hpp"
+
+namespace shmd::eval {
+
+/// Export every window of `config` for the samples in `indices`.
+void export_windows_csv(const trace::Dataset& dataset,
+                        std::span<const std::size_t> indices, trace::FeatureConfig config,
+                        std::ostream& os);
+
+/// Row as imported: the training sample plus its provenance columns.
+struct ImportedWindow {
+  std::uint32_t program_id = 0;
+  std::string family;
+  nn::TrainSample sample;
+};
+
+/// Parse a CSV produced by export_windows_csv (or hand-built to the same
+/// schema). Throws std::runtime_error on malformed input; all rows must
+/// have the same feature dimensionality.
+[[nodiscard]] std::vector<ImportedWindow> import_windows_csv(std::istream& is);
+
+/// Convenience: strip provenance, keep the training samples.
+[[nodiscard]] std::vector<nn::TrainSample> to_train_samples(
+    std::vector<ImportedWindow> windows);
+
+}  // namespace shmd::eval

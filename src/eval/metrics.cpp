@@ -1,0 +1,38 @@
+#include "eval/metrics.hpp"
+
+namespace shmd::eval {
+
+void ConfusionMatrix::add(bool actual_malware, bool flagged) noexcept {
+  if (actual_malware) {
+    flagged ? ++tp_ : ++fn_;
+  } else {
+    flagged ? ++fp_ : ++tn_;
+  }
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) noexcept {
+  tp_ += other.tp_;
+  fp_ += other.fp_;
+  tn_ += other.tn_;
+  fn_ += other.fn_;
+}
+
+namespace {
+double ratio(std::uint64_t num, std::uint64_t den) noexcept {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+double ConfusionMatrix::accuracy() const noexcept { return ratio(tp_ + tn_, total()); }
+double ConfusionMatrix::fpr() const noexcept { return ratio(fp_, fp_ + tn_); }
+double ConfusionMatrix::fnr() const noexcept { return ratio(fn_, fn_ + tp_); }
+double ConfusionMatrix::precision() const noexcept { return ratio(tp_, tp_ + fp_); }
+double ConfusionMatrix::recall() const noexcept { return ratio(tp_, tp_ + fn_); }
+
+double ConfusionMatrix::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+}  // namespace shmd::eval

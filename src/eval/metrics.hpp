@@ -1,0 +1,40 @@
+// Binary-detection metrics: the quantities every figure in the paper's
+// evaluation reports (accuracy, FPR, FNR in Fig. 2a/6/8; detection and
+// evasion rates in Figs. 4/5).
+#pragma once
+
+#include <cstdint>
+
+namespace shmd::eval {
+
+class ConfusionMatrix {
+ public:
+  /// Record one decision. `actual_malware` is ground truth; `flagged` is
+  /// the detector's verdict.
+  void add(bool actual_malware, bool flagged) noexcept;
+  void merge(const ConfusionMatrix& other) noexcept;
+  void reset() noexcept { *this = ConfusionMatrix{}; }
+
+  [[nodiscard]] std::uint64_t tp() const noexcept { return tp_; }
+  [[nodiscard]] std::uint64_t fp() const noexcept { return fp_; }
+  [[nodiscard]] std::uint64_t tn() const noexcept { return tn_; }
+  [[nodiscard]] std::uint64_t fn() const noexcept { return fn_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return tp_ + fp_ + tn_ + fn_; }
+
+  [[nodiscard]] double accuracy() const noexcept;
+  /// False positive rate: benign flagged as malware.
+  [[nodiscard]] double fpr() const noexcept;
+  /// False negative rate: malware that slipped through.
+  [[nodiscard]] double fnr() const noexcept;
+  [[nodiscard]] double precision() const noexcept;
+  [[nodiscard]] double recall() const noexcept;
+  [[nodiscard]] double f1() const noexcept;
+
+ private:
+  std::uint64_t tp_ = 0;
+  std::uint64_t fp_ = 0;
+  std::uint64_t tn_ = 0;
+  std::uint64_t fn_ = 0;
+};
+
+}  // namespace shmd::eval

@@ -1,0 +1,70 @@
+#include "eval/roc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace shmd::eval {
+
+std::vector<RocPoint> roc_curve(std::span<const ScoredSample> samples) {
+  std::size_t positives = 0;
+  std::size_t negatives = 0;
+  for (const ScoredSample& s : samples) {
+    ++(s.positive ? positives : negatives);
+  }
+  if (positives == 0 || negatives == 0) {
+    throw std::invalid_argument("roc_curve: need both positive and negative samples");
+  }
+
+  std::vector<ScoredSample> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScoredSample& a, const ScoredSample& b) { return a.score < b.score; });
+
+  std::vector<RocPoint> curve;
+  curve.reserve(sorted.size() + 2);
+  // Threshold below every score: everything flagged.
+  curve.push_back(RocPoint{sorted.front().score - 1.0, 1.0, 1.0});
+
+  // Walking the sorted scores upward, samples below the threshold stop
+  // being flagged.
+  std::size_t tp = positives;
+  std::size_t fp = negatives;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const double threshold = sorted[i].score;
+    // Remove every sample strictly below the next distinct threshold.
+    while (i < sorted.size() && sorted[i].score == threshold) {
+      --(sorted[i].positive ? tp : fp);
+      ++i;
+    }
+    const double next_threshold =
+        i < sorted.size() ? sorted[i].score : sorted.back().score + 1.0;
+    curve.push_back(RocPoint{next_threshold,
+                             static_cast<double>(tp) / static_cast<double>(positives),
+                             static_cast<double>(fp) / static_cast<double>(negatives)});
+  }
+  return curve;
+}
+
+double auc(std::span<const RocPoint> curve) {
+  if (curve.size() < 2) throw std::invalid_argument("auc: curve too short");
+  // Points run from (1,1) down to (0,0); integrate TPR over FPR.
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx = curve[i - 1].fpr - curve[i].fpr;
+    area += dx * 0.5 * (curve[i - 1].tpr + curve[i].tpr);
+  }
+  return area;
+}
+
+double auc(std::span<const ScoredSample> samples) { return auc(roc_curve(samples)); }
+
+RocPoint best_youden(std::span<const RocPoint> curve) {
+  if (curve.empty()) throw std::invalid_argument("best_youden: empty curve");
+  RocPoint best = curve.front();
+  for (const RocPoint& p : curve) {
+    if (p.tpr - p.fpr > best.tpr - best.fpr) best = p;
+  }
+  return best;
+}
+
+}  // namespace shmd::eval

@@ -1,0 +1,42 @@
+// ROC analysis: threshold-independent detector comparison.
+//
+// The paper reports accuracy/FPR/FNR at the 0.5 operating point; ROC/AUC
+// answers the deployment question behind Fig. 2(a)'s trade-off — how much
+// *ranking* quality the undervolting noise costs, independent of where the
+// alarm threshold is later placed (cf. the AlarmPolicy layer).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace shmd::eval {
+
+/// One labeled score: the detector's output for a sample whose ground
+/// truth is `positive` (malware).
+struct ScoredSample {
+  double score = 0.0;
+  bool positive = false;
+};
+
+struct RocPoint {
+  double threshold = 0.0;
+  double tpr = 0.0;  ///< true-positive rate at score >= threshold
+  double fpr = 0.0;  ///< false-positive rate at score >= threshold
+};
+
+/// Full ROC curve: one point per distinct score threshold, ordered from
+/// the most permissive (threshold below every score: TPR=FPR=1) to the
+/// strictest (TPR=FPR=0). Requires at least one positive and one negative.
+[[nodiscard]] std::vector<RocPoint> roc_curve(std::span<const ScoredSample> samples);
+
+/// Area under the ROC curve (trapezoidal). 0.5 = chance, 1.0 = perfect.
+[[nodiscard]] double auc(std::span<const RocPoint> curve);
+
+/// Convenience: AUC straight from labeled scores.
+[[nodiscard]] double auc(std::span<const ScoredSample> samples);
+
+/// The threshold whose (TPR - FPR) is maximal (Youden's J) — a principled
+/// default operating point when 0.5 is not calibrated.
+[[nodiscard]] RocPoint best_youden(std::span<const RocPoint> curve);
+
+}  // namespace shmd::eval

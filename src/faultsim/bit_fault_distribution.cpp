@@ -1,0 +1,63 @@
+#include "faultsim/bit_fault_distribution.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace shmd::faultsim {
+
+BitFaultDistribution BitFaultDistribution::measured(double center_bit, double sigma_bits) {
+  if (sigma_bits <= 0.0) throw std::invalid_argument("measured: sigma must be positive");
+  BitFaultDistribution d;
+  for (int b = 0; b < kBits; ++b) {
+    if (!eligible(b)) continue;
+    const double z = (static_cast<double>(b) - center_bit) / sigma_bits;
+    d.pmf_[static_cast<std::size_t>(b)] = std::exp(-0.5 * z * z);
+  }
+  d.build_cdf();
+  return d;
+}
+
+BitFaultDistribution BitFaultDistribution::uniform() {
+  BitFaultDistribution d;
+  for (int b = 0; b < kBits; ++b) {
+    if (eligible(b)) d.pmf_[static_cast<std::size_t>(b)] = 1.0;
+  }
+  d.build_cdf();
+  return d;
+}
+
+BitFaultDistribution BitFaultDistribution::stuck_at(int bit) {
+  if (!eligible(bit)) throw std::invalid_argument("stuck_at: bit is protected");
+  BitFaultDistribution d;
+  d.pmf_[static_cast<std::size_t>(bit)] = 1.0;
+  d.build_cdf();
+  return d;
+}
+
+void BitFaultDistribution::build_cdf() {
+  double total = 0.0;
+  for (double p : pmf_) total += p;
+  if (total <= 0.0) throw std::logic_error("BitFaultDistribution: empty support");
+  double acc = 0.0;
+  for (int b = 0; b < kBits; ++b) {
+    pmf_[static_cast<std::size_t>(b)] /= total;
+    acc += pmf_[static_cast<std::size_t>(b)];
+    cdf_[static_cast<std::size_t>(b)] = acc;
+  }
+  cdf_[kBits - 1] = 1.0;  // guard against rounding drift
+}
+
+double BitFaultDistribution::pmf(int bit) const {
+  if (bit < 0 || bit >= kBits) throw std::out_of_range("pmf: bit out of range");
+  return pmf_[static_cast<std::size_t>(bit)];
+}
+
+int BitFaultDistribution::sample(rng::Xoshiro256ss& gen) const {
+  const double u = gen.uniform01();
+  for (int b = 0; b < kBits; ++b) {
+    if (u < cdf_[static_cast<std::size_t>(b)]) return b;
+  }
+  return kBits - 2;  // unreachable given cdf_[63] == 1, but keeps the type total
+}
+
+}  // namespace shmd::faultsim

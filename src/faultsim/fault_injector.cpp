@@ -1,0 +1,50 @@
+#include "faultsim/fault_injector.hpp"
+
+#include <stdexcept>
+
+#include "faultsim/fixed_point.hpp"
+
+namespace shmd::faultsim {
+
+double FaultStats::bit_error_rate(int bit) const {
+  if (bit < 0 || bit >= BitFaultDistribution::kBits) {
+    throw std::out_of_range("bit_error_rate: bit out of range");
+  }
+  if (operations == 0) return 0.0;
+  return static_cast<double>(bit_flips[static_cast<std::size_t>(bit)]) /
+         static_cast<double>(operations);
+}
+
+FaultInjector::FaultInjector(double error_rate, BitFaultDistribution distribution,
+                             std::uint64_t seed)
+    : error_rate_(0.0), distribution_(distribution), gen_(seed) {
+  set_error_rate(error_rate);
+}
+
+void FaultInjector::set_error_rate(double er) {
+  if (er < 0.0 || er > 1.0) throw std::invalid_argument("error rate must be in [0, 1]");
+  error_rate_ = er;
+}
+
+std::uint64_t FaultInjector::corrupt_u64(std::uint64_t product) {
+  ++stats_.operations;
+  if (!gen_.bernoulli(error_rate_)) return product;
+  const int bit = distribution_.sample(gen_);
+  ++stats_.faults;
+  ++stats_.bit_flips[static_cast<std::size_t>(bit)];
+  return product ^ (std::uint64_t{1} << bit);
+}
+
+double FaultInjector::corrupt_product(double product) {
+  ++stats_.operations;
+  if (!gen_.bernoulli(error_rate_)) return product;
+  const int bit = distribution_.sample(gen_);
+  ++stats_.faults;
+  ++stats_.bit_flips[static_cast<std::size_t>(bit)];
+  const std::int64_t q = to_q(product);
+  const auto flipped = static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(q) ^ (std::uint64_t{1} << bit));
+  return from_q(flipped);
+}
+
+}  // namespace shmd::faultsim

@@ -1,0 +1,79 @@
+// FaultInjector: the paper's "stochastic fault injection tool" (§VI.A).
+//
+// "...we built a stochastic fault injection tool that emulates timing
+//  violations at the output of arithmetic operations, based on the error
+//  distribution model detailed earlier in Section II. Practically, the tool
+//  injects timing violation errors that follow the distribution that
+//  matches the undervolting level."
+//
+// The injector owns: the per-operation fault probability (the paper's
+// "error rate", er), the bit-location distribution (Fig. 1 shape), and its
+// own RNG stream. It exposes corruption hooks for raw 64-bit multiplier
+// outputs (characterization experiments) and for real-valued MAC products
+// (detector inference), plus per-bit statistics for regenerating Fig. 1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "faultsim/bit_fault_distribution.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::faultsim {
+
+/// Per-bit and aggregate fault statistics (drives Fig. 1).
+struct FaultStats {
+  std::uint64_t operations = 0;  ///< corruption opportunities seen
+  std::uint64_t faults = 0;      ///< operations that actually faulted
+  std::array<std::uint64_t, BitFaultDistribution::kBits> bit_flips{};
+
+  [[nodiscard]] double fault_rate() const noexcept {
+    return operations == 0 ? 0.0 : static_cast<double>(faults) / static_cast<double>(operations);
+  }
+  /// Per-bit error rate: fraction of *operations* whose output had this
+  /// bit flipped (the y-axis of Fig. 1).
+  [[nodiscard]] double bit_error_rate(int bit) const;
+  void reset() noexcept { *this = FaultStats{}; }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(double error_rate, BitFaultDistribution distribution,
+                std::uint64_t seed = 0xFA017ULL);
+
+  /// Per-operation fault probability in [0, 1] — the paper's er knob.
+  void set_error_rate(double er);
+  [[nodiscard]] double error_rate() const noexcept { return error_rate_; }
+
+  void set_distribution(BitFaultDistribution distribution) noexcept {
+    distribution_ = distribution;
+  }
+  [[nodiscard]] const BitFaultDistribution& distribution() const noexcept {
+    return distribution_;
+  }
+
+  /// Corrupt a raw 64-bit multiplier output: with probability er, flip one
+  /// bit sampled from the location distribution. Used by the §II
+  /// characterization experiments.
+  [[nodiscard]] std::uint64_t corrupt_u64(std::uint64_t product);
+
+  /// Corrupt a real-valued MAC product through the Q16.47 lens: with
+  /// probability er, flip one eligible bit of the fixed-point image and
+  /// convert back. Used by the Stochastic-HMD inference path.
+  [[nodiscard]] double corrupt_product(double product);
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+  /// Direct access to the injector's RNG stream (tests use this to verify
+  /// stream independence; nothing else should).
+  [[nodiscard]] rng::Xoshiro256ss& generator() noexcept { return gen_; }
+
+ private:
+  double error_rate_;
+  BitFaultDistribution distribution_;
+  rng::Xoshiro256ss gen_;
+  FaultStats stats_;
+};
+
+}  // namespace shmd::faultsim

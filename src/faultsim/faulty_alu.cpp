@@ -1,0 +1,45 @@
+#include "faultsim/faulty_alu.hpp"
+
+namespace shmd::faultsim {
+
+std::uint64_t FaultyAlu::mul(std::uint64_t a, std::uint64_t b) {
+  ++mul_count_;
+  const std::uint64_t exact = a * b;
+  if (operand_prob_) {
+    // Operand-dependent criticality: swap in the per-operand probability
+    // for this one corruption, then restore the flat rate.
+    const double flat = injector_->error_rate();
+    injector_->set_error_rate(operand_prob_(a, b));
+    const std::uint64_t result = injector_->corrupt_u64(exact);
+    injector_->set_error_rate(flat);
+    return result;
+  }
+  return injector_->corrupt_u64(exact);
+}
+
+std::uint64_t FaultyAlu::add(std::uint64_t a, std::uint64_t b) noexcept {
+  ++nonmul_count_;
+  return a + b;
+}
+
+std::uint64_t FaultyAlu::sub(std::uint64_t a, std::uint64_t b) noexcept {
+  ++nonmul_count_;
+  return a - b;
+}
+
+std::uint64_t FaultyAlu::bit_and(std::uint64_t a, std::uint64_t b) noexcept {
+  ++nonmul_count_;
+  return a & b;
+}
+
+std::uint64_t FaultyAlu::bit_or(std::uint64_t a, std::uint64_t b) noexcept {
+  ++nonmul_count_;
+  return a | b;
+}
+
+std::uint64_t FaultyAlu::bit_xor(std::uint64_t a, std::uint64_t b) noexcept {
+  ++nonmul_count_;
+  return a ^ b;
+}
+
+}  // namespace shmd::faultsim

@@ -1,0 +1,51 @@
+// FaultyAlu: an ALU model with an undervolting-aware multiplier.
+//
+// Mirrors the paper's §II characterization setup: only *multiplications*
+// fault under undervolting ("we tried undervolting addition, subtraction,
+// and bit-wise operations, but no faults were observed" — simpler circuits,
+// shorter propagation delays). The per-operation fault probability can be
+// operand-dependent (the paper observes fault onset between −103 mV and
+// −145 mV "depending on inputs"): callers may install a probability
+// function, typically volt::VoltFaultModel::operand_fault_probability.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "faultsim/fault_injector.hpp"
+
+namespace shmd::faultsim {
+
+class FaultyAlu {
+ public:
+  /// Maps the two multiplier operands to a per-operation fault
+  /// probability. When empty, the injector's flat error rate applies.
+  using OperandProbabilityFn = std::function<double(std::uint64_t, std::uint64_t)>;
+
+  explicit FaultyAlu(FaultInjector& injector) : injector_(&injector) {}
+
+  void set_operand_probability(OperandProbabilityFn fn) { operand_prob_ = std::move(fn); }
+
+  /// Multiplication: subject to stochastic timing faults.
+  [[nodiscard]] std::uint64_t mul(std::uint64_t a, std::uint64_t b);
+
+  /// Addition/subtraction/bitwise: never fault under undervolting (§II);
+  /// still counted so op mixes can be reported.
+  [[nodiscard]] std::uint64_t add(std::uint64_t a, std::uint64_t b) noexcept;
+  [[nodiscard]] std::uint64_t sub(std::uint64_t a, std::uint64_t b) noexcept;
+  [[nodiscard]] std::uint64_t bit_and(std::uint64_t a, std::uint64_t b) noexcept;
+  [[nodiscard]] std::uint64_t bit_or(std::uint64_t a, std::uint64_t b) noexcept;
+  [[nodiscard]] std::uint64_t bit_xor(std::uint64_t a, std::uint64_t b) noexcept;
+
+  [[nodiscard]] std::uint64_t mul_count() const noexcept { return mul_count_; }
+  [[nodiscard]] std::uint64_t nonmul_count() const noexcept { return nonmul_count_; }
+  [[nodiscard]] const FaultStats& stats() const noexcept { return injector_->stats(); }
+
+ private:
+  FaultInjector* injector_;
+  OperandProbabilityFn operand_prob_;
+  std::uint64_t mul_count_ = 0;
+  std::uint64_t nonmul_count_ = 0;
+};
+
+}  // namespace shmd::faultsim

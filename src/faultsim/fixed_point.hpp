@@ -1,0 +1,52 @@
+// Q16.47 fixed-point view of MAC products.
+//
+// §II of the paper characterizes timing faults on the CPU's *integer
+// multiplier*: bit flips land in the middle/high bits of the 64-bit
+// product, never in the sign bit (a trivial XOR, off the critical path) and
+// never in the 8 least significant bits (short carry chains). To apply the
+// same physical model to the detector's floating-point MACs, we view each
+// product through a signed Q16.47 fixed-point lens: bit k carries weight
+// 2^(k-47), bit 63 is the sign. A flip of an eligible bit then perturbs the
+// product by exactly the weight of that bit — the same significance
+// structure the real multiplier exhibits.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace shmd::faultsim {
+
+/// Number of fractional bits in the product representation.
+inline constexpr int kFracBits = 47;
+/// Sign bit position (never flips; see §II).
+inline constexpr int kSignBit = 63;
+/// Number of protected least-significant bits (never flip; see §II).
+inline constexpr int kProtectedLsbs = 8;
+
+/// Largest magnitude representable in Q16.47.
+inline constexpr double kQMax = 65536.0;  // 2^16
+
+/// Convert a real value to Q16.47 with saturation.
+[[nodiscard]] constexpr std::int64_t to_q(double x) noexcept {
+  constexpr double scale = 140737488355328.0;  // 2^47
+  if (x >= kQMax) return std::numeric_limits<std::int64_t>::max();
+  if (x <= -kQMax) return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(x * scale);
+}
+
+/// Convert Q16.47 back to a real value.
+[[nodiscard]] constexpr double from_q(std::int64_t q) noexcept {
+  constexpr double inv_scale = 1.0 / 140737488355328.0;  // 2^-47
+  return static_cast<double>(q) * inv_scale;
+}
+
+/// Weight (real-value magnitude) of flipping bit `bit` in Q16.47.
+[[nodiscard]] constexpr double bit_weight(int bit) noexcept {
+  double w = 1.0;
+  int d = bit - kFracBits;
+  for (; d > 0; --d) w *= 2.0;
+  for (; d < 0; ++d) w *= 0.5;
+  return w;
+}
+
+}  // namespace shmd::faultsim

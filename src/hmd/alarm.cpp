@@ -1,0 +1,45 @@
+#include "hmd/alarm.hpp"
+
+namespace shmd::hmd {
+
+AlarmPolicy::AlarmPolicy(AlarmPolicyConfig config) : config_(config) {
+  if (config_.window == 0) throw std::invalid_argument("AlarmPolicy: window must be > 0");
+  if (config_.threshold == 0 || config_.threshold > config_.window) {
+    throw std::invalid_argument("AlarmPolicy: threshold must be in [1, window]");
+  }
+}
+
+bool AlarmPolicy::observe(bool flagged) {
+  ++rounds_;
+  history_.push_back(flagged);
+  flagged_in_window_ += flagged;
+  if (history_.size() > config_.window) {
+    flagged_in_window_ -= history_.front();
+    history_.pop_front();
+  }
+
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return false;
+  }
+  if (flagged_in_window_ >= config_.threshold) {
+    ++alarms_;
+    cooldown_left_ = config_.cooldown;
+    // Restart evidence collection after an alarm: stale rounds should not
+    // immediately re-trigger once the cooldown expires.
+    history_.clear();
+    flagged_in_window_ = 0;
+    return true;
+  }
+  return false;
+}
+
+void AlarmPolicy::reset() {
+  history_.clear();
+  flagged_in_window_ = 0;
+  cooldown_left_ = 0;
+  alarms_ = 0;
+  rounds_ = 0;
+}
+
+}  // namespace shmd::hmd

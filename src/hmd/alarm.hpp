@@ -1,0 +1,53 @@
+// AlarmPolicy: turning per-round verdicts into operational alarms.
+//
+// The monitoring-horizon ablation shows the raw trade-off of an always-on
+// stochastic detector: evasive malware is eventually caught because every
+// round re-rolls the boundary, but benign false alarms accumulate over the
+// same horizon. Deployments therefore do not page on a single flagged
+// round — they require N flagged rounds within a sliding window of M
+// (debouncing the stochastic flicker on benign programs while still
+// accumulating evidence against borderline evasive samples), and apply a
+// cooldown after each alarm.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+
+namespace shmd::hmd {
+
+struct AlarmPolicyConfig {
+  /// Raise an alarm when >= `threshold` of the last `window` rounds were
+  /// flagged.
+  std::size_t threshold = 3;
+  std::size_t window = 8;
+  /// Rounds to suppress further alarms after raising one.
+  std::size_t cooldown = 16;
+};
+
+class AlarmPolicy {
+ public:
+  explicit AlarmPolicy(AlarmPolicyConfig config = {});
+
+  /// Feed one detection-round verdict; returns true when an alarm fires
+  /// this round.
+  bool observe(bool flagged);
+
+  [[nodiscard]] std::size_t alarms_raised() const noexcept { return alarms_; }
+  [[nodiscard]] std::size_t rounds_observed() const noexcept { return rounds_; }
+  /// Flagged rounds currently inside the sliding window.
+  [[nodiscard]] std::size_t flagged_in_window() const noexcept { return flagged_in_window_; }
+  [[nodiscard]] bool in_cooldown() const noexcept { return cooldown_left_ > 0; }
+
+  void reset();
+
+ private:
+  AlarmPolicyConfig config_;
+  std::deque<bool> history_;
+  std::size_t flagged_in_window_ = 0;
+  std::size_t cooldown_left_ = 0;
+  std::size_t alarms_ = 0;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace shmd::hmd

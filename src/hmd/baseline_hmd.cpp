@@ -1,0 +1,21 @@
+#include "hmd/baseline_hmd.hpp"
+
+namespace shmd::hmd {
+
+BaselineHmd::BaselineHmd(nn::Network net, trace::FeatureConfig config)
+    : net_(std::move(net)), config_(config) {}
+
+std::vector<double> BaselineHmd::window_scores_nominal(
+    const trace::FeatureSet& features) const {
+  std::vector<double> scores;
+  for (const std::vector<double>& window : features.windows(config_)) {
+    scores.push_back(net_.forward(window)[0]);
+  }
+  return scores;
+}
+
+std::vector<double> BaselineHmd::window_scores(const trace::FeatureSet& features) {
+  return window_scores_nominal(features);  // deterministic detector
+}
+
+}  // namespace shmd::hmd

@@ -1,0 +1,33 @@
+// BaselineHmd: the undefended detector — one trained network, exact
+// arithmetic at nominal voltage. This is the victim the paper's attacks
+// reverse-engineer with 99% effectiveness and evade with 84% success.
+#pragma once
+
+#include "hmd/detector.hpp"
+#include "nn/network.hpp"
+
+namespace shmd::hmd {
+
+class BaselineHmd final : public Detector {
+ public:
+  BaselineHmd(nn::Network net, trace::FeatureConfig config);
+
+  [[nodiscard]] std::vector<double> window_scores(const trace::FeatureSet& features) override;
+
+  /// Score a single feature window (deterministic).
+  [[nodiscard]] double score_window(std::span<const double> window) const {
+    return net_.forward(window)[0];
+  }
+  [[nodiscard]] std::vector<double> window_scores_nominal(
+      const trace::FeatureSet& features) const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "baseline-hmd"; }
+
+  [[nodiscard]] const nn::Network& network() const noexcept { return net_; }
+  [[nodiscard]] trace::FeatureConfig feature_config() const noexcept { return config_; }
+
+ private:
+  nn::Network net_;
+  trace::FeatureConfig config_;
+};
+
+}  // namespace shmd::hmd

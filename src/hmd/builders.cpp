@@ -1,0 +1,35 @@
+#include "hmd/builders.hpp"
+
+namespace shmd::hmd {
+
+BaselineHmd make_baseline(const trace::Dataset& dataset,
+                          std::span<const std::size_t> train_indices,
+                          trace::FeatureConfig config, const HmdTrainOptions& options) {
+  return BaselineHmd(train_hmd_network(dataset, train_indices, config, options), config);
+}
+
+StochasticHmd make_stochastic(const trace::Dataset& dataset,
+                              std::span<const std::size_t> train_indices,
+                              trace::FeatureConfig config, double error_rate,
+                              const HmdTrainOptions& options) {
+  return StochasticHmd(train_hmd_network(dataset, train_indices, config, options), config,
+                       error_rate);
+}
+
+Rhmd make_rhmd(const trace::Dataset& dataset, std::span<const std::size_t> train_indices,
+               const RhmdConstruction& construction, const HmdTrainOptions& options,
+               std::uint64_t switch_seed) {
+  std::vector<Rhmd::Base> bases;
+  bases.reserve(construction.configs.size());
+  std::size_t base_idx = 0;
+  for (const trace::FeatureConfig& config : construction.configs) {
+    // Per-base seed offset: RHMD's strength comes from *diverse* base
+    // detectors, so each gets a distinct initialization.
+    HmdTrainOptions opt = options;
+    opt.seed = options.seed + 0x9E37 * (++base_idx);
+    bases.push_back(Rhmd::Base{config, train_hmd_network(dataset, train_indices, config, opt)});
+  }
+  return Rhmd(construction.name, std::move(bases), switch_seed);
+}
+
+}  // namespace shmd::hmd

@@ -1,0 +1,35 @@
+// Convenience builders: dataset folds → ready-to-run detectors.
+// Shared by the bench harnesses, the examples, and the integration tests.
+#pragma once
+
+#include <memory>
+
+#include "hmd/baseline_hmd.hpp"
+#include "hmd/rhmd.hpp"
+#include "hmd/stochastic_hmd.hpp"
+#include "hmd/train.hpp"
+
+namespace shmd::hmd {
+
+/// Train a baseline HMD on `train_indices`.
+[[nodiscard]] BaselineHmd make_baseline(const trace::Dataset& dataset,
+                                        std::span<const std::size_t> train_indices,
+                                        trace::FeatureConfig config,
+                                        const HmdTrainOptions& options = {});
+
+/// Train the underlying model once and wrap it as a Stochastic-HMD at
+/// `error_rate`. Per the paper, the model is exactly the baseline's — no
+/// retraining for the defense.
+[[nodiscard]] StochasticHmd make_stochastic(const trace::Dataset& dataset,
+                                            std::span<const std::size_t> train_indices,
+                                            trace::FeatureConfig config, double error_rate,
+                                            const HmdTrainOptions& options = {});
+
+/// Train every base detector of `construction` and assemble the RHMD.
+[[nodiscard]] Rhmd make_rhmd(const trace::Dataset& dataset,
+                             std::span<const std::size_t> train_indices,
+                             const RhmdConstruction& construction,
+                             const HmdTrainOptions& options = {},
+                             std::uint64_t switch_seed = 0x124D5ULL);
+
+}  // namespace shmd::hmd

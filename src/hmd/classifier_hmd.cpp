@@ -1,0 +1,26 @@
+#include "hmd/classifier_hmd.hpp"
+
+#include <stdexcept>
+
+namespace shmd::hmd {
+
+ClassifierHmd::ClassifierHmd(std::unique_ptr<nn::Classifier> model,
+                             trace::FeatureConfig config, std::string name)
+    : model_(std::move(model)), config_(config), name_(std::move(name)) {
+  if (!model_) throw std::invalid_argument("ClassifierHmd: null model");
+}
+
+std::vector<double> ClassifierHmd::window_scores_nominal(
+    const trace::FeatureSet& features) const {
+  std::vector<double> scores;
+  for (const std::vector<double>& window : features.windows(config_)) {
+    scores.push_back(model_->predict(window));
+  }
+  return scores;
+}
+
+std::vector<double> ClassifierHmd::window_scores(const trace::FeatureSet& features) {
+  return window_scores_nominal(features);  // deterministic model
+}
+
+}  // namespace shmd::hmd

@@ -1,0 +1,39 @@
+// ClassifierHmd: an HMD backed by any nn::Classifier.
+//
+// The paper's victims are FANN MLPs, but its related-work lineage includes
+// detectors built on non-differentiable models — ND-HMDs [14] use exactly
+// that as the defense ("DT for its non-differentiability", §VII.A, applies
+// to victims too). Wrapping the common Classifier interface lets decision
+// trees and logistic models serve as complete detectors, so the bench
+// suite can compare the paper's stochastic defense against the
+// non-differentiability defense on equal footing.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hmd/detector.hpp"
+#include "nn/classifier.hpp"
+
+namespace shmd::hmd {
+
+class ClassifierHmd final : public Detector {
+ public:
+  ClassifierHmd(std::unique_ptr<nn::Classifier> model, trace::FeatureConfig config,
+                std::string name);
+
+  [[nodiscard]] std::vector<double> window_scores(const trace::FeatureSet& features) override;
+  [[nodiscard]] std::vector<double> window_scores_nominal(
+      const trace::FeatureSet& features) const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+  [[nodiscard]] const nn::Classifier& model() const noexcept { return *model_; }
+  [[nodiscard]] trace::FeatureConfig feature_config() const noexcept { return config_; }
+
+ private:
+  std::unique_ptr<nn::Classifier> model_;
+  trace::FeatureConfig config_;
+  std::string name_;
+};
+
+}  // namespace shmd::hmd

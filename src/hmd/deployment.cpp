@@ -1,0 +1,101 @@
+#include "hmd/deployment.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "nn/fann_io.hpp"
+
+namespace shmd::hmd {
+
+StochasticHmd DeploymentBundle::make_detector(std::uint64_t noise_seed) const {
+  return StochasticHmd(network, feature_config, target_error_rate,
+                       faultsim::BitFaultDistribution::measured(), noise_seed);
+}
+
+double DeploymentBundle::offset_for_temperature(double temp_c) const {
+  if (calibration.empty()) {
+    throw std::logic_error("DeploymentBundle: empty calibration table");
+  }
+  const auto above = calibration.lower_bound(temp_c);
+  if (above == calibration.begin()) return above->second;        // below range: clamp
+  if (above == calibration.end()) return std::prev(above)->second;  // above range: clamp
+  const auto below = std::prev(above);
+  const double t = (temp_c - below->first) / (above->first - below->first);
+  return below->second + t * (above->second - below->second);
+}
+
+void save_deployment(const DeploymentBundle& bundle, std::ostream& os) {
+  os << "SHMD-DEPLOYMENT 1\n";
+  os << "view " << trace::view_name(bundle.feature_config.view) << '\n';
+  os << "period " << bundle.feature_config.period << '\n';
+  os.precision(17);
+  os << "target_error_rate " << bundle.target_error_rate << '\n';
+  os << "calibration_points " << bundle.calibration.size() << '\n';
+  for (const auto& [temp, offset] : bundle.calibration) {
+    os << temp << ' ' << offset << '\n';
+  }
+  os << "network\n";
+  nn::save_fann(bundle.network, os);
+  if (!os) throw std::runtime_error("save_deployment: stream write failed");
+}
+
+DeploymentBundle load_deployment(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  if (!is || magic != "SHMD-DEPLOYMENT" || version != 1) {
+    throw std::runtime_error("load_deployment: bad header");
+  }
+
+  DeploymentBundle bundle{nn::Network{}, trace::FeatureConfig{}, 0.1, {}};
+
+  std::string key;
+  while (is >> key) {
+    if (key == "view") {
+      std::string name;
+      is >> name;
+      bool found = false;
+      for (std::size_t v = 0; v < trace::kNumViews; ++v) {
+        const auto view = static_cast<trace::FeatureView>(v);
+        if (trace::view_name(view) == name) {
+          bundle.feature_config.view = view;
+          found = true;
+        }
+      }
+      if (!found) throw std::runtime_error("load_deployment: unknown view '" + name + "'");
+    } else if (key == "period") {
+      is >> bundle.feature_config.period;
+    } else if (key == "target_error_rate") {
+      is >> bundle.target_error_rate;
+      if (bundle.target_error_rate < 0.0 || bundle.target_error_rate > 1.0) {
+        throw std::runtime_error("load_deployment: target_error_rate out of range");
+      }
+    } else if (key == "calibration_points") {
+      std::size_t n = 0;
+      is >> n;
+      for (std::size_t i = 0; i < n; ++i) {
+        double temp = 0.0;
+        double offset = 0.0;
+        if (!(is >> temp >> offset)) {
+          throw std::runtime_error("load_deployment: truncated calibration table");
+        }
+        bundle.calibration[temp] = offset;
+      }
+    } else if (key == "network") {
+      is >> std::ws;  // the FANN text starts on the next line
+      bundle.network = nn::load_fann(is);
+      if (bundle.network.input_dim() != trace::view_dim(bundle.feature_config.view)) {
+        throw std::runtime_error(
+            "load_deployment: network input does not match the feature view");
+      }
+      return bundle;
+    } else {
+      throw std::runtime_error("load_deployment: unexpected key '" + key + "'");
+    }
+  }
+  throw std::runtime_error("load_deployment: missing network section");
+}
+
+}  // namespace shmd::hmd

@@ -1,0 +1,41 @@
+// Deployment bundles: everything a device needs to run a Stochastic-HMD.
+//
+// The deployment story split across the paper: the *model* is trained once
+// (factory side, nominal voltage), while the *operating point* is per
+// device and per temperature (§IX calibration). A bundle packages the
+// trained network (in FANN interchange format, so a stock FANN runtime
+// could load it too), the feature configuration, the target error rate
+// from space exploration, and the device's temperature→offset calibration
+// table — one artifact to flash.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+
+#include "hmd/stochastic_hmd.hpp"
+#include "nn/network.hpp"
+
+namespace shmd::hmd {
+
+struct DeploymentBundle {
+  nn::Network network;
+  trace::FeatureConfig feature_config;
+  /// Operating error rate selected by space exploration (§VI).
+  double target_error_rate = 0.1;
+  /// Per-device calibration: die temperature (°C) → undervolt offset (mV).
+  std::map<double, double> calibration;
+
+  /// Instantiate the detector in direct-er mode (the voltage-driven mode
+  /// binds a VoltageDomain separately via attach_domain()).
+  [[nodiscard]] StochasticHmd make_detector(std::uint64_t noise_seed = 0x570C4ULL) const;
+
+  /// Offset for `temp_c`: nearest-point lookup with linear interpolation
+  /// between table entries; clamps outside the table's range.
+  [[nodiscard]] double offset_for_temperature(double temp_c) const;
+};
+
+/// Serialize/parse a bundle (text; embeds the network as FANN_FLO_2.1).
+void save_deployment(const DeploymentBundle& bundle, std::ostream& os);
+[[nodiscard]] DeploymentBundle load_deployment(std::istream& is);
+
+}  // namespace shmd::hmd

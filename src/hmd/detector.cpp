@@ -1,0 +1,33 @@
+#include "hmd/detector.hpp"
+
+#include <stdexcept>
+
+namespace shmd::hmd {
+
+bool fraction_vote(const std::vector<double>& scores, double threshold, double vote_fraction) {
+  if (scores.empty()) throw std::invalid_argument("fraction_vote: no scores");
+  if (vote_fraction <= 0.0 || vote_fraction > 1.0) {
+    throw std::invalid_argument("fraction_vote: vote_fraction must be in (0, 1]");
+  }
+  std::size_t flagged = 0;
+  for (double s : scores) {
+    if (s >= threshold) ++flagged;
+  }
+  return static_cast<double>(flagged) >=
+         vote_fraction * static_cast<double>(scores.size());
+}
+
+bool Detector::detect(const trace::FeatureSet& features, double threshold,
+                      double vote_fraction) {
+  return fraction_vote(window_scores(features), threshold, vote_fraction);
+}
+
+double Detector::program_score(const trace::FeatureSet& features) {
+  const std::vector<double> scores = window_scores(features);
+  if (scores.empty()) throw std::logic_error("program_score: no scores");
+  double sum = 0.0;
+  for (double s : scores) sum += s;
+  return sum / static_cast<double>(scores.size());
+}
+
+}  // namespace shmd::hmd

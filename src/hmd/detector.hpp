@@ -1,0 +1,65 @@
+// Detector: the common interface of all hardware malware detectors here
+// (baseline HMD, Stochastic-HMD, RHMD).
+//
+// A detector consumes a program's extracted FeatureSet and emits one
+// malware score per *decision epoch*. Epoch granularity is the detector's
+// own (its detection period; for RHMD, the largest period in the
+// construction). Program-level verdicts aggregate epoch decisions by
+// majority vote — the standard HMD deployment where a program is flagged
+// once most of its observation windows look malicious.
+//
+// Two score paths exist deliberately:
+//   window_scores()          — live behavior, possibly stochastic (this is
+//                              what an attacker querying the HMD sees);
+//   window_scores_nominal()  — the noise-free reference boundary, used by
+//                              the evaluation to measure how well a
+//                              reverse-engineered proxy captured the
+//                              victim's underlying model.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "trace/dataset.hpp"
+
+namespace shmd::hmd {
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Live per-epoch malware scores (stochastic detectors consume RNG
+  /// state, hence non-const).
+  [[nodiscard]] virtual std::vector<double> window_scores(
+      const trace::FeatureSet& features) = 0;
+
+  /// Noise-free reference scores of the underlying model.
+  [[nodiscard]] virtual std::vector<double> window_scores_nominal(
+      const trace::FeatureSet& features) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Program-level verdict for ONE detection round: true (malware) when at
+  /// least `vote_fraction` of the epoch scores cross `threshold` (majority
+  /// vote by default).
+  ///
+  /// HMDs are "always on": a monitored program is re-classified round
+  /// after round for as long as it runs. One call to detect() is one such
+  /// round. Deterministic detectors return the same verdict every round;
+  /// for stochastic detectors each round samples a fresh boundary — the
+  /// security evaluation exploits exactly that (an evasive sample must win
+  /// every round, the defender only once).
+  [[nodiscard]] bool detect(const trace::FeatureSet& features, double threshold = 0.5,
+                            double vote_fraction = kDefaultVoteFraction);
+
+  /// Mean live epoch score (the "confidence" Fig. 2(b) histograms).
+  [[nodiscard]] double program_score(const trace::FeatureSet& features);
+
+  static constexpr double kDefaultVoteFraction = 0.50;
+};
+
+/// Shared helper: true when >= `vote_fraction` of `scores` reach `threshold`.
+[[nodiscard]] bool fraction_vote(const std::vector<double>& scores, double threshold,
+                                 double vote_fraction);
+
+}  // namespace shmd::hmd

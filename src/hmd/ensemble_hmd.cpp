@@ -1,0 +1,65 @@
+#include "hmd/ensemble_hmd.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace shmd::hmd {
+
+EnsembleHmd::EnsembleHmd(std::vector<Member> members, trace::FeatureConfig config)
+    : members_(std::move(members)), config_(config) {
+  if (members_.empty()) throw std::invalid_argument("EnsembleHmd: need >= 1 member");
+}
+
+std::vector<double> EnsembleHmd::window_scores_nominal(
+    const trace::FeatureSet& features) const {
+  const auto& windows = features.windows(config_);
+  std::vector<double> scores(windows.size(), 0.0);
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    double worst = 0.0;
+    for (const Member& member : members_) {
+      worst = std::max(worst, member.net.forward(windows[w])[0]);
+    }
+    scores[w] = worst;  // any-member-flags combination
+  }
+  return scores;
+}
+
+std::vector<double> EnsembleHmd::window_scores(const trace::FeatureSet& features) {
+  return window_scores_nominal(features);  // deterministic ensemble
+}
+
+EnsembleHmd make_ensemble(const trace::Dataset& dataset,
+                          std::span<const std::size_t> train_indices,
+                          trace::FeatureConfig config, const HmdTrainOptions& options) {
+  std::vector<EnsembleHmd::Member> members;
+
+  // General detector: everything.
+  members.push_back(EnsembleHmd::Member{
+      "general", train_hmd_network(dataset, train_indices, config, options)});
+
+  // Which malware families does the training fold contain?
+  std::set<trace::Family> families;
+  for (std::size_t idx : train_indices) {
+    const auto& sample = dataset.samples().at(idx);
+    if (sample.malware()) families.insert(sample.program.family());
+  }
+
+  // One specialized detector per family: that family's malware vs benign.
+  std::size_t member_idx = 0;
+  for (trace::Family family : families) {
+    std::vector<std::size_t> subset;
+    for (std::size_t idx : train_indices) {
+      const auto& sample = dataset.samples().at(idx);
+      if (!sample.malware() || sample.program.family() == family) subset.push_back(idx);
+    }
+    HmdTrainOptions opt = options;
+    opt.seed = options.seed + 0xE25 * (++member_idx);
+    members.push_back(EnsembleHmd::Member{
+        std::string(trace::family_name(family)),
+        train_hmd_network(dataset, subset, config, opt)});
+  }
+  return EnsembleHmd(std::move(members), config);
+}
+
+}  // namespace shmd::hmd

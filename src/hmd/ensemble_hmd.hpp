@@ -1,0 +1,53 @@
+// EnsembleHmd: the specialized-ensemble baseline of the paper's lineage
+// (EnsembleHMD, Khasawneh et al. RAID'15 / IEEE TDSC'18 — refs [21],[22]).
+//
+// Instead of one general detector, train one *specialized* detector per
+// malware type (its type's malware vs all benign) plus a general detector,
+// and flag a window when ANY member crosses its threshold. Specialization
+// raises per-type sensitivity; the max-combination controls how much FPR
+// that costs. Unlike RHMD the ensemble is deterministic — it improves
+// accuracy, not evasion resilience — which is exactly the contrast the
+// comparison bench draws.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hmd/detector.hpp"
+#include "hmd/train.hpp"
+#include "nn/network.hpp"
+#include "trace/families.hpp"
+
+namespace shmd::hmd {
+
+class EnsembleHmd final : public Detector {
+ public:
+  struct Member {
+    std::string label;      ///< "general" or the specialized malware family
+    nn::Network net;
+  };
+
+  EnsembleHmd(std::vector<Member> members, trace::FeatureConfig config);
+
+  [[nodiscard]] std::vector<double> window_scores(const trace::FeatureSet& features) override;
+  [[nodiscard]] std::vector<double> window_scores_nominal(
+      const trace::FeatureSet& features) const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "ensemble-hmd"; }
+
+  [[nodiscard]] std::size_t member_count() const noexcept { return members_.size(); }
+  [[nodiscard]] const Member& member(std::size_t i) const { return members_.at(i); }
+
+ private:
+  std::vector<Member> members_;
+  trace::FeatureConfig config_;
+};
+
+/// Train the RAID'15-style ensemble: one general detector over all
+/// malware, plus one specialized detector per malware family present in
+/// `train_indices` (that family's malware vs all benign).
+[[nodiscard]] EnsembleHmd make_ensemble(const trace::Dataset& dataset,
+                                        std::span<const std::size_t> train_indices,
+                                        trace::FeatureConfig config,
+                                        const HmdTrainOptions& options = {});
+
+}  // namespace shmd::hmd

@@ -1,0 +1,55 @@
+#include "hmd/space_exploration.hpp"
+
+#include <stdexcept>
+
+#include "eval/metrics.hpp"
+
+namespace shmd::hmd {
+
+SpaceExplorationResult explore_error_rate(const trace::Dataset& dataset,
+                                          std::span<const std::size_t> validation_indices,
+                                          const nn::Network& net, trace::FeatureConfig config,
+                                          const SpaceExplorationOptions& options) {
+  if (validation_indices.empty()) {
+    throw std::invalid_argument("explore_error_rate: empty validation set");
+  }
+  if (options.candidates.empty()) {
+    throw std::invalid_argument("explore_error_rate: no candidate error rates");
+  }
+  if (options.repeats <= 0) {
+    throw std::invalid_argument("explore_error_rate: repeats must be positive");
+  }
+
+  StochasticHmd probe(net, config, 0.0, faultsim::BitFaultDistribution::measured(),
+                      options.noise_seed);
+
+  const auto accuracy_at = [&](double er, int repeats) {
+    probe.set_error_rate(er);
+    eval::ConfusionMatrix cm;
+    for (int rep = 0; rep < repeats; ++rep) {
+      for (std::size_t idx : validation_indices) {
+        const trace::ProgramSample& sample = dataset.samples().at(idx);
+        cm.add(sample.malware(), probe.detect(sample.features));
+      }
+    }
+    return cm.accuracy();
+  };
+
+  SpaceExplorationResult result;
+  result.baseline_accuracy = accuracy_at(0.0, 1);
+  result.error_rate = 0.0;
+  result.selected_accuracy = result.baseline_accuracy;
+
+  for (double er : options.candidates) {
+    const double acc = accuracy_at(er, options.repeats);
+    result.candidate_accuracy.push_back(acc);
+    if (result.baseline_accuracy - acc <= options.max_accuracy_loss &&
+        er > result.error_rate) {
+      result.error_rate = er;
+      result.selected_accuracy = acc;
+    }
+  }
+  return result;
+}
+
+}  // namespace shmd::hmd

@@ -1,0 +1,66 @@
+#include "hmd/stochastic_hmd.hpp"
+
+namespace shmd::hmd {
+
+StochasticHmd::StochasticHmd(nn::Network net, trace::FeatureConfig config, double error_rate,
+                             faultsim::BitFaultDistribution distribution,
+                             std::uint64_t noise_seed)
+    : net_(std::move(net)),
+      config_(config),
+      injector_(error_rate, distribution, noise_seed) {}
+
+void StochasticHmd::attach_domain(volt::VoltageDomain& domain, double offset_mv,
+                                  std::optional<std::uint64_t> token) {
+  domain_ = &domain;
+  offset_mv_ = offset_mv;
+  token_ = token;
+}
+
+void StochasticHmd::detach_domain() noexcept {
+  domain_ = nullptr;
+  offset_mv_ = 0.0;
+  token_.reset();
+}
+
+void StochasticHmd::set_error_rate(double er) { injector_.set_error_rate(er); }
+
+std::vector<double> StochasticHmd::window_scores(const trace::FeatureSet& features) {
+  std::vector<double> scores;
+  nn::FaultyContext faulty(injector_);
+  if (domain_ != nullptr) {
+    // Deployment path: undervolt for exactly the duration of this
+    // detection burst (TEE enter/exit semantics), with the error rate
+    // derived from the physical operating point.
+    volt::UndervoltGuard guard(*domain_, offset_mv_, token_);
+    injector_.set_error_rate(domain_->error_rate());
+    for (const std::vector<double>& window : features.windows(config_)) {
+      scores.push_back(net_.forward(window, faulty)[0]);
+    }
+    return scores;  // guard restores nominal voltage here
+  }
+  for (const std::vector<double>& window : features.windows(config_)) {
+    scores.push_back(net_.forward(window, faulty)[0]);
+  }
+  return scores;
+}
+
+double StochasticHmd::score_window(std::span<const double> window) {
+  nn::FaultyContext faulty(injector_);
+  if (domain_ != nullptr) {
+    volt::UndervoltGuard guard(*domain_, offset_mv_, token_);
+    injector_.set_error_rate(domain_->error_rate());
+    return net_.forward(window, faulty)[0];
+  }
+  return net_.forward(window, faulty)[0];
+}
+
+std::vector<double> StochasticHmd::window_scores_nominal(
+    const trace::FeatureSet& features) const {
+  std::vector<double> scores;
+  for (const std::vector<double>& window : features.windows(config_)) {
+    scores.push_back(net_.forward(window)[0]);
+  }
+  return scores;
+}
+
+}  // namespace shmd::hmd

@@ -1,0 +1,40 @@
+#include "hmd/train.hpp"
+
+#include <stdexcept>
+
+#include "eval/data_adapter.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::hmd {
+
+nn::Network train_hmd_network(const trace::Dataset& dataset,
+                              std::span<const std::size_t> train_indices,
+                              trace::FeatureConfig config, const HmdTrainOptions& options) {
+  std::vector<nn::TrainSample> samples =
+      eval::window_samples(dataset, train_indices, config);
+  if (samples.empty()) throw std::invalid_argument("train_hmd_network: no training windows");
+
+  // Shuffle once, then carve off the validation tail.
+  rng::Xoshiro256ss gen(options.seed ^ 0xDA7A5E7ULL);
+  for (std::size_t i = samples.size(); i > 1; --i) {
+    std::swap(samples[i - 1], samples[gen.below(i)]);
+  }
+  auto n_val = static_cast<std::size_t>(static_cast<double>(samples.size()) *
+                                        options.validation_fraction);
+  if (n_val >= samples.size()) n_val = 0;
+  const std::span<const nn::TrainSample> all(samples);
+  const auto train_span = all.subspan(0, samples.size() - n_val);
+  const auto val_span = all.subspan(samples.size() - n_val);
+
+  std::vector<std::size_t> topology;
+  topology.push_back(trace::view_dim(config.view));
+  topology.insert(topology.end(), options.hidden.begin(), options.hidden.end());
+  topology.push_back(1);
+
+  nn::Network net(topology, nn::Activation::kSigmoid, nn::Activation::kSigmoid, options.seed);
+  nn::Trainer trainer(options.train);
+  trainer.fit(net, train_span, val_span);
+  return net;
+}
+
+}  // namespace shmd::hmd

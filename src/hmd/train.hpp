@@ -1,0 +1,47 @@
+// Detector training harness: dataset folds → trained HMD networks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "nn/trainer.hpp"
+#include "trace/dataset.hpp"
+
+namespace shmd::hmd {
+
+struct HmdTrainOptions {
+  /// Hidden-layer widths; the input width comes from the feature view and
+  /// the output is a single sigmoid unit.
+  std::vector<std::size_t> hidden = {32, 16};
+  /// Default L2 is deliberately non-trivial: it keeps the window scores
+  /// soft (unsaturated) the way a model trained on real, noisy HMD data
+  /// is. Over-regularizing costs ~1% window accuracy; under-regularizing
+  /// saturates scores at 0/1 and makes the detector artificially immune
+  /// to undervolting noise.
+  // Class weighting stays OFF for the detectors: the 5:1 corpus pushes the
+  // boundary toward the benign side, buying near-zero FNR at a benign FPR
+  // in the tens of percent per window — the recall-heavy operating point an
+  // always-on malware monitor wants, and (not coincidentally) the one that
+  // keeps crafted evasive samples pinned against a boundary the stochastic
+  // noise sweeps across. Balancing is available in nn::TrainConfig as an
+  // explicit knob.
+  nn::TrainConfig train = [] {
+    nn::TrainConfig c;
+    c.l2 = 3e-4;
+    return c;
+  }();
+  /// Fraction of the training windows held out for early stopping.
+  double validation_fraction = 0.1;
+  std::uint64_t seed = 0x7124111ULL;
+};
+
+/// Train one window-classifier network on the windows of `train_indices`
+/// under feature configuration `config`.
+[[nodiscard]] nn::Network train_hmd_network(const trace::Dataset& dataset,
+                                            std::span<const std::size_t> train_indices,
+                                            trace::FeatureConfig config,
+                                            const HmdTrainOptions& options = {});
+
+}  // namespace shmd::hmd

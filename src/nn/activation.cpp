@@ -1,0 +1,46 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace shmd::nn {
+
+std::string_view activation_name(Activation a) {
+  switch (a) {
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kTanh: return "tanh";
+    case Activation::kRelu: return "relu";
+    case Activation::kLinear: return "linear";
+  }
+  throw std::invalid_argument("activation_name: unknown activation");
+}
+
+Activation activation_from_name(std::string_view name) {
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "linear") return Activation::kLinear;
+  throw std::invalid_argument("activation_from_name: unknown activation");
+}
+
+double activate(Activation a, double x) {
+  switch (a) {
+    case Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-x));
+    case Activation::kTanh: return std::tanh(x);
+    case Activation::kRelu: return x > 0.0 ? x : 0.0;
+    case Activation::kLinear: return x;
+  }
+  throw std::invalid_argument("activate: unknown activation");
+}
+
+double activate_derivative(Activation a, double x, double y) {
+  switch (a) {
+    case Activation::kSigmoid: return y * (1.0 - y);
+    case Activation::kTanh: return 1.0 - y * y;
+    case Activation::kRelu: return x > 0.0 ? 1.0 : 0.0;
+    case Activation::kLinear: return 1.0;
+  }
+  throw std::invalid_argument("activate_derivative: unknown activation");
+}
+
+}  // namespace shmd::nn

@@ -1,0 +1,27 @@
+// Activation functions for the dense network (FANN-style selection).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace shmd::nn {
+
+enum class Activation : std::uint8_t {
+  kSigmoid = 0,
+  kTanh,
+  kRelu,
+  kLinear,
+};
+
+[[nodiscard]] std::string_view activation_name(Activation a);
+[[nodiscard]] Activation activation_from_name(std::string_view name);
+
+/// f(x)
+[[nodiscard]] double activate(Activation a, double x);
+
+/// f'(x) expressed in terms of the *output* y = f(x) where possible
+/// (sigmoid/tanh), falling back to x for ReLU/linear. `x` is the
+/// pre-activation, `y` the post-activation.
+[[nodiscard]] double activate_derivative(Activation a, double x, double y);
+
+}  // namespace shmd::nn

@@ -1,0 +1,95 @@
+// ArithmeticContext: where the hardware meets the model.
+//
+// The paper's integration point (§VI.A): "we integrated our tool to the
+// Fast Artificial Neural Network Library (FANN) to simulate the behavior
+// of our neural network model under undervolting". Our network routes
+// every MAC *product* through an ArithmeticContext:
+//
+//   ExactContext  — nominal voltage, bit-exact products;
+//   FaultyContext — undervolted core: products pass through the stochastic
+//                   fault injector (the Stochastic-HMD inference path);
+//   NoiseContext  — the §VIII comparison baselines: additive Gaussian noise
+//                   whose randomness is *queried per MAC* from a TRNG or
+//                   PRNG RandomSource, paying that source's per-query cost.
+//
+// Additions/accumulations stay exact everywhere: §II observed no faults in
+// adders under undervolting.
+#pragma once
+
+#include <cstdint>
+
+#include "faultsim/fault_injector.hpp"
+#include "rng/random_source.hpp"
+
+namespace shmd::nn {
+
+class ArithmeticContext {
+ public:
+  virtual ~ArithmeticContext() = default;
+
+  /// One multiply: returns the (possibly perturbed) product a*b.
+  [[nodiscard]] virtual double mul(double a, double b) = 0;
+
+  [[nodiscard]] std::uint64_t mac_count() const noexcept { return macs_; }
+  void reset_mac_count() noexcept { macs_ = 0; }
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+ protected:
+  void count_mac() noexcept { ++macs_; }
+
+ private:
+  std::uint64_t macs_ = 0;
+};
+
+/// Bit-exact products (nominal voltage).
+class ExactContext final : public ArithmeticContext {
+ public:
+  [[nodiscard]] double mul(double a, double b) override {
+    count_mac();
+    return a * b;
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "exact"; }
+};
+
+/// Undervolted products: every multiply may suffer a stochastic timing
+/// fault per the injector's error rate and bit-location distribution.
+class FaultyContext final : public ArithmeticContext {
+ public:
+  explicit FaultyContext(faultsim::FaultInjector& injector) : injector_(&injector) {}
+
+  [[nodiscard]] double mul(double a, double b) override {
+    count_mac();
+    return injector_->corrupt_product(a * b);
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "undervolt-faulty"; }
+
+  [[nodiscard]] faultsim::FaultInjector& injector() noexcept { return *injector_; }
+
+ private:
+  faultsim::FaultInjector* injector_;
+};
+
+/// Additive-noise defense baseline: product + sigma * N(0,1), with the
+/// Gaussian drawn from an explicit randomness source (TRNG or PRNG). Each
+/// MAC costs one gaussian() (two 64-bit queries) — the overhead §VIII
+/// quantifies.
+class NoiseContext final : public ArithmeticContext {
+ public:
+  NoiseContext(rng::RandomSource& source, double sigma) : source_(&source), sigma_(sigma) {}
+
+  [[nodiscard]] double mul(double a, double b) override {
+    count_mac();
+    return a * b + sigma_ * source_->gaussian();
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "additive-noise"; }
+
+  [[nodiscard]] rng::RandomSource& source() noexcept { return *source_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  rng::RandomSource* source_;
+  double sigma_;
+};
+
+}  // namespace shmd::nn

@@ -1,0 +1,23 @@
+#include "nn/classifier.hpp"
+
+namespace shmd::nn {
+
+std::vector<double> Classifier::gradient(std::span<const double> x) const {
+  // Central-difference numerical gradient; subclasses with cheap analytic
+  // forms override this.
+  constexpr double kEps = 1e-5;
+  std::vector<double> g(x.size(), 0.0);
+  std::vector<double> probe(x.begin(), x.end());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double saved = probe[i];
+    probe[i] = saved + kEps;
+    const double up = predict(probe);
+    probe[i] = saved - kEps;
+    const double down = predict(probe);
+    probe[i] = saved;
+    g[i] = (up - down) / (2.0 * kEps);
+  }
+  return g;
+}
+
+}  // namespace shmd::nn

@@ -1,0 +1,44 @@
+// Common binary-classifier interface.
+//
+// The attack layer reverse-engineers victims with three model classes —
+// "Multi-Layer Perceptron (MLP) neural network, Logistic Regression (LR),
+// and Decision Tree (DT). We selected MLP for its state-of-the-art
+// performance, LR for its simplicity, and DT for its non-differentiability"
+// (§VII.A). All three implement this interface so the reverse-engineering
+// and evasion code is model-agnostic.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "nn/trainer.hpp"
+
+namespace shmd::nn {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// P(malware | features), in [0, 1].
+  [[nodiscard]] virtual double predict(std::span<const double> x) const = 0;
+
+  /// Fit on labeled samples.
+  virtual void fit(std::span<const TrainSample> data) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Hard decision at the 0.5 operating point.
+  [[nodiscard]] bool classify(std::span<const double> x) const { return predict(x) >= 0.5; }
+
+  /// True when predict() is differentiable in the input (MLP/LR yes,
+  /// DT no) — the evasion attack picks its search strategy on this.
+  [[nodiscard]] virtual bool differentiable() const noexcept = 0;
+
+  /// d predict / d x at `x` (numerical is fine for small feature dims).
+  /// Only meaningful when differentiable().
+  [[nodiscard]] virtual std::vector<double> gradient(std::span<const double> x) const;
+};
+
+}  // namespace shmd::nn

@@ -1,0 +1,144 @@
+#include "nn/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace shmd::nn {
+
+namespace {
+double gini(double positives, double total) {
+  if (total <= 0.0) return 0.0;
+  const double p = positives / total;
+  return 2.0 * p * (1.0 - p);
+}
+}  // namespace
+
+DecisionTree::DecisionTree(DecisionTreeConfig config) : config_(config) {
+  if (config_.max_depth <= 0) throw std::invalid_argument("DecisionTree: max_depth must be > 0");
+  if (config_.candidate_thresholds == 0) {
+    throw std::invalid_argument("DecisionTree: need candidate thresholds");
+  }
+}
+
+double DecisionTree::predict(std::span<const double> x) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree::predict: unfitted tree");
+  std::int32_t idx = 0;
+  while (!nodes_[static_cast<std::size_t>(idx)].leaf()) {
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    if (n.feature >= x.size()) throw std::invalid_argument("DecisionTree: dimension mismatch");
+    idx = x[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(idx)].probability;
+}
+
+void DecisionTree::fit(std::span<const TrainSample> data) {
+  if (data.empty()) throw std::invalid_argument("DecisionTree::fit: empty data");
+  nodes_.clear();
+  std::vector<std::size_t> indices(data.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  build(data, indices, 0, indices.size(), 0);
+}
+
+std::int32_t DecisionTree::build(std::span<const TrainSample> data,
+                                 std::vector<std::size_t>& indices, std::size_t begin,
+                                 std::size_t end, int depth) {
+  const std::size_t n = end - begin;
+  double positives = 0.0;
+  for (std::size_t k = begin; k < end; ++k) positives += data[indices[k]].y;
+
+  const auto make_leaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.probability = positives / static_cast<double>(n);
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= config_.max_depth || n < 2 * config_.min_samples_leaf || positives == 0.0 ||
+      positives == static_cast<double>(n)) {
+    return make_leaf();
+  }
+
+  const std::size_t dim = data.front().x.size();
+  const double parent_impurity = gini(positives, static_cast<double>(n));
+
+  double best_gain = 1e-9;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  std::vector<double> values(n);
+  for (std::size_t f = 0; f < dim; ++f) {
+    for (std::size_t k = 0; k < n; ++k) values[k] = data[indices[begin + k]].x[f];
+    std::sort(values.begin(), values.end());
+    if (values.front() == values.back()) continue;
+
+    for (std::size_t c = 1; c <= config_.candidate_thresholds; ++c) {
+      const double q = static_cast<double>(c) /
+                       static_cast<double>(config_.candidate_thresholds + 1);
+      const auto pos = static_cast<std::size_t>(q * static_cast<double>(n - 1));
+      const double threshold = values[pos];
+      if (threshold == values.back()) continue;  // would leave right side empty
+
+      double left_n = 0.0;
+      double left_pos = 0.0;
+      for (std::size_t k = begin; k < end; ++k) {
+        const TrainSample& s = data[indices[k]];
+        if (s.x[f] <= threshold) {
+          left_n += 1.0;
+          left_pos += s.y;
+        }
+      }
+      const double right_n = static_cast<double>(n) - left_n;
+      const double right_pos = positives - left_pos;
+      if (left_n < static_cast<double>(config_.min_samples_leaf) ||
+          right_n < static_cast<double>(config_.min_samples_leaf)) {
+        continue;
+      }
+      const double child_impurity = (left_n * gini(left_pos, left_n) +
+                                     right_n * gini(right_pos, right_n)) /
+                                    static_cast<double>(n);
+      const double gain = parent_impurity - child_impurity;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = threshold;
+      }
+    }
+  }
+
+  if (best_gain <= 1e-9) return make_leaf();
+
+  // Partition indices around the split (stable not required).
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t idx) { return data[idx].x[best_feature] <= best_threshold; });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return make_leaf();
+
+  Node node;
+  node.feature = static_cast<std::uint16_t>(best_feature);
+  node.threshold = best_threshold;
+  node.probability = positives / static_cast<double>(n);
+  nodes_.push_back(node);
+  const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
+
+  const std::int32_t left = build(data, indices, begin, mid, depth + 1);
+  const std::int32_t right = build(data, indices, mid, end, depth + 1);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+int DecisionTree::depth() const noexcept {
+  if (nodes_.empty()) return 0;
+  std::function<int(std::int32_t)> walk = [&](std::int32_t idx) -> int {
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    if (n.leaf()) return 1;
+    return 1 + std::max(walk(n.left), walk(n.right));
+  };
+  return walk(0);
+}
+
+}  // namespace shmd::nn

@@ -1,0 +1,53 @@
+// CART decision tree — the *non-differentiable* reverse-engineering proxy
+// (§VII.A picked DT precisely because gradient-based evasion cannot use
+// it directly; our evasion layer falls back to hill-climbing against it).
+//
+// Gini-impurity splits over quantile-candidate thresholds, depth- and
+// leaf-size-limited; leaves predict their training-set malware fraction.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/classifier.hpp"
+
+namespace shmd::nn {
+
+struct DecisionTreeConfig {
+  int max_depth = 8;
+  std::size_t min_samples_leaf = 4;
+  /// Number of candidate thresholds examined per feature (quantiles).
+  std::size_t candidate_thresholds = 24;
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeConfig config = {});
+
+  [[nodiscard]] double predict(std::span<const double> x) const override;
+  void fit(std::span<const TrainSample> data) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "dt"; }
+  [[nodiscard]] bool differentiable() const noexcept override { return false; }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] int depth() const noexcept;
+
+ private:
+  struct Node {
+    // Internal node: feature/threshold valid, children set.
+    // Leaf: children == -1, probability valid.
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint16_t feature = 0;
+    double threshold = 0.0;
+    double probability = 0.5;
+    [[nodiscard]] bool leaf() const noexcept { return left < 0; }
+  };
+
+  std::int32_t build(std::span<const TrainSample> data, std::vector<std::size_t>& indices,
+                     std::size_t begin, std::size_t end, int depth);
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace shmd::nn

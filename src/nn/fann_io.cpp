@@ -1,0 +1,298 @@
+#include "nn/fann_io.hpp"
+
+#include <cmath>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace shmd::nn {
+
+namespace {
+
+// FANN activation-function enum values (fann_activationfunc_enum).
+constexpr int kFannLinear = 0;
+constexpr int kFannSigmoid = 3;
+constexpr int kFannSigmoidSymmetric = 5;
+
+int to_fann_activation(Activation a) {
+  switch (a) {
+    case Activation::kSigmoid: return kFannSigmoid;
+    case Activation::kTanh: return kFannSigmoidSymmetric;
+    case Activation::kLinear: return kFannLinear;
+    case Activation::kRelu:
+      throw FannFormatError("save_fann: ReLU has no FANN 2.1 activation equivalent");
+  }
+  throw FannFormatError("save_fann: unknown activation");
+}
+
+/// FANN computes sigmoid as 1/(1+e^(-2 s x)) and sigmoid_symmetric as
+/// tanh(s x). Our activations are the fixed-form s-free versions, so the
+/// steepness is folded into the incoming weights on load and written as
+/// the neutral value on save (0.5 for sigmoid, 1.0 for tanh/linear).
+double neutral_steepness(Activation a) {
+  return a == Activation::kSigmoid ? 0.5 : 1.0;
+}
+
+double steepness_weight_scale(int fann_activation, double steepness) {
+  switch (fann_activation) {
+    case kFannSigmoid: return 2.0 * steepness;
+    case kFannSigmoidSymmetric: return steepness;
+    case kFannLinear: return steepness;
+    default:
+      throw FannFormatError("load_fann: unsupported activation function " +
+                            std::to_string(fann_activation));
+  }
+}
+
+Activation from_fann_activation(int fann_activation) {
+  switch (fann_activation) {
+    case kFannSigmoid: return Activation::kSigmoid;
+    case kFannSigmoidSymmetric: return Activation::kTanh;
+    case kFannLinear: return Activation::kLinear;
+    default:
+      throw FannFormatError("load_fann: unsupported activation function " +
+                            std::to_string(fann_activation));
+  }
+}
+
+}  // namespace
+
+void save_fann(const Network& net, std::ostream& os) {
+  const std::size_t n_layers = net.num_layers() + 1;
+
+  os << "FANN_FLO_2.1\n";
+  os << "num_layers=" << n_layers << '\n';
+  os << "learning_rate=0.700000\n";
+  os << "connection_rate=1.000000\n";
+  os << "network_type=0\n";
+  os << "learning_momentum=0.000000\n";
+  os << "training_algorithm=2\n";
+  os << "train_error_function=1\n";
+  os << "train_stop_function=0\n";
+  os << "cascade_output_change_fraction=0.010000\n";
+  os << "quickprop_decay=-0.000100\n";
+  os << "quickprop_mu=1.750000\n";
+  os << "rprop_increase_factor=1.200000\n";
+  os << "rprop_decrease_factor=0.500000\n";
+  os << "rprop_delta_min=0.000000\n";
+  os << "rprop_delta_max=50.000000\n";
+  os << "rprop_delta_zero=0.100000\n";
+  os << "cascade_output_stagnation_epochs=12\n";
+  os << "cascade_candidate_change_fraction=0.010000\n";
+  os << "cascade_candidate_stagnation_epochs=12\n";
+  os << "cascade_max_out_epochs=150\n";
+  os << "cascade_min_out_epochs=50\n";
+  os << "cascade_max_cand_epochs=150\n";
+  os << "cascade_min_cand_epochs=50\n";
+  os << "cascade_num_candidate_groups=2\n";
+  os << "bit_fail_limit=0.35\n";
+  os << "cascade_candidate_limit=1000.0\n";
+  os << "cascade_weight_multiplier=0.4\n";
+  os << "cascade_activation_functions_count=2\n";
+  os << "cascade_activation_functions=3 5 \n";
+  os << "cascade_activation_steepnesses_count=1\n";
+  os << "cascade_activation_steepnesses=0.5 \n";
+
+  // layer_sizes include one bias neuron per layer (FANN convention).
+  os << "layer_sizes=" << net.input_dim() + 1;
+  for (std::size_t l = 0; l < net.num_layers(); ++l) os << ' ' << net.layer(l).out_dim + 1;
+  os << " \n";
+  os << "scale_included=0\n";
+
+  // Neuron records: input layer + bias first (no inputs), then per layer
+  // the real neurons followed by that layer's bias neuron.
+  os << "neurons (num_inputs, activation_function, activation_steepness)=";
+  for (std::size_t i = 0; i < net.input_dim() + 1; ++i) os << "(0, 0, 0.0) ";
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const Layer& layer = net.layer(l);
+    const int act = to_fann_activation(layer.activation);
+    const double steepness = neutral_steepness(layer.activation);
+    for (std::size_t o = 0; o < layer.out_dim; ++o) {
+      os << '(' << layer.in_dim + 1 << ", " << act << ", " << steepness << ") ";
+    }
+    os << "(0, 0, 0.0) ";  // the layer's bias neuron
+  }
+  os << '\n';
+
+  // Connections: neuron indices are global, layer by layer, bias last in
+  // each layer. For every real neuron: weights from each previous-layer
+  // real neuron, then the bias connection.
+  os.precision(17);
+  os << "connections (connected_to_neuron, weight)=";
+  std::size_t prev_first = 0;
+  std::size_t prev_size = net.input_dim() + 1;  // incl. bias
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const Layer& layer = net.layer(l);
+    for (std::size_t o = 0; o < layer.out_dim; ++o) {
+      for (std::size_t i = 0; i < layer.in_dim; ++i) {
+        os << '(' << prev_first + i << ", " << layer.w(o, i) << ") ";
+      }
+      os << '(' << prev_first + prev_size - 1 << ", " << layer.biases[o] << ") ";
+    }
+    prev_first += prev_size;
+    prev_size = layer.out_dim + 1;
+  }
+  os << '\n';
+  if (!os) throw FannFormatError("save_fann: stream write failed");
+}
+
+namespace {
+
+/// Parse "(a, b, c)"-style tuples from the remainder of a line/stream.
+struct TupleReader {
+  std::istream& is;
+
+  /// Reads "(x, y, z)" into the provided doubles; returns false on EOF.
+  bool read3(double& a, double& b, double& c) {
+    char ch = 0;
+    if (!(is >> ch)) return false;
+    if (ch != '(') throw FannFormatError("load_fann: expected '(' in tuple list");
+    char comma = 0;
+    if (!(is >> a >> comma >> b >> comma >> c >> ch) || ch != ')') {
+      throw FannFormatError("load_fann: malformed 3-tuple");
+    }
+    return true;
+  }
+  bool read2(double& a, double& b) {
+    char ch = 0;
+    if (!(is >> ch)) return false;
+    if (ch != '(') throw FannFormatError("load_fann: expected '(' in tuple list");
+    char comma = 0;
+    if (!(is >> a >> comma >> b >> ch) || ch != ')') {
+      throw FannFormatError("load_fann: malformed 2-tuple");
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+Network load_fann(std::istream& is) {
+  std::string magic;
+  std::getline(is, magic);
+  if (magic != "FANN_FLO_2.1") {
+    throw FannFormatError("load_fann: not a FANN_FLO_2.1 file (got '" + magic + "')");
+  }
+
+  std::map<std::string, std::string> scalars;
+  std::vector<std::size_t> layer_sizes;
+  std::string line;
+  // Scalar key=value lines until layer_sizes; then the remaining headers.
+  while (std::getline(is, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "layer_sizes") {
+      std::istringstream ss(value);
+      std::size_t n = 0;
+      while (ss >> n) layer_sizes.push_back(n);
+      continue;
+    }
+    if (key.rfind("neurons ", 0) == 0) {
+      // Reached the neuron list; stop header parsing. Re-parse below using
+      // the captured value plus the rest of the stream.
+      break;
+    }
+    scalars[key] = value;
+  }
+
+  if (layer_sizes.size() < 2) throw FannFormatError("load_fann: missing/short layer_sizes");
+  if (scalars.count("network_type") && scalars["network_type"] != "0") {
+    throw FannFormatError("load_fann: only layered (network_type=0) nets are supported");
+  }
+  if (scalars.count("connection_rate")) {
+    const double rate = std::stod(scalars["connection_rate"]);
+    if (std::abs(rate - 1.0) > 1e-6) {
+      throw FannFormatError("load_fann: only fully-connected nets are supported");
+    }
+  }
+
+  // Neuron records. `line` currently holds "neurons (...)=(...) (...)".
+  const auto neurons_eq = line.find('=');
+  std::istringstream neuron_stream(line.substr(neurons_eq + 1));
+  TupleReader neurons{neuron_stream};
+
+  struct NeuronRec {
+    std::size_t num_inputs = 0;
+    int activation = 0;
+    double steepness = 0.0;
+  };
+  std::size_t total_neurons = 0;
+  for (std::size_t s : layer_sizes) total_neurons += s;
+  std::vector<NeuronRec> recs;
+  double a = 0;
+  double b = 0;
+  double c = 0;
+  while (neurons.read3(a, b, c)) {
+    recs.push_back(NeuronRec{static_cast<std::size_t>(a), static_cast<int>(b), c});
+  }
+  if (recs.size() != total_neurons) {
+    throw FannFormatError("load_fann: neuron count does not match layer_sizes");
+  }
+
+  // Build topology (strip the bias neuron from every layer).
+  std::vector<std::size_t> topology;
+  for (std::size_t s : layer_sizes) {
+    if (s < 2) throw FannFormatError("load_fann: layer with no real neurons");
+    topology.push_back(s - 1);
+  }
+
+  // Activations per non-input layer, from that layer's first real neuron.
+  std::vector<Activation> activations;
+  std::vector<double> steepnesses;
+  {
+    std::size_t offset = layer_sizes[0];
+    for (std::size_t l = 1; l < layer_sizes.size(); ++l) {
+      const NeuronRec& rec = recs.at(offset);
+      if (rec.num_inputs != layer_sizes[l - 1]) {
+        throw FannFormatError("load_fann: shortcut/sparse topologies are not supported");
+      }
+      activations.push_back(from_fann_activation(rec.activation));
+      steepnesses.push_back(rec.steepness);
+      offset += layer_sizes[l];
+    }
+  }
+
+  // Connections line.
+  if (!std::getline(is, line) || line.rfind("connections", 0) != 0) {
+    throw FannFormatError("load_fann: missing connections line");
+  }
+  const auto conn_eq = line.find('=');
+  std::istringstream conn_stream(line.substr(conn_eq + 1));
+  TupleReader connections{conn_stream};
+
+  Network net([&] {
+    // Seeded arbitrarily; every weight is overwritten below.
+    return Network(topology, activations.front(),
+                   activations.back(), /*seed=*/1);
+  }());
+  // Per-layer activations may differ; set them explicitly.
+  for (std::size_t l = 0; l < net.num_layers(); ++l) net.layer(l).activation = activations[l];
+
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    Layer& layer = net.layer(l);
+    const double scale = steepness_weight_scale(to_fann_activation(layer.activation),
+                                                steepnesses[l]);
+    for (std::size_t o = 0; o < layer.out_dim; ++o) {
+      for (std::size_t i = 0; i <= layer.in_dim; ++i) {
+        double target = 0;
+        double weight = 0;
+        if (!connections.read2(target, weight)) {
+          throw FannFormatError("load_fann: connection list ended early");
+        }
+        if (i < layer.in_dim) {
+          layer.w(o, i) = weight * scale;
+        } else {
+          layer.biases[o] = weight * scale;  // bias-neuron connection
+        }
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace shmd::nn

@@ -1,0 +1,38 @@
+// FANN-format model interchange.
+//
+// The paper implements its HMDs on the Fast Artificial Neural Network
+// library and injects faults into FANN's inference; models trained there
+// are saved in FANN's text format (`FANN_FLO_2.1`). This reader/writer
+// speaks that format for the subset FANN's standard MLPs use — fully
+// connected layered networks with per-neuron sigmoid-family activations —
+// so models can move between this reproduction and a stock FANN setup.
+//
+// Supported: FANN_FLO_2.1 header, layer_sizes with bias neurons,
+// per-neuron (num_inputs, activation_function, steepness) records, and the
+// connection list of a standard fully-connected layout. Activations map
+// FANN_SIGMOID(±steepness) → kSigmoid, FANN_SIGMOID_SYMMETRIC → kTanh,
+// FANN_LINEAR → kLinear. Shortcut connections and sparse topologies are
+// rejected with a clear error.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+
+#include "nn/network.hpp"
+
+namespace shmd::nn {
+
+/// Thrown on malformed or unsupported FANN files.
+class FannFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Write `net` as a FANN_FLO_2.1 file. All hidden/output activations must
+/// be sigmoid/tanh/linear (ReLU has no FANN 2.1 equivalent → throws).
+void save_fann(const Network& net, std::ostream& os);
+
+/// Parse a FANN_FLO_2.1 file into a Network.
+[[nodiscard]] Network load_fann(std::istream& is);
+
+}  // namespace shmd::nn

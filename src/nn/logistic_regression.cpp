@@ -1,0 +1,73 @@
+#include "nn/logistic_regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace shmd::nn {
+
+namespace {
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+LogisticRegression::LogisticRegression(LogisticRegressionConfig config) : config_(config) {
+  if (config_.epochs <= 0) throw std::invalid_argument("LogisticRegression: epochs must be > 0");
+}
+
+double LogisticRegression::predict(std::span<const double> x) const {
+  if (x.size() != w_.size()) {
+    throw std::invalid_argument("LogisticRegression::predict: dimension mismatch (unfitted?)");
+  }
+  double z = b_;
+  for (std::size_t i = 0; i < x.size(); ++i) z += w_[i] * x[i];
+  return sigmoid(z);
+}
+
+void LogisticRegression::fit(std::span<const TrainSample> data) {
+  if (data.empty()) throw std::invalid_argument("LogisticRegression::fit: empty data");
+  const std::size_t dim = data.front().x.size();
+  for (const TrainSample& s : data) {
+    if (s.x.size() != dim) throw std::invalid_argument("LogisticRegression::fit: ragged data");
+  }
+  w_.assign(dim, 0.0);
+  b_ = 0.0;
+
+  // Optional class balancing: weight each sample inversely to its class
+  // frequency so the gradient is not dominated by the majority class.
+  double pos_weight = 1.0;
+  double neg_weight = 1.0;
+  if (config_.balance_classes) {
+    double positives = 0.0;
+    for (const TrainSample& s : data) positives += s.y;
+    const double n = static_cast<double>(data.size());
+    if (positives > 0.0 && positives < n) {
+      pos_weight = n / (2.0 * positives);
+      neg_weight = n / (2.0 * (n - positives));
+    }
+  }
+
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  std::vector<double> gw(dim);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::fill(gw.begin(), gw.end(), 0.0);
+    double gb = 0.0;
+    for (const TrainSample& s : data) {
+      const double weight = s.y > 0.5 ? pos_weight : neg_weight;
+      const double err = weight * (predict(s.x) - s.y);
+      for (std::size_t i = 0; i < dim; ++i) gw[i] += err * s.x[i];
+      gb += err;
+    }
+    for (std::size_t i = 0; i < dim; ++i) {
+      w_[i] -= config_.learning_rate * (gw[i] * inv_n + config_.l2 * w_[i]);
+    }
+    b_ -= config_.learning_rate * gb * inv_n;
+  }
+}
+
+std::vector<double> LogisticRegression::gradient(std::span<const double> x) const {
+  const double p = predict(x);
+  std::vector<double> g(w_.size());
+  for (std::size_t i = 0; i < w_.size(); ++i) g[i] = p * (1.0 - p) * w_[i];
+  return g;
+}
+
+}  // namespace shmd::nn

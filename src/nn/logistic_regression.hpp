@@ -1,0 +1,41 @@
+// Binary logistic regression — the "simple" reverse-engineering proxy
+// (§VII.A). Trained by full-batch gradient descent with L2 regularization.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/classifier.hpp"
+
+namespace shmd::nn {
+
+struct LogisticRegressionConfig {
+  int epochs = 800;
+  double learning_rate = 1.0;
+  double l2 = 1e-4;
+  /// Re-weight classes inversely to their frequency. The HMD corpora are
+  /// heavily imbalanced (3000 malware vs 600 benign); without balancing,
+  /// LR degenerates into a majority-class predictor.
+  bool balance_classes = true;
+};
+
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionConfig config = {});
+
+  [[nodiscard]] double predict(std::span<const double> x) const override;
+  void fit(std::span<const TrainSample> data) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "lr"; }
+  [[nodiscard]] bool differentiable() const noexcept override { return true; }
+  /// Analytic gradient: p(1-p) * w.
+  [[nodiscard]] std::vector<double> gradient(std::span<const double> x) const override;
+
+  [[nodiscard]] const std::vector<double>& weights() const noexcept { return w_; }
+  [[nodiscard]] double bias() const noexcept { return b_; }
+
+ private:
+  LogisticRegressionConfig config_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace shmd::nn

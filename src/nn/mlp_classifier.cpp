@@ -1,0 +1,21 @@
+#include "nn/mlp_classifier.hpp"
+
+namespace shmd::nn {
+
+MlpClassifier::MlpClassifier(std::vector<std::size_t> topology, TrainConfig train_config,
+                             std::uint64_t init_seed)
+    : topology_(std::move(topology)),
+      train_config_(train_config),
+      init_seed_(init_seed),
+      net_(topology_, Activation::kSigmoid, Activation::kSigmoid, init_seed_) {}
+
+double MlpClassifier::predict(std::span<const double> x) const { return net_.forward(x)[0]; }
+
+void MlpClassifier::fit(std::span<const TrainSample> data) {
+  // Re-initialize so repeated fits are independent of previous state.
+  net_ = Network(topology_, Activation::kSigmoid, Activation::kSigmoid, init_seed_);
+  Trainer trainer(train_config_);
+  trainer.fit(net_, data);
+}
+
+}  // namespace shmd::nn

@@ -1,0 +1,33 @@
+// MLP classifier: a Network + Trainer behind the Classifier interface.
+// Used both as the victim HMD model class and as the strongest
+// reverse-engineering proxy (§VII.A).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/classifier.hpp"
+#include "nn/network.hpp"
+
+namespace shmd::nn {
+
+class MlpClassifier final : public Classifier {
+ public:
+  MlpClassifier(std::vector<std::size_t> topology, TrainConfig train_config,
+                std::uint64_t init_seed);
+
+  [[nodiscard]] double predict(std::span<const double> x) const override;
+  void fit(std::span<const TrainSample> data) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "mlp"; }
+  [[nodiscard]] bool differentiable() const noexcept override { return true; }
+
+  [[nodiscard]] const Network& network() const noexcept { return net_; }
+  [[nodiscard]] Network& network() noexcept { return net_; }
+
+ private:
+  std::vector<std::size_t> topology_;
+  TrainConfig train_config_;
+  std::uint64_t init_seed_;
+  Network net_;
+};
+
+}  // namespace shmd::nn

@@ -1,0 +1,142 @@
+#include "nn/network.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::nn {
+
+Network::Network(std::span<const std::size_t> topology, Activation hidden, Activation output,
+                 std::uint64_t seed) {
+  if (topology.size() < 2) throw std::invalid_argument("Network: topology needs >= 2 layers");
+  for (std::size_t dim : topology) {
+    if (dim == 0) throw std::invalid_argument("Network: zero-width layer");
+  }
+  rng::Xoshiro256ss gen(seed);
+  layers_.reserve(topology.size() - 1);
+  for (std::size_t l = 0; l + 1 < topology.size(); ++l) {
+    Layer layer;
+    layer.in_dim = topology[l];
+    layer.out_dim = topology[l + 1];
+    layer.activation = (l + 2 == topology.size()) ? output : hidden;
+    layer.weights.resize(layer.in_dim * layer.out_dim);
+    layer.biases.assign(layer.out_dim, 0.0);
+    // Xavier/Glorot uniform: U(-r, r), r = sqrt(6 / (fan_in + fan_out)).
+    const double r =
+        std::sqrt(6.0 / static_cast<double>(layer.in_dim + layer.out_dim));
+    for (double& w : layer.weights) w = gen.uniform(-r, r);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::size_t Network::input_dim() const {
+  if (layers_.empty()) throw std::logic_error("Network: empty");
+  return layers_.front().in_dim;
+}
+
+std::size_t Network::output_dim() const {
+  if (layers_.empty()) throw std::logic_error("Network: empty");
+  return layers_.back().out_dim;
+}
+
+std::size_t Network::mac_count() const noexcept {
+  std::size_t n = 0;
+  for (const Layer& l : layers_) n += l.weights.size();
+  return n;
+}
+
+std::size_t Network::parameter_count() const noexcept {
+  std::size_t n = 0;
+  for (const Layer& l : layers_) n += l.weights.size() + l.biases.size();
+  return n;
+}
+
+std::size_t Network::memory_bytes() const noexcept {
+  return parameter_count() * sizeof(float);
+}
+
+std::vector<double> Network::forward(std::span<const double> input,
+                                     ArithmeticContext& ctx) const {
+  if (layers_.empty()) throw std::logic_error("Network::forward: empty network");
+  if (input.size() != input_dim()) {
+    throw std::invalid_argument("Network::forward: input dimension mismatch");
+  }
+  std::vector<double> current(input.begin(), input.end());
+  std::vector<double> next;
+  for (const Layer& layer : layers_) {
+    next.assign(layer.out_dim, 0.0);
+    for (std::size_t o = 0; o < layer.out_dim; ++o) {
+      double acc = layer.biases[o];  // accumulation stays exact (§II)
+      const double* wrow = &layer.weights[o * layer.in_dim];
+      for (std::size_t i = 0; i < layer.in_dim; ++i) {
+        acc += ctx.mul(wrow[i], current[i]);
+      }
+      next[o] = activate(layer.activation, acc);
+    }
+    current.swap(next);
+  }
+  return current;
+}
+
+std::vector<double> Network::forward(std::span<const double> input) const {
+  ExactContext exact;
+  return forward(input, exact);
+}
+
+void Network::save(std::ostream& os) const {
+  os << "SHMD-NET 1\n";
+  os << layers_.size() + 1 << '\n';
+  os << layers_.front().in_dim;
+  for (const Layer& l : layers_) os << ' ' << l.out_dim;
+  os << '\n';
+  for (const Layer& l : layers_) os << activation_name(l.activation) << '\n';
+  os.precision(17);
+  for (const Layer& l : layers_) {
+    for (double w : l.weights) os << w << ' ';
+    os << '\n';
+    for (double b : l.biases) os << b << ' ';
+    os << '\n';
+  }
+  if (!os) throw std::runtime_error("Network::save: stream write failed");
+}
+
+Network Network::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  if (!is || magic != "SHMD-NET" || version != 1) {
+    throw std::runtime_error("Network::load: bad header");
+  }
+  std::size_t n_dims = 0;
+  is >> n_dims;
+  if (!is || n_dims < 2 || n_dims > 64) throw std::runtime_error("Network::load: bad topology");
+  std::vector<std::size_t> topology(n_dims);
+  for (auto& d : topology) is >> d;
+  std::vector<Activation> acts(n_dims - 1);
+  for (auto& a : acts) {
+    std::string name;
+    is >> name;
+    a = activation_from_name(name);
+  }
+  Network net;
+  net.layers_.reserve(n_dims - 1);
+  for (std::size_t l = 0; l + 1 < n_dims; ++l) {
+    Layer layer;
+    layer.in_dim = topology[l];
+    layer.out_dim = topology[l + 1];
+    layer.activation = acts[l];
+    layer.weights.resize(layer.in_dim * layer.out_dim);
+    layer.biases.resize(layer.out_dim);
+    for (double& w : layer.weights) is >> w;
+    for (double& b : layer.biases) is >> b;
+    net.layers_.push_back(std::move(layer));
+  }
+  if (!is) throw std::runtime_error("Network::load: truncated stream");
+  return net;
+}
+
+}  // namespace shmd::nn

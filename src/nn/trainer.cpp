@@ -1,0 +1,298 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::nn {
+
+namespace {
+
+/// Fast exact forward pass storing per-layer pre-activations (z) and
+/// activations (a) for backprop. a[0] is the input.
+struct Workspace {
+  std::vector<std::vector<double>> z;  // per layer
+  std::vector<std::vector<double>> a;  // a[0] = input, a[l+1] = layer l out
+
+  void resize(const Network& net) {
+    const std::size_t n = net.num_layers();
+    z.resize(n);
+    a.resize(n + 1);
+    for (std::size_t l = 0; l < n; ++l) {
+      z[l].resize(net.layer(l).out_dim);
+      a[l + 1].resize(net.layer(l).out_dim);
+    }
+  }
+};
+
+void forward_exact(const Network& net, std::span<const double> x, Workspace& ws) {
+  ws.a[0].assign(x.begin(), x.end());
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const Layer& layer = net.layer(l);
+    const std::vector<double>& in = ws.a[l];
+    for (std::size_t o = 0; o < layer.out_dim; ++o) {
+      double acc = layer.biases[o];
+      const double* wrow = &layer.weights[o * layer.in_dim];
+      for (std::size_t i = 0; i < layer.in_dim; ++i) acc += wrow[i] * in[i];
+      ws.z[l][o] = acc;
+      ws.a[l + 1][o] = activate(layer.activation, acc);
+    }
+  }
+}
+
+/// Per-layer gradient buffers, same shapes as the network parameters.
+struct Gradients {
+  std::vector<std::vector<double>> dw;
+  std::vector<std::vector<double>> db;
+
+  void resize(const Network& net) {
+    dw.resize(net.num_layers());
+    db.resize(net.num_layers());
+    for (std::size_t l = 0; l < net.num_layers(); ++l) {
+      dw[l].assign(net.layer(l).weights.size(), 0.0);
+      db[l].assign(net.layer(l).biases.size(), 0.0);
+    }
+  }
+  void zero() {
+    for (auto& v : dw) std::fill(v.begin(), v.end(), 0.0);
+    for (auto& v : db) std::fill(v.begin(), v.end(), 0.0);
+  }
+};
+
+/// Accumulate the gradient of weight * BCE(sample) into `grads`. Returns
+/// the sample's (weighted) loss. Assumes a single sigmoid output unit
+/// (checked by fit()).
+double backprop_sample(const Network& net, const TrainSample& sample, double weight,
+                       Workspace& ws, Gradients& grads,
+                       std::vector<std::vector<double>>& deltas) {
+  forward_exact(net, sample.x, ws);
+  const double yhat = std::clamp(ws.a.back()[0], 1e-12, 1.0 - 1e-12);
+  const double loss =
+      -weight * (sample.y * std::log(yhat) + (1.0 - sample.y) * std::log(1.0 - yhat));
+
+  // Output delta for sigmoid + BCE collapses to (yhat - y).
+  const std::size_t last = net.num_layers() - 1;
+  deltas[last].assign(net.layer(last).out_dim, 0.0);
+  deltas[last][0] = weight * (yhat - sample.y);
+
+  for (std::size_t l = last; l-- > 0;) {
+    const Layer& next = net.layer(l + 1);
+    const Layer& cur = net.layer(l);
+    deltas[l].assign(cur.out_dim, 0.0);
+    for (std::size_t i = 0; i < cur.out_dim; ++i) {
+      double sum = 0.0;
+      for (std::size_t o = 0; o < next.out_dim; ++o) {
+        sum += next.weights[o * next.in_dim + i] * deltas[l + 1][o];
+      }
+      deltas[l][i] = sum * activate_derivative(cur.activation, ws.z[l][i], ws.a[l + 1][i]);
+    }
+  }
+
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const Layer& layer = net.layer(l);
+    const std::vector<double>& in = ws.a[l];
+    for (std::size_t o = 0; o < layer.out_dim; ++o) {
+      const double d = deltas[l][o];
+      double* gw = &grads.dw[l][o * layer.in_dim];
+      for (std::size_t i = 0; i < layer.in_dim; ++i) gw[i] += d * in[i];
+      grads.db[l][o] += d;
+    }
+  }
+  return loss;
+}
+
+struct Snapshot {
+  std::vector<std::vector<double>> weights;
+  std::vector<std::vector<double>> biases;
+
+  static Snapshot of(const Network& net) {
+    Snapshot s;
+    for (std::size_t l = 0; l < net.num_layers(); ++l) {
+      s.weights.push_back(net.layer(l).weights);
+      s.biases.push_back(net.layer(l).biases);
+    }
+    return s;
+  }
+  void restore(Network& net) const {
+    for (std::size_t l = 0; l < net.num_layers(); ++l) {
+      net.layer(l).weights = weights[l];
+      net.layer(l).biases = biases[l];
+    }
+  }
+};
+
+}  // namespace
+
+Trainer::Trainer(TrainConfig config) : config_(config) {
+  if (config_.epochs <= 0) throw std::invalid_argument("Trainer: epochs must be > 0");
+  if (config_.batch_size == 0) throw std::invalid_argument("Trainer: batch_size must be > 0");
+}
+
+double Trainer::loss(const Network& net, std::span<const TrainSample> data) {
+  if (data.empty()) return 0.0;
+  double total = 0.0;
+  for (const TrainSample& s : data) {
+    const double yhat = std::clamp(net.forward(s.x)[0], 1e-12, 1.0 - 1e-12);
+    total += -(s.y * std::log(yhat) + (1.0 - s.y) * std::log(1.0 - yhat));
+  }
+  return total / static_cast<double>(data.size());
+}
+
+TrainReport Trainer::fit(Network& net, std::span<const TrainSample> train,
+                         std::span<const TrainSample> validation) {
+  if (train.empty()) throw std::invalid_argument("Trainer::fit: empty training set");
+  if (net.output_dim() != 1) {
+    throw std::invalid_argument("Trainer::fit: binary head expected (output_dim == 1)");
+  }
+  for (const TrainSample& s : train) {
+    if (s.x.size() != net.input_dim()) {
+      throw std::invalid_argument("Trainer::fit: sample dimension mismatch");
+    }
+  }
+
+  Workspace ws;
+  ws.resize(net);
+  Gradients grads;
+  grads.resize(net);
+  std::vector<std::vector<double>> deltas(net.num_layers());
+
+  // SGD state.
+  Gradients velocity;
+  velocity.resize(net);
+  // iRPROP− state.
+  Gradients prev_grad;
+  prev_grad.resize(net);
+  Gradients step;
+  step.resize(net);
+  for (auto& v : step.dw) std::fill(v.begin(), v.end(), config_.rprop_delta0);
+  for (auto& v : step.db) std::fill(v.begin(), v.end(), config_.rprop_delta0);
+
+  std::vector<std::size_t> order(train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng::Xoshiro256ss shuffle_gen(config_.shuffle_seed);
+
+  double pos_weight = 1.0;
+  double neg_weight = 1.0;
+  if (config_.balance_classes) {
+    double positives = 0.0;
+    for (const TrainSample& s : train) positives += s.y;
+    const double n = static_cast<double>(train.size());
+    if (positives > 0.0 && positives < n) {
+      pos_weight = n / (2.0 * positives);
+      neg_weight = n / (2.0 * (n - positives));
+    }
+  }
+  const auto sample_weight = [&](const TrainSample& s) {
+    return s.y > 0.5 ? pos_weight : neg_weight;
+  };
+
+  TrainReport report;
+  double best_val = std::numeric_limits<double>::infinity();
+  int since_best = 0;
+  Snapshot best_params = Snapshot::of(net);
+
+  const auto apply_l2 = [&](std::size_t l) {
+    if (config_.l2 <= 0.0) return;
+    const Layer& layer = net.layer(l);
+    for (std::size_t k = 0; k < layer.weights.size(); ++k) {
+      grads.dw[l][k] += config_.l2 * layer.weights[k];
+    }
+  };
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+
+    if (config_.algorithm == TrainAlgorithm::kSgd) {
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[shuffle_gen.below(i)]);
+      }
+      for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
+        const std::size_t end = std::min(start + config_.batch_size, order.size());
+        grads.zero();
+        for (std::size_t k = start; k < end; ++k) {
+          const TrainSample& s = train[order[k]];
+          epoch_loss += backprop_sample(net, s, sample_weight(s), ws, grads, deltas);
+        }
+        const double inv_batch = 1.0 / static_cast<double>(end - start);
+        for (std::size_t l = 0; l < net.num_layers(); ++l) {
+          apply_l2(l);
+          Layer& layer = net.layer(l);
+          for (std::size_t k = 0; k < layer.weights.size(); ++k) {
+            velocity.dw[l][k] = config_.momentum * velocity.dw[l][k] -
+                                config_.learning_rate * grads.dw[l][k] * inv_batch;
+            layer.weights[k] += velocity.dw[l][k];
+          }
+          for (std::size_t k = 0; k < layer.biases.size(); ++k) {
+            velocity.db[l][k] = config_.momentum * velocity.db[l][k] -
+                                config_.learning_rate * grads.db[l][k] * inv_batch;
+            layer.biases[k] += velocity.db[l][k];
+          }
+        }
+      }
+      epoch_loss /= static_cast<double>(train.size());
+    } else {
+      // iRPROP−: full-batch gradient, sign-based per-parameter steps.
+      grads.zero();
+      for (const TrainSample& s : train) {
+        epoch_loss += backprop_sample(net, s, sample_weight(s), ws, grads, deltas);
+      }
+      epoch_loss /= static_cast<double>(train.size());
+
+      const auto rprop_update = [&](double& param, double grad, double& prev, double& delta) {
+        const double sign_product = grad * prev;
+        if (sign_product > 0.0) {
+          delta = std::min(delta * config_.rprop_eta_plus, config_.rprop_delta_max);
+          param -= (grad > 0.0 ? delta : -delta);
+          prev = grad;
+        } else if (sign_product < 0.0) {
+          delta = std::max(delta * config_.rprop_eta_minus, config_.rprop_delta_min);
+          prev = 0.0;  // iRPROP−: skip update after a sign change
+        } else {
+          if (grad != 0.0) param -= (grad > 0.0 ? delta : -delta);
+          prev = grad;
+        }
+      };
+
+      for (std::size_t l = 0; l < net.num_layers(); ++l) {
+        apply_l2(l);
+        Layer& layer = net.layer(l);
+        for (std::size_t k = 0; k < layer.weights.size(); ++k) {
+          rprop_update(layer.weights[k], grads.dw[l][k], prev_grad.dw[l][k], step.dw[l][k]);
+        }
+        for (std::size_t k = 0; k < layer.biases.size(); ++k) {
+          rprop_update(layer.biases[k], grads.db[l][k], prev_grad.db[l][k], step.db[l][k]);
+        }
+      }
+    }
+
+    report.epochs_run = epoch + 1;
+    report.final_train_loss = epoch_loss;
+
+    if (!validation.empty() && config_.patience > 0) {
+      const double val = loss(net, validation);
+      report.final_val_loss = val;
+      if (val < best_val - config_.min_delta) {
+        best_val = val;
+        since_best = 0;
+        best_params = Snapshot::of(net);
+      } else if (++since_best >= config_.patience) {
+        best_params.restore(net);
+        report.early_stopped = true;
+        report.final_val_loss = best_val;
+        break;
+      }
+    }
+  }
+
+  if (!validation.empty() && config_.patience > 0 && !report.early_stopped) {
+    // Keep the best validation-loss parameters even without early stop.
+    if (best_val < loss(net, validation)) best_params.restore(net);
+    report.final_val_loss = std::min(best_val, report.final_val_loss);
+  }
+  return report;
+}
+
+}  // namespace shmd::nn

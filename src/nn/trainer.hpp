@@ -1,0 +1,77 @@
+// Training for the dense network: minibatch SGD with momentum, and
+// iRPROP− (the resilient-propagation variant FANN defaults to).
+//
+// Binary cross-entropy loss with a sigmoid output head (the HMD emits
+// P(malware)). Training always runs at nominal voltage with exact
+// arithmetic — the paper's defense explicitly requires "no retraining or
+// fine tuning" of the protected model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace shmd::nn {
+
+struct TrainSample {
+  std::vector<double> x;
+  double y = 0.0;  ///< 1 = malware, 0 = benign
+};
+
+enum class TrainAlgorithm : std::uint8_t {
+  kSgd = 0,
+  kRprop,  // iRPROP− (full batch)
+};
+
+struct TrainConfig {
+  TrainAlgorithm algorithm = TrainAlgorithm::kRprop;
+  int epochs = 150;
+  // SGD parameters.
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  std::size_t batch_size = 32;
+  // Shared.
+  double l2 = 1e-5;
+  std::uint64_t shuffle_seed = 0x5EED;
+  /// Re-weight classes inversely to frequency during training. HMD corpora
+  /// are 5:1 malware-heavy; without balancing the detector buys malware
+  /// recall with a large benign false-positive rate.
+  bool balance_classes = false;
+  /// Early stopping on validation loss; 0 disables.
+  int patience = 20;
+  double min_delta = 1e-5;
+  // iRPROP− step-size schedule.
+  double rprop_delta0 = 0.05;
+  double rprop_eta_plus = 1.2;
+  double rprop_eta_minus = 0.5;
+  double rprop_delta_max = 50.0;
+  double rprop_delta_min = 1e-7;
+};
+
+struct TrainReport {
+  int epochs_run = 0;
+  double final_train_loss = 0.0;
+  double final_val_loss = 0.0;
+  bool early_stopped = false;
+};
+
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig config = {});
+
+  /// Fit `net` on `train`; if `validation` is non-empty and patience > 0,
+  /// stop early when validation loss plateaus and restore the best
+  /// parameters seen.
+  TrainReport fit(Network& net, std::span<const TrainSample> train,
+                  std::span<const TrainSample> validation = {});
+
+  /// Mean binary cross-entropy of `net` on `data` (exact arithmetic).
+  [[nodiscard]] static double loss(const Network& net, std::span<const TrainSample> data);
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace shmd::nn

@@ -1,0 +1,106 @@
+#include "rng/entropy.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace shmd::rng {
+
+namespace {
+
+/// Phi(m) from SP 800-22: sum over all m-bit patterns of pi * ln(pi),
+/// where pi is the relative frequency of the pattern among the n cyclic
+/// windows of the sequence.
+double phi(std::span<const std::uint8_t> bits, unsigned m) {
+  if (m == 0) return 0.0;
+  const std::size_t n = bits.size();
+  const std::size_t patterns = std::size_t{1} << m;
+  std::vector<std::size_t> counts(patterns, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t idx = 0;
+    for (unsigned j = 0; j < m; ++j) {
+      idx = (idx << 1) | (bits[(i + j) % n] & 1U);
+    }
+    ++counts[idx];
+  }
+  double sum = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(n);
+    sum += p * std::log(p);
+  }
+  return sum;
+}
+
+/// Lower incomplete gamma by series expansion (x < a + 1).
+double gamma_series(double a, double x) {
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int k = 1; k < 1000; ++k) {
+    term *= x / (a + k);
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Upper incomplete gamma by continued fraction (x >= a + 1), modified
+/// Lentz's method.
+double gamma_cont_frac(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 1000; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double igamc(double a, double x) {
+  if (a <= 0.0) throw std::invalid_argument("igamc: a must be positive");
+  if (x < 0.0) throw std::invalid_argument("igamc: x must be non-negative");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_series(a, x);
+  return gamma_cont_frac(a, x);
+}
+
+double approximate_entropy(std::span<const std::uint8_t> bits, unsigned block_len) {
+  if (bits.empty()) throw std::invalid_argument("approximate_entropy: empty sequence");
+  return phi(bits, block_len) - phi(bits, block_len + 1);
+}
+
+ApEnResult apen_test(std::span<const std::uint8_t> bits, unsigned block_len) {
+  if (bits.empty()) throw std::invalid_argument("apen_test: empty sequence");
+  if (block_len == 0) throw std::invalid_argument("apen_test: block_len must be >= 1");
+  const double n = static_cast<double>(bits.size());
+  ApEnResult r;
+  r.apen = approximate_entropy(bits, block_len);
+  r.chi_squared = 2.0 * n * (std::log(2.0) - r.apen);
+  if (r.chi_squared < 0.0) r.chi_squared = 0.0;  // finite-sample ApEn can exceed ln 2
+  // SP 800-22: p = igamc(2^(m-1), chi^2 / 2).
+  r.p_value = igamc(std::pow(2.0, static_cast<double>(block_len) - 1.0), r.chi_squared / 2.0);
+  return r;
+}
+
+std::vector<std::uint8_t> to_bits(std::span<const std::uint64_t> values, unsigned bit) {
+  if (bit >= 64) throw std::invalid_argument("to_bits: bit index out of range");
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size());
+  for (std::uint64_t v : values) out.push_back(static_cast<std::uint8_t>((v >> bit) & 1U));
+  return out;
+}
+
+}  // namespace shmd::rng

@@ -1,0 +1,44 @@
+// Approximate-entropy (ApEn) test, NIST SP 800-22 §2.12.
+//
+// §II of the paper validates that undervolting-induced fault locations are
+// stochastic (time-variant) "using the approximate entropy test". We use
+// the same test: the characterization bench feeds it the per-run fault-bit
+// sequences, and the property tests assert that the injector's output
+// passes while a deterministic (stuck-at) fault source fails.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace shmd::rng {
+
+/// Raw ApEn(m) statistic over a binary sequence (with cyclic wraparound,
+/// as specified by SP 800-22). For an i.i.d. fair-coin source this
+/// approaches ln 2 ≈ 0.693 as the sequence grows.
+[[nodiscard]] double approximate_entropy(std::span<const std::uint8_t> bits, unsigned block_len);
+
+/// Result of the full NIST test: chi² statistic and p-value.
+struct ApEnResult {
+  double apen = 0.0;
+  double chi_squared = 0.0;
+  double p_value = 0.0;
+  /// SP 800-22 accepts randomness at the 1% significance level.
+  [[nodiscard]] bool random(double alpha = 0.01) const noexcept { return p_value >= alpha; }
+};
+
+/// Run the NIST approximate-entropy test with block length m.
+/// Requires bits.size() >= 2^(m+5) or so for the asymptotics to hold;
+/// throws std::invalid_argument when the sequence is degenerate (empty).
+[[nodiscard]] ApEnResult apen_test(std::span<const std::uint8_t> bits, unsigned block_len = 2);
+
+/// Upper regularized incomplete gamma function Q(a, x) = Γ(a,x)/Γ(a).
+/// Exposed because the benches also use it to report p-values directly.
+[[nodiscard]] double igamc(double a, double x);
+
+/// Pack the low bit of each byte of `values` into a bit vector — helper for
+/// turning fault-location samples into ApEn input.
+[[nodiscard]] std::vector<std::uint8_t> to_bits(std::span<const std::uint64_t> values,
+                                                unsigned bit);
+
+}  // namespace shmd::rng

@@ -1,0 +1,24 @@
+#include "rng/lgm_prng.hpp"
+
+namespace shmd::rng {
+
+LgmPrng::LgmPrng(std::uint32_t seed) noexcept : state_(seed % kModulus) {
+  if (state_ == 0) state_ = 1;  // 0 is an absorbing state for an MLCG.
+}
+
+std::uint32_t LgmPrng::next_u31() noexcept {
+  // Schrage-free: 16807 * (2^31 - 2) < 2^46 fits comfortably in 64 bits.
+  state_ = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(state_) * kMultiplier) % kModulus);
+  return state_;
+}
+
+std::uint64_t LgmPrng::next_u64() {
+  count_query();
+  const std::uint64_t a = next_u31();
+  const std::uint64_t b = next_u31();
+  const std::uint64_t c = next_u31();
+  return (a << 33) ^ (b << 2) ^ (c & 0x3);
+}
+
+}  // namespace shmd::rng

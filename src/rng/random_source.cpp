@@ -1,0 +1,17 @@
+#include "rng/random_source.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace shmd::rng {
+
+double RandomSource::gaussian() {
+  const std::uint64_t bits = next_u64();
+  // Two 32-bit uniforms from one draw; u1 kept away from 0 for log().
+  const double u1 =
+      (static_cast<double>(bits >> 32) + 1.0) * 0x1.0p-32;  // (0, 1]
+  const double u2 = static_cast<double>(bits & 0xFFFFFFFFULL) * 0x1.0p-32;  // [0, 1)
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace shmd::rng

@@ -1,0 +1,54 @@
+// RandomSource: the abstraction §VIII of the paper compares against.
+//
+// Noise-injection defenses (the TRNG/PRNG baselines) must query a randomness
+// source once per MAC operation. The *cost* of that query is the whole
+// story: an off-core TRNG (Intel DRNG-style) is shared between cores and
+// expensive to reach; an on-core PRNG is cheap but still adds work per MAC;
+// undervolting noise is free. Each source therefore reports a per-query
+// latency/energy cost that the sys::LatencyModel and sys::EnergyMeter
+// charge to the defense using it.
+#pragma once
+
+#include <cstdint>
+
+namespace shmd::rng {
+
+/// Per-query cost of drawing randomness from a source.
+struct QueryCost {
+  double latency_cycles = 0.0;  ///< CPU cycles consumed per 64-bit draw.
+  double energy_nj = 0.0;       ///< Energy in nanojoules per 64-bit draw.
+};
+
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Draw 64 uniform bits. Implementations also bump query_count().
+  virtual std::uint64_t next_u64() = 0;
+
+  /// Cost charged for every next_u64() call.
+  [[nodiscard]] virtual QueryCost query_cost() const noexcept = 0;
+
+  /// Human-readable name ("trng", "prng-lgm", ...).
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  [[nodiscard]] std::uint64_t query_count() const noexcept { return queries_; }
+  void reset_query_count() noexcept { queries_ = 0; }
+
+  /// Uniform double in [0,1) derived from one 64-bit draw.
+  double uniform01() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Standard normal from ONE 64-bit draw: the two Box–Muller uniforms are
+  /// taken from the high/low 32-bit halves. A per-MAC Gaussian-noise
+  /// defense therefore pays exactly one query per MAC, which is the unit
+  /// the §VIII overhead comparison is calibrated in.
+  double gaussian();
+
+ protected:
+  void count_query() noexcept { ++queries_; }
+
+ private:
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace shmd::rng

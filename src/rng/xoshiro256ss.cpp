@@ -1,0 +1,89 @@
+#include "rng/xoshiro256ss.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "rng/splitmix64.hpp"
+
+namespace shmd::rng {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm();
+}
+
+std::uint64_t Xoshiro256ss::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256ss::uniform01() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256ss::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Xoshiro256ss::below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Rejection sampling: discard the biased tail of the 64-bit range.
+  const std::uint64_t limit = ~0ULL - (~0ULL % bound);
+  std::uint64_t x;
+  do {
+    x = (*this)();
+  } while (x >= limit);
+  return x % bound;
+}
+
+double Xoshiro256ss::gaussian() noexcept {
+  // Box–Muller; u1 is kept away from 0 so log() is finite.
+  double u1;
+  do {
+    u1 = uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Xoshiro256ss::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+void Xoshiro256ss::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL,
+                                            0xA9582618E03FC9AAULL, 0x39ABDC4529B1661CULL};
+  std::uint64_t t[4] = {0, 0, 0, 0};
+  for (std::uint64_t j : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (j & (1ULL << b)) {
+        t[0] ^= s_[0];
+        t[1] ^= s_[1];
+        t[2] ^= s_[2];
+        t[3] ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_[0] = t[0];
+  s_[1] = t[1];
+  s_[2] = t[2];
+  s_[3] = t[3];
+}
+
+}  // namespace shmd::rng

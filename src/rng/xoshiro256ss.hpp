@@ -1,0 +1,45 @@
+// xoshiro256** — the project's default fast PRNG.
+//
+// Satisfies UniformRandomBitGenerator so it composes with <random>
+// distributions. All stochastic components (fault injection, synthetic
+// trace generation, attack search) take an explicit generator so every
+// experiment is reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace shmd::rng {
+
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state via SplitMix64, per the reference code.
+  explicit Xoshiro256ss(std::uint64_t seed = 0x5EEDBA5EULL) noexcept;
+
+  std::uint64_t operator()() noexcept;
+
+  /// Uniform double in [0, 1) using the top 53 bits.
+  double uniform01() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method
+  /// would be overkill here; we use rejection sampling).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double gaussian() noexcept;
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept;
+
+  /// Jump function: advances the state by 2^128 steps; used to derive
+  /// non-overlapping streams for parallel experiment repeats.
+  void jump() noexcept;
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace shmd::rng

@@ -1,0 +1,47 @@
+#include "sys/energy_meter.hpp"
+
+namespace shmd::sys {
+
+EnergySample EnergyMeter::detection(const nn::Network& net, double voltage_v) const {
+  EnergySample s;
+  s.time_us = latency_.inference_us(net);
+  s.energy_uj = power_.power_w(voltage_v) * s.time_us;  // W * us = uJ
+  return s;
+}
+
+EnergySample EnergyMeter::rhmd_detection(const nn::Network& net,
+                                         std::size_t n_base_detectors) const {
+  EnergySample s;
+  s.time_us = latency_.rhmd_inference_us(net, n_base_detectors);
+  s.energy_uj = power_.power_w(power_.config().nominal_voltage_v) * s.time_us;
+  return s;
+}
+
+EnergySample EnergyMeter::noise_detection(const nn::Network& net,
+                                          const rng::RandomSource& source) const {
+  EnergySample s;
+  s.time_us = latency_.noise_inference_us(net, source);
+  const double core_energy = power_.power_w(power_.config().nominal_voltage_v) * s.time_us;
+  const double query_energy_uj = static_cast<double>(net.mac_count()) *
+                                 source.query_cost().energy_nj * 1e-3;  // nJ -> uJ
+  s.energy_uj = core_energy + query_energy_uj;
+  return s;
+}
+
+void EnergyMeter::record(const EnergySample& sample) noexcept {
+  ++count_;
+  total_energy_uj_ += sample.energy_uj;
+  total_time_us_ += sample.time_us;
+}
+
+double EnergyMeter::average_power_w() const noexcept {
+  return total_time_us_ <= 0.0 ? 0.0 : total_energy_uj_ / total_time_us_;
+}
+
+void EnergyMeter::reset() noexcept {
+  count_ = 0;
+  total_energy_uj_ = 0.0;
+  total_time_us_ = 0.0;
+}
+
+}  // namespace shmd::sys

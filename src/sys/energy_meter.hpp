@@ -1,0 +1,65 @@
+// EnergyMeter: the Intel-Power-Gadget stand-in (§VIII measures "average
+// consumed power per inference" with Power Gadget).
+//
+// Combines the PowerModel (core watts at a voltage) with the LatencyModel
+// (seconds per inference) plus any explicit per-query randomness energy
+// (TRNG/PRNG baselines) into per-inference energy and average power, and
+// accumulates totals across a measurement run.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/network.hpp"
+#include "rng/random_source.hpp"
+#include "sys/latency_model.hpp"
+#include "sys/power_model.hpp"
+
+namespace shmd::sys {
+
+struct EnergySample {
+  double time_us = 0.0;
+  double energy_uj = 0.0;
+
+  [[nodiscard]] double average_power_w() const noexcept {
+    return time_us <= 0.0 ? 0.0 : energy_uj / time_us;
+  }
+};
+
+class EnergyMeter {
+ public:
+  EnergyMeter(PowerModel power, LatencyModel latency)
+      : power_(power), latency_(latency) {}
+
+  /// One baseline/Stochastic-HMD inference at supply `voltage_v`.
+  [[nodiscard]] EnergySample detection(const nn::Network& net, double voltage_v) const;
+
+  /// One RHMD inference (always at nominal voltage — RHMD does not
+  /// undervolt) with `n_base_detectors` models.
+  [[nodiscard]] EnergySample rhmd_detection(const nn::Network& net,
+                                            std::size_t n_base_detectors) const;
+
+  /// One noise-injection-defense inference at nominal voltage: core energy
+  /// for the stretched runtime plus per-query energy of the source.
+  [[nodiscard]] EnergySample noise_detection(const nn::Network& net,
+                                             const rng::RandomSource& source) const;
+
+  /// Accumulate a sample into the running totals (a "measurement run").
+  void record(const EnergySample& sample) noexcept;
+  [[nodiscard]] std::uint64_t detections() const noexcept { return count_; }
+  [[nodiscard]] double total_energy_uj() const noexcept { return total_energy_uj_; }
+  [[nodiscard]] double total_time_us() const noexcept { return total_time_us_; }
+  [[nodiscard]] double average_power_w() const noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] const PowerModel& power() const noexcept { return power_; }
+  [[nodiscard]] const LatencyModel& latency() const noexcept { return latency_; }
+
+ private:
+  PowerModel power_;
+  LatencyModel latency_;
+  std::uint64_t count_ = 0;
+  double total_energy_uj_ = 0.0;
+  double total_time_us_ = 0.0;
+};
+
+}  // namespace shmd::sys

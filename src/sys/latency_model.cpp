@@ -1,0 +1,50 @@
+#include "sys/latency_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace shmd::sys {
+
+LatencyModel::LatencyModel(LatencyModelConfig config) : config_(config) {
+  if (config_.frequency_ghz <= 0.0) {
+    throw std::invalid_argument("LatencyModel: frequency must be positive");
+  }
+}
+
+double LatencyModel::cycles_to_us(double cycles) const {
+  return cycles / (config_.frequency_ghz * 1000.0);
+}
+
+double LatencyModel::base_cycles(const nn::Network& net) const {
+  return static_cast<double>(net.mac_count()) * config_.cycles_per_mac +
+         config_.fixed_overhead_cycles;
+}
+
+double LatencyModel::inference_us(const nn::Network& net) const {
+  return cycles_to_us(base_cycles(net));
+}
+
+double LatencyModel::rhmd_inference_us(const nn::Network& net,
+                                       std::size_t n_base_detectors) const {
+  if (n_base_detectors == 0) {
+    throw std::invalid_argument("rhmd_inference_us: need >= 1 base detector");
+  }
+  // Expected refill: the next window's model differs from the resident one
+  // with probability (n-1)/n; the refetch touches min(model, L1) bytes.
+  const double p_switch =
+      static_cast<double>(n_base_detectors - 1) / static_cast<double>(n_base_detectors);
+  const double refill_bytes = static_cast<double>(
+      std::min(net.memory_bytes(), config_.l1_size_bytes));
+  const double extra = config_.model_select_cycles +
+                       p_switch * refill_bytes * config_.refill_cycles_per_byte;
+  return cycles_to_us(base_cycles(net) + extra);
+}
+
+double LatencyModel::noise_inference_us(const nn::Network& net,
+                                        const rng::RandomSource& source) const {
+  const double query_cycles =
+      static_cast<double>(net.mac_count()) * source.query_cost().latency_cycles;
+  return cycles_to_us(base_cycles(net) + query_cycles);
+}
+
+}  // namespace shmd::sys

@@ -1,0 +1,63 @@
+// Per-inference latency model.
+//
+// §VIII's timing table: Stochastic-HMD 7 µs, RHMD-2F 7.7 µs, RHMD-2F2P
+// 7.8 µs on the i7-5557U, with "scaling the voltage has no effect on the
+// inference time" (frequency is untouched). The model decomposes a
+// detection into:
+//
+//   MAC work        — one pipelined multiply-accumulate per weight;
+//   fixed overhead  — dispatch + feature-vector staging;
+//   RHMD extras     — random base-model selection + the L1 refill caused
+//                     by switching between resident models ("random model
+//                     selection also has impact on L1 cache eviction");
+//   noise extras    — per-MAC randomness queries for the TRNG/PRNG
+//                     defense baselines (§VIII's 62x / 4x overheads).
+#pragma once
+
+#include <cstddef>
+
+#include "nn/network.hpp"
+#include "rng/random_source.hpp"
+
+namespace shmd::sys {
+
+struct LatencyModelConfig {
+  double frequency_ghz = 2.2;
+  /// Effective cycles per MAC (SIMD-pipelined dense kernels).
+  double cycles_per_mac = 0.85;
+  double fixed_overhead_cycles = 350.0;
+  /// RHMD model-selection cost (RNG draw + indirect dispatch).
+  double model_select_cycles = 180.0;
+  std::size_t l1_size_bytes = 32 * 1024;  // paper cites Tiger Lake's 32 KB L1
+  /// Refill cost per byte of model state re-fetched after a switch.
+  double refill_cycles_per_byte = 0.085;
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyModelConfig config = {});
+
+  /// Baseline / Stochastic-HMD inference time. Voltage does not appear:
+  /// undervolting leaves the clock untouched.
+  [[nodiscard]] double inference_us(const nn::Network& net) const;
+
+  /// RHMD inference: adds selection plus the expected L1 refill given
+  /// `n_base_detectors` equally likely models of `model_bytes` each.
+  [[nodiscard]] double rhmd_inference_us(const nn::Network& net, std::size_t n_base_detectors)
+      const;
+
+  /// Noise-injection defense: adds one randomness query per MAC with the
+  /// source's per-query latency.
+  [[nodiscard]] double noise_inference_us(const nn::Network& net,
+                                          const rng::RandomSource& source) const;
+
+  [[nodiscard]] double cycles_to_us(double cycles) const;
+  [[nodiscard]] const LatencyModelConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] double base_cycles(const nn::Network& net) const;
+
+  LatencyModelConfig config_;
+};
+
+}  // namespace shmd::sys

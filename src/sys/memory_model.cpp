@@ -1,0 +1,20 @@
+#include "sys/memory_model.hpp"
+
+#include <stdexcept>
+
+namespace shmd::sys {
+
+double MemoryModel::storage_savings(std::size_t rhmd_base_detectors) {
+  if (rhmd_base_detectors == 0) {
+    throw std::invalid_argument("storage_savings: need >= 1 base detector");
+  }
+  return static_cast<double>(rhmd_base_detectors - 1) /
+         static_cast<double>(rhmd_base_detectors);
+}
+
+std::size_t MemoryModel::rhmd_bytes(const nn::Network& net, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("rhmd_bytes: need >= 1 base detector");
+  return net.memory_bytes() * n;
+}
+
+}  // namespace shmd::sys

@@ -1,0 +1,39 @@
+// Model-storage accounting (§VIII "Memory space").
+//
+// RHMDs must keep every base detector resident; Stochastic-HMD stores one
+// model. Equation (1) of the paper:
+//
+//   storage savings = (#base detectors in RHMD - 1) / #base detectors
+//
+// plus the cache-pressure observation: "every HMD takes 71 KB of memory,
+// while the L1 cache size in Intel's Tiger Lake CPU is 32 KB".
+#pragma once
+
+#include <cstddef>
+
+#include "nn/network.hpp"
+
+namespace shmd::sys {
+
+class MemoryModel {
+ public:
+  explicit MemoryModel(std::size_t l1_size_bytes = 32 * 1024) : l1_size_bytes_(l1_size_bytes) {}
+
+  /// Paper Eq. (1).
+  [[nodiscard]] static double storage_savings(std::size_t rhmd_base_detectors);
+
+  /// Bytes an RHMD with `n` base detectors of this model keeps resident.
+  [[nodiscard]] static std::size_t rhmd_bytes(const nn::Network& net, std::size_t n);
+
+  /// True when a single model no longer fits in L1 (cache-thrash regime).
+  [[nodiscard]] bool exceeds_l1(const nn::Network& net) const noexcept {
+    return net.memory_bytes() > l1_size_bytes_;
+  }
+
+  [[nodiscard]] std::size_t l1_size_bytes() const noexcept { return l1_size_bytes_; }
+
+ private:
+  std::size_t l1_size_bytes_;
+};
+
+}  // namespace shmd::sys

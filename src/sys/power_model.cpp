@@ -1,0 +1,37 @@
+#include "sys/power_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace shmd::sys {
+
+PowerModel::PowerModel(PowerModelConfig config) : config_(config) {
+  if (config_.nominal_voltage_v <= 0.0 || config_.nominal_power_w <= 0.0) {
+    throw std::invalid_argument("PowerModel: nominal voltage/power must be positive");
+  }
+  if (config_.dynamic_fraction < 0.0 || config_.leakage_fraction < 0.0) {
+    throw std::invalid_argument("PowerModel: fractions must be non-negative");
+  }
+}
+
+double PowerModel::power_w(double voltage_v) const {
+  if (voltage_v <= 0.0) throw std::invalid_argument("PowerModel: voltage must be positive");
+  const double r = voltage_v / config_.nominal_voltage_v;
+  const double dyn = config_.dynamic_fraction * r * r;
+  const double leak = config_.leakage_fraction * std::pow(r, config_.leakage_exponent);
+  return config_.nominal_power_w * (dyn + leak) /
+         (config_.dynamic_fraction + config_.leakage_fraction);
+}
+
+double PowerModel::savings_vs_nominal(double voltage_v) const {
+  return 1.0 - power_w(voltage_v) / config_.nominal_power_w;
+}
+
+double PowerModel::savings_vs(double voltage_v, double competitor_power_w) const {
+  if (competitor_power_w <= 0.0) {
+    throw std::invalid_argument("PowerModel: competitor power must be positive");
+  }
+  return 1.0 - power_w(voltage_v) / competitor_power_w;
+}
+
+}  // namespace shmd::sys

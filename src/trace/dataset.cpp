@@ -1,0 +1,100 @@
+#include "trace/dataset.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::trace {
+
+void FeatureSet::put(FeatureConfig config, std::vector<std::vector<double>> windows) {
+  windows_[config] = std::move(windows);
+}
+
+const std::vector<std::vector<double>>& FeatureSet::windows(FeatureConfig config) const {
+  const auto it = windows_.find(config);
+  if (it == windows_.end()) {
+    throw std::out_of_range("FeatureSet: no windows for requested view/period");
+  }
+  return it->second;
+}
+
+bool FeatureSet::has(FeatureConfig config) const noexcept {
+  return windows_.contains(config);
+}
+
+FeatureSet extract_feature_set(std::span<const Instruction> trace,
+                               std::span<const std::size_t> periods) {
+  FeatureSet fs;
+  for (std::size_t v = 0; v < kNumViews; ++v) {
+    const auto view = static_cast<FeatureView>(v);
+    for (std::size_t period : periods) {
+      fs.put(FeatureConfig{view, period}, extract_windows(trace, view, period));
+    }
+  }
+  return fs;
+}
+
+Dataset Dataset::build(const DatasetConfig& config) {
+  if (config.periods.empty()) throw std::invalid_argument("Dataset: need >= 1 period");
+  for (std::size_t period : config.periods) {
+    if (period == 0 || period > config.trace_length) {
+      throw std::invalid_argument("Dataset: period must be in [1, trace_length]");
+    }
+  }
+
+  Dataset ds;
+  ds.config_ = config;
+  const std::vector<Program> corpus = ProgramFactory::make_corpus(config.corpus);
+  const TraceCollector collector(config.trace_length);
+
+  ds.samples_.reserve(corpus.size());
+  for (const Program& program : corpus) {
+    ProgramSample sample{program, FeatureSet{}};
+    const std::vector<Instruction> trace = collector.collect(program);
+    for (std::size_t v = 0; v < kNumViews; ++v) {
+      const auto view = static_cast<FeatureView>(v);
+      for (std::size_t period : config.periods) {
+        sample.features.put(FeatureConfig{view, period}, extract_windows(trace, view, period));
+      }
+    }
+    ds.samples_.push_back(std::move(sample));
+  }
+  return ds;
+}
+
+FoldSplit Dataset::folds(int rotation) const {
+  if (rotation < 0 || rotation > 2) throw std::invalid_argument("folds: rotation must be 0..2");
+
+  // Stratify: bucket sample indices by family, shuffle each bucket with a
+  // seeded RNG, then deal round-robin into three folds. Every fold ends up
+  // with (almost exactly) a third of each family.
+  std::array<std::vector<std::size_t>, kNumFamilies> by_family;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    by_family[static_cast<std::size_t>(samples_[i].program.family())].push_back(i);
+  }
+
+  rng::Xoshiro256ss gen(config_.fold_seed);
+  std::array<std::vector<std::size_t>, 3> folds;
+  for (auto& bucket : by_family) {
+    for (std::size_t i = bucket.size(); i > 1; --i) {
+      std::swap(bucket[i - 1], bucket[gen.below(i)]);
+    }
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      folds[i % 3].push_back(bucket[i]);
+    }
+  }
+
+  FoldSplit split;
+  split.victim_training = std::move(folds[static_cast<std::size_t>(rotation) % 3]);
+  split.attacker_training = std::move(folds[(static_cast<std::size_t>(rotation) + 1) % 3]);
+  split.testing = std::move(folds[(static_cast<std::size_t>(rotation) + 2) % 3]);
+  return split;
+}
+
+std::vector<Instruction> Dataset::trace_of(std::size_t sample_idx) const {
+  return samples_.at(sample_idx).program.generate(config_.trace_length);
+}
+
+}  // namespace shmd::trace

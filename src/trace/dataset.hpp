@@ -1,0 +1,96 @@
+// Dataset: the corpus with features extracted, split into the paper's
+// three folds.
+//
+// §IV: "The dataset was divided evenly into 3-folds, which are victim
+// training, attacker training, and testing... the malware types and the
+// benign application types were distributed evenly and randomly across the
+// folds to ensure that the datasets are not biased." We implement exactly
+// that stratified 3-way split, plus rotation for 3-fold cross-validation.
+//
+// Feature storage: for each program we keep the per-window feature vectors
+// for every (view, period) pair, not the raw instruction stream — streams
+// are re-derivable from the program seed when the attack layer needs to
+// mutate them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "trace/features.hpp"
+#include "trace/program_factory.hpp"
+#include "trace/trace_collector.hpp"
+
+namespace shmd::trace {
+
+/// Identifies one feature configuration: which view at which detection
+/// period (window size, in instructions).
+struct FeatureConfig {
+  FeatureView view = FeatureView::kInsnCategory;
+  std::size_t period = 2048;
+
+  friend auto operator<=>(const FeatureConfig&, const FeatureConfig&) = default;
+};
+
+/// Per-program extracted features: windows for each configured view/period.
+class FeatureSet {
+ public:
+  void put(FeatureConfig config, std::vector<std::vector<double>> windows);
+  [[nodiscard]] const std::vector<std::vector<double>>& windows(FeatureConfig config) const;
+  [[nodiscard]] bool has(FeatureConfig config) const noexcept;
+
+ private:
+  std::map<FeatureConfig, std::vector<std::vector<double>>> windows_;
+};
+
+struct ProgramSample {
+  Program program;
+  FeatureSet features;
+
+  [[nodiscard]] bool malware() const noexcept { return program.malware(); }
+};
+
+struct DatasetConfig {
+  CorpusConfig corpus;
+  std::size_t trace_length = 32768;
+  /// Detection periods (window sizes); RHMD's "2P" constructions use both.
+  std::vector<std::size_t> periods = {2048, 4096};
+  std::uint64_t fold_seed = 0xF01D5ULL;
+};
+
+/// Indices (into Dataset::samples()) of the three roles.
+struct FoldSplit {
+  std::vector<std::size_t> victim_training;
+  std::vector<std::size_t> attacker_training;
+  std::vector<std::size_t> testing;
+};
+
+/// Extract a full FeatureSet (all views at each given period) from a raw
+/// instruction stream. Used on attacker-modified traces, where the
+/// precomputed per-sample features no longer apply.
+[[nodiscard]] FeatureSet extract_feature_set(std::span<const Instruction> trace,
+                                             std::span<const std::size_t> periods);
+
+class Dataset {
+ public:
+  /// Build the corpus, trace every program, and extract features for all
+  /// (view, period) combinations.
+  [[nodiscard]] static Dataset build(const DatasetConfig& config);
+
+  [[nodiscard]] const std::vector<ProgramSample>& samples() const noexcept { return samples_; }
+  [[nodiscard]] const DatasetConfig& config() const noexcept { return config_; }
+
+  /// Stratified 3-fold split. `rotation` in {0,1,2} rotates which fold
+  /// plays which role, giving the paper's 3-fold cross-validation.
+  [[nodiscard]] FoldSplit folds(int rotation = 0) const;
+
+  /// Re-materialize a sample's instruction trace (deterministic).
+  [[nodiscard]] std::vector<Instruction> trace_of(std::size_t sample_idx) const;
+
+ private:
+  DatasetConfig config_;
+  std::vector<ProgramSample> samples_;
+};
+
+}  // namespace shmd::trace

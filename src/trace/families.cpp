@@ -1,0 +1,248 @@
+#include "trace/families.hpp"
+
+#include <initializer_list>
+#include <stdexcept>
+#include <utility>
+
+namespace shmd::trace {
+
+std::string_view family_name(Family f) {
+  switch (f) {
+    case Family::kBrowser: return "browser";
+    case Family::kTextEditor: return "text_editor";
+    case Family::kSystemUtility: return "system_utility";
+    case Family::kCpuBenchmark: return "cpu_benchmark";
+    case Family::kMediaPlayer: return "media_player";
+    case Family::kBackdoor: return "backdoor";
+    case Family::kRogue: return "rogue";
+    case Family::kPasswordStealer: return "password_stealer";
+    case Family::kTrojan: return "trojan";
+    case Family::kWorm: return "worm";
+  }
+  throw std::invalid_argument("family_name: unknown family");
+}
+
+namespace {
+
+using Cat = InsnCategory;
+
+/// Build a weight vector: every category gets a small floor (so every
+/// category can appear in any program) and the listed entries get their
+/// explicit mass.
+std::array<double, kNumCategories> weights(
+    std::initializer_list<std::pair<Cat, double>> entries) {
+  std::array<double, kNumCategories> w{};
+  w.fill(0.008);
+  for (const auto& [cat, mass] : entries) w[static_cast<std::size_t>(cat)] = mass;
+  return w;
+}
+
+PhaseTemplate phase(std::string_view name, std::array<double, kNumCategories> w,
+                    double burstiness, double taken, std::uint32_t duration) {
+  PhaseTemplate p;
+  p.name = name;
+  p.weights = w;
+  p.burstiness = burstiness;
+  p.branch_taken_prob = taken;
+  p.mean_duration = duration;
+  return p;
+}
+
+FamilySpec make_spec(Family f) {
+  FamilySpec spec;
+  spec.family = f;
+  switch (f) {
+    case Family::kBrowser:
+      spec.phases = {
+          phase("parse",
+                weights({{Cat::kDataMovement, 0.30}, {Cat::kBinaryArithmetic, 0.12},
+                         {Cat::kLogical, 0.08}, {Cat::kBitByte, 0.05},
+                         {Cat::kControlTransfer, 0.20}, {Cat::kString, 0.08},
+                         {Cat::kMisc, 0.06}, {Cat::kSystem, 0.03}, {Cat::kSimd, 0.04}}),
+                0.30, 0.62, 3500),
+          phase("render",
+                weights({{Cat::kDataMovement, 0.24}, {Cat::kBinaryArithmetic, 0.10},
+                         {Cat::kControlTransfer, 0.12}, {Cat::kSimd, 0.30},
+                         {Cat::kMisc, 0.05}, {Cat::kShiftRotate, 0.04},
+                         {Cat::kLogical, 0.05}}),
+                0.45, 0.70, 4000),
+          phase("network",
+                weights({{Cat::kDataMovement, 0.22}, {Cat::kControlTransfer, 0.15},
+                         {Cat::kSystem, 0.09}, {Cat::kIo, 0.07}, {Cat::kCrypto, 0.12},
+                         {Cat::kString, 0.08}, {Cat::kLogical, 0.06}}),
+                0.35, 0.58, 2500),
+      };
+      break;
+    case Family::kTextEditor:
+      spec.phases = {
+          phase("edit",
+                weights({{Cat::kDataMovement, 0.34}, {Cat::kString, 0.15},
+                         {Cat::kControlTransfer, 0.18}, {Cat::kBinaryArithmetic, 0.08},
+                         {Cat::kBitByte, 0.05}, {Cat::kMisc, 0.08}, {Cat::kSystem, 0.03}}),
+                0.35, 0.60, 4500),
+          phase("idle",
+                weights({{Cat::kDataMovement, 0.20}, {Cat::kControlTransfer, 0.26},
+                         {Cat::kSystem, 0.07}, {Cat::kMisc, 0.20}, {Cat::kFlagControl, 0.06}}),
+                0.25, 0.82, 2000),
+          phase("save",
+                weights({{Cat::kString, 0.20}, {Cat::kIo, 0.08}, {Cat::kSystem, 0.10},
+                         {Cat::kDataMovement, 0.26}, {Cat::kControlTransfer, 0.14}}),
+                0.55, 0.65, 1800),
+      };
+      break;
+    case Family::kSystemUtility:
+      // Deliberately syscall-heavy: the benign family that overlaps
+      // malware behavior and drives realistic false positives.
+      spec.phases = {
+          phase("scan",
+                weights({{Cat::kSystem, 0.15}, {Cat::kDataMovement, 0.25},
+                         {Cat::kControlTransfer, 0.18}, {Cat::kString, 0.10},
+                         {Cat::kIo, 0.05}, {Cat::kBitByte, 0.05}}),
+                0.30, 0.58, 3000),
+          phase("configure",
+                weights({{Cat::kSystem, 0.11}, {Cat::kDataMovement, 0.30},
+                         {Cat::kSegment, 0.05}, {Cat::kMisc, 0.08},
+                         {Cat::kControlTransfer, 0.16}}),
+                0.30, 0.60, 2200),
+          phase("report",
+                weights({{Cat::kString, 0.12}, {Cat::kDataMovement, 0.30},
+                         {Cat::kControlTransfer, 0.15}, {Cat::kIo, 0.05},
+                         {Cat::kBinaryArithmetic, 0.08}}),
+                0.35, 0.62, 2000),
+      };
+      break;
+    case Family::kCpuBenchmark:
+      spec.phases = {
+          phase("kernel",
+                weights({{Cat::kBinaryArithmetic, 0.34}, {Cat::kSimd, 0.24},
+                         {Cat::kX87Fp, 0.08}, {Cat::kDataMovement, 0.15},
+                         {Cat::kControlTransfer, 0.10}, {Cat::kLogical, 0.05}}),
+                0.55, 0.86, 6000),
+          phase("memory",
+                weights({{Cat::kDataMovement, 0.44}, {Cat::kString, 0.15},
+                         {Cat::kBinaryArithmetic, 0.12}, {Cat::kControlTransfer, 0.10},
+                         {Cat::kSimd, 0.08}}),
+                0.60, 0.88, 5000),
+      };
+      break;
+    case Family::kMediaPlayer:
+      spec.phases = {
+          phase("decode",
+                weights({{Cat::kSimd, 0.36}, {Cat::kDataMovement, 0.22},
+                         {Cat::kBinaryArithmetic, 0.12}, {Cat::kControlTransfer, 0.10},
+                         {Cat::kShiftRotate, 0.06}, {Cat::kLogical, 0.05}}),
+                0.50, 0.78, 5000),
+          phase("output",
+                weights({{Cat::kIo, 0.10}, {Cat::kDataMovement, 0.30}, {Cat::kSimd, 0.15},
+                         {Cat::kSystem, 0.06}, {Cat::kControlTransfer, 0.12}}),
+                0.40, 0.66, 2500),
+      };
+      break;
+    case Family::kBackdoor:
+      spec.phases = {
+          phase("listen",
+                weights({{Cat::kSystem, 0.15}, {Cat::kIo, 0.11}, {Cat::kControlTransfer, 0.20},
+                         {Cat::kDataMovement, 0.22}, {Cat::kFlagControl, 0.04}}),
+                0.30, 0.74, 2800),
+          phase("command_control",
+                weights({{Cat::kCrypto, 0.10}, {Cat::kSystem, 0.13}, {Cat::kIo, 0.09},
+                         {Cat::kString, 0.08}, {Cat::kDataMovement, 0.20},
+                         {Cat::kControlTransfer, 0.15}}),
+                0.35, 0.60, 3200),
+          phase("execute",
+                weights({{Cat::kSystem, 0.16}, {Cat::kDataMovement, 0.25},
+                         {Cat::kControlTransfer, 0.18}, {Cat::kSegment, 0.04},
+                         {Cat::kMisc, 0.06}}),
+                0.30, 0.58, 2400),
+      };
+      break;
+    case Family::kRogue:
+      spec.phases = {
+          phase("scare_ui",
+                weights({{Cat::kSimd, 0.18}, {Cat::kDataMovement, 0.25},
+                         {Cat::kControlTransfer, 0.15}, {Cat::kSystem, 0.09},
+                         {Cat::kString, 0.06}}),
+                0.40, 0.68, 3000),
+          phase("fake_scan",
+                weights({{Cat::kString, 0.17}, {Cat::kSystem, 0.11}, {Cat::kDataMovement, 0.22},
+                         {Cat::kBitByte, 0.08}, {Cat::kControlTransfer, 0.15}}),
+                0.45, 0.62, 3500),
+          phase("payment",
+                weights({{Cat::kCrypto, 0.08}, {Cat::kIo, 0.08}, {Cat::kSystem, 0.11},
+                         {Cat::kDataMovement, 0.25}, {Cat::kControlTransfer, 0.14}}),
+                0.30, 0.60, 2000),
+      };
+      break;
+    case Family::kPasswordStealer:
+      spec.phases = {
+          phase("harvest",
+                weights({{Cat::kString, 0.24}, {Cat::kDataMovement, 0.25},
+                         {Cat::kBitByte, 0.10}, {Cat::kControlTransfer, 0.12},
+                         {Cat::kSystem, 0.08}}),
+                0.55, 0.64, 3600),
+          phase("decrypt",
+                weights({{Cat::kCrypto, 0.14}, {Cat::kLogical, 0.10}, {Cat::kShiftRotate, 0.08},
+                         {Cat::kBinaryArithmetic, 0.12}, {Cat::kDataMovement, 0.20}}),
+                0.50, 0.72, 2600),
+          phase("exfiltrate",
+                weights({{Cat::kIo, 0.13}, {Cat::kSystem, 0.11}, {Cat::kCrypto, 0.08},
+                         {Cat::kControlTransfer, 0.12}, {Cat::kDataMovement, 0.22}}),
+                0.35, 0.60, 2200),
+      };
+      break;
+    case Family::kTrojan:
+      // Mimic phase is intentionally benign-looking: trojans are the hard
+      // positives that keep baseline FNR non-zero.
+      spec.phases = {
+          phase("mimic",
+                weights({{Cat::kDataMovement, 0.32}, {Cat::kBinaryArithmetic, 0.12},
+                         {Cat::kControlTransfer, 0.18}, {Cat::kMisc, 0.08},
+                         {Cat::kString, 0.05}, {Cat::kSystem, 0.04}}),
+                0.35, 0.62, 5000),
+          phase("payload",
+                weights({{Cat::kSystem, 0.15}, {Cat::kString, 0.10}, {Cat::kIo, 0.07},
+                         {Cat::kCrypto, 0.06}, {Cat::kDataMovement, 0.22},
+                         {Cat::kControlTransfer, 0.14}}),
+                0.35, 0.58, 2200),
+          phase("persist",
+                weights({{Cat::kSystem, 0.16}, {Cat::kSegment, 0.06}, {Cat::kDataMovement, 0.25},
+                         {Cat::kBitByte, 0.06}, {Cat::kControlTransfer, 0.15}}),
+                0.30, 0.60, 1800),
+      };
+      break;
+    case Family::kWorm:
+      spec.phases = {
+          phase("scan_network",
+                weights({{Cat::kIo, 0.15}, {Cat::kSystem, 0.13}, {Cat::kControlTransfer, 0.18},
+                         {Cat::kDataMovement, 0.20}, {Cat::kBitByte, 0.05}}),
+                0.30, 0.70, 3000),
+          phase("replicate",
+                weights({{Cat::kString, 0.19}, {Cat::kCrypto, 0.12}, {Cat::kDataMovement, 0.22},
+                         {Cat::kSystem, 0.10}, {Cat::kControlTransfer, 0.12}}),
+                0.55, 0.64, 3400),
+          phase("infect",
+                weights({{Cat::kSystem, 0.15}, {Cat::kSegment, 0.05}, {Cat::kDataMovement, 0.24},
+                         {Cat::kString, 0.10}, {Cat::kControlTransfer, 0.15}}),
+                0.35, 0.60, 2600),
+      };
+      break;
+  }
+  return spec;
+}
+
+}  // namespace
+
+const FamilySpec& family_spec(Family f) {
+  static const std::array<FamilySpec, kNumFamilies> kSpecs = [] {
+    std::array<FamilySpec, kNumFamilies> specs{};
+    for (std::size_t i = 0; i < kNumFamilies; ++i) {
+      specs[i] = make_spec(static_cast<Family>(i));
+    }
+    return specs;
+  }();
+  const auto idx = static_cast<std::size_t>(f);
+  if (idx >= kNumFamilies) throw std::invalid_argument("family_spec: unknown family");
+  return kSpecs[idx];
+}
+
+}  // namespace shmd::trace

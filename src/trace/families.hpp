@@ -1,0 +1,76 @@
+// Program families for the synthetic corpus.
+//
+// The paper's dataset (§IV): 3000 malware from theZoo across five types —
+// backdoors, rogues, password stealers, trojans, worms — and 600 benign
+// programs ("browsers, text editing tools, system programs, and CPU
+// performance benchmarks"). We model ten families (5 malware + 5 benign)
+// as *phase-structured behavioral archetypes*: each family defines a loop
+// of execution phases with characteristic instruction-category mixes, and
+// each sampled program jitters those mixes (intra-family diversity).
+//
+// The class-separating structure mirrors the HMD literature: malware skews
+// toward system/string/IO activity (syscall-heavy C2 loops, buffer
+// scanning, propagation), while benign programs skew toward compute and
+// data movement — with deliberate overlap (system utilities look
+// syscall-heavy too) so baseline detectors show realistic FPR/FNR.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "trace/isa.hpp"
+
+namespace shmd::trace {
+
+enum class Family : std::uint8_t {
+  // Benign.
+  kBrowser = 0,
+  kTextEditor,
+  kSystemUtility,
+  kCpuBenchmark,
+  kMediaPlayer,
+  // Malware (matches the paper's five theZoo types).
+  kBackdoor,
+  kRogue,
+  kPasswordStealer,
+  kTrojan,
+  kWorm,
+};
+
+inline constexpr std::size_t kNumFamilies = 10;
+inline constexpr std::size_t kNumBenignFamilies = 5;
+inline constexpr std::size_t kNumMalwareFamilies = 5;
+
+[[nodiscard]] constexpr bool is_malware(Family f) noexcept {
+  return static_cast<std::uint8_t>(f) >= kNumBenignFamilies;
+}
+
+[[nodiscard]] std::string_view family_name(Family f);
+
+/// One execution phase archetype: a category mix plus dynamic-behavior
+/// parameters. Sampled programs perturb `weights` multiplicatively.
+struct PhaseTemplate {
+  std::string_view name;
+  std::array<double, kNumCategories> weights{};  ///< unnormalized category mix
+  double burstiness = 0.3;       ///< P(repeat previous category)
+  double branch_taken_prob = 0.6;
+  std::uint32_t mean_duration = 3000;  ///< instructions per phase visit
+};
+
+/// Family archetype: the phase loop plus intra-family jitter magnitude.
+struct FamilySpec {
+  Family family;
+  std::vector<PhaseTemplate> phases;
+  /// Log-normal sigma applied per-category when sampling a program:
+  /// higher → more intra-family diversity → harder classification.
+  double weight_jitter_sigma = 0.75;
+  /// Jitter on phase durations (fractional).
+  double duration_jitter = 0.4;
+};
+
+/// Archetype lookup (static table built once).
+[[nodiscard]] const FamilySpec& family_spec(Family f);
+
+}  // namespace shmd::trace

@@ -1,0 +1,141 @@
+#include "trace/features.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace shmd::trace {
+
+std::string_view view_name(FeatureView v) {
+  switch (v) {
+    case FeatureView::kInsnCategory: return "insn_category";
+    case FeatureView::kMemory: return "memory";
+    case FeatureView::kControlFlow: return "control_flow";
+  }
+  throw std::invalid_argument("view_name: unknown view");
+}
+
+std::size_t view_dim(FeatureView v) {
+  switch (v) {
+    case FeatureView::kInsnCategory: return kNumCategories;
+    case FeatureView::kMemory: return 8;
+    case FeatureView::kControlFlow: return 8;
+  }
+  throw std::invalid_argument("view_dim: unknown view");
+}
+
+namespace {
+
+std::vector<double> extract_insn_category(std::span<const Instruction> w) {
+  std::vector<double> f(kNumCategories, 0.0);
+  for (const Instruction& insn : w) f[static_cast<std::size_t>(insn.category)] += 1.0;
+  const double n = static_cast<double>(w.size());
+  for (double& x : f) x /= n;
+  return f;
+}
+
+std::vector<double> extract_memory(std::span<const Instruction> w) {
+  std::vector<double> f(8, 0.0);
+  const double n = static_cast<double>(w.size());
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  std::size_t accesses = 0;
+  std::array<std::size_t, kNumStrideBuckets> strides{};
+  std::size_t direction_switches = 0;
+  bool have_prev_dir = false;
+  bool prev_was_write = false;
+  for (const Instruction& insn : w) {
+    if (insn.mem_read) ++reads;
+    if (insn.mem_write) ++writes;
+    if (insn.mem_read || insn.mem_write) {
+      ++accesses;
+      ++strides[std::min<std::size_t>(insn.stride_bucket, kNumStrideBuckets - 1)];
+      const bool is_write = insn.mem_write && !insn.mem_read;
+      if (have_prev_dir && is_write != prev_was_write) ++direction_switches;
+      prev_was_write = is_write;
+      have_prev_dir = true;
+    }
+  }
+  f[0] = static_cast<double>(reads) / n;
+  f[1] = static_cast<double>(writes) / n;
+  if (accesses > 0) {
+    for (std::size_t b = 0; b < kNumStrideBuckets; ++b) {
+      f[2 + b] = static_cast<double>(strides[b]) / static_cast<double>(accesses);
+    }
+  }
+  f[6] = accesses > 1
+             ? static_cast<double>(direction_switches) / static_cast<double>(accesses - 1)
+             : 0.0;
+  f[7] = static_cast<double>(accesses) / n;  // overall memory density
+  return f;
+}
+
+std::vector<double> extract_control_flow(std::span<const Instruction> w) {
+  std::vector<double> f(8, 0.0);
+  const double n = static_cast<double>(w.size());
+  std::size_t controls = 0;
+  std::size_t cond = 0;
+  std::size_t taken = 0;
+  std::size_t calls = 0;
+  std::size_t rets = 0;
+  std::size_t jumps = 0;
+  std::size_t taken_switches = 0;
+  bool have_prev_taken = false;
+  bool prev_taken = false;
+  for (const Instruction& insn : w) {
+    if (insn.control == ControlKind::kNone) continue;
+    ++controls;
+    switch (insn.control) {
+      case ControlKind::kCondBranch:
+        ++cond;
+        if (insn.branch_taken) ++taken;
+        if (have_prev_taken && insn.branch_taken != prev_taken) ++taken_switches;
+        prev_taken = insn.branch_taken;
+        have_prev_taken = true;
+        break;
+      case ControlKind::kJump: ++jumps; break;
+      case ControlKind::kCall: ++calls; break;
+      case ControlKind::kRet: ++rets; break;
+      case ControlKind::kNone: break;
+    }
+  }
+  f[0] = static_cast<double>(controls) / n;
+  if (controls > 0) {
+    f[1] = static_cast<double>(cond) / static_cast<double>(controls);
+    f[3] = static_cast<double>(calls) / static_cast<double>(controls);
+    f[4] = static_cast<double>(rets) / static_cast<double>(controls);
+    f[5] = static_cast<double>(jumps) / static_cast<double>(controls);
+  }
+  f[2] = cond > 0 ? static_cast<double>(taken) / static_cast<double>(cond) : 0.0;
+  // Mean basic-block length, squashed into [0, 1] (32+ instruction blocks
+  // saturate — long straight-line code).
+  const double bb_len = n / static_cast<double>(controls + 1);
+  f[6] = std::min(bb_len / 32.0, 1.0);
+  f[7] = cond > 1 ? static_cast<double>(taken_switches) / static_cast<double>(cond - 1) : 0.0;
+  return f;
+}
+
+}  // namespace
+
+std::vector<double> extract_window(std::span<const Instruction> window, FeatureView view) {
+  if (window.empty()) throw std::invalid_argument("extract_window: empty window");
+  switch (view) {
+    case FeatureView::kInsnCategory: return extract_insn_category(window);
+    case FeatureView::kMemory: return extract_memory(window);
+    case FeatureView::kControlFlow: return extract_control_flow(window);
+  }
+  throw std::invalid_argument("extract_window: unknown view");
+}
+
+std::vector<std::vector<double>> extract_windows(std::span<const Instruction> trace,
+                                                 FeatureView view, std::size_t period) {
+  if (period == 0) throw std::invalid_argument("extract_windows: period must be > 0");
+  std::vector<std::vector<double>> out;
+  const std::size_t n_windows = trace.size() / period;
+  out.reserve(n_windows);
+  for (std::size_t i = 0; i < n_windows; ++i) {
+    out.push_back(extract_window(trace.subspan(i * period, period), view));
+  }
+  return out;
+}
+
+}  // namespace shmd::trace

@@ -1,0 +1,52 @@
+// Feature extraction: instruction traces → per-window feature vectors.
+//
+// Three *feature views* are defined, following the RHMD construction the
+// paper builds on (RHMDs randomize across detectors trained on different
+// feature vectors; Stochastic-HMD itself uses the instruction-category
+// view). Each view maps a window of `period` retired instructions to a
+// fixed-length vector of values in [0, 1]:
+//
+//   kInsnCategory — relative frequency of each of the 16 instruction
+//                   categories (the paper's primary feature set, §IV);
+//   kMemory       — memory-reference mix: read/write densities, stride
+//                   locality histogram, access-direction alternation;
+//   kControlFlow  — architectural control-flow events: branch density,
+//                   taken ratio, call/ret mix, basic-block length.
+//
+// Two *detection periods* (window sizes) are supported throughout; RHMD's
+// "2P" constructions randomize across them.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "trace/instruction.hpp"
+
+namespace shmd::trace {
+
+enum class FeatureView : std::uint8_t {
+  kInsnCategory = 0,
+  kMemory = 1,
+  kControlFlow = 2,
+};
+
+inline constexpr std::size_t kNumViews = 3;
+
+[[nodiscard]] std::string_view view_name(FeatureView v);
+
+/// Dimensionality of a view's feature vector.
+[[nodiscard]] std::size_t view_dim(FeatureView v);
+
+/// Extract one view's features over a single window.
+[[nodiscard]] std::vector<double> extract_window(std::span<const Instruction> window,
+                                                 FeatureView view);
+
+/// Slice `trace` into consecutive non-overlapping windows of `period`
+/// instructions (dropping a trailing partial window) and extract features
+/// for each.
+[[nodiscard]] std::vector<std::vector<double>> extract_windows(
+    std::span<const Instruction> trace, FeatureView view, std::size_t period);
+
+}  // namespace shmd::trace

@@ -1,0 +1,63 @@
+// Simulated hardware-performance-counter (HPC) feature collection — the
+// road NOT taken, and why.
+//
+// §IV: "it has been shown that hardware features collected through
+// hardware performance counters (HPCs) are not reliable to be used in
+// security applications due to their non-determinism [Das et al., S&P'19].
+// In this work, we do not use HPCs, and we make sure that our feature
+// collection framework is deterministic."
+//
+// This collector models the documented HPC pathologies so the repository
+// can *demonstrate* that design decision instead of asserting it:
+//   * interrupt skid / overcounting   — events attributed past the sampling
+//     boundary, a per-run positive bias;
+//   * counter multiplexing            — more event classes than physical
+//     counters, so classes are time-sliced and scaled, adding estimation
+//     variance;
+//   * context-switch contamination    — slices of another context's events
+//     land in the monitored window.
+// Each collection run draws fresh perturbations (run_id): identical input,
+// different measurements — exactly what Pin-style instrumentation avoids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/program.hpp"
+
+namespace shmd::trace {
+
+struct HpcConfig {
+  /// Physical counters available; with fewer counters than the 16 event
+  /// classes, multiplexing error applies to every class.
+  unsigned physical_counters = 4;
+  /// Relative std-dev of the multiplexing extrapolation per class.
+  double multiplex_error_sigma = 0.05;
+  /// Mean overcount per event from interrupt skid (fraction of true count).
+  double skid_overcount_mean = 0.01;
+  /// Probability a window is contaminated by another context...
+  double contamination_prob = 0.08;
+  /// ...and the fraction of foreign events mixed in when it is.
+  double contamination_fraction = 0.10;
+};
+
+class HpcCollector {
+ public:
+  explicit HpcCollector(HpcConfig config = {}) : config_(config) {}
+
+  /// Measure per-category event frequencies for `program` over
+  /// `n_instructions`. `run_id` captures everything that differs between
+  /// two otherwise identical runs (interrupt timing, scheduler decisions);
+  /// two calls with different run_ids return different measurements for
+  /// the SAME program — the non-determinism that disqualifies HPCs.
+  [[nodiscard]] std::vector<double> collect_frequencies(const Program& program,
+                                                        std::size_t n_instructions,
+                                                        std::uint64_t run_id) const;
+
+  [[nodiscard]] const HpcConfig& config() const noexcept { return config_; }
+
+ private:
+  HpcConfig config_;
+};
+
+}  // namespace shmd::trace

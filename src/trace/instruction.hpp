@@ -1,0 +1,25 @@
+// One retired instruction as seen by the (Pin-like) trace collector.
+//
+// The collector only keeps what the feature views consume: the category,
+// memory side-information, and control-flow side-information. 4 bytes per
+// instruction keeps full corpora in memory during dataset construction.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/isa.hpp"
+
+namespace shmd::trace {
+
+struct Instruction {
+  InsnCategory category = InsnCategory::kDataMovement;
+  ControlKind control = ControlKind::kNone;
+  std::uint8_t stride_bucket = 0;  ///< valid when mem_read or mem_write
+  bool mem_read : 1 = false;
+  bool mem_write : 1 = false;
+  bool branch_taken : 1 = false;  ///< valid when control == kCondBranch
+};
+
+static_assert(sizeof(Instruction) <= 4, "Instruction must stay compact");
+
+}  // namespace shmd::trace

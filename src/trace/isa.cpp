@@ -1,0 +1,118 @@
+#include "trace/isa.hpp"
+
+#include <stdexcept>
+
+namespace shmd::trace {
+
+std::string_view category_name(InsnCategory c) {
+  switch (c) {
+    case InsnCategory::kDataMovement: return "data_movement";
+    case InsnCategory::kBinaryArithmetic: return "binary_arithmetic";
+    case InsnCategory::kLogical: return "logical";
+    case InsnCategory::kShiftRotate: return "shift_rotate";
+    case InsnCategory::kBitByte: return "bit_byte";
+    case InsnCategory::kControlTransfer: return "control_transfer";
+    case InsnCategory::kString: return "string";
+    case InsnCategory::kFlagControl: return "flag_control";
+    case InsnCategory::kSegment: return "segment";
+    case InsnCategory::kMisc: return "misc";
+    case InsnCategory::kSystem: return "system";
+    case InsnCategory::kX87Fp: return "x87_fp";
+    case InsnCategory::kSimd: return "simd";
+    case InsnCategory::kCrypto: return "crypto";
+    case InsnCategory::kIo: return "io";
+    case InsnCategory::kDecimalArithmetic: return "decimal_arithmetic";
+  }
+  throw std::invalid_argument("category_name: unknown category");
+}
+
+const CategoryBehavior& category_behavior(InsnCategory c) {
+  // Read/write probabilities loosely follow x86 operand conventions:
+  // data movement touches memory often, ALU ops read more than they write,
+  // string ops stream sequentially, control transfers rarely touch memory.
+  static const std::array<CategoryBehavior, kNumCategories> kTable = [] {
+    std::array<CategoryBehavior, kNumCategories> t{};
+    auto& mov = t[static_cast<std::size_t>(InsnCategory::kDataMovement)];
+    mov.mem_read_prob = 0.45;
+    mov.mem_write_prob = 0.35;
+    mov.stride_probs = {0.35, 0.35, 0.2, 0.1};
+
+    auto& arith = t[static_cast<std::size_t>(InsnCategory::kBinaryArithmetic)];
+    arith.mem_read_prob = 0.25;
+    arith.mem_write_prob = 0.08;
+    arith.stride_probs = {0.3, 0.4, 0.2, 0.1};
+
+    auto& logical = t[static_cast<std::size_t>(InsnCategory::kLogical)];
+    logical.mem_read_prob = 0.2;
+    logical.mem_write_prob = 0.06;
+    logical.stride_probs = {0.3, 0.4, 0.2, 0.1};
+
+    auto& shift = t[static_cast<std::size_t>(InsnCategory::kShiftRotate)];
+    shift.mem_read_prob = 0.1;
+    shift.mem_write_prob = 0.04;
+    shift.stride_probs = {0.4, 0.3, 0.2, 0.1};
+
+    auto& bit = t[static_cast<std::size_t>(InsnCategory::kBitByte)];
+    bit.mem_read_prob = 0.3;
+    bit.mem_write_prob = 0.05;
+    bit.stride_probs = {0.25, 0.3, 0.25, 0.2};
+
+    auto& ctl = t[static_cast<std::size_t>(InsnCategory::kControlTransfer)];
+    ctl.mem_read_prob = 0.08;  // RET/indirect targets
+    ctl.mem_write_prob = 0.05; // CALL pushing the return address
+    ctl.stride_probs = {0.7, 0.2, 0.05, 0.05};
+    ctl.control_mix = {0.72, 0.10, 0.10, 0.08};  // cond, jmp, call, ret
+
+    auto& str = t[static_cast<std::size_t>(InsnCategory::kString)];
+    str.mem_read_prob = 0.85;
+    str.mem_write_prob = 0.45;
+    str.stride_probs = {0.8, 0.15, 0.04, 0.01};
+
+    auto& flag = t[static_cast<std::size_t>(InsnCategory::kFlagControl)];
+    flag.mem_read_prob = 0.02;
+    flag.mem_write_prob = 0.02;
+
+    auto& seg = t[static_cast<std::size_t>(InsnCategory::kSegment)];
+    seg.mem_read_prob = 0.3;
+    seg.mem_write_prob = 0.02;
+    seg.stride_probs = {0.2, 0.2, 0.3, 0.3};
+
+    auto& misc = t[static_cast<std::size_t>(InsnCategory::kMisc)];
+    misc.mem_read_prob = 0.05;
+    misc.mem_write_prob = 0.02;
+    misc.stride_probs = {0.4, 0.3, 0.2, 0.1};
+
+    auto& sys = t[static_cast<std::size_t>(InsnCategory::kSystem)];
+    sys.mem_read_prob = 0.35;
+    sys.mem_write_prob = 0.25;
+    sys.stride_probs = {0.1, 0.2, 0.3, 0.4};
+
+    auto& x87 = t[static_cast<std::size_t>(InsnCategory::kX87Fp)];
+    x87.mem_read_prob = 0.3;
+    x87.mem_write_prob = 0.15;
+    x87.stride_probs = {0.5, 0.3, 0.15, 0.05};
+
+    auto& simd = t[static_cast<std::size_t>(InsnCategory::kSimd)];
+    simd.mem_read_prob = 0.4;
+    simd.mem_write_prob = 0.2;
+    simd.stride_probs = {0.75, 0.15, 0.07, 0.03};
+
+    auto& crypto = t[static_cast<std::size_t>(InsnCategory::kCrypto)];
+    crypto.mem_read_prob = 0.5;
+    crypto.mem_write_prob = 0.35;
+    crypto.stride_probs = {0.85, 0.1, 0.04, 0.01};
+
+    auto& io = t[static_cast<std::size_t>(InsnCategory::kIo)];
+    io.mem_read_prob = 0.45;
+    io.mem_write_prob = 0.45;
+    io.stride_probs = {0.6, 0.2, 0.1, 0.1};
+
+    auto& dec = t[static_cast<std::size_t>(InsnCategory::kDecimalArithmetic)];
+    dec.mem_read_prob = 0.05;
+    dec.mem_write_prob = 0.02;
+    return t;
+  }();
+  return kTable[static_cast<std::size_t>(c)];
+}
+
+}  // namespace shmd::trace

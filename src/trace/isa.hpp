@@ -1,0 +1,72 @@
+// Instruction taxonomy for the synthetic trace substrate.
+//
+// The paper's features are "based on the frequency of executed instruction
+// categories; based on Intel's sub-grouping of instructions, e.g., binary
+// arithmetic, control transfer, and system instructions sub-groups" (§IV,
+// modeled after the RHMD study). We mirror that taxonomy: 16 categories
+// drawn from the SDM's instruction groupings, plus a per-category
+// *behavior profile* (memory/branch/stride tendencies) used both when
+// synthesizing program traces and when the evasion attack injects padding
+// instructions of a chosen category.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace shmd::trace {
+
+enum class InsnCategory : std::uint8_t {
+  kDataMovement = 0,     // MOV/PUSH/POP/XCHG
+  kBinaryArithmetic,     // ADD/SUB/IMUL/DIV
+  kLogical,              // AND/OR/XOR/NOT
+  kShiftRotate,          // SHL/SHR/ROL/ROR
+  kBitByte,              // BT/BTS/SETcc/TEST
+  kControlTransfer,      // JMP/Jcc/CALL/RET
+  kString,               // MOVS/CMPS/SCAS/LODS/STOS
+  kFlagControl,          // STC/CLC/PUSHF
+  kSegment,              // LDS/LES/segment moves
+  kMisc,                 // LEA/NOP/CPUID/XLAT
+  kSystem,               // SYSCALL/INT/LGDT/ring transitions
+  kX87Fp,                // x87 floating point
+  kSimd,                 // SSE/AVX packed ops
+  kCrypto,               // AES-NI/SHA extensions
+  kIo,                   // IN/OUT/INS/OUTS
+  kDecimalArithmetic,    // AAA/DAA (rare legacy)
+};
+
+inline constexpr std::size_t kNumCategories = 16;
+
+[[nodiscard]] std::string_view category_name(InsnCategory c);
+
+/// Sub-kind of a control-transfer instruction (drives the control-flow
+/// feature view).
+enum class ControlKind : std::uint8_t {
+  kNone = 0,
+  kCondBranch,
+  kJump,
+  kCall,
+  kRet,
+};
+
+/// Memory-stride bucket for an accessing instruction: 0 = sequential,
+/// 1 = small stride (<64 B), 2 = page-local, 3 = scattered.
+inline constexpr std::size_t kNumStrideBuckets = 4;
+
+/// Behavioral tendencies of one instruction category, used to synthesize
+/// plausible memory/branch side-information for generated and injected
+/// instructions.
+struct CategoryBehavior {
+  double mem_read_prob = 0.0;
+  double mem_write_prob = 0.0;
+  /// Distribution over stride buckets, conditioned on a memory access.
+  std::array<double, kNumStrideBuckets> stride_probs{1.0, 0.0, 0.0, 0.0};
+  /// For kControlTransfer only: mix of control kinds
+  /// {cond-branch, jump, call, ret}.
+  std::array<double, 4> control_mix{0.0, 0.0, 0.0, 0.0};
+};
+
+/// Static behavior table (one entry per category).
+[[nodiscard]] const CategoryBehavior& category_behavior(InsnCategory c);
+
+}  // namespace shmd::trace

@@ -1,0 +1,115 @@
+#include "trace/program.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::trace {
+
+namespace {
+
+std::array<double, kNumCategories> to_cdf(std::array<double, kNumCategories> weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double acc = 0.0;
+  std::array<double, kNumCategories> cdf{};
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    acc += weights[i] / total;
+    cdf[i] = acc;
+  }
+  cdf[kNumCategories - 1] = 1.0;
+  return cdf;
+}
+
+InsnCategory sample_category(const std::array<double, kNumCategories>& cdf,
+                             rng::Xoshiro256ss& gen) {
+  const double u = gen.uniform01();
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    if (u < cdf[i]) return static_cast<InsnCategory>(i);
+  }
+  return static_cast<InsnCategory>(kNumCategories - 1);
+}
+
+template <std::size_t N>
+std::size_t sample_discrete(const std::array<double, N>& probs, rng::Xoshiro256ss& gen) {
+  double total = 0.0;
+  for (double p : probs) total += p;
+  if (total <= 0.0) return 0;
+  double u = gen.uniform01() * total;
+  for (std::size_t i = 0; i < N; ++i) {
+    u -= probs[i];
+    if (u < 0.0) return i;
+  }
+  return N - 1;
+}
+
+}  // namespace
+
+Program::Program(std::uint32_t id, Family family, std::uint64_t seed)
+    : id_(id), family_(family), seed_(seed) {
+  const FamilySpec& spec = family_spec(family);
+  // Phase sampling uses its own RNG stream (seed ^ tag) so that changing
+  // the trace length or generation code never perturbs program identity.
+  rng::Xoshiro256ss gen(seed ^ 0x9E3779B97F4A7C15ULL);
+  phases_.reserve(spec.phases.size());
+  for (const PhaseTemplate& tpl : spec.phases) {
+    Phase p;
+    std::array<double, kNumCategories> w = tpl.weights;
+    for (double& wi : w) {
+      // Multiplicative log-normal jitter: preserves positivity and keeps
+      // the family's qualitative mix while varying each sample.
+      wi *= std::exp(spec.weight_jitter_sigma * gen.gaussian());
+    }
+    p.category_cdf = to_cdf(w);
+    p.burstiness = std::clamp(tpl.burstiness + 0.1 * gen.gaussian(), 0.0, 0.9);
+    p.branch_taken_prob = std::clamp(tpl.branch_taken_prob + 0.05 * gen.gaussian(), 0.05, 0.95);
+    const double dur_scale = std::clamp(1.0 + spec.duration_jitter * gen.gaussian(), 0.3, 2.5);
+    p.duration = std::max<std::uint32_t>(
+        200, static_cast<std::uint32_t>(static_cast<double>(tpl.mean_duration) * dur_scale));
+    phases_.push_back(p);
+  }
+}
+
+std::vector<Instruction> Program::generate(std::size_t n_instructions) const {
+  std::vector<Instruction> out;
+  out.reserve(n_instructions);
+  rng::Xoshiro256ss gen(seed_);
+  std::size_t phase_idx = 0;
+  std::uint32_t remaining_in_phase = phases_.empty() ? 0 : phases_[0].duration;
+  auto prev_category = InsnCategory::kDataMovement;
+
+  while (out.size() < n_instructions) {
+    const Phase& phase = phases_[phase_idx];
+    if (remaining_in_phase == 0) {
+      phase_idx = (phase_idx + 1) % phases_.size();
+      remaining_in_phase = phases_[phase_idx].duration;
+      continue;
+    }
+    --remaining_in_phase;
+
+    Instruction insn;
+    insn.category = gen.bernoulli(phase.burstiness) ? prev_category
+                                                    : sample_category(phase.category_cdf, gen);
+    prev_category = insn.category;
+
+    const CategoryBehavior& behavior = category_behavior(insn.category);
+    insn.mem_read = gen.bernoulli(behavior.mem_read_prob);
+    insn.mem_write = gen.bernoulli(behavior.mem_write_prob);
+    if (insn.mem_read || insn.mem_write) {
+      insn.stride_bucket =
+          static_cast<std::uint8_t>(sample_discrete(behavior.stride_probs, gen));
+    }
+    if (insn.category == InsnCategory::kControlTransfer) {
+      const std::size_t kind = sample_discrete(behavior.control_mix, gen);
+      insn.control = static_cast<ControlKind>(kind + 1);  // skip kNone
+      if (insn.control == ControlKind::kCondBranch) {
+        insn.branch_taken = gen.bernoulli(phase.branch_taken_prob);
+      }
+    }
+    out.push_back(insn);
+  }
+  return out;
+}
+
+}  // namespace shmd::trace

@@ -1,0 +1,52 @@
+// A sampled synthetic program: the unit the corpus, the detectors, and the
+// evasion attack all operate on.
+//
+// A Program is fully determined by (family, seed): constructing it samples
+// concrete phase parameters from the family archetype, and generate()
+// re-derives the *identical* instruction stream on every call. This is the
+// determinism property the paper requires of its feature-collection
+// framework (§IV: "we get the exact same trace in every run when we supply
+// the same input") — and it lets the attack layer re-materialize a
+// victim's trace on demand instead of storing raw streams for the whole
+// corpus.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/families.hpp"
+#include "trace/instruction.hpp"
+
+namespace shmd::trace {
+
+/// Concrete (post-jitter) phase parameters of one program.
+struct Phase {
+  std::array<double, kNumCategories> category_cdf{};
+  double burstiness = 0.3;
+  double branch_taken_prob = 0.6;
+  std::uint32_t duration = 3000;
+};
+
+class Program {
+ public:
+  /// Sample a program of `family` deterministically from `seed`.
+  Program(std::uint32_t id, Family family, std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] Family family() const noexcept { return family_; }
+  [[nodiscard]] bool malware() const noexcept { return is_malware(family_); }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const std::vector<Phase>& phases() const noexcept { return phases_; }
+
+  /// Produce the first `n_instructions` of this program's execution.
+  /// Deterministic: equal calls return equal streams.
+  [[nodiscard]] std::vector<Instruction> generate(std::size_t n_instructions) const;
+
+ private:
+  std::uint32_t id_;
+  Family family_;
+  std::uint64_t seed_;
+  std::vector<Phase> phases_;
+};
+
+}  // namespace shmd::trace

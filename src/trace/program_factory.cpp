@@ -1,0 +1,27 @@
+#include "trace/program_factory.hpp"
+
+#include "rng/splitmix64.hpp"
+
+namespace shmd::trace {
+
+Program ProgramFactory::make_program(std::uint32_t id, Family family, std::uint64_t sample_seed) {
+  return Program(id, family, sample_seed);
+}
+
+std::vector<Program> ProgramFactory::make_corpus(const CorpusConfig& config) {
+  std::vector<Program> corpus;
+  corpus.reserve(config.n_malware + config.n_benign);
+  rng::SplitMix64 seeds(config.master_seed);
+  std::uint32_t id = 0;
+  for (std::size_t i = 0; i < config.n_benign; ++i) {
+    const auto family = static_cast<Family>(i % kNumBenignFamilies);
+    corpus.emplace_back(id++, family, seeds());
+  }
+  for (std::size_t i = 0; i < config.n_malware; ++i) {
+    const auto family = static_cast<Family>(kNumBenignFamilies + (i % kNumMalwareFamilies));
+    corpus.emplace_back(id++, family, seeds());
+  }
+  return corpus;
+}
+
+}  // namespace shmd::trace

@@ -1,0 +1,34 @@
+// ProgramFactory: builds the synthetic corpus.
+//
+// Mirrors the paper's dataset shape (§IV): 3000 malware / 600 benign, the
+// malware spread over five types, with family types "distributed evenly
+// and randomly" so folds stay unbiased. Sizes are parameters because the
+// unit tests run on much smaller corpora.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/program.hpp"
+
+namespace shmd::trace {
+
+struct CorpusConfig {
+  std::size_t n_malware = 3000;
+  std::size_t n_benign = 600;
+  std::uint64_t master_seed = 0xC0FFEEULL;
+};
+
+class ProgramFactory {
+ public:
+  /// Sample one program; `sample_seed` should be unique per program.
+  [[nodiscard]] static Program make_program(std::uint32_t id, Family family,
+                                            std::uint64_t sample_seed);
+
+  /// Build the full corpus: malware/benign counts split evenly across the
+  /// five families on each side, per-program seeds derived from the master
+  /// seed. Deterministic.
+  [[nodiscard]] static std::vector<Program> make_corpus(const CorpusConfig& config);
+};
+
+}  // namespace shmd::trace

@@ -1,0 +1,25 @@
+#include "trace/trace_collector.hpp"
+
+namespace shmd::trace {
+
+namespace {
+bool equal_insn(const Instruction& a, const Instruction& b) {
+  return a.category == b.category && a.control == b.control &&
+         a.stride_bucket == b.stride_bucket && a.mem_read == b.mem_read &&
+         a.mem_write == b.mem_write && a.branch_taken == b.branch_taken;
+}
+}  // namespace
+
+bool TraceCollector::verify_determinism(const Program& program, int runs) const {
+  const std::vector<Instruction> reference = collect(program);
+  for (int r = 1; r < runs; ++r) {
+    const std::vector<Instruction> trace = collect(program);
+    if (trace.size() != reference.size()) return false;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      if (!equal_insn(trace[i], reference[i])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace shmd::trace

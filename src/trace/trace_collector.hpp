@@ -1,0 +1,37 @@
+// TraceCollector: the Pin-like dynamic instrumentation stage (§IV).
+//
+// The paper collects traces with Intel Pin on an isolated machine and
+// *verifies determinism manually* (same input → same trace, across machines
+// and VMs) because HPC-based collection is non-deterministic and unsafe for
+// security use [6]. Our collector inherits determinism from the Program
+// model and exposes an explicit verification hook so the property is
+// checked mechanically in tests rather than by hand.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/program.hpp"
+
+namespace shmd::trace {
+
+class TraceCollector {
+ public:
+  explicit TraceCollector(std::size_t trace_length) : trace_length_(trace_length) {}
+
+  [[nodiscard]] std::size_t trace_length() const noexcept { return trace_length_; }
+
+  /// Run `program` under instrumentation and return its instruction trace.
+  [[nodiscard]] std::vector<Instruction> collect(const Program& program) const {
+    return program.generate(trace_length_);
+  }
+
+  /// Collect `runs` times and confirm every run produced the identical
+  /// stream — the paper's manual cross-machine check, made mechanical.
+  [[nodiscard]] bool verify_determinism(const Program& program, int runs = 3) const;
+
+ private:
+  std::size_t trace_length_;
+};
+
+}  // namespace shmd::trace

@@ -1,0 +1,72 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace shmd::util {
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         std::string default_value) {
+  flags_[name] = Flag{help, std::move(default_value), /*is_bool=*/false};
+}
+
+void CliParser::add_bool(const std::string& name, const std::string& help) {
+  flags_[name] = Flag{help, "false", /*is_bool=*/true};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = flags_.find(arg);
+    if (it == flags_.end()) throw std::invalid_argument("unknown flag: --" + arg);
+    if (it->second.is_bool) {
+      it->second.value = has_value ? value : "true";
+    } else if (has_value) {
+      it->second.value = value;
+    } else {
+      if (i + 1 >= argc) throw std::invalid_argument("missing value for --" + arg);
+      it->second.value = argv[++i];
+    }
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::invalid_argument("flag not registered: --" + name);
+  return it->second.value;
+}
+
+int CliParser::get_int(const std::string& name) const { return std::stoi(get(name)); }
+
+double CliParser::get_double(const std::string& name) const { return std::stod(get(name)); }
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+void CliParser::print_help(const std::string& program) const {
+  std::printf("Usage: %s [flags]\n\nFlags:\n", program.c_str());
+  for (const auto& [name, flag] : flags_) {
+    std::printf("  --%-24s %s (default: %s)\n", name.c_str(), flag.help.c_str(),
+                flag.value.c_str());
+  }
+}
+
+}  // namespace shmd::util

@@ -1,0 +1,41 @@
+// Minimal command-line flag parser for the bench and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` forms.
+// Unknown flags are an error so typos in experiment sweeps fail loudly
+// instead of silently running the default configuration.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace shmd::util {
+
+class CliParser {
+ public:
+  /// Register a flag before parse(). `help` is printed by print_help().
+  void add_flag(const std::string& name, const std::string& help, std::string default_value);
+  void add_bool(const std::string& name, const std::string& help);
+
+  /// Parse argv; returns false (after printing help) if --help was given.
+  /// Throws std::invalid_argument on unknown flags or missing values.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] int get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  void print_help(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool is_bool = false;
+  };
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace shmd::util

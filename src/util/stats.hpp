@@ -1,0 +1,86 @@
+// Small statistics helpers shared by the evaluation harness and benches.
+//
+// Everything here is deliberately dependency-free: the experiment code
+// aggregates accuracy/score distributions with these helpers and the bench
+// binaries print them.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace shmd::util {
+
+/// Arithmetic mean of a sample; returns 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased (n-1) sample standard deviation; returns 0 for n < 2.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Population variance with Bessel's correction; 0 for n < 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Minimum of a non-empty sample.
+[[nodiscard]] double min(std::span<const double> xs);
+
+/// Maximum of a non-empty sample.
+[[nodiscard]] double max(std::span<const double> xs);
+
+/// Median (linear-interpolated) of a sample; returns 0 for an empty span.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// q-th quantile (q in [0,1]) with linear interpolation between order
+/// statistics; returns 0 for an empty span.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Streaming mean/variance accumulator (Welford). Use when samples are
+/// produced one at a time and storing them all would be wasteful.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi). Samples outside the range are clamped
+/// into the first/last bin so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Center of bin `bin` on the value axis.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  /// Fraction of all samples that landed in `bin` (0 if histogram is empty).
+  [[nodiscard]] double density(std::size_t bin) const;
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace shmd::util

@@ -1,0 +1,45 @@
+// Console table / CSV rendering used by the per-figure bench harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures; the
+// Table class gives them a uniform "print the rows the paper reports" path
+// (aligned text for the console, CSV for downstream plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace shmd::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; the row must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with `precision` decimal digits.
+  static std::string fmt(double value, int precision = 3);
+  /// Convenience: percentage formatting ("93.42%").
+  static std::string pct(double fraction, int precision = 2);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Render as an aligned, boxed text table.
+  void print(std::ostream& os) const;
+  /// Render as CSV (RFC-4180-style quoting for cells containing commas).
+  void print_csv(std::ostream& os) const;
+  /// Write CSV to a file, creating/truncating it. Throws on I/O failure.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a horizontal ASCII bar of `width` cells filled proportionally to
+/// value/max (used by benches to sketch the paper's bar charts in-terminal).
+[[nodiscard]] std::string ascii_bar(double value, double max, std::size_t width = 40);
+
+}  // namespace shmd::util

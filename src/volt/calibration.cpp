@@ -1,0 +1,90 @@
+#include "volt/calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::volt {
+
+CalibrationController::CalibrationController(VoltageDomain& domain, std::uint64_t trials,
+                                             std::uint64_t seed,
+                                             std::optional<std::uint64_t> token)
+    : domain_(&domain), token_(token), trials_(trials), seed_(seed) {
+  if (trials == 0) throw std::invalid_argument("CalibrationController: trials must be > 0");
+}
+
+double CalibrationController::measure_error_rate(double offset_mv) {
+  // Empirical measurement: run `trials_` multiplications with random
+  // operands at the candidate operating point and count faulty results,
+  // exactly what a real calibration loop does with a test kernel.
+  const auto& model = domain_->model();
+  const double temp = domain_->temperature_c();
+  if (model.freezes(offset_mv, temp)) {
+    throw SystemFreezeError(model.profile().nominal_voltage_v + offset_mv / 1000.0);
+  }
+  rng::Xoshiro256ss gen(seed_ + (draws_++));
+  std::uint64_t faults = 0;
+  for (std::uint64_t i = 0; i < trials_; ++i) {
+    const std::uint64_t a = gen();
+    const std::uint64_t b = gen();
+    const double p = model.operand_fault_probability(a, b, offset_mv, temp);
+    if (gen.bernoulli(p)) ++faults;
+  }
+  return static_cast<double>(faults) / static_cast<double>(trials_);
+}
+
+CalibrationResult CalibrationController::calibrate(double target_er, double tolerance) {
+  if (target_er < 0.0 || target_er > 1.0) {
+    throw std::invalid_argument("calibrate: target error rate must be in [0, 1]");
+  }
+  if (tolerance <= 0.0) throw std::invalid_argument("calibrate: tolerance must be positive");
+
+  const auto& model = domain_->model();
+  const double temp = domain_->temperature_c();
+
+  CalibrationResult result;
+  result.target_er = target_er;
+  result.trials = trials_;
+
+  // Bisect in undervolt depth. Measured fault rate is monotone (up to
+  // sampling noise) in depth, so plain bisection converges.
+  double lo_depth = 0.0;  // no faults here
+  double hi_depth = model.saturation_depth_mv(temp) + 2.0;
+  double best_offset = 0.0;
+  double best_er = 0.0;
+
+  for (int iter = 0; iter < 24; ++iter) {
+    const double depth = 0.5 * (lo_depth + hi_depth);
+    const double measured = measure_error_rate(-depth);
+    ++result.iterations;
+    best_offset = -depth;
+    best_er = measured;
+    if (std::abs(measured - target_er) <= tolerance) break;
+    if (measured < target_er) lo_depth = depth;
+    else hi_depth = depth;
+  }
+
+  result.offset_mv = best_offset;
+  result.measured_er = best_er;
+  domain_->set_offset_mv(0.0, token_);
+  return result;
+}
+
+std::map<double, CalibrationResult> CalibrationController::calibration_table(double target_er,
+                                                                             double t_lo,
+                                                                             double t_hi,
+                                                                             double t_step) {
+  if (t_step <= 0.0) throw std::invalid_argument("calibration_table: t_step must be positive");
+  if (t_hi < t_lo) throw std::invalid_argument("calibration_table: t_hi must be >= t_lo");
+  const double saved_temp = domain_->temperature_c();
+  std::map<double, CalibrationResult> table;
+  for (double t = t_lo; t <= t_hi + 1e-9; t += t_step) {
+    domain_->set_temperature_c(t);
+    table[t] = calibrate(target_er);
+  }
+  domain_->set_temperature_c(saved_temp);
+  return table;
+}
+
+}  // namespace shmd::volt

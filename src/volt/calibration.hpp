@@ -1,0 +1,66 @@
+// CalibrationController: per-device, per-temperature undervolt calibration.
+//
+// §IX: "a separate calibration needs to be done for each device to
+// determine the undervolting level that leads to the best
+// accuracy/robustness tradeoff. Furthermore, the temperature needs to be
+// considered... the voltage regulator that controls the Stochastic-HMD
+// needs to dynamically adjust the undervolting level based on the current
+// temperature."
+//
+// The controller calibrates *empirically*, the way a real deployment must:
+// it programs candidate offsets on the domain, measures the observed fault
+// rate on trial multiplications, and bisects to the offset whose measured
+// rate hits the target. A calibration table across temperatures supports
+// the dynamic adjustment the paper calls for.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <map>
+#include <vector>
+
+#include "volt/voltage_domain.hpp"
+
+namespace shmd::volt {
+
+struct CalibrationResult {
+  double offset_mv = 0.0;    ///< programmed undervolt offset (negative)
+  double measured_er = 0.0;  ///< empirically observed per-op fault rate
+  double target_er = 0.0;
+  std::uint64_t trials = 0;  ///< multiplications run per measurement
+  int iterations = 0;        ///< bisection steps taken
+};
+
+class CalibrationController {
+ public:
+  /// `trials` multiplications are simulated per candidate offset; more
+  /// trials → tighter measurement, slower calibration.
+  /// `token`: the exclusive-control token when the rail is claimed (e.g.
+  /// by a ThermalGovernor); calibration re-programs the rail through it.
+  explicit CalibrationController(VoltageDomain& domain, std::uint64_t trials = 20000,
+                                 std::uint64_t seed = 0xCA11B8ULL,
+                                 std::optional<std::uint64_t> token = std::nullopt);
+
+  /// Measure the empirical fault rate at `offset_mv` (does not leave the
+  /// domain programmed to it).
+  [[nodiscard]] double measure_error_rate(double offset_mv);
+
+  /// Find the offset achieving `target_er` within `tolerance` at the
+  /// domain's current temperature. Leaves the domain at nominal (offset 0).
+  [[nodiscard]] CalibrationResult calibrate(double target_er, double tolerance = 0.01);
+
+  /// Build a temperature→offset table for `target_er` over [t_lo, t_hi]
+  /// sampled every `t_step` °C. Restores the domain temperature afterwards.
+  [[nodiscard]] std::map<double, CalibrationResult> calibration_table(double target_er,
+                                                                      double t_lo, double t_hi,
+                                                                      double t_step);
+
+ private:
+  VoltageDomain* domain_;
+  std::optional<std::uint64_t> token_;
+  std::uint64_t trials_;
+  std::uint64_t seed_;
+  std::uint64_t draws_ = 0;
+};
+
+}  // namespace shmd::volt

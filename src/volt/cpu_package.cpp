@@ -1,0 +1,53 @@
+#include "volt/cpu_package.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace shmd::volt {
+
+CpuPackage::CpuPackage(unsigned cores, DeviceProfile profile, double ambient_temp_c) {
+  if (cores == 0 || cores > kNumPlanes) {
+    throw std::invalid_argument("CpuPackage: core count must be in [1, " +
+                                std::to_string(kNumPlanes) + "]");
+  }
+  cores_.reserve(cores);
+  for (unsigned i = 0; i < cores; ++i) {
+    cores_.push_back(std::make_unique<VoltageDomain>(msr_, i, VoltFaultModel(profile),
+                                                     ambient_temp_c));
+  }
+}
+
+VoltageDomain& CpuPackage::core(unsigned index) {
+  if (index >= cores_.size()) throw std::out_of_range("CpuPackage: core index out of range");
+  return *cores_[index];
+}
+
+const VoltageDomain& CpuPackage::core(unsigned index) const {
+  if (index >= cores_.size()) throw std::out_of_range("CpuPackage: core index out of range");
+  return *cores_[index];
+}
+
+std::uint64_t CpuPackage::dedicate_detection_core(unsigned index) {
+  if (index >= cores_.size()) throw std::out_of_range("CpuPackage: core index out of range");
+  if (detection_core_ >= 0) {
+    throw std::logic_error("CpuPackage: detection core already dedicated");
+  }
+  const std::uint64_t token = cores_[index]->acquire_exclusive();
+  detection_core_ = static_cast<int>(index);
+  return token;
+}
+
+unsigned CpuPackage::detection_core() const {
+  if (detection_core_ < 0) throw std::logic_error("CpuPackage: no detection core dedicated");
+  return static_cast<unsigned>(detection_core_);
+}
+
+bool CpuPackage::application_cores_nominal() const {
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    if (static_cast<int>(i) == detection_core_) continue;
+    if (std::abs(cores_[i]->offset_mv()) > 0.5) return false;
+  }
+  return true;
+}
+
+}  // namespace shmd::volt

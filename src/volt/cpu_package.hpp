@@ -1,0 +1,53 @@
+// CpuPackage: a multi-core socket with per-core integrated voltage
+// regulators — the deployment topology §III describes.
+//
+// "Recent systems/computers have a multi-core CPU... modern processors
+//  have several integrated voltage regulators (VRs), which can control the
+//  supply voltage of each core independently. Therefore, detection can be
+//  offloaded to a specific core... monitored applications can continue
+//  running (without interruption) since detection is offloaded to another
+//  core."
+//
+// The package owns one MSR interface and one VoltageDomain per core (all
+// sharing the chip's silicon profile, each with its own die temperature).
+// Undervolting the detection core must leave every other rail untouched —
+// the property the tests pin down.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "volt/voltage_domain.hpp"
+
+namespace shmd::volt {
+
+class CpuPackage {
+ public:
+  /// Up to kNumPlanes cores (one MSR voltage plane each).
+  CpuPackage(unsigned cores, DeviceProfile profile, double ambient_temp_c = 45.0);
+
+  [[nodiscard]] unsigned core_count() const noexcept {
+    return static_cast<unsigned>(cores_.size());
+  }
+  [[nodiscard]] VoltageDomain& core(unsigned index);
+  [[nodiscard]] const VoltageDomain& core(unsigned index) const;
+
+  /// Designate `index` as the detection core and claim its rail; returns
+  /// the exclusive-control token (§III trusted control).
+  [[nodiscard]] std::uint64_t dedicate_detection_core(unsigned index);
+  [[nodiscard]] bool has_detection_core() const noexcept { return detection_core_ >= 0; }
+  [[nodiscard]] unsigned detection_core() const;
+
+  /// Package-level invariant: every core except the detection core sits at
+  /// nominal voltage (monitored applications run unperturbed).
+  [[nodiscard]] bool application_cores_nominal() const;
+
+  [[nodiscard]] MsrInterface& msr() noexcept { return msr_; }
+
+ private:
+  MsrInterface msr_;
+  std::vector<std::unique_ptr<VoltageDomain>> cores_;
+  int detection_core_ = -1;
+};
+
+}  // namespace shmd::volt

@@ -1,0 +1,40 @@
+// Per-device silicon profile for the undervolting fault model.
+//
+// §IX ("Calibration") stresses that undervolting-induced faults vary across
+// devices and with temperature, so every Stochastic-HMD deployment must be
+// calibrated per device. We model that variability explicitly: a profile is
+// sampled per simulated chip (process variation), and all voltage→fault
+// computations are temperature-dependent.
+#pragma once
+
+#include <cstdint>
+
+namespace shmd::volt {
+
+struct DeviceProfile {
+  /// Nominal core supply at the paper's operating point (i7-5557U, 2.2 GHz).
+  double nominal_voltage_v = 1.18;
+  double frequency_ghz = 2.2;
+
+  /// Undervolt depth (positive mV below nominal) where the *most critical*
+  /// operand patterns start faulting. Paper §II: faults appeared between
+  /// −103 mV and −145 mV depending on inputs, at 49 °C.
+  double fault_onset_mv = 103.0;
+  /// Depth where effectively every multiplication faults.
+  double fault_saturation_mv = 145.0;
+  /// Depth beyond which the core locks up (paper: "until a fault or system
+  /// freeze occurred").
+  double freeze_mv = 158.0;
+
+  /// Reference temperature for the onset numbers above (paper: 49 °C).
+  double reference_temp_c = 49.0;
+  /// Onset shift per °C: hotter silicon is slower, so faults appear at
+  /// shallower undervolt (mobility/threshold-voltage compensation, [8]).
+  double temp_coefficient_mv_per_c = 0.45;
+
+  /// Sample a jittered profile for a fresh chip: onset/saturation/freeze
+  /// each move by a few mV (process variation), deterministic in `seed`.
+  [[nodiscard]] static DeviceProfile sample(std::uint64_t seed);
+};
+
+}  // namespace shmd::volt

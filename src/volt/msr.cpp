@@ -1,0 +1,69 @@
+#include "volt/msr.hpp"
+
+#include <cmath>
+
+namespace shmd::volt {
+
+namespace {
+constexpr std::uint64_t kValidBit = 1ULL << 63;
+constexpr std::uint64_t kMagicBit = 1ULL << 32;
+constexpr std::uint64_t kWriteBit = 1ULL << 36;
+constexpr unsigned kPlaneShift = 40;
+constexpr unsigned kOffsetShift = 21;
+constexpr std::uint64_t kOffsetMask = 0x7FFULL;  // 11 bits
+// Offset units: 1/1.024 mV per LSB.
+constexpr double kUnitsPerMv = 1.024;
+
+std::int32_t sign_extend_11(std::uint64_t code) noexcept {
+  auto v = static_cast<std::int32_t>(code & kOffsetMask);
+  if (v & 0x400) v -= 0x800;
+  return v;
+}
+}  // namespace
+
+std::uint64_t MsrInterface::encode_write(unsigned plane, double offset_mv) {
+  if (plane >= kNumPlanes) throw MsrError("encode_write: invalid voltage plane");
+  const double units = std::round(offset_mv * kUnitsPerMv);
+  if (units < -1024.0 || units > 1023.0) {
+    throw MsrError("encode_write: offset outside the 11-bit signed range");
+  }
+  const auto code = static_cast<std::uint64_t>(static_cast<std::int64_t>(units) & 0x7FF);
+  return kValidBit | (static_cast<std::uint64_t>(plane) << kPlaneShift) | kWriteBit | kMagicBit |
+         (code << kOffsetShift);
+}
+
+std::uint64_t MsrInterface::encode_read_request(unsigned plane) {
+  if (plane >= kNumPlanes) throw MsrError("encode_read_request: invalid voltage plane");
+  return kValidBit | (static_cast<std::uint64_t>(plane) << kPlaneShift) | kMagicBit;
+}
+
+double MsrInterface::decode_offset_mv(std::uint64_t value) noexcept {
+  const std::int32_t code = sign_extend_11(value >> kOffsetShift);
+  return static_cast<double>(code) / kUnitsPerMv;
+}
+
+void MsrInterface::wrmsr(std::uint32_t msr, std::uint64_t value) {
+  if (msr != kVoltagePlaneMsr) throw MsrError("wrmsr: unsupported MSR address");
+  if (!(value & kValidBit) || !(value & kMagicBit)) throw MsrError("wrmsr: bad command magic");
+  const auto plane = static_cast<unsigned>((value >> kPlaneShift) & 0x7);
+  if (plane >= kNumPlanes) throw MsrError("wrmsr: invalid voltage plane");
+  if (value & kWriteBit) {
+    offset_codes_[plane] = sign_extend_11(value >> kOffsetShift);
+  } else {
+    latched_plane_ = plane;
+  }
+}
+
+std::uint64_t MsrInterface::rdmsr(std::uint32_t msr) const {
+  if (msr != kVoltagePlaneMsr) throw MsrError("rdmsr: unsupported MSR address");
+  const auto code =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(offset_codes_[latched_plane_]) & 0x7FF);
+  return code << kOffsetShift;
+}
+
+double MsrInterface::plane_offset_mv(unsigned plane) const {
+  if (plane >= kNumPlanes) throw MsrError("plane_offset_mv: invalid voltage plane");
+  return static_cast<double>(offset_codes_[plane]) / kUnitsPerMv;
+}
+
+}  // namespace shmd::volt

@@ -1,0 +1,61 @@
+// Emulated Model-Specific Register interface for voltage scaling.
+//
+// The paper (§II) scales voltage through MSR 0x150 on an Intel Broadwell
+// i7-5557U: "we set the plane idx bits to 0 to scale the core's voltage
+// exclusively, and used the offset bits for undervolting". We reproduce
+// the real register encoding (as documented by Plundervolt and the
+// linux-intel-undervolt project) so the VoltageDomain above it programs
+// the "hardware" exactly the way the paper did:
+//
+//   bit  63     : always 1 (command valid)
+//   bits 42..40 : voltage plane index (0 = core, 1 = GPU, 2 = cache, ...)
+//   bit  36     : 1 = write offset, 0 = read offset
+//   bit  32     : 1 (command magic)
+//   bits 31..21 : signed 11-bit offset in units of 1/1.024 mV
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+namespace shmd::volt {
+
+/// Thrown on malformed MSR commands (bad magic, bad plane, out-of-range
+/// offset) — a real CPU would #GP; we fail loudly instead.
+class MsrError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Address of the voltage-offset MSR used throughout.
+inline constexpr std::uint32_t kVoltagePlaneMsr = 0x150;
+
+/// Number of voltage planes exposed (core, GPU, cache, uncore, analog I/O).
+inline constexpr unsigned kNumPlanes = 5;
+
+class MsrInterface {
+ public:
+  /// Execute a WRMSR. Only kVoltagePlaneMsr is modeled; write commands
+  /// update the plane's offset, read commands latch the plane so the next
+  /// RDMSR returns its offset.
+  void wrmsr(std::uint32_t msr, std::uint64_t value);
+
+  /// Execute a RDMSR for the previously latched plane.
+  [[nodiscard]] std::uint64_t rdmsr(std::uint32_t msr) const;
+
+  /// Current offset of `plane` in millivolts (negative = undervolt).
+  [[nodiscard]] double plane_offset_mv(unsigned plane) const;
+
+  /// Encode a WRMSR value that sets `plane`'s offset to `offset_mv`.
+  [[nodiscard]] static std::uint64_t encode_write(unsigned plane, double offset_mv);
+  /// Encode the RDMSR-request value for `plane`.
+  [[nodiscard]] static std::uint64_t encode_read_request(unsigned plane);
+  /// Decode the offset (in mV) carried by an MSR value.
+  [[nodiscard]] static double decode_offset_mv(std::uint64_t value) noexcept;
+
+ private:
+  std::array<std::int32_t, kNumPlanes> offset_codes_{};  // signed 11-bit units
+  unsigned latched_plane_ = 0;
+};
+
+}  // namespace shmd::volt

@@ -1,0 +1,53 @@
+#include "volt/thermal_governor.hpp"
+
+#include <cmath>
+
+namespace shmd::volt {
+
+ThermalGovernor::ThermalGovernor(VoltageDomain& domain, ThermalGovernorConfig config)
+    : domain_(&domain), config_(config), token_(domain.acquire_exclusive()) {}
+
+ThermalGovernor::~ThermalGovernor() {
+  // Park the rail at nominal and hand control back.
+  domain_->set_offset_mv(0.0, token_);
+  domain_->release_exclusive(token_);
+}
+
+double ThermalGovernor::offset_for(double temp_c) {
+  // Nearest calibrated neighbours.
+  const auto above = table_.lower_bound(temp_c);
+  const bool have_above = above != table_.end();
+  const bool have_below = above != table_.begin();
+
+  if (have_above && std::abs(above->first - temp_c) < 1e-9) return above->second;
+
+  if (have_above && have_below) {
+    const auto below = std::prev(above);
+    if (above->first - below->first <= config_.max_interpolation_gap_c) {
+      const double t = (temp_c - below->first) / (above->first - below->first);
+      return below->second + t * (above->second - below->second);
+    }
+  }
+
+  // No nearby points: run an empirical calibration at this temperature.
+  const double saved_temp = domain_->temperature_c();
+  domain_->set_temperature_c(temp_c);
+  CalibrationController calibration(*domain_, config_.calibration_trials,
+                                    0xCA11B8ULL + static_cast<std::uint64_t>(calibrations_),
+                                    token_);
+  const CalibrationResult result = calibration.calibrate(config_.target_error_rate);
+  domain_->set_temperature_c(saved_temp);
+  ++calibrations_;
+  table_[temp_c] = result.offset_mv;
+  return result.offset_mv;
+}
+
+bool ThermalGovernor::update_temperature(double temp_c) {
+  domain_->set_temperature_c(temp_c);
+  if (std::abs(temp_c - calibrated_for_c_) <= config_.guard_band_c) return false;
+  current_offset_mv_ = offset_for(temp_c);
+  calibrated_for_c_ = temp_c;
+  return true;
+}
+
+}  // namespace shmd::volt

@@ -1,0 +1,73 @@
+// ThermalGovernor: runtime voltage management for a deployed
+// Stochastic-HMD.
+//
+// §IX: "the temperature needs to be considered, since it affects the
+// faults. Therefore, the voltage regulator that controls the
+// Stochastic-HMD needs to dynamically adjust the undervolting level based
+// on the current temperature to achieve the best accuracy/robustness
+// tradeoff."
+//
+// The governor owns the rail's exclusive-control token, keeps a sparse
+// temperature→offset calibration table (filled lazily by empirical
+// calibration), and re-programs the offset whenever the die temperature
+// drifts beyond a guard band. Between calibrated points it interpolates —
+// the fault window shifts linearly with temperature to first order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "volt/calibration.hpp"
+#include "volt/voltage_domain.hpp"
+
+namespace shmd::volt {
+
+struct ThermalGovernorConfig {
+  double target_error_rate = 0.10;
+  /// Recalibrate / re-look-up when temperature moves this far (°C) from
+  /// the point the current offset was set for.
+  double guard_band_c = 2.0;
+  /// Interpolate between table entries at most this far apart; a gap
+  /// larger than this triggers a fresh empirical calibration instead.
+  double max_interpolation_gap_c = 12.0;
+  std::uint64_t calibration_trials = 20000;
+};
+
+class ThermalGovernor {
+ public:
+  /// Acquires exclusive control of `domain` for its lifetime.
+  ThermalGovernor(VoltageDomain& domain, ThermalGovernorConfig config = {});
+  ~ThermalGovernor();
+
+  ThermalGovernor(const ThermalGovernor&) = delete;
+  ThermalGovernor& operator=(const ThermalGovernor&) = delete;
+
+  /// Report the current die temperature. Returns true when the offset was
+  /// re-programmed (lookup, interpolation, or fresh calibration).
+  bool update_temperature(double temp_c);
+
+  /// The offset currently programmed for detection bursts.
+  [[nodiscard]] double current_offset_mv() const noexcept { return current_offset_mv_; }
+  /// Temperature the current offset was chosen for.
+  [[nodiscard]] double calibrated_for_c() const noexcept { return calibrated_for_c_; }
+  /// Exclusive-control token, to hand to StochasticHmd::attach_domain.
+  [[nodiscard]] std::uint64_t token() const noexcept { return token_; }
+  /// Calibration points gathered so far (temperature → offset).
+  [[nodiscard]] const std::map<double, double>& table() const noexcept { return table_; }
+  [[nodiscard]] std::size_t calibrations_run() const noexcept { return calibrations_; }
+
+ private:
+  /// Offset for `temp_c`: table lookup / interpolation, or fresh
+  /// calibration when no nearby points exist.
+  double offset_for(double temp_c);
+
+  VoltageDomain* domain_;
+  ThermalGovernorConfig config_;
+  std::uint64_t token_;
+  std::map<double, double> table_;
+  double current_offset_mv_ = 0.0;
+  double calibrated_for_c_ = -1e9;
+  std::size_t calibrations_ = 0;
+};
+
+}  // namespace shmd::volt

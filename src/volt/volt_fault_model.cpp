@@ -1,0 +1,105 @@
+#include "volt/volt_fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/splitmix64.hpp"
+
+namespace shmd::volt {
+
+namespace {
+/// Smootherstep: C2-continuous ramp from 0 at s=0 to 1 at s=1.
+double smootherstep(double s) noexcept {
+  s = std::clamp(s, 0.0, 1.0);
+  return s * s * s * (s * (6.0 * s - 15.0) + 10.0);
+}
+
+/// Inverse of smootherstep by bisection (monotone on [0,1]).
+double smootherstep_inv(double y) noexcept {
+  y = std::clamp(y, 0.0, 1.0);
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (smootherstep(mid) < y) lo = mid;
+    else hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+}  // namespace
+
+DeviceProfile DeviceProfile::sample(std::uint64_t seed) {
+  shmd::rng::SplitMix64 sm(seed);
+  const auto jitter = [&sm](double spread) {
+    // Uniform in [-spread, +spread]; cheap triangular-free process jitter.
+    const double u = static_cast<double>(sm() >> 11) * 0x1.0p-53;
+    return (2.0 * u - 1.0) * spread;
+  };
+  DeviceProfile p;
+  p.fault_onset_mv += jitter(4.0);
+  p.fault_saturation_mv += jitter(4.0);
+  if (p.fault_saturation_mv < p.fault_onset_mv + 20.0) {
+    p.fault_saturation_mv = p.fault_onset_mv + 20.0;
+  }
+  p.freeze_mv = p.fault_saturation_mv + 13.0 + jitter(3.0);
+  p.temp_coefficient_mv_per_c += jitter(0.1);
+  return p;
+}
+
+double VoltFaultModel::onset_depth_mv(double temp_c) const noexcept {
+  // Hotter than reference → onset at shallower depth (smaller mV).
+  return profile_.fault_onset_mv -
+         (temp_c - profile_.reference_temp_c) * profile_.temp_coefficient_mv_per_c;
+}
+
+double VoltFaultModel::saturation_depth_mv(double temp_c) const noexcept {
+  return profile_.fault_saturation_mv -
+         (temp_c - profile_.reference_temp_c) * profile_.temp_coefficient_mv_per_c;
+}
+
+bool VoltFaultModel::freezes(double offset_mv, double temp_c) const noexcept {
+  const double depth = -offset_mv;
+  const double freeze_depth = profile_.freeze_mv - (temp_c - profile_.reference_temp_c) *
+                                                       profile_.temp_coefficient_mv_per_c;
+  return depth >= freeze_depth;
+}
+
+double VoltFaultModel::fault_probability(double offset_mv, double temp_c) const {
+  const double depth = -offset_mv;
+  const double onset = onset_depth_mv(temp_c);
+  const double saturation = saturation_depth_mv(temp_c);
+  if (depth <= onset) return 0.0;
+  if (depth >= saturation) return 1.0;
+  return smootherstep((depth - onset) / (saturation - onset));
+}
+
+double VoltFaultModel::operand_fault_probability(std::uint64_t a, std::uint64_t b,
+                                                 double offset_mv, double temp_c) const {
+  const double depth = -offset_mv;
+  const double onset = onset_depth_mv(temp_c);
+  const double saturation = saturation_depth_mv(temp_c);
+  // Deterministic per-operand critical depth within [onset, saturation]:
+  // the same operand pair always has the same criticality (§II found fault
+  // onset "depending on inputs"), but at a fixed voltage the fault event
+  // itself stays probabilistic via the ramp below. The criticality is
+  // distributed so that the *aggregate* fault rate over random operands
+  // reproduces fault_probability(): P(critical <= d) must equal the
+  // smootherstep ramp, hence the inverse-smootherstep warp of the uniform
+  // hash value.
+  shmd::rng::SplitMix64 h(a * 0x9E3779B97F4A7C15ULL ^ (b + 0x165667B19E3779F9ULL));
+  const double u = static_cast<double>(h() >> 11) * 0x1.0p-53;
+  const double critical = onset + smootherstep_inv(u) * (saturation - onset);
+  // ~3 mV transition window centered on the operand's critical depth.
+  constexpr double kWindowMv = 3.0;
+  return smootherstep((depth - (critical - kWindowMv / 2.0)) / kWindowMv);
+}
+
+double VoltFaultModel::offset_for_error_rate(double er, double temp_c) const {
+  if (er < 0.0 || er > 1.0) throw std::invalid_argument("error rate must be in [0, 1]");
+  const double onset = onset_depth_mv(temp_c);
+  const double saturation = saturation_depth_mv(temp_c);
+  const double depth = onset + smootherstep_inv(er) * (saturation - onset);
+  return -depth;
+}
+
+}  // namespace shmd::volt

@@ -1,0 +1,69 @@
+// VoltFaultModel: maps (undervolt depth, temperature, operands) to the
+// per-multiplication fault probability — the physical layer the paper's
+// "error rate" knob abstracts.
+//
+// Shape constraints encoded from §II:
+//   * zero faults until an onset depth (~103 mV below nominal at 49 °C),
+//   * operand-dependent onset spread across ~103–145 mV ("depending on
+//     inputs"),
+//   * certainty of faulting as depth approaches saturation,
+//   * system freeze slightly beyond saturation,
+//   * hotter silicon faults at shallower undervolt.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "volt/device_profile.hpp"
+
+namespace shmd::volt {
+
+/// Thrown when the core is driven below its freeze threshold — the
+/// simulated analogue of the paper's "system freeze occurred".
+class SystemFreezeError : public std::runtime_error {
+ public:
+  explicit SystemFreezeError(double voltage_v)
+      : std::runtime_error("core froze: supply voltage driven below stability limit"),
+        voltage_v_(voltage_v) {}
+  [[nodiscard]] double voltage_v() const noexcept { return voltage_v_; }
+
+ private:
+  double voltage_v_;
+};
+
+class VoltFaultModel {
+ public:
+  explicit VoltFaultModel(DeviceProfile profile) : profile_(profile) {}
+
+  [[nodiscard]] const DeviceProfile& profile() const noexcept { return profile_; }
+
+  /// Aggregate per-multiplication fault probability at `offset_mv`
+  /// (negative = undervolt) and `temp_c`, averaged over operand patterns.
+  /// Smooth and monotone in undervolt depth; 0 above onset, 1 at
+  /// saturation. This is the paper's er as a function of voltage.
+  [[nodiscard]] double fault_probability(double offset_mv, double temp_c) const;
+
+  /// Operand-aware probability: each operand pair has its own critical
+  /// depth (hashed deterministically into [onset, saturation]); around that
+  /// depth the fault probability rises over a narrow (~3 mV) window, so at
+  /// a fixed voltage the faults remain stochastic run-to-run (§II).
+  [[nodiscard]] double operand_fault_probability(std::uint64_t a, std::uint64_t b,
+                                                 double offset_mv, double temp_c) const;
+
+  /// Inverse of fault_probability in depth: the (negative) offset that
+  /// yields error rate `er` at `temp_c`. er=0 returns the onset depth.
+  [[nodiscard]] double offset_for_error_rate(double er, double temp_c) const;
+
+  /// True when `offset_mv` would freeze the core at `temp_c`.
+  [[nodiscard]] bool freezes(double offset_mv, double temp_c) const noexcept;
+
+  /// Temperature-shifted onset depth (positive mV).
+  [[nodiscard]] double onset_depth_mv(double temp_c) const noexcept;
+  /// Temperature-shifted saturation depth (positive mV).
+  [[nodiscard]] double saturation_depth_mv(double temp_c) const noexcept;
+
+ private:
+  DeviceProfile profile_;
+};
+
+}  // namespace shmd::volt

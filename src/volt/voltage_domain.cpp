@@ -1,0 +1,59 @@
+#include "volt/voltage_domain.hpp"
+
+namespace shmd::volt {
+
+VoltageDomain::VoltageDomain(MsrInterface& msr, unsigned plane, VoltFaultModel model,
+                             double temperature_c)
+    : msr_(&msr), plane_(plane), model_(model), temperature_c_(temperature_c) {
+  if (plane >= kNumPlanes) throw MsrError("VoltageDomain: invalid plane");
+}
+
+std::uint64_t VoltageDomain::acquire_exclusive() {
+  if (token_.has_value()) {
+    throw VoltageControlError("voltage rail is already under exclusive control");
+  }
+  token_ = ++next_token_;
+  return *token_;
+}
+
+void VoltageDomain::release_exclusive(std::uint64_t token) {
+  if (!token_.has_value() || *token_ != token) {
+    throw VoltageControlError("release_exclusive: wrong control token");
+  }
+  token_.reset();
+}
+
+void VoltageDomain::set_offset_mv(double offset_mv, std::optional<std::uint64_t> token) {
+  if (token_.has_value() && token != token_) {
+    throw VoltageControlError("voltage rail is under exclusive control");
+  }
+  if (model_.freezes(offset_mv, temperature_c_)) {
+    throw SystemFreezeError(model_.profile().nominal_voltage_v + offset_mv / 1000.0);
+  }
+  msr_->wrmsr(kVoltagePlaneMsr, MsrInterface::encode_write(plane_, offset_mv));
+}
+
+double VoltageDomain::offset_mv() const { return msr_->plane_offset_mv(plane_); }
+
+double VoltageDomain::voltage_v() const {
+  return model_.profile().nominal_voltage_v + offset_mv() / 1000.0;
+}
+
+double VoltageDomain::error_rate() const {
+  return model_.fault_probability(offset_mv(), temperature_c_);
+}
+
+UndervoltGuard::UndervoltGuard(VoltageDomain& domain, double offset_mv,
+                               std::optional<std::uint64_t> token)
+    : domain_(&domain), saved_offset_mv_(domain.offset_mv()), token_(token) {
+  domain_->set_offset_mv(offset_mv, token_);
+}
+
+UndervoltGuard::~UndervoltGuard() {
+  // Restoring to the saved (shallower) offset cannot freeze; control-token
+  // errors here would indicate a programming bug upstream, so let them
+  // terminate rather than swallow them silently.
+  domain_->set_offset_mv(saved_offset_mv_, token_);
+}
+
+}  // namespace shmd::volt

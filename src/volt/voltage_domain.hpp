@@ -1,0 +1,87 @@
+// VoltageDomain: one per-core integrated voltage regulator (VR).
+//
+// §III of the paper: modern CPUs expose per-core VRs; detection is
+// offloaded to a dedicated core whose VR is placed under *trusted control*
+// (a Stochastic-HMD co-processor IP or TEE enclave), otherwise the
+// adversary could simply scale the voltage back and disable the defense.
+// We model both pieces: the domain programs an emulated MSR 0x150, and an
+// exclusive-control token gates who may change the offset once the
+// defense claims the rail.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "volt/msr.hpp"
+#include "volt/volt_fault_model.hpp"
+
+namespace shmd::volt {
+
+/// Thrown when an offset change is attempted without holding the
+/// exclusive-control token (the "adversary tries to disable the defense"
+/// path — §III Trusted control).
+class VoltageControlError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class VoltageDomain {
+ public:
+  /// `plane` selects the MSR voltage plane (0 = core, per the paper).
+  VoltageDomain(MsrInterface& msr, unsigned plane, VoltFaultModel model,
+                double temperature_c = 49.0);
+
+  /// Claim exclusive control of this rail; returns the token subsequent
+  /// set_offset_mv calls must present. Fails if already claimed.
+  [[nodiscard]] std::uint64_t acquire_exclusive();
+  void release_exclusive(std::uint64_t token);
+  [[nodiscard]] bool exclusively_controlled() const noexcept { return token_.has_value(); }
+
+  /// Program the rail offset (negative = undervolt). Throws
+  /// SystemFreezeError if the offset would lock the core up,
+  /// VoltageControlError if the rail is claimed and the token is wrong.
+  void set_offset_mv(double offset_mv, std::optional<std::uint64_t> token = std::nullopt);
+
+  [[nodiscard]] double offset_mv() const;
+  [[nodiscard]] double voltage_v() const;
+  [[nodiscard]] double nominal_voltage_v() const noexcept {
+    return model_.profile().nominal_voltage_v;
+  }
+
+  void set_temperature_c(double t) noexcept { temperature_c_ = t; }
+  [[nodiscard]] double temperature_c() const noexcept { return temperature_c_; }
+
+  /// Per-multiplication fault probability at the current operating point.
+  [[nodiscard]] double error_rate() const;
+
+  [[nodiscard]] const VoltFaultModel& model() const noexcept { return model_; }
+
+ private:
+  MsrInterface* msr_;
+  unsigned plane_;
+  VoltFaultModel model_;
+  double temperature_c_;
+  std::optional<std::uint64_t> token_;
+  std::uint64_t next_token_ = 0x5EC0DE;
+};
+
+/// RAII undervolt window — the paper's TEE usage pattern: "the voltage
+/// needs to be undervolted directly after entering the TEE and scaled back
+/// to the nominal voltage just before exiting the TEE" (§IX). Construction
+/// applies the offset; destruction restores the previous one.
+class UndervoltGuard {
+ public:
+  UndervoltGuard(VoltageDomain& domain, double offset_mv,
+                 std::optional<std::uint64_t> token = std::nullopt);
+  ~UndervoltGuard();
+
+  UndervoltGuard(const UndervoltGuard&) = delete;
+  UndervoltGuard& operator=(const UndervoltGuard&) = delete;
+
+ private:
+  VoltageDomain* domain_;
+  double saved_offset_mv_;
+  std::optional<std::uint64_t> token_;
+};
+
+}  // namespace shmd::volt

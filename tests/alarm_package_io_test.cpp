@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/data_adapter.hpp"
+#include "eval/dataset_io.hpp"
+#include "hmd/alarm.hpp"
+#include "hmd/builders.hpp"
+#include "nn/mlp_classifier.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "support/test_corpus.hpp"
+#include "volt/cpu_package.hpp"
+
+namespace shmd {
+namespace {
+
+// ---------------------------------------------------------------- alarms
+
+TEST(AlarmPolicy, FiresAtThresholdWithinWindow) {
+  hmd::AlarmPolicyConfig cfg;
+  cfg.threshold = 3;
+  cfg.window = 5;
+  cfg.cooldown = 0;
+  hmd::AlarmPolicy policy(cfg);
+  EXPECT_FALSE(policy.observe(true));
+  EXPECT_FALSE(policy.observe(false));
+  EXPECT_FALSE(policy.observe(true));
+  EXPECT_TRUE(policy.observe(true));  // 3 flagged within last 5
+  EXPECT_EQ(policy.alarms_raised(), 1u);
+}
+
+TEST(AlarmPolicy, OldRoundsSlideOutOfTheWindow) {
+  hmd::AlarmPolicyConfig cfg;
+  cfg.threshold = 2;
+  cfg.window = 3;
+  cfg.cooldown = 0;
+  hmd::AlarmPolicy policy(cfg);
+  EXPECT_FALSE(policy.observe(true));
+  EXPECT_FALSE(policy.observe(false));
+  EXPECT_FALSE(policy.observe(false));
+  // The early flag has slid out: a single new flag must not alarm.
+  EXPECT_FALSE(policy.observe(true));
+  EXPECT_EQ(policy.alarms_raised(), 0u);
+}
+
+TEST(AlarmPolicy, CooldownSuppressesRetriggers) {
+  hmd::AlarmPolicyConfig cfg;
+  cfg.threshold = 1;
+  cfg.window = 1;
+  cfg.cooldown = 3;
+  hmd::AlarmPolicy policy(cfg);
+  EXPECT_TRUE(policy.observe(true));
+  EXPECT_TRUE(policy.in_cooldown());
+  EXPECT_FALSE(policy.observe(true));
+  EXPECT_FALSE(policy.observe(true));
+  EXPECT_FALSE(policy.observe(true));
+  EXPECT_TRUE(policy.observe(true));  // cooldown expired
+  EXPECT_EQ(policy.alarms_raised(), 2u);
+}
+
+TEST(AlarmPolicy, DebouncesSporadicBenignFlicker) {
+  // A benign program flagged ~10% of rounds must rarely alarm under a
+  // 3-of-8 policy; an evasive sample flagged ~40% must alarm quickly.
+  rng::Xoshiro256ss gen(21);
+  const auto alarms_over = [&](double flag_prob, int rounds) {
+    hmd::AlarmPolicy policy({3, 8, 16});
+    int alarms = 0;
+    for (int r = 0; r < rounds; ++r) alarms += policy.observe(gen.bernoulli(flag_prob));
+    return alarms;
+  };
+  EXPECT_LE(alarms_over(0.10, 200), 4);
+  EXPECT_GE(alarms_over(0.40, 200), 5);
+}
+
+TEST(AlarmPolicy, ValidatesConfig) {
+  EXPECT_THROW(hmd::AlarmPolicy({0, 4, 0}), std::invalid_argument);
+  EXPECT_THROW(hmd::AlarmPolicy({5, 4, 0}), std::invalid_argument);
+  EXPECT_THROW(hmd::AlarmPolicy({1, 0, 0}), std::invalid_argument);
+}
+
+TEST(AlarmPolicy, ResetClearsState) {
+  hmd::AlarmPolicy policy({1, 1, 0});
+  (void)policy.observe(true);
+  policy.reset();
+  EXPECT_EQ(policy.alarms_raised(), 0u);
+  EXPECT_EQ(policy.rounds_observed(), 0u);
+  EXPECT_FALSE(policy.in_cooldown());
+}
+
+// -------------------------------------------------------------- CPU package
+
+TEST(CpuPackage, DetectionCoreUndervoltsAlone) {
+  // §III: monitored applications keep running at nominal voltage while the
+  // dedicated detection core undervolts.
+  volt::CpuPackage package(4, volt::DeviceProfile::sample(0xCAFE));
+  const std::uint64_t token = package.dedicate_detection_core(3);
+  EXPECT_EQ(package.detection_core(), 3u);
+
+  package.core(3).set_offset_mv(-115.0, token);
+  EXPECT_TRUE(package.application_cores_nominal());
+  EXPECT_NEAR(package.core(3).offset_mv(), -115.0, 0.5);
+  for (unsigned c = 0; c < 3; ++c) EXPECT_NEAR(package.core(c).offset_mv(), 0.0, 0.5);
+
+  // Application cores remain freely usable (e.g., DVFS by the OS)...
+  package.core(0).set_offset_mv(-20.0);
+  EXPECT_FALSE(package.application_cores_nominal());
+  package.core(0).set_offset_mv(0.0);
+  // ...but nobody can touch the detection rail without the token.
+  EXPECT_THROW(package.core(3).set_offset_mv(0.0), volt::VoltageControlError);
+}
+
+TEST(CpuPackage, SingleDetectionCoreOnly) {
+  volt::CpuPackage package(2, volt::DeviceProfile{});
+  (void)package.dedicate_detection_core(0);
+  EXPECT_THROW((void)package.dedicate_detection_core(1), std::logic_error);
+}
+
+TEST(CpuPackage, Validation) {
+  EXPECT_THROW(volt::CpuPackage(0, volt::DeviceProfile{}), std::invalid_argument);
+  EXPECT_THROW(volt::CpuPackage(99, volt::DeviceProfile{}), std::invalid_argument);
+  volt::CpuPackage package(2, volt::DeviceProfile{});
+  EXPECT_THROW((void)package.core(5), std::out_of_range);
+  EXPECT_THROW((void)package.detection_core(), std::logic_error);
+}
+
+TEST(CpuPackage, StochasticHmdRunsOnDedicatedCore) {
+  const trace::Dataset& ds = test::small_dataset();
+  const trace::FoldSplit folds = ds.folds(0);
+  const trace::FeatureConfig fc{trace::FeatureView::kInsnCategory, ds.config().periods[0]};
+  hmd::HmdTrainOptions opt;
+  opt.train.epochs = 40;
+  hmd::StochasticHmd detector = hmd::make_stochastic(ds, folds.victim_training, fc, 0.0, opt);
+
+  volt::CpuPackage package(4, volt::DeviceProfile{});
+  const std::uint64_t token = package.dedicate_detection_core(1);
+  const double offset = package.core(1).model().offset_for_error_rate(0.15, 45.0);
+  detector.attach_domain(package.core(1), offset, token);
+
+  (void)detector.detect(ds.samples()[folds.testing[0]].features);
+  EXPECT_TRUE(package.application_cores_nominal());
+  EXPECT_NEAR(package.core(1).offset_mv(), 0.0, 0.5);  // restored after burst
+  detector.detach_domain();
+}
+
+// ----------------------------------------------------------- CSV interchange
+
+TEST(DatasetIo, ExportImportRoundTrip) {
+  const trace::Dataset& ds = test::small_dataset();
+  const trace::FeatureConfig fc{trace::FeatureView::kInsnCategory, ds.config().periods[0]};
+  const std::vector<std::size_t> indices{0, 1, 2};
+
+  std::stringstream csv;
+  eval::export_windows_csv(ds, indices, fc, csv);
+  const auto imported = eval::import_windows_csv(csv);
+
+  const auto reference = eval::window_samples(ds, indices, fc);
+  ASSERT_EQ(imported.size(), reference.size());
+  for (std::size_t i = 0; i < imported.size(); ++i) {
+    EXPECT_EQ(imported[i].sample.y, reference[i].y);
+    ASSERT_EQ(imported[i].sample.x.size(), reference[i].x.size());
+    for (std::size_t f = 0; f < reference[i].x.size(); ++f) {
+      EXPECT_NEAR(imported[i].sample.x[f], reference[i].x[f], 1e-15);
+    }
+  }
+  EXPECT_EQ(imported.front().program_id, ds.samples()[0].program.id());
+  EXPECT_EQ(imported.front().family,
+            std::string(trace::family_name(ds.samples()[0].program.family())));
+}
+
+TEST(DatasetIo, ImportedSamplesTrainADetector) {
+  // External data can drive the normal training pipeline.
+  const trace::Dataset& ds = test::small_dataset();
+  const trace::FeatureConfig fc{trace::FeatureView::kInsnCategory, ds.config().periods[0]};
+  const trace::FoldSplit folds = ds.folds(0);
+  std::stringstream csv;
+  eval::export_windows_csv(ds, folds.victim_training, fc, csv);
+  auto samples = eval::to_train_samples(eval::import_windows_csv(csv));
+  ASSERT_FALSE(samples.empty());
+
+  nn::TrainConfig train;
+  train.epochs = 40;
+  train.patience = 0;
+  nn::MlpClassifier mlp({trace::view_dim(fc.view), 16, 1}, train, 3);
+  mlp.fit(samples);
+  std::size_t correct = 0;
+  for (const auto& s : samples) correct += mlp.classify(s.x) == (s.y > 0.5);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(samples.size()), 0.85);
+}
+
+TEST(DatasetIo, RejectsMalformedCsv) {
+  std::stringstream empty;
+  EXPECT_THROW((void)eval::import_windows_csv(empty), std::runtime_error);
+
+  std::stringstream bad_header("id,label,f0\n1,0,0.5\n");
+  EXPECT_THROW((void)eval::import_windows_csv(bad_header), std::runtime_error);
+
+  std::stringstream ragged("program_id,family,label,f0,f1\n1,worm,1,0.5\n");
+  EXPECT_THROW((void)eval::import_windows_csv(ragged), std::runtime_error);
+
+  std::stringstream bad_label("program_id,family,label,f0\n1,worm,0.7,0.5\n");
+  EXPECT_THROW((void)eval::import_windows_csv(bad_label), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace shmd

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/evasion.hpp"
+#include "attack/reverse_engineer.hpp"
+#include "nn/logistic_regression.hpp"
+#include "hmd/builders.hpp"
+#include "support/test_corpus.hpp"
+
+namespace shmd::attack {
+namespace {
+
+using trace::FeatureConfig;
+using trace::FeatureView;
+
+struct Fixture {
+  const trace::Dataset& ds = test::small_dataset();
+  trace::FoldSplit folds = ds.folds(0);
+  FeatureConfig fc{FeatureView::kInsnCategory, ds.config().periods[0]};
+  hmd::BaselineHmd baseline;
+
+  Fixture()
+      : baseline([&] {
+          hmd::HmdTrainOptions opt;
+          opt.train.epochs = 60;
+          return hmd::make_baseline(test::small_dataset(),
+                                    test::small_dataset().folds(0).victim_training,
+                                    FeatureConfig{FeatureView::kInsnCategory,
+                                                  test::small_dataset().config().periods[0]},
+                                    opt);
+        }()) {}
+
+  static const Fixture& instance() {
+    static const Fixture f;
+    return f;
+  }
+};
+
+TEST(EvasionInternals, ProxyProgramScoreMatchesManualMean) {
+  const auto& fx = Fixture::instance();
+  hmd::BaselineHmd victim = fx.baseline;
+  ReverseEngineer re(fx.ds);
+  ReverseEngineerConfig rc;
+  rc.kind = ProxyKind::kLr;
+  rc.proxy_configs = {fx.fc};
+  const auto proxy = re.run(victim, fx.folds.victim_training, fx.folds.testing, rc);
+
+  const auto trace_data = fx.ds.trace_of(fx.folds.testing[0]);
+  const double score =
+      EvasionAttack::proxy_program_score(trace_data, *proxy.proxy, rc.proxy_configs);
+
+  const auto windows = trace::extract_windows(trace_data, fx.fc.view, fx.fc.period);
+  double manual = 0.0;
+  for (const auto& w : windows) manual += proxy.proxy->predict(w);
+  manual /= static_cast<double>(windows.size());
+  EXPECT_NEAR(score, manual, 1e-12);
+}
+
+TEST(EvasionInternals, CraftIsDeterministicInSeed) {
+  const auto& fx = Fixture::instance();
+  hmd::BaselineHmd victim = fx.baseline;
+  ReverseEngineer re(fx.ds);
+  ReverseEngineerConfig rc;
+  rc.kind = ProxyKind::kLr;
+  rc.proxy_configs = {fx.fc};
+  const auto proxy = re.run(victim, fx.folds.victim_training, fx.folds.testing, rc);
+
+  std::size_t malware_idx = 0;
+  for (std::size_t idx : fx.folds.testing) {
+    if (fx.ds.samples()[idx].malware()) {
+      malware_idx = idx;
+      break;
+    }
+  }
+  const auto original = fx.ds.trace_of(malware_idx);
+  EvasionConfig cfg;
+  cfg.seed = 1234;
+  cfg.max_rounds = 10;
+  const EvasionAttack attack(cfg);
+  const auto a = attack.craft(original, *proxy.proxy, rc.proxy_configs);
+  const auto b = attack.craft(original, *proxy.proxy, rc.proxy_configs);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.rounds, b.rounds);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    ASSERT_EQ(a.trace[i].category, b.trace[i].category) << i;
+  }
+}
+
+TEST(EvasionInternals, InjectedCountMatchesBudgetAccounting) {
+  const auto& fx = Fixture::instance();
+  const auto original = fx.ds.trace_of(fx.folds.testing[0]);
+  const auto mutated =
+      EvasionAttack::inject(original, trace::InsnCategory::kMisc, 1234, 99);
+  EXPECT_EQ(mutated.size() - original.size(), 1234u);
+}
+
+TEST(EvasionInternals, ZeroCountInjectionIsIdentity) {
+  const auto& fx = Fixture::instance();
+  const auto original = fx.ds.trace_of(fx.folds.testing[0]);
+  const auto mutated = EvasionAttack::inject(original, trace::InsnCategory::kMisc, 0, 1);
+  ASSERT_EQ(mutated.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(mutated[i].category, original[i].category);
+  }
+}
+
+TEST(EvasionInternals, CraftRejectsEmptyProxyConfigs) {
+  const auto& fx = Fixture::instance();
+  const auto original = fx.ds.trace_of(fx.folds.testing[0]);
+  nn::LogisticRegression lr;
+  const EvasionAttack attack;
+  EXPECT_THROW((void)attack.craft(original, lr, {}), std::invalid_argument);
+}
+
+TEST(ReverseEngineerInternals, EffectivenessOfSelfIsPerfect) {
+  // Sanity bound: a "proxy" that IS the victim's own model must agree with
+  // the live baseline victim everywhere.
+  const auto& fx = Fixture::instance();
+  hmd::BaselineHmd victim = fx.baseline;
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  for (std::size_t idx : fx.folds.testing) {
+    const auto& s = fx.ds.samples()[idx];
+    const auto live = victim.window_scores(s.features);
+    const auto& windows = s.features.windows(fx.fc);
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+      agree += (live[w] >= 0.5) == (victim.network().forward(windows[w])[0] >= 0.5);
+      ++total;
+    }
+  }
+  EXPECT_EQ(agree, total);
+}
+
+TEST(ReverseEngineerInternals, QueryCountScalesWithRepeats) {
+  const auto& fx = Fixture::instance();
+  hmd::StochasticHmd victim(fx.baseline.network(), fx.fc, 0.2);
+  ReverseEngineer re(fx.ds);
+  ReverseEngineerConfig rc;
+  rc.kind = ProxyKind::kLr;
+  rc.proxy_configs = {fx.fc};
+  const auto single = re.run(victim, fx.folds.attacker_training, fx.folds.testing, rc);
+  rc.repeat_queries = 4;
+  rc.label_rule = ReverseEngineerConfig::LabelRule::kMajority;
+  const auto repeated = re.run(victim, fx.folds.attacker_training, fx.folds.testing, rc);
+  EXPECT_EQ(repeated.query_count, 4 * single.query_count);
+}
+
+TEST(ReverseEngineerInternals, MimicryMixRequiresBenignPrograms) {
+  const auto& fx = Fixture::instance();
+  // An index list with only malware must be rejected.
+  std::vector<std::size_t> malware_only;
+  for (std::size_t idx : fx.folds.testing) {
+    if (fx.ds.samples()[idx].malware()) malware_only.push_back(idx);
+  }
+  EXPECT_THROW((void)benign_category_mix(fx.ds, malware_only, fx.fc.period),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shmd::attack

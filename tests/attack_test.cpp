@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/composite_proxy.hpp"
+#include "attack/evasion.hpp"
+#include "attack/reverse_engineer.hpp"
+#include "attack/transferability.hpp"
+#include "hmd/builders.hpp"
+#include "support/test_corpus.hpp"
+
+namespace shmd::attack {
+namespace {
+
+using trace::FeatureConfig;
+using trace::FeatureView;
+
+struct AttackFixture {
+  const trace::Dataset& ds = test::small_dataset();
+  trace::FoldSplit folds = ds.folds(0);
+  FeatureConfig fc{FeatureView::kInsnCategory, ds.config().periods[0]};
+  hmd::BaselineHmd baseline;
+
+  AttackFixture()
+      : baseline([&] {
+          hmd::HmdTrainOptions opt;
+          opt.train.epochs = 80;
+          opt.train.l2 = 2e-3;  // soft scores even on the tiny test corpus
+          return hmd::make_baseline(test::small_dataset(),
+                                    test::small_dataset().folds(0).victim_training,
+                                    FeatureConfig{FeatureView::kInsnCategory,
+                                                  test::small_dataset().config().periods[0]},
+                                    opt);
+        }()) {}
+
+  static const AttackFixture& instance() {
+    static const AttackFixture f;
+    return f;
+  }
+};
+
+// ------------------------------------------------------- reverse engineering
+
+TEST(ReverseEngineer, BaselineVictimIsAccuratelyReplicated) {
+  const auto& fx = AttackFixture::instance();
+  hmd::BaselineHmd victim = fx.baseline;
+  ReverseEngineer re(fx.ds);
+  ReverseEngineerConfig cfg;
+  cfg.kind = ProxyKind::kMlp;
+  cfg.proxy_configs = {fx.fc};
+  const auto result = re.run(victim, fx.folds.victim_training, fx.folds.testing, cfg);
+  EXPECT_GT(result.effectiveness, 0.85);
+  EXPECT_GT(result.query_count, 0u);
+  ASSERT_NE(result.proxy, nullptr);
+}
+
+TEST(ReverseEngineer, StochasticVictimDegradesEffectiveness) {
+  // Fig. 3's core claim: undervolting makes reverse engineering harder.
+  const auto& fx = AttackFixture::instance();
+  hmd::BaselineHmd baseline = fx.baseline;
+  hmd::StochasticHmd stochastic(fx.baseline.network(), fx.fc, 0.2);
+  ReverseEngineer re(fx.ds);
+  ReverseEngineerConfig cfg;
+  cfg.kind = ProxyKind::kMlp;
+  cfg.proxy_configs = {fx.fc};
+  const double base_eff =
+      re.run(baseline, fx.folds.victim_training, fx.folds.testing, cfg).effectiveness;
+  const double sto_eff =
+      re.run(stochastic, fx.folds.victim_training, fx.folds.testing, cfg).effectiveness;
+  EXPECT_LT(sto_eff, base_eff - 0.03);
+}
+
+TEST(ReverseEngineer, HigherErrorRateHurtsReverseEngineeringMore) {
+  // §VII.A: "resilience to reverse-engineering increases by increasing the
+  // error rate".
+  const auto& fx = AttackFixture::instance();
+  ReverseEngineer re(fx.ds);
+  ReverseEngineerConfig cfg;
+  cfg.kind = ProxyKind::kLr;
+  cfg.proxy_configs = {fx.fc};
+  hmd::StochasticHmd mild(fx.baseline.network(), fx.fc, 0.05);
+  hmd::StochasticHmd harsh(fx.baseline.network(), fx.fc, 0.4);
+  const double mild_eff =
+      re.run(mild, fx.folds.victim_training, fx.folds.testing, cfg).effectiveness;
+  const double harsh_eff =
+      re.run(harsh, fx.folds.victim_training, fx.folds.testing, cfg).effectiveness;
+  EXPECT_LT(harsh_eff, mild_eff);
+}
+
+TEST(ReverseEngineer, AllProxyKindsTrain) {
+  const auto& fx = AttackFixture::instance();
+  hmd::BaselineHmd victim = fx.baseline;
+  ReverseEngineer re(fx.ds);
+  for (auto kind : {ProxyKind::kMlp, ProxyKind::kLr, ProxyKind::kDt}) {
+    ReverseEngineerConfig cfg;
+    cfg.kind = kind;
+    cfg.proxy_configs = {fx.fc};
+    const auto result = re.run(victim, fx.folds.attacker_training, fx.folds.testing, cfg);
+    EXPECT_GT(result.effectiveness, 0.6) << proxy_kind_name(kind);
+    EXPECT_GE(result.craft_threshold, 0.30);
+    EXPECT_LE(result.craft_threshold, 0.60);
+  }
+}
+
+TEST(ReverseEngineer, QueryVictimLabelRules) {
+  const auto& fx = AttackFixture::instance();
+  hmd::StochasticHmd victim(fx.baseline.network(), fx.fc, 0.3);
+  ReverseEngineer re(fx.ds);
+  const std::vector<std::size_t> subset(fx.folds.victim_training.begin(),
+                                        fx.folds.victim_training.begin() + 10);
+  const std::vector<FeatureConfig> configs{fx.fc};
+  const auto any8 = re.query_victim(victim, subset, configs, 8,
+                                    ReverseEngineerConfig::LabelRule::kAny);
+  const auto maj8 = re.query_victim(victim, subset, configs, 8,
+                                    ReverseEngineerConfig::LabelRule::kMajority);
+  ASSERT_EQ(any8.size(), maj8.size());
+  // Any-flag labels dominate majority labels (more positives).
+  double any_pos = 0.0;
+  double maj_pos = 0.0;
+  for (std::size_t i = 0; i < any8.size(); ++i) {
+    any_pos += any8[i].y;
+    maj_pos += maj8[i].y;
+  }
+  EXPECT_GE(any_pos, maj_pos);
+  EXPECT_THROW((void)re.query_victim(victim, subset, configs, 0), std::invalid_argument);
+}
+
+TEST(ReverseEngineer, CompositeProxyForMultiViewVictims) {
+  const auto& fx = AttackFixture::instance();
+  hmd::HmdTrainOptions opt;
+  opt.train.epochs = 50;
+  hmd::Rhmd victim = hmd::make_rhmd(fx.ds, fx.folds.victim_training,
+                                    hmd::rhmd_2f(fx.ds.config().periods[0]), opt);
+  ReverseEngineer re(fx.ds);
+  ReverseEngineerConfig cfg;
+  cfg.kind = ProxyKind::kMlp;
+  cfg.proxy_configs = hmd::rhmd_2f(fx.ds.config().periods[0]).configs;
+  cfg.per_view_composite = true;
+  const auto result = re.run(victim, fx.folds.victim_training, fx.folds.testing, cfg);
+  const auto* composite = dynamic_cast<const CompositeProxy*>(result.proxy.get());
+  ASSERT_NE(composite, nullptr);
+  EXPECT_EQ(composite->part_count(), 2u);
+  EXPECT_TRUE(composite->differentiable());
+}
+
+// ------------------------------------------------------------ composite proxy
+
+TEST(CompositeProxy, MaxCombinationOverSlices) {
+  struct Constant final : nn::Classifier {
+    double value;
+    explicit Constant(double v) : value(v) {}
+    double predict(std::span<const double>) const override { return value; }
+    void fit(std::span<const nn::TrainSample>) override {}
+    std::string_view name() const noexcept override { return "const"; }
+    bool differentiable() const noexcept override { return false; }
+  };
+  std::vector<CompositeProxy::Part> parts;
+  parts.push_back({std::make_unique<Constant>(0.2), 0, 2, 0.5});
+  parts.push_back({std::make_unique<Constant>(0.7), 2, 2, 0.5});
+  const CompositeProxy proxy(std::move(parts));
+  const std::vector<double> x{0.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(proxy.predict(x), 0.7);
+  EXPECT_FALSE(proxy.differentiable());
+  EXPECT_THROW(const_cast<CompositeProxy&>(proxy).fit({}), std::logic_error);
+  const std::vector<double> too_short{0.0, 0.0};
+  EXPECT_THROW((void)proxy.predict(too_short), std::invalid_argument);
+}
+
+TEST(CompositeProxy, RecalibrationMapsThresholdToHalf) {
+  EXPECT_DOUBLE_EQ(CompositeProxy::recalibrate(0.7, 0.7), 0.5);
+  EXPECT_DOUBLE_EQ(CompositeProxy::recalibrate(0.0, 0.7), 0.0);
+  EXPECT_DOUBLE_EQ(CompositeProxy::recalibrate(1.0, 0.7), 1.0);
+  EXPECT_LT(CompositeProxy::recalibrate(0.35, 0.7), 0.5);
+  EXPECT_GT(CompositeProxy::recalibrate(0.85, 0.7), 0.5);
+}
+
+TEST(CompositeProxy, RejectsDegenerateParts) {
+  EXPECT_THROW(CompositeProxy({}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- evasion
+
+TEST(Evasion, InjectPreservesOriginalInstructions) {
+  // The add-only constraint: the original stream must appear as a
+  // subsequence of the mutated one (the payload is never touched).
+  const auto& fx = AttackFixture::instance();
+  const auto original = fx.ds.trace_of(fx.folds.testing[0]);
+  const auto mutated =
+      EvasionAttack::inject(original, trace::InsnCategory::kSimd, 500, 42);
+  ASSERT_EQ(mutated.size(), original.size() + 500);
+  std::size_t oi = 0;
+  for (const trace::Instruction& insn : mutated) {
+    if (oi < original.size() && insn.category == original[oi].category &&
+        insn.mem_read == original[oi].mem_read && insn.mem_write == original[oi].mem_write &&
+        insn.control == original[oi].control) {
+      ++oi;
+    }
+  }
+  EXPECT_EQ(oi, original.size());
+}
+
+TEST(Evasion, InjectIsDeterministicInSeed) {
+  const auto& fx = AttackFixture::instance();
+  const auto original = fx.ds.trace_of(fx.folds.testing[0]);
+  const auto a = EvasionAttack::inject(original, trace::InsnCategory::kMisc, 100, 7);
+  const auto b = EvasionAttack::inject(original, trace::InsnCategory::kMisc, 100, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].category, b[i].category);
+}
+
+TEST(Evasion, InjectRangeStaysInsideWindow) {
+  const auto& fx = AttackFixture::instance();
+  const auto original = fx.ds.trace_of(fx.folds.testing[0]);
+  // Inject only into [1000, 2000): everything before index 1000 unchanged.
+  const auto mutated =
+      EvasionAttack::inject(original, trace::InsnCategory::kSimd, 300, 9, 1000, 2000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(mutated[i].category, original[i].category);
+  }
+  EXPECT_EQ(mutated.size(), original.size() + 300);
+}
+
+TEST(Evasion, InjectMixFollowsProfile) {
+  const auto& fx = AttackFixture::instance();
+  const auto original = fx.ds.trace_of(fx.folds.testing[0]);
+  std::vector<double> mix(trace::kNumCategories, 0.0);
+  mix[static_cast<std::size_t>(trace::InsnCategory::kSimd)] = 0.5;
+  mix[static_cast<std::size_t>(trace::InsnCategory::kDataMovement)] = 0.5;
+  const auto mutated = EvasionAttack::inject_mix(original, mix, 2000, 11);
+  std::size_t simd = 0;
+  std::size_t mov = 0;
+  for (const auto& insn : mutated) {
+    simd += insn.category == trace::InsnCategory::kSimd;
+    mov += insn.category == trace::InsnCategory::kDataMovement;
+  }
+  std::size_t simd0 = 0;
+  std::size_t mov0 = 0;
+  for (const auto& insn : original) {
+    simd0 += insn.category == trace::InsnCategory::kSimd;
+    mov0 += insn.category == trace::InsnCategory::kDataMovement;
+  }
+  EXPECT_NEAR(static_cast<double>(simd - simd0), 1000.0, 100.0);
+  EXPECT_NEAR(static_cast<double>(mov - mov0), 1000.0, 100.0);
+  const std::vector<double> bad_mix{0.5, 0.5};
+  EXPECT_THROW((void)EvasionAttack::inject_mix(original, bad_mix, 10, 1),
+               std::invalid_argument);
+}
+
+TEST(Evasion, BenignCategoryMixIsDistribution) {
+  const auto& fx = AttackFixture::instance();
+  const auto mix = benign_category_mix(fx.ds, fx.folds.attacker_training,
+                                       fx.ds.config().periods[0]);
+  ASSERT_EQ(mix.size(), trace::kNumCategories);
+  double total = 0.0;
+  for (double m : mix) total += m;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Evasion, CraftDrivesProxyScoreDown) {
+  const auto& fx = AttackFixture::instance();
+  hmd::BaselineHmd victim = fx.baseline;
+  ReverseEngineer re(fx.ds);
+  ReverseEngineerConfig rc;
+  rc.kind = ProxyKind::kMlp;
+  rc.proxy_configs = {fx.fc};
+  const auto proxy = re.run(victim, fx.folds.victim_training, fx.folds.testing, rc);
+
+  // Find one malware test program the proxy flags.
+  for (std::size_t idx : fx.folds.testing) {
+    if (!fx.ds.samples()[idx].malware()) continue;
+    const auto original = fx.ds.trace_of(idx);
+    const double before =
+        EvasionAttack::proxy_program_score(original, *proxy.proxy, rc.proxy_configs);
+    if (before < 0.6) continue;
+    EvasionConfig cfg;
+    cfg.craft_threshold = proxy.craft_threshold;
+    cfg.mimicry_mix = benign_category_mix(fx.ds, fx.folds.attacker_training, fx.fc.period);
+    const EvasionAttack attack(cfg);
+    const EvasionResult result = attack.craft(original, *proxy.proxy, rc.proxy_configs);
+    EXPECT_LT(result.final_proxy_score, before);
+    EXPECT_GT(result.injected, 0u);
+    EXPECT_GE(result.trace.size(), original.size());
+    return;
+  }
+  FAIL() << "no flagged malware program found";
+}
+
+TEST(Evasion, ConfigValidation) {
+  EvasionConfig bad;
+  bad.chunk_window_fraction = 0.0;
+  EXPECT_THROW(EvasionAttack{bad}, std::invalid_argument);
+  EvasionConfig bad2;
+  bad2.max_rounds = 0;
+  EXPECT_THROW(EvasionAttack{bad2}, std::invalid_argument);
+}
+
+// ----------------------------------------------------------- transferability
+
+TEST(Transferability, StochasticVictimResistsTransfer) {
+  // Fig. 4: evasion success collapses against the Stochastic-HMD compared
+  // to the deterministic baseline.
+  const auto& fx = AttackFixture::instance();
+  hmd::BaselineHmd baseline = fx.baseline;
+  hmd::StochasticHmd stochastic(fx.baseline.network(), fx.fc, 0.2);
+
+  ReverseEngineer re(fx.ds);
+  ReverseEngineerConfig rc;
+  rc.kind = ProxyKind::kMlp;
+  rc.proxy_configs = {fx.fc};
+
+  std::vector<std::size_t> malware_idx;
+  for (std::size_t idx : fx.folds.testing) {
+    if (fx.ds.samples()[idx].malware() && malware_idx.size() < 30) malware_idx.push_back(idx);
+  }
+
+  EvasionConfig ec;
+  ec.mimicry_mix = benign_category_mix(fx.ds, fx.folds.attacker_training, fx.fc.period);
+
+  const auto base_proxy = re.run(baseline, fx.folds.victim_training, fx.folds.testing, rc);
+  EvasionConfig base_ec = ec;
+  base_ec.craft_threshold = base_proxy.craft_threshold;
+  const TransferabilityEval base_eval(fx.ds, base_ec);
+  const auto base_result =
+      base_eval.run(baseline, *base_proxy.proxy, malware_idx, rc.proxy_configs);
+
+  const auto sto_proxy = re.run(stochastic, fx.folds.victim_training, fx.folds.testing, rc);
+  EvasionConfig sto_ec = ec;
+  sto_ec.craft_threshold = sto_proxy.craft_threshold;
+  const TransferabilityEval sto_eval(fx.ds, sto_ec);
+  const auto sto_result =
+      sto_eval.run(stochastic, *sto_proxy.proxy, malware_idx, rc.proxy_configs);
+
+  EXPECT_GT(base_result.proxy_evaded, 0u);
+  EXPECT_GT(sto_result.detected_rate(), base_result.detected_rate());
+  EXPECT_GT(sto_result.detected_rate(), 0.5);
+}
+
+TEST(Transferability, RatesAreConsistent) {
+  TransferabilityResult r;
+  r.malware_tested = 10;
+  r.proxy_evaded = 8;
+  r.transferred = 2;
+  EXPECT_DOUBLE_EQ(r.success_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(r.detected_rate(), 0.75);
+  TransferabilityResult none;
+  EXPECT_DOUBLE_EQ(none.success_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(none.detected_rate(), 1.0);
+}
+
+TEST(Transferability, OnlyMalwareIsAttacked) {
+  const auto& fx = AttackFixture::instance();
+  hmd::BaselineHmd victim = fx.baseline;
+  ReverseEngineer re(fx.ds);
+  ReverseEngineerConfig rc;
+  rc.kind = ProxyKind::kLr;
+  rc.proxy_configs = {fx.fc};
+  const auto proxy = re.run(victim, fx.folds.victim_training, fx.folds.testing, rc);
+  // Hand it a mixed list: benign entries must be skipped.
+  std::vector<std::size_t> mixed;
+  std::size_t expected_malware = 0;
+  for (std::size_t idx : fx.folds.testing) {
+    if (mixed.size() >= 10) break;
+    mixed.push_back(idx);
+    expected_malware += fx.ds.samples()[idx].malware();
+  }
+  const TransferabilityEval eval(fx.ds);
+  const auto result = eval.run(victim, *proxy.proxy, mixed, rc.proxy_configs);
+  EXPECT_EQ(result.malware_tested, expected_malware);
+}
+
+}  // namespace
+}  // namespace shmd::attack

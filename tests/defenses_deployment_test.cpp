@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/data_adapter.hpp"
+#include "eval/metrics.hpp"
+#include "hmd/builders.hpp"
+#include "hmd/classifier_hmd.hpp"
+#include "hmd/deployment.hpp"
+#include "hmd/ensemble_hmd.hpp"
+#include "nn/decision_tree.hpp"
+#include "support/test_corpus.hpp"
+
+namespace shmd::hmd {
+namespace {
+
+using trace::FeatureConfig;
+using trace::FeatureView;
+
+double program_accuracy(Detector& det, const trace::Dataset& ds,
+                        const std::vector<std::size_t>& indices) {
+  eval::ConfusionMatrix cm;
+  for (std::size_t idx : indices) {
+    const auto& s = ds.samples()[idx];
+    cm.add(s.malware(), det.detect(s.features));
+  }
+  return cm.accuracy();
+}
+
+// ------------------------------------------------------------ ClassifierHmd
+
+TEST(ClassifierHmd, DecisionTreeVictimWorksAsDetector) {
+  // An ND-HMD-style victim: a decision tree behind the Detector interface.
+  const trace::Dataset& ds = test::small_dataset();
+  const trace::FoldSplit folds = ds.folds(0);
+  const FeatureConfig fc{FeatureView::kInsnCategory, ds.config().periods[0]};
+
+  auto dt = std::make_unique<nn::DecisionTree>();
+  dt->fit(eval::window_samples(ds, folds.victim_training, fc));
+  ClassifierHmd detector(std::move(dt), fc, "nd-hmd-dt");
+
+  EXPECT_GT(program_accuracy(detector, ds, folds.testing), 0.8);
+  EXPECT_EQ(detector.name(), "nd-hmd-dt");
+  // Deterministic: live and nominal paths agree.
+  const auto& features = ds.samples()[folds.testing[0]].features;
+  EXPECT_EQ(detector.window_scores(features), detector.window_scores_nominal(features));
+}
+
+TEST(ClassifierHmd, NullModelRejected) {
+  const FeatureConfig fc{FeatureView::kInsnCategory, 2048};
+  EXPECT_THROW(ClassifierHmd(nullptr, fc, "x"), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- EnsembleHmd
+
+TEST(EnsembleHmd, TrainsGeneralPlusSpecializedMembers) {
+  const trace::Dataset& ds = test::small_dataset();
+  const trace::FoldSplit folds = ds.folds(0);
+  const FeatureConfig fc{FeatureView::kInsnCategory, ds.config().periods[0]};
+  HmdTrainOptions opt;
+  opt.train.epochs = 40;
+  EnsembleHmd ensemble = make_ensemble(ds, folds.victim_training, fc, opt);
+  // 1 general + one per malware family in the fold (all 5 are present in
+  // the stratified split).
+  EXPECT_EQ(ensemble.member_count(), 1 + trace::kNumMalwareFamilies);
+  EXPECT_EQ(ensemble.member(0).label, "general");
+}
+
+TEST(EnsembleHmd, MaxCombinationDominatesMembers) {
+  const trace::Dataset& ds = test::small_dataset();
+  const trace::FoldSplit folds = ds.folds(0);
+  const FeatureConfig fc{FeatureView::kInsnCategory, ds.config().periods[0]};
+  HmdTrainOptions opt;
+  opt.train.epochs = 40;
+  EnsembleHmd ensemble = make_ensemble(ds, folds.victim_training, fc, opt);
+  const auto& features = ds.samples()[folds.testing[0]].features;
+  const auto ensemble_scores = ensemble.window_scores(features);
+  // The ensemble score is the max over members: it can never sit below the
+  // general member's own score.
+  const auto& windows = features.windows(fc);
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    EXPECT_GE(ensemble_scores[w] + 1e-12, ensemble.member(0).net.forward(windows[w])[0]);
+  }
+}
+
+TEST(EnsembleHmd, SensitivityAtLeastComparableToSingleDetector) {
+  const trace::Dataset& ds = test::medium_dataset();
+  const trace::FoldSplit folds = ds.folds(0);
+  const FeatureConfig fc{FeatureView::kInsnCategory, ds.config().periods[0]};
+  HmdTrainOptions opt;
+  opt.train.epochs = 60;
+  BaselineHmd single = make_baseline(ds, folds.victim_training, fc, opt);
+  EnsembleHmd ensemble = make_ensemble(ds, folds.victim_training, fc, opt);
+
+  eval::ConfusionMatrix single_cm;
+  eval::ConfusionMatrix ensemble_cm;
+  for (std::size_t idx : folds.testing) {
+    const auto& s = ds.samples()[idx];
+    single_cm.add(s.malware(), single.detect(s.features));
+    ensemble_cm.add(s.malware(), ensemble.detect(s.features));
+  }
+  // Specialization buys recall (ensemble FNR <= single FNR + slack).
+  EXPECT_LE(ensemble_cm.fnr(), single_cm.fnr() + 0.02);
+}
+
+TEST(EnsembleHmd, EmptyMemberListRejected) {
+  const FeatureConfig fc{FeatureView::kInsnCategory, 2048};
+  EXPECT_THROW(EnsembleHmd({}, fc), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- deployment
+
+TEST(Deployment, BundleRoundTrip) {
+  const trace::Dataset& ds = test::small_dataset();
+  const trace::FoldSplit folds = ds.folds(0);
+  const FeatureConfig fc{FeatureView::kInsnCategory, ds.config().periods[0]};
+  HmdTrainOptions opt;
+  opt.train.epochs = 40;
+  BaselineHmd trained = make_baseline(ds, folds.victim_training, fc, opt);
+
+  DeploymentBundle bundle{trained.network(), fc, 0.15,
+                          {{35.0, -122.0}, {55.0, -112.0}, {75.0, -102.0}}};
+  std::stringstream stream;
+  save_deployment(bundle, stream);
+  const DeploymentBundle loaded = load_deployment(stream);
+
+  EXPECT_EQ(loaded.feature_config.view, fc.view);
+  EXPECT_EQ(loaded.feature_config.period, fc.period);
+  EXPECT_DOUBLE_EQ(loaded.target_error_rate, 0.15);
+  EXPECT_EQ(loaded.calibration.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.calibration.at(55.0), -112.0);
+
+  // The deployed network computes the same function.
+  const auto& window = ds.samples()[folds.testing[0]].features.windows(fc).front();
+  EXPECT_NEAR(loaded.network.forward(window)[0], trained.network().forward(window)[0], 1e-9);
+
+  // And spins up a working detector at the bundled operating point.
+  StochasticHmd detector = loaded.make_detector();
+  EXPECT_DOUBLE_EQ(detector.error_rate(), 0.15);
+  EXPECT_NO_THROW((void)detector.detect(ds.samples()[folds.testing[0]].features));
+}
+
+TEST(Deployment, TemperatureLookupInterpolatesAndClamps) {
+  DeploymentBundle bundle{nn::Network{}, {}, 0.1,
+                          {{40.0, -120.0}, {60.0, -110.0}}};
+  EXPECT_DOUBLE_EQ(bundle.offset_for_temperature(40.0), -120.0);
+  EXPECT_DOUBLE_EQ(bundle.offset_for_temperature(50.0), -115.0);  // interpolated
+  EXPECT_DOUBLE_EQ(bundle.offset_for_temperature(20.0), -120.0);  // clamped low
+  EXPECT_DOUBLE_EQ(bundle.offset_for_temperature(90.0), -110.0);  // clamped high
+
+  DeploymentBundle empty{nn::Network{}, {}, 0.1, {}};
+  EXPECT_THROW((void)empty.offset_for_temperature(50.0), std::logic_error);
+}
+
+TEST(Deployment, RejectsCorruptBundles) {
+  std::stringstream bad_magic("NOT-A-BUNDLE 1\n");
+  EXPECT_THROW((void)load_deployment(bad_magic), std::runtime_error);
+
+  std::stringstream no_network(
+      "SHMD-DEPLOYMENT 1\nview insn_category\nperiod 2048\n"
+      "target_error_rate 0.1\ncalibration_points 0\n");
+  EXPECT_THROW((void)load_deployment(no_network), std::runtime_error);
+
+  std::stringstream bad_view(
+      "SHMD-DEPLOYMENT 1\nview telepathy\nperiod 2048\n");
+  EXPECT_THROW((void)load_deployment(bad_view), std::runtime_error);
+
+  std::stringstream bad_er(
+      "SHMD-DEPLOYMENT 1\nview insn_category\nperiod 2048\ntarget_error_rate 7\n");
+  EXPECT_THROW((void)load_deployment(bad_er), std::runtime_error);
+}
+
+TEST(Deployment, RejectsViewNetworkDimensionMismatch) {
+  // A memory-view bundle (8 features) carrying a 16-input network.
+  const std::vector<std::size_t> topo{16, 4, 1};
+  const nn::Network net(topo, nn::Activation::kSigmoid, nn::Activation::kSigmoid, 1);
+  DeploymentBundle bundle{net, {FeatureView::kMemory, 2048}, 0.1, {{49.0, -115.0}}};
+  std::stringstream stream;
+  save_deployment(bundle, stream);
+  EXPECT_THROW((void)load_deployment(stream), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace shmd::hmd

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "eval/data_adapter.hpp"
+#include "eval/metrics.hpp"
+#include "nn/network.hpp"
+#include "rng/lgm_prng.hpp"
+#include "rng/trng_sim.hpp"
+#include "support/test_corpus.hpp"
+#include "sys/energy_meter.hpp"
+#include "sys/latency_model.hpp"
+#include "sys/memory_model.hpp"
+#include "sys/power_model.hpp"
+
+namespace shmd {
+namespace {
+
+using trace::FeatureConfig;
+using trace::FeatureView;
+
+// ----------------------------------------------------------------- metrics
+
+TEST(ConfusionMatrix, CountsAndRates) {
+  eval::ConfusionMatrix cm;
+  cm.add(true, true);    // TP
+  cm.add(true, true);    // TP
+  cm.add(true, false);   // FN
+  cm.add(false, false);  // TN
+  cm.add(false, true);   // FP
+  EXPECT_EQ(cm.tp(), 2u);
+  EXPECT_EQ(cm.fn(), 1u);
+  EXPECT_EQ(cm.tn(), 1u);
+  EXPECT_EQ(cm.fp(), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(cm.fpr(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.fnr(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.recall(), 2.0 / 3.0);
+  EXPECT_NEAR(cm.f1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, EmptyMatrixRatesAreZero) {
+  eval::ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.fnr(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+}
+
+TEST(ConfusionMatrix, MergeAddsCounts) {
+  eval::ConfusionMatrix a;
+  a.add(true, true);
+  eval::ConfusionMatrix b;
+  b.add(false, true);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(a.fp(), 1u);
+  a.reset();
+  EXPECT_EQ(a.total(), 0u);
+}
+
+// ------------------------------------------------------------- data adapter
+
+TEST(DataAdapter, WindowSamplesInheritProgramLabel) {
+  const trace::Dataset& ds = test::small_dataset();
+  const std::vector<std::size_t> indices{0, 1};
+  const FeatureConfig fc{FeatureView::kInsnCategory, ds.config().periods[0]};
+  const auto samples = eval::window_samples(ds, indices, fc);
+  const std::size_t per_program = ds.config().trace_length / fc.period;
+  ASSERT_EQ(samples.size(), 2 * per_program);
+  for (std::size_t i = 0; i < per_program; ++i) {
+    EXPECT_DOUBLE_EQ(samples[i].y, ds.samples()[0].malware() ? 1.0 : 0.0);
+  }
+}
+
+TEST(DataAdapter, MultiviewConcatenatesDimensions) {
+  const trace::Dataset& ds = test::small_dataset();
+  const std::size_t period = ds.config().periods[0];
+  const std::vector<FeatureConfig> configs{
+      {FeatureView::kInsnCategory, period}, {FeatureView::kMemory, period}};
+  const std::vector<std::size_t> indices{0};
+  const auto samples = eval::window_samples_multiview(ds, indices, configs);
+  ASSERT_FALSE(samples.empty());
+  EXPECT_EQ(samples.front().x.size(), eval::multiview_dim(configs));
+  EXPECT_EQ(samples.front().x.size(),
+            trace::view_dim(FeatureView::kInsnCategory) + trace::view_dim(FeatureView::kMemory));
+}
+
+TEST(DataAdapter, MultiviewRejectsMixedPeriods) {
+  const trace::Dataset& ds = test::small_dataset();
+  const std::vector<FeatureConfig> configs{
+      {FeatureView::kInsnCategory, ds.config().periods[0]},
+      {FeatureView::kMemory, ds.config().periods[1]}};
+  const std::vector<std::size_t> indices{0};
+  EXPECT_THROW((void)eval::window_samples_multiview(ds, indices, configs),
+               std::invalid_argument);
+}
+
+TEST(DataAdapter, ConcatViewsChecksWindowCounts) {
+  const std::vector<std::vector<std::vector<double>>> ragged{
+      {{1.0}, {2.0}},
+      {{3.0}},
+  };
+  EXPECT_THROW((void)eval::concat_views(ragged), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- power model
+
+TEST(PowerModel, NominalPowerAtNominalVoltage) {
+  sys::PowerModel pm;
+  EXPECT_NEAR(pm.power_w(1.18), 15.0, 1e-9);
+  EXPECT_NEAR(pm.savings_vs_nominal(1.18), 0.0, 1e-12);
+}
+
+TEST(PowerModel, SuperLinearSavings) {
+  sys::PowerModel pm;
+  // 10% voltage cut must save more than 10% power (P ~ V^2..V^3).
+  EXPECT_GT(pm.savings_vs_nominal(1.18 * 0.9), 0.15);
+  // Monotone in depth.
+  double prev = -1.0;
+  for (double v = 1.18; v >= 0.68; v -= 0.05) {
+    const double s = pm.savings_vs_nominal(v);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(PowerModel, PaperOperatingPointSavings) {
+  // ~15-20% savings at the er=0.1 undervolt (~-113 mV → 1.067 V).
+  sys::PowerModel pm;
+  const double savings = pm.savings_vs_nominal(1.18 - 0.113);
+  EXPECT_GT(savings, 0.12);
+  EXPECT_LT(savings, 0.25);
+}
+
+TEST(PowerModel, SavingsVsRhmdExceedSavingsVsBaseline) {
+  sys::PowerModel pm;
+  const double rhmd_power = pm.power_w(1.18) * 1.3;  // RHMD switching overhead
+  EXPECT_GT(pm.savings_vs(1.0, rhmd_power), pm.savings_vs_nominal(1.0));
+}
+
+TEST(PowerModel, InvalidInputsThrow) {
+  sys::PowerModel pm;
+  EXPECT_THROW((void)pm.power_w(0.0), std::invalid_argument);
+  EXPECT_THROW((void)pm.savings_vs(1.0, 0.0), std::invalid_argument);
+  sys::PowerModelConfig bad;
+  bad.nominal_power_w = -1.0;
+  EXPECT_THROW(sys::PowerModel{bad}, std::invalid_argument);
+}
+
+// ------------------------------------------------------------ latency model
+
+class LatencyTest : public ::testing::Test {
+ protected:
+  static nn::Network paper_net() {
+    const std::vector<std::size_t> topo{16, 232, 60, 1};
+    return nn::Network(topo, nn::Activation::kSigmoid, nn::Activation::kSigmoid, 1);
+  }
+  sys::LatencyModel lat_;
+};
+
+TEST_F(LatencyTest, PaperScaleInferenceIsAbout7us) {
+  // §VIII: "The average inference time is 7 us" for Stochastic-HMD.
+  const nn::Network net = paper_net();
+  EXPECT_NEAR(lat_.inference_us(net), 7.0, 0.5);
+}
+
+TEST_F(LatencyTest, RhmdOverheadMatchesPaperOrdering) {
+  // §VIII: 7.7 us for RHMD-2F, 7.8 us for RHMD-2F2P — at least ~10%
+  // overhead over Stochastic-HMD, growing with the model count.
+  const nn::Network net = paper_net();
+  const double base = lat_.inference_us(net);
+  const double r2f = lat_.rhmd_inference_us(net, 2);
+  const double r2f2p = lat_.rhmd_inference_us(net, 4);
+  EXPECT_GT(r2f, 1.08 * base);
+  EXPECT_GT(r2f2p, r2f);
+  EXPECT_NEAR(r2f, 7.7, 0.6);
+  EXPECT_NEAR(r2f2p, 7.9, 0.6);
+}
+
+TEST_F(LatencyTest, SingleBaseRhmdHasOnlySelectionCost) {
+  const nn::Network net = paper_net();
+  const double r1 = lat_.rhmd_inference_us(net, 1);
+  EXPECT_GT(r1, lat_.inference_us(net));
+  EXPECT_LT(r1, lat_.rhmd_inference_us(net, 2));
+}
+
+TEST_F(LatencyTest, TrngDefenseIsAbout62x) {
+  // §VIII: "the TRNG based implementation adds ~62x performance overhead".
+  const nn::Network net = paper_net();
+  rng::TrngSim trng;
+  const double ratio = lat_.noise_inference_us(net, trng) / lat_.inference_us(net);
+  EXPECT_NEAR(ratio, 62.0, 6.0);
+}
+
+TEST_F(LatencyTest, PrngDefenseIsAbout4x) {
+  // §VIII: "the PRNG based implementation adds ~4x performance overhead".
+  const nn::Network net = paper_net();
+  rng::LgmPrng prng;
+  const double ratio = lat_.noise_inference_us(net, prng) / lat_.inference_us(net);
+  EXPECT_NEAR(ratio, 4.0, 0.5);
+}
+
+TEST_F(LatencyTest, InvalidArgumentsThrow) {
+  const nn::Network net = paper_net();
+  EXPECT_THROW((void)lat_.rhmd_inference_us(net, 0), std::invalid_argument);
+  sys::LatencyModelConfig bad;
+  bad.frequency_ghz = 0.0;
+  EXPECT_THROW(sys::LatencyModel{bad}, std::invalid_argument);
+}
+
+// ------------------------------------------------------------- energy meter
+
+TEST(EnergyMeter, UndervoltedDetectionSavesEnergyNotTime) {
+  const std::vector<std::size_t> topo{16, 232, 60, 1};
+  const nn::Network net(topo, nn::Activation::kSigmoid, nn::Activation::kSigmoid, 1);
+  sys::EnergyMeter meter{sys::PowerModel{}, sys::LatencyModel{}};
+  const auto nominal = meter.detection(net, 1.18);
+  const auto undervolted = meter.detection(net, 1.06);
+  // §VIII: "scaling the voltage has no effect on the inference time".
+  EXPECT_DOUBLE_EQ(nominal.time_us, undervolted.time_us);
+  EXPECT_LT(undervolted.energy_uj, nominal.energy_uj);
+}
+
+TEST(EnergyMeter, TrngEnergyIsAbout112x) {
+  // §VIII: "~112x energy consumption overhead" for the TRNG defense.
+  const std::vector<std::size_t> topo{16, 232, 60, 1};
+  const nn::Network net(topo, nn::Activation::kSigmoid, nn::Activation::kSigmoid, 1);
+  sys::EnergyMeter meter{sys::PowerModel{}, sys::LatencyModel{}};
+  rng::TrngSim trng;
+  const double ratio =
+      meter.noise_detection(net, trng).energy_uj / meter.detection(net, 1.18).energy_uj;
+  EXPECT_NEAR(ratio, 112.0, 15.0);
+}
+
+TEST(EnergyMeter, PrngEnergyIsAbout5point7x) {
+  // §VIII: "~5.7x energy consumption overhead" for the PRNG defense.
+  const std::vector<std::size_t> topo{16, 232, 60, 1};
+  const nn::Network net(topo, nn::Activation::kSigmoid, nn::Activation::kSigmoid, 1);
+  sys::EnergyMeter meter{sys::PowerModel{}, sys::LatencyModel{}};
+  rng::LgmPrng prng;
+  const double ratio =
+      meter.noise_detection(net, prng).energy_uj / meter.detection(net, 1.18).energy_uj;
+  EXPECT_NEAR(ratio, 5.7, 1.0);
+}
+
+TEST(EnergyMeter, AccumulatesMeasurementRuns) {
+  const std::vector<std::size_t> topo{4, 4, 1};
+  const nn::Network net(topo, nn::Activation::kSigmoid, nn::Activation::kSigmoid, 1);
+  sys::EnergyMeter meter{sys::PowerModel{}, sys::LatencyModel{}};
+  const auto s = meter.detection(net, 1.18);
+  meter.record(s);
+  meter.record(s);
+  EXPECT_EQ(meter.detections(), 2u);
+  EXPECT_NEAR(meter.total_energy_uj(), 2.0 * s.energy_uj, 1e-12);
+  EXPECT_NEAR(meter.average_power_w(), s.average_power_w(), 1e-9);
+  meter.reset();
+  EXPECT_EQ(meter.detections(), 0u);
+}
+
+// ------------------------------------------------------------- memory model
+
+TEST(MemoryModel, StorageSavingsEquationOne) {
+  // Paper Eq. (1): savings = (n-1)/n.
+  EXPECT_DOUBLE_EQ(sys::MemoryModel::storage_savings(2), 0.5);
+  EXPECT_DOUBLE_EQ(sys::MemoryModel::storage_savings(4), 0.75);
+  EXPECT_DOUBLE_EQ(sys::MemoryModel::storage_savings(6), 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(sys::MemoryModel::storage_savings(1), 0.0);
+  EXPECT_THROW((void)sys::MemoryModel::storage_savings(0), std::invalid_argument);
+}
+
+TEST(MemoryModel, PaperModelExceedsL1) {
+  // §VIII: 71 KB model vs 32 KB L1.
+  const std::vector<std::size_t> topo{16, 232, 60, 1};
+  const nn::Network net(topo, nn::Activation::kSigmoid, nn::Activation::kSigmoid, 1);
+  sys::MemoryModel mm;
+  EXPECT_TRUE(mm.exceeds_l1(net));
+  EXPECT_EQ(sys::MemoryModel::rhmd_bytes(net, 4), 4 * net.memory_bytes());
+}
+
+TEST(MemoryModel, SmallModelFitsL1) {
+  const std::vector<std::size_t> topo{16, 32, 16, 1};
+  const nn::Network net(topo, nn::Activation::kSigmoid, nn::Activation::kSigmoid, 1);
+  sys::MemoryModel mm;
+  EXPECT_FALSE(mm.exceeds_l1(net));
+}
+
+}  // namespace
+}  // namespace shmd

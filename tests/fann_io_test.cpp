@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/fann_io.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::nn {
+namespace {
+
+Network make_net(std::vector<std::size_t> topology, Activation hidden, Activation output,
+                 std::uint64_t seed = 11) {
+  return Network(topology, hidden, output, seed);
+}
+
+TEST(FannIo, RoundTripPreservesFunction) {
+  const Network net = make_net({4, 6, 3, 1}, Activation::kSigmoid, Activation::kSigmoid);
+  std::stringstream ss;
+  save_fann(net, ss);
+  const Network loaded = load_fann(ss);
+  ASSERT_EQ(loaded.num_layers(), net.num_layers());
+  ASSERT_EQ(loaded.input_dim(), net.input_dim());
+  rng::Xoshiro256ss gen(5);
+  std::vector<double> x(net.input_dim());
+  for (int probe = 0; probe < 32; ++probe) {
+    for (double& xi : x) xi = gen.uniform01();
+    EXPECT_NEAR(loaded.forward(x)[0], net.forward(x)[0], 1e-12);
+  }
+}
+
+TEST(FannIo, RoundTripTanhAndLinear) {
+  const Network net = make_net({3, 5, 1}, Activation::kTanh, Activation::kLinear);
+  std::stringstream ss;
+  save_fann(net, ss);
+  const Network loaded = load_fann(ss);
+  const std::vector<double> x{0.2, -0.4, 0.9};
+  EXPECT_NEAR(loaded.forward(x)[0], net.forward(x)[0], 1e-12);
+}
+
+TEST(FannIo, HeaderIsFann21) {
+  const Network net = make_net({2, 2, 1}, Activation::kSigmoid, Activation::kSigmoid);
+  std::stringstream ss;
+  save_fann(net, ss);
+  std::string first_line;
+  std::getline(ss, first_line);
+  EXPECT_EQ(first_line, "FANN_FLO_2.1");
+  // Layer sizes include the FANN bias neurons.
+  EXPECT_NE(ss.str().find("layer_sizes=3 3 2 "), std::string::npos);
+}
+
+TEST(FannIo, ReluIsRejectedOnSave) {
+  const Network net = make_net({2, 2, 1}, Activation::kRelu, Activation::kSigmoid);
+  std::stringstream ss;
+  EXPECT_THROW(save_fann(net, ss), FannFormatError);
+}
+
+TEST(FannIo, RejectsWrongMagic) {
+  std::stringstream ss("FANN_FIX_2.1\nnum_layers=3\n");
+  EXPECT_THROW((void)load_fann(ss), FannFormatError);
+}
+
+TEST(FannIo, RejectsShortcutNetworks) {
+  const Network net = make_net({2, 2, 1}, Activation::kSigmoid, Activation::kSigmoid);
+  std::stringstream ss;
+  save_fann(net, ss);
+  std::string text = ss.str();
+  const auto pos = text.find("network_type=0");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 14, "network_type=1");
+  std::stringstream mutated(text);
+  EXPECT_THROW((void)load_fann(mutated), FannFormatError);
+}
+
+TEST(FannIo, RejectsSparseNetworks) {
+  const Network net = make_net({2, 2, 1}, Activation::kSigmoid, Activation::kSigmoid);
+  std::stringstream ss;
+  save_fann(net, ss);
+  std::string text = ss.str();
+  const auto pos = text.find("connection_rate=1.000000");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 24, "connection_rate=0.500000");
+  std::stringstream mutated(text);
+  EXPECT_THROW((void)load_fann(mutated), FannFormatError);
+}
+
+TEST(FannIo, LoadsHandWrittenFannFile) {
+  // A minimal 2-2-1 network written by hand in FANN's own format, with
+  // non-neutral steepness (0.25): the loader must fold the steepness into
+  // the weights. FANN sigmoid: f(x) = 1 / (1 + exp(-2 * s * sum)).
+  const char* text =
+      "FANN_FLO_2.1\n"
+      "num_layers=3\n"
+      "connection_rate=1.000000\n"
+      "network_type=0\n"
+      "layer_sizes=3 3 2 \n"
+      "scale_included=0\n"
+      "neurons (num_inputs, activation_function, activation_steepness)="
+      "(0, 0, 0.0) (0, 0, 0.0) (0, 0, 0.0) "
+      "(3, 3, 0.25) (3, 3, 0.25) (0, 0, 0.0) "
+      "(3, 3, 0.25) (0, 0, 0.0) \n"
+      "connections (connected_to_neuron, weight)="
+      "(0, 1.0) (1, -2.0) (2, 0.5) "
+      "(0, 0.25) (1, 0.75) (2, -0.5) "
+      "(3, 1.5) (4, -1.0) (5, 0.25) \n";
+  std::stringstream ss(text);
+  const Network net = load_fann(ss);
+  ASSERT_EQ(net.input_dim(), 2u);
+  ASSERT_EQ(net.output_dim(), 1u);
+  ASSERT_EQ(net.num_layers(), 2u);
+
+  // Reference forward pass with FANN semantics (s = 0.25).
+  const auto fann_sigmoid = [](double sum, double s) {
+    return 1.0 / (1.0 + std::exp(-2.0 * s * sum));
+  };
+  const double x0 = 0.6;
+  const double x1 = -0.2;
+  const double h0 = fann_sigmoid(1.0 * x0 - 2.0 * x1 + 0.5, 0.25);
+  const double h1 = fann_sigmoid(0.25 * x0 + 0.75 * x1 - 0.5, 0.25);
+  const double y = fann_sigmoid(1.5 * h0 - 1.0 * h1 + 0.25, 0.25);
+
+  const std::vector<double> x{x0, x1};
+  EXPECT_NEAR(net.forward(x)[0], y, 1e-12);
+}
+
+TEST(FannIo, TruncatedConnectionsRejected) {
+  const Network net = make_net({2, 2, 1}, Activation::kSigmoid, Activation::kSigmoid);
+  std::stringstream ss;
+  save_fann(net, ss);
+  std::string text = ss.str();
+  // Chop off the last connection tuple.
+  const auto last = text.rfind('(');
+  text.resize(last);
+  text += "\n";
+  std::stringstream mutated(text);
+  EXPECT_THROW((void)load_fann(mutated), FannFormatError);
+}
+
+}  // namespace
+}  // namespace shmd::nn

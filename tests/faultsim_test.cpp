@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "faultsim/bit_fault_distribution.hpp"
+#include "faultsim/fault_injector.hpp"
+#include "faultsim/faulty_alu.hpp"
+#include "faultsim/fixed_point.hpp"
+#include "rng/entropy.hpp"
+
+namespace shmd::faultsim {
+namespace {
+
+// ---------------------------------------------------------------- fixed point
+
+TEST(FixedPoint, RoundTripsTypicalProducts) {
+  for (double x : {0.0, 1.0, -1.0, 0.125, -3.75, 1000.0, -0.0009765625}) {
+    EXPECT_NEAR(from_q(to_q(x)), x, 1e-10) << x;
+  }
+}
+
+TEST(FixedPoint, SaturatesAtRangeLimits) {
+  EXPECT_EQ(to_q(1e9), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(to_q(-1e9), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(FixedPoint, BitWeightsArePowersOfTwo) {
+  EXPECT_DOUBLE_EQ(bit_weight(kFracBits), 1.0);
+  EXPECT_DOUBLE_EQ(bit_weight(kFracBits + 3), 8.0);
+  EXPECT_DOUBLE_EQ(bit_weight(kFracBits - 4), 0.0625);
+}
+
+// -------------------------------------------------------- fault distribution
+
+TEST(BitFaultDistribution, ProtectedBitsHaveZeroMass) {
+  const auto d = BitFaultDistribution::measured();
+  EXPECT_DOUBLE_EQ(d.pmf(kSignBit), 0.0);
+  for (int b = 0; b < kProtectedLsbs; ++b) EXPECT_DOUBLE_EQ(d.pmf(b), 0.0) << b;
+}
+
+TEST(BitFaultDistribution, PmfSumsToOne) {
+  for (const auto& d : {BitFaultDistribution::measured(), BitFaultDistribution::uniform(),
+                        BitFaultDistribution::stuck_at(30)}) {
+    double total = 0.0;
+    for (int b = 0; b < BitFaultDistribution::kBits; ++b) total += d.pmf(b);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(BitFaultDistribution, MeasuredIsUnimodalBump) {
+  const auto d = BitFaultDistribution::measured(36.0, 7.0);
+  EXPECT_GT(d.pmf(36), d.pmf(20));
+  EXPECT_GT(d.pmf(36), d.pmf(55));
+  EXPECT_GT(d.pmf(30), d.pmf(12));
+}
+
+TEST(BitFaultDistribution, UniformIsFlatOverEligibleBits) {
+  const auto d = BitFaultDistribution::uniform();
+  const double expected = 1.0 / (kSignBit - kProtectedLsbs);
+  for (int b = kProtectedLsbs; b < kSignBit; ++b) EXPECT_NEAR(d.pmf(b), expected, 1e-12);
+}
+
+TEST(BitFaultDistribution, StuckAtConcentratesAllMass) {
+  const auto d = BitFaultDistribution::stuck_at(25);
+  EXPECT_DOUBLE_EQ(d.pmf(25), 1.0);
+  rng::Xoshiro256ss gen(1);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(d.sample(gen), 25);
+}
+
+TEST(BitFaultDistribution, StuckAtProtectedBitRejected) {
+  EXPECT_THROW((void)BitFaultDistribution::stuck_at(kSignBit), std::invalid_argument);
+  EXPECT_THROW((void)BitFaultDistribution::stuck_at(3), std::invalid_argument);
+}
+
+TEST(BitFaultDistribution, SamplesFollowPmf) {
+  const auto d = BitFaultDistribution::measured();
+  rng::Xoshiro256ss gen(77);
+  std::array<int, 64> counts{};
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[static_cast<std::size_t>(d.sample(gen))];
+  for (int b = 0; b < 64; ++b) {
+    const double freq = static_cast<double>(counts[static_cast<std::size_t>(b)]) / kDraws;
+    EXPECT_NEAR(freq, d.pmf(b), 0.005) << "bit " << b;
+  }
+}
+
+TEST(BitFaultDistribution, InvalidSigmaThrows) {
+  EXPECT_THROW((void)BitFaultDistribution::measured(36.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)BitFaultDistribution::measured(36.0, -2.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ fault injector
+
+TEST(FaultInjector, ZeroErrorRateIsTransparent) {
+  FaultInjector inj(0.0, BitFaultDistribution::measured());
+  for (std::uint64_t v : {0ULL, 1ULL, 0xDEADBEEFULL, ~0ULL}) {
+    EXPECT_EQ(inj.corrupt_u64(v), v);
+  }
+  EXPECT_EQ(inj.stats().faults, 0u);
+  EXPECT_EQ(inj.stats().operations, 4u);
+}
+
+TEST(FaultInjector, FullErrorRateFlipsExactlyOneEligibleBit) {
+  FaultInjector inj(1.0, BitFaultDistribution::measured());
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = 0x0123456789ABCDEFULL;
+    const std::uint64_t corrupted = inj.corrupt_u64(v);
+    const std::uint64_t diff = v ^ corrupted;
+    EXPECT_EQ(std::popcount(diff), 1);
+    const int bit = std::countr_zero(diff);
+    EXPECT_TRUE(BitFaultDistribution::eligible(bit)) << bit;
+  }
+  EXPECT_EQ(inj.stats().faults, 1000u);
+}
+
+TEST(FaultInjector, SignBitNeverFlipsInProducts) {
+  // §II: "We noticed that the sign bit never flipped."
+  FaultInjector inj(1.0, BitFaultDistribution::measured());
+  for (int i = 0; i < 5000; ++i) {
+    const double product = (i % 2 == 0) ? 0.75 : -0.75;
+    const double corrupted = inj.corrupt_product(product);
+    EXPECT_EQ(std::signbit(corrupted), std::signbit(product)) << corrupted;
+  }
+}
+
+TEST(FaultInjector, EmpiricalFaultRateMatchesConfigured) {
+  FaultInjector inj(0.25, BitFaultDistribution::measured());
+  for (int i = 0; i < 100000; ++i) (void)inj.corrupt_u64(0x1234ULL);
+  EXPECT_NEAR(inj.stats().fault_rate(), 0.25, 0.01);
+}
+
+TEST(FaultInjector, FaultLocationsAreStochasticAcrossRuns) {
+  // §II: the fault-location sequence on identical operands passes the
+  // approximate-entropy test (time-variant faults).
+  FaultInjector inj(1.0, BitFaultDistribution::measured());
+  std::vector<std::uint8_t> bit_parity;
+  for (int i = 0; i < 8192; ++i) {
+    const std::uint64_t diff = inj.corrupt_u64(0xFFFFULL) ^ 0xFFFFULL;
+    bit_parity.push_back(static_cast<std::uint8_t>(std::countr_zero(diff) & 1));
+  }
+  EXPECT_TRUE(rng::apen_test(bit_parity, 2).random());
+}
+
+TEST(FaultInjector, StuckAtModeIsDeterministicInLocation) {
+  // The deterministic-AC ablation: same bit every time — fails ApEn.
+  FaultInjector inj(1.0, BitFaultDistribution::stuck_at(30));
+  std::vector<std::uint8_t> bit_lsb;
+  for (int i = 0; i < 4096; ++i) {
+    const std::uint64_t diff = inj.corrupt_u64(0xFFFFULL) ^ 0xFFFFULL;
+    EXPECT_EQ(std::countr_zero(diff), 30);
+    bit_lsb.push_back(static_cast<std::uint8_t>(std::countr_zero(diff) & 1));
+  }
+  EXPECT_FALSE(rng::apen_test(bit_lsb, 2).random());
+}
+
+TEST(FaultInjector, CorruptProductPerturbationBoundedByBitWeights) {
+  FaultInjector inj(1.0, BitFaultDistribution::measured());
+  for (int i = 0; i < 2000; ++i) {
+    const double corrupted = inj.corrupt_product(0.5);
+    const double delta = std::abs(corrupted - 0.5);
+    EXPECT_GT(delta, 0.0);
+    EXPECT_LE(delta, bit_weight(kSignBit - 1) + 1.0);
+  }
+}
+
+TEST(FaultInjector, PerBitStatsMatchDistribution) {
+  FaultInjector inj(1.0, BitFaultDistribution::measured());
+  constexpr int kOps = 100000;
+  for (int i = 0; i < kOps; ++i) (void)inj.corrupt_u64(0);
+  const auto& stats = inj.stats();
+  for (int b = 12; b <= 60; b += 8) {
+    EXPECT_NEAR(stats.bit_error_rate(b), inj.distribution().pmf(b), 0.01) << b;
+  }
+}
+
+TEST(FaultInjector, InvalidErrorRateRejected) {
+  FaultInjector inj(0.5, BitFaultDistribution::measured());
+  EXPECT_THROW(inj.set_error_rate(-0.1), std::invalid_argument);
+  EXPECT_THROW(inj.set_error_rate(1.1), std::invalid_argument);
+}
+
+TEST(FaultInjector, ResetStatsClearsCounters) {
+  FaultInjector inj(1.0, BitFaultDistribution::measured());
+  (void)inj.corrupt_u64(1);
+  inj.reset_stats();
+  EXPECT_EQ(inj.stats().operations, 0u);
+  EXPECT_EQ(inj.stats().faults, 0u);
+}
+
+// --------------------------------------------------------------- faulty ALU
+
+TEST(FaultyAlu, OnlyMultiplicationsFault) {
+  // §II: additions, subtractions, and bit-wise operations never faulted.
+  FaultInjector inj(1.0, BitFaultDistribution::measured());
+  FaultyAlu alu(inj);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(alu.add(40, 2), 42u);
+    EXPECT_EQ(alu.sub(40, 2), 38u);
+    EXPECT_EQ(alu.bit_and(0xF0, 0x3C), 0x30u);
+    EXPECT_EQ(alu.bit_or(0xF0, 0x0F), 0xFFu);
+    EXPECT_EQ(alu.bit_xor(0xFF, 0x0F), 0xF0u);
+    EXPECT_NE(alu.mul(3, 5), 15u);  // er = 1: always faulty
+  }
+  EXPECT_EQ(alu.mul_count(), 200u);
+  EXPECT_EQ(alu.nonmul_count(), 1000u);
+}
+
+TEST(FaultyAlu, OperandProbabilityOverridesFlatRate) {
+  FaultInjector inj(0.0, BitFaultDistribution::measured());
+  FaultyAlu alu(inj);
+  alu.set_operand_probability([](std::uint64_t a, std::uint64_t) {
+    return a == 7 ? 1.0 : 0.0;
+  });
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(alu.mul(3, 5), 15u);   // immune operands
+    EXPECT_NE(alu.mul(7, 5), 35u);   // critical operands
+  }
+  // The flat rate is restored after each operand-aware corruption.
+  EXPECT_DOUBLE_EQ(inj.error_rate(), 0.0);
+}
+
+TEST(FaultyAlu, ExactWhenNoFaultsConfigured) {
+  FaultInjector inj(0.0, BitFaultDistribution::measured());
+  FaultyAlu alu(inj);
+  for (std::uint64_t a = 0; a < 50; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) EXPECT_EQ(alu.mul(a, b), a * b);
+  }
+}
+
+}  // namespace
+}  // namespace shmd::faultsim

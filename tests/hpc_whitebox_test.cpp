@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/whitebox.hpp"
+#include "hmd/builders.hpp"
+#include "support/test_corpus.hpp"
+#include "trace/hpc_collector.hpp"
+#include "trace/trace_collector.hpp"
+#include "util/stats.hpp"
+
+namespace shmd {
+namespace {
+
+// ------------------------------------------------------------ HPC collector
+
+TEST(HpcCollector, MeasurementsAreNonDeterministic) {
+  // The §IV justification: the same program measured twice through HPCs
+  // gives different numbers; the Pin-like collector gives identical ones.
+  const trace::Program program(0, trace::Family::kBrowser, 42);
+  const trace::HpcCollector hpc;
+  const auto run1 = hpc.collect_frequencies(program, 8192, /*run_id=*/1);
+  const auto run2 = hpc.collect_frequencies(program, 8192, /*run_id=*/2);
+  ASSERT_EQ(run1.size(), run2.size());
+  double max_diff = 0.0;
+  for (std::size_t c = 0; c < run1.size(); ++c) {
+    max_diff = std::max(max_diff, std::abs(run1[c] - run2[c]));
+  }
+  EXPECT_GT(max_diff, 1e-6);
+
+  const trace::TraceCollector pin(8192);
+  EXPECT_TRUE(pin.verify_determinism(program, 3));
+}
+
+TEST(HpcCollector, SameRunIdIsRepeatable) {
+  // Fixing the run id fixes the perturbation (a controlled experiment, not
+  // a property of real HPCs).
+  const trace::Program program(0, trace::Family::kWorm, 7);
+  const trace::HpcCollector hpc;
+  EXPECT_EQ(hpc.collect_frequencies(program, 4096, 9),
+            hpc.collect_frequencies(program, 4096, 9));
+}
+
+TEST(HpcCollector, MeasurementsCenterOnGroundTruth) {
+  const trace::Program program(0, trace::Family::kTrojan, 11);
+  const auto trace_data = program.generate(8192);
+  std::vector<double> truth(trace::kNumCategories, 0.0);
+  for (const auto& insn : trace_data) truth[static_cast<std::size_t>(insn.category)] += 1.0;
+  for (double& t : truth) t /= static_cast<double>(trace_data.size());
+
+  const trace::HpcCollector hpc;
+  std::vector<double> mean(trace::kNumCategories, 0.0);
+  constexpr int kRuns = 200;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto m = hpc.collect_frequencies(program, 8192, static_cast<std::uint64_t>(run));
+    for (std::size_t c = 0; c < mean.size(); ++c) mean[c] += m[c];
+  }
+  for (std::size_t c = 0; c < mean.size(); ++c) {
+    mean[c] /= kRuns;
+    EXPECT_NEAR(mean[c], truth[c], 0.03) << "category " << c;
+  }
+}
+
+TEST(HpcCollector, MorePhysicalCountersLessVariance) {
+  const trace::Program program(0, trace::Family::kBackdoor, 13);
+  const auto variance_with = [&](unsigned counters) {
+    trace::HpcConfig cfg;
+    cfg.physical_counters = counters;
+    cfg.contamination_prob = 0.0;  // isolate the multiplexing effect
+    const trace::HpcCollector hpc(cfg);
+    util::RunningStats spread;
+    for (int run = 0; run < 150; ++run) {
+      const auto m = hpc.collect_frequencies(program, 4096, static_cast<std::uint64_t>(run));
+      spread.add(m[0]);
+    }
+    return spread.variance();
+  };
+  EXPECT_GT(variance_with(2), variance_with(16));
+}
+
+// -------------------------------------------------------- white-box attack
+
+TEST(WhiteBox, SimplexProjectionProperties) {
+  const std::vector<double> x{0.5, 0.9, -0.2, 0.1};
+  const auto p = attack::WhiteBoxFeatureAttack::project_simplex(x);
+  double total = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // A point already on the simplex is a fixed point.
+  const std::vector<double> on{0.25, 0.25, 0.25, 0.25};
+  const auto same = attack::WhiteBoxFeatureAttack::project_simplex(on);
+  for (std::size_t i = 0; i < on.size(); ++i) EXPECT_NEAR(same[i], on[i], 1e-12);
+}
+
+TEST(WhiteBox, DefeatsDeterministicVictim) {
+  const trace::Dataset& ds = test::small_dataset();
+  const trace::FoldSplit folds = ds.folds(0);
+  const trace::FeatureConfig fc{trace::FeatureView::kInsnCategory, ds.config().periods[0]};
+  hmd::HmdTrainOptions opt;
+  opt.train.epochs = 80;
+  opt.train.l2 = 2e-3;
+  hmd::BaselineHmd victim = hmd::make_baseline(ds, folds.victim_training, fc, opt);
+
+  // Attack the first malware window the victim flags.
+  for (std::size_t idx : folds.testing) {
+    const auto& sample = ds.samples()[idx];
+    if (!sample.malware()) continue;
+    const auto& window = sample.features.windows(fc).front();
+    if (victim.score_window(window) < 0.7) continue;
+
+    attack::WhiteBoxFeatureAttack attack;
+    const auto result = attack.attack(
+        [&](std::span<const double> x) { return victim.score_window(x); }, window);
+    EXPECT_TRUE(result.evaded);
+    EXPECT_LT(result.final_score, 0.45);
+    EXPECT_GT(result.queries, 0u);
+    return;
+  }
+  FAIL() << "no strongly-flagged malware window found";
+}
+
+TEST(WhiteBox, StochasticVictimExtortsMoreQueries) {
+  // §I claim (ii): the stochastic gradient makes direction estimation
+  // harder — single-sample gradients flail, averaged ones cost k-fold
+  // query volume.
+  const trace::Dataset& ds = test::small_dataset();
+  const trace::FoldSplit folds = ds.folds(0);
+  const trace::FeatureConfig fc{trace::FeatureView::kInsnCategory, ds.config().periods[0]};
+  hmd::HmdTrainOptions opt;
+  opt.train.epochs = 80;
+  opt.train.l2 = 2e-3;
+  hmd::BaselineHmd baseline = hmd::make_baseline(ds, folds.victim_training, fc, opt);
+  hmd::StochasticHmd stochastic(baseline.network(), fc, 0.3);
+
+  // Collect flagged malware windows.
+  std::vector<std::vector<double>> windows;
+  for (std::size_t idx : folds.testing) {
+    const auto& sample = ds.samples()[idx];
+    if (!sample.malware() || windows.size() >= 10) continue;
+    const auto& w = sample.features.windows(fc).front();
+    if (baseline.score_window(w) >= 0.7) windows.push_back(w);
+  }
+  ASSERT_GE(windows.size(), 5u);
+
+  const auto evasions = [&](auto&& query, int gradient_samples) {
+    attack::WhiteBoxConfig cfg;
+    cfg.gradient_samples = gradient_samples;
+    cfg.max_steps = 25;
+    const attack::WhiteBoxFeatureAttack attack(cfg);
+    std::size_t evaded = 0;
+    std::size_t queries = 0;
+    for (const auto& w : windows) {
+      const auto result = attack.attack(query, w);
+      evaded += result.evaded;
+      queries += result.queries;
+    }
+    return std::pair{evaded, queries};
+  };
+
+  const auto [base_evaded, base_queries] =
+      evasions([&](std::span<const double> x) { return baseline.score_window(x); }, 1);
+  const auto [sto_evaded_k1, sto_queries_k1] =
+      evasions([&](std::span<const double> x) { return stochastic.score_window(x); }, 1);
+  const auto [sto_evaded_k8, sto_queries_k8] =
+      evasions([&](std::span<const double> x) { return stochastic.score_window(x); }, 8);
+
+  // The deterministic victim largely falls to the cheap attack.
+  EXPECT_GE(base_evaded, windows.size() * 7 / 10);
+  // Against the stochastic victim the cheap attack does no better, and the
+  // averaged attack pays roughly 8x the queries for its progress.
+  EXPECT_LE(sto_evaded_k1, base_evaded);
+  EXPECT_GT(sto_queries_k8, 4 * sto_queries_k1 / 2);
+  EXPECT_GT(sto_queries_k8, base_queries);
+}
+
+TEST(WhiteBox, RespectsMovementBudget) {
+  hmd::HmdTrainOptions opt;
+  const trace::Dataset& ds = test::small_dataset();
+  const trace::FoldSplit folds = ds.folds(0);
+  const trace::FeatureConfig fc{trace::FeatureView::kInsnCategory, ds.config().periods[0]};
+  opt.train.epochs = 40;
+  hmd::BaselineHmd victim = hmd::make_baseline(ds, folds.victim_training, fc, opt);
+
+  attack::WhiteBoxConfig cfg;
+  cfg.max_l1_distance = 0.05;  // nearly no movement allowed
+  cfg.max_steps = 10;
+  const attack::WhiteBoxFeatureAttack attack(cfg);
+  const auto& window = ds.samples()[folds.testing[0]].features.windows(fc).front();
+  const auto result = attack.attack(
+      [&](std::span<const double> x) { return victim.score_window(x); }, window);
+  EXPECT_LE(result.l1_distance, 0.05 + 1e-9);
+}
+
+TEST(WhiteBox, ConfigValidation) {
+  attack::WhiteBoxConfig bad;
+  bad.gradient_samples = 0;
+  EXPECT_THROW(attack::WhiteBoxFeatureAttack{bad}, std::invalid_argument);
+  attack::WhiteBoxConfig bad2;
+  bad2.epsilon = 0.0;
+  EXPECT_THROW(attack::WhiteBoxFeatureAttack{bad2}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shmd

@@ -1,0 +1,152 @@
+// End-to-end integration: the full Stochastic-HMD lifecycle on one
+// simulated device — characterize, calibrate, train, deploy under trusted
+// voltage control, then survive the paper's two-stage black-box attack.
+#include <gtest/gtest.h>
+
+#include "attack/reverse_engineer.hpp"
+#include "attack/transferability.hpp"
+#include "eval/metrics.hpp"
+#include "faultsim/fault_injector.hpp"
+#include "faultsim/faulty_alu.hpp"
+#include "hmd/builders.hpp"
+#include "rng/entropy.hpp"
+#include "support/test_corpus.hpp"
+#include "volt/calibration.hpp"
+
+namespace shmd {
+namespace {
+
+TEST(Integration, FullStochasticHmdLifecycle) {
+  // --- 1. A fresh device: sample silicon, characterize the fault window.
+  const volt::DeviceProfile profile = volt::DeviceProfile::sample(0xD01CE);
+  volt::MsrInterface msr;
+  volt::VoltageDomain domain(msr, /*plane=*/0, volt::VoltFaultModel(profile), /*temp=*/49.0);
+
+  // Characterization (§II): sweep undervolt depth on the multiplier.
+  faultsim::FaultInjector injector(0.0, faultsim::BitFaultDistribution::measured());
+  faultsim::FaultyAlu alu(injector);
+  const auto& model = domain.model();
+  alu.set_operand_probability([&](std::uint64_t a, std::uint64_t b) {
+    return model.operand_fault_probability(a, b, -130.0, domain.temperature_c());
+  });
+  injector.set_error_rate(1.0);  // gate entirely through operand probability
+  rng::Xoshiro256ss operands(0x0BE7A);
+  std::size_t faults = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = operands();
+    const std::uint64_t b = operands();
+    faults += alu.mul(a, b) != a * b;
+  }
+  // At -130 mV the device faults on a sizable fraction of operand pairs.
+  EXPECT_GT(faults, 2000u);
+  EXPECT_LT(faults, 18000u);
+
+  // --- 2. Calibrate the rail for the paper's er = 0.1 operating point.
+  volt::CalibrationController calibration(domain, 30000);
+  const volt::CalibrationResult cal = calibration.calibrate(0.20, 0.03);
+  EXPECT_NEAR(cal.measured_er, 0.20, 0.04);
+
+  // --- 3. Train the HMD (at nominal voltage) and deploy it stochastic.
+  const trace::Dataset& ds = test::medium_dataset();
+  const trace::FoldSplit folds = ds.folds(0);
+  const trace::FeatureConfig fc{trace::FeatureView::kInsnCategory, ds.config().periods[0]};
+  hmd::HmdTrainOptions opt;
+  opt.train.epochs = 100;
+  opt.train.l2 = 2e-3;
+  hmd::BaselineHmd baseline = hmd::make_baseline(ds, folds.victim_training, fc, opt);
+
+  hmd::StochasticHmd deployed(baseline.network(), fc, 0.0);
+  const std::uint64_t token = domain.acquire_exclusive();
+  deployed.attach_domain(domain, cal.offset_mv, token);
+
+  // --- 4. Clean detection quality: within a few points of the baseline.
+  eval::ConfusionMatrix base_cm;
+  eval::ConfusionMatrix sto_cm;
+  for (std::size_t idx : folds.testing) {
+    const auto& sample = ds.samples()[idx];
+    base_cm.add(sample.malware(), baseline.detect(sample.features));
+    sto_cm.add(sample.malware(), deployed.detect(sample.features));
+  }
+  EXPECT_GT(base_cm.accuracy(), 0.88);
+  EXPECT_GT(sto_cm.accuracy(), base_cm.accuracy() - 0.05);
+
+  // --- 5. The two-stage attack: reverse-engineer, then craft + transfer.
+  attack::ReverseEngineer re(ds);
+  attack::ReverseEngineerConfig rc;
+  rc.kind = attack::ProxyKind::kMlp;
+  rc.proxy_configs = {fc};
+  auto base_re = re.run(baseline, folds.victim_training, folds.testing, rc);
+  auto sto_re = re.run(deployed, folds.victim_training, folds.testing, rc);
+  EXPECT_LT(sto_re.effectiveness, base_re.effectiveness);
+
+  std::vector<std::size_t> malware_idx;
+  for (std::size_t idx : folds.testing) {
+    if (ds.samples()[idx].malware() && malware_idx.size() < 40) malware_idx.push_back(idx);
+  }
+  attack::EvasionConfig ec;
+  ec.mimicry_mix = attack::benign_category_mix(ds, folds.attacker_training, fc.period);
+
+  attack::EvasionConfig base_ec = ec;
+  base_ec.craft_threshold = base_re.craft_threshold;
+  const auto base_tr = attack::TransferabilityEval(ds, base_ec)
+                           .run(baseline, *base_re.proxy, malware_idx, rc.proxy_configs);
+  attack::EvasionConfig sto_ec = ec;
+  sto_ec.craft_threshold = sto_re.craft_threshold;
+  const auto sto_tr = attack::TransferabilityEval(ds, sto_ec)
+                          .run(deployed, *sto_re.proxy, malware_idx, rc.proxy_configs);
+
+  // The headline result: the baseline is evadable, the stochastic detector
+  // catches the bulk of the evasive malware.
+  EXPECT_GT(base_tr.success_rate(), 0.5);
+  EXPECT_GT(sto_tr.detected_rate(), 0.6);
+  EXPECT_LT(sto_tr.success_rate(), base_tr.success_rate());
+
+  // --- 6. The rail stays trusted: an adversary cannot restore nominal.
+  EXPECT_THROW(domain.set_offset_mv(0.0), volt::VoltageControlError);
+  deployed.detach_domain();
+  domain.release_exclusive(token);
+}
+
+TEST(Integration, StochasticFaultsPassApEnWhereStuckAtFails) {
+  // §II validated stochasticity with the approximate entropy test; the
+  // same check separates our stochastic injector from a deterministic
+  // approximate-computing fault model.
+  faultsim::FaultInjector stochastic(1.0, faultsim::BitFaultDistribution::measured());
+  faultsim::FaultInjector stuck(1.0, faultsim::BitFaultDistribution::stuck_at(36));
+  std::vector<std::uint64_t> sto_bits;
+  std::vector<std::uint64_t> stuck_bits;
+  for (int i = 0; i < 8192; ++i) {
+    sto_bits.push_back(stochastic.corrupt_u64(0) );
+    stuck_bits.push_back(stuck.corrupt_u64(0));
+  }
+  // Compare the location parity sequences.
+  std::vector<std::uint8_t> sto_seq;
+  std::vector<std::uint8_t> stuck_seq;
+  for (std::size_t i = 0; i < sto_bits.size(); ++i) {
+    sto_seq.push_back(static_cast<std::uint8_t>(std::countr_zero(sto_bits[i]) & 1));
+    stuck_seq.push_back(static_cast<std::uint8_t>(std::countr_zero(stuck_bits[i]) & 1));
+  }
+  EXPECT_TRUE(rng::apen_test(sto_seq, 2).random());
+  EXPECT_FALSE(rng::apen_test(stuck_seq, 2).random());
+}
+
+TEST(Integration, ThreeFoldCrossValidationIsStable) {
+  // The paper's 3-fold CV: accuracy must hold across all rotations.
+  const trace::Dataset& ds = test::small_dataset();
+  const trace::FeatureConfig fc{trace::FeatureView::kInsnCategory, ds.config().periods[0]};
+  hmd::HmdTrainOptions opt;
+  opt.train.epochs = 60;
+  for (int rotation = 0; rotation < 3; ++rotation) {
+    const trace::FoldSplit folds = ds.folds(rotation);
+    hmd::BaselineHmd det = hmd::make_baseline(ds, folds.victim_training, fc, opt);
+    eval::ConfusionMatrix cm;
+    for (std::size_t idx : folds.testing) {
+      const auto& s = ds.samples()[idx];
+      cm.add(s.malware(), det.detect(s.features));
+    }
+    EXPECT_GT(cm.accuracy(), 0.8) << "rotation " << rotation;
+  }
+}
+
+}  // namespace
+}  // namespace shmd

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/decision_tree.hpp"
+#include "nn/logistic_regression.hpp"
+#include "nn/mlp_classifier.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::nn {
+namespace {
+
+/// Linearly separable blobs: class 1 around (0.8, 0.8), class 0 around
+/// (0.2, 0.2), with some spread.
+std::vector<TrainSample> blobs(std::size_t n, double spread, std::uint64_t seed) {
+  rng::Xoshiro256ss gen(seed);
+  std::vector<TrainSample> data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = (i % 2) == 0;
+    const double cx = positive ? 0.8 : 0.2;
+    data.push_back(TrainSample{{cx + spread * gen.gaussian(), cx + spread * gen.gaussian()},
+                               positive ? 1.0 : 0.0});
+  }
+  return data;
+}
+
+/// XOR-like blobs: not linearly separable.
+std::vector<TrainSample> xor_blobs(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256ss gen(seed);
+  std::vector<TrainSample> data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = gen.uniform01();
+    const double y = gen.uniform01();
+    data.push_back(TrainSample{{x, y}, ((x > 0.5) != (y > 0.5)) ? 1.0 : 0.0});
+  }
+  return data;
+}
+
+double accuracy(const Classifier& model, const std::vector<TrainSample>& data) {
+  std::size_t correct = 0;
+  for (const TrainSample& s : data) correct += model.classify(s.x) == (s.y > 0.5);
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+// ---------------------------------------------------------------------- LR
+
+TEST(LogisticRegression, SeparatesLinearBlobs) {
+  LogisticRegression lr;
+  const auto train = blobs(400, 0.1, 1);
+  lr.fit(train);
+  EXPECT_GT(accuracy(lr, blobs(200, 0.1, 2)), 0.97);
+}
+
+TEST(LogisticRegression, PredictBeforeFitThrows) {
+  LogisticRegression lr;
+  const std::vector<double> x{0.5, 0.5};
+  EXPECT_THROW((void)lr.predict(x), std::invalid_argument);
+}
+
+TEST(LogisticRegression, AnalyticGradientMatchesNumeric) {
+  LogisticRegression lr;
+  lr.fit(blobs(200, 0.15, 3));
+  const std::vector<double> x{0.45, 0.6};
+  const auto analytic = lr.gradient(x);
+  // Numeric via the base-class helper semantics.
+  constexpr double eps = 1e-5;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::vector<double> up = x;
+    std::vector<double> down = x;
+    up[i] += eps;
+    down[i] -= eps;
+    const double numeric = (lr.predict(up) - lr.predict(down)) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric, 1e-6);
+  }
+}
+
+TEST(LogisticRegression, ClassBalancingHelpsMinorityClass) {
+  // 90% positives: unbalanced LR tends to predict everything positive.
+  rng::Xoshiro256ss gen(4);
+  std::vector<TrainSample> data;
+  for (int i = 0; i < 600; ++i) {
+    const bool positive = i % 10 != 0;
+    const double cx = positive ? 0.65 : 0.35;
+    data.push_back(TrainSample{{cx + 0.12 * gen.gaussian(), cx + 0.12 * gen.gaussian()},
+                               positive ? 1.0 : 0.0});
+  }
+  LogisticRegressionConfig balanced;
+  balanced.balance_classes = true;
+  LogisticRegression lr_bal(balanced);
+  lr_bal.fit(data);
+  LogisticRegressionConfig unbal;
+  unbal.balance_classes = false;
+  LogisticRegression lr_unbal(unbal);
+  lr_unbal.fit(data);
+
+  std::size_t bal_tn = 0;
+  std::size_t unbal_tn = 0;
+  std::size_t negatives = 0;
+  for (const TrainSample& s : data) {
+    if (s.y > 0.5) continue;
+    ++negatives;
+    bal_tn += !lr_bal.classify(s.x);
+    unbal_tn += !lr_unbal.classify(s.x);
+  }
+  ASSERT_GT(negatives, 0u);
+  EXPECT_GE(bal_tn, unbal_tn);
+  EXPECT_GT(static_cast<double>(bal_tn) / static_cast<double>(negatives), 0.8);
+}
+
+TEST(LogisticRegression, DifferentiableFlag) {
+  LogisticRegression lr;
+  EXPECT_TRUE(lr.differentiable());
+  EXPECT_EQ(lr.name(), "lr");
+}
+
+// ---------------------------------------------------------------------- DT
+
+TEST(DecisionTree, SeparatesLinearBlobs) {
+  DecisionTree dt;
+  dt.fit(blobs(400, 0.1, 5));
+  EXPECT_GT(accuracy(dt, blobs(200, 0.1, 6)), 0.95);
+}
+
+TEST(DecisionTree, LearnsXorUnlikeLr) {
+  // DT was chosen in the paper for its non-differentiability; it also
+  // handles non-linear structure LR cannot.
+  const auto train = xor_blobs(800, 7);
+  const auto test = xor_blobs(400, 8);
+  DecisionTree dt;
+  dt.fit(train);
+  LogisticRegression lr;
+  lr.fit(train);
+  EXPECT_GT(accuracy(dt, test), 0.9);
+  EXPECT_LT(accuracy(lr, test), 0.65);
+}
+
+TEST(DecisionTree, RespectsDepthLimit) {
+  DecisionTreeConfig cfg;
+  cfg.max_depth = 3;
+  DecisionTree dt(cfg);
+  dt.fit(xor_blobs(500, 9));
+  EXPECT_LE(dt.depth(), 4);  // depth counts nodes on the path incl. leaf
+}
+
+TEST(DecisionTree, PureLeafForPureData) {
+  DecisionTree dt;
+  std::vector<TrainSample> pure;
+  for (int i = 0; i < 50; ++i) pure.push_back(TrainSample{{0.1 * i, 0.2}, 1.0});
+  dt.fit(pure);
+  EXPECT_EQ(dt.node_count(), 1u);
+  const std::vector<double> x{0.3, 0.2};
+  EXPECT_DOUBLE_EQ(dt.predict(x), 1.0);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTree dt;
+  const std::vector<double> x{0.1};
+  EXPECT_THROW((void)dt.predict(x), std::logic_error);
+}
+
+TEST(DecisionTree, NonDifferentiable) {
+  DecisionTree dt;
+  EXPECT_FALSE(dt.differentiable());
+  EXPECT_EQ(dt.name(), "dt");
+}
+
+TEST(DecisionTree, InvalidConfigThrows) {
+  DecisionTreeConfig bad;
+  bad.max_depth = 0;
+  EXPECT_THROW(DecisionTree{bad}, std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- MLP
+
+TEST(MlpClassifier, LearnsXorBlobs) {
+  TrainConfig train;
+  train.epochs = 200;
+  train.patience = 0;
+  MlpClassifier mlp({2, 12, 6, 1}, train, 17);
+  mlp.fit(xor_blobs(800, 11));
+  EXPECT_GT(accuracy(mlp, xor_blobs(400, 12)), 0.9);
+}
+
+TEST(MlpClassifier, RefitIsIndependentOfPreviousState) {
+  TrainConfig train;
+  train.epochs = 60;
+  train.patience = 0;
+  MlpClassifier mlp({2, 8, 1}, train, 21);
+  const auto data = blobs(200, 0.1, 13);
+  mlp.fit(data);
+  const double first = mlp.predict(data.front().x);
+  mlp.fit(data);  // same data, fresh init: identical result
+  EXPECT_DOUBLE_EQ(mlp.predict(data.front().x), first);
+}
+
+TEST(MlpClassifier, NumericalGradientPointsTowardPositiveClass) {
+  TrainConfig train;
+  train.epochs = 120;
+  train.patience = 0;
+  MlpClassifier mlp({2, 8, 1}, train, 23);
+  mlp.fit(blobs(400, 0.1, 14));
+  // Positive class sits at higher coordinates: the gradient of P(malware)
+  // at the midpoint should be positive in both dims.
+  const std::vector<double> mid{0.5, 0.5};
+  const auto g = mlp.gradient(mid);
+  EXPECT_GT(g[0], 0.0);
+  EXPECT_GT(g[1], 0.0);
+}
+
+}  // namespace
+}  // namespace shmd::nn

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "faultsim/fault_injector.hpp"
+#include "nn/activation.hpp"
+#include "nn/arithmetic.hpp"
+#include "nn/network.hpp"
+#include "nn/trainer.hpp"
+#include "rng/lgm_prng.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::nn {
+namespace {
+
+// --------------------------------------------------------------- activations
+
+TEST(Activation, SigmoidValuesAndRange) {
+  EXPECT_DOUBLE_EQ(activate(Activation::kSigmoid, 0.0), 0.5);
+  EXPECT_NEAR(activate(Activation::kSigmoid, 10.0), 1.0, 1e-4);
+  EXPECT_NEAR(activate(Activation::kSigmoid, -10.0), 0.0, 1e-4);
+}
+
+TEST(Activation, TanhAndReluAndLinear) {
+  EXPECT_DOUBLE_EQ(activate(Activation::kTanh, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(activate(Activation::kRelu, -3.0), 0.0);
+  EXPECT_DOUBLE_EQ(activate(Activation::kRelu, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(activate(Activation::kLinear, -1.5), -1.5);
+}
+
+TEST(Activation, DerivativesMatchNumericalGradient) {
+  for (auto a : {Activation::kSigmoid, Activation::kTanh, Activation::kLinear}) {
+    for (double x : {-2.0, -0.5, 0.3, 1.7}) {
+      const double eps = 1e-6;
+      const double numeric = (activate(a, x + eps) - activate(a, x - eps)) / (2.0 * eps);
+      const double analytic = activate_derivative(a, x, activate(a, x));
+      EXPECT_NEAR(analytic, numeric, 1e-6) << activation_name(a) << " at " << x;
+    }
+  }
+}
+
+TEST(Activation, NameRoundTrip) {
+  for (auto a : {Activation::kSigmoid, Activation::kTanh, Activation::kRelu,
+                 Activation::kLinear}) {
+    EXPECT_EQ(activation_from_name(activation_name(a)), a);
+  }
+  EXPECT_THROW((void)activation_from_name("swish"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- network
+
+TEST(Network, TopologyAccounting) {
+  const std::vector<std::size_t> topo{16, 32, 16, 1};
+  Network net(topo, Activation::kSigmoid, Activation::kSigmoid, 1);
+  EXPECT_EQ(net.input_dim(), 16u);
+  EXPECT_EQ(net.output_dim(), 1u);
+  EXPECT_EQ(net.num_layers(), 3u);
+  EXPECT_EQ(net.mac_count(), 16u * 32 + 32 * 16 + 16);
+  EXPECT_EQ(net.parameter_count(), net.mac_count() + 32 + 16 + 1);
+  EXPECT_EQ(net.memory_bytes(), net.parameter_count() * 4);
+}
+
+TEST(Network, PaperScaleModelIs71KB) {
+  // §VIII: "every HMD takes 71 KB of memory".
+  const std::vector<std::size_t> topo{16, 232, 60, 1};
+  Network net(topo, Activation::kSigmoid, Activation::kSigmoid, 1);
+  EXPECT_NEAR(static_cast<double>(net.memory_bytes()) / 1024.0, 71.0, 2.0);
+}
+
+TEST(Network, RejectsDegenerateTopologies) {
+  const std::vector<std::size_t> single{4};
+  EXPECT_THROW(Network(single, Activation::kSigmoid, Activation::kSigmoid, 1),
+               std::invalid_argument);
+  const std::vector<std::size_t> zero{4, 0, 1};
+  EXPECT_THROW(Network(zero, Activation::kSigmoid, Activation::kSigmoid, 1),
+               std::invalid_argument);
+}
+
+TEST(Network, ForwardDimensionMismatchThrows) {
+  const std::vector<std::size_t> topo{3, 2, 1};
+  Network net(topo, Activation::kSigmoid, Activation::kSigmoid, 1);
+  const std::vector<double> wrong{1.0, 2.0};
+  EXPECT_THROW((void)net.forward(wrong), std::invalid_argument);
+}
+
+TEST(Network, DeterministicInitAndForward) {
+  const std::vector<std::size_t> topo{4, 8, 1};
+  Network a(topo, Activation::kSigmoid, Activation::kSigmoid, 99);
+  Network b(topo, Activation::kSigmoid, Activation::kSigmoid, 99);
+  const std::vector<double> x{0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(a.forward(x)[0], b.forward(x)[0]);
+}
+
+TEST(Network, HandComputedForward) {
+  // 2-1 net, linear output: y = w0*x0 + w1*x1 + b.
+  const std::vector<std::size_t> topo{2, 1};
+  Network net(topo, Activation::kLinear, Activation::kLinear, 1);
+  net.layer(0).w(0, 0) = 2.0;
+  net.layer(0).w(0, 1) = -1.0;
+  net.layer(0).biases[0] = 0.5;
+  const std::vector<double> x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(net.forward(x)[0], 2.0 * 3.0 - 1.0 * 4.0 + 0.5);
+}
+
+TEST(Network, SerializationRoundTrip) {
+  const std::vector<std::size_t> topo{5, 7, 3, 1};
+  Network net(topo, Activation::kTanh, Activation::kSigmoid, 123);
+  std::stringstream ss;
+  net.save(ss);
+  const Network loaded = Network::load(ss);
+  ASSERT_EQ(loaded.num_layers(), net.num_layers());
+  const std::vector<double> x{0.3, -0.2, 0.8, 0.0, 0.55};
+  EXPECT_NEAR(loaded.forward(x)[0], net.forward(x)[0], 1e-15);
+}
+
+TEST(Network, LoadRejectsGarbage) {
+  std::stringstream ss("NOT-A-NET 9");
+  EXPECT_THROW((void)Network::load(ss), std::runtime_error);
+  std::stringstream truncated("SHMD-NET 1\n3\n4 2 1\nsigmoid\nsigmoid\n0.5 0.5");
+  EXPECT_THROW((void)Network::load(truncated), std::runtime_error);
+}
+
+// ------------------------------------------------------- arithmetic contexts
+
+TEST(Arithmetic, ExactContextIsExactAndCounts) {
+  ExactContext ctx;
+  EXPECT_DOUBLE_EQ(ctx.mul(3.0, 4.0), 12.0);
+  EXPECT_DOUBLE_EQ(ctx.mul(-0.5, 0.25), -0.125);
+  EXPECT_EQ(ctx.mac_count(), 2u);
+  ctx.reset_mac_count();
+  EXPECT_EQ(ctx.mac_count(), 0u);
+}
+
+TEST(Arithmetic, FaultyContextPerturbsAtFullRate) {
+  faultsim::FaultInjector inj(1.0, faultsim::BitFaultDistribution::measured());
+  FaultyContext ctx(inj);
+  int perturbed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (ctx.mul(0.5, 0.5) != 0.25) ++perturbed;
+  }
+  EXPECT_EQ(perturbed, 1000);
+}
+
+TEST(Arithmetic, FaultyContextTransparentAtZeroRate) {
+  faultsim::FaultInjector inj(0.0, faultsim::BitFaultDistribution::measured());
+  FaultyContext ctx(inj);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(ctx.mul(0.5, 0.5), 0.25);
+}
+
+TEST(Arithmetic, NoiseContextQueriesSourcePerMac) {
+  rng::LgmPrng prng;
+  NoiseContext ctx(prng, 0.05);
+  for (int i = 0; i < 64; ++i) (void)ctx.mul(1.0, 1.0);
+  EXPECT_EQ(prng.query_count(), 64u);
+  EXPECT_EQ(ctx.mac_count(), 64u);
+}
+
+TEST(Arithmetic, NoiseContextPerturbationScalesWithSigma) {
+  rng::LgmPrng prng;
+  NoiseContext small(prng, 0.01);
+  NoiseContext large(prng, 1.0);
+  double small_dev = 0.0;
+  double large_dev = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    small_dev += std::abs(small.mul(1.0, 1.0) - 1.0);
+    large_dev += std::abs(large.mul(1.0, 1.0) - 1.0);
+  }
+  EXPECT_GT(large_dev, 10.0 * small_dev);
+}
+
+TEST(Arithmetic, NetworkUnderFaultsDiffersAcrossRuns) {
+  // The moving-target property at the network level: two inferences on the
+  // same input under undervolting give different outputs.
+  const std::vector<std::size_t> topo{8, 16, 1};
+  Network net(topo, Activation::kSigmoid, Activation::kSigmoid, 7);
+  const std::vector<double> x{0.2, 0.4, 0.1, 0.9, 0.5, 0.3, 0.8, 0.6};
+  faultsim::FaultInjector inj(0.3, faultsim::BitFaultDistribution::measured());
+  FaultyContext ctx(inj);
+  const double y1 = net.forward(x, ctx)[0];
+  const double y2 = net.forward(x, ctx)[0];
+  EXPECT_NE(y1, y2);
+  // And both differ from the clean output with overwhelming probability.
+  const double clean = net.forward(x)[0];
+  EXPECT_TRUE(y1 != clean || y2 != clean);
+}
+
+// ------------------------------------------------------------------- trainer
+
+std::vector<TrainSample> xor_data() {
+  return {
+      {{0.0, 0.0}, 0.0},
+      {{0.0, 1.0}, 1.0},
+      {{1.0, 0.0}, 1.0},
+      {{1.0, 1.0}, 0.0},
+  };
+}
+
+TEST(Trainer, RpropLearnsXor) {
+  const std::vector<std::size_t> topo{2, 8, 1};
+  Network net(topo, Activation::kSigmoid, Activation::kSigmoid, 3);
+  TrainConfig cfg;
+  cfg.algorithm = TrainAlgorithm::kRprop;
+  cfg.epochs = 400;
+  cfg.patience = 0;
+  cfg.l2 = 0.0;
+  Trainer trainer(cfg);
+  const auto data = xor_data();
+  trainer.fit(net, data);
+  for (const TrainSample& s : data) {
+    EXPECT_NEAR(net.forward(s.x)[0], s.y, 0.2) << s.x[0] << "," << s.x[1];
+  }
+}
+
+TEST(Trainer, SgdLearnsXor) {
+  const std::vector<std::size_t> topo{2, 8, 1};
+  Network net(topo, Activation::kSigmoid, Activation::kSigmoid, 5);
+  TrainConfig cfg;
+  cfg.algorithm = TrainAlgorithm::kSgd;
+  cfg.epochs = 3000;
+  cfg.learning_rate = 0.5;
+  cfg.batch_size = 4;
+  cfg.patience = 0;
+  cfg.l2 = 0.0;
+  Trainer trainer(cfg);
+  const auto data = xor_data();
+  trainer.fit(net, data);
+  for (const TrainSample& s : data) {
+    EXPECT_NEAR(net.forward(s.x)[0], s.y, 0.25);
+  }
+}
+
+TEST(Trainer, LossDecreasesDuringTraining) {
+  const std::vector<std::size_t> topo{2, 6, 1};
+  Network net(topo, Activation::kSigmoid, Activation::kSigmoid, 11);
+  const auto data = xor_data();
+  const double initial = Trainer::loss(net, data);
+  TrainConfig cfg;
+  cfg.epochs = 200;
+  cfg.patience = 0;
+  Trainer trainer(cfg);
+  const TrainReport report = trainer.fit(net, data);
+  EXPECT_LT(report.final_train_loss, initial);
+  EXPECT_EQ(report.epochs_run, 200);
+}
+
+TEST(Trainer, EarlyStoppingTriggersOnPlateau) {
+  const std::vector<std::size_t> topo{2, 4, 1};
+  Network net(topo, Activation::kSigmoid, Activation::kSigmoid, 13);
+  const auto data = xor_data();
+  TrainConfig cfg;
+  cfg.epochs = 5000;
+  cfg.patience = 10;
+  Trainer trainer(cfg);
+  const TrainReport report = trainer.fit(net, data, data);
+  EXPECT_TRUE(report.early_stopped);
+  EXPECT_LT(report.epochs_run, 5000);
+}
+
+TEST(Trainer, RejectsBadInputs) {
+  const std::vector<std::size_t> topo{2, 2, 1};
+  Network net(topo, Activation::kSigmoid, Activation::kSigmoid, 1);
+  Trainer trainer;
+  EXPECT_THROW(trainer.fit(net, {}), std::invalid_argument);
+  const std::vector<TrainSample> ragged{{{1.0, 2.0, 3.0}, 0.0}};
+  EXPECT_THROW(trainer.fit(net, ragged), std::invalid_argument);
+  TrainConfig bad;
+  bad.epochs = 0;
+  EXPECT_THROW(Trainer{bad}, std::invalid_argument);
+}
+
+TEST(Trainer, ClassBalancingReducesMajorityBias) {
+  // 10:1 imbalanced blobs: unweighted training over-favors the majority
+  // class; balancing recovers minority (negative-class) accuracy.
+  rng::Xoshiro256ss gen(31);
+  std::vector<TrainSample> data;
+  for (int i = 0; i < 550; ++i) {
+    const bool positive = i % 11 != 0;
+    const double c = positive ? 0.62 : 0.38;
+    data.push_back(TrainSample{{c + 0.1 * gen.gaussian(), c + 0.1 * gen.gaussian()},
+                               positive ? 1.0 : 0.0});
+  }
+  const auto negative_accuracy = [&](bool balance) {
+    const std::vector<std::size_t> topo{2, 8, 1};
+    Network net(topo, Activation::kSigmoid, Activation::kSigmoid, 9);
+    TrainConfig cfg;
+    cfg.epochs = 120;
+    cfg.patience = 0;
+    cfg.balance_classes = balance;
+    Trainer trainer(cfg);
+    trainer.fit(net, data);
+    std::size_t correct = 0;
+    std::size_t negatives = 0;
+    for (const TrainSample& s : data) {
+      if (s.y > 0.5) continue;
+      ++negatives;
+      correct += net.forward(s.x)[0] < 0.5;
+    }
+    return static_cast<double>(correct) / static_cast<double>(negatives);
+  };
+  EXPECT_GE(negative_accuracy(true), negative_accuracy(false));
+  EXPECT_GT(negative_accuracy(true), 0.75);
+}
+
+TEST(Trainer, MultiOutputHeadRejected) {
+  const std::vector<std::size_t> topo{2, 3, 2};
+  Network net(topo, Activation::kSigmoid, Activation::kSigmoid, 1);
+  Trainer trainer;
+  const auto data = xor_data();
+  EXPECT_THROW(trainer.fit(net, data), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shmd::nn

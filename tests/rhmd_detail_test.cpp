@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hmd/builders.hpp"
+#include "support/test_corpus.hpp"
+#include "util/stats.hpp"
+
+namespace shmd::hmd {
+namespace {
+
+using trace::FeatureConfig;
+using trace::FeatureView;
+
+struct RhmdFixture {
+  const trace::Dataset& ds = test::small_dataset();
+  trace::FoldSplit folds = ds.folds(0);
+
+  static const RhmdFixture& instance() {
+    static const RhmdFixture f;
+    return f;
+  }
+};
+
+TEST(RhmdDetail, ConstructionNamesMatchPaper) {
+  EXPECT_EQ(rhmd_2f(2048).name, "rhmd-2f");
+  EXPECT_EQ(rhmd_3f(2048).name, "rhmd-3f");
+  EXPECT_EQ(rhmd_2f2p(2048, 4096).name, "rhmd-2f2p");
+  EXPECT_EQ(rhmd_3f2p(2048, 4096).name, "rhmd-3f2p");
+}
+
+TEST(RhmdDetail, ConstructionViewsAreDiverse) {
+  const auto c = rhmd_3f(2048);
+  std::map<FeatureView, int> views;
+  for (const auto& cfg : c.configs) ++views[cfg.view];
+  EXPECT_EQ(views.size(), 3u);  // three distinct views
+  for (const auto& [view, count] : views) EXPECT_EQ(count, 1) << static_cast<int>(view);
+}
+
+TEST(RhmdDetail, TwoPeriodConstructionCoversBothPeriods) {
+  const auto c = rhmd_3f2p(2048, 4096);
+  std::map<std::size_t, int> periods;
+  for (const auto& cfg : c.configs) ++periods[cfg.period];
+  EXPECT_EQ(periods[2048], 3);
+  EXPECT_EQ(periods[4096], 3);
+}
+
+TEST(RhmdDetail, SelectionFrequenciesAreRoughlyUniform) {
+  // The switch RNG must pick each base detector with ~equal probability —
+  // bias would both skew accuracy and leak which model answered.
+  const auto& fx = RhmdFixture::instance();
+  HmdTrainOptions opt;
+  opt.train.epochs = 30;
+  Rhmd det = make_rhmd(fx.ds, fx.folds.victim_training,
+                       rhmd_2f(fx.ds.config().periods[0]), opt);
+
+  // Bases trained on different views produce different scores on most
+  // windows; track which base must have been selected by matching the
+  // score to each base's own output.
+  const auto& sample = fx.ds.samples()[fx.folds.testing[0]];
+  std::size_t base0 = 0;
+  std::size_t base1 = 0;
+  std::size_t ambiguous = 0;
+  for (int round = 0; round < 200; ++round) {
+    const auto scores = det.window_scores(sample.features);
+    for (std::size_t e = 0; e < scores.size(); ++e) {
+      const double s0 =
+          det.base(0).net.forward(sample.features.windows(det.base(0).config)[e])[0];
+      const double s1 =
+          det.base(1).net.forward(sample.features.windows(det.base(1).config)[e])[0];
+      if (scores[e] == s0 && scores[e] != s1) ++base0;
+      else if (scores[e] == s1 && scores[e] != s0) ++base1;
+      else ++ambiguous;
+    }
+  }
+  const double total = static_cast<double>(base0 + base1);
+  ASSERT_GT(total, 100.0);
+  EXPECT_NEAR(static_cast<double>(base0) / total, 0.5, 0.05);
+}
+
+TEST(RhmdDetail, SwitchSeedReproducesSelections) {
+  const auto& fx = RhmdFixture::instance();
+  HmdTrainOptions opt;
+  opt.train.epochs = 30;
+  Rhmd a = make_rhmd(fx.ds, fx.folds.victim_training, rhmd_2f(fx.ds.config().periods[0]),
+                     opt, /*switch_seed=*/777);
+  Rhmd b = make_rhmd(fx.ds, fx.folds.victim_training, rhmd_2f(fx.ds.config().periods[0]),
+                     opt, /*switch_seed=*/777);
+  const auto& features = fx.ds.samples()[fx.folds.testing[0]].features;
+  EXPECT_EQ(a.window_scores(features), b.window_scores(features));
+  EXPECT_EQ(a.window_scores(features), b.window_scores(features));
+}
+
+TEST(RhmdDetail, NominalIsMeanOfBaseScores) {
+  const auto& fx = RhmdFixture::instance();
+  HmdTrainOptions opt;
+  opt.train.epochs = 30;
+  Rhmd det = make_rhmd(fx.ds, fx.folds.victim_training,
+                       rhmd_2f(fx.ds.config().periods[0]), opt);
+  const auto& sample = fx.ds.samples()[fx.folds.testing[0]];
+  const auto nominal = det.window_scores_nominal(sample.features);
+  for (std::size_t e = 0; e < nominal.size(); ++e) {
+    const double s0 =
+        det.base(0).net.forward(sample.features.windows(det.base(0).config)[e])[0];
+    const double s1 =
+        det.base(1).net.forward(sample.features.windows(det.base(1).config)[e])[0];
+    EXPECT_NEAR(nominal[e], 0.5 * (s0 + s1), 1e-12);
+  }
+}
+
+TEST(RhmdDetail, BaseDetectorsAreDiverse) {
+  // The defense requires *diverse* base models: two bases of a 2F
+  // construction must disagree on a nontrivial fraction of windows.
+  const auto& fx = RhmdFixture::instance();
+  HmdTrainOptions opt;
+  opt.train.epochs = 30;
+  Rhmd det = make_rhmd(fx.ds, fx.folds.victim_training,
+                       rhmd_2f(fx.ds.config().periods[0]), opt);
+  std::size_t disagreements = 0;
+  std::size_t total = 0;
+  for (std::size_t idx : fx.folds.testing) {
+    const auto& sample = fx.ds.samples()[idx];
+    const auto& w0 = sample.features.windows(det.base(0).config);
+    const auto& w1 = sample.features.windows(det.base(1).config);
+    for (std::size_t e = 0; e < w0.size(); ++e) {
+      const bool v0 = det.base(0).net.forward(w0[e])[0] >= 0.5;
+      const bool v1 = det.base(1).net.forward(w1[e])[0] >= 0.5;
+      disagreements += v0 != v1;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(disagreements) / static_cast<double>(total), 0.02);
+}
+
+}  // namespace
+}  // namespace shmd::hmd

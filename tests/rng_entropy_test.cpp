@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/entropy.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::rng {
+namespace {
+
+std::vector<std::uint8_t> random_bits(std::size_t n, std::uint64_t seed) {
+  Xoshiro256ss gen(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(gen() & 1U);
+  return bits;
+}
+
+TEST(ApEn, RandomSequenceApproachesLn2) {
+  const auto bits = random_bits(20000, 99);
+  const double apen = approximate_entropy(bits, 2);
+  EXPECT_NEAR(apen, std::log(2.0), 0.01);
+}
+
+TEST(ApEn, ConstantSequenceHasZeroEntropy) {
+  const std::vector<std::uint8_t> bits(4096, 1);
+  EXPECT_NEAR(approximate_entropy(bits, 2), 0.0, 1e-9);
+}
+
+TEST(ApEn, PeriodicSequenceHasLowEntropy) {
+  std::vector<std::uint8_t> bits(4096);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = static_cast<std::uint8_t>(i % 2);
+  // 0101... is perfectly predictable: ApEn(m=2) ~ 0.
+  EXPECT_NEAR(approximate_entropy(bits, 2), 0.0, 1e-6);
+}
+
+TEST(ApEn, EmptySequenceThrows) {
+  EXPECT_THROW((void)approximate_entropy({}, 2), std::invalid_argument);
+  EXPECT_THROW((void)apen_test({}, 2), std::invalid_argument);
+}
+
+TEST(ApEnTest, RandomSequencePasses) {
+  const auto bits = random_bits(8192, 1234);
+  const ApEnResult r = apen_test(bits, 2);
+  EXPECT_TRUE(r.random());
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(ApEnTest, StuckSequenceFails) {
+  const std::vector<std::uint8_t> bits(8192, 0);
+  const ApEnResult r = apen_test(bits, 2);
+  EXPECT_FALSE(r.random());
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(ApEnTest, BiasedSequenceFails) {
+  // 90/10 biased coin: clearly non-uniform.
+  Xoshiro256ss gen(5);
+  std::vector<std::uint8_t> bits(8192);
+  for (auto& b : bits) b = gen.bernoulli(0.9) ? 1 : 0;
+  EXPECT_FALSE(apen_test(bits, 2).random());
+}
+
+TEST(ApEnTest, ZeroBlockLenRejected) {
+  const auto bits = random_bits(128, 1);
+  EXPECT_THROW((void)apen_test(bits, 0), std::invalid_argument);
+}
+
+TEST(ApEnTest, NistExample) {
+  // SP 800-22 worked example (§2.12.8): for the 100-bit expansion of e,
+  // m=2 gives ApEn = 0.665393 and p-value = 0.235301.
+  const char* e_bits =
+      "1100100100001111110110101010001000100001011010001100001000110100"
+      "110001001100011001100010100010111000";
+  std::vector<std::uint8_t> bits;
+  for (const char* p = e_bits; *p; ++p) bits.push_back(static_cast<std::uint8_t>(*p - '0'));
+  ASSERT_EQ(bits.size(), 100u);
+  const ApEnResult r = apen_test(bits, 2);
+  EXPECT_NEAR(r.apen, 0.665393, 1e-5);
+  EXPECT_NEAR(r.p_value, 0.235301, 1e-4);
+}
+
+TEST(Igamc, KnownValues) {
+  // Q(1, x) = exp(-x).
+  EXPECT_NEAR(igamc(1.0, 2.0), std::exp(-2.0), 1e-12);
+  // Q(0.5, x) = erfc(sqrt(x)).
+  EXPECT_NEAR(igamc(0.5, 1.0), std::erfc(1.0), 1e-10);
+  // Boundary behavior.
+  EXPECT_DOUBLE_EQ(igamc(3.0, 0.0), 1.0);
+}
+
+TEST(Igamc, LargeXDecaysToZero) { EXPECT_LT(igamc(2.0, 100.0), 1e-30); }
+
+TEST(Igamc, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)igamc(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)igamc(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ToBits, ExtractsRequestedBit) {
+  const std::vector<std::uint64_t> values{0b101, 0b010, 0b111};
+  const auto bit0 = to_bits(values, 0);
+  EXPECT_EQ(bit0, (std::vector<std::uint8_t>{1, 0, 1}));
+  const auto bit1 = to_bits(values, 1);
+  EXPECT_EQ(bit1, (std::vector<std::uint8_t>{0, 1, 1}));
+}
+
+TEST(ToBits, RejectsOutOfRangeBit) {
+  const std::vector<std::uint64_t> values{1};
+  EXPECT_THROW(to_bits(values, 64), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shmd::rng

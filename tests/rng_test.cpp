@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+#include "rng/lgm_prng.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/trng_sim.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::rng {
+namespace {
+
+TEST(SplitMix64, KnownReferenceSequence) {
+  // Reference values for seed 1234567 from the public-domain splitmix64.c.
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm(), 6457827717110365317ULL);
+  EXPECT_EQ(sm(), 3203168211198807973ULL);
+  EXPECT_EQ(sm(), 9817491932198370423ULL);
+}
+
+TEST(Xoshiro, DeterministicForEqualSeeds) {
+  Xoshiro256ss a(42);
+  Xoshiro256ss b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256ss a(1);
+  Xoshiro256ss b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro, Uniform01InRangeAndWellSpread) {
+  Xoshiro256ss gen(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = gen.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+  Xoshiro256ss gen(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = gen.uniform(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(Xoshiro, BelowIsUnbiasedOverSmallRange) {
+  Xoshiro256ss gen(11);
+  std::array<int, 5> counts{};
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++counts[gen.below(5)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.2, 0.02);
+  }
+}
+
+TEST(Xoshiro, BelowZeroAndOne) {
+  Xoshiro256ss gen(3);
+  EXPECT_EQ(gen.below(0), 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(gen.below(1), 0u);
+}
+
+TEST(Xoshiro, GaussianMomentsAreStandard) {
+  Xoshiro256ss gen(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = gen.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Xoshiro, BernoulliEdgeCases) {
+  Xoshiro256ss gen(17);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(gen.bernoulli(0.0));
+    EXPECT_TRUE(gen.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro, BernoulliFrequencyTracksP) {
+  Xoshiro256ss gen(19);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) hits += gen.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream) {
+  Xoshiro256ss a(42);
+  Xoshiro256ss b(42);
+  b.jump();
+  std::set<std::uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.insert(a());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(first.contains(b()));
+}
+
+TEST(LgmPrng, MinimalStandardRecurrence) {
+  // x_{n+1} = 16807 x_n mod (2^31 - 1), x_0 = 1.
+  LgmPrng prng(1);
+  EXPECT_EQ(prng.next_u31(), 16807u);
+  EXPECT_EQ(prng.next_u31(), 282475249u);
+  EXPECT_EQ(prng.next_u31(), 1622650073u);
+}
+
+TEST(LgmPrng, TenThousandthValueMatchesParkMiller) {
+  // Park & Miller's classic acceptance check: from x_0 = 1,
+  // x_10000 = 1043618065.
+  LgmPrng prng(1);
+  std::uint32_t x = 0;
+  for (int i = 0; i < 10000; ++i) x = prng.next_u31();
+  EXPECT_EQ(x, 1043618065u);
+}
+
+TEST(LgmPrng, ZeroSeedIsRemapped) {
+  LgmPrng prng(0);
+  EXPECT_NE(prng.next_u31(), 0u);
+}
+
+TEST(LgmPrng, CountsQueries) {
+  LgmPrng prng(5);
+  EXPECT_EQ(prng.query_count(), 0u);
+  (void)prng.next_u64();
+  (void)prng.next_u64();
+  EXPECT_EQ(prng.query_count(), 2u);
+  prng.reset_query_count();
+  EXPECT_EQ(prng.query_count(), 0u);
+}
+
+TEST(RandomSourceCosts, TrngIsOrdersOfMagnitudePricier) {
+  LgmPrng prng;
+  TrngSim trng;
+  EXPECT_GT(trng.query_cost().latency_cycles, 10.0 * prng.query_cost().latency_cycles);
+  EXPECT_GT(trng.query_cost().energy_nj, 10.0 * prng.query_cost().energy_nj);
+}
+
+TEST(TrngSim, RefillStallAccumulates) {
+  TrngConfig cfg;
+  cfg.pool_words = 4;
+  cfg.refill_cycles = 100.0;
+  TrngSim trng(cfg);
+  for (int i = 0; i < 8; ++i) (void)trng.next_u64();
+  EXPECT_DOUBLE_EQ(trng.refill_stall_cycles(), 200.0);
+}
+
+TEST(RandomSource, GaussianUsesSingleQuery) {
+  LgmPrng prng;
+  (void)prng.gaussian();
+  EXPECT_EQ(prng.query_count(), 1u);
+}
+
+TEST(RandomSource, GaussianMoments) {
+  TrngSim trng;
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = trng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.03);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.04);
+}
+
+}  // namespace
+}  // namespace shmd::rng

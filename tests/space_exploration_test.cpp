@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "hmd/builders.hpp"
+#include "hmd/space_exploration.hpp"
+#include "support/test_corpus.hpp"
+
+namespace shmd::hmd {
+namespace {
+
+using trace::FeatureConfig;
+using trace::FeatureView;
+
+struct ExplorationFixture {
+  const trace::Dataset& ds = test::small_dataset();
+  trace::FoldSplit folds = ds.folds(0);
+  FeatureConfig fc{FeatureView::kInsnCategory, ds.config().periods[0]};
+  BaselineHmd baseline;
+
+  ExplorationFixture()
+      : baseline([&] {
+          HmdTrainOptions opt;
+          opt.train.epochs = 80;
+          opt.train.l2 = 2e-3;
+          return make_baseline(test::small_dataset(), test::small_dataset().folds(0).victim_training,
+                               FeatureConfig{FeatureView::kInsnCategory,
+                                             test::small_dataset().config().periods[0]},
+                               opt);
+        }()) {}
+
+  static const ExplorationFixture& instance() {
+    static const ExplorationFixture f;
+    return f;
+  }
+};
+
+TEST(SpaceExploration, SelectedPointRespectsLossBudget) {
+  const auto& fx = ExplorationFixture::instance();
+  SpaceExplorationOptions opt;
+  opt.max_accuracy_loss = 0.03;
+  const auto result = explore_error_rate(fx.ds, fx.folds.victim_training,
+                                         fx.baseline.network(), fx.fc, opt);
+  EXPECT_GT(result.error_rate, 0.0);
+  EXPECT_GE(result.selected_accuracy, result.baseline_accuracy - opt.max_accuracy_loss - 0.02);
+  EXPECT_EQ(result.candidate_accuracy.size(), opt.candidates.size());
+}
+
+TEST(SpaceExploration, TighterBudgetSelectsShallowerPoint) {
+  const auto& fx = ExplorationFixture::instance();
+  SpaceExplorationOptions tight;
+  tight.max_accuracy_loss = 0.005;
+  SpaceExplorationOptions loose;
+  loose.max_accuracy_loss = 0.10;
+  const auto tight_result = explore_error_rate(fx.ds, fx.folds.victim_training,
+                                               fx.baseline.network(), fx.fc, tight);
+  const auto loose_result = explore_error_rate(fx.ds, fx.folds.victim_training,
+                                               fx.baseline.network(), fx.fc, loose);
+  EXPECT_LE(tight_result.error_rate, loose_result.error_rate);
+}
+
+TEST(SpaceExploration, ZeroBudgetCanStayAtZero) {
+  // An impossible budget leaves the detector deterministic rather than
+  // violating the constraint.
+  const auto& fx = ExplorationFixture::instance();
+  SpaceExplorationOptions opt;
+  opt.max_accuracy_loss = -1.0;  // nothing is admissible
+  const auto result = explore_error_rate(fx.ds, fx.folds.victim_training,
+                                         fx.baseline.network(), fx.fc, opt);
+  EXPECT_DOUBLE_EQ(result.error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(result.selected_accuracy, result.baseline_accuracy);
+}
+
+TEST(SpaceExploration, RejectsDegenerateInputs) {
+  const auto& fx = ExplorationFixture::instance();
+  EXPECT_THROW((void)explore_error_rate(fx.ds, {}, fx.baseline.network(), fx.fc),
+               std::invalid_argument);
+  SpaceExplorationOptions no_candidates;
+  no_candidates.candidates.clear();
+  EXPECT_THROW((void)explore_error_rate(fx.ds, fx.folds.victim_training,
+                                        fx.baseline.network(), fx.fc, no_candidates),
+               std::invalid_argument);
+  SpaceExplorationOptions no_repeats;
+  no_repeats.repeats = 0;
+  EXPECT_THROW((void)explore_error_rate(fx.ds, fx.folds.victim_training,
+                                        fx.baseline.network(), fx.fc, no_repeats),
+               std::invalid_argument);
+}
+
+TEST(SpaceExploration, CandidateAccuracyTrendsDownward) {
+  // Not strictly monotone (stochastic), but the deep end must sit clearly
+  // below the shallow end.
+  const auto& fx = ExplorationFixture::instance();
+  SpaceExplorationOptions opt;
+  opt.candidates = {0.05, 0.5, 1.0};
+  opt.repeats = 4;
+  const auto result = explore_error_rate(fx.ds, fx.folds.victim_training,
+                                         fx.baseline.network(), fx.fc, opt);
+  ASSERT_EQ(result.candidate_accuracy.size(), 3u);
+  EXPECT_GT(result.candidate_accuracy[0], result.candidate_accuracy[2]);
+}
+
+}  // namespace
+}  // namespace shmd::hmd

@@ -1,0 +1,27 @@
+#include "support/test_corpus.hpp"
+
+namespace shmd::test {
+
+const trace::Dataset& small_dataset() {
+  static const trace::Dataset dataset = [] {
+    trace::DatasetConfig config;
+    config.corpus.n_malware = 150;
+    config.corpus.n_benign = 30;
+    config.trace_length = 16384;
+    return trace::Dataset::build(config);
+  }();
+  return dataset;
+}
+
+const trace::Dataset& medium_dataset() {
+  static const trace::Dataset dataset = [] {
+    trace::DatasetConfig config;
+    config.corpus.n_malware = 400;
+    config.corpus.n_benign = 80;
+    config.trace_length = 32768;
+    return trace::Dataset::build(config);
+  }();
+  return dataset;
+}
+
+}  // namespace shmd::test

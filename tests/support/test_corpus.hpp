@@ -1,0 +1,18 @@
+// Shared test fixtures: small synthetic corpora, built once per process.
+//
+// Dataset construction costs ~100 ms at this size; tests that only need
+// *a* dataset (not a specific one) share these instances.
+#pragma once
+
+#include "trace/dataset.hpp"
+
+namespace shmd::test {
+
+/// Small corpus: 150 malware / 30 benign, 16k instructions per trace.
+/// Stratified folds still contain every family.
+[[nodiscard]] const trace::Dataset& small_dataset();
+
+/// Medium corpus for integration tests: 400 malware / 80 benign.
+[[nodiscard]] const trace::Dataset& medium_dataset();
+
+}  // namespace shmd::test

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sys/energy_meter.hpp"
+#include "sys/latency_model.hpp"
+#include "sys/power_model.hpp"
+#include "trace/hpc_collector.hpp"
+
+namespace shmd {
+namespace {
+
+TEST(LatencyDetail, CyclesToMicrosecondsAtModelFrequency) {
+  sys::LatencyModel lat;  // 2.2 GHz
+  EXPECT_DOUBLE_EQ(lat.cycles_to_us(2200.0), 1.0);
+  EXPECT_DOUBLE_EQ(lat.cycles_to_us(0.0), 0.0);
+}
+
+TEST(LatencyDetail, InferenceScalesLinearlyWithMacs) {
+  sys::LatencyModel lat;
+  const std::vector<std::size_t> small{16, 8, 1};
+  const std::vector<std::size_t> large{16, 80, 1};
+  const nn::Network a(small, nn::Activation::kSigmoid, nn::Activation::kSigmoid, 1);
+  const nn::Network b(large, nn::Activation::kSigmoid, nn::Activation::kSigmoid, 1);
+  const double fixed = lat.cycles_to_us(lat.config().fixed_overhead_cycles);
+  const double per_mac_a = (lat.inference_us(a) - fixed) / static_cast<double>(a.mac_count());
+  const double per_mac_b = (lat.inference_us(b) - fixed) / static_cast<double>(b.mac_count());
+  EXPECT_NEAR(per_mac_a, per_mac_b, 1e-12);
+}
+
+TEST(EnergyDetail, AveragePowerOfSampleIsEnergyOverTime) {
+  sys::EnergySample s{2.0, 30.0};
+  EXPECT_DOUBLE_EQ(s.average_power_w(), 15.0);
+  sys::EnergySample zero{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(zero.average_power_w(), 0.0);
+}
+
+TEST(PowerDetail, LeakageExponentControlsLowVoltageFloor) {
+  sys::PowerModelConfig cubic;
+  cubic.leakage_exponent = 3.0;
+  sys::PowerModelConfig linear;
+  linear.leakage_exponent = 1.0;
+  const sys::PowerModel pm_cubic(cubic);
+  const sys::PowerModel pm_linear(linear);
+  // Same at nominal, cubic drops faster at deep undervolt.
+  EXPECT_NEAR(pm_cubic.power_w(1.18), pm_linear.power_w(1.18), 1e-9);
+  EXPECT_LT(pm_cubic.power_w(0.7), pm_linear.power_w(0.7));
+}
+
+TEST(HpcDetail, FullCounterComplementDisablesMultiplexError) {
+  // With >= 16 physical counters nothing is multiplexed: variance across
+  // runs comes only from skid, which is small.
+  trace::HpcConfig cfg;
+  cfg.physical_counters = 16;
+  cfg.contamination_prob = 0.0;
+  const trace::HpcCollector hpc(cfg);
+  const trace::Program program(0, trace::Family::kBrowser, 3);
+  const auto a = hpc.collect_frequencies(program, 4096, 1);
+  const auto b = hpc.collect_frequencies(program, 4096, 2);
+  double max_diff = 0.0;
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    max_diff = std::max(max_diff, std::abs(a[c] - b[c]));
+  }
+  EXPECT_LT(max_diff, 0.01);  // skid-only wiggle
+}
+
+}  // namespace
+}  // namespace shmd

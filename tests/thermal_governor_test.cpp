@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmd/builders.hpp"
+#include "support/test_corpus.hpp"
+#include "volt/thermal_governor.hpp"
+
+namespace shmd::volt {
+namespace {
+
+VoltageDomain make_domain(MsrInterface& msr, double temp = 49.0) {
+  return VoltageDomain(msr, 0, VoltFaultModel(DeviceProfile{}), temp);
+}
+
+TEST(ThermalGovernor, ClaimsAndReleasesTheRail) {
+  MsrInterface msr;
+  VoltageDomain domain = make_domain(msr);
+  {
+    ThermalGovernor governor(domain);
+    EXPECT_TRUE(domain.exclusively_controlled());
+    EXPECT_THROW(domain.set_offset_mv(-50.0), VoltageControlError);
+  }
+  EXPECT_FALSE(domain.exclusively_controlled());
+  EXPECT_NEAR(domain.offset_mv(), 0.0, 0.5);  // parked at nominal
+  domain.set_offset_mv(-50.0);                // rail usable again
+}
+
+TEST(ThermalGovernor, FirstUpdateCalibrates) {
+  MsrInterface msr;
+  VoltageDomain domain = make_domain(msr);
+  ThermalGovernor governor(domain);
+  EXPECT_TRUE(governor.update_temperature(49.0));
+  EXPECT_EQ(governor.calibrations_run(), 1u);
+  // The offset sits inside the device's fault window.
+  EXPECT_LT(governor.current_offset_mv(), -100.0);
+  EXPECT_GT(governor.current_offset_mv(), -150.0);
+  // And achieves the target error rate at this temperature.
+  const double er = domain.model().fault_probability(governor.current_offset_mv(), 49.0);
+  EXPECT_NEAR(er, 0.10, 0.03);
+}
+
+TEST(ThermalGovernor, SmallDriftStaysPut) {
+  MsrInterface msr;
+  VoltageDomain domain = make_domain(msr);
+  ThermalGovernor governor(domain);
+  ASSERT_TRUE(governor.update_temperature(49.0));
+  const double offset = governor.current_offset_mv();
+  EXPECT_FALSE(governor.update_temperature(50.0));  // inside the guard band
+  EXPECT_DOUBLE_EQ(governor.current_offset_mv(), offset);
+  EXPECT_EQ(governor.calibrations_run(), 1u);
+}
+
+TEST(ThermalGovernor, HotterDieGetsShallowerOffset) {
+  MsrInterface msr;
+  VoltageDomain domain = make_domain(msr);
+  ThermalGovernor governor(domain);
+  ASSERT_TRUE(governor.update_temperature(40.0));
+  const double cold_offset = governor.current_offset_mv();
+  ASSERT_TRUE(governor.update_temperature(75.0));
+  const double hot_offset = governor.current_offset_mv();
+  EXPECT_GT(hot_offset, cold_offset);  // less deep undervolt when hot
+  EXPECT_EQ(governor.calibrations_run(), 2u);
+}
+
+TEST(ThermalGovernor, InterpolatesBetweenNearbyPoints) {
+  MsrInterface msr;
+  VoltageDomain domain = make_domain(msr);
+  ThermalGovernorConfig cfg;
+  cfg.max_interpolation_gap_c = 15.0;
+  ThermalGovernor governor(domain, cfg);
+  ASSERT_TRUE(governor.update_temperature(45.0));
+  ASSERT_TRUE(governor.update_temperature(55.0));
+  const std::size_t calibrations = governor.calibrations_run();
+  // 50 °C sits between two calibrated points within the gap: interpolate,
+  // no new calibration.
+  ASSERT_TRUE(governor.update_temperature(50.0));
+  EXPECT_EQ(governor.calibrations_run(), calibrations);
+  const double mid = governor.current_offset_mv();
+  EXPECT_GT(mid, governor.table().at(45.0));
+  EXPECT_LT(mid, governor.table().at(55.0));
+}
+
+TEST(ThermalGovernor, ErrorRateHeldAcrossTemperatureRamp) {
+  // The §IX requirement end-to-end: as the die heats, the governor keeps
+  // the operating error rate pinned near the target.
+  MsrInterface msr;
+  VoltageDomain domain = make_domain(msr);
+  ThermalGovernor governor(domain);
+  for (double temp = 40.0; temp <= 80.0; temp += 5.0) {
+    governor.update_temperature(temp);
+    const double er = domain.model().fault_probability(governor.current_offset_mv(), temp);
+    EXPECT_NEAR(er, 0.10, 0.04) << "at " << temp << " C";
+  }
+}
+
+TEST(ThermalGovernor, DrivesAStochasticHmdThroughItsToken) {
+  MsrInterface msr;
+  VoltageDomain domain = make_domain(msr);
+  ThermalGovernor governor(domain);
+  governor.update_temperature(49.0);
+
+  const trace::Dataset& ds = test::small_dataset();
+  const trace::FoldSplit folds = ds.folds(0);
+  const trace::FeatureConfig fc{trace::FeatureView::kInsnCategory, ds.config().periods[0]};
+  hmd::HmdTrainOptions opt;
+  opt.train.epochs = 40;
+  hmd::StochasticHmd detector =
+      hmd::make_stochastic(ds, folds.victim_training, fc, 0.0, opt);
+  detector.attach_domain(domain, governor.current_offset_mv(), governor.token());
+
+  const auto& features = ds.samples()[folds.testing[0]].features;
+  EXPECT_NO_THROW((void)detector.window_scores(features));
+  EXPECT_NEAR(detector.error_rate(), 0.10, 0.04);
+  EXPECT_NEAR(domain.offset_mv(), 0.0, 0.5);  // guard restored the rail
+  detector.detach_domain();
+}
+
+}  // namespace
+}  // namespace shmd::volt

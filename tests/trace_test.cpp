@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/test_corpus.hpp"
+#include "trace/dataset.hpp"
+#include "trace/families.hpp"
+#include "trace/features.hpp"
+#include "trace/isa.hpp"
+#include "trace/program.hpp"
+#include "trace/program_factory.hpp"
+#include "trace/trace_collector.hpp"
+
+namespace shmd::trace {
+namespace {
+
+// ----------------------------------------------------------------------- ISA
+
+TEST(Isa, EveryCategoryHasNameAndBehavior) {
+  std::set<std::string_view> names;
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    const auto cat = static_cast<InsnCategory>(c);
+    names.insert(category_name(cat));
+    const CategoryBehavior& b = category_behavior(cat);
+    EXPECT_GE(b.mem_read_prob, 0.0);
+    EXPECT_LE(b.mem_read_prob, 1.0);
+    EXPECT_GE(b.mem_write_prob, 0.0);
+    EXPECT_LE(b.mem_write_prob, 1.0);
+  }
+  EXPECT_EQ(names.size(), kNumCategories);  // names are unique
+}
+
+TEST(Isa, StrideDistributionsNormalized) {
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    const CategoryBehavior& b = category_behavior(static_cast<InsnCategory>(c));
+    double total = 0.0;
+    for (double p : b.stride_probs) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9) << category_name(static_cast<InsnCategory>(c));
+  }
+}
+
+TEST(Isa, ControlTransferHasControlMix) {
+  const CategoryBehavior& b = category_behavior(InsnCategory::kControlTransfer);
+  double total = 0.0;
+  for (double p : b.control_mix) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// ------------------------------------------------------------------ families
+
+TEST(Families, TenFamiliesFiveMalware) {
+  std::size_t malware = 0;
+  for (std::size_t f = 0; f < kNumFamilies; ++f) {
+    if (is_malware(static_cast<Family>(f))) ++malware;
+  }
+  EXPECT_EQ(malware, kNumMalwareFamilies);
+}
+
+TEST(Families, MalwarePredicateMatchesPaperTypes) {
+  EXPECT_TRUE(is_malware(Family::kBackdoor));
+  EXPECT_TRUE(is_malware(Family::kRogue));
+  EXPECT_TRUE(is_malware(Family::kPasswordStealer));
+  EXPECT_TRUE(is_malware(Family::kTrojan));
+  EXPECT_TRUE(is_malware(Family::kWorm));
+  EXPECT_FALSE(is_malware(Family::kBrowser));
+  EXPECT_FALSE(is_malware(Family::kCpuBenchmark));
+}
+
+TEST(Families, EverySpecHasPhases) {
+  for (std::size_t f = 0; f < kNumFamilies; ++f) {
+    const FamilySpec& spec = family_spec(static_cast<Family>(f));
+    EXPECT_GE(spec.phases.size(), 2u) << family_name(static_cast<Family>(f));
+    for (const PhaseTemplate& p : spec.phases) {
+      double total = 0.0;
+      for (double w : p.weights) total += w;
+      EXPECT_GT(total, 0.0);
+      EXPECT_GT(p.mean_duration, 0u);
+    }
+  }
+}
+
+// ------------------------------------------------------------------- program
+
+TEST(Program, GenerationIsDeterministic) {
+  // §IV's central requirement: identical trace on every collection run.
+  const Program p(1, Family::kWorm, 0xABCDEF);
+  const TraceCollector collector(20000);
+  EXPECT_TRUE(collector.verify_determinism(p, 4));
+}
+
+TEST(Program, DifferentSeedsGiveDifferentPrograms) {
+  const Program a(1, Family::kWorm, 111);
+  const Program b(2, Family::kWorm, 222);
+  const auto ta = a.generate(4096);
+  const auto tb = b.generate(4096);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    if (ta[i].category != tb[i].category) ++differing;
+  }
+  EXPECT_GT(differing, 100u);
+}
+
+TEST(Program, TraceLengthIsExact) {
+  const Program p(1, Family::kBrowser, 5);
+  EXPECT_EQ(p.generate(12345).size(), 12345u);
+  EXPECT_EQ(p.generate(1).size(), 1u);
+  EXPECT_TRUE(p.generate(0).empty());
+}
+
+TEST(Program, PhaseIdentityIndependentOfTraceLength) {
+  const Program p(9, Family::kTrojan, 4242);
+  const auto long_trace = p.generate(8192);
+  const auto short_trace = p.generate(1024);
+  for (std::size_t i = 0; i < short_trace.size(); ++i) {
+    EXPECT_EQ(long_trace[i].category, short_trace[i].category) << i;
+  }
+}
+
+TEST(Program, FamilySignatureVisibleInCategoryMix) {
+  // Worms should be more IO/system-heavy than CPU benchmarks, which skew
+  // arithmetic/SIMD — the class signal the detectors learn.
+  const auto count_frac = [](const std::vector<Instruction>& trace, InsnCategory c) {
+    std::size_t n = 0;
+    for (const Instruction& i : trace) n += (i.category == c);
+    return static_cast<double>(n) / static_cast<double>(trace.size());
+  };
+  double worm_io = 0.0;
+  double bench_io = 0.0;
+  double worm_arith = 0.0;
+  double bench_arith = 0.0;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    const auto worm = Program(0, Family::kWorm, 1000 + s).generate(16384);
+    const auto bench = Program(1, Family::kCpuBenchmark, 2000 + s).generate(16384);
+    worm_io += count_frac(worm, InsnCategory::kIo) + count_frac(worm, InsnCategory::kSystem);
+    bench_io += count_frac(bench, InsnCategory::kIo) + count_frac(bench, InsnCategory::kSystem);
+    worm_arith += count_frac(worm, InsnCategory::kBinaryArithmetic);
+    bench_arith += count_frac(bench, InsnCategory::kBinaryArithmetic);
+  }
+  EXPECT_GT(worm_io, 2.0 * bench_io);
+  EXPECT_GT(bench_arith, 2.0 * worm_arith);
+}
+
+TEST(Program, ControlFlagsOnlyOnControlTransfers) {
+  const auto trace = Program(3, Family::kBrowser, 77).generate(8192);
+  for (const Instruction& insn : trace) {
+    if (insn.category != InsnCategory::kControlTransfer) {
+      EXPECT_EQ(insn.control, ControlKind::kNone);
+    } else {
+      EXPECT_NE(insn.control, ControlKind::kNone);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ features
+
+TEST(Features, ViewDimensionsAndNames) {
+  EXPECT_EQ(view_dim(FeatureView::kInsnCategory), kNumCategories);
+  EXPECT_EQ(view_dim(FeatureView::kMemory), 8u);
+  EXPECT_EQ(view_dim(FeatureView::kControlFlow), 8u);
+  EXPECT_EQ(view_name(FeatureView::kMemory), "memory");
+}
+
+TEST(Features, CategoryFrequenciesSumToOne) {
+  const auto trace = Program(1, Family::kRogue, 9).generate(4096);
+  const auto f = extract_window(trace, FeatureView::kInsnCategory);
+  double total = 0.0;
+  for (double x : f) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Features, AllFeaturesBounded01) {
+  const auto trace = Program(2, Family::kPasswordStealer, 10).generate(8192);
+  for (std::size_t v = 0; v < kNumViews; ++v) {
+    const auto f = extract_window(trace, static_cast<FeatureView>(v));
+    for (double x : f) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+}
+
+TEST(Features, WindowCountMatchesPeriod) {
+  const auto trace = Program(1, Family::kBrowser, 3).generate(10000);
+  EXPECT_EQ(extract_windows(trace, FeatureView::kInsnCategory, 2048).size(), 4u);
+  EXPECT_EQ(extract_windows(trace, FeatureView::kInsnCategory, 4096).size(), 2u);
+  EXPECT_EQ(extract_windows(trace, FeatureView::kInsnCategory, 10000).size(), 1u);
+}
+
+TEST(Features, EmptyWindowAndZeroPeriodRejected) {
+  const auto trace = Program(1, Family::kBrowser, 3).generate(512);
+  EXPECT_THROW((void)extract_window({}, FeatureView::kMemory), std::invalid_argument);
+  EXPECT_THROW((void)extract_windows(trace, FeatureView::kMemory, 0), std::invalid_argument);
+}
+
+TEST(Features, MemoryViewTracksReadsWrites) {
+  // A window of pure string ops must show high memory density; a window of
+  // pure flag ops nearly none.
+  std::vector<Instruction> strings(1000);
+  for (auto& i : strings) {
+    i.category = InsnCategory::kString;
+    i.mem_read = true;
+  }
+  const auto f = extract_window(strings, FeatureView::kMemory);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);  // read fraction
+  EXPECT_DOUBLE_EQ(f[7], 1.0);  // access density
+
+  std::vector<Instruction> flags(1000);
+  for (auto& i : flags) i.category = InsnCategory::kFlagControl;
+  const auto g = extract_window(flags, FeatureView::kMemory);
+  EXPECT_DOUBLE_EQ(g[0], 0.0);
+  EXPECT_DOUBLE_EQ(g[7], 0.0);
+}
+
+TEST(Features, ControlFlowViewTakenRatio) {
+  std::vector<Instruction> trace(100);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i].category = InsnCategory::kControlTransfer;
+    trace[i].control = ControlKind::kCondBranch;
+    trace[i].branch_taken = (i % 4 != 0);  // 75% taken
+  }
+  const auto f = extract_window(trace, FeatureView::kControlFlow);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);        // all control transfers
+  EXPECT_DOUBLE_EQ(f[1], 1.0);        // all conditional
+  EXPECT_NEAR(f[2], 0.75, 1e-9);      // taken ratio
+}
+
+// ------------------------------------------------------------------- dataset
+
+TEST(Dataset, CorpusCountsAndFamilies) {
+  CorpusConfig cfg;
+  cfg.n_malware = 50;
+  cfg.n_benign = 20;
+  const auto corpus = ProgramFactory::make_corpus(cfg);
+  ASSERT_EQ(corpus.size(), 70u);
+  std::size_t malware = 0;
+  std::map<Family, int> per_family;
+  for (const Program& p : corpus) {
+    malware += p.malware();
+    ++per_family[p.family()];
+  }
+  EXPECT_EQ(malware, 50u);
+  EXPECT_EQ(per_family[Family::kBackdoor], 10);
+  EXPECT_EQ(per_family[Family::kBrowser], 4);
+}
+
+TEST(Dataset, UniqueIdsAndSeeds) {
+  CorpusConfig cfg;
+  cfg.n_malware = 40;
+  cfg.n_benign = 10;
+  const auto corpus = ProgramFactory::make_corpus(cfg);
+  std::set<std::uint32_t> ids;
+  std::set<std::uint64_t> seeds;
+  for (const Program& p : corpus) {
+    ids.insert(p.id());
+    seeds.insert(p.seed());
+  }
+  EXPECT_EQ(ids.size(), corpus.size());
+  EXPECT_EQ(seeds.size(), corpus.size());
+}
+
+TEST(Dataset, FoldsAreDisjointAndCoverEverything) {
+  const trace::Dataset& ds = shmd::test::small_dataset();
+  const FoldSplit folds = ds.folds(0);
+  std::set<std::size_t> all;
+  for (const auto* fold : {&folds.victim_training, &folds.attacker_training, &folds.testing}) {
+    for (std::size_t idx : *fold) {
+      EXPECT_TRUE(all.insert(idx).second) << "index in two folds: " << idx;
+    }
+  }
+  EXPECT_EQ(all.size(), ds.samples().size());
+}
+
+TEST(Dataset, FoldsAreStratifiedByFamily) {
+  // §IV: "the malware types and the benign application types were
+  // distributed evenly and randomly across the folds".
+  const trace::Dataset& ds = shmd::test::small_dataset();
+  const FoldSplit folds = ds.folds(0);
+  for (const auto* fold : {&folds.victim_training, &folds.attacker_training, &folds.testing}) {
+    std::map<Family, int> per_family;
+    for (std::size_t idx : *fold) ++per_family[ds.samples()[idx].program.family()];
+    for (std::size_t f = 0; f < kNumFamilies; ++f) {
+      EXPECT_GE(per_family[static_cast<Family>(f)], 1)
+          << family_name(static_cast<Family>(f));
+    }
+  }
+}
+
+TEST(Dataset, RotationsPermuteRoles) {
+  const trace::Dataset& ds = shmd::test::small_dataset();
+  const FoldSplit r0 = ds.folds(0);
+  const FoldSplit r1 = ds.folds(1);
+  // Rotation 1's victim fold is rotation 0's attacker fold.
+  EXPECT_EQ(r1.victim_training, r0.attacker_training);
+  EXPECT_EQ(r1.attacker_training, r0.testing);
+  EXPECT_EQ(r1.testing, r0.victim_training);
+  EXPECT_THROW((void)ds.folds(3), std::invalid_argument);
+}
+
+TEST(Dataset, FeatureSetHasAllViewsAndPeriods) {
+  const trace::Dataset& ds = shmd::test::small_dataset();
+  const ProgramSample& sample = ds.samples().front();
+  for (std::size_t v = 0; v < kNumViews; ++v) {
+    for (std::size_t period : ds.config().periods) {
+      const FeatureConfig fc{static_cast<FeatureView>(v), period};
+      ASSERT_TRUE(sample.features.has(fc));
+      const auto& windows = sample.features.windows(fc);
+      EXPECT_EQ(windows.size(), ds.config().trace_length / period);
+      EXPECT_EQ(windows.front().size(), view_dim(fc.view));
+    }
+  }
+}
+
+TEST(Dataset, MissingFeatureConfigThrows) {
+  const trace::Dataset& ds = shmd::test::small_dataset();
+  const FeatureConfig unknown{FeatureView::kInsnCategory, 999};
+  EXPECT_THROW((void)ds.samples().front().features.windows(unknown), std::out_of_range);
+}
+
+TEST(Dataset, TraceOfRegeneratesDeterministically) {
+  const trace::Dataset& ds = shmd::test::small_dataset();
+  const auto t1 = ds.trace_of(3);
+  const auto t2 = ds.trace_of(3);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) EXPECT_EQ(t1[i].category, t2[i].category);
+}
+
+TEST(Dataset, ExtractFeatureSetMatchesPrecomputed) {
+  const trace::Dataset& ds = shmd::test::small_dataset();
+  const auto trace = ds.trace_of(0);
+  const FeatureSet fs = extract_feature_set(trace, ds.config().periods);
+  const FeatureConfig fc{FeatureView::kInsnCategory, ds.config().periods[0]};
+  EXPECT_EQ(fs.windows(fc), ds.samples()[0].features.windows(fc));
+}
+
+TEST(Dataset, InvalidConfigRejected) {
+  DatasetConfig bad;
+  bad.corpus.n_malware = 2;
+  bad.corpus.n_benign = 2;
+  bad.periods = {};
+  EXPECT_THROW((void)Dataset::build(bad), std::invalid_argument);
+  bad.periods = {99999};
+  bad.trace_length = 1024;
+  EXPECT_THROW((void)Dataset::build(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shmd::trace

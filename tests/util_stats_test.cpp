@@ -1,0 +1,159 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace shmd::util {
+namespace {
+
+TEST(Stats, MeanOfKnownSample) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Stats, VarianceUsesBesselCorrection) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Population variance is 4; sample variance is 4 * 8/7.
+  EXPECT_NEAR(variance(xs), 4.0 * 8.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, MinMaxThrowOnEmpty) {
+  EXPECT_THROW((void)min({}), std::invalid_argument);
+  EXPECT_THROW((void)max({}), std::invalid_argument);
+}
+
+TEST(Stats, MinMaxOfSample) {
+  const std::vector<double> xs{3.0, -1.0, 7.5, 0.0};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 7.5);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, QuantileInterpolatesAndClamps) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 0.0);   // clamped
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 3.0);    // clamped
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs{6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonSizeMismatchThrows) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0};
+  EXPECT_THROW((void)pearson(xs, ys), std::invalid_argument);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  const std::vector<double> xs{0.5, 1.5, -2.0, 4.0, 4.0, 7.25};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), -2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 7.25);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{10.0, 20.0};
+  RunningStats ra;
+  for (double x : a) ra.add(x);
+  RunningStats rb;
+  for (double x : b) rb.add(x);
+  ra.merge(rb);
+
+  std::vector<double> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  EXPECT_EQ(ra.count(), all.size());
+  EXPECT_NEAR(ra.mean(), mean(all), 1e-12);
+  EXPECT_NEAR(ra.variance(), variance(all), 1e-12);
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats ra;
+  ra.add(1.0);
+  ra.add(2.0);
+  RunningStats empty;
+  ra.merge(empty);
+  EXPECT_EQ(ra.count(), 2u);
+  EXPECT_NEAR(ra.mean(), 1.5, 1e-12);
+
+  RunningStats rb;
+  rb.merge(ra);
+  EXPECT_EQ(rb.count(), 2u);
+  EXPECT_NEAR(rb.mean(), 1.5, 1e-12);
+}
+
+TEST(Histogram, BinsAndDensity) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);   // bin 0
+  h.add(0.3);   // bin 1
+  h.add(0.35);  // bin 1
+  h.add(0.9);   // bin 3
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_DOUBLE_EQ(h.density(1), 0.5);
+}
+
+TEST(Histogram, OutOfRangeClampsIntoEdgeBins) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.125);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 0.875);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shmd::util

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace shmd::util {
+namespace {
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 2     |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"a"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, FormattersProduceFixedPrecision) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::pct(0.9412, 1), "94.1%");
+}
+
+TEST(AsciiBar, ProportionalFill) {
+  EXPECT_EQ(ascii_bar(5.0, 10.0, 10), "#####     ");
+  EXPECT_EQ(ascii_bar(10.0, 10.0, 4), "####");
+  EXPECT_EQ(ascii_bar(0.0, 10.0, 4), "    ");
+}
+
+TEST(AsciiBar, DegenerateInputsGiveBlank) {
+  EXPECT_EQ(ascii_bar(1.0, 0.0, 4), "    ");
+  EXPECT_EQ(ascii_bar(-1.0, 10.0, 4), "    ");
+}
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  CliParser cli;
+  cli.add_flag("alpha", "", "0");
+  cli.add_flag("beta", "", "x");
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "hello"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get_int("alpha"), 3);
+  EXPECT_EQ(cli.get("beta"), "hello");
+}
+
+TEST(Cli, BoolFlagForms) {
+  CliParser cli;
+  cli.add_bool("verbose", "");
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+
+  CliParser cli2;
+  cli2.add_bool("verbose", "");
+  const char* argv2[] = {"prog", "--verbose=false"};
+  ASSERT_TRUE(cli2.parse(2, argv2));
+  EXPECT_FALSE(cli2.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliParser cli;
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli;
+  cli.add_flag("x", "", "0");
+  const char* argv[] = {"prog", "--x"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli;
+  cli.add_flag("x", "", "0");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, DefaultsApplyWithoutArgs) {
+  CliParser cli;
+  cli.add_flag("rate", "", "0.25");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.25);
+}
+
+TEST(Cli, UnregisteredGetThrows) {
+  CliParser cli;
+  EXPECT_THROW((void)cli.get("nothing"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shmd::util

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/xoshiro256ss.hpp"
+#include "volt/calibration.hpp"
+#include "volt/msr.hpp"
+#include "volt/volt_fault_model.hpp"
+#include "volt/voltage_domain.hpp"
+
+namespace shmd::volt {
+namespace {
+
+// ------------------------------------------------------------------- MSR
+
+TEST(Msr, EncodeDecodeRoundTrip) {
+  for (double mv : {0.0, -50.0, -130.0, -250.0, 100.0}) {
+    const std::uint64_t value = MsrInterface::encode_write(0, mv);
+    EXPECT_NEAR(MsrInterface::decode_offset_mv(value), mv, 0.5) << mv;
+  }
+}
+
+TEST(Msr, WriteThenReadBack) {
+  MsrInterface msr;
+  msr.wrmsr(kVoltagePlaneMsr, MsrInterface::encode_write(0, -130.0));
+  msr.wrmsr(kVoltagePlaneMsr, MsrInterface::encode_read_request(0));
+  EXPECT_NEAR(MsrInterface::decode_offset_mv(msr.rdmsr(kVoltagePlaneMsr)), -130.0, 0.5);
+  EXPECT_NEAR(msr.plane_offset_mv(0), -130.0, 0.5);
+}
+
+TEST(Msr, PlanesAreIndependent) {
+  MsrInterface msr;
+  msr.wrmsr(kVoltagePlaneMsr, MsrInterface::encode_write(0, -100.0));
+  msr.wrmsr(kVoltagePlaneMsr, MsrInterface::encode_write(2, -40.0));
+  EXPECT_NEAR(msr.plane_offset_mv(0), -100.0, 0.5);
+  EXPECT_NEAR(msr.plane_offset_mv(2), -40.0, 0.5);
+  EXPECT_NEAR(msr.plane_offset_mv(1), 0.0, 0.5);
+}
+
+TEST(Msr, RejectsBadCommands) {
+  MsrInterface msr;
+  EXPECT_THROW(msr.wrmsr(0x151, 0), MsrError);                       // wrong address
+  EXPECT_THROW(msr.wrmsr(kVoltagePlaneMsr, 0), MsrError);            // missing magic
+  EXPECT_THROW((void)MsrInterface::encode_write(7, -10.0), MsrError);      // bad plane
+  EXPECT_THROW((void)MsrInterface::encode_write(0, -2000.0), MsrError);    // out of range
+  EXPECT_THROW((void)msr.plane_offset_mv(9), MsrError);
+}
+
+TEST(Msr, OffsetUnitsMatchHardwareGranularity) {
+  // 1/1.024 mV per LSB: -103 mV encodes to round(-105.472) = -105 units.
+  const std::uint64_t v = MsrInterface::encode_write(0, -103.0);
+  const auto code = static_cast<std::int32_t>((v >> 21) & 0x7FF);
+  const std::int32_t sign_extended = (code & 0x400) ? code - 0x800 : code;
+  EXPECT_EQ(sign_extended, -105);
+}
+
+// --------------------------------------------------------------- fault model
+
+class VoltModelTest : public ::testing::Test {
+ protected:
+  VoltFaultModel model_{DeviceProfile{}};
+};
+
+TEST_F(VoltModelTest, NoFaultsAboveOnset) {
+  EXPECT_DOUBLE_EQ(model_.fault_probability(0.0, 49.0), 0.0);
+  EXPECT_DOUBLE_EQ(model_.fault_probability(-50.0, 49.0), 0.0);
+  EXPECT_DOUBLE_EQ(model_.fault_probability(-102.0, 49.0), 0.0);
+}
+
+TEST_F(VoltModelTest, CertainFaultsAtSaturation) {
+  EXPECT_DOUBLE_EQ(model_.fault_probability(-145.0, 49.0), 1.0);
+  EXPECT_DOUBLE_EQ(model_.fault_probability(-150.0, 49.0), 1.0);
+}
+
+TEST_F(VoltModelTest, MonotoneInUndervoltDepth) {
+  double prev = -1.0;
+  for (double depth = 100.0; depth <= 150.0; depth += 1.0) {
+    const double p = model_.fault_probability(-depth, 49.0);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST_F(VoltModelTest, HotterSiliconFaultsAtShallowerDepth) {
+  // Temperature compensation (§IX): at higher temperature the onset moves
+  // to smaller undervolt.
+  EXPECT_LT(model_.onset_depth_mv(70.0), model_.onset_depth_mv(49.0));
+  EXPECT_GT(model_.fault_probability(-110.0, 80.0), model_.fault_probability(-110.0, 49.0));
+}
+
+TEST_F(VoltModelTest, OffsetForErrorRateInverts) {
+  for (double er : {0.05, 0.1, 0.3, 0.5, 0.9}) {
+    const double offset = model_.offset_for_error_rate(er, 49.0);
+    EXPECT_NEAR(model_.fault_probability(offset, 49.0), er, 1e-6) << er;
+  }
+}
+
+TEST_F(VoltModelTest, OffsetForErrorRateRejectsOutOfRange) {
+  EXPECT_THROW((void)model_.offset_for_error_rate(-0.1, 49.0), std::invalid_argument);
+  EXPECT_THROW((void)model_.offset_for_error_rate(1.5, 49.0), std::invalid_argument);
+}
+
+TEST_F(VoltModelTest, FreezeBeyondStabilityLimit) {
+  EXPECT_FALSE(model_.freezes(-140.0, 49.0));
+  EXPECT_TRUE(model_.freezes(-158.0, 49.0));
+  // Hotter silicon freezes at shallower depth.
+  EXPECT_TRUE(model_.freezes(-150.0, 80.0));
+}
+
+TEST_F(VoltModelTest, OperandOnsetSpansTheCharacterizedWindow) {
+  // §II: faults appear between -103 mV and -145 mV depending on inputs.
+  rng::Xoshiro256ss gen(4);
+  bool found_fragile = false;
+  bool found_robust = false;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = gen();
+    const std::uint64_t b = gen();
+    const double p_shallow = model_.operand_fault_probability(a, b, -112.0, 49.0);
+    if (p_shallow > 0.9) found_fragile = true;
+    if (p_shallow < 0.1) found_robust = true;
+  }
+  EXPECT_TRUE(found_fragile);
+  EXPECT_TRUE(found_robust);
+}
+
+TEST_F(VoltModelTest, OperandProbabilityIsDeterministicPerOperandPair) {
+  const double p1 = model_.operand_fault_probability(123, 456, -120.0, 49.0);
+  const double p2 = model_.operand_fault_probability(123, 456, -120.0, 49.0);
+  EXPECT_DOUBLE_EQ(p1, p2);
+}
+
+TEST(DeviceProfile, SampledProfilesVaryButStayOrdered) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const DeviceProfile p = DeviceProfile::sample(seed);
+    EXPECT_GT(p.fault_saturation_mv, p.fault_onset_mv);
+    EXPECT_GT(p.freeze_mv, p.fault_saturation_mv);
+    EXPECT_NEAR(p.fault_onset_mv, 103.0, 5.0);
+    EXPECT_NEAR(p.fault_saturation_mv, 145.0, 5.0);
+  }
+  // Process variation: different chips differ.
+  EXPECT_NE(DeviceProfile::sample(1).fault_onset_mv, DeviceProfile::sample(2).fault_onset_mv);
+}
+
+// ------------------------------------------------------------ voltage domain
+
+class DomainTest : public ::testing::Test {
+ protected:
+  MsrInterface msr_;
+  VoltageDomain domain_{msr_, 0, VoltFaultModel(DeviceProfile{}), 49.0};
+};
+
+TEST_F(DomainTest, NominalVoltageAtZeroOffset) {
+  EXPECT_NEAR(domain_.voltage_v(), 1.18, 1e-9);
+  EXPECT_DOUBLE_EQ(domain_.error_rate(), 0.0);
+}
+
+TEST_F(DomainTest, UndervoltLowersVoltageAndRaisesErrorRate) {
+  domain_.set_offset_mv(-130.0);
+  EXPECT_NEAR(domain_.voltage_v(), 1.05, 0.001);
+  EXPECT_GT(domain_.error_rate(), 0.0);
+  EXPECT_LT(domain_.error_rate(), 1.0);
+}
+
+TEST_F(DomainTest, FreezingOffsetThrows) {
+  EXPECT_THROW(domain_.set_offset_mv(-170.0), SystemFreezeError);
+}
+
+TEST_F(DomainTest, ExclusiveControlBlocksUntrustedWrites) {
+  const std::uint64_t token = domain_.acquire_exclusive();
+  EXPECT_TRUE(domain_.exclusively_controlled());
+  // Adversary without the token cannot disable the defense (§III).
+  EXPECT_THROW(domain_.set_offset_mv(0.0), VoltageControlError);
+  EXPECT_THROW(domain_.set_offset_mv(0.0, token + 1), VoltageControlError);
+  // The holder can.
+  domain_.set_offset_mv(-110.0, token);
+  EXPECT_NEAR(domain_.offset_mv(), -110.0, 0.5);
+  domain_.release_exclusive(token);
+  domain_.set_offset_mv(0.0);  // free again
+}
+
+TEST_F(DomainTest, DoubleAcquireFails) {
+  (void)domain_.acquire_exclusive();
+  EXPECT_THROW((void)domain_.acquire_exclusive(), VoltageControlError);
+}
+
+TEST_F(DomainTest, ReleaseWithWrongTokenFails) {
+  const std::uint64_t token = domain_.acquire_exclusive();
+  EXPECT_THROW(domain_.release_exclusive(token + 1), VoltageControlError);
+  domain_.release_exclusive(token);
+}
+
+TEST_F(DomainTest, UndervoltGuardRestoresOnExit) {
+  domain_.set_offset_mv(-20.0);
+  {
+    UndervoltGuard guard(domain_, -120.0);
+    EXPECT_NEAR(domain_.offset_mv(), -120.0, 0.5);
+  }
+  EXPECT_NEAR(domain_.offset_mv(), -20.0, 0.5);
+}
+
+TEST_F(DomainTest, UndervoltGuardWorksUnderExclusiveControl) {
+  const std::uint64_t token = domain_.acquire_exclusive();
+  {
+    UndervoltGuard guard(domain_, -115.0, token);
+    EXPECT_NEAR(domain_.offset_mv(), -115.0, 0.5);
+  }
+  EXPECT_NEAR(domain_.offset_mv(), 0.0, 0.5);
+  domain_.release_exclusive(token);
+}
+
+// -------------------------------------------------------------- calibration
+
+TEST(Calibration, FindsOffsetForTargetErrorRate) {
+  MsrInterface msr;
+  VoltageDomain domain(msr, 0, VoltFaultModel(DeviceProfile{}), 49.0);
+  CalibrationController calib(domain, /*trials=*/40000);
+  const CalibrationResult r = calib.calibrate(0.10, 0.02);
+  EXPECT_NEAR(r.measured_er, 0.10, 0.02);
+  // The found offset must sit inside the characterized fault window.
+  EXPECT_LT(r.offset_mv, -100.0);
+  EXPECT_GT(r.offset_mv, -150.0);
+  // Domain left at nominal.
+  EXPECT_NEAR(domain.offset_mv(), 0.0, 0.5);
+}
+
+TEST(Calibration, MeasuredRateIsMonotoneInDepth) {
+  MsrInterface msr;
+  VoltageDomain domain(msr, 0, VoltFaultModel(DeviceProfile{}), 49.0);
+  CalibrationController calib(domain, 20000);
+  const double shallow = calib.measure_error_rate(-110.0);
+  const double deep = calib.measure_error_rate(-135.0);
+  EXPECT_LT(shallow, deep);
+}
+
+TEST(Calibration, MeasuringAFrozenPointThrows) {
+  MsrInterface msr;
+  VoltageDomain domain(msr, 0, VoltFaultModel(DeviceProfile{}), 49.0);
+  CalibrationController calib(domain, 1000);
+  EXPECT_THROW((void)calib.measure_error_rate(-170.0), SystemFreezeError);
+}
+
+TEST(Calibration, TemperatureTableTracksOnsetShift) {
+  // §IX: the controller "needs to dynamically adjust the undervolting
+  // level based on the current temperature". Hotter → shallower offset.
+  MsrInterface msr;
+  VoltageDomain domain(msr, 0, VoltFaultModel(DeviceProfile{}), 49.0);
+  CalibrationController calib(domain, 20000);
+  const auto table = calib.calibration_table(0.10, 40.0, 70.0, 15.0);
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_GT(table.at(70.0).offset_mv, table.at(40.0).offset_mv);  // less deep when hot
+  EXPECT_NEAR(domain.temperature_c(), 49.0, 1e-9);  // restored
+}
+
+TEST(Calibration, RejectsBadArguments) {
+  MsrInterface msr;
+  VoltageDomain domain(msr, 0, VoltFaultModel(DeviceProfile{}), 49.0);
+  EXPECT_THROW(CalibrationController(domain, 0), std::invalid_argument);
+  CalibrationController calib(domain, 1000);
+  EXPECT_THROW((void)calib.calibrate(1.5), std::invalid_argument);
+  EXPECT_THROW((void)calib.calibrate(0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)calib.calibration_table(0.1, 50.0, 40.0, 5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shmd::volt
