@@ -12,6 +12,7 @@ void add_common_flags(util::CliParser& cli) {
   cli.add_flag("attack-samples", "malware programs attacked per measurement", "100");
   cli.add_flag("repeats", "repeats for mean/std aggregation", "5");
   cli.add_flag("rotations", "3-fold cross-validation rotations to run (1..3)", "3");
+  cli.add_flag("workers", "batch-runtime worker threads (0 = all cores)", "0");
   cli.add_flag("seed", "master seed for the corpus", "12648430");  // 0xC0FFEE
   cli.add_flag("csv", "write the result table to this CSV file", "");
   cli.add_bool("paper-scale", "use the paper's full 3000/600 corpus and 50 repeats");
@@ -28,6 +29,7 @@ BenchConfig config_from_cli(const util::CliParser& cli) {
   cfg.attack_samples = static_cast<std::size_t>(cli.get_int("attack-samples"));
   cfg.repeats = cli.get_int("repeats");
   cfg.rotations = cli.get_int("rotations");
+  cfg.workers = static_cast<std::size_t>(cli.get_int("workers"));
   if (cli.get_bool("paper-scale")) {
     cfg.dataset.corpus.n_malware = 3000;
     cfg.dataset.corpus.n_benign = 600;
@@ -51,6 +53,10 @@ std::optional<BenchConfig> parse_bench_args(int argc, const char* const* argv,
                                             util::CliParser& cli) {
   add_common_flags(cli);
   if (!cli.parse(argc, argv)) return std::nullopt;
+  if (cli.get_int("workers") < 0) {
+    std::cerr << "error: --workers must be >= 0 (0 = all cores)\n";
+    return std::nullopt;
+  }
   return config_from_cli(cli);
 }
 

@@ -2,11 +2,18 @@
 // versus the error rate er in {0, 0.1, ..., 1}, with mean and standard
 // deviation over repeated runs and 3-fold cross-validation (the paper
 // repeats each experiment 50 times; --repeats / --paper-scale control it).
+//
+// The er x repeats x folds sweep runs through the batch inference runtime:
+// each rotation's testing fold is scored as one batch across --workers
+// threads, with per-worker jump()-derived fault streams keeping the sweep
+// reproducible for a fixed (seed, workers) pair.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "common.hpp"
 #include "eval/metrics.hpp"
+#include "runtime/batch_scorer.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -23,7 +30,8 @@ int run(const bench::BenchConfig& cfg) {
               cfg.dataset.corpus.n_benign);
 
   // One trained detector per CV rotation; the error-rate sweep reuses it
-  // (the defense never retrains — §III).
+  // (the defense never retrains — §III). Each rotation also gets a batch
+  // scorer over its testing fold and the truth labels for that fold.
   std::vector<trace::FoldSplit> fold_splits;
   std::vector<hmd::StochasticHmd> detectors;
   for (int rotation = 0; rotation < cfg.rotations; ++rotation) {
@@ -31,6 +39,25 @@ int run(const bench::BenchConfig& cfg) {
     detectors.push_back(hmd::make_stochastic(ds, fold_splits.back().victim_training, fc, 0.0,
                                              cfg.train));
   }
+  std::vector<std::unique_ptr<runtime::BatchScorer>> scorers;
+  std::vector<std::vector<const trace::FeatureSet*>> batches;
+  std::vector<std::vector<bool>> truths;
+  for (int rotation = 0; rotation < cfg.rotations; ++rotation) {
+    runtime::RuntimeConfig rt;
+    rt.num_workers = cfg.workers;
+    rt.seed = 0xF16A2ULL + static_cast<std::uint64_t>(rotation);
+    scorers.push_back(std::make_unique<runtime::BatchScorer>(
+        detectors[static_cast<std::size_t>(rotation)], rt));
+    std::vector<const trace::FeatureSet*> batch;
+    std::vector<bool> truth;
+    for (std::size_t idx : fold_splits[static_cast<std::size_t>(rotation)].testing) {
+      batch.push_back(&ds.samples()[idx].features);
+      truth.push_back(ds.samples()[idx].malware());
+    }
+    batches.push_back(std::move(batch));
+    truths.push_back(std::move(truth));
+  }
+  std::printf("batch runtime: %zu workers per rotation\n\n", scorers.front()->num_workers());
 
   util::Table table({"er", "accuracy", "acc std", "FPR", "FNR", "accuracy bar"});
   for (double er = 0.0; er <= 1.0001; er += 0.1) {
@@ -38,15 +65,12 @@ int run(const bench::BenchConfig& cfg) {
     util::RunningStats fpr_stats;
     util::RunningStats fnr_stats;
     for (int rotation = 0; rotation < cfg.rotations; ++rotation) {
-      const trace::FoldSplit& folds = fold_splits[static_cast<std::size_t>(rotation)];
-      hmd::StochasticHmd& det = detectors[static_cast<std::size_t>(rotation)];
-      det.set_error_rate(er);
+      const auto r = static_cast<std::size_t>(rotation);
+      detectors[r].set_error_rate(er);
       for (int rep = 0; rep < cfg.repeats; ++rep) {
+        const std::vector<bool> verdicts = scorers[r]->detect_batch(batches[r]);
         eval::ConfusionMatrix cm;
-        for (std::size_t idx : folds.testing) {
-          const auto& s = ds.samples()[idx];
-          cm.add(s.malware(), det.detect(s.features));
-        }
+        for (std::size_t i = 0; i < verdicts.size(); ++i) cm.add(truths[r][i], verdicts[i]);
         acc_stats.add(cm.accuracy());
         fpr_stats.add(cm.fpr());
         fnr_stats.add(cm.fnr());

@@ -8,7 +8,9 @@
 
 #include "common.hpp"
 #include "attack/transferability.hpp"
+#include "eval/metrics.hpp"
 #include "hmd/space_exploration.hpp"
+#include "runtime/batch_scorer.hpp"
 
 namespace {
 
@@ -51,6 +53,28 @@ int run(const bench::BenchConfig& cfg, double er) {
                   100.0 * explored.selected_accuracy);
     }
     hmd::StochasticHmd stochastic(baseline.network(), fc, rotation_er);
+
+    // Context line for the attack numbers below: the stochastic victim's
+    // live accuracy on the testing fold, scored as one batch across the
+    // runtime's workers (per-worker jump()-derived fault streams).
+    {
+      runtime::RuntimeConfig rt;
+      rt.num_workers = cfg.workers;
+      rt.seed = 0xF164ULL + static_cast<std::uint64_t>(rotation);
+      runtime::BatchScorer scorer(stochastic, rt);
+      std::vector<const trace::FeatureSet*> test_batch;
+      for (std::size_t idx : folds.testing) test_batch.push_back(&ds.samples()[idx].features);
+      const std::vector<bool> verdicts = scorer.detect_batch(test_batch);
+      eval::ConfusionMatrix cm;
+      for (std::size_t i = 0; i < verdicts.size(); ++i) {
+        cm.add(ds.samples()[folds.testing[i]].malware(), verdicts[i]);
+      }
+      std::printf("rotation %d: stochastic victim live accuracy %.1f%% on %zu test programs "
+                  "(er=%.2f, %zu workers)\n",
+                  rotation, 100.0 * cm.accuracy(), test_batch.size(), rotation_er,
+                  scorer.num_workers());
+    }
+
     const std::vector<std::size_t> targets =
         bench::malware_subset(ds, folds, cfg.attack_samples);
     const attack::EvasionConfig evasion_base = bench::make_evasion_config(ds, folds);

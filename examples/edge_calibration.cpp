@@ -72,10 +72,10 @@ int main() {
     // One detection burst, to show the rail round-trip.
     const auto& probe = dataset.samples()[folds.testing.front()];
     const bool verdict = detector.detect(probe.features);
-    std::printf("deployed at %.0f C, offset %.1f mV (er %.3f); probe verdict: %s; "
+    std::printf("deployed at %.0f C, offset %.1f mV (measured er %.3f); probe verdict: %s; "
                 "rail restored to %+.1f mV\n",
-                die_temp, offset, detector.error_rate(), verdict ? "malware" : "benign",
-                domain.offset_mv());
+                die_temp, offset, detector.fault_stats().fault_rate(),
+                verdict ? "malware" : "benign", domain.offset_mv());
 
     // 5. Power story at deployed-model scale.
     const double v = power.config().nominal_voltage_v + offset / 1000.0;

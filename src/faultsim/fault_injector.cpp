@@ -1,5 +1,6 @@
 #include "faultsim/fault_injector.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "faultsim/fixed_point.hpp"
@@ -37,6 +38,9 @@ std::uint64_t FaultInjector::corrupt_u64(std::uint64_t product) {
 
 double FaultInjector::corrupt_product(double product) {
   ++stats_.operations;
+  // A non-finite product has no Q16.47 bit image to flip; pass it through
+  // untouched (before consuming any RNG, so fault streams are unaffected).
+  if (!std::isfinite(product)) return product;
   if (!gen_.bernoulli(error_rate_)) return product;
   const int bit = distribution_.sample(gen_);
   ++stats_.faults;

@@ -34,6 +34,14 @@ struct FaultStats {
   /// bit flipped (the y-axis of Fig. 1).
   [[nodiscard]] double bit_error_rate(int bit) const;
   void reset() noexcept { *this = FaultStats{}; }
+
+  /// Accumulate another collector's counts (the runtime merges per-worker
+  /// statistics into a batch total with this).
+  void merge(const FaultStats& other) noexcept {
+    operations += other.operations;
+    faults += other.faults;
+    for (std::size_t b = 0; b < bit_flips.size(); ++b) bit_flips[b] += other.bit_flips[b];
+  }
 };
 
 class FaultInjector {

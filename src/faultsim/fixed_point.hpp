@@ -26,9 +26,12 @@ inline constexpr int kProtectedLsbs = 8;
 /// Largest magnitude representable in Q16.47.
 inline constexpr double kQMax = 65536.0;  // 2^16
 
-/// Convert a real value to Q16.47 with saturation.
+/// Convert a real value to Q16.47 with saturation. Non-finite inputs are
+/// defined too: ±inf saturate, NaN maps to 0 — a NaN has no meaningful bit
+/// image in Q16.47, and letting it reach the static_cast would be UB.
 [[nodiscard]] constexpr std::int64_t to_q(double x) noexcept {
   constexpr double scale = 140737488355328.0;  // 2^47
+  if (x != x) return 0;  // NaN (constexpr-friendly isnan)
   if (x >= kQMax) return std::numeric_limits<std::int64_t>::max();
   if (x <= -kQMax) return std::numeric_limits<std::int64_t>::min();
   return static_cast<std::int64_t>(x * scale);

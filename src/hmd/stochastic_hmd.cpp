@@ -2,6 +2,29 @@
 
 namespace shmd::hmd {
 
+namespace {
+
+/// Restores the injector's configured (direct-er) rate when a
+/// domain-driven detection burst ends. Without this, the last
+/// domain-derived rate silently survives detach_domain() and later
+/// direct-er scoring runs at the wrong physical operating point.
+/// Exception-safe by construction: the guard unwinds even when the rail
+/// rejects the offset mid-burst.
+class ErrorRateRestorer {
+ public:
+  explicit ErrorRateRestorer(faultsim::FaultInjector& injector)
+      : injector_(injector), saved_(injector.error_rate()) {}
+  ~ErrorRateRestorer() { injector_.set_error_rate(saved_); }
+  ErrorRateRestorer(const ErrorRateRestorer&) = delete;
+  ErrorRateRestorer& operator=(const ErrorRateRestorer&) = delete;
+
+ private:
+  faultsim::FaultInjector& injector_;
+  double saved_;
+};
+
+}  // namespace
+
 StochasticHmd::StochasticHmd(nn::Network net, trace::FeatureConfig config, double error_rate,
                              faultsim::BitFaultDistribution distribution,
                              std::uint64_t noise_seed)
@@ -30,16 +53,22 @@ std::vector<double> StochasticHmd::window_scores(const trace::FeatureSet& featur
   if (domain_ != nullptr) {
     // Deployment path: undervolt for exactly the duration of this
     // detection burst (TEE enter/exit semantics), with the error rate
-    // derived from the physical operating point.
+    // derived from the physical operating point — and the configured
+    // direct-er rate restored when the burst ends.
+    const ErrorRateRestorer restore(injector_);
     volt::UndervoltGuard guard(*domain_, offset_mv_, token_);
     injector_.set_error_rate(domain_->error_rate());
-    for (const std::vector<double>& window : features.windows(config_)) {
-      scores.push_back(net_.forward(window, faulty)[0]);
+    const auto& windows = features.windows(config_);
+    scores.reserve(windows.size());
+    for (const std::vector<double>& window : windows) {
+      scores.push_back(net_.forward(window, faulty, scratch_)[0]);
     }
     return scores;  // guard restores nominal voltage here
   }
-  for (const std::vector<double>& window : features.windows(config_)) {
-    scores.push_back(net_.forward(window, faulty)[0]);
+  const auto& windows = features.windows(config_);
+  scores.reserve(windows.size());
+  for (const std::vector<double>& window : windows) {
+    scores.push_back(net_.forward(window, faulty, scratch_)[0]);
   }
   return scores;
 }
@@ -47,11 +76,12 @@ std::vector<double> StochasticHmd::window_scores(const trace::FeatureSet& featur
 double StochasticHmd::score_window(std::span<const double> window) {
   nn::FaultyContext faulty(injector_);
   if (domain_ != nullptr) {
+    const ErrorRateRestorer restore(injector_);
     volt::UndervoltGuard guard(*domain_, offset_mv_, token_);
     injector_.set_error_rate(domain_->error_rate());
-    return net_.forward(window, faulty)[0];
+    return net_.forward(window, faulty, scratch_)[0];
   }
-  return net_.forward(window, faulty)[0];
+  return net_.forward(window, faulty, scratch_)[0];
 }
 
 std::vector<double> StochasticHmd::window_scores_nominal(

@@ -63,11 +63,17 @@ class StochasticHmd final : public Detector {
   [[nodiscard]] const faultsim::FaultStats& fault_stats() const noexcept {
     return injector_.stats();
   }
+  /// Bit-location distribution of the injected faults (the batch runtime
+  /// replicates it into its per-worker injectors).
+  [[nodiscard]] const faultsim::BitFaultDistribution& fault_distribution() const noexcept {
+    return injector_.distribution();
+  }
 
  private:
   nn::Network net_;
   trace::FeatureConfig config_;
   faultsim::FaultInjector injector_;
+  nn::ForwardScratch scratch_;  ///< reused activations: zero-alloc hot loop
   volt::VoltageDomain* domain_ = nullptr;
   double offset_mv_ = 0.0;
   std::optional<std::uint64_t> token_;

@@ -1,5 +1,6 @@
 #include "nn/network.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -61,25 +62,39 @@ std::size_t Network::memory_bytes() const noexcept {
 
 std::vector<double> Network::forward(std::span<const double> input,
                                      ArithmeticContext& ctx) const {
+  ForwardScratch scratch;
+  const std::span<const double> out = forward(input, ctx, scratch);
+  return std::vector<double>(out.begin(), out.end());
+}
+
+std::span<const double> Network::forward(std::span<const double> input, ArithmeticContext& ctx,
+                                         ForwardScratch& scratch) const {
   if (layers_.empty()) throw std::logic_error("Network::forward: empty network");
   if (input.size() != input_dim()) {
     throw std::invalid_argument("Network::forward: input dimension mismatch");
   }
-  std::vector<double> current(input.begin(), input.end());
-  std::vector<double> next;
+  // Grow both ping-pong buffers to the widest activation once; assign()
+  // below then reuses capacity and the hot loop never touches the heap.
+  std::size_t max_width = input.size();
+  for (const Layer& layer : layers_) max_width = std::max(max_width, layer.out_dim);
+  scratch.a_.reserve(max_width);
+  scratch.b_.reserve(max_width);
+  std::vector<double>* current = &scratch.a_;
+  std::vector<double>* next = &scratch.b_;
+  current->assign(input.begin(), input.end());
   for (const Layer& layer : layers_) {
-    next.assign(layer.out_dim, 0.0);
+    next->assign(layer.out_dim, 0.0);
     for (std::size_t o = 0; o < layer.out_dim; ++o) {
       double acc = layer.biases[o];  // accumulation stays exact (§II)
       const double* wrow = &layer.weights[o * layer.in_dim];
       for (std::size_t i = 0; i < layer.in_dim; ++i) {
-        acc += ctx.mul(wrow[i], current[i]);
+        acc += ctx.mul(wrow[i], (*current)[i]);
       }
-      next[o] = activate(layer.activation, acc);
+      (*next)[o] = activate(layer.activation, acc);
     }
-    current.swap(next);
+    std::swap(current, next);
   }
-  return current;
+  return std::span<const double>(*current);
 }
 
 std::vector<double> Network::forward(std::span<const double> input) const {
@@ -114,8 +129,18 @@ Network Network::load(std::istream& is) {
   std::size_t n_dims = 0;
   is >> n_dims;
   if (!is || n_dims < 2 || n_dims > 64) throw std::runtime_error("Network::load: bad topology");
+  // Each dimension must be a nonzero, sane width: the constructor rejects
+  // zero-width layers, and an unbounded dim from a malformed file would
+  // drive a multi-GB resize (or overflow in_dim * out_dim) below.
+  constexpr std::size_t kMaxLayerDim = 1u << 16;
   std::vector<std::size_t> topology(n_dims);
-  for (auto& d : topology) is >> d;
+  for (auto& d : topology) {
+    if (!(is >> d)) throw std::runtime_error("Network::load: truncated topology");
+    if (d == 0) throw std::runtime_error("Network::load: zero-width layer");
+    if (d > kMaxLayerDim) {
+      throw std::runtime_error("Network::load: layer width exceeds sane limit (65536)");
+    }
+  }
   std::vector<Activation> acts(n_dims - 1);
   for (auto& a : acts) {
     std::string name;

@@ -35,6 +35,20 @@ struct Layer {
   }
 };
 
+/// Reusable forward-pass workspace: two ping-pong activation buffers that
+/// grow to the widest layer on first use and are then recycled, so
+/// steady-state inference through the scratch overload of
+/// Network::forward performs zero heap allocations. One scratch per
+/// thread — it is mutable state and must not be shared concurrently.
+class ForwardScratch {
+ public:
+  friend class Network;
+
+ private:
+  std::vector<double> a_;
+  std::vector<double> b_;
+};
+
 class Network {
  public:
   Network() = default;
@@ -63,6 +77,13 @@ class Network {
   /// Inference with every product routed through `ctx`.
   [[nodiscard]] std::vector<double> forward(std::span<const double> input,
                                             ArithmeticContext& ctx) const;
+
+  /// Allocation-free inference: activations live in `scratch`, which is
+  /// grown once and reused across calls. The returned span aliases
+  /// `scratch` and is valid until its next use.
+  [[nodiscard]] std::span<const double> forward(std::span<const double> input,
+                                                ArithmeticContext& ctx,
+                                                ForwardScratch& scratch) const;
 
   /// Convenience: exact-arithmetic inference.
   [[nodiscard]] std::vector<double> forward(std::span<const double> input) const;

@@ -1,0 +1,127 @@
+#include "runtime/batch_scorer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/arithmetic.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::runtime {
+
+namespace {
+
+std::size_t resolve_workers(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::vector<const trace::FeatureSet*> as_pointers(std::span<const trace::FeatureSet> batch) {
+  std::vector<const trace::FeatureSet*> ptrs;
+  ptrs.reserve(batch.size());
+  for (const trace::FeatureSet& fs : batch) ptrs.push_back(&fs);
+  return ptrs;
+}
+
+}  // namespace
+
+BatchScorer::BatchScorer(const hmd::StochasticHmd& hmd, RuntimeConfig config)
+    : hmd_(&hmd), pool_(resolve_workers(config.num_workers)) {
+  // Worker w's fault stream: the base stream jumped w times. jump()
+  // advances by 2^128 draws, so the streams cannot overlap within any
+  // feasible run length.
+  rng::Xoshiro256ss stream(config.seed);
+  workers_.reserve(pool_.size());
+  for (std::size_t w = 0; w < pool_.size(); ++w) {
+    Worker worker{
+        faultsim::FaultInjector(hmd.error_rate(), hmd.fault_distribution(), config.seed),
+        nn::ForwardScratch{}};
+    worker.injector.generator() = stream;
+    stream.jump();
+    workers_.push_back(std::move(worker));
+  }
+}
+
+std::vector<std::vector<double>> BatchScorer::score_batch(
+    std::span<const trace::FeatureSet> batch) {
+  const auto ptrs = as_pointers(batch);
+  return score_batch(std::span<const trace::FeatureSet* const>(ptrs));
+}
+
+std::vector<std::vector<double>> BatchScorer::score_batch(
+    std::span<const trace::FeatureSet* const> batch) {
+  // Pick up the detector's current operating point (space-exploration
+  // sweeps move it between batches).
+  const double er = hmd_->error_rate();
+  for (Worker& worker : workers_) worker.injector.set_error_rate(er);
+  const nn::Network& net = hmd_->network();
+  const trace::FeatureConfig fc = hmd_->feature_config();
+  std::vector<std::vector<double>> scores(batch.size());
+  pool_.run([&](std::size_t w) {
+    Worker& worker = workers_[w];
+    nn::FaultyContext faulty(worker.injector);
+    const Slice slice = worker_slice(batch.size(), w, workers_.size());
+    for (std::size_t i = slice.begin; i < slice.end; ++i) {
+      const auto& windows = batch[i]->windows(fc);
+      std::vector<double>& out = scores[i];
+      out.reserve(windows.size());
+      for (const std::vector<double>& window : windows) {
+        out.push_back(net.forward(window, faulty, worker.scratch)[0]);
+      }
+    }
+  });
+  return scores;
+}
+
+std::vector<bool> BatchScorer::detect_batch(std::span<const trace::FeatureSet* const> batch,
+                                            double threshold, double vote_fraction) {
+  const std::vector<std::vector<double>> scores = score_batch(batch);
+  std::vector<bool> verdicts(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    verdicts[i] = hmd::fraction_vote(scores[i], threshold, vote_fraction);
+  }
+  return verdicts;
+}
+
+const faultsim::FaultStats& BatchScorer::worker_stats(std::size_t worker) const {
+  if (worker >= workers_.size()) throw std::out_of_range("BatchScorer: worker out of range");
+  return workers_[worker].injector.stats();
+}
+
+faultsim::FaultStats BatchScorer::merged_stats() const {
+  faultsim::FaultStats total;
+  for (const Worker& worker : workers_) total.merge(worker.injector.stats());
+  return total;
+}
+
+RhmdBatchScorer::RhmdBatchScorer(const hmd::Rhmd& rhmd, RuntimeConfig config)
+    : pool_(resolve_workers(config.num_workers)) {
+  replicas_.reserve(pool_.size());
+  for (std::size_t w = 0; w < pool_.size(); ++w) {
+    hmd::Rhmd replica = rhmd;
+    // w+1 jumps: replica 0 is already offset from the source detector, so
+    // serial and batched use of the same Rhmd stay uncorrelated.
+    replica.jump_switch_stream(w + 1);
+    replicas_.push_back(std::move(replica));
+  }
+}
+
+std::vector<std::vector<double>> RhmdBatchScorer::score_batch(
+    std::span<const trace::FeatureSet> batch) {
+  const auto ptrs = as_pointers(batch);
+  return score_batch(std::span<const trace::FeatureSet* const>(ptrs));
+}
+
+std::vector<std::vector<double>> RhmdBatchScorer::score_batch(
+    std::span<const trace::FeatureSet* const> batch) {
+  std::vector<std::vector<double>> scores(batch.size());
+  pool_.run([&](std::size_t w) {
+    hmd::Rhmd& replica = replicas_[w];
+    const Slice slice = worker_slice(batch.size(), w, replicas_.size());
+    for (std::size_t i = slice.begin; i < slice.end; ++i) {
+      scores[i] = replica.window_scores(*batch[i]);
+    }
+  });
+  return scores;
+}
+
+}  // namespace shmd::runtime

@@ -1,0 +1,107 @@
+// Batched, multi-threaded scoring for the stochastic detectors.
+//
+// The figure benches sweep error_rate x repeats x folds over thousands of
+// programs, and the deployment story is a detection core serving many
+// monitored programs per round; both were serial with per-call heap
+// allocations. A batch scorer amortizes three things at once:
+//
+//   threads — the batch is statically sliced across a persistent pool
+//             (see thread_pool.hpp for why static beats stealing here);
+//   RNG     — every worker owns a FaultInjector whose xoshiro256** stream
+//             is derived from one seed via jump() (streams 2^128 draws
+//             apart), so parallel fault statistics never share or overlap
+//             a generator;
+//   memory  — each worker scores through a reusable ForwardScratch, so
+//             the steady-state hot loop performs zero heap allocations.
+//
+// Determinism contract: worker w always scores the same slice of the
+// batch with the same private stream, so one (seed, worker count) pair
+// reproduces bit-identical scores run after run. Different worker counts
+// re-partition the batch and therefore draw different (equally valid)
+// fault noise — fix the worker count, not just the seed, to reproduce a
+// figure exactly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "faultsim/fault_injector.hpp"
+#include "hmd/detector.hpp"
+#include "hmd/rhmd.hpp"
+#include "hmd/stochastic_hmd.hpp"
+#include "nn/network.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace shmd::runtime {
+
+struct RuntimeConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t num_workers = 0;
+  /// Base seed for the per-worker fault streams (worker w runs on the
+  /// stream jumped w times from this seed).
+  std::uint64_t seed = 0xBA7C4ULL;
+};
+
+/// Batch front-end for a StochasticHmd in direct-er mode. The scorer
+/// re-reads the detector's error rate at every batch, so space-exploration
+/// sweeps that call set_error_rate() between batches need no re-setup.
+/// (Voltage-driven detectors score through their own attached domain
+/// serially; a batch runtime for that path would need one rail per worker
+/// — see CpuPackage.)
+class BatchScorer {
+ public:
+  explicit BatchScorer(const hmd::StochasticHmd& hmd, RuntimeConfig config = {});
+
+  /// scores[i] = per-window live scores of batch[i], as
+  /// StochasticHmd::window_scores would produce them.
+  [[nodiscard]] std::vector<std::vector<double>> score_batch(
+      std::span<const trace::FeatureSet> batch);
+  /// Same, over non-contiguous feature sets (fold indices into a Dataset).
+  [[nodiscard]] std::vector<std::vector<double>> score_batch(
+      std::span<const trace::FeatureSet* const> batch);
+
+  /// Per-program verdicts for one detection round (fraction_vote over each
+  /// program's window scores, as Detector::detect).
+  [[nodiscard]] std::vector<bool> detect_batch(
+      std::span<const trace::FeatureSet* const> batch, double threshold = 0.5,
+      double vote_fraction = hmd::Detector::kDefaultVoteFraction);
+
+  [[nodiscard]] std::size_t num_workers() const noexcept { return workers_.size(); }
+  /// One worker's fault statistics (accumulated over all its batches).
+  [[nodiscard]] const faultsim::FaultStats& worker_stats(std::size_t worker) const;
+  /// All workers' statistics merged — the batch-run equivalent of
+  /// StochasticHmd::fault_stats().
+  [[nodiscard]] faultsim::FaultStats merged_stats() const;
+
+ private:
+  struct Worker {
+    faultsim::FaultInjector injector;
+    nn::ForwardScratch scratch;
+  };
+
+  const hmd::StochasticHmd* hmd_;
+  std::vector<Worker> workers_;
+  ThreadPool pool_;
+};
+
+/// Batch front-end for the RHMD baseline: every worker owns a replica of
+/// the ensemble whose epoch-switch stream is jump()-derived from the
+/// original, so parallel epoch switching stays reproducible under the same
+/// determinism contract as BatchScorer.
+class RhmdBatchScorer {
+ public:
+  explicit RhmdBatchScorer(const hmd::Rhmd& rhmd, RuntimeConfig config = {});
+
+  [[nodiscard]] std::vector<std::vector<double>> score_batch(
+      std::span<const trace::FeatureSet> batch);
+  [[nodiscard]] std::vector<std::vector<double>> score_batch(
+      std::span<const trace::FeatureSet* const> batch);
+
+  [[nodiscard]] std::size_t num_workers() const noexcept { return replicas_.size(); }
+
+ private:
+  std::vector<hmd::Rhmd> replicas_;
+  ThreadPool pool_;
+};
+
+}  // namespace shmd::runtime

@@ -1,0 +1,81 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace shmd::runtime {
+
+Slice worker_slice(std::size_t n_items, std::size_t worker, std::size_t n_workers) noexcept {
+  if (n_workers == 0 || worker >= n_workers) return {};
+  const std::size_t base = n_items / n_workers;
+  const std::size_t extra = n_items % n_workers;
+  const std::size_t begin = worker * base + std::min(worker, extra);
+  return {begin, begin + base + (worker < extra ? 1 : 0)};
+}
+
+ThreadPool::ThreadPool(std::size_t n_workers) {
+  if (n_workers == 0) {
+    n_workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // A wrapped negative (size_t(-1)) or similar nonsense would otherwise die
+  // deep inside vector::reserve with an unhelpful length_error.
+  if (n_workers > kMaxWorkers) {
+    throw std::invalid_argument("ThreadPool: implausible worker count");
+  }
+  threads_.reserve(n_workers);
+  for (std::size_t id = 0; id < n_workers; ++id) {
+    threads_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(id);
+    } catch (...) {
+      const std::lock_guard lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      const std::lock_guard lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+  std::exception_ptr err;
+  {
+    std::unique_lock lock(mu_);
+    job_ = &fn;
+    first_error_ = nullptr;
+    pending_ = threads_.size();
+    ++generation_;
+    start_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace shmd::runtime

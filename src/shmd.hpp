@@ -10,6 +10,8 @@
 //   eval/                metrics, ROC, dataset adapters and CSV interchange
 //   hmd/                 the detectors: baseline, Stochastic-HMD, RHMD,
 //                        Ensemble-HMD, alarms, space exploration, bundles
+//   runtime/             batched multi-threaded inference over the
+//                        detectors (thread pool, per-worker RNG streams)
 //   attack/              the black-box evasion pipeline and white-box probe
 #pragma once
 
@@ -47,6 +49,8 @@
 #include "nn/network.hpp"
 #include "nn/trainer.hpp"
 #include "rng/entropy.hpp"
+#include "runtime/batch_scorer.hpp"
+#include "runtime/thread_pool.hpp"
 #include "rng/lgm_prng.hpp"
 #include "rng/random_source.hpp"
 #include "rng/splitmix64.hpp"

@@ -28,6 +28,17 @@ TEST(FixedPoint, SaturatesAtRangeLimits) {
   EXPECT_EQ(to_q(-1e9), std::numeric_limits<std::int64_t>::min());
 }
 
+TEST(FixedPoint, NonFiniteInputsAreDefined) {
+  // Regression: casting NaN (or out-of-range values) to int64 is UB; to_q
+  // must define every input. ±inf saturate like any out-of-range value,
+  // NaN maps to zero.
+  EXPECT_EQ(to_q(std::numeric_limits<double>::infinity()),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(to_q(-std::numeric_limits<double>::infinity()),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(to_q(std::numeric_limits<double>::quiet_NaN()), 0);
+}
+
 TEST(FixedPoint, BitWeightsArePowersOfTwo) {
   EXPECT_DOUBLE_EQ(bit_weight(kFracBits), 1.0);
   EXPECT_DOUBLE_EQ(bit_weight(kFracBits + 3), 8.0);
@@ -165,6 +176,41 @@ TEST(FaultInjector, CorruptProductPerturbationBoundedByBitWeights) {
     EXPECT_GT(delta, 0.0);
     EXPECT_LE(delta, bit_weight(kSignBit - 1) + 1.0);
   }
+}
+
+TEST(FaultInjector, NonFiniteProductsPassThroughUncorrupted) {
+  // er = 1.0 would corrupt every finite product; non-finite MAC products
+  // have no Q16.47 bit image and must come back untouched (and un-faulted
+  // in the statistics) instead of invoking UB.
+  FaultInjector inj(1.0, BitFaultDistribution::measured());
+  EXPECT_TRUE(std::isnan(inj.corrupt_product(std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_EQ(inj.corrupt_product(std::numeric_limits<double>::infinity()),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(inj.corrupt_product(-std::numeric_limits<double>::infinity()),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(inj.stats().operations, 3u);
+  EXPECT_EQ(inj.stats().faults, 0u);
+}
+
+TEST(FaultStats, MergeSumsAllCounters) {
+  FaultInjector a(1.0, BitFaultDistribution::measured(), 1);
+  FaultInjector b(1.0, BitFaultDistribution::measured(), 2);
+  for (int i = 0; i < 500; ++i) (void)a.corrupt_u64(0);
+  for (int i = 0; i < 300; ++i) (void)b.corrupt_u64(0);
+  FaultStats total;
+  total.merge(a.stats());
+  total.merge(b.stats());
+  EXPECT_EQ(total.operations, 800u);
+  EXPECT_EQ(total.faults, 800u);
+  std::uint64_t flips = 0;
+  for (int bit = 0; bit < BitFaultDistribution::kBits; ++bit) {
+    EXPECT_EQ(total.bit_flips[static_cast<std::size_t>(bit)],
+              a.stats().bit_flips[static_cast<std::size_t>(bit)] +
+                  b.stats().bit_flips[static_cast<std::size_t>(bit)])
+        << bit;
+    flips += total.bit_flips[static_cast<std::size_t>(bit)];
+  }
+  EXPECT_EQ(flips, total.faults);
 }
 
 TEST(FaultInjector, PerBitStatsMatchDistribution) {

@@ -156,10 +156,48 @@ TEST(StochasticHmd, VoltageDrivenModeUsesGuardAndRestoresRail) {
   (void)det.window_scores(features);
   // Rail back at nominal after the detection burst (TEE exit semantics).
   EXPECT_NEAR(domain.offset_mv(), 0.0, 0.5);
-  // The injector picked up the voltage-derived error rate.
-  EXPECT_NEAR(det.error_rate(), 0.1, 0.02);
+  // The burst ran at the voltage-derived error rate (visible in the fault
+  // statistics)...
+  EXPECT_NEAR(det.fault_stats().fault_rate(), 0.1, 0.02);
+  // ...and the configured direct-er rate is restored once it ends.
+  EXPECT_DOUBLE_EQ(det.error_rate(), 0.0);
   det.detach_domain();
   EXPECT_FALSE(det.voltage_driven());
+}
+
+TEST(StochasticHmd, DetachDomainRestoresConfiguredErrorRate) {
+  // Regression: scoring under an attached domain used to leave the last
+  // domain-derived rate on the injector, so post-detach scoring silently
+  // ran at the wrong (stale) operating point.
+  const auto& fx = TrainedFixture::instance();
+  volt::MsrInterface msr;
+  volt::VoltageDomain domain(msr, 0, volt::VoltFaultModel(volt::DeviceProfile{}), 49.0);
+  StochasticHmd det(fx.baseline.network(), fx.fc, 0.05);
+  const double offset = domain.model().offset_for_error_rate(0.4, 49.0);
+  const auto& features = fx.ds.samples()[fx.folds.testing[0]].features;
+
+  det.attach_domain(domain, offset);
+  (void)det.window_scores(features);
+  const faultsim::FaultStats domain_stats = det.fault_stats();
+  // The burst applied the domain-derived rate, not the configured one.
+  EXPECT_NEAR(domain_stats.fault_rate(), 0.4, 0.05);
+
+  det.detach_domain();
+  EXPECT_DOUBLE_EQ(det.error_rate(), 0.05);
+  // Post-detach scoring runs at the configured rate again: the marginal
+  // fault rate of the next burst drops back to ~0.05.
+  (void)det.window_scores(features);
+  const faultsim::FaultStats& after = det.fault_stats();
+  const double marginal_rate =
+      static_cast<double>(after.faults - domain_stats.faults) /
+      static_cast<double>(after.operations - domain_stats.operations);
+  EXPECT_NEAR(marginal_rate, 0.05, 0.03);
+
+  // The single-window query primitive takes the same save/restore path.
+  det.attach_domain(domain, offset);
+  (void)det.score_window(features.windows(fx.fc).front());
+  det.detach_domain();
+  EXPECT_DOUBLE_EQ(det.error_rate(), 0.05);
 }
 
 TEST(StochasticHmd, VoltageDrivenUnderExclusiveControl) {

@@ -121,6 +121,37 @@ TEST(Network, LoadRejectsGarbage) {
   EXPECT_THROW((void)Network::load(truncated), std::runtime_error);
 }
 
+TEST(Network, LoadRejectsMalformedLayerDims) {
+  // Regression: load() accepted zero-width layers (which the constructor
+  // rejects) and unbounded dims, letting a malformed model file drive a
+  // multi-GB resize or an in_dim * out_dim overflow.
+  std::stringstream zero("SHMD-NET 1\n3\n16 0 1\nsigmoid\nsigmoid\n");
+  EXPECT_THROW((void)Network::load(zero), std::runtime_error);
+  std::stringstream huge("SHMD-NET 1\n3\n16 4294967295 1\nsigmoid\nsigmoid\n");
+  EXPECT_THROW((void)Network::load(huge), std::runtime_error);
+  std::stringstream overflow("SHMD-NET 1\n3\n4294967295 4294967295 1\nsigmoid\nsigmoid\n");
+  EXPECT_THROW((void)Network::load(overflow), std::runtime_error);
+  std::stringstream missing_dims("SHMD-NET 1\n3\n16");
+  EXPECT_THROW((void)Network::load(missing_dims), std::runtime_error);
+}
+
+TEST(Network, ScratchForwardMatchesAllocatingForward) {
+  const std::vector<std::size_t> topo{5, 7, 3, 1};
+  const Network net(topo, Activation::kTanh, Activation::kSigmoid, 123);
+  ExactContext ctx;
+  ForwardScratch scratch;
+  const std::vector<std::vector<double>> inputs{
+      {0.3, -0.2, 0.8, 0.0, 0.55}, {1.0, 1.0, 1.0, 1.0, 1.0}, {-0.4, 0.1, 0.0, 0.9, -0.7}};
+  for (const auto& x : inputs) {
+    const std::vector<double> reference = net.forward(x, ctx);
+    const std::span<const double> scratch_out = net.forward(x, ctx, scratch);
+    ASSERT_EQ(scratch_out.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_DOUBLE_EQ(scratch_out[i], reference[i]) << i;
+    }
+  }
+}
+
 // ------------------------------------------------------- arithmetic contexts
 
 TEST(Arithmetic, ExactContextIsExactAndCounts) {

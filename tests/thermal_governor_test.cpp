@@ -111,7 +111,10 @@ TEST(ThermalGovernor, DrivesAStochasticHmdThroughItsToken) {
 
   const auto& features = ds.samples()[folds.testing[0]].features;
   EXPECT_NO_THROW((void)detector.window_scores(features));
-  EXPECT_NEAR(detector.error_rate(), 0.10, 0.04);
+  // The burst ran at the governor's target rate (the fault statistics
+  // show it); the configured direct-er rate is restored afterwards.
+  EXPECT_NEAR(detector.fault_stats().fault_rate(), 0.10, 0.04);
+  EXPECT_DOUBLE_EQ(detector.error_rate(), 0.0);
   EXPECT_NEAR(domain.offset_mv(), 0.0, 0.5);  // guard restored the rail
   detector.detach_domain();
 }
