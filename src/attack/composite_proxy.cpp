@@ -19,14 +19,14 @@ double CompositeProxy::recalibrate(double score, double threshold) {
   return 0.5 + 0.5 * (score - threshold) / (1.0 - threshold);
 }
 
-double CompositeProxy::predict(std::span<const double> x) const {
+double CompositeProxy::predict(std::span<const double> x, nn::ArithmeticContext& ctx) const {
   double worst = 0.0;
   for (const Part& p : parts_) {
     if (p.offset + p.dim > x.size()) {
       throw std::invalid_argument("CompositeProxy::predict: input too short for part slice");
     }
     worst = std::max(
-        worst, recalibrate(p.model->predict(x.subspan(p.offset, p.dim)), p.threshold));
+        worst, recalibrate(p.model->predict(x.subspan(p.offset, p.dim), ctx), p.threshold));
   }
   return worst;
 }

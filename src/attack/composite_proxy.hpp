@@ -38,8 +38,11 @@ class CompositeProxy final : public nn::Classifier {
   explicit CompositeProxy(std::vector<Part> parts);
 
   /// Max over the per-view proxies, each reading its own slice of the
-  /// concatenated feature vector.
-  [[nodiscard]] double predict(std::span<const double> x) const override;
+  /// concatenated feature vector. The context reaches every part, so a
+  /// composite of undervolted detectors stays fault-covered.
+  using nn::Classifier::predict;
+  [[nodiscard]] double predict(std::span<const double> x,
+                               nn::ArithmeticContext& ctx) const override;
 
   /// Fitting happens per part before construction; a composite refuses
   /// blanket fit() calls.

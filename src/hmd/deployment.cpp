@@ -23,6 +23,7 @@ double DeploymentBundle::offset_for_temperature(double temp_c) const {
   if (above == calibration.end()) return std::prev(above)->second;  // above range: clamp
   const auto below = std::prev(above);
   const double t = (temp_c - below->first) / (above->first - below->first);
+  // shmd-lint: exact-ok(calibration-table interpolation on the control plane)
   return below->second + t * (above->second - below->second);
 }
 

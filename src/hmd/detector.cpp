@@ -13,6 +13,7 @@ bool fraction_vote(const std::vector<double>& scores, double threshold, double v
   for (double s : scores) {
     if (s >= threshold) ++flagged;
   }
+  // shmd-lint: exact-ok(alarm-side vote arithmetic runs at nominal voltage)
   return static_cast<double>(flagged) >=
          vote_fraction * static_cast<double>(scores.size());
 }

@@ -19,6 +19,7 @@ nn::Network train_hmd_network(const trace::Dataset& dataset,
   for (std::size_t i = samples.size(); i > 1; --i) {
     std::swap(samples[i - 1], samples[gen.below(i)]);
   }
+  // shmd-lint: exact-ok(validation-split sizing, training only)
   auto n_val = static_cast<std::size_t>(static_cast<double>(samples.size()) *
                                         options.validation_fraction);
   if (n_val >= samples.size()) n_val = 0;

@@ -35,7 +35,9 @@ double activate(Activation a, double x) {
 
 double activate_derivative(Activation a, double x, double y) {
   switch (a) {
+    // shmd-lint: exact-ok(derivatives feed training-time backprop only)
     case Activation::kSigmoid: return y * (1.0 - y);
+    // shmd-lint: exact-ok(derivatives feed training-time backprop only)
     case Activation::kTanh: return 1.0 - y * y;
     case Activation::kRelu: return x > 0.0 ? 1.0 : 0.0;
     case Activation::kLinear: return 1.0;

@@ -15,7 +15,7 @@ std::vector<double> Classifier::gradient(std::span<const double> x) const {
     probe[i] = saved - kEps;
     const double down = predict(probe);
     probe[i] = saved;
-    g[i] = (up - down) / (2.0 * kEps);
+    g[i] = (up - down) / (2.0 * kEps);  // shmd-lint: exact-ok(finite-difference step)
   }
   return g;
 }

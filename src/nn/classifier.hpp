@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "nn/arithmetic.hpp"
 #include "nn/trainer.hpp"
 
 namespace shmd::nn {
@@ -21,8 +22,17 @@ class Classifier {
  public:
   virtual ~Classifier() = default;
 
-  /// P(malware | features), in [0, 1].
-  [[nodiscard]] virtual double predict(std::span<const double> x) const = 0;
+  /// P(malware | features), in [0, 1], with every product on the
+  /// inference path routed through `ctx` (lint rule R1): under a
+  /// FaultyContext *any* model class — MLP, LR, DT — runs with the
+  /// stochastic defense, not just the Network-backed detectors.
+  [[nodiscard]] virtual double predict(std::span<const double> x, ArithmeticContext& ctx) const = 0;
+
+  /// P(malware | features) with bit-exact products (nominal voltage).
+  [[nodiscard]] double predict(std::span<const double> x) const {
+    ExactContext exact;
+    return predict(x, exact);
+  }
 
   /// Fit on labeled samples.
   virtual void fit(std::span<const TrainSample> data) = 0;

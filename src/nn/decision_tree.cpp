@@ -11,6 +11,7 @@ namespace {
 double gini(double positives, double total) {
   if (total <= 0.0) return 0.0;
   const double p = positives / total;
+  // shmd-lint: exact-ok(Gini impurity drives training-time split search)
   return 2.0 * p * (1.0 - p);
 }
 }  // namespace
@@ -22,7 +23,7 @@ DecisionTree::DecisionTree(DecisionTreeConfig config) : config_(config) {
   }
 }
 
-double DecisionTree::predict(std::span<const double> x) const {
+double DecisionTree::predict(std::span<const double> x, ArithmeticContext& /*ctx*/) const {
   if (nodes_.empty()) throw std::logic_error("DecisionTree::predict: unfitted tree");
   std::int32_t idx = 0;
   while (!nodes_[static_cast<std::size_t>(idx)].leaf()) {
@@ -76,6 +77,7 @@ std::int32_t DecisionTree::build(std::span<const TrainSample> data,
     for (std::size_t c = 1; c <= config_.candidate_thresholds; ++c) {
       const double q = static_cast<double>(c) /
                        static_cast<double>(config_.candidate_thresholds + 1);
+      // shmd-lint: exact-ok(quantile index for training-time split candidates)
       const auto pos = static_cast<std::size_t>(q * static_cast<double>(n - 1));
       const double threshold = values[pos];
       if (threshold == values.back()) continue;  // would leave right side empty

@@ -23,7 +23,11 @@ class DecisionTree final : public Classifier {
  public:
   explicit DecisionTree(DecisionTreeConfig config = {});
 
-  [[nodiscard]] double predict(std::span<const double> x) const override;
+  using Classifier::predict;
+  /// Tree traversal computes no products, so the context is unused: a DT
+  /// under undervolting keeps its exact decision boundary (which is why
+  /// §VII.A calls it out for non-differentiability, not stochasticity).
+  [[nodiscard]] double predict(std::span<const double> x, ArithmeticContext& ctx) const override;
   void fit(std::span<const TrainSample> data) override;
   [[nodiscard]] std::string_view name() const noexcept override { return "dt"; }
   [[nodiscard]] bool differentiable() const noexcept override { return false; }

@@ -38,7 +38,7 @@ double neutral_steepness(Activation a) {
 
 double steepness_weight_scale(int fann_activation, double steepness) {
   switch (fann_activation) {
-    case kFannSigmoid: return 2.0 * steepness;
+    case kFannSigmoid: return 2.0 * steepness;  // shmd-lint: exact-ok(load-time weight fold)
     case kFannSigmoidSymmetric: return steepness;
     case kFannLinear: return steepness;
     default:
@@ -285,9 +285,10 @@ Network load_fann(std::istream& is) {
           throw FannFormatError("load_fann: connection list ended early");
         }
         if (i < layer.in_dim) {
-          layer.w(o, i) = weight * scale;
+          layer.w(o, i) = weight * scale;  // shmd-lint: exact-ok(one-time import scaling)
         } else {
-          layer.biases[o] = weight * scale;  // bias-neuron connection
+          // bias-neuron connection; shmd-lint: exact-ok(one-time import scaling)
+          layer.biases[o] = weight * scale;
         }
       }
     }

@@ -13,12 +13,15 @@ LogisticRegression::LogisticRegression(LogisticRegressionConfig config) : config
   if (config_.epochs <= 0) throw std::invalid_argument("LogisticRegression: epochs must be > 0");
 }
 
-double LogisticRegression::predict(std::span<const double> x) const {
+double LogisticRegression::predict(std::span<const double> x, ArithmeticContext& ctx) const {
   if (x.size() != w_.size()) {
     throw std::invalid_argument("LogisticRegression::predict: dimension mismatch (unfitted?)");
   }
+  // The dot product is this model's entire MAC path: like Network::forward,
+  // each product goes through the context so an undervolted (FaultyContext)
+  // LR detector is covered by the defense. Accumulation stays exact (§II).
   double z = b_;
-  for (std::size_t i = 0; i < x.size(); ++i) z += w_[i] * x[i];
+  for (std::size_t i = 0; i < x.size(); ++i) z += ctx.mul(w_[i], x[i]);
   return sigmoid(z);
 }
 
@@ -40,8 +43,8 @@ void LogisticRegression::fit(std::span<const TrainSample> data) {
     for (const TrainSample& s : data) positives += s.y;
     const double n = static_cast<double>(data.size());
     if (positives > 0.0 && positives < n) {
-      pos_weight = n / (2.0 * positives);
-      neg_weight = n / (2.0 * (n - positives));
+      pos_weight = n / (2.0 * positives);        // shmd-lint: exact-ok(class-balance setup)
+      neg_weight = n / (2.0 * (n - positives));  // shmd-lint: exact-ok(class-balance setup)
     }
   }
 
@@ -52,20 +55,24 @@ void LogisticRegression::fit(std::span<const TrainSample> data) {
     double gb = 0.0;
     for (const TrainSample& s : data) {
       const double weight = s.y > 0.5 ? pos_weight : neg_weight;
+      // shmd-lint: exact-ok(gradient-descent residual, training only)
       const double err = weight * (predict(s.x) - s.y);
+      // shmd-lint: exact-ok(weight-gradient accumulation, training only)
       for (std::size_t i = 0; i < dim; ++i) gw[i] += err * s.x[i];
       gb += err;
     }
     for (std::size_t i = 0; i < dim; ++i) {
+      // shmd-lint: exact-ok(gradient-descent step, training only)
       w_[i] -= config_.learning_rate * (gw[i] * inv_n + config_.l2 * w_[i]);
     }
-    b_ -= config_.learning_rate * gb * inv_n;
+    b_ -= config_.learning_rate * gb * inv_n;  // shmd-lint: exact-ok(bias update, training only)
   }
 }
 
 std::vector<double> LogisticRegression::gradient(std::span<const double> x) const {
   const double p = predict(x);
   std::vector<double> g(w_.size());
+  // shmd-lint: exact-ok(attacker-side analytic gradient of the nominal model)
   for (std::size_t i = 0; i < w_.size(); ++i) g[i] = p * (1.0 - p) * w_[i];
   return g;
 }

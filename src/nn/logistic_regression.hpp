@@ -22,7 +22,8 @@ class LogisticRegression final : public Classifier {
  public:
   explicit LogisticRegression(LogisticRegressionConfig config = {});
 
-  [[nodiscard]] double predict(std::span<const double> x) const override;
+  using Classifier::predict;
+  [[nodiscard]] double predict(std::span<const double> x, ArithmeticContext& ctx) const override;
   void fit(std::span<const TrainSample> data) override;
   [[nodiscard]] std::string_view name() const noexcept override { return "lr"; }
   [[nodiscard]] bool differentiable() const noexcept override { return true; }

@@ -9,7 +9,9 @@ MlpClassifier::MlpClassifier(std::vector<std::size_t> topology, TrainConfig trai
       init_seed_(init_seed),
       net_(topology_, Activation::kSigmoid, Activation::kSigmoid, init_seed_) {}
 
-double MlpClassifier::predict(std::span<const double> x) const { return net_.forward(x)[0]; }
+double MlpClassifier::predict(std::span<const double> x, ArithmeticContext& ctx) const {
+  return net_.forward(x, ctx)[0];
+}
 
 void MlpClassifier::fit(std::span<const TrainSample> data) {
   // Re-initialize so repeated fits are independent of previous state.

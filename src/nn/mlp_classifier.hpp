@@ -15,7 +15,8 @@ class MlpClassifier final : public Classifier {
   MlpClassifier(std::vector<std::size_t> topology, TrainConfig train_config,
                 std::uint64_t init_seed);
 
-  [[nodiscard]] double predict(std::span<const double> x) const override;
+  using Classifier::predict;
+  [[nodiscard]] double predict(std::span<const double> x, ArithmeticContext& ctx) const override;
   void fit(std::span<const TrainSample> data) override;
   [[nodiscard]] std::string_view name() const noexcept override { return "mlp"; }
   [[nodiscard]] bool differentiable() const noexcept override { return true; }

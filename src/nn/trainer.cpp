@@ -36,6 +36,7 @@ void forward_exact(const Network& net, std::span<const double> x, Workspace& ws)
     for (std::size_t o = 0; o < layer.out_dim; ++o) {
       double acc = layer.biases[o];
       const double* wrow = &layer.weights[o * layer.in_dim];
+      // shmd-lint: exact-ok(training-time forward for backprop, runs at nominal voltage)
       for (std::size_t i = 0; i < layer.in_dim; ++i) acc += wrow[i] * in[i];
       ws.z[l][o] = acc;
       ws.a[l + 1][o] = activate(layer.activation, acc);
@@ -70,13 +71,14 @@ double backprop_sample(const Network& net, const TrainSample& sample, double wei
                        std::vector<std::vector<double>>& deltas) {
   forward_exact(net, sample.x, ws);
   const double yhat = std::clamp(ws.a.back()[0], 1e-12, 1.0 - 1e-12);
+  // shmd-lint: exact-ok(weighted BCE loss is training bookkeeping)
   const double loss =
       -weight * (sample.y * std::log(yhat) + (1.0 - sample.y) * std::log(1.0 - yhat));
 
   // Output delta for sigmoid + BCE collapses to (yhat - y).
   const std::size_t last = net.num_layers() - 1;
   deltas[last].assign(net.layer(last).out_dim, 0.0);
-  deltas[last][0] = weight * (yhat - sample.y);
+  deltas[last][0] = weight * (yhat - sample.y);  // shmd-lint: exact-ok(backprop output delta)
 
   for (std::size_t l = last; l-- > 0;) {
     const Layer& next = net.layer(l + 1);
@@ -85,8 +87,10 @@ double backprop_sample(const Network& net, const TrainSample& sample, double wei
     for (std::size_t i = 0; i < cur.out_dim; ++i) {
       double sum = 0.0;
       for (std::size_t o = 0; o < next.out_dim; ++o) {
+        // shmd-lint: exact-ok(backprop delta propagation, training only)
         sum += next.weights[o * next.in_dim + i] * deltas[l + 1][o];
       }
+      // shmd-lint: exact-ok(backprop chain rule, training only)
       deltas[l][i] = sum * activate_derivative(cur.activation, ws.z[l][i], ws.a[l + 1][i]);
     }
   }
@@ -97,6 +101,7 @@ double backprop_sample(const Network& net, const TrainSample& sample, double wei
     for (std::size_t o = 0; o < layer.out_dim; ++o) {
       const double d = deltas[l][o];
       double* gw = &grads.dw[l][o * layer.in_dim];
+      // shmd-lint: exact-ok(weight-gradient accumulation, training only)
       for (std::size_t i = 0; i < layer.in_dim; ++i) gw[i] += d * in[i];
       grads.db[l][o] += d;
     }
@@ -136,6 +141,7 @@ double Trainer::loss(const Network& net, std::span<const TrainSample> data) {
   double total = 0.0;
   for (const TrainSample& s : data) {
     const double yhat = std::clamp(net.forward(s.x)[0], 1e-12, 1.0 - 1e-12);
+    // shmd-lint: exact-ok(validation-loss metric, not an inference decision)
     total += -(s.y * std::log(yhat) + (1.0 - s.y) * std::log(1.0 - yhat));
   }
   return total / static_cast<double>(data.size());
@@ -181,8 +187,8 @@ TrainReport Trainer::fit(Network& net, std::span<const TrainSample> train,
     for (const TrainSample& s : train) positives += s.y;
     const double n = static_cast<double>(train.size());
     if (positives > 0.0 && positives < n) {
-      pos_weight = n / (2.0 * positives);
-      neg_weight = n / (2.0 * (n - positives));
+      pos_weight = n / (2.0 * positives);        // shmd-lint: exact-ok(class-balance setup)
+      neg_weight = n / (2.0 * (n - positives));  // shmd-lint: exact-ok(class-balance setup)
     }
   }
   const auto sample_weight = [&](const TrainSample& s) {
@@ -198,7 +204,7 @@ TrainReport Trainer::fit(Network& net, std::span<const TrainSample> train,
     if (config_.l2 <= 0.0) return;
     const Layer& layer = net.layer(l);
     for (std::size_t k = 0; k < layer.weights.size(); ++k) {
-      grads.dw[l][k] += config_.l2 * layer.weights[k];
+      grads.dw[l][k] += config_.l2 * layer.weights[k];  // shmd-lint: exact-ok(L2 penalty)
     }
   };
 
@@ -221,11 +227,13 @@ TrainReport Trainer::fit(Network& net, std::span<const TrainSample> train,
           apply_l2(l);
           Layer& layer = net.layer(l);
           for (std::size_t k = 0; k < layer.weights.size(); ++k) {
+            // shmd-lint: exact-ok(SGD momentum update, training only)
             velocity.dw[l][k] = config_.momentum * velocity.dw[l][k] -
                                 config_.learning_rate * grads.dw[l][k] * inv_batch;
             layer.weights[k] += velocity.dw[l][k];
           }
           for (std::size_t k = 0; k < layer.biases.size(); ++k) {
+            // shmd-lint: exact-ok(SGD momentum update, training only)
             velocity.db[l][k] = config_.momentum * velocity.db[l][k] -
                                 config_.learning_rate * grads.db[l][k] * inv_batch;
             layer.biases[k] += velocity.db[l][k];
@@ -242,12 +250,14 @@ TrainReport Trainer::fit(Network& net, std::span<const TrainSample> train,
       epoch_loss /= static_cast<double>(train.size());
 
       const auto rprop_update = [&](double& param, double grad, double& prev, double& delta) {
-        const double sign_product = grad * prev;
+        const double sign_product = grad * prev;  // shmd-lint: exact-ok(iRPROP sign test)
         if (sign_product > 0.0) {
+          // shmd-lint: exact-ok(iRPROP step-size adaptation, training only)
           delta = std::min(delta * config_.rprop_eta_plus, config_.rprop_delta_max);
           param -= (grad > 0.0 ? delta : -delta);
           prev = grad;
         } else if (sign_product < 0.0) {
+          // shmd-lint: exact-ok(iRPROP step-size adaptation, training only)
           delta = std::max(delta * config_.rprop_eta_minus, config_.rprop_delta_min);
           prev = 0.0;  // iRPROP−: skip update after a sign change
         } else {

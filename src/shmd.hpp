@@ -49,13 +49,13 @@
 #include "nn/network.hpp"
 #include "nn/trainer.hpp"
 #include "rng/entropy.hpp"
-#include "runtime/batch_scorer.hpp"
-#include "runtime/thread_pool.hpp"
 #include "rng/lgm_prng.hpp"
 #include "rng/random_source.hpp"
 #include "rng/splitmix64.hpp"
 #include "rng/trng_sim.hpp"
 #include "rng/xoshiro256ss.hpp"
+#include "runtime/batch_scorer.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sys/energy_meter.hpp"
 #include "sys/latency_model.hpp"
 #include "sys/memory_model.hpp"

@@ -62,8 +62,10 @@ bool CliParser::get_bool(const std::string& name) const {
 }
 
 void CliParser::print_help(const std::string& program) const {
+  // shmd-lint: stream-ok(print_help exists to write usage text to stdout)
   std::printf("Usage: %s [flags]\n\nFlags:\n", program.c_str());
   for (const auto& [name, flag] : flags_) {
+    // shmd-lint: stream-ok(print_help exists to write usage text to stdout)
     std::printf("  --%-24s %s (default: %s)\n", name.c_str(), flag.help.c_str(),
                 flag.value.c_str());
   }

@@ -15,8 +15,8 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "volt/voltage_domain.hpp"

@@ -149,7 +149,10 @@ TEST(CompositeProxy, MaxCombinationOverSlices) {
   struct Constant final : nn::Classifier {
     double value;
     explicit Constant(double v) : value(v) {}
-    double predict(std::span<const double>) const override { return value; }
+    using nn::Classifier::predict;
+    double predict(std::span<const double>, nn::ArithmeticContext&) const override {
+      return value;
+    }
     void fit(std::span<const nn::TrainSample>) override {}
     std::string_view name() const noexcept override { return "const"; }
     bool differentiable() const noexcept override { return false; }

@@ -1,0 +1,312 @@
+// Fixture tests for shmd-lint (tools/shmd-lint): each rule gets
+// known-violating and known-clean snippets, asserting exact rule-id/line
+// diagnostics, plus the suppression and malformed-annotation (R0) paths.
+//
+// The acceptance-criterion fixture mirrors src/nn/network.cpp's forward
+// path: introducing a raw floating-point multiply there must produce an R1
+// diagnostic, and routing the same product through ArithmeticContext::mul
+// must lint clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "shmd-lint/linter.hpp"
+#include "shmd-lint/rules.hpp"
+
+namespace shmd::lint {
+namespace {
+
+std::vector<Diagnostic> lint(const std::string& path, const std::string& content) {
+  return Linter{}.lint_source(path, content);
+}
+
+/// Lines (1-based) on which a diagnostic with `rule_id` fires.
+std::vector<int> lines_of(const std::vector<Diagnostic>& diags, const std::string& rule_id) {
+  std::vector<int> lines;
+  for (const auto& d : diags) {
+    if (d.rule_id == rule_id) lines.push_back(d.line);
+  }
+  return lines;
+}
+
+// ------------------------------------------------------- R1 fault coverage
+
+// The acceptance criterion: a raw multiply in a forward path shaped like
+// src/nn/network.cpp must be flagged...
+TEST(LintR1, RawMultiplyInForwardPathIsFlagged) {
+  const std::string fixture =
+      "#include \"nn/network.hpp\"\n"                      // line 1
+      "namespace shmd::nn {\n"                             // line 2
+      "std::vector<double> Network::forward(\n"            // line 3
+      "    std::span<const double> x, ArithmeticContext& ctx) const {\n"
+      "  double acc = bias;\n"                             // line 5
+      "  for (std::size_t i = 0; i < x.size(); ++i) {\n"   // line 6
+      "    acc += weights[i] * x[i];\n"                    // line 7: bypasses the defense
+      "  }\n"
+      "  return {acc};\n"
+      "}\n"
+      "}  // namespace shmd::nn\n";
+  const auto diags = lint("src/nn/network.cpp", fixture);
+  EXPECT_EQ(lines_of(diags, "R1"), (std::vector<int>{7}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule_id, "R1");
+  EXPECT_EQ(diags[0].file, "src/nn/network.cpp");
+  EXPECT_FALSE(diags[0].hint.empty()) << "R1 must carry a fix hint";
+}
+
+// ...and the shipped shape — every product through the context — is clean.
+TEST(LintR1, ContextRoutedProductIsClean) {
+  const std::string fixture =
+      "#include \"nn/network.hpp\"\n"
+      "namespace shmd::nn {\n"
+      "std::vector<double> Network::forward(\n"
+      "    std::span<const double> x, ArithmeticContext& ctx) const {\n"
+      "  double acc = bias;\n"
+      "  for (std::size_t i = 0; i < x.size(); ++i) {\n"
+      "    acc += ctx.mul(weights[i], x[i]);\n"
+      "  }\n"
+      "  return {acc};\n"
+      "}\n"
+      "}  // namespace shmd::nn\n";
+  EXPECT_TRUE(lint("src/nn/network.cpp", fixture).empty());
+}
+
+TEST(LintR1, IntegerIndexArithmeticIsNotFlagged) {
+  const std::string fixture =
+      "void f() {\n"
+      "  layer.weights.resize(layer.in_dim * layer.out_dim);\n"  // integer shape math
+      "  const double w = weights[o * in_dim + i];\n"            // subscript index math
+      "  double* p = &w;\n"                                      // pointer declarator
+      "  const double y = 3 * w;\n"                              // integer literal operand
+      "}\n";
+  EXPECT_TRUE(lint("src/nn/fixture.cpp", fixture).empty());
+}
+
+TEST(LintR1, TrailingAnnotationSuppressesItsOwnLine) {
+  const std::string fixture =
+      "void f(double a, double b) {\n"
+      "  const double y = a * b;  // shmd-lint: exact-ok(training-time only)\n"
+      "  const double z = a * b;\n"  // line 3: not covered by the line-2 annotation
+      "}\n";
+  const auto diags = lint("src/hmd/fixture.cpp", fixture);
+  EXPECT_EQ(lines_of(diags, "R1"), (std::vector<int>{3}));
+}
+
+TEST(LintR1, StandaloneAnnotationCoversTheFollowingStatement) {
+  const std::string fixture =
+      "void f(double a, double b, double c) {\n"
+      "  // shmd-lint: exact-ok(wrapped training statement)\n"
+      "  const double y = a * b +\n"  // statement wraps: both product lines are
+      "                   a * c;\n"   // covered through the terminating ';'
+      "  const double z = a * b;\n"   // line 5: outside the annotation's span
+      "}\n";
+  const auto diags = lint("src/nn/fixture.cpp", fixture);
+  EXPECT_EQ(lines_of(diags, "R1"), (std::vector<int>{5}));
+}
+
+TEST(LintR1, OnlyFaultInjectableDirectoriesAreInScope) {
+  const std::string fixture = "double f(double a, double b) { return a * b; }\n";
+  EXPECT_TRUE(lint("src/attack/fixture.cpp", fixture).empty());
+  EXPECT_TRUE(lint("src/eval/fixture.cpp", fixture).empty());
+  EXPECT_TRUE(lint("src/nn/arithmetic.hpp", "#pragma once\n" + fixture).empty())
+      << "ArithmeticContext implementations are the one exempt file";
+  EXPECT_EQ(lines_of(lint("src/nn/fixture.cpp", fixture), "R1"), (std::vector<int>{1}));
+  EXPECT_EQ(lines_of(lint("src/hmd/fixture.cpp", fixture), "R1"), (std::vector<int>{1}));
+}
+
+// --------------------------------------------------------- R2 rng discipline
+
+TEST(LintR2, RawRandIsFlaggedOutsideEntropy) {
+  const std::string fixture =
+      "#include <cstdlib>\n"
+      "int f() {\n"
+      "  return std::rand();\n"  // line 3
+      "}\n";
+  const auto diags = lint("src/util/fixture.cpp", fixture);
+  EXPECT_EQ(lines_of(diags, "R2"), (std::vector<int>{3}));
+}
+
+TEST(LintR2, EntropyImplementationIsExempt) {
+  const std::string fixture =
+      "#include <random>\n"
+      "unsigned f() { std::random_device rd; return rd(); }\n";
+  EXPECT_TRUE(lint("src/rng/entropy.cpp", "#include \"rng/entropy.hpp\"\n\n" + fixture).empty());
+  EXPECT_EQ(lines_of(lint("src/rng/other.cpp", fixture), "R2"), (std::vector<int>{2}));
+}
+
+TEST(LintR2, SuppressionTagClearsTheDiagnostic) {
+  const std::string fixture =
+      "int f() {\n"
+      "  return std::rand();  // shmd-lint: rng-ok(seeding comparison harness)\n"
+      "}\n";
+  EXPECT_TRUE(lint("src/util/fixture.cpp", fixture).empty());
+}
+
+// --------------------------------------------------------- R3 stream hygiene
+
+TEST(LintR3, CoutAndPrintfAreFlaggedInLibraryCode) {
+  const std::string fixture =
+      "#include <cstdio>\n"
+      "#include <iostream>\n"
+      "void f() {\n"
+      "  std::cout << 1;\n"            // line 4
+      "  std::printf(\"x\");\n"        // line 5
+      "  std::fprintf(stderr, \"\");"  // stderr is fine for library code
+      "\n}\n";
+  const auto diags = lint("src/volt/fixture.cpp", fixture);
+  EXPECT_EQ(lines_of(diags, "R3"), (std::vector<int>{4, 5}));
+}
+
+TEST(LintR3, FprintfToStdoutIsFlagged) {
+  const std::string fixture =
+      "#include <cstdio>\n"
+      "void f() { std::fprintf(stdout, \"x\"); }\n";
+  EXPECT_EQ(lines_of(lint("src/volt/fixture.cpp", fixture), "R3"), (std::vector<int>{2}));
+}
+
+TEST(LintR3, SuppressionTagClearsTheDiagnostic) {
+  const std::string fixture =
+      "#include <cstdio>\n"
+      "void print_help() {\n"
+      "  // shmd-lint: stream-ok(usage text belongs on stdout)\n"
+      "  std::printf(\"usage\\n\");\n"
+      "}\n";
+  EXPECT_TRUE(lint("src/util/fixture.cpp", fixture).empty());
+}
+
+// --------------------------------------------------------- R4 header hygiene
+
+TEST(LintR4, MissingPragmaOnceIsFlaggedAtLineOne) {
+  const std::string fixture = "#include <vector>\nint x;\n";
+  const auto diags = lint("src/util/fixture.hpp", fixture);
+  EXPECT_EQ(lines_of(diags, "R4"), (std::vector<int>{1}));
+  EXPECT_TRUE(lint("src/util/fixture.cpp", fixture).empty())
+      << "translation units do not need #pragma once";
+}
+
+TEST(LintR4, UnsortedIncludeBlockIsFlagged) {
+  const std::string fixture =
+      "#pragma once\n"
+      "#include <optional>\n"
+      "#include <map>\n"  // line 3: out of order within its block
+      "#include <vector>\n";
+  const auto diags = lint("src/util/fixture.hpp", fixture);
+  EXPECT_EQ(lines_of(diags, "R4"), (std::vector<int>{3}));
+}
+
+TEST(LintR4, SeparateIncludeBlocksSortIndependently) {
+  const std::string fixture =
+      "#pragma once\n"
+      "#include <map>\n"
+      "#include <vector>\n"
+      "\n"
+      "#include \"nn/network.hpp\"\n"  // new block: restarting the alphabet is fine
+      "#include \"util/cli.hpp\"\n";
+  EXPECT_TRUE(lint("src/util/fixture.hpp", fixture).empty());
+}
+
+TEST(LintR4, DuplicateIncludeIsFlagged) {
+  const std::string fixture =
+      "#pragma once\n"
+      "#include <vector>\n"
+      "#include <vector>\n";  // line 3
+  EXPECT_EQ(lines_of(lint("src/util/fixture.hpp", fixture), "R4"), (std::vector<int>{3}));
+}
+
+// ----------------------------------------------------- R0 annotation hygiene
+
+TEST(LintR0, AnnotationWithoutReasonIsMalformed) {
+  const std::string fixture =
+      "void f(double a, double b) {\n"
+      "  const double y = a * b;  // shmd-lint: exact-ok\n"  // line 2: no (reason)
+      "}\n";
+  const auto diags = lint("src/nn/fixture.cpp", fixture);
+  EXPECT_EQ(lines_of(diags, "R0"), (std::vector<int>{2}));
+  EXPECT_EQ(lines_of(diags, "R1"), (std::vector<int>{2}))
+      << "a malformed annotation must not suppress the underlying diagnostic";
+}
+
+TEST(LintR0, UnknownTagIsReported) {
+  const std::string fixture =
+      "void f() {\n"
+      "  int x = 0;  // shmd-lint: speed-ok(not a real tag)\n"  // line 2
+      "}\n";
+  const auto diags = lint("src/util/fixture.cpp", fixture);
+  ASSERT_EQ(lines_of(diags, "R0"), (std::vector<int>{2}));
+  EXPECT_NE(diags[0].hint.find("exact-ok"), std::string::npos)
+      << "the R0 hint should list the valid tags";
+}
+
+// ------------------------------------------------------------ driver details
+
+TEST(LintDriver, DiagnosticsAreSortedByLine) {
+  const std::string fixture =
+      "#include <cstdlib>\n"
+      "double f(double a, double b) {\n"
+      "  std::srand(7);\n"       // line 3: R2
+      "  return a * b;\n"        // line 4: R1
+      "}\n";
+  const auto diags = lint("src/nn/fixture.cpp", fixture);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule_id, "R2");
+  EXPECT_EQ(diags[1].rule_id, "R1");
+  EXPECT_TRUE(std::is_sorted(diags.begin(), diags.end(), [](const auto& a, const auto& b) {
+    return a.line < b.line;
+  }));
+}
+
+TEST(LintDriver, FormatDiagnosticIsClickable) {
+  const Diagnostic d{"src/nn/network.cpp", 42, "R1", "raw multiply", "route through ctx.mul"};
+  const std::string text = format_diagnostic(d);
+  EXPECT_NE(text.find("src/nn/network.cpp:42: [R1] raw multiply"), std::string::npos);
+  EXPECT_NE(text.find("route through ctx.mul"), std::string::npos);
+}
+
+TEST(LintDriver, RegistryShipsAllRulesInIdOrder) {
+  const Linter linter;
+  std::vector<std::string> ids;
+  for (const auto& rule : linter.rules()) {
+    ids.emplace_back(rule->id());
+    EXPECT_FALSE(rule->rationale().empty()) << rule->id();
+    EXPECT_FALSE(rule->suppression_tag().empty()) << rule->id();
+  }
+  EXPECT_EQ(ids, (std::vector<std::string>{"R1", "R2", "R3", "R4"}));
+}
+
+TEST(LintDriver, LexerSurvivesAdversarialInput) {
+  // Unterminated constructs must not throw or hang — the linter runs on
+  // whatever the tree contains, including mid-edit files.
+  const char* nasty[] = {
+      "\"unterminated string\n int x;",
+      "R\"delim(never closed",
+      "/* unterminated block comment",
+      "#define WRAPPED \\\n  continued \\\n  again\n",
+      "'\\",
+      "a */ b",
+  };
+  for (const char* content : nasty) {
+    EXPECT_NO_THROW((void)lint("src/util/fixture.cpp", content)) << content;
+  }
+}
+
+// The shipped tree must lint clean (the same invariant `--target lint`
+// enforces); run it here too so plain ctest catches regressions.
+#ifdef SHMD_LINT_SOURCE_DIR
+TEST(LintDriver, ShippedTreeIsClean) {
+  const std::filesystem::path root = SHMD_LINT_SOURCE_DIR;
+  const auto sources = collect_sources(root / "src");
+  ASSERT_GT(sources.size(), 50u) << "source tree not found under " << root;
+  const Linter linter;
+  std::vector<Diagnostic> all;
+  for (const auto& file : sources) {
+    const auto diags = linter.lint_file(file, root);
+    all.insert(all.end(), diags.begin(), diags.end());
+  }
+  for (const auto& d : all) ADD_FAILURE() << format_diagnostic(d);
+}
+#endif
+
+}  // namespace
+}  // namespace shmd::lint

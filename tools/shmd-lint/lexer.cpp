@@ -1,0 +1,216 @@
+#include "shmd-lint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace shmd::lint {
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Multi-char operators, longest first so maximal munch is a linear scan.
+constexpr std::array<std::string_view, 26> kOperators = {
+    "<<=", ">>=", "->*", "...", "<=>", "::", "->", "++", "--", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##",
+};
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    while (pos_ < src_.size()) scan_one();
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      at_line_start_ = true;
+    }
+    return c;
+  }
+
+  Token& emit(TokenKind kind, int start_line, std::string text) {
+    Token& tok = out_.emplace_back();
+    tok.kind = kind;
+    tok.text = std::move(text);
+    tok.line = start_line;
+    tok.end_line = line_;
+    tok.line_leading = leading_pending_;
+    leading_pending_ = false;
+    return tok;
+  }
+
+  void scan_one() {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' || c == '\f') {
+      advance();
+      return;
+    }
+    leading_pending_ = at_line_start_;
+    at_line_start_ = false;
+    if (c == '/' && peek(1) == '/') return scan_line_comment();
+    if (c == '/' && peek(1) == '*') return scan_block_comment();
+    if (c == '#' && leading_pending_) return scan_directive();
+    if (c == '"') return scan_string();
+    if (c == '\'') return scan_char();
+    if (digit(c) || (c == '.' && digit(peek(1)))) return scan_number();
+    if (ident_start(c)) return scan_identifier();
+    scan_punct();
+  }
+
+  void scan_line_comment() {
+    const int start = line_;
+    advance();
+    advance();
+    std::string body;
+    while (pos_ < src_.size() && peek() != '\n') body.push_back(advance());
+    emit(TokenKind::kComment, start, std::move(body));
+  }
+
+  void scan_block_comment() {
+    const int start = line_;
+    advance();
+    advance();
+    std::string body;
+    while (pos_ < src_.size() && !(peek() == '*' && peek(1) == '/')) body.push_back(advance());
+    if (pos_ < src_.size()) {
+      advance();
+      advance();
+    }
+    emit(TokenKind::kComment, start, std::move(body));
+  }
+
+  // A preprocessor logical line: from '#' to the first unescaped newline,
+  // stopping short of a trailing comment (which is lexed normally so its
+  // suppression annotation, if any, is still seen).
+  void scan_directive() {
+    const int start = line_;
+    std::string body;
+    while (pos_ < src_.size()) {
+      if (peek() == '\n') break;
+      if (peek() == '\\' && peek(1) == '\n') {
+        advance();
+        advance();
+        body.push_back(' ');
+        continue;
+      }
+      if (peek() == '/' && (peek(1) == '/' || peek(1) == '*')) break;
+      body.push_back(advance());
+    }
+    while (!body.empty() && (body.back() == ' ' || body.back() == '\t')) body.pop_back();
+    emit(TokenKind::kDirective, start, std::move(body));
+  }
+
+  void scan_string() {
+    const int start = line_;
+    advance();  // opening quote
+    std::string body;
+    while (pos_ < src_.size() && peek() != '"') {
+      if (peek() == '\\' && pos_ + 1 < src_.size()) body.push_back(advance());
+      body.push_back(advance());
+    }
+    if (pos_ < src_.size()) advance();  // closing quote
+    emit(TokenKind::kString, start, std::move(body));
+  }
+
+  void scan_raw_string() {
+    const int start = line_;
+    advance();  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && peek() != '(') delim.push_back(advance());
+    if (pos_ < src_.size()) advance();  // '('
+    const std::string close = ")" + delim + "\"";
+    std::string body;
+    while (pos_ < src_.size() && src_.compare(pos_, close.size(), close) != 0) {
+      body.push_back(advance());
+    }
+    for (std::size_t i = 0; i < close.size() && pos_ < src_.size(); ++i) advance();
+    emit(TokenKind::kString, start, std::move(body));
+  }
+
+  void scan_char() {
+    const int start = line_;
+    advance();  // opening quote
+    std::string body;
+    while (pos_ < src_.size() && peek() != '\'') {
+      if (peek() == '\\' && pos_ + 1 < src_.size()) body.push_back(advance());
+      body.push_back(advance());
+    }
+    if (pos_ < src_.size()) advance();
+    emit(TokenKind::kString, start, std::move(body));
+  }
+
+  // pp-number: digits, letters, dots, digit separators, and signs directly
+  // after an exponent marker. Deliberately permissive — classification
+  // (integer vs floating) is the rules' job.
+  void scan_number() {
+    const int start = line_;
+    std::string body;
+    body.push_back(advance());
+    while (pos_ < src_.size()) {
+      const char c = peek();
+      if (ident_char(c) || c == '.' || c == '\'') {
+        body.push_back(advance());
+        continue;
+      }
+      if ((c == '+' || c == '-') && !body.empty()) {
+        const char prev = body.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          body.push_back(advance());
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokenKind::kNumber, start, std::move(body));
+  }
+
+  void scan_identifier() {
+    const int start = line_;
+    std::string body;
+    while (pos_ < src_.size() && ident_char(peek())) body.push_back(advance());
+    // String-literal encoding prefixes: L"", u8"", R"()", u8R"()", ...
+    if (peek() == '"' && (body == "L" || body == "u" || body == "U" || body == "u8" ||
+                          body == "R" || body == "LR" || body == "uR" || body == "UR" ||
+                          body == "u8R")) {
+      if (body.back() == 'R') return scan_raw_string();
+      return scan_string();
+    }
+    emit(TokenKind::kIdentifier, start, std::move(body));
+  }
+
+  void scan_punct() {
+    const int start = line_;
+    for (const std::string_view op : kOperators) {
+      if (src_.compare(pos_, op.size(), op) == 0) {
+        for (std::size_t i = 0; i < op.size(); ++i) advance();
+        emit(TokenKind::kPunct, start, std::string(op));
+        return;
+      }
+    }
+    emit(TokenKind::kPunct, start, std::string(1, advance()));
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  bool leading_pending_ = false;
+  std::vector<Token> out_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) { return Scanner(source).run(); }
+
+}  // namespace shmd::lint

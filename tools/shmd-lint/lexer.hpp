@@ -1,0 +1,41 @@
+// Minimal C++ token scanner for shmd-lint.
+//
+// The linter's rules (see rules.hpp) need token-level structure — "is this
+// `*` a binary multiply or a pointer declarator", "is this identifier
+// `rand` code or a comment" — but not a full parse. The lexer therefore
+// produces a flat token stream with line numbers, keeping comments (they
+// carry suppression annotations) and whole preprocessor logical lines
+// (rule R4 inspects includes), and folding string/char literals into
+// single opaque tokens so their contents can never trip a rule.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shmd::lint {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,     // pp-number: integer or floating literal, any base/suffix
+  kString,     // string or character literal, prefixes and delimiters stripped
+  kPunct,      // operator or punctuator; multi-char operators are one token
+  kDirective,  // whole preprocessor logical line, continuations folded
+  kComment,    // comment body without the // or /* */ delimiters
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 1;      // 1-based line of the token's first character
+  int end_line = 1;  // last line the token spans (comments/directives)
+  bool line_leading = false;  // first non-whitespace token on its line
+};
+
+/// Tokenize `source`. Never throws on malformed input: unterminated
+/// literals and comments extend to end-of-file, unknown bytes become
+/// single-char punctuators. Garbage in, tokens out — a linter must not
+/// die on the code it is judging.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace shmd::lint

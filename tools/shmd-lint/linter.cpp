@@ -1,0 +1,82 @@
+#include "shmd-lint/linter.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace shmd::lint {
+
+std::vector<Diagnostic> Linter::lint_source(std::string path, std::string content) const {
+  const SourceFile file(std::move(path), std::move(content));
+  std::vector<Diagnostic> out;
+
+  for (const std::unique_ptr<Rule>& rule : rules_) {
+    if (!rule->applies(file)) continue;
+    std::vector<Diagnostic> found;
+    rule->check(file, found);
+    for (Diagnostic& diag : found) {
+      if (!file.suppressed(diag.line, rule->suppression_tag())) out.push_back(std::move(diag));
+    }
+  }
+
+  for (const BadAnnotation& bad : file.bad_annotations()) {
+    out.push_back({file.path(), bad.line, "R0", "malformed shmd-lint annotation: " + bad.detail,
+                   "write // shmd-lint: <tag>(<reason>), e.g. "
+                   "// shmd-lint: exact-ok(training-only path)"});
+  }
+  std::set<std::string_view> known_tags;
+  for (const std::unique_ptr<Rule>& rule : rules_) known_tags.insert(rule->suppression_tag());
+  for (const Suppression& s : file.suppressions()) {
+    if (!known_tags.contains(s.tag)) {
+      out.push_back({file.path(), s.line, "R0", "unknown suppression tag '" + s.tag + "'",
+                     "valid tags: exact-ok, rng-ok, stream-ok, header-ok"});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return std::tie(a.line, a.rule_id) < std::tie(b.line, b.rule_id);
+  });
+  return out;
+}
+
+std::vector<Diagnostic> Linter::lint_file(const std::filesystem::path& file,
+                                          const std::filesystem::path& repo_root) const {
+  std::error_code ec;
+  std::filesystem::path rel = std::filesystem::relative(file, repo_root, ec);
+  if (ec || rel.empty()) rel = file;
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    return {{rel.generic_string(), 0, "IO", "cannot read file", "check the path and permissions"}};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(rel.generic_string(), std::move(buf).str());
+}
+
+std::vector<std::filesystem::path> collect_sources(const std::filesystem::path& path) {
+  std::vector<std::filesystem::path> files;
+  const auto wanted = [](const std::filesystem::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp";
+  };
+  if (std::filesystem::is_regular_file(path)) {
+    if (wanted(path)) files.push_back(path);
+  } else if (std::filesystem::is_directory(path)) {
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(path)) {
+      if (entry.is_regular_file() && wanted(entry.path())) files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string format_diagnostic(const Diagnostic& diag) {
+  std::ostringstream os;
+  os << diag.file << ':' << diag.line << ": [" << diag.rule_id << "] " << diag.message;
+  if (!diag.hint.empty()) os << "\n    hint: " << diag.hint;
+  return std::move(os).str();
+}
+
+}  // namespace shmd::lint

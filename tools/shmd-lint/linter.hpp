@@ -1,0 +1,45 @@
+// Linter driver: applies the rule registry to sources and resolves
+// suppression annotations.
+//
+// Rules emit every candidate diagnostic; the driver then drops the ones a
+// matching `// shmd-lint: <tag>(<reason>)` annotation covers, and adds R0
+// diagnostics for malformed annotations and for tags no rule owns. Split
+// from main.cpp so tests/lint_test.cpp can lint in-memory fixtures.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shmd-lint/rules.hpp"
+
+namespace shmd::lint {
+
+class Linter {
+ public:
+  Linter() : rules_(default_rules()) {}
+
+  /// Lint one in-memory source. `path` must be repo-relative with forward
+  /// slashes (e.g. "src/nn/network.cpp") — rules scope on it.
+  [[nodiscard]] std::vector<Diagnostic> lint_source(std::string path, std::string content) const;
+
+  /// Lint a file on disk; `repo_root` anchors the repo-relative path.
+  /// I/O failures become a diagnostic rather than an exception.
+  [[nodiscard]] std::vector<Diagnostic> lint_file(const std::filesystem::path& file,
+                                                  const std::filesystem::path& repo_root) const;
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Rule>>& rules() const noexcept { return rules_; }
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// Recursively collect the .cpp/.hpp files under `path` (or `path` itself
+/// when it is a regular file), sorted for stable output.
+[[nodiscard]] std::vector<std::filesystem::path> collect_sources(const std::filesystem::path& path);
+
+/// Render one diagnostic as "file:line: [Rn] message" (+ indented hint).
+[[nodiscard]] std::string format_diagnostic(const Diagnostic& diag);
+
+}  // namespace shmd::lint

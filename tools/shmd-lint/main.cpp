@@ -1,0 +1,96 @@
+// shmd-lint CLI.
+//
+//   shmd-lint [--root <repo-root>] [--list-rules] [path...]
+//
+// Paths default to "src" under the root; directories are scanned
+// recursively for .cpp/.hpp. Exit status: 0 clean, 1 violations found,
+// 2 usage or I/O error. Wired into the build as `cmake --build build
+// --target lint` and into CI as the `lint` job.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "shmd-lint/linter.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root <repo-root>] [--list-rules] [path...]\n"
+               "  Scans .cpp/.hpp files for Stochastic-HMD project-invariant violations.\n"
+               "  Paths are resolved against --root (default: current directory).\n",
+               argv0);
+  return 2;
+}
+
+void list_rules(const shmd::lint::Linter& linter) {
+  for (const auto& rule : linter.rules()) {
+    std::printf("%s %-16s suppress: // shmd-lint: %s(<reason>)\n    %s\n",
+                std::string(rule->id()).c_str(), std::string(rule->name()).c_str(),
+                std::string(rule->suppression_tag()).c_str(),
+                std::string(rule->rationale()).c_str());
+  }
+  std::printf("R0 annotation       (not suppressible)\n"
+              "    suppression annotations themselves must be well-formed and carry a reason\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path root = std::filesystem::current_path();
+  std::vector<std::filesystem::path> paths;
+  bool want_rule_list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) return usage(argv[0]);
+      root = argv[i];
+    } else if (arg == "--list-rules") {
+      want_rule_list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg.starts_with("--")) {
+      return usage(argv[0]);
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+
+  const shmd::lint::Linter linter;
+  if (want_rule_list) {
+    list_rules(linter);
+    return 0;
+  }
+  if (paths.empty()) paths.emplace_back("src");
+
+  std::size_t violations = 0;
+  std::size_t files = 0;
+  bool io_error = false;
+  for (const std::filesystem::path& raw : paths) {
+    const std::filesystem::path base = raw.is_absolute() ? raw : root / raw;
+    if (!std::filesystem::exists(base)) {
+      std::fprintf(stderr, "shmd-lint: no such path: %s\n", base.string().c_str());
+      io_error = true;
+      continue;
+    }
+    for (const std::filesystem::path& file : shmd::lint::collect_sources(base)) {
+      ++files;
+      for (const shmd::lint::Diagnostic& diag : linter.lint_file(file, root)) {
+        if (diag.rule_id == "IO") io_error = true;
+        ++violations;
+        std::printf("%s\n", shmd::lint::format_diagnostic(diag).c_str());
+      }
+    }
+  }
+
+  if (violations == 0) {
+    std::fprintf(stderr, "shmd-lint: %zu files clean\n", files);
+  } else {
+    std::fprintf(stderr, "shmd-lint: %zu violation(s) in %zu files scanned\n", violations, files);
+  }
+  if (io_error) return 2;
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,457 @@
+#include "shmd-lint/rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <optional>
+#include <set>
+#include <utility>
+
+namespace shmd::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared token helpers
+// ---------------------------------------------------------------------------
+
+/// Indices of expression-level tokens (no comments, no preprocessor lines).
+std::vector<std::size_t> code_indices(const std::vector<Token>& toks) {
+  std::vector<std::size_t> out;
+  out.reserve(toks.size());
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kComment && toks[i].kind != TokenKind::kDirective) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+bool is_upper(char c) { return std::isupper(static_cast<unsigned char>(c)) != 0; }
+
+/// Identifiers that name (or plausibly name) a type — a `*` after one of
+/// these is a pointer declarator, not a multiply.
+bool type_like(std::string_view name) {
+  static const std::set<std::string_view> kTypes = {
+      "bool",     "char",     "char8_t",  "char16_t", "char32_t", "wchar_t",  "short",
+      "int",      "long",     "signed",   "unsigned", "float",    "double",   "void",
+      "auto",     "const",    "volatile", "constexpr"};
+  if (kTypes.contains(name)) return true;
+  if (name.ends_with("_t") || name.ends_with("_type")) return true;
+  return !name.empty() && is_upper(name.front());  // class names are UpperCamelCase
+}
+
+/// Names that, by project convention, hold integers (indices, dimensions,
+/// counts). Products of these are address/size arithmetic, not MACs.
+bool integer_named(std::string_view name) {
+  static const std::set<std::string_view> kExact = {
+      "i",    "j",     "k",     "l",      "m",     "n",      "o",     "idx",   "dim",
+      "len",  "count", "size",  "rows",   "cols",  "stride", "width", "height", "depth",
+      "epoch", "epochs", "bit", "bits",   "shift", "lane",   "worker", "workers"};
+  if (kExact.contains(name)) return true;
+  for (const std::string_view prefix : {"n_", "num_", "idx_"}) {
+    if (name.starts_with(prefix)) return true;
+  }
+  for (const std::string_view suffix :
+       {"_dim", "_idx", "_index", "_count", "_size", "_len", "_n", "_bits", "_bit", "_epoch",
+        "_epochs", "_samples", "_leaf", "_stride", "_rows", "_cols", "_id", "_workers"}) {
+    if (name.ends_with(suffix)) return true;
+  }
+  return false;
+}
+
+bool integer_literal(std::string_view text) {
+  const bool hex = text.starts_with("0x") || text.starts_with("0X");
+  if (text.find('.') != std::string_view::npos) return false;
+  for (const char c : text) {
+    if (hex && (c == 'p' || c == 'P')) return false;            // hex float exponent
+    if (!hex && (c == 'e' || c == 'E')) return false;           // decimal exponent
+    if (!hex && (c == 'f' || c == 'F')) return false;           // float suffix
+  }
+  return true;
+}
+
+enum class Operand { kInt, kFloat, kTypeLike, kUnknown, kNone };
+
+/// Classify the type named inside a cast's template argument list.
+Operand classify_cast_types(const std::vector<Token>& toks, const std::vector<std::size_t>& code,
+                            std::size_t open_angle, std::size_t close_angle) {
+  bool saw_int = false;
+  for (std::size_t j = open_angle + 1; j < close_angle; ++j) {
+    const Token& t = toks[code[j]];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text == "double" || t.text == "float") return Operand::kFloat;
+    if (t.text == "int" || t.text == "long" || t.text == "short" || t.text == "unsigned" ||
+        t.text == "signed" || t.text == "char" || t.text.ends_with("_t")) {
+      saw_int = true;
+    }
+  }
+  return saw_int ? Operand::kInt : Operand::kUnknown;
+}
+
+bool cast_keyword(std::string_view name) {
+  return name == "static_cast" || name == "const_cast" || name == "reinterpret_cast" ||
+         name == "dynamic_cast";
+}
+
+/// Keywords that can directly precede a unary `*` (dereference), so the
+/// token after them is never the left operand of a multiply.
+bool stmt_keyword(std::string_view name) {
+  static const std::set<std::string_view> kKeywords = {
+      "return",    "throw", "case",  "delete", "new",   "else",  "do",
+      "goto",      "co_return", "co_yield", "co_await", "if",    "while",
+      "for",       "switch", "catch"};
+  return kKeywords.contains(name);
+}
+
+// ---------------------------------------------------------------------------
+// R1 — fault coverage
+// ---------------------------------------------------------------------------
+
+class FaultCoverageRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const noexcept override { return "R1"; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "fault-coverage"; }
+  [[nodiscard]] std::string_view suppression_tag() const noexcept override { return "exact-ok"; }
+  [[nodiscard]] std::string_view rationale() const noexcept override {
+    return "§VI.A injects undervolting faults per MAC product; a raw floating-point '*' in "
+           "src/nn/ or src/hmd/ bypasses the stochastic defense";
+  }
+
+  [[nodiscard]] bool applies(const SourceFile& f) const override {
+    // arithmetic.hpp IS the ArithmeticContext implementation — the one
+    // place raw products are the point.
+    return (f.in_dir("src/nn/") || f.in_dir("src/hmd/")) && f.path() != "src/nn/arithmetic.hpp";
+  }
+
+  void check(const SourceFile& f, std::vector<Diagnostic>& out) const override {
+    const std::vector<Token>& toks = f.tokens();
+    const std::vector<std::size_t> code = code_indices(toks);
+    int bracket_depth = 0;
+    for (std::size_t ci = 0; ci < code.size(); ++ci) {
+      const Token& tok = toks[code[ci]];
+      if (tok.kind == TokenKind::kPunct) {
+        if (tok.text == "[") ++bracket_depth;
+        if (tok.text == "]" && bracket_depth > 0) --bracket_depth;
+      }
+      if (tok.kind != TokenKind::kPunct || (tok.text != "*" && tok.text != "*=")) continue;
+      if (ci == 0 || ci + 1 == code.size()) continue;
+      if (bracket_depth > 0) continue;  // subscript arithmetic is index math
+      const Token& prev = toks[code[ci - 1]];
+      if (prev.kind == TokenKind::kIdentifier && prev.text == "operator") continue;
+      const Operand lhs = classify_left(toks, code, ci);
+      if (lhs == Operand::kNone || lhs == Operand::kTypeLike || lhs == Operand::kInt) continue;
+      const Operand rhs = classify_right(toks, code, ci);
+      if (rhs == Operand::kNone || rhs == Operand::kInt) continue;
+      out.push_back(
+          {f.path(), tok.line, std::string(id()),
+           "raw floating-point multiply ('" + prev.text + " " + tok.text + " " +
+               toks[code[ci + 1]].text + "') outside ArithmeticContext in fault-injectable code",
+           "route inference-path products through the active ArithmeticContext (ctx.mul(a, b)); "
+           "if this product never runs on the undervolted path, annotate it: "
+           "// shmd-lint: exact-ok(<why exact arithmetic is sound here>)"});
+    }
+  }
+
+ private:
+  static Operand classify_left(const std::vector<Token>& toks,
+                               const std::vector<std::size_t>& code, std::size_t star) {
+    const Token& prev = toks[code[star - 1]];
+    if (prev.kind == TokenKind::kNumber) {
+      return integer_literal(prev.text) ? Operand::kInt : Operand::kFloat;
+    }
+    if (prev.kind == TokenKind::kIdentifier) {
+      if (stmt_keyword(prev.text)) return Operand::kNone;  // `return *ptr` etc.
+      if (type_like(prev.text)) return Operand::kTypeLike;
+      if (integer_named(prev.text)) return Operand::kInt;
+      return Operand::kUnknown;
+    }
+    if (prev.kind != TokenKind::kPunct) return Operand::kNone;
+    if (prev.text == "]") return Operand::kUnknown;  // element of some array
+    if (prev.text == ")") return classify_call_result(toks, code, star - 1);
+    if (prev.text == ">") {
+      // `foo<T>* x` — template-id in a declarator.
+      return Operand::kTypeLike;
+    }
+    return Operand::kNone;
+  }
+
+  /// Walk back over a balanced `( ... )` and classify what produced it.
+  static Operand classify_call_result(const std::vector<Token>& toks,
+                                      const std::vector<std::size_t>& code,
+                                      std::size_t close_paren) {
+    int depth = 0;
+    std::size_t j = close_paren;
+    for (;; --j) {
+      const Token& t = toks[code[j]];
+      if (t.kind == TokenKind::kPunct && t.text == ")") ++depth;
+      if (t.kind == TokenKind::kPunct && t.text == "(") {
+        if (--depth == 0) break;
+      }
+      if (j == 0) return Operand::kUnknown;
+    }
+    if (j == 0) return Operand::kUnknown;
+    const Token& before = toks[code[j - 1]];
+    if (before.kind == TokenKind::kIdentifier) {
+      if (stmt_keyword(before.text)) return Operand::kNone;  // `if (x) *p = ...`
+      if (before.text == "sizeof") return Operand::kInt;
+      if (integer_named(before.text)) return Operand::kInt;  // e.g. parameter_count()
+      return Operand::kUnknown;
+    }
+    if (before.kind == TokenKind::kPunct && before.text == ">") {
+      // Probably `xxx_cast<T>(...)`: find the matching '<' and the keyword.
+      int angle = 0;
+      std::size_t a = j - 1;
+      for (;; --a) {
+        const Token& t = toks[code[a]];
+        if (t.kind == TokenKind::kPunct && t.text == ">") ++angle;
+        if (t.kind == TokenKind::kPunct && t.text == "<") {
+          if (--angle == 0) break;
+        }
+        if (a == 0) return Operand::kUnknown;
+      }
+      if (a == 0) return Operand::kUnknown;
+      const Token& kw = toks[code[a - 1]];
+      if (kw.kind == TokenKind::kIdentifier && cast_keyword(kw.text)) {
+        return classify_cast_types(toks, code, a, j - 1);
+      }
+    }
+    return Operand::kUnknown;
+  }
+
+  static Operand classify_right(const std::vector<Token>& toks,
+                                const std::vector<std::size_t>& code, std::size_t star) {
+    std::size_t n = star + 1;
+    const Token* next = &toks[code[n]];
+    // Skip a unary sign: `a * -b`.
+    if (next->kind == TokenKind::kPunct && (next->text == "-" || next->text == "+")) {
+      if (n + 1 >= code.size()) return Operand::kNone;
+      next = &toks[code[++n]];
+    }
+    if (next->kind == TokenKind::kNumber) {
+      return integer_literal(next->text) ? Operand::kInt : Operand::kFloat;
+    }
+    if (next->kind == TokenKind::kIdentifier) {
+      if (next->text == "sizeof") return Operand::kInt;
+      if (cast_keyword(next->text)) {
+        // `x * static_cast<T>(y)`: classify T.
+        if (n + 1 < code.size() && toks[code[n + 1]].text == "<") {
+          int angle = 0;
+          for (std::size_t j = n + 1; j < code.size(); ++j) {
+            const Token& t = toks[code[j]];
+            if (t.kind == TokenKind::kPunct && t.text == "<") ++angle;
+            if (t.kind == TokenKind::kPunct && t.text == ">") {
+              if (--angle == 0) return classify_cast_types(toks, code, n + 1, j);
+            }
+          }
+        }
+        return Operand::kUnknown;
+      }
+      if (integer_named(next->text)) return Operand::kInt;
+      return Operand::kUnknown;
+    }
+    if (next->kind == TokenKind::kPunct && next->text == "(") return Operand::kUnknown;
+    return Operand::kNone;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// R2 — RNG discipline
+// ---------------------------------------------------------------------------
+
+class RngDisciplineRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const noexcept override { return "R2"; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "rng-discipline"; }
+  [[nodiscard]] std::string_view suppression_tag() const noexcept override { return "rng-ok"; }
+  [[nodiscard]] std::string_view rationale() const noexcept override {
+    return "ad-hoc randomness (std::rand, std::random_device) breaks run-to-run determinism "
+           "and the per-worker jump()-derived streams; use the rng/ RandomSource hierarchy";
+  }
+
+  [[nodiscard]] bool applies(const SourceFile& f) const override {
+    return f.in_dir("src/") && !f.in_dir("src/rng/entropy.");
+  }
+
+  void check(const SourceFile& f, std::vector<Diagnostic>& out) const override {
+    static const std::set<std::string_view> kBanned = {
+        "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48", "random_device"};
+    for (const Token& tok : f.tokens()) {
+      if (tok.kind != TokenKind::kIdentifier || !kBanned.contains(tok.text)) continue;
+      out.push_back({f.path(), tok.line, std::string(id()),
+                     "'" + tok.text + "' undermines seeded determinism",
+                     "draw randomness from the project RandomSource hierarchy (rng/) so every "
+                     "stream is seeded, logged, and jump()-splittable; if this use is genuinely "
+                     "outside that discipline, annotate: // shmd-lint: rng-ok(<reason>)"});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// R3 — stream hygiene
+// ---------------------------------------------------------------------------
+
+class StreamHygieneRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const noexcept override { return "R3"; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "stream-hygiene"; }
+  [[nodiscard]] std::string_view suppression_tag() const noexcept override { return "stream-ok"; }
+  [[nodiscard]] std::string_view rationale() const noexcept override {
+    return "library code computes, it does not narrate: stdout belongs to benches/examples; "
+           "stray prints corrupt the figure pipelines' machine-read output";
+  }
+
+  [[nodiscard]] bool applies(const SourceFile& f) const override { return f.in_dir("src/"); }
+
+  void check(const SourceFile& f, std::vector<Diagnostic>& out) const override {
+    static const std::set<std::string_view> kBanned = {"cout", "printf", "puts", "putchar"};
+    const std::vector<Token>& toks = f.tokens();
+    const std::vector<std::size_t> code = code_indices(toks);
+    for (std::size_t ci = 0; ci < code.size(); ++ci) {
+      const Token& tok = toks[code[ci]];
+      if (tok.kind != TokenKind::kIdentifier) continue;
+      bool hit = kBanned.contains(tok.text);
+      // fprintf/fputs only when explicitly aimed at stdout.
+      if (!hit && (tok.text == "fprintf" || tok.text == "fputs") && ci + 2 < code.size()) {
+        hit = toks[code[ci + 1]].text == "(" && toks[code[ci + 2]].text == "stdout";
+      }
+      if (!hit) continue;
+      out.push_back({f.path(), tok.line, std::string(id()),
+                     "'" + tok.text + "' writes to stdout from library code",
+                     "return data (or take an std::ostream&/sink parameter) and let the caller "
+                     "print; std::cerr stays available for diagnostics; deliberate CLI output is "
+                     "annotatable: // shmd-lint: stream-ok(<reason>)"});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// R4 — header hygiene
+// ---------------------------------------------------------------------------
+
+struct IncludeLine {
+  int line = 0;
+  std::string path;  // text between the delimiters
+};
+
+std::optional<IncludeLine> parse_include(const Token& directive) {
+  std::string_view s = directive.text;
+  if (!s.starts_with("#")) return std::nullopt;
+  s.remove_prefix(1);
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  if (!s.starts_with("include")) return std::nullopt;
+  s.remove_prefix(7);
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  if (s.empty()) return std::nullopt;
+  const char open = s.front();
+  const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+  if (close == '\0') return std::nullopt;
+  const std::size_t end = s.find(close, 1);
+  if (end == std::string_view::npos) return std::nullopt;
+  return IncludeLine{directive.line, std::string(s.substr(1, end - 1))};
+}
+
+bool is_pragma_once(const Token& directive) {
+  std::string_view s = directive.text;
+  if (!s.starts_with("#")) return false;
+  s.remove_prefix(1);
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  return s.starts_with("pragma") && s.find("once") != std::string_view::npos;
+}
+
+class HeaderHygieneRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const noexcept override { return "R4"; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "header-hygiene"; }
+  [[nodiscard]] std::string_view suppression_tag() const noexcept override { return "header-ok"; }
+  [[nodiscard]] std::string_view rationale() const noexcept override {
+    return "#pragma once first in every header, include blocks alphabetized, no duplicate "
+           "includes — so include-what-you-use stays reviewable at production scale";
+  }
+
+  [[nodiscard]] bool applies(const SourceFile& f) const override { return f.in_dir("src/"); }
+
+  void check(const SourceFile& f, std::vector<Diagnostic>& out) const override {
+    if (f.is_header()) check_pragma_once(f, out);
+    check_includes(f, out);
+  }
+
+ private:
+  static void check_pragma_once(const SourceFile& f, std::vector<Diagnostic>& out) {
+    const Token* first_directive = nullptr;
+    const Token* pragma = nullptr;
+    bool code_before_pragma = false;
+    for (const Token& tok : f.tokens()) {
+      if (tok.kind == TokenKind::kComment) continue;
+      if (tok.kind == TokenKind::kDirective) {
+        if (first_directive == nullptr) first_directive = &tok;
+        if (is_pragma_once(tok)) {
+          pragma = &tok;
+          break;
+        }
+        continue;
+      }
+      code_before_pragma = true;  // expression tokens before any pragma once
+      break;
+    }
+    if (pragma == nullptr) {
+      out.push_back({f.path(), 1, "R4", "header is missing #pragma once",
+                     "every header starts with #pragma once (before any other directive)"});
+      return;
+    }
+    if (code_before_pragma || first_directive != pragma) {
+      out.push_back({f.path(), pragma->line, "R4",
+                     "#pragma once must be the first directive in the header",
+                     "move #pragma once above every include and declaration"});
+    }
+  }
+
+  static void check_includes(const SourceFile& f, std::vector<Diagnostic>& out) {
+    std::vector<std::vector<IncludeLine>> blocks;
+    std::set<std::string> seen;
+    for (const Token& tok : f.tokens()) {
+      if (tok.kind == TokenKind::kComment) continue;
+      if (tok.kind != TokenKind::kDirective) {
+        if (!blocks.empty() && !blocks.back().empty()) blocks.emplace_back();
+        continue;
+      }
+      std::optional<IncludeLine> inc = parse_include(tok);
+      if (!inc) {
+        if (!blocks.empty() && !blocks.back().empty()) blocks.emplace_back();
+        continue;
+      }
+      if (!seen.insert(inc->path).second) {
+        out.push_back({f.path(), inc->line, "R4", "duplicate #include \"" + inc->path + "\"",
+                       "delete the repeated include"});
+      }
+      if (blocks.empty() || (!blocks.back().empty() && blocks.back().back().line + 1 != inc->line)) {
+        blocks.emplace_back();
+      }
+      blocks.back().push_back(std::move(*inc));
+    }
+    for (const std::vector<IncludeLine>& block : blocks) {
+      for (std::size_t i = 1; i < block.size(); ++i) {
+        if (block[i].path < block[i - 1].path) {
+          out.push_back({f.path(), block[i].line, "R4",
+                         "include block not alphabetized: \"" + block[i].path + "\" sorts before "
+                         "\"" + block[i - 1].path + "\"",
+                         "keep each contiguous include block sorted (clang-format does this "
+                         "automatically)"});
+          break;  // one diagnostic per block is enough to fix the sort
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> default_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<FaultCoverageRule>());
+  rules.push_back(std::make_unique<RngDisciplineRule>());
+  rules.push_back(std::make_unique<StreamHygieneRule>());
+  rules.push_back(std::make_unique<HeaderHygieneRule>());
+  return rules;
+}
+
+}  // namespace shmd::lint

@@ -1,0 +1,60 @@
+// The shmd-lint rule registry.
+//
+// Each rule machine-checks one invariant the paper's defense depends on
+// (see DESIGN.md "Machine-checked invariants" for the full rationale):
+//
+//   R1 fault-coverage  — every floating-point product in fault-injectable
+//        code (src/nn/, src/hmd/) must flow through ArithmeticContext::mul,
+//        because §VI.A injects undervolting faults per MAC *product*; one
+//        raw `a * b` on an inference path silently bypasses the defense.
+//   R2 rng-discipline  — std::rand/srand/std::random_device only inside
+//        src/rng/entropy.*; everything else uses the project RandomSource
+//        hierarchy so the per-worker jump() streams stay deterministic.
+//   R3 stream-hygiene  — no std::cout/printf in src/ library code; the
+//        library computes, benches and examples narrate.
+//   R4 header-hygiene  — #pragma once first in every header, include
+//        blocks sorted, no duplicate includes.
+//   R0 annotation      — suppression annotations must be well-formed and
+//        carry a reason; emitted by the linter driver, not the registry.
+//
+// A rule sees one lexed SourceFile at a time and appends Diagnostics; the
+// driver (linter.hpp) applies suppressions afterwards so every rule stays
+// suppression-agnostic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shmd-lint/source_file.hpp"
+
+namespace shmd::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule_id;
+  std::string message;
+  std::string hint;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  [[nodiscard]] virtual std::string_view id() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  /// Annotation tag that overrules this rule, e.g. "exact-ok".
+  [[nodiscard]] virtual std::string_view suppression_tag() const noexcept = 0;
+  /// One-line paper rationale, shown by `shmd-lint --list-rules`.
+  [[nodiscard]] virtual std::string_view rationale() const noexcept = 0;
+
+  [[nodiscard]] virtual bool applies(const SourceFile& file) const = 0;
+  virtual void check(const SourceFile& file, std::vector<Diagnostic>& out) const = 0;
+};
+
+/// All shipped rules, in id order.
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> default_rules();
+
+}  // namespace shmd::lint

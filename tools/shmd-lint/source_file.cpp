@@ -1,0 +1,111 @@
+#include "shmd-lint/source_file.hpp"
+
+#include <cctype>
+#include <utility>
+
+namespace shmd::lint {
+namespace {
+
+constexpr std::string_view kMarker = "shmd-lint:";
+
+bool tag_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '-';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+SourceFile::SourceFile(std::string path, std::string content)
+    : path_(std::move(path)), content_(std::move(content)), tokens_(lex(content_)) {
+  parse_annotations();
+}
+
+bool SourceFile::is_header() const noexcept { return path_.ends_with(".hpp"); }
+
+bool SourceFile::in_dir(std::string_view prefix) const noexcept {
+  return std::string_view(path_).starts_with(prefix);
+}
+
+// Grammar inside a comment:  shmd-lint: tag(reason) [, tag(reason)]*
+void SourceFile::parse_annotations() {
+  for (std::size_t ti = 0; ti < tokens_.size(); ++ti) {
+    const Token& tok = tokens_[ti];
+    if (tok.kind != TokenKind::kComment) continue;
+    const std::string_view body = tok.text;
+    const std::size_t at = body.find(kMarker);
+    if (at == std::string_view::npos) continue;
+
+    std::string_view rest = trim(body.substr(at + kMarker.size()));
+    bool any = false;
+    bool bad = false;
+    std::string detail;
+    while (!rest.empty()) {
+      std::size_t i = 0;
+      while (i < rest.size() && tag_char(rest[i])) ++i;
+      if (i == 0 || i >= rest.size() || rest[i] != '(') {
+        bad = true;
+        detail = "expected tag(reason)";
+        break;
+      }
+      const std::string_view tag = rest.substr(0, i);
+      const std::size_t close = rest.find(')', i + 1);
+      if (close == std::string_view::npos) {
+        bad = true;
+        detail = "unterminated reason for '" + std::string(tag) + "'";
+        break;
+      }
+      const std::string_view reason = trim(rest.substr(i + 1, close - i - 1));
+      if (reason.empty()) {
+        bad = true;
+        detail = "empty reason for '" + std::string(tag) + "' — say why the rule is overruled";
+        break;
+      }
+      Suppression& s = suppressions_.emplace_back();
+      s.tag = std::string(tag);
+      s.reason = std::string(reason);
+      s.line = tok.line;
+      // A trailing annotation governs its own line. A standalone one
+      // governs the whole statement that follows: through the next `;`
+      // (or brace), capped so a missing semicolon cannot blanket a file.
+      s.last_line = tok.line_leading ? statement_end(ti) : tok.end_line;
+      any = true;
+      rest = trim(rest.substr(close + 1));
+      if (!rest.empty() && rest.front() == ',') rest = trim(rest.substr(1));
+    }
+    if (bad || !any) {
+      bad_annotations_.push_back(
+          {tok.line, detail.empty() ? std::string("no tag(reason) entries") : detail});
+    }
+  }
+}
+
+int SourceFile::statement_end(std::size_t comment_index) const noexcept {
+  constexpr int kMaxSpan = 8;  // lines an annotation may reach past itself
+  const int base = tokens_[comment_index].end_line;
+  for (std::size_t j = comment_index + 1; j < tokens_.size(); ++j) {
+    const Token& t = tokens_[j];
+    if (t.line > base + kMaxSpan) break;
+    if (t.kind == TokenKind::kPunct && (t.text == ";" || t.text == "{" || t.text == "}")) {
+      return t.end_line;
+    }
+  }
+  return base + 1;
+}
+
+bool SourceFile::suppressed(int line, std::string_view tag) const noexcept {
+  for (const Suppression& s : suppressions_) {
+    if (s.tag == tag && line >= s.line && line <= s.last_line) return true;
+  }
+  return false;
+}
+
+}  // namespace shmd::lint

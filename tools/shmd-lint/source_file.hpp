@@ -1,0 +1,69 @@
+// SourceFile: one lexed translation unit plus its suppression annotations.
+//
+// A rule diagnostic can be silenced in place with
+//
+//   // shmd-lint: exact-ok(training-time gradient, never runs undervolted)
+//
+// where the tag (`exact-ok`, `rng-ok`, `stream-ok`, `header-ok`) selects
+// which rule is being overruled and the parenthesized reason is MANDATORY
+// — an annotation is an argument addressed to the next reader, not a mute
+// button. A trailing annotation covers its own line; a standalone one
+// covers the whole statement below it (through the next `;`, bounded).
+// Malformed or reason-less annotations are themselves reported (rule R0),
+// so a typo cannot silently disable checking.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shmd-lint/lexer.hpp"
+
+namespace shmd::lint {
+
+struct Suppression {
+  std::string tag;     // e.g. "exact-ok"
+  std::string reason;  // text inside the parentheses
+  int line = 0;        // first line the suppression covers
+  int last_line = 0;   // last line it covers (== line, or line+1 for standalone)
+};
+
+struct BadAnnotation {
+  int line = 0;
+  std::string detail;  // what is wrong, for the R0 diagnostic
+};
+
+class SourceFile {
+ public:
+  SourceFile(std::string path, std::string content);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const std::string& content() const noexcept { return content_; }
+  [[nodiscard]] const std::vector<Token>& tokens() const noexcept { return tokens_; }
+  [[nodiscard]] const std::vector<Suppression>& suppressions() const noexcept {
+    return suppressions_;
+  }
+  [[nodiscard]] const std::vector<BadAnnotation>& bad_annotations() const noexcept {
+    return bad_annotations_;
+  }
+
+  /// True when a well-formed `tag(reason)` annotation covers `line`.
+  [[nodiscard]] bool suppressed(int line, std::string_view tag) const noexcept;
+
+  [[nodiscard]] bool is_header() const noexcept;
+  [[nodiscard]] bool in_dir(std::string_view prefix) const noexcept;  // e.g. "src/nn/"
+
+ private:
+  void parse_annotations();
+  /// Last line a standalone annotation at token `comment_index` covers:
+  /// the end of the statement below it (next `;`/`{`/`}`), bounded.
+  [[nodiscard]] int statement_end(std::size_t comment_index) const noexcept;
+
+  std::string path_;
+  std::string content_;
+  std::vector<Token> tokens_;
+  std::vector<Suppression> suppressions_;
+  std::vector<BadAnnotation> bad_annotations_;
+};
+
+}  // namespace shmd::lint
