@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Reduce google-benchmark JSON output to the BENCH_micro.json scorecard.
+
+Usage: emit_bench_json.py <benchmark_out.json> [BENCH_micro.json]
+
+The CI bench-smoke job runs micro_inference with --benchmark_out and feeds
+the raw dump through this script, which keeps only the items-per-second
+series the project tracks release over release: exact inference, faulty
+inference at er = 0 / 10% / 50%, the PRNG additive-noise baseline, and the
+raw dot() kernels the span-level arithmetic API added. Stdlib only — CI
+installs no Python packages.
+"""
+
+import json
+import sys
+
+# BENCH_micro.json key -> benchmark name in the raw dump.
+SERIES = {
+    "inference_exact": "BM_InferenceExact",
+    "inference_faulty_er0": "BM_InferenceFaulty/0",
+    "inference_faulty_er10": "BM_InferenceFaulty/10",
+    "inference_faulty_er50": "BM_InferenceFaulty/50",
+    "inference_noise_prng": "BM_InferenceNoisePrng",
+    "dot_exact": "BM_DotExact",
+    "dot_faulty_skipahead_er0": "BM_DotFaultySkipAhead/0",
+    "dot_faulty_skipahead_er1": "BM_DotFaultySkipAhead/10",
+    "dot_faulty_scalar_er1": "BM_DotFaultyScalar/10",
+}
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    raw_path = argv[1]
+    out_path = argv[2] if len(argv) == 3 else "BENCH_micro.json"
+
+    with open(raw_path, encoding="utf-8") as f:
+        raw = json.load(f)
+
+    by_name = {b.get("name"): b for b in raw.get("benchmarks", [])}
+    items_per_second = {}
+    missing = []
+    for key, bench_name in SERIES.items():
+        bench = by_name.get(bench_name)
+        if bench is None or "items_per_second" not in bench:
+            missing.append(bench_name)
+            continue
+        items_per_second[key] = bench["items_per_second"]
+
+    if missing:
+        print(f"emit_bench_json: missing series: {', '.join(missing)}", file=sys.stderr)
+        return 1
+
+    context = raw.get("context", {})
+    scorecard = {
+        "unit": "items_per_second (MAC products/s)",
+        "items_per_second": items_per_second,
+        "speedup_dot_skipahead_vs_scalar_er1": (
+            items_per_second["dot_faulty_skipahead_er1"] / items_per_second["dot_faulty_scalar_er1"]
+            if items_per_second.get("dot_faulty_scalar_er1")
+            else None
+        ),
+        "context": {
+            "date": context.get("date"),
+            "host_name": context.get("host_name"),
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "library_build_type": context.get("library_build_type"),
+        },
+    }
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(scorecard, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"emit_bench_json: wrote {len(items_per_second)} series to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

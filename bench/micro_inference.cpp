@@ -54,6 +54,8 @@ void BM_InferenceNoisePrng(benchmark::State& state) {
   nn::NoiseContext ctx(prng, 0.02);
   const std::vector<double> x(16, 0.3);
   for (auto _ : state) benchmark::DoNotOptimize(net.forward(x, ctx));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.mac_count()));
 }
 BENCHMARK(BM_InferenceNoisePrng);
 
@@ -103,6 +105,72 @@ void BM_BatchInference(benchmark::State& state) {
                           static_cast<std::int64_t>(hmd.network().mac_count()));
 }
 BENCHMARK(BM_BatchInference)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// ------------------------------------------------------- raw dot() kernels
+//
+// Isolate the span API from network plumbing: one 1024-wide dot product per
+// iteration. BM_DotFaultyScalar is the pre-span baseline (per-MAC mul()
+// through the base-class fallback); BM_DotFaultySkipAhead is the shipped
+// FaultyContext kernel (geometric skip-ahead below kSkipAheadMaxRate, dense
+// per-product draws above). Args are the error rate in permille.
+
+/// Pre-span reference: routes every product through mul()/corrupt_product,
+/// inheriting the base-class dot() fallback.
+class ScalarFaultyContext final : public nn::ArithmeticContext {
+ public:
+  explicit ScalarFaultyContext(faultsim::FaultInjector& injector) : injector_(&injector) {}
+  [[nodiscard]] double mul(double a, double b) override {
+    count_mac();
+    return injector_->corrupt_product(a * b);
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "scalar-faulty"; }
+
+ private:
+  faultsim::FaultInjector* injector_;
+};
+
+constexpr std::size_t kDotLen = 1024;
+
+std::vector<double> dot_operand(std::uint64_t seed) {
+  rng::Xoshiro256ss gen(seed);
+  std::vector<double> v(kDotLen);
+  for (double& x : v) x = gen.uniform(-1.0, 1.0);
+  return v;
+}
+
+void BM_DotExact(benchmark::State& state) {
+  const std::vector<double> w = dot_operand(1);
+  const std::vector<double> x = dot_operand(2);
+  nn::ExactContext ctx;
+  for (auto _ : state) benchmark::DoNotOptimize(ctx.dot(w.data(), x.data(), kDotLen));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kDotLen));
+}
+BENCHMARK(BM_DotExact);
+
+void BM_DotFaultySkipAhead(benchmark::State& state) {
+  const std::vector<double> w = dot_operand(1);
+  const std::vector<double> x = dot_operand(2);
+  faultsim::FaultInjector inj(static_cast<double>(state.range(0)) / 1000.0,
+                              faultsim::BitFaultDistribution::measured());
+  nn::FaultyContext ctx(inj);
+  for (auto _ : state) benchmark::DoNotOptimize(ctx.dot(w.data(), x.data(), kDotLen));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kDotLen));
+}
+BENCHMARK(BM_DotFaultySkipAhead)->Arg(0)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_DotFaultyScalar(benchmark::State& state) {
+  const std::vector<double> w = dot_operand(1);
+  const std::vector<double> x = dot_operand(2);
+  faultsim::FaultInjector inj(static_cast<double>(state.range(0)) / 1000.0,
+                              faultsim::BitFaultDistribution::measured());
+  ScalarFaultyContext ctx(inj);
+  for (auto _ : state) benchmark::DoNotOptimize(ctx.dot(w.data(), x.data(), kDotLen));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kDotLen));
+}
+BENCHMARK(BM_DotFaultyScalar)->Arg(0)->Arg(10)->Arg(100)->Arg(500);
 
 void BM_CorruptProduct(benchmark::State& state) {
   faultsim::FaultInjector inj(1.0, faultsim::BitFaultDistribution::measured());

@@ -23,17 +23,35 @@ FaultInjector::FaultInjector(double error_rate, BitFaultDistribution distributio
 }
 
 void FaultInjector::set_error_rate(double er) {
-  if (er < 0.0 || er > 1.0) throw std::invalid_argument("error rate must be in [0, 1]");
+  // The negated-range spelling rejects NaN too: a NaN er would sail past
+  // `er < 0 || er > 1` and silently break the skip-ahead geometric math
+  // (log1p(-NaN) gaps) as well as every Bernoulli draw downstream.
+  if (!(er >= 0.0 && er <= 1.0)) throw std::invalid_argument("error rate must be in [0, 1]");
   error_rate_ = er;
+  // Cached for next_fault_gap(): one log per geometric draw instead of two.
+  inv_log1m_er_ = (er > 0.0 && er < 1.0) ? 1.0 / std::log1p(-er) : 0.0;
+}
+
+std::uint64_t FaultInjector::apply_fault_u64(std::uint64_t product) {
+  const int bit = distribution_.sample(gen_);
+  ++stats_.faults;
+  ++stats_.bit_flips[static_cast<std::size_t>(bit)];
+  return product ^ (std::uint64_t{1} << bit);
 }
 
 std::uint64_t FaultInjector::corrupt_u64(std::uint64_t product) {
   ++stats_.operations;
   if (!gen_.bernoulli(error_rate_)) return product;
-  const int bit = distribution_.sample(gen_);
-  ++stats_.faults;
-  ++stats_.bit_flips[static_cast<std::size_t>(bit)];
-  return product ^ (std::uint64_t{1} << bit);
+  return apply_fault_u64(product);
+}
+
+std::uint64_t FaultInjector::corrupt_u64(std::uint64_t product, double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("per-operation fault probability must be in [0, 1]");
+  }
+  ++stats_.operations;
+  if (!gen_.bernoulli(p)) return product;
+  return apply_fault_u64(product);
 }
 
 double FaultInjector::corrupt_product(double product) {
@@ -42,6 +60,29 @@ double FaultInjector::corrupt_product(double product) {
   // untouched (before consuming any RNG, so fault streams are unaffected).
   if (!std::isfinite(product)) return product;
   if (!gen_.bernoulli(error_rate_)) return product;
+  const int bit = distribution_.sample(gen_);
+  ++stats_.faults;
+  ++stats_.bit_flips[static_cast<std::size_t>(bit)];
+  const std::int64_t q = to_q(product);
+  const auto flipped = static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(q) ^ (std::uint64_t{1} << bit));
+  return from_q(flipped);
+}
+
+std::size_t FaultInjector::next_fault_gap() {
+  if (error_rate_ <= 0.0) return kNoFault;
+  if (error_rate_ >= 1.0) return 0;
+  // Inversion: u ~ U[0,1) -> floor(log(1-u) / log(1-er)) ~ Geometric(er),
+  // the count of fault-free trials before the first success. log1p keeps
+  // full precision at the small error rates the paper sweeps (er <= 1e-2).
+  const double u = gen_.uniform01();
+  const double gap = std::floor(std::log1p(-u) * inv_log1m_er_);
+  if (gap >= static_cast<double>(kNoFault)) return kNoFault;
+  return static_cast<std::size_t>(gap);
+}
+
+double FaultInjector::corrupt_product_at_fault(double product) {
+  if (!std::isfinite(product)) return product;
   const int bit = distribution_.sample(gen_);
   ++stats_.faults;
   ++stats_.bit_flips[static_cast<std::size_t>(bit)];

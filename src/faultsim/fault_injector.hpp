@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 
 #include "faultsim/bit_fault_distribution.hpp"
 #include "rng/xoshiro256ss.hpp"
@@ -65,10 +66,47 @@ class FaultInjector {
   /// characterization experiments.
   [[nodiscard]] std::uint64_t corrupt_u64(std::uint64_t product);
 
+  /// Same, but under a one-off probability `p` instead of the configured
+  /// flat rate (operand-dependent criticality, FaultyAlu). The configured
+  /// rate is untouched; `p` must be a finite value in [0, 1].
+  [[nodiscard]] std::uint64_t corrupt_u64(std::uint64_t product, double p);
+
   /// Corrupt a real-valued MAC product through the Q16.47 lens: with
   /// probability er, flip one eligible bit of the fixed-point image and
   /// convert back. Used by the Stochastic-HMD inference path.
   [[nodiscard]] double corrupt_product(double product);
+
+  // -- span-level (skip-ahead) fault sampling ------------------------------
+  //
+  // A Bernoulli(er) decision per product over a span is equivalent to
+  // sampling the gap to the next faulted product from Geometric(er): the
+  // span-level ArithmeticContext::dot kernels run exact vectorizable dot
+  // products between sampled fault sites instead of paying one virtual
+  // call + one RNG draw per MAC, with identical per-product fault
+  // statistics (see DESIGN.md "Span-level arithmetic").
+
+  /// Gap sentinel: no fault within any feasible span length.
+  static constexpr std::size_t kNoFault = std::numeric_limits<std::size_t>::max();
+
+  /// Sample the number of fault-free products preceding the next faulted
+  /// one in a Bernoulli(er) product stream (Geometric(er) by inversion:
+  /// floor(log1p(-u) / log1p(-er))). Returns kNoFault when er == 0 (and
+  /// consumes no randomness); returns 0 on every call when er == 1.
+  /// Geometric memorylessness makes it sound to discard the tail of a
+  /// sampled gap at a span boundary and resample for the next span.
+  [[nodiscard]] std::size_t next_fault_gap();
+
+  /// Unconditionally fault one product the caller selected via
+  /// next_fault_gap(): flip one eligible Q16.47 bit and count the fault.
+  /// Does NOT advance the operations counter — span callers account for
+  /// whole spans with count_operations(). Non-finite products have no bit
+  /// image and pass through unfaulted, exactly as in corrupt_product().
+  [[nodiscard]] double corrupt_product_at_fault(double product);
+
+  /// Advance the operations counter by a whole span of products, so
+  /// FaultStats sees the same opportunity count whether a span ran through
+  /// the scalar path or a skip-ahead kernel.
+  void count_operations(std::uint64_t n) noexcept { stats_.operations += n; }
 
   [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_.reset(); }
@@ -78,7 +116,11 @@ class FaultInjector {
   [[nodiscard]] rng::Xoshiro256ss& generator() noexcept { return gen_; }
 
  private:
+  /// Flip one distribution-sampled bit of `product` and record the fault.
+  [[nodiscard]] std::uint64_t apply_fault_u64(std::uint64_t product);
+
   double error_rate_;
+  double inv_log1m_er_ = 0.0;  ///< 1 / log1p(-er), cached for next_fault_gap()
   BitFaultDistribution distribution_;
   rng::Xoshiro256ss gen_;
   FaultStats stats_;

@@ -6,13 +6,11 @@ std::uint64_t FaultyAlu::mul(std::uint64_t a, std::uint64_t b) {
   ++mul_count_;
   const std::uint64_t exact = a * b;
   if (operand_prob_) {
-    // Operand-dependent criticality: swap in the per-operand probability
-    // for this one corruption, then restore the flat rate.
-    const double flat = injector_->error_rate();
-    injector_->set_error_rate(operand_prob_(a, b));
-    const std::uint64_t result = injector_->corrupt_u64(exact);
-    injector_->set_error_rate(flat);
-    return result;
+    // Operand-dependent criticality: corrupt under the per-operand
+    // probability without ever mutating the injector's configured flat
+    // rate (the old set_error_rate() round trip validated and wrote
+    // injector state twice per multiply).
+    return injector_->corrupt_u64(exact, operand_prob_(a, b));
   }
   return injector_->corrupt_u64(exact);
 }

@@ -19,7 +19,10 @@ namespace shmd::faultsim {
 class FaultyAlu {
  public:
   /// Maps the two multiplier operands to a per-operation fault
-  /// probability. When empty, the injector's flat error rate applies.
+  /// probability. When empty, the injector's flat error rate applies;
+  /// when set, each multiply corrupts under the mapped probability via
+  /// FaultInjector::corrupt_u64(product, p) and the configured flat rate
+  /// is never touched.
   using OperandProbabilityFn = std::function<double(std::uint64_t, std::uint64_t)>;
 
   explicit FaultyAlu(FaultInjector& injector) : injector_(&injector) {}

@@ -14,6 +14,16 @@
 //
 // Additions/accumulations stay exact everywhere: §II observed no faults in
 // adders under undervolting.
+//
+// Two granularities:
+//
+//   mul(a, b)     — one product, the paper's literal per-MAC hook;
+//   dot(w, x, n)  — one output row's worth of products, exact-accumulated
+//                   (adders never fault, §II). The default implementation
+//                   loops mul(), so every context is correct by
+//                   construction; the shipped contexts override it with
+//                   span-level kernels that preserve the per-product fault
+//                   model while skipping the per-MAC virtual dispatch.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +40,18 @@ class ArithmeticContext {
   /// One multiply: returns the (possibly perturbed) product a*b.
   [[nodiscard]] virtual double mul(double a, double b) = 0;
 
+  /// One dot product of length n: sum of (possibly perturbed) products
+  /// w[i]*x[i], accumulated exactly in ascending index order (§II: adders
+  /// never fault). The fallback routes every product through mul(), so a
+  /// context that only implements mul() keeps bit-identical behavior;
+  /// overrides must perturb each product with the same marginal
+  /// distribution mul() would.
+  [[nodiscard]] virtual double dot(const double* w, const double* x, std::size_t n) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += mul(w[i], x[i]);
+    return acc;
+  }
+
   [[nodiscard]] std::uint64_t mac_count() const noexcept { return macs_; }
   void reset_mac_count() noexcept { macs_ = 0; }
 
@@ -37,6 +59,8 @@ class ArithmeticContext {
 
  protected:
   void count_mac() noexcept { ++macs_; }
+  /// Span-level MAC accounting for dot() overrides that bypass mul().
+  void count_macs(std::uint64_t n) noexcept { macs_ += n; }
 
  private:
   std::uint64_t macs_ = 0;
@@ -49,6 +73,18 @@ class ExactContext final : public ArithmeticContext {
     count_mac();
     return a * b;
   }
+
+  /// Plain dot product, free of per-MAC virtual dispatch. Same ascending
+  /// accumulation order as the mul() fallback, so results stay
+  /// bit-identical (the compiler may not reorder FP sums without
+  /// -ffast-math, which this project never enables).
+  [[nodiscard]] double dot(const double* w, const double* x, std::size_t n) override {
+    count_macs(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += w[i] * x[i];
+    return acc;
+  }
+
   [[nodiscard]] const char* name() const noexcept override { return "exact"; }
 };
 
@@ -56,12 +92,64 @@ class ExactContext final : public ArithmeticContext {
 /// fault per the injector's error rate and bit-location distribution.
 class FaultyContext final : public ArithmeticContext {
  public:
+  /// Above this error rate the dot() kernel switches from geometric
+  /// skip-ahead to per-product Bernoulli draws: the expected gap between
+  /// faults drops below ~1/8 of a cache line of products and the log()
+  /// in each geometric draw costs more than the Bernoulli compares it
+  /// replaces. The paper's operating points (er <= 0.15, Fig. 2a) sit in
+  /// the skip-ahead regime.
+  static constexpr double kSkipAheadMaxRate = 0.125;
+
   explicit FaultyContext(faultsim::FaultInjector& injector) : injector_(&injector) {}
 
   [[nodiscard]] double mul(double a, double b) override {
     count_mac();
     return injector_->corrupt_product(a * b);
   }
+
+  /// Geometric skip-ahead kernel: a Bernoulli(er) fault decision per
+  /// product is equivalent to sampling the gap to the next fault site
+  /// from Geometric(er), so the products between sampled sites run as an
+  /// exact dot product and only the sites themselves pay for bit-flip
+  /// corruption. Marginal per-product fault probability, bit-location
+  /// distribution, and FaultStats.operations accounting all match the
+  /// scalar mul() path (geometric memorylessness makes resampling at span
+  /// boundaries sound); only the RNG consumption pattern differs, which
+  /// is exactly the moving-target randomness the defense wants fresh per
+  /// inference anyway.
+  [[nodiscard]] double dot(const double* w, const double* x, std::size_t n) override {
+    count_macs(n);
+    faultsim::FaultInjector& inj = *injector_;
+    if (inj.error_rate() > kSkipAheadMaxRate) {
+      // Dense-fault regime: geometric gaps are mostly tiny and a log()
+      // per gap costs more than a Bernoulli draw per product, so corrupt
+      // per product (still one virtual call per row, not per MAC).
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += inj.corrupt_product(w[i] * x[i]);
+      return acc;
+    }
+    inj.count_operations(n);
+    double acc = 0.0;
+    std::size_t i = 0;
+    while (i < n) {
+      const std::size_t gap = inj.next_fault_gap();
+      const bool fault_free = gap >= n - i;
+      const std::size_t end = fault_free ? n : i + gap;
+      // Accumulate the exact span into a local whose live range crosses no
+      // call: `acc` itself is live across next_fault_gap(), so compilers
+      // keep it spilled — and `span` must stay simultaneously live with
+      // `acc` at the += below or regalloc coalesces them back into the
+      // stack slot, paying a store/reload per product.
+      double span = 0.0;
+      for (std::size_t j = i; j < end; ++j) span += w[j] * x[j];
+      acc += span;
+      if (fault_free) break;
+      acc += inj.corrupt_product_at_fault(w[end] * x[end]);
+      i = end + 1;
+    }
+    return acc;
+  }
+
   [[nodiscard]] const char* name() const noexcept override { return "undervolt-faulty"; }
 
   [[nodiscard]] faultsim::FaultInjector& injector() noexcept { return *injector_; }
@@ -82,6 +170,18 @@ class NoiseContext final : public ArithmeticContext {
     count_mac();
     return a * b + sigma_ * source_->gaussian();
   }
+
+  /// Batched row loop. Still one gaussian() query per product — the
+  /// per-query randomness cost is the very overhead §VIII measures, so it
+  /// must not be amortized away; only the per-MAC virtual dispatch is.
+  [[nodiscard]] double dot(const double* w, const double* x, std::size_t n) override {
+    count_macs(n);
+    rng::RandomSource& src = *source_;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += w[i] * x[i] + sigma_ * src.gaussian();
+    return acc;
+  }
+
   [[nodiscard]] const char* name() const noexcept override { return "additive-noise"; }
 
   [[nodiscard]] rng::RandomSource& source() noexcept { return *source_; }

@@ -19,9 +19,10 @@ double LogisticRegression::predict(std::span<const double> x, ArithmeticContext&
   }
   // The dot product is this model's entire MAC path: like Network::forward,
   // each product goes through the context so an undervolted (FaultyContext)
-  // LR detector is covered by the defense. Accumulation stays exact (§II).
-  double z = b_;
-  for (std::size_t i = 0; i < x.size(); ++i) z += ctx.mul(w_[i], x[i]);
+  // LR detector is covered by the defense. The span-level dot() keeps the
+  // per-product fault model while skipping per-MAC virtual dispatch;
+  // accumulation stays exact (§II).
+  const double z = b_ + ctx.dot(w_.data(), x.data(), x.size());
   return sigmoid(z);
 }
 

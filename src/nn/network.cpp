@@ -73,23 +73,31 @@ std::span<const double> Network::forward(std::span<const double> input, Arithmet
   if (input.size() != input_dim()) {
     throw std::invalid_argument("Network::forward: input dimension mismatch");
   }
-  // Grow both ping-pong buffers to the widest activation once; assign()
-  // below then reuses capacity and the hot loop never touches the heap.
-  std::size_t max_width = input.size();
-  for (const Layer& layer : layers_) max_width = std::max(max_width, layer.out_dim);
-  scratch.a_.reserve(max_width);
-  scratch.b_.reserve(max_width);
+  // Grow both ping-pong buffers to the widest activation once. The widest
+  // width is cached in the scratch keyed on this network's identity, so
+  // repeated calls skip the layer scan; resize() below then reuses
+  // capacity and the hot loop never touches the heap. (Layer widths are
+  // fixed after construction/load — training mutates weights, not shapes.)
+  if (scratch.net_ != this) {
+    std::size_t max_width = input.size();
+    for (const Layer& layer : layers_) max_width = std::max(max_width, layer.out_dim);
+    scratch.max_width_ = max_width;
+    scratch.net_ = this;
+  }
+  scratch.a_.reserve(scratch.max_width_);
+  scratch.b_.reserve(scratch.max_width_);
   std::vector<double>* current = &scratch.a_;
   std::vector<double>* next = &scratch.b_;
   current->assign(input.begin(), input.end());
   for (const Layer& layer : layers_) {
-    next->assign(layer.out_dim, 0.0);
+    next->resize(layer.out_dim);
+    const double* in = current->data();
     for (std::size_t o = 0; o < layer.out_dim; ++o) {
-      double acc = layer.biases[o];  // accumulation stays exact (§II)
-      const double* wrow = &layer.weights[o * layer.in_dim];
-      for (std::size_t i = 0; i < layer.in_dim; ++i) {
-        acc += ctx.mul(wrow[i], (*current)[i]);
-      }
+      // One span-level call per output row: the context perturbs each
+      // product per its fault model and accumulates exactly (§II — adders
+      // never fault); the bias joins the exact accumulation.
+      const double acc =
+          layer.biases[o] + ctx.dot(&layer.weights[o * layer.in_dim], in, layer.in_dim);
       (*next)[o] = activate(layer.activation, acc);
     }
     std::swap(current, next);

@@ -38,8 +38,11 @@ struct Layer {
 /// Reusable forward-pass workspace: two ping-pong activation buffers that
 /// grow to the widest layer on first use and are then recycled, so
 /// steady-state inference through the scratch overload of
-/// Network::forward performs zero heap allocations. One scratch per
-/// thread — it is mutable state and must not be shared concurrently.
+/// Network::forward performs zero heap allocations. The widest-layer
+/// width is computed once per network and cached here (keyed on the
+/// network's identity), so steady-state calls skip the per-call layer
+/// scan. One scratch per thread — it is mutable state and must not be
+/// shared concurrently.
 class ForwardScratch {
  public:
   friend class Network;
@@ -47,6 +50,8 @@ class ForwardScratch {
  private:
   std::vector<double> a_;
   std::vector<double> b_;
+  const void* net_ = nullptr;  ///< network the cached width belongs to
+  std::size_t max_width_ = 0;
 };
 
 class Network {

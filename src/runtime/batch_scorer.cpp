@@ -65,6 +65,9 @@ std::vector<std::vector<double>> BatchScorer::score_batch(
       std::vector<double>& out = scores[i];
       out.reserve(windows.size());
       for (const std::vector<double>& window : windows) {
+        // forward issues one FaultyContext::dot per output row: fault
+        // sites are geometric skip-ahead samples from this worker's
+        // private stream, fault-free spans run exact.
         out.push_back(net.forward(window, faulty, worker.scratch)[0]);
       }
     }

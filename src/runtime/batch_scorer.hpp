@@ -12,7 +12,12 @@
 //             apart), so parallel fault statistics never share or overlap
 //             a generator;
 //   memory  — each worker scores through a reusable ForwardScratch, so
-//             the steady-state hot loop performs zero heap allocations.
+//             the steady-state hot loop performs zero heap allocations
+//             (and caches the network's widest-layer width per worker);
+//   spans   — every forward routes one ArithmeticContext::dot call per
+//             output row, so undervolted workers pay the geometric
+//             skip-ahead kernel (one RNG draw per *fault*, not per MAC)
+//             and fault-free spans run as exact dot products.
 //
 // Determinism contract: worker w always scores the same slice of the
 // batch with the same private stream, so one (seed, worker count) pair

@@ -1,0 +1,312 @@
+// Statistical-equivalence suite for the span-level dot() kernels
+// (ArithmeticContext::dot). The geometric skip-ahead kernel must be
+// indistinguishable from the scalar per-MAC Bernoulli path in every
+// observable the fault model defines — total fault count, bit-position
+// histogram, and fault-site placement — and bit-exact where the paper
+// demands exactness (er = 0, and ExactContext against the mul() fallback).
+//
+// All tests run on fixed seeds: the chi-square thresholds (p ~= 0.001 via
+// the Wilson–Hilferty approximation) guard against a future kernel change
+// silently distorting the distribution, not against unlucky draws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "faultsim/bit_fault_distribution.hpp"
+#include "faultsim/fault_injector.hpp"
+#include "nn/arithmetic.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd {
+namespace {
+
+// Scalar reference: routes every product through mul() -> corrupt_product
+// and inherits the base-class dot() fallback — exactly the pre-span
+// FaultyContext behavior the skip-ahead kernel must reproduce.
+class ScalarFaultyContext final : public nn::ArithmeticContext {
+ public:
+  explicit ScalarFaultyContext(faultsim::FaultInjector& injector) : injector_(&injector) {}
+
+  [[nodiscard]] double mul(double a, double b) override {
+    count_mac();
+    return injector_->corrupt_product(a * b);
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "scalar-faulty"; }
+
+ private:
+  faultsim::FaultInjector* injector_;
+};
+
+// mul()-only exact context: exercises the base-class fallback accumulation.
+class FallbackExactContext final : public nn::ArithmeticContext {
+ public:
+  [[nodiscard]] double mul(double a, double b) override {
+    count_mac();
+    return a * b;
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "fallback-exact"; }
+};
+
+/// Upper critical value of chi^2 with `df` degrees of freedom at
+/// p ~= 0.001, via the Wilson–Hilferty cube approximation.
+double chi2_crit_p001(double df) {
+  constexpr double kZ = 3.0902;  // standard normal upper 0.001 quantile
+  const double a = 2.0 / (9.0 * df);
+  const double c = 1.0 - a + kZ * std::sqrt(a);
+  return df * c * c * c;
+}
+
+/// Two-sample chi-square statistic over pre-pooled bins (counts o1, o2 from
+/// independent streams of total size n1, n2).
+double two_sample_chi2(const std::vector<std::uint64_t>& o1, const std::vector<std::uint64_t>& o2,
+                       double n1, double n2) {
+  const double k1 = std::sqrt(n2 / n1);
+  const double k2 = std::sqrt(n1 / n2);
+  double chi2 = 0.0;
+  for (std::size_t b = 0; b < o1.size(); ++b) {
+    const double c1 = static_cast<double>(o1[b]);
+    const double c2 = static_cast<double>(o2[b]);
+    if (c1 + c2 == 0.0) continue;
+    const double d = k1 * c1 - k2 * c2;
+    chi2 += d * d / (c1 + c2);
+  }
+  return chi2;
+}
+
+/// Pool two parallel histograms so every pooled bin holds at least
+/// `min_count` combined observations (tail bins merge into the last pool).
+void pool_bins(const std::vector<std::uint64_t>& h1, const std::vector<std::uint64_t>& h2,
+               std::uint64_t min_count, std::vector<std::uint64_t>& p1,
+               std::vector<std::uint64_t>& p2) {
+  std::uint64_t a1 = 0;
+  std::uint64_t a2 = 0;
+  for (std::size_t b = 0; b < h1.size(); ++b) {
+    a1 += h1[b];
+    a2 += h2[b];
+    if (a1 + a2 >= min_count) {
+      p1.push_back(a1);
+      p2.push_back(a2);
+      a1 = a2 = 0;
+    }
+  }
+  if ((a1 + a2) > 0 && !p1.empty()) {
+    p1.back() += a1;
+    p2.back() += a2;
+  }
+}
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256ss gen(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = gen.uniform(-2.0, 2.0);
+  return v;
+}
+
+faultsim::FaultInjector make_injector(double er, std::uint64_t seed) {
+  return faultsim::FaultInjector(er, faultsim::BitFaultDistribution::measured(), seed);
+}
+
+// ------------------------------------------------- fault-count equivalence
+
+// The headline observable: over the same number of products, both kernels
+// must fault at the configured marginal rate. Covers the skip-ahead regime
+// (1e-4, 1e-2) and the dense per-product branch (0.5).
+TEST(FaultsimDot, FaultCountMatchesScalarAcrossRates) {
+  constexpr std::size_t kN = 256;
+  const std::vector<double> w = random_vector(kN, 11);
+  const std::vector<double> x = random_vector(kN, 22);
+
+  for (const double er : {1e-4, 1e-2, 0.5}) {
+    // Enough products for >= ~100 expected faults even at er = 1e-4.
+    const std::size_t rounds = er < 1e-3 ? 4000 : 400;
+    const double ops = static_cast<double>(rounds * kN);
+
+    faultsim::FaultInjector span_inj = make_injector(er, 0xD07AAULL);
+    faultsim::FaultInjector scalar_inj = make_injector(er, 0xD07BBULL);
+    nn::FaultyContext span_ctx(span_inj);
+    ScalarFaultyContext scalar_ctx(scalar_inj);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      (void)span_ctx.dot(w.data(), x.data(), kN);
+      (void)scalar_ctx.dot(w.data(), x.data(), kN);
+    }
+
+    ASSERT_EQ(span_inj.stats().operations, rounds * kN) << "er=" << er;
+    ASSERT_EQ(scalar_inj.stats().operations, rounds * kN) << "er=" << er;
+
+    // Two-proportion z-test at |z| < 3.29 (p ~= 0.001).
+    const double f1 = static_cast<double>(span_inj.stats().faults);
+    const double f2 = static_cast<double>(scalar_inj.stats().faults);
+    const double pooled = (f1 + f2) / (2.0 * ops);
+    const double se = std::sqrt(pooled * (1.0 - pooled) * (2.0 / ops));
+    EXPECT_LT(std::abs(f1 - f2) / ops, 3.29 * se + 1e-12)
+        << "er=" << er << " span=" << f1 << " scalar=" << f2;
+
+    // And each must sit near the configured marginal rate.
+    const double binom_sd = std::sqrt(er * (1.0 - er) / ops);
+    EXPECT_NEAR(f1 / ops, er, 5.0 * binom_sd + 1e-12) << "er=" << er;
+    EXPECT_NEAR(f2 / ops, er, 5.0 * binom_sd + 1e-12) << "er=" << er;
+  }
+}
+
+// ------------------------------------------------ bit-position equivalence
+
+// Faulted products must draw their flipped bit from the same Fig. 1
+// distribution regardless of which kernel selected the fault site.
+TEST(FaultsimDot, BitFlipHistogramMatchesScalar) {
+  constexpr std::size_t kN = 256;
+  constexpr std::size_t kRounds = 600;
+  constexpr double kEr = 0.01;
+  const std::vector<double> w = random_vector(kN, 33);
+  const std::vector<double> x = random_vector(kN, 44);
+
+  faultsim::FaultInjector span_inj = make_injector(kEr, 0xB17AAULL);
+  faultsim::FaultInjector scalar_inj = make_injector(kEr, 0xB17BBULL);
+  nn::FaultyContext span_ctx(span_inj);
+  ScalarFaultyContext scalar_ctx(scalar_inj);
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    (void)span_ctx.dot(w.data(), x.data(), kN);
+    (void)scalar_ctx.dot(w.data(), x.data(), kN);
+  }
+
+  const auto& h1 = span_inj.stats().bit_flips;
+  const auto& h2 = scalar_inj.stats().bit_flips;
+  std::vector<std::uint64_t> p1;
+  std::vector<std::uint64_t> p2;
+  pool_bins({h1.begin(), h1.end()}, {h2.begin(), h2.end()}, 10, p1, p2);
+  ASSERT_GE(p1.size(), 5u) << "not enough faults to form bins";
+
+  const double n1 = static_cast<double>(span_inj.stats().faults);
+  const double n2 = static_cast<double>(scalar_inj.stats().faults);
+  const double chi2 = two_sample_chi2(p1, p2, n1, n2);
+  EXPECT_LT(chi2, chi2_crit_p001(static_cast<double>(p1.size() - 1))) << "bins=" << p1.size();
+}
+
+// ----------------------------------------------- fault-site gap equivalence
+
+// The skip-ahead generator's raw gaps must follow the same law as the gaps
+// between successes of a per-product Bernoulli stream — this is the exact
+// identity the kernel's correctness rests on.
+TEST(FaultsimDot, GapDistributionMatchesBernoulliStream) {
+  constexpr double kEr = 0.05;
+  constexpr std::size_t kGaps = 20000;
+
+  // Geometric gaps straight from the skip-ahead sampler.
+  faultsim::FaultInjector geo_inj = make_injector(kEr, 0x6A9AAULL);
+  std::vector<std::uint64_t> geo_hist;
+  for (std::size_t i = 0; i < kGaps; ++i) {
+    const std::size_t gap = geo_inj.next_fault_gap();
+    ASSERT_NE(gap, faultsim::FaultInjector::kNoFault);
+    if (geo_hist.size() <= gap) geo_hist.resize(gap + 1, 0);
+    ++geo_hist[gap];
+  }
+
+  // Gaps reconstructed from a scalar Bernoulli fault stream. corrupt_u64(0)
+  // returns nonzero exactly when it faulted (some bit of 0 got flipped).
+  faultsim::FaultInjector ber_inj = make_injector(kEr, 0x6A9BBULL);
+  std::vector<std::uint64_t> ber_hist;
+  std::size_t run = 0;
+  for (std::size_t got = 0; got < kGaps;) {
+    if (ber_inj.corrupt_u64(0) != 0) {
+      if (ber_hist.size() <= run) ber_hist.resize(run + 1, 0);
+      ++ber_hist[run];
+      run = 0;
+      ++got;
+    } else {
+      ++run;
+    }
+  }
+
+  const std::size_t bins = std::max(geo_hist.size(), ber_hist.size());
+  geo_hist.resize(bins, 0);
+  ber_hist.resize(bins, 0);
+  std::vector<std::uint64_t> p1;
+  std::vector<std::uint64_t> p2;
+  pool_bins(geo_hist, ber_hist, 20, p1, p2);
+  ASSERT_GE(p1.size(), 10u);
+
+  const double chi2 =
+      two_sample_chi2(p1, p2, static_cast<double>(kGaps), static_cast<double>(kGaps));
+  EXPECT_LT(chi2, chi2_crit_p001(static_cast<double>(p1.size() - 1))) << "bins=" << p1.size();
+}
+
+// --------------------------------------------------------- exactness edges
+
+TEST(FaultsimDot, ZeroErrorRateIsExactFreeAndConsumesNoRandomness) {
+  constexpr std::size_t kN = 192;
+  const std::vector<double> w = random_vector(kN, 55);
+  const std::vector<double> x = random_vector(kN, 66);
+
+  constexpr std::uint64_t kSeed = 0xC0FFEEULL;
+  faultsim::FaultInjector inj = make_injector(0.0, kSeed);
+  nn::FaultyContext faulty(inj);
+  nn::ExactContext exact;
+
+  const double got = faulty.dot(w.data(), x.data(), kN);
+  EXPECT_EQ(got, exact.dot(w.data(), x.data(), kN))
+      << "er = 0 must be bit-identical to exact arithmetic";
+  EXPECT_EQ(inj.stats().operations, kN) << "opportunity accounting still advances";
+  EXPECT_EQ(inj.stats().faults, 0u);
+
+  // The fault-free span must not consume RNG: the stream continues exactly
+  // where a fresh same-seed injector's stream starts.
+  faultsim::FaultInjector fresh = make_injector(0.0, kSeed);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(inj.generator()(), fresh.generator()());
+}
+
+TEST(FaultsimDot, ExactDotBitIdenticalToFallback) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{256}}) {
+    const std::vector<double> w = random_vector(n, 77 + n);
+    const std::vector<double> x = random_vector(n, 88 + n);
+    nn::ExactContext vectorized;
+    FallbackExactContext fallback;
+    EXPECT_EQ(vectorized.dot(w.data(), x.data(), n), fallback.dot(w.data(), x.data(), n))
+        << "n=" << n;
+    EXPECT_EQ(vectorized.mac_count(), n);
+    EXPECT_EQ(fallback.mac_count(), n);
+  }
+}
+
+TEST(FaultsimDot, AccountingAdvancesByWholeSpansInBothRegimes) {
+  constexpr std::size_t kN = 100;
+  const std::vector<double> w = random_vector(kN, 99);
+  const std::vector<double> x = random_vector(kN, 111);
+
+  for (const double er : {0.01, 0.5}) {  // skip-ahead and dense branches
+    faultsim::FaultInjector inj = make_injector(er, 0xACCULL);
+    nn::FaultyContext ctx(inj);
+    for (int call = 1; call <= 3; ++call) {
+      (void)ctx.dot(w.data(), x.data(), kN);
+      EXPECT_EQ(ctx.mac_count(), static_cast<std::uint64_t>(call) * kN) << "er=" << er;
+      EXPECT_EQ(inj.stats().operations, static_cast<std::uint64_t>(call) * kN) << "er=" << er;
+    }
+  }
+}
+
+TEST(FaultsimDot, NonFiniteProductsPassThroughTheSpanKernel) {
+  // A non-finite product has no Q16.47 image; the kernel must pass it
+  // through unfaulted in both regimes without disturbing the sum's
+  // infiniteness.
+  constexpr std::size_t kN = 64;
+  std::vector<double> w = random_vector(kN, 123);
+  std::vector<double> x = random_vector(kN, 134);
+  w[17] = std::numeric_limits<double>::infinity();
+  x[17] = 1.0;
+
+  for (const double er : {0.125, 1.0}) {  // max skip-ahead rate, dense branch
+    faultsim::FaultInjector inj = make_injector(er, 0x1F1ULL);
+    nn::FaultyContext ctx(inj);
+    for (int r = 0; r < 50; ++r) {
+      EXPECT_TRUE(std::isinf(ctx.dot(w.data(), x.data(), kN))) << "er=" << er;
+    }
+    EXPECT_EQ(inj.stats().operations, 50u * kN);
+  }
+}
+
+}  // namespace
+}  // namespace shmd

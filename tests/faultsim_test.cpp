@@ -229,6 +229,30 @@ TEST(FaultInjector, InvalidErrorRateRejected) {
   EXPECT_THROW(inj.set_error_rate(1.1), std::invalid_argument);
 }
 
+TEST(FaultInjector, NanErrorRateRejected) {
+  // A NaN er would sail past `er < 0 || er > 1` checks and silently poison
+  // every Bernoulli draw and the skip-ahead geometric math downstream.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  FaultInjector inj(0.5, BitFaultDistribution::measured());
+  EXPECT_THROW(inj.set_error_rate(nan), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(inj.error_rate(), 0.5) << "a rejected update must leave the rate intact";
+  EXPECT_THROW(FaultInjector(nan, BitFaultDistribution::measured()), std::invalid_argument);
+}
+
+TEST(FaultInjector, PerOperationProbabilityOverload) {
+  FaultInjector inj(0.25, BitFaultDistribution::measured());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(inj.corrupt_u64(0x1234, 0.0), 0x1234u);
+  for (int i = 0; i < 100; ++i) EXPECT_NE(inj.corrupt_u64(0x1234, 1.0), 0x1234u);
+  EXPECT_EQ(inj.stats().operations, 200u);
+  EXPECT_EQ(inj.stats().faults, 100u);
+  // The one-off probability never disturbs the configured flat rate.
+  EXPECT_DOUBLE_EQ(inj.error_rate(), 0.25);
+  EXPECT_THROW((void)inj.corrupt_u64(1, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)inj.corrupt_u64(1, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)inj.corrupt_u64(1, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
 TEST(FaultInjector, ResetStatsClearsCounters) {
   FaultInjector inj(1.0, BitFaultDistribution::measured());
   (void)inj.corrupt_u64(1);

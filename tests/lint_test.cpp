@@ -106,6 +106,74 @@ TEST(LintR1, StandaloneAnnotationCoversTheFollowingStatement) {
   EXPECT_EQ(lines_of(diags, "R1"), (std::vector<int>{5}));
 }
 
+TEST(LintR1, DotOverrideInArithmeticContextSubclassIsSanctioned) {
+  // A span kernel — raw products inside a dot() override of an
+  // ArithmeticContext subclass — IS the fault-model implementation; the
+  // override contract binds it to per-product semantics, so R1 stays quiet
+  // even outside the arithmetic.hpp path exemption.
+  const std::string fixture =
+      "#pragma once\n"
+      "namespace shmd::nn {\n"
+      "class FusedContext final : public ArithmeticContext {\n"
+      " public:\n"
+      "  double mul(double a, double b) override { return a * b; }\n"  // line 5: NOT a dot body
+      "  double dot(const double* w, const double* x, std::size_t n) override {\n"
+      "    double acc = 0.0;\n"
+      "    for (std::size_t i = 0; i < n; ++i) acc += w[i] * x[i];\n"  // sanctioned
+      "    return acc;\n"
+      "  }\n"
+      "};\n"
+      "}  // namespace shmd::nn\n";
+  const auto diags = lint("src/nn/fused_context.hpp", fixture);
+  EXPECT_EQ(lines_of(diags, "R1"), (std::vector<int>{5}))
+      << "only the dot() override body is sanctioned, not sibling members";
+}
+
+TEST(LintR1, DotOutsideArithmeticContextSubclassIsStillFlagged) {
+  // Same kernel body, but the class derives from nothing relevant — the
+  // structural sanction must not fire.
+  const std::string unrelated_class =
+      "#pragma once\n"
+      "namespace shmd::nn {\n"
+      "class Blas {\n"
+      " public:\n"
+      "  double dot(const double* w, const double* x, std::size_t n) {\n"
+      "    double acc = 0.0;\n"
+      "    for (std::size_t i = 0; i < n; ++i) acc += w[i] * x[i];\n"  // line 7
+      "    return acc;\n"
+      "  }\n"
+      "};\n"
+      "}  // namespace shmd::nn\n";
+  EXPECT_EQ(lines_of(lint("src/nn/blas.hpp", unrelated_class), "R1"), (std::vector<int>{7}));
+
+  // And a dot() member of an ArithmeticContext subclass that is NOT an
+  // override (no contract binding it to the fault model) stays flagged.
+  const std::string non_override =
+      "#pragma once\n"
+      "namespace shmd::nn {\n"
+      "class Helper final : public ArithmeticContext {\n"
+      " public:\n"
+      "  double dot(const double* w, const double* x, std::size_t n) {\n"
+      "    double acc = 0.0;\n"
+      "    for (std::size_t i = 0; i < n; ++i) acc += w[i] * x[i];\n"  // line 7
+      "    return acc;\n"
+      "  }\n"
+      "};\n"
+      "}  // namespace shmd::nn\n";
+  EXPECT_EQ(lines_of(lint("src/nn/helper.hpp", non_override), "R1"), (std::vector<int>{7}));
+}
+
+TEST(LintR1, SpanKernelTagSuppressesLikeExactOk) {
+  const std::string fixture =
+      "void accumulate(double* acc, const double* w, const double* x, std::size_t n) {\n"
+      "  for (std::size_t i = 0; i < n; ++i)\n"
+      "    acc[0] += w[i] * x[i];  // shmd-lint: span-kernel(free function span helper)\n"
+      "  acc[1] = w[0] * x[0];\n"  // line 4: outside the annotation
+      "}\n";
+  const auto diags = lint("src/nn/fixture.cpp", fixture);
+  EXPECT_EQ(lines_of(diags, "R1"), (std::vector<int>{4}));
+}
+
 TEST(LintR1, OnlyFaultInjectableDirectoriesAreInScope) {
   const std::string fixture = "double f(double a, double b) { return a * b; }\n";
   EXPECT_TRUE(lint("src/attack/fixture.cpp", fixture).empty());
@@ -237,6 +305,17 @@ TEST(LintR0, UnknownTagIsReported) {
   ASSERT_EQ(lines_of(diags, "R0"), (std::vector<int>{2}));
   EXPECT_NE(diags[0].hint.find("exact-ok"), std::string::npos)
       << "the R0 hint should list the valid tags";
+  EXPECT_NE(diags[0].hint.find("span-kernel"), std::string::npos)
+      << "the hint is built from the registry, so R1's secondary tag appears too";
+}
+
+TEST(LintDriver, EveryRuleListsItsPrimaryTagFirst) {
+  const Linter linter;
+  for (const auto& rule : linter.rules()) {
+    const auto tags = rule->suppression_tags();
+    ASSERT_FALSE(tags.empty()) << rule->id();
+    EXPECT_EQ(tags.front(), rule->suppression_tag()) << rule->id();
+  }
 }
 
 // ------------------------------------------------------------ driver details

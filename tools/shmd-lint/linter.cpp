@@ -16,8 +16,12 @@ std::vector<Diagnostic> Linter::lint_source(std::string path, std::string conten
     if (!rule->applies(file)) continue;
     std::vector<Diagnostic> found;
     rule->check(file, found);
+    const std::vector<std::string_view> tags = rule->suppression_tags();
     for (Diagnostic& diag : found) {
-      if (!file.suppressed(diag.line, rule->suppression_tag())) out.push_back(std::move(diag));
+      const bool covered = std::any_of(tags.begin(), tags.end(), [&](std::string_view tag) {
+        return file.suppressed(diag.line, tag);
+      });
+      if (!covered) out.push_back(std::move(diag));
     }
   }
 
@@ -27,11 +31,18 @@ std::vector<Diagnostic> Linter::lint_source(std::string path, std::string conten
                    "// shmd-lint: exact-ok(training-only path)"});
   }
   std::set<std::string_view> known_tags;
-  for (const std::unique_ptr<Rule>& rule : rules_) known_tags.insert(rule->suppression_tag());
+  std::string valid_tags;  // registry order, so the hint reads R1..R4
+  for (const std::unique_ptr<Rule>& rule : rules_) {
+    for (const std::string_view tag : rule->suppression_tags()) {
+      if (!known_tags.insert(tag).second) continue;
+      if (!valid_tags.empty()) valid_tags += ", ";
+      valid_tags += tag;
+    }
+  }
   for (const Suppression& s : file.suppressions()) {
     if (!known_tags.contains(s.tag)) {
       out.push_back({file.path(), s.line, "R0", "unknown suppression tag '" + s.tag + "'",
-                     "valid tags: exact-ok, rng-ok, stream-ok, header-ok"});
+                     "valid tags: " + valid_tags});
     }
   }
 

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "shmd-lint/linter.hpp"
@@ -26,9 +27,15 @@ int usage(const char* argv0) {
 
 void list_rules(const shmd::lint::Linter& linter) {
   for (const auto& rule : linter.rules()) {
-    std::printf("%s %-16s suppress: // shmd-lint: %s(<reason>)\n    %s\n",
-                std::string(rule->id()).c_str(), std::string(rule->name()).c_str(),
-                std::string(rule->suppression_tag()).c_str(),
+    std::string tags;
+    for (const std::string_view tag : rule->suppression_tags()) {
+      if (!tags.empty()) tags += " or ";
+      tags += "// shmd-lint: ";
+      tags += tag;
+      tags += "(<reason>)";
+    }
+    std::printf("%s %-16s suppress: %s\n    %s\n", std::string(rule->id()).c_str(),
+                std::string(rule->name()).c_str(), tags.c_str(),
                 std::string(rule->rationale()).c_str());
   }
   std::printf("R0 annotation       (not suppressible)\n"

@@ -112,6 +112,9 @@ class FaultCoverageRule final : public Rule {
   [[nodiscard]] std::string_view id() const noexcept override { return "R1"; }
   [[nodiscard]] std::string_view name() const noexcept override { return "fault-coverage"; }
   [[nodiscard]] std::string_view suppression_tag() const noexcept override { return "exact-ok"; }
+  [[nodiscard]] std::vector<std::string_view> suppression_tags() const override {
+    return {"exact-ok", "span-kernel"};
+  }
   [[nodiscard]] std::string_view rationale() const noexcept override {
     return "§VI.A injects undervolting faults per MAC product; a raw floating-point '*' in "
            "src/nn/ or src/hmd/ bypasses the stochastic defense";
@@ -126,6 +129,7 @@ class FaultCoverageRule final : public Rule {
   void check(const SourceFile& f, std::vector<Diagnostic>& out) const override {
     const std::vector<Token>& toks = f.tokens();
     const std::vector<std::size_t> code = code_indices(toks);
+    const std::vector<std::pair<std::size_t, std::size_t>> kernels = span_kernel_ranges(toks, code);
     int bracket_depth = 0;
     for (std::size_t ci = 0; ci < code.size(); ++ci) {
       const Token& tok = toks[code[ci]];
@@ -136,6 +140,7 @@ class FaultCoverageRule final : public Rule {
       if (tok.kind != TokenKind::kPunct || (tok.text != "*" && tok.text != "*=")) continue;
       if (ci == 0 || ci + 1 == code.size()) continue;
       if (bracket_depth > 0) continue;  // subscript arithmetic is index math
+      if (inside_any(kernels, ci)) continue;  // sanctioned dot() span kernel
       const Token& prev = toks[code[ci - 1]];
       if (prev.kind == TokenKind::kIdentifier && prev.text == "operator") continue;
       const Operand lhs = classify_left(toks, code, ci);
@@ -146,13 +151,85 @@ class FaultCoverageRule final : public Rule {
           {f.path(), tok.line, std::string(id()),
            "raw floating-point multiply ('" + prev.text + " " + tok.text + " " +
                toks[code[ci + 1]].text + "') outside ArithmeticContext in fault-injectable code",
-           "route inference-path products through the active ArithmeticContext (ctx.mul(a, b)); "
-           "if this product never runs on the undervolted path, annotate it: "
-           "// shmd-lint: exact-ok(<why exact arithmetic is sound here>)"});
+           "route inference-path products through the active ArithmeticContext (ctx.mul(a, b) "
+           "or ctx.dot(w, x, n)); if this product never runs on the undervolted path, annotate "
+           "it: // shmd-lint: exact-ok(<why exact arithmetic is sound here>); a span kernel "
+           "the dot()-override heuristic misses takes // shmd-lint: span-kernel(<reason>)"});
     }
   }
 
  private:
+  /// Index (in code space) of the `}` matching the `{` at code[open], or
+  /// code.size() when the brace never closes (mid-edit file).
+  static std::size_t match_brace(const std::vector<Token>& toks,
+                                 const std::vector<std::size_t>& code, std::size_t open) {
+    int depth = 0;
+    for (std::size_t j = open; j < code.size(); ++j) {
+      const Token& t = toks[code[j]];
+      if (t.kind != TokenKind::kPunct) continue;
+      if (t.text == "{") ++depth;
+      if (t.text == "}" && --depth == 0) return j;
+    }
+    return code.size();
+  }
+
+  /// Code-index ranges covering the bodies of dot(...) overrides declared
+  /// inside classes that derive from ArithmeticContext. Raw products there
+  /// ARE the sanctioned span kernels — the override contract (arithmetic.hpp)
+  /// already binds them to the per-product fault model, so R1 skips them.
+  static std::vector<std::pair<std::size_t, std::size_t>> span_kernel_ranges(
+      const std::vector<Token>& toks, const std::vector<std::size_t>& code) {
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    for (std::size_t ci = 0; ci + 1 < code.size(); ++ci) {
+      const Token& t = toks[code[ci]];
+      if (t.kind != TokenKind::kIdentifier || (t.text != "class" && t.text != "struct")) continue;
+      // Scan the class head (up to the body '{' or a forward-decl ';') for
+      // an ArithmeticContext base.
+      bool derives = false;
+      std::size_t body_open = code.size();
+      for (std::size_t j = ci + 1; j < code.size(); ++j) {
+        const Token& h = toks[code[j]];
+        if (h.kind == TokenKind::kIdentifier && h.text == "ArithmeticContext") derives = true;
+        if (h.kind == TokenKind::kPunct && (h.text == ";" || h.text == "{")) {
+          if (h.text == "{") body_open = j;
+          break;
+        }
+      }
+      if (!derives || body_open == code.size()) continue;
+      const std::size_t body_close = match_brace(toks, code, body_open);
+      for (std::size_t j = body_open + 1; j + 1 < body_close && j + 1 < code.size(); ++j) {
+        const Token& m = toks[code[j]];
+        if (m.kind != TokenKind::kIdentifier || m.text != "dot") continue;
+        if (toks[code[j + 1]].kind != TokenKind::kPunct || toks[code[j + 1]].text != "(") continue;
+        // Member named dot: require `override` between the parameter list
+        // and the function body to count it as a span kernel.
+        bool is_override = false;
+        std::size_t fn_open = body_close;
+        for (std::size_t k = j + 2; k < body_close; ++k) {
+          const Token& e = toks[code[k]];
+          if (e.kind == TokenKind::kIdentifier && e.text == "override") is_override = true;
+          if (e.kind == TokenKind::kPunct && (e.text == ";" || e.text == "{")) {
+            if (e.text == "{") fn_open = k;
+            break;
+          }
+        }
+        if (!is_override || fn_open == body_close) continue;
+        const std::size_t fn_close = match_brace(toks, code, fn_open);
+        ranges.emplace_back(fn_open, fn_close);
+        j = fn_close;
+      }
+    }
+    return ranges;
+  }
+
+  static bool inside_any(const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+                         std::size_t ci) {
+    for (const auto& [first, last] : ranges) {
+      if (ci > first && ci < last) return true;
+    }
+    return false;
+  }
+
   static Operand classify_left(const std::vector<Token>& toks,
                                const std::vector<std::size_t>& code, std::size_t star) {
     const Token& prev = toks[code[star - 1]];

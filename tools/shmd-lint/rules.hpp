@@ -4,9 +4,13 @@
 // (see DESIGN.md "Machine-checked invariants" for the full rationale):
 //
 //   R1 fault-coverage  — every floating-point product in fault-injectable
-//        code (src/nn/, src/hmd/) must flow through ArithmeticContext::mul,
-//        because §VI.A injects undervolting faults per MAC *product*; one
-//        raw `a * b` on an inference path silently bypasses the defense.
+//        code (src/nn/, src/hmd/) must flow through ArithmeticContext::mul
+//        or dot(), because §VI.A injects undervolting faults per MAC
+//        *product*; one raw `a * b` on an inference path silently bypasses
+//        the defense. Raw products inside a dot() override of an
+//        ArithmeticContext subclass are the sanctioned span kernels
+//        themselves and are recognized structurally (or via the
+//        "span-kernel" tag for kernels the heuristic cannot see).
 //   R2 rng-discipline  — std::rand/srand/std::random_device only inside
 //        src/rng/entropy.*; everything else uses the project RandomSource
 //        hierarchy so the per-worker jump() streams stay deterministic.
@@ -45,8 +49,14 @@ class Rule {
 
   [[nodiscard]] virtual std::string_view id() const noexcept = 0;
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
-  /// Annotation tag that overrules this rule, e.g. "exact-ok".
+  /// Primary annotation tag that overrules this rule, e.g. "exact-ok".
   [[nodiscard]] virtual std::string_view suppression_tag() const noexcept = 0;
+  /// Every tag that overrules this rule. Defaults to the primary tag
+  /// alone; rules with specialized escape hatches (R1's "span-kernel")
+  /// override this to accept more than one.
+  [[nodiscard]] virtual std::vector<std::string_view> suppression_tags() const {
+    return {suppression_tag()};
+  }
   /// One-line paper rationale, shown by `shmd-lint --list-rules`.
   [[nodiscard]] virtual std::string_view rationale() const noexcept = 0;
 
