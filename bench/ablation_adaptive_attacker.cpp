@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+
 #include "attack/transferability.hpp"
 #include "hmd/space_exploration.hpp"
 

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+
 #include "attack/transferability.hpp"
 #include "eval/data_adapter.hpp"
 #include "eval/metrics.hpp"

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+
 #include "attack/whitebox.hpp"
 
 namespace {

@@ -1,14 +1,21 @@
 #!/usr/bin/env python3
-"""Reduce google-benchmark JSON output to the BENCH_micro.json scorecard.
+"""Reduce raw benchmark output to the BENCH_*.json scorecards.
 
 Usage: emit_bench_json.py <benchmark_out.json> [BENCH_micro.json]
+       emit_bench_json.py --serve <serve_loadgen_out.json> [BENCH_serve.json]
 
-The CI bench-smoke job runs micro_inference with --benchmark_out and feeds
-the raw dump through this script, which keeps only the items-per-second
-series the project tracks release over release: exact inference, faulty
-inference at er = 0 / 10% / 50%, the PRNG additive-noise baseline, and the
-raw dot() kernels the span-level arithmetic API added. Stdlib only — CI
-installs no Python packages.
+Micro mode: the CI bench-smoke job runs micro_inference with
+--benchmark_out and feeds the raw google-benchmark dump through this
+script, which keeps only the items-per-second series the project tracks
+release over release: exact inference, faulty inference at
+er = 0 / 10% / 50%, the PRNG additive-noise baseline, and the raw dot()
+kernels the span-level arithmetic API added.
+
+Serve mode (--serve): reduces a serve_loadgen JSON report to the
+BENCH_serve.json scorecard — closed-loop peak throughput, open-loop shed
+fraction and tail latency past saturation, and the accounting invariant
+(every request terminal, nothing lost). Stdlib only — CI installs no
+Python packages.
 """
 
 import json
@@ -28,7 +35,56 @@ SERIES = {
 }
 
 
+def emit_serve(argv):
+    if len(argv) < 1 or len(argv) > 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    raw_path = argv[0]
+    out_path = argv[1] if len(argv) == 2 else "BENCH_serve.json"
+
+    with open(raw_path, encoding="utf-8") as f:
+        raw = json.load(f)
+
+    def phase(name):
+        p = raw.get(name)
+        if p is None:
+            print(f"emit_bench_json: missing phase: {name}", file=sys.stderr)
+            return None
+        submitted = p.get("submitted", 0)
+        return {
+            "throughput_rps": p.get("throughput_rps"),
+            "p50_us": p.get("p50_us"),
+            "p99_us": p.get("p99_us"),
+            "shed_fraction": (p.get("shed", 0) / submitted) if submitted else 0.0,
+            "deadline_missed": p.get("deadline_missed", 0),
+            "epoch_swaps": p.get("epoch_swaps", 0),
+        }
+
+    closed, open_ = phase("closed_loop"), phase("open_loop")
+    if closed is None or open_ is None:
+        return 1
+
+    totals = raw.get("totals", {})
+    scorecard = {
+        "closed_loop": closed,
+        "open_loop": open_,
+        "epoch_swaps": totals.get("epoch_swaps"),
+        # The serving layer's core promise: after the drain every accepted
+        # request reached a terminal state and nothing was silently lost.
+        "accounting_ok": totals.get("in_flight") == 0 and totals.get("failed") == 0,
+        "config": raw.get("config", {}),
+    }
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(scorecard, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"emit_bench_json: wrote serve scorecard to {out_path}")
+    return 0
+
+
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--serve":
+        return emit_serve(argv[2:])
     if len(argv) < 2 or len(argv) > 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

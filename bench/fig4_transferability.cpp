@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "common.hpp"
+
 #include "attack/transferability.hpp"
 #include "eval/metrics.hpp"
 #include "hmd/space_exploration.hpp"

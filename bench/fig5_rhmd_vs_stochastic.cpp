@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+
 #include "attack/transferability.hpp"
 #include "hmd/space_exploration.hpp"
 

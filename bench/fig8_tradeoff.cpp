@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+
 #include "attack/transferability.hpp"
 #include "eval/metrics.hpp"
 

@@ -6,18 +6,21 @@
 //
 // The scenario: a workload of benign programs, ordinary malware, and one
 // EVASIVE malware sample crafted (via the attack library) to slip past the
-// baseline detector. We monitor the mix for several rounds with both
-// detectors and print the alarm log.
+// baseline detector. The monitored programs flow through the resident
+// serve::ScoringService — the always-on front-end — while a moving-target
+// schedule swaps the detector's operating point (a fresh DetectorEpoch)
+// underneath the in-flight requests every few rounds.
 #include <cstdio>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "attack/evasion.hpp"
 #include "attack/reverse_engineer.hpp"
 #include "hmd/alarm.hpp"
-#include "attack/evasion.hpp"
 #include "hmd/builders.hpp"
 #include "hmd/space_exploration.hpp"
-#include "runtime/batch_scorer.hpp"
+#include "serve/scoring_service.hpp"
 
 int main() {
   using namespace shmd;
@@ -89,19 +92,27 @@ int main() {
   alarm_config.window = 8;
   alarm_config.cooldown = 8;
 
-  // The detection core serves the whole workload: each round, every
-  // monitored program is scored as one batch through the inference
-  // runtime (per-worker fault streams, allocation-free forward path) —
-  // the shape a production deployment with thousands of monitored
-  // programs takes.
-  runtime::BatchScorer scorer(stochastic, runtime::RuntimeConfig{});
+  // The detection core is the always-on scoring service: every monitored
+  // program is submitted each round and scored by the resident worker
+  // pool (per-request fault streams, allocation-free forward path). A
+  // moving-target schedule perturbs the operating point every few rounds:
+  // a fresh DetectorEpoch is published atomically, so re-rolls never
+  // stall or tear in-flight scores.
+  serve::ScoringService service(serve::make_epoch(stochastic));
   std::vector<const trace::FeatureSet*> batch;
   batch.reserve(workload.size());
   for (const auto& program : workload) batch.push_back(&program.features);
+  // The moving-target schedule cycles the stochastic boundary around the
+  // explored operating point (±20%): each point stays inside the
+  // accuracy-preserving regime the space exploration mapped out.
+  const std::vector<double> schedule = {explored.error_rate, explored.error_rate * 0.8,
+                                        explored.error_rate * 1.2};
+  constexpr int kRoundsPerEpoch = 4;
 
   std::printf("\nmonitoring %zu programs for %d detection rounds (er = %.2f, "
-              "%zu batch workers, alarm = 3-of-8 with cooldown)\n\n",
-              workload.size(), kRounds, explored.error_rate, scorer.num_workers());
+              "%zu service workers, epoch swap every %d rounds, alarm = 3-of-8)\n\n",
+              workload.size(), kRounds, explored.error_rate, service.num_workers(),
+              kRoundsPerEpoch);
   std::printf("%-28s %-10s %-16s %-16s %-14s\n", "program", "truth", "baseline flags",
               "stochastic flags", "pages raised");
 
@@ -109,7 +120,13 @@ int main() {
   std::vector<int> sto_flags(workload.size(), 0);
   std::vector<hmd::AlarmPolicy> pagers(workload.size(), hmd::AlarmPolicy(alarm_config));
   for (int round = 0; round < kRounds; ++round) {
-    const std::vector<bool> flagged = scorer.detect_batch(batch);
+    if (round > 0 && round % kRoundsPerEpoch == 0) {
+      hmd::StochasticHmd moved(baseline.network(), features,
+                               schedule[static_cast<std::size_t>(round / kRoundsPerEpoch) %
+                                        schedule.size()]);
+      service.install_epoch(serve::make_epoch(moved));
+    }
+    const std::vector<bool> flagged = service.detect_all(batch);
     for (std::size_t i = 0; i < workload.size(); ++i) {
       base_flags[i] += baseline.detect(workload[i].features);
       sto_flags[i] += flagged[i];
@@ -128,9 +145,18 @@ int main() {
                     : "-");
   }
 
+  const serve::ServiceStatsSnapshot stats = service.stats();
+  std::printf("\nservice: %llu scored, %llu shed, %llu epochs, p50 %.0f us, p99 %.0f us\n",
+              static_cast<unsigned long long>(stats.scored),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.epoch_swaps),
+              static_cast<double>(stats.latency.p50_ns()) / 1e3,
+              static_cast<double>(stats.latency.p99_ns()) / 1e3);
+
   std::printf("\nThe evasive sample stays quiet on the deterministic baseline in EVERY\n"
               "round — one crafted binary defeats it forever. The stochastic boundary\n"
-              "re-rolls per round: the same sample accumulates flagged rounds and pages\n"
-              "the operator, while the 3-of-8 policy debounces benign flicker.\n");
+              "re-rolls per round AND the operating point itself moves between epochs:\n"
+              "the same sample accumulates flagged rounds and pages the operator, while\n"
+              "the 3-of-8 policy debounces benign flicker.\n");
   return 0;
 }

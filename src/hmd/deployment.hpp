@@ -29,8 +29,10 @@ struct DeploymentBundle {
   /// binds a VoltageDomain separately via attach_domain()).
   [[nodiscard]] StochasticHmd make_detector(std::uint64_t noise_seed = 0x570C4ULL) const;
 
-  /// Offset for `temp_c`: nearest-point lookup with linear interpolation
-  /// between table entries; clamps outside the table's range.
+  /// Offset for `temp_c`: piecewise-linear interpolation between the two
+  /// surrounding table entries (an exact-key hit returns that entry's
+  /// offset); outside the table's range, clamps to the nearest endpoint.
+  /// Throws std::logic_error on an empty table.
   [[nodiscard]] double offset_for_temperature(double temp_c) const;
 };
 

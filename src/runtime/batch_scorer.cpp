@@ -10,11 +10,6 @@ namespace shmd::runtime {
 
 namespace {
 
-std::size_t resolve_workers(std::size_t requested) {
-  if (requested != 0) return requested;
-  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
-}
-
 std::vector<const trace::FeatureSet*> as_pointers(std::span<const trace::FeatureSet> batch) {
   std::vector<const trace::FeatureSet*> ptrs;
   ptrs.reserve(batch.size());

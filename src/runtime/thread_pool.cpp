@@ -14,10 +14,13 @@ Slice worker_slice(std::size_t n_items, std::size_t worker, std::size_t n_worker
   return {begin, begin + base + (worker < extra ? 1 : 0)};
 }
 
+std::size_t resolve_workers(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 ThreadPool::ThreadPool(std::size_t n_workers) {
-  if (n_workers == 0) {
-    n_workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
+  n_workers = resolve_workers(n_workers);
   // A wrapped negative (size_t(-1)) or similar nonsense would otherwise die
   // deep inside vector::reserve with an unhelpful length_error.
   if (n_workers > kMaxWorkers) {

@@ -33,6 +33,12 @@ struct Slice {
 [[nodiscard]] Slice worker_slice(std::size_t n_items, std::size_t worker,
                                  std::size_t n_workers) noexcept;
 
+/// Resolve a requested worker count: 0 means "all cores"
+/// (std::thread::hardware_concurrency, floored at 1). Shared by every
+/// pool-owning component (ThreadPool, BatchScorer, serve::ScoringService)
+/// so "0 = all cores" means the same thing everywhere.
+[[nodiscard]] std::size_t resolve_workers(std::size_t requested) noexcept;
+
 class ThreadPool {
  public:
   /// Upper bound on an explicit worker count; requests above it (usually a

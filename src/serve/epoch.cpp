@@ -1,0 +1,30 @@
+#include "serve/epoch.hpp"
+
+namespace shmd::serve {
+
+DetectorEpoch make_epoch(const hmd::StochasticHmd& detector, double threshold,
+                         double vote_fraction) {
+  DetectorEpoch epoch;
+  epoch.network = detector.network();
+  epoch.features = detector.feature_config();
+  epoch.error_rate = detector.error_rate();
+  epoch.threshold = threshold;
+  epoch.vote_fraction = vote_fraction;
+  epoch.distribution = detector.fault_distribution();
+  return epoch;
+}
+
+DetectorEpoch make_epoch(const hmd::DeploymentBundle& bundle, double temp_c,
+                         const volt::VoltFaultModel* model) {
+  DetectorEpoch epoch;
+  epoch.network = bundle.network;
+  epoch.features = bundle.feature_config;
+  // Direct-er bundles ship without a calibration table; the offset is
+  // then purely informational and stays at nominal (0 mV).
+  epoch.offset_mv = bundle.calibration.empty() ? 0.0 : bundle.offset_for_temperature(temp_c);
+  epoch.error_rate =
+      model != nullptr ? model->fault_probability(epoch.offset_mv, temp_c) : bundle.target_error_rate;
+  return epoch;
+}
+
+}  // namespace shmd::serve

@@ -1,0 +1,95 @@
+// DetectorEpoch: one detection round's frozen operating point, and the
+// RCU-style slot that swaps it under live traffic.
+//
+// The paper's deployment (§I, §IX) is a *moving target*: between detection
+// rounds the defender re-rolls the stochastic boundary — a new undervolt
+// offset from the thermal governor, a re-explored error rate, or a whole
+// new network from a hot-reloaded DeploymentBundle. An always-on service
+// cannot stop the world for any of that. The epoch mechanism makes
+// reconfiguration wait-free for the scoring path:
+//
+//   * a DetectorEpoch is an immutable value — network weights, feature
+//     config, error rate, undervolt offset, decision threshold — built
+//     off to the side at nominal cost;
+//   * EpochSlot::install() publishes it with one shared_ptr swap;
+//   * each request loads the slot ONCE at scoring time and runs entirely
+//     against that snapshot. In-flight requests keep their epoch alive by
+//     refcount, so a swap can neither stall them (no reader lock is held
+//     across inference) nor tear them (no request ever sees half of two
+//     epochs).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "faultsim/bit_fault_distribution.hpp"
+#include "hmd/deployment.hpp"
+#include "hmd/detector.hpp"
+#include "hmd/stochastic_hmd.hpp"
+#include "nn/network.hpp"
+#include "trace/dataset.hpp"
+#include "volt/volt_fault_model.hpp"
+
+namespace shmd::serve {
+
+/// Immutable operating-point snapshot for one detection epoch. The id is
+/// stamped by ScoringService::install_epoch (0 = not yet installed) and
+/// keys the per-epoch fault statistics in ServiceStats.
+struct DetectorEpoch {
+  std::uint64_t id = 0;
+  nn::Network network;
+  trace::FeatureConfig features;
+  /// Per-product fault probability (the paper's er knob) for this round.
+  double error_rate = 0.0;
+  /// Undervolt offset (mV, negative) behind `error_rate` — informational
+  /// in simulation, the actual rail programming in a real deployment.
+  double offset_mv = 0.0;
+  double threshold = 0.5;
+  double vote_fraction = hmd::Detector::kDefaultVoteFraction;
+  faultsim::BitFaultDistribution distribution = faultsim::BitFaultDistribution::measured();
+};
+
+/// Snapshot the operating point of an existing detector (direct-er mode):
+/// the service then serves the same boundary the serial detector would.
+[[nodiscard]] DetectorEpoch make_epoch(const hmd::StochasticHmd& detector,
+                                       double threshold = 0.5,
+                                       double vote_fraction = hmd::Detector::kDefaultVoteFraction);
+
+/// Build an epoch from a deployment bundle at die temperature `temp_c`:
+/// the offset comes from the bundle's calibration table, and the error
+/// rate from `model` at that (offset, temperature) when given — the
+/// voltage-driven path — or from the bundle's space-explored target when
+/// not. This is the hot-reload entry point: load_deployment() + this +
+/// install_epoch() re-points live traffic at a new artifact.
+[[nodiscard]] DetectorEpoch make_epoch(const hmd::DeploymentBundle& bundle, double temp_c,
+                                       const volt::VoltFaultModel* model = nullptr);
+
+/// RCU-style publication slot: install() publishes a new epoch with one
+/// pointer swap; current() hands a reader its own reference. Neither ever
+/// holds the lock across anything heavier than a refcount operation, so
+/// a swap cannot stall scoring. Readers that obtained a snapshot before
+/// an install keep using — and keep alive — the old epoch until they
+/// drop it.
+class EpochSlot {
+ public:
+  void install(std::shared_ptr<const DetectorEpoch> epoch) {
+    const std::lock_guard lock(mu_);
+    epoch_ = std::move(epoch);
+  }
+
+  [[nodiscard]] std::shared_ptr<const DetectorEpoch> current() const {
+    const std::lock_guard lock(mu_);
+    return epoch_;
+  }
+
+ private:
+  // A mutex rather than std::atomic<std::shared_ptr>: the lock covers one
+  // refcount operation (~ns), is immune to the libstdc++ spinlock's TSan
+  // blind spots, and keeps the swap semantics obvious. Contention is one
+  // load per *request*, not per MAC.
+  mutable std::mutex mu_;
+  std::shared_ptr<const DetectorEpoch> epoch_;
+};
+
+}  // namespace shmd::serve

@@ -1,0 +1,81 @@
+#include "serve/request_queue.hpp"
+
+#include <stdexcept>
+
+namespace shmd::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : ring_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("RequestQueue: capacity must be > 0");
+}
+
+SubmitStatus RequestQueue::try_push(const Request& request) {
+  {
+    const std::lock_guard lock(mu_);
+    if (closed_) return SubmitStatus::kClosed;
+    if (count_ == ring_.size()) return SubmitStatus::kShed;
+    Request& slot = ring_[(head_ + count_) % ring_.size()];
+    slot = request;
+    slot.seq = next_seq_++;
+    ++count_;
+  }
+  not_empty_.notify_one();
+  return SubmitStatus::kAccepted;
+}
+
+SubmitStatus RequestQueue::push(const Request& request) {
+  {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || count_ < ring_.size(); });
+    if (closed_) return SubmitStatus::kClosed;
+    Request& slot = ring_[(head_ + count_) % ring_.size()];
+    slot = request;
+    slot.seq = next_seq_++;
+    ++count_;
+  }
+  not_empty_.notify_one();
+  return SubmitStatus::kAccepted;
+}
+
+bool RequestQueue::pop(Request& out) {
+  {
+    std::unique_lock lock(mu_);
+    // While paused, consumers sleep even with work queued (so overload is
+    // observable); close() overrides pause so shutdown always drains.
+    not_empty_.wait(lock, [&] { return closed_ || (count_ > 0 && !paused_); });
+    if (count_ == 0) return false;  // closed and drained
+    out = ring_[head_];
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+  }
+  not_full_.notify_one();
+  return true;
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+void RequestQueue::set_paused(bool paused) {
+  {
+    const std::lock_guard lock(mu_);
+    paused_ = paused;
+  }
+  not_empty_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  const std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  const std::lock_guard lock(mu_);
+  return count_;
+}
+
+}  // namespace shmd::serve

@@ -1,0 +1,105 @@
+// RequestQueue: the bounded MPMC ring between request producers and the
+// scoring workers.
+//
+// Design constraints, in order:
+//   bounded   — an always-on detector under attack must degrade by
+//               *shedding* (reject-with-status) rather than by unbounded
+//               queue growth: a flood of scoring requests is itself an
+//               evasion vector (starve the detector until the evasive
+//               sample has run). Capacity is fixed at construction.
+//   two paths — try_push() is the overload-control path (never blocks,
+//               reports kShed when full); push() is the closed-loop path
+//               (blocks until space, for cooperative in-process callers).
+//   deadlines — each request carries an absolute deadline; expiry is
+//               checked at *dequeue* so a stale request costs a counter
+//               bump, not an inference.
+//   mutex+cv  — the ring holds trivially-copyable Request structs under
+//               one mutex with two condition variables. At the service's
+//               operating point (requests cost ~µs of inference each) the
+//               lock is uncontended; a lock-free ring would buy nothing
+//               measurable and cost TSan-provable correctness.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace shmd::trace {
+class FeatureSet;
+}  // namespace shmd::trace
+
+namespace shmd::serve {
+
+class ScoreTicket;
+
+using ServiceClock = std::chrono::steady_clock;
+
+/// Disposition of one submission attempt.
+enum class SubmitStatus : std::uint8_t {
+  kAccepted,  ///< enqueued; the ticket will be completed exactly once
+  kShed,      ///< queue full (try_submit only); no worker will see the request
+  kClosed,    ///< service is shutting down; no worker will see the request
+};
+
+/// One queued scoring request. Plain data — the ring stores these by
+/// value, so enqueue/dequeue never allocate.
+struct Request {
+  ScoreTicket* ticket = nullptr;              ///< caller-owned completion slot
+  const trace::FeatureSet* features = nullptr;  ///< caller-owned, must outlive scoring
+  ServiceClock::time_point deadline = ServiceClock::time_point::max();
+  ServiceClock::time_point enqueue_time{};
+  /// Admission order, stamped by the queue: the k-th accepted request
+  /// carries seq k. Seeds the request's private fault stream.
+  std::uint64_t seq = 0;
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Non-blocking enqueue: kShed when the ring is full, kClosed after
+  /// close(). The overload-shedding path.
+  [[nodiscard]] SubmitStatus try_push(const Request& request);
+
+  /// Blocking enqueue: waits for space. Returns kClosed if the queue is
+  /// (or becomes) closed while waiting.
+  [[nodiscard]] SubmitStatus push(const Request& request);
+
+  /// Blocking dequeue: waits for a request. Returns false only when the
+  /// queue is closed AND drained — accepted requests are always handed to
+  /// a worker, never dropped.
+  [[nodiscard]] bool pop(Request& out);
+
+  /// Stop accepting new requests and wake every waiter. Requests already
+  /// accepted remain poppable (drain semantics). Idempotent.
+  void close();
+
+  /// Gate the consumer side: while paused, pop() blocks even when
+  /// requests are queued, so producers observably fill the ring (the
+  /// overload tests and drain-for-maintenance both need this to be
+  /// deterministic). close() overrides pause so shutdown always drains.
+  void set_paused(bool paused);
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<Request> ring_;
+  std::size_t head_ = 0;   ///< index of the oldest queued request
+  std::size_t count_ = 0;  ///< queued requests
+  std::uint64_t next_seq_ = 0;  ///< admission counter (stamps Request::seq)
+  bool closed_ = false;
+  bool paused_ = false;
+};
+
+}  // namespace shmd::serve

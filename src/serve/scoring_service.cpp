@@ -1,0 +1,197 @@
+#include "serve/scoring_service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "hmd/detector.hpp"
+#include "nn/arithmetic.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace shmd::serve {
+
+namespace {
+
+/// Deterministic per-request stream seed: splitmix over the base seed and
+/// a golden-ratio-spread sequence number, so request k's fault stream is
+/// a function of (seed, k) alone — never of which worker scored it.
+std::uint64_t request_seed(std::uint64_t base, std::uint64_t seq) noexcept {
+  rng::SplitMix64 mix(base ^ ((seq + 1) * 0x9E3779B97F4A7C15ULL));
+  return mix();
+}
+
+}  // namespace
+
+ScoringService::ScoringService(DetectorEpoch initial_epoch, ServeConfig config)
+    : config_(config), queue_(config.queue_capacity) {
+  const std::size_t n_workers = runtime::resolve_workers(config_.num_workers);
+  workers_.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    // Per-worker injector: private stats and scratch; its generator is
+    // re-anchored per request, so the initial stream here never scores.
+    workers_.push_back(Worker{
+        faultsim::FaultInjector(initial_epoch.error_rate, initial_epoch.distribution,
+                                config_.seed),
+        nn::ForwardScratch{}});
+  }
+  (void)install_epoch(std::move(initial_epoch));
+  threads_.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ScoringService::~ScoringService() {
+  close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::uint64_t ScoringService::install_epoch(DetectorEpoch epoch) {
+  epoch.id = next_epoch_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t id = epoch.id;
+  slot_.install(std::make_shared<const DetectorEpoch>(std::move(epoch)));
+  stats_.on_epoch_swap();
+  return id;
+}
+
+SubmitStatus ScoringService::do_submit(const trace::FeatureSet& features, ScoreTicket& ticket,
+                                       std::optional<ServiceClock::time_point> deadline,
+                                       bool blocking) {
+  Request request;
+  request.ticket = &ticket;
+  request.features = &features;
+  request.deadline = deadline.value_or(ServiceClock::time_point::max());
+  request.enqueue_time = ServiceClock::now();
+  // request.seq is stamped by the queue at admission (under its mutex),
+  // so the k-th ACCEPTED request always carries seq k regardless of how
+  // many submissions were shed in between — shedding patterns can never
+  // perturb the fault stream of the requests that do get scored.
+  // begin() must precede the push: once the request is in the ring a
+  // worker may complete it at any moment, and a late reset would wipe the
+  // result. On rejection no worker ever saw the request, so the ticket is
+  // still exclusively ours and abort_submit() restores it to a completed,
+  // immediately reusable state (outcome kPending, empty scores).
+  ticket.begin();
+  const SubmitStatus status = blocking ? queue_.push(request) : queue_.try_push(request);
+  switch (status) {
+    case SubmitStatus::kAccepted:
+      stats_.on_enqueued();
+      break;
+    case SubmitStatus::kShed:
+      ticket.abort_submit();
+      stats_.on_shed();
+      break;
+    case SubmitStatus::kClosed:
+      ticket.abort_submit();
+      stats_.on_rejected_closed();
+      break;
+  }
+  return status;
+}
+
+SubmitStatus ScoringService::submit(const trace::FeatureSet& features, ScoreTicket& ticket,
+                                    std::optional<ServiceClock::time_point> deadline) {
+  return do_submit(features, ticket, deadline, /*blocking=*/true);
+}
+
+SubmitStatus ScoringService::try_submit(const trace::FeatureSet& features, ScoreTicket& ticket,
+                                        std::optional<ServiceClock::time_point> deadline) {
+  return do_submit(features, ticket, deadline, /*blocking=*/false);
+}
+
+std::vector<std::vector<double>> ScoringService::score_all(
+    std::span<const trace::FeatureSet* const> batch) {
+  std::vector<ScoreTicket> tickets(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (submit(*batch[i], tickets[i]) != SubmitStatus::kAccepted) {
+      // Already-submitted tickets complete (the queue drains on close);
+      // wait for them so their Request pointers do not dangle.
+      for (std::size_t j = 0; j < i; ++j) tickets[j].wait();
+      throw std::runtime_error("ScoringService::score_all: service is closed");
+    }
+  }
+  std::vector<std::vector<double>> scores(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    tickets[i].wait();
+    scores[i] = std::move(tickets[i].scores_);
+  }
+  return scores;
+}
+
+std::vector<bool> ScoringService::detect_all(std::span<const trace::FeatureSet* const> batch) {
+  std::vector<ScoreTicket> tickets(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (submit(*batch[i], tickets[i]) != SubmitStatus::kAccepted) {
+      for (std::size_t j = 0; j < i; ++j) tickets[j].wait();
+      throw std::runtime_error("ScoringService::detect_all: service is closed");
+    }
+  }
+  std::vector<bool> verdicts(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    tickets[i].wait();
+    verdicts[i] = tickets[i].verdict();
+  }
+  return verdicts;
+}
+
+void ScoringService::close() {
+  queue_.close();  // also overrides any pause, so the drain completes
+}
+
+void ScoringService::worker_loop(std::size_t w) {
+  Worker& worker = workers_[w];
+  Request request;
+  while (queue_.pop(request)) {
+    const std::shared_ptr<const DetectorEpoch> epoch = slot_.current();
+    ScoreTicket& ticket = *request.ticket;
+    const ServiceClock::time_point start = ServiceClock::now();
+    ticket.epoch_id_ = epoch->id;
+    if (start >= request.deadline) {
+      ticket.latency_ = start - request.enqueue_time;
+      stats_.on_deadline_missed();
+      ticket.complete(RequestOutcome::kDeadlineMissed);
+      continue;
+    }
+    faultsim::FaultInjector& injector = worker.injector;
+    injector.set_error_rate(epoch->error_rate);
+    injector.set_distribution(epoch->distribution);
+    injector.generator() = rng::Xoshiro256ss(request_seed(config_.seed, request.seq));
+    injector.reset_stats();  // per-request delta, attributed to this epoch below
+    nn::FaultyContext ctx(injector);
+    bool ok = true;
+    try {
+      const std::vector<std::vector<double>>& windows =
+          request.features->windows(epoch->features);
+      ticket.scores_.reserve(windows.size());
+      for (const std::vector<double>& window : windows) {
+        ticket.scores_.push_back(epoch->network.forward(window, ctx, worker.scratch)[0]);
+      }
+      ticket.verdict_ =
+          hmd::fraction_vote(ticket.scores_, epoch->threshold, epoch->vote_fraction);
+    } catch (...) {
+      // A worker must outlive any single bad request (e.g. a feature set
+      // missing the epoch's view). The ticket still completes — exactly
+      // once — with kFailed.
+      ticket.scores_.clear();
+      ok = false;
+    }
+    const ServiceClock::time_point end = ServiceClock::now();
+    ticket.latency_ = end - request.enqueue_time;
+    if (ok) {
+      stats_.on_scored(static_cast<std::uint64_t>(
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               end - request.enqueue_time)
+                               .count()),
+                       epoch->id, injector.stats());
+      ticket.complete(RequestOutcome::kScored);
+    } else {
+      stats_.on_failed();
+      ticket.complete(RequestOutcome::kFailed);
+    }
+  }
+}
+
+}  // namespace shmd::serve

@@ -1,0 +1,217 @@
+// ScoringService: the always-on scoring front-end of the repository.
+//
+// The paper's deployment (§I, §IX) is a dedicated undervolted core that
+// re-classifies every running program each detection round. The batch
+// runtime (runtime::BatchScorer) models one such round as a fork/join over
+// a frozen workload; this service models the *steady state* — a continuous
+// stream of scoring requests from monitors, benches, and (eventually)
+// network front-ends, flowing through a bounded ring into a resident
+// worker pool, while the stochastic boundary re-rolls underneath via
+// epoch swaps (epoch.hpp).
+//
+// Determinism contract — stronger than BatchScorer's. BatchScorer pins
+// worker w to a fixed slice and a jump()-derived stream, so (seed, worker
+// count) reproduces scores. Through an MPMC queue that scheme breaks:
+// which worker dequeues which request is a race, so any *worker*-anchored
+// stream makes scores depend on scheduling. The service therefore anchors
+// fault streams to the REQUEST: each accepted request gets a sequence
+// number, and the worker that scores it re-seeds its private injector
+// from splitmix(seed, seq) before the forward passes. Result: a fixed
+// seed reproduces bit-identical scores for the k-th accepted request
+// under ANY worker count and any scheduling — (seed, worker count)
+// reproducibility, as required, plus worker-count independence for free.
+// Workers still own a private FaultInjector and ForwardScratch each (no
+// sharing, no locks on the scoring path, zero steady-state allocation in
+// the forward pass).
+//
+// Overload discipline: the ring is bounded; try_submit() sheds with
+// kShed instead of queueing unboundedly (a request flood must not be able
+// to starve the detector — see request_queue.hpp), and every request
+// carries an optional absolute deadline checked at dequeue. ServiceStats
+// accounts each submission as exactly one of scored / shed /
+// deadline-missed (plus a failed counter that stays zero unless a caller
+// violates the feature-set contract).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "faultsim/fault_injector.hpp"
+#include "nn/network.hpp"
+#include "serve/epoch.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/service_stats.hpp"
+#include "trace/dataset.hpp"
+
+namespace shmd::serve {
+
+struct ServeConfig {
+  /// Scoring worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t num_workers = 0;
+  /// Ring capacity; submissions beyond it block (submit) or shed
+  /// (try_submit).
+  std::size_t queue_capacity = 1024;
+  /// Base seed for the per-request fault streams.
+  std::uint64_t seed = 0x5E7F1CEULL;
+};
+
+/// Terminal disposition of an accepted request.
+enum class RequestOutcome : std::uint8_t {
+  kPending,         ///< not yet completed (in queue or being scored)
+  kScored,          ///< scored under the epoch recorded in epoch_id()
+  kDeadlineMissed,  ///< expired in the queue; never scored
+  kFailed,          ///< scoring threw (e.g. feature set lacks the epoch's view)
+};
+
+/// Caller-owned completion slot for one request. Submit it, wait() (or
+/// poll done()), read the results; the same ticket can then be submitted
+/// again — its score buffer keeps its capacity, so a monitor that reuses
+/// tickets round after round allocates nothing in steady state. A ticket
+/// must stay alive and unmoved from submission until done() — it is
+/// neither copyable nor movable to make the aliasing contract explicit.
+class ScoreTicket {
+ public:
+  ScoreTicket() = default;
+  ScoreTicket(const ScoreTicket&) = delete;
+  ScoreTicket& operator=(const ScoreTicket&) = delete;
+
+  /// Block until no submission is in flight. A fresh ticket (and one
+  /// whose submission was rejected) is already done with outcome
+  /// kPending, so wait() only ever blocks on an accepted submission —
+  /// ticket pools can wait() unconditionally before reuse.
+  void wait() const noexcept {
+    // C++20 atomic wait: futex-backed, no per-ticket mutex.
+    done_.wait(false, std::memory_order_acquire);
+  }
+  [[nodiscard]] bool done() const noexcept { return done_.load(std::memory_order_acquire); }
+
+  // Results — meaningful only once done() is true.
+  [[nodiscard]] RequestOutcome outcome() const noexcept { return outcome_; }
+  /// Per-window live scores (empty unless outcome() == kScored).
+  [[nodiscard]] const std::vector<double>& scores() const noexcept { return scores_; }
+  /// fraction_vote verdict under the scoring epoch's threshold.
+  [[nodiscard]] bool verdict() const noexcept { return verdict_; }
+  /// Epoch that completed this request (DetectorEpoch::id).
+  [[nodiscard]] std::uint64_t epoch_id() const noexcept { return epoch_id_; }
+  /// Enqueue→completion time.
+  [[nodiscard]] std::chrono::nanoseconds latency() const noexcept { return latency_; }
+
+ private:
+  friend class ScoringService;
+
+  void begin() noexcept {
+    outcome_ = RequestOutcome::kPending;
+    scores_.clear();  // capacity retained: steady-state reuse allocates nothing
+    verdict_ = false;
+    epoch_id_ = 0;
+    latency_ = std::chrono::nanoseconds{0};
+    done_.store(false, std::memory_order_relaxed);
+  }
+  void complete(RequestOutcome outcome) noexcept {
+    outcome_ = outcome;
+    done_.store(true, std::memory_order_release);
+    done_.notify_all();
+  }
+  /// Undo begin() after a rejected submission (no worker ever saw the
+  /// request): the ticket is done() again with outcome kPending, so shed
+  /// tickets can be resubmitted — and never hang a wait().
+  void abort_submit() noexcept {
+    done_.store(true, std::memory_order_release);
+    done_.notify_all();
+  }
+
+  std::vector<double> scores_;
+  std::chrono::nanoseconds latency_{0};
+  std::uint64_t epoch_id_ = 0;
+  bool verdict_ = false;
+  RequestOutcome outcome_ = RequestOutcome::kPending;
+  std::atomic<bool> done_{true};  // fresh = done-with-no-result; begin() arms it
+};
+
+class ScoringService {
+ public:
+  /// Starts the worker pool and installs `initial_epoch` (stamped as
+  /// epoch 1).
+  explicit ScoringService(DetectorEpoch initial_epoch, ServeConfig config = {});
+  ~ScoringService();  ///< close(), drain, join
+
+  ScoringService(const ScoringService&) = delete;
+  ScoringService& operator=(const ScoringService&) = delete;
+
+  // -- reconfiguration (the moving-target control plane) -------------------
+
+  /// Atomically publish a new operating point; returns the stamped epoch
+  /// id. In-flight requests finish under the epoch they started with;
+  /// requests dequeued after the swap score under the new one. Never
+  /// blocks scoring.
+  std::uint64_t install_epoch(DetectorEpoch epoch);
+  [[nodiscard]] std::shared_ptr<const DetectorEpoch> current_epoch() const {
+    return slot_.current();
+  }
+
+  // -- request plane -------------------------------------------------------
+
+  /// Blocking submission: waits for ring space. The ticket and feature
+  /// set must outlive completion. Returns kClosed after close().
+  SubmitStatus submit(const trace::FeatureSet& features, ScoreTicket& ticket,
+                      std::optional<ServiceClock::time_point> deadline = std::nullopt);
+
+  /// Non-blocking submission: kShed when the ring is full — the
+  /// overload-control path. A rejected ticket is done() with outcome
+  /// kPending and may be resubmitted immediately.
+  SubmitStatus try_submit(const trace::FeatureSet& features, ScoreTicket& ticket,
+                          std::optional<ServiceClock::time_point> deadline = std::nullopt);
+
+  /// Closed-loop convenience: submit every item, wait for all, return
+  /// per-item window scores (the queue-path analogue of
+  /// BatchScorer::score_batch). Throws std::runtime_error if the service
+  /// is closed.
+  [[nodiscard]] std::vector<std::vector<double>> score_all(
+      std::span<const trace::FeatureSet* const> batch);
+  /// Same, but per-item verdicts under the scoring epoch's threshold.
+  [[nodiscard]] std::vector<bool> detect_all(std::span<const trace::FeatureSet* const> batch);
+
+  // -- lifecycle -----------------------------------------------------------
+
+  /// Hold the workers (accepted requests stay queued; producers see the
+  /// ring fill). resume() releases them. close() overrides a pause.
+  void pause() { queue_.set_paused(true); }
+  void resume() { queue_.set_paused(false); }
+
+  /// Stop accepting requests; already-accepted ones still drain (each is
+  /// completed as scored / deadline-missed, never dropped). Idempotent.
+  void close();
+
+  // -- observability -------------------------------------------------------
+
+  [[nodiscard]] ServiceStatsSnapshot stats() const { return stats_.snapshot(); }
+  [[nodiscard]] std::size_t num_workers() const noexcept { return workers_.size(); }
+  [[nodiscard]] std::size_t queue_capacity() const noexcept { return queue_.capacity(); }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  struct Worker {
+    faultsim::FaultInjector injector;
+    nn::ForwardScratch scratch;
+  };
+
+  SubmitStatus do_submit(const trace::FeatureSet& features, ScoreTicket& ticket,
+                         std::optional<ServiceClock::time_point> deadline, bool blocking);
+  void worker_loop(std::size_t w);
+
+  ServeConfig config_;
+  RequestQueue queue_;
+  EpochSlot slot_;
+  ServiceStats stats_;
+  std::atomic<std::uint64_t> next_epoch_id_{0};
+  std::vector<Worker> workers_;      ///< sized once; never reallocated while serving
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace shmd::serve

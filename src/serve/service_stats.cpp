@@ -1,0 +1,64 @@
+#include "serve/service_stats.hpp"
+
+#include <bit>
+
+namespace shmd::serve {
+
+namespace {
+
+std::size_t bucket_of(std::uint64_t ns) noexcept {
+  if (ns == 0) return 0;
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(ns)) - 1;
+  return b < LatencyHistogram::kBuckets ? b : LatencyHistogram::kBuckets - 1;
+}
+
+}  // namespace
+
+double LatencyHistogram::quantile_ns(double q) const noexcept {
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cumulative += static_cast<double>(counts[b]);
+    if (cumulative >= target && counts[b] > 0) {
+      return static_cast<double>(std::uint64_t{1} << (b + 1));  // bucket upper edge
+    }
+  }
+  return static_cast<double>(std::uint64_t{1} << kBuckets);
+}
+
+void ServiceStats::on_scored(std::uint64_t latency_ns, std::uint64_t epoch_id,
+                             const faultsim::FaultStats& faults) {
+  scored_.fetch_add(1, std::memory_order_relaxed);
+  latency_buckets_[bucket_of(latency_ns)].fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard lock(faults_mu_);
+  per_epoch_faults_[epoch_id].merge(faults);
+}
+
+ServiceStatsSnapshot ServiceStats::snapshot() const {
+  ServiceStatsSnapshot snap;
+  // Terminal counters are read BEFORE enqueued_: a request that lands
+  // between the two reads then inflates in_flight() instead of
+  // underflowing it (a request increments enqueued_ strictly before its
+  // terminal counter, so this order keeps enqueued >= scored + missed).
+  snap.scored = scored_.load(std::memory_order_relaxed);
+  snap.deadline_missed = deadline_missed_.load(std::memory_order_relaxed);
+  snap.failed = failed_.load(std::memory_order_relaxed);
+  snap.enqueued = enqueued_.load(std::memory_order_relaxed);
+  snap.shed = shed_.load(std::memory_order_relaxed);
+  snap.rejected_closed = rejected_closed_.load(std::memory_order_relaxed);
+  snap.epoch_swaps = epoch_swaps_.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    snap.latency.counts[b] = latency_buckets_[b].load(std::memory_order_relaxed);
+    snap.latency.total += snap.latency.counts[b];
+  }
+  {
+    const std::lock_guard lock(faults_mu_);
+    snap.per_epoch_faults = per_epoch_faults_;
+  }
+  return snap;
+}
+
+}  // namespace shmd::serve

@@ -1,0 +1,97 @@
+// ServiceStats: the observability surface of the always-on scoring
+// service.
+//
+// A serving layer that sheds load must be able to prove it never *loses*
+// load: every request a client hands to the service is accounted for as
+// exactly one of scored / shed / deadline-missed. The counters here are
+// lock-free atomics bumped on the hot path; the latency histogram uses
+// power-of-two nanosecond buckets so recording is one CLZ plus one atomic
+// increment; only the per-epoch fault-statistics map takes a mutex (one
+// short merge per completed request). `snapshot()` returns a plain value
+// type, so readers never observe half-updated state and monitoring code
+// can diff snapshots across rounds.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "faultsim/fault_injector.hpp"
+
+namespace shmd::serve {
+
+/// Fixed log₂-bucketed latency histogram: bucket b counts samples in
+/// [2^b, 2^(b+1)) nanoseconds (bucket 0 additionally absorbs 0 ns). 48
+/// buckets cover ~78 hours, far beyond any plausible request latency.
+struct LatencyHistogram {
+  static constexpr std::size_t kBuckets = 48;
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t total = 0;
+
+  /// Latency (ns) at quantile `q` in [0, 1]: the upper edge of the first
+  /// bucket whose cumulative count reaches q * total (a ≤ 2x
+  /// overestimate, which is what a shedding decision wants to err
+  /// toward). Returns 0 when the histogram is empty.
+  [[nodiscard]] double quantile_ns(double q) const noexcept;
+  [[nodiscard]] double p50_ns() const noexcept { return quantile_ns(0.50); }
+  [[nodiscard]] double p99_ns() const noexcept { return quantile_ns(0.99); }
+};
+
+/// One coherent read of the service's counters (see ServiceStats).
+struct ServiceStatsSnapshot {
+  std::uint64_t enqueued = 0;         ///< requests accepted into the ring
+  std::uint64_t shed = 0;             ///< try_submit rejections (queue full)
+  std::uint64_t rejected_closed = 0;  ///< submissions after close()
+  std::uint64_t scored = 0;           ///< completed with a verdict
+  std::uint64_t deadline_missed = 0;  ///< expired in the queue, never scored
+  std::uint64_t failed = 0;           ///< scoring threw (contract violation by caller)
+  std::uint64_t epoch_swaps = 0;      ///< install_epoch() calls
+  LatencyHistogram latency;           ///< enqueue→completion, scored only
+  /// Fault statistics per detector epoch (keyed by DetectorEpoch::id) —
+  /// the serving-layer equivalent of StochasticHmd::fault_stats(), split
+  /// at reconfiguration boundaries.
+  std::map<std::uint64_t, faultsim::FaultStats> per_epoch_faults;
+
+  /// Requests accepted but not yet terminal (0 once the service drains).
+  [[nodiscard]] std::uint64_t in_flight() const noexcept {
+    return enqueued - scored - deadline_missed - failed;
+  }
+};
+
+/// Live, thread-safe counter block owned by the ScoringService.
+class ServiceStats {
+ public:
+  void on_enqueued() noexcept { enqueued_.fetch_add(1, std::memory_order_relaxed); }
+  void on_shed() noexcept { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected_closed() noexcept {
+    rejected_closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_deadline_missed() noexcept {
+    deadline_missed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_failed() noexcept { failed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_epoch_swap() noexcept { epoch_swaps_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Record one completed scoring: latency plus the request's fault-stat
+  /// delta attributed to the epoch that scored it.
+  void on_scored(std::uint64_t latency_ns, std::uint64_t epoch_id,
+                 const faultsim::FaultStats& faults);
+
+  [[nodiscard]] ServiceStatsSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> rejected_closed_{0};
+  std::atomic<std::uint64_t> scored_{0};
+  std::atomic<std::uint64_t> deadline_missed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> epoch_swaps_{0};
+  std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBuckets> latency_buckets_{};
+  mutable std::mutex faults_mu_;
+  std::map<std::uint64_t, faultsim::FaultStats> per_epoch_faults_;
+};
+
+}  // namespace shmd::serve

@@ -12,6 +12,8 @@
 //                        Ensemble-HMD, alarms, space exploration, bundles
 //   runtime/             batched multi-threaded inference over the
 //                        detectors (thread pool, per-worker RNG streams)
+//   serve/               the always-on scoring service: bounded request
+//                        queue, resident workers, epoch-swap moving target
 //   attack/              the black-box evasion pipeline and white-box probe
 #pragma once
 
@@ -56,6 +58,10 @@
 #include "rng/xoshiro256ss.hpp"
 #include "runtime/batch_scorer.hpp"
 #include "runtime/thread_pool.hpp"
+#include "serve/epoch.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/scoring_service.hpp"
+#include "serve/service_stats.hpp"
 #include "sys/energy_meter.hpp"
 #include "sys/latency_model.hpp"
 #include "sys/memory_model.hpp"

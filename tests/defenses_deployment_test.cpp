@@ -152,6 +152,31 @@ TEST(Deployment, TemperatureLookupInterpolatesAndClamps) {
   EXPECT_THROW((void)empty.offset_for_temperature(50.0), std::logic_error);
 }
 
+TEST(Deployment, TemperatureLookupEdgeCases) {
+  // Single-entry table: every temperature clamps to the one calibrated
+  // offset — below, at, and above the key.
+  DeploymentBundle single{nn::Network{}, {}, 0.1, {{50.0, -130.0}}};
+  EXPECT_DOUBLE_EQ(single.offset_for_temperature(0.0), -130.0);
+  EXPECT_DOUBLE_EQ(single.offset_for_temperature(50.0), -130.0);
+  EXPECT_DOUBLE_EQ(single.offset_for_temperature(100.0), -130.0);
+
+  // Exact-key hits on a multi-entry table return the calibrated offset
+  // itself (interpolation weight collapses to an endpoint), including on
+  // the interior key and both boundary keys.
+  DeploymentBundle multi{nn::Network{}, {}, 0.1,
+                         {{40.0, -120.0}, {60.0, -110.0}, {80.0, -90.0}}};
+  EXPECT_DOUBLE_EQ(multi.offset_for_temperature(40.0), -120.0);
+  EXPECT_DOUBLE_EQ(multi.offset_for_temperature(60.0), -110.0);
+  EXPECT_DOUBLE_EQ(multi.offset_for_temperature(80.0), -90.0);
+  // Interpolation picks the correct segment on either side of an
+  // interior key.
+  EXPECT_DOUBLE_EQ(multi.offset_for_temperature(55.0), -112.5);
+  EXPECT_DOUBLE_EQ(multi.offset_for_temperature(70.0), -100.0);
+  // Clamping just outside the range, not merely far outside it.
+  EXPECT_DOUBLE_EQ(multi.offset_for_temperature(39.999), -120.0);
+  EXPECT_DOUBLE_EQ(multi.offset_for_temperature(80.001), -90.0);
+}
+
 TEST(Deployment, RejectsCorruptBundles) {
   std::stringstream bad_magic("NOT-A-BUNDLE 1\n");
   EXPECT_THROW((void)load_deployment(bad_magic), std::runtime_error);

@@ -283,6 +283,24 @@ TEST(LintR4, DuplicateIncludeIsFlagged) {
   EXPECT_EQ(lines_of(lint("src/util/fixture.hpp", fixture), "R4"), (std::vector<int>{3}));
 }
 
+TEST(LintR4, AppliesToBenchAndExamplesButDefenseRulesDoNot) {
+  // R4 hygiene covers the bench/ and examples/ trees too...
+  const std::string unsorted =
+      "#include <vector>\n"
+      "#include <map>\n";  // line 2: out of order
+  EXPECT_EQ(lines_of(lint("bench/fixture.cpp", unsorted), "R4"), (std::vector<int>{2}));
+  EXPECT_EQ(lines_of(lint("examples/fixture.cpp", unsorted), "R4"), (std::vector<int>{2}));
+  // ...while the defense rules (R1-R3) stay scoped to src/: harness code
+  // legitimately multiplies, prints to stdout, and so on.
+  const std::string harness =
+      "#include <cstdio>\n"
+      "double f(double a, double b) { std::printf(\"x\"); return a * b; }\n";
+  EXPECT_TRUE(lint("bench/fixture.cpp", harness).empty());
+  EXPECT_TRUE(lint("examples/fixture.cpp", harness).empty());
+  // Outside all covered trees nothing fires at all.
+  EXPECT_TRUE(lint("tests/fixture.cpp", unsorted).empty());
+}
+
 // ----------------------------------------------------- R0 annotation hygiene
 
 TEST(LintR0, AnnotationWithoutReasonIsMalformed) {
@@ -375,8 +393,13 @@ TEST(LintDriver, LexerSurvivesAdversarialInput) {
 #ifdef SHMD_LINT_SOURCE_DIR
 TEST(LintDriver, ShippedTreeIsClean) {
   const std::filesystem::path root = SHMD_LINT_SOURCE_DIR;
-  const auto sources = collect_sources(root / "src");
+  auto sources = collect_sources(root / "src");
   ASSERT_GT(sources.size(), 50u) << "source tree not found under " << root;
+  // bench/ and examples/ are in R4's scope now — keep them clean too.
+  for (const char* tree : {"bench", "examples"}) {
+    const auto extra = collect_sources(root / tree);
+    sources.insert(sources.end(), extra.begin(), extra.end());
+  }
   const Linter linter;
   std::vector<Diagnostic> all;
   for (const auto& file : sources) {

@@ -4,9 +4,11 @@
 // allocation-free steady state of the scratch forward path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <thread>
 #include <unordered_set>
 
 #include "hmd/builders.hpp"
@@ -113,6 +115,34 @@ TEST(ThreadPool, PropagatesWorkerExceptionsAndStaysUsable) {
   std::atomic<int> ran{0};
   pool.run([&](std::size_t) { ran.fetch_add(1); });
   EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, RepeatedRethrowThenReuseCyclesStayConsistent) {
+  // Regression guard for the rethrow path's bookkeeping: first_error_ and
+  // pending_ must reset fully on every run(), including runs where
+  // SEVERAL workers throw concurrently (only the first exception
+  // propagates; the rest must be swallowed without corrupting the next
+  // generation).
+  ThreadPool pool(4);
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    EXPECT_THROW(pool.run([](std::size_t w) {
+                   if (w % 2 == 0) throw std::runtime_error("cycle boom");
+                 }),
+                 std::runtime_error)
+        << "cycle " << cycle;
+    std::atomic<int> ran{0};
+    pool.run([&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 4) << "cycle " << cycle;
+  }
+}
+
+TEST(ResolveWorkers, ZeroMeansAllCoresAndExplicitCountsPassThrough) {
+  // Shared by ThreadPool, BatchScorer and serve::ScoringService — "0 =
+  // all cores" must mean the same thing everywhere.
+  EXPECT_EQ(resolve_workers(0),
+            std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  EXPECT_EQ(resolve_workers(1), 1u);
+  EXPECT_EQ(resolve_workers(7), 7u);
 }
 
 // -------------------------------------------------------- stream discipline

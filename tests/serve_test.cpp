@@ -1,0 +1,481 @@
+// Tests for the always-on scoring service: request-anchored determinism
+// (same seed => bit-identical scores through the MPMC queue under ANY
+// worker count), overload shedding with exact accounting (every
+// submission terminal as exactly one of scored / shed / deadline-missed),
+// and epoch-based reconfiguration that neither stalls nor tears in-flight
+// requests. The Serve* suites also run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "hmd/deployment.hpp"
+#include "hmd/detector.hpp"
+#include "hmd/stochastic_hmd.hpp"
+#include "nn/network.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "serve/scoring_service.hpp"
+
+namespace shmd::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+const trace::FeatureConfig kFc{trace::FeatureView::kInsnCategory, 2048};
+
+nn::Network make_net() {
+  const std::vector<std::size_t> topo{8, 12, 1};
+  return nn::Network(topo, nn::Activation::kSigmoid, nn::Activation::kSigmoid, 1);
+}
+
+trace::FeatureSet make_features(std::uint64_t seed, std::size_t n_windows = 4) {
+  rng::Xoshiro256ss gen(seed);
+  std::vector<std::vector<double>> windows(n_windows, std::vector<double>(8));
+  for (auto& window : windows) {
+    for (double& x : window) x = gen.uniform01();
+  }
+  trace::FeatureSet fs;
+  fs.put(kFc, std::move(windows));
+  return fs;
+}
+
+std::vector<trace::FeatureSet> make_workload(std::size_t n) {
+  std::vector<trace::FeatureSet> workload;
+  workload.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) workload.push_back(make_features(100 + i));
+  return workload;
+}
+
+std::vector<const trace::FeatureSet*> as_pointers(const std::vector<trace::FeatureSet>& v) {
+  std::vector<const trace::FeatureSet*> ptrs;
+  ptrs.reserve(v.size());
+  for (const auto& fs : v) ptrs.push_back(&fs);
+  return ptrs;
+}
+
+DetectorEpoch test_epoch(double error_rate) {
+  const hmd::StochasticHmd det(make_net(), kFc, error_rate);
+  return make_epoch(det);
+}
+
+// ------------------------------------------------------------ RequestQueue
+
+TEST(ServeQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(RequestQueue(0), std::invalid_argument);
+}
+
+TEST(ServeQueue, FifoOrderAndAdmissionSeq) {
+  RequestQueue q(4);
+  const trace::FeatureSet fs = make_features(1);
+  for (int i = 0; i < 3; ++i) {
+    Request r;
+    r.features = &fs;
+    ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);
+  }
+  EXPECT_EQ(q.size(), 3u);
+  Request out;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out.seq, i);  // admission order, stamped by the queue
+  }
+}
+
+TEST(ServeQueue, ShedDoesNotConsumeSeq) {
+  // Shed submissions must not perturb the fault streams of accepted ones:
+  // the k-th ACCEPTED request carries seq k no matter how many rejections
+  // happened in between.
+  RequestQueue q(2);
+  const trace::FeatureSet fs = make_features(1);
+  Request r;
+  r.features = &fs;
+  ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);
+  ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);
+  EXPECT_EQ(q.try_push(r), SubmitStatus::kShed);  // full
+  Request out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.seq, 0u);
+  ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.seq, 1u);
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.seq, 2u);  // the shed attempt left no gap
+}
+
+TEST(ServeQueue, CloseRejectsNewAndDrainsOld) {
+  RequestQueue q(4);
+  const trace::FeatureSet fs = make_features(1);
+  Request r;
+  r.features = &fs;
+  ASSERT_EQ(q.push(r), SubmitStatus::kAccepted);
+  ASSERT_EQ(q.push(r), SubmitStatus::kAccepted);
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.try_push(r), SubmitStatus::kClosed);
+  EXPECT_EQ(q.push(r), SubmitStatus::kClosed);
+  Request out;
+  EXPECT_TRUE(q.pop(out));  // accepted requests survive close()
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_FALSE(q.pop(out));  // closed AND drained
+}
+
+TEST(ServeQueue, CloseOverridesPause) {
+  RequestQueue q(2);
+  const trace::FeatureSet fs = make_features(1);
+  Request r;
+  r.features = &fs;
+  ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);
+  q.set_paused(true);
+  q.close();
+  Request out;
+  EXPECT_TRUE(q.pop(out));  // shutdown drains even through a pause
+  EXPECT_FALSE(q.pop(out));
+}
+
+// ------------------------------------------------------------- DetectorEpoch
+
+TEST(ServeEpoch, MakeEpochSnapshotsDetectorOperatingPoint) {
+  const hmd::StochasticHmd det(make_net(), kFc, 0.25);
+  const DetectorEpoch epoch = make_epoch(det, 0.6, 0.4);
+  EXPECT_EQ(epoch.id, 0u);  // not yet installed
+  EXPECT_DOUBLE_EQ(epoch.error_rate, 0.25);
+  EXPECT_DOUBLE_EQ(epoch.threshold, 0.6);
+  EXPECT_DOUBLE_EQ(epoch.vote_fraction, 0.4);
+  EXPECT_EQ(epoch.features, kFc);
+  EXPECT_EQ(epoch.network.mac_count(), det.network().mac_count());
+}
+
+TEST(ServeEpoch, MakeEpochFromBundleUsesCalibration) {
+  hmd::DeploymentBundle bundle{make_net(), kFc, 0.15, {{40.0, -100.0}, {60.0, -200.0}}};
+  const DetectorEpoch epoch = make_epoch(bundle, 50.0);
+  EXPECT_DOUBLE_EQ(epoch.offset_mv, -150.0);  // linear interpolation at 50 °C
+  EXPECT_DOUBLE_EQ(epoch.error_rate, 0.15);   // no volt model: bundle target er
+  EXPECT_EQ(epoch.features, kFc);
+}
+
+TEST(ServeEpoch, SlotSwapKeepsReaderSnapshotAlive) {
+  EpochSlot slot;
+  auto first = std::make_shared<const DetectorEpoch>(test_epoch(0.1));
+  slot.install(first);
+  const std::shared_ptr<const DetectorEpoch> reader = slot.current();
+  slot.install(std::make_shared<const DetectorEpoch>(test_epoch(0.9)));
+  // The reader's snapshot is untouched by the swap (RCU semantics)...
+  EXPECT_DOUBLE_EQ(reader->error_rate, 0.1);
+  // ...while new readers see the new epoch.
+  EXPECT_DOUBLE_EQ(slot.current()->error_rate, 0.9);
+}
+
+// -------------------------------------------------------------- ServiceStats
+
+TEST(ServeStats, HistogramQuantilesUseBucketUpperEdges) {
+  ServiceStats stats;
+  const faultsim::FaultStats none;
+  for (int i = 0; i < 50; ++i) stats.on_scored(10, 1, none);    // bucket [8, 16)
+  for (int i = 0; i < 50; ++i) stats.on_scored(1500, 1, none);  // bucket [1024, 2048)
+  const LatencyHistogram hist = stats.snapshot().latency;
+  EXPECT_EQ(hist.total, 100u);
+  EXPECT_DOUBLE_EQ(hist.p50_ns(), 16.0);
+  EXPECT_DOUBLE_EQ(hist.p99_ns(), 2048.0);
+  EXPECT_DOUBLE_EQ(LatencyHistogram{}.quantile_ns(0.5), 0.0);  // empty histogram
+}
+
+TEST(ServeStats, AccountingIdentityAndPerEpochFaults) {
+  ServiceStats stats;
+  faultsim::FaultStats delta;
+  delta.operations = 10;
+  delta.faults = 2;
+  for (int i = 0; i < 5; ++i) stats.on_enqueued();
+  stats.on_scored(100, 1, delta);
+  stats.on_scored(100, 2, delta);
+  stats.on_scored(100, 2, delta);
+  stats.on_deadline_missed();
+  stats.on_failed();
+  stats.on_shed();
+  const ServiceStatsSnapshot snap = stats.snapshot();
+  EXPECT_EQ(snap.enqueued, 5u);
+  EXPECT_EQ(snap.scored, 3u);
+  EXPECT_EQ(snap.in_flight(), 0u);
+  EXPECT_EQ(snap.shed, 1u);
+  ASSERT_EQ(snap.per_epoch_faults.size(), 2u);
+  EXPECT_EQ(snap.per_epoch_faults.at(1).operations, 10u);
+  EXPECT_EQ(snap.per_epoch_faults.at(2).operations, 20u);
+  EXPECT_EQ(snap.per_epoch_faults.at(2).faults, 4u);
+}
+
+// ------------------------------------------------- determinism (criterion a)
+
+TEST(ServeService, SameSeedIsBitIdenticalUnderAnyWorkerCount) {
+  const std::vector<trace::FeatureSet> workload = make_workload(16);
+  const auto batch = as_pointers(workload);
+  ServeConfig config;
+  config.seed = 42;
+  config.queue_capacity = 64;
+
+  std::vector<std::vector<std::vector<double>>> runs;
+  for (std::size_t workers : {1u, 2u, 3u}) {
+    config.num_workers = workers;
+    ScoringService service(test_epoch(0.3), config);
+    runs.push_back(service.score_all(batch));
+  }
+  // Fault streams are anchored to the request's admission seq, not to the
+  // worker that happens to dequeue it: scores are a pure function of
+  // (seed, submission order).
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[1], runs[2]);
+
+  // Different seed => different fault noise.
+  config.num_workers = 2;
+  config.seed = 43;
+  ScoringService other(test_epoch(0.3), config);
+  EXPECT_NE(other.score_all(batch), runs[0]);
+}
+
+TEST(ServeService, ConsecutiveRoundsRerollTheBoundary) {
+  const std::vector<trace::FeatureSet> workload = make_workload(12);
+  const auto batch = as_pointers(workload);
+  ServeConfig config;
+  config.num_workers = 2;
+  config.seed = 7;
+  ScoringService service(test_epoch(0.3), config);
+  const auto round1 = service.score_all(batch);
+  // The admission counter keeps advancing, so the next round draws fresh
+  // fault noise — the per-round moving target survives the queue path.
+  EXPECT_NE(service.score_all(batch), round1);
+}
+
+TEST(ServeService, ZeroErrorRateMatchesNominalScores) {
+  const std::vector<trace::FeatureSet> workload = make_workload(6);
+  const auto batch = as_pointers(workload);
+  const hmd::StochasticHmd det(make_net(), kFc, 0.0);
+  ServeConfig config;
+  config.num_workers = 2;
+  ScoringService service(make_epoch(det), config);
+  const auto scores = service.score_all(batch);
+  ASSERT_EQ(scores.size(), batch.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_EQ(scores[i], det.window_scores_nominal(*batch[i])) << i;
+  }
+}
+
+TEST(ServeService, VerdictMatchesFractionVoteOverScores) {
+  const std::vector<trace::FeatureSet> workload = make_workload(8);
+  ServeConfig config;
+  config.num_workers = 2;
+  config.seed = 11;
+  ScoringService scoring(test_epoch(0.2), config);
+  ScoringService detecting(test_epoch(0.2), config);  // same seed: same scores
+  const auto scores = scoring.score_all(as_pointers(workload));
+  const auto verdicts = detecting.detect_all(as_pointers(workload));
+  ASSERT_EQ(verdicts.size(), scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_EQ(verdicts[i], hmd::fraction_vote(scores[i], 0.5,
+                                              hmd::Detector::kDefaultVoteFraction))
+        << i;
+  }
+}
+
+// ------------------------------------- overload accounting (criterion b)
+
+TEST(ServeService, ShedsAtCapacityAndAccountsEveryRequest) {
+  const trace::FeatureSet fs = make_features(5);
+  ServeConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 4;
+  ScoringService service(test_epoch(0.1), config);
+  service.pause();  // workers hold; the ring fills deterministically
+
+  std::vector<ScoreTicket> tickets(7);
+  std::size_t accepted = 0;
+  std::size_t shed = 0;
+  for (auto& ticket : tickets) {
+    const SubmitStatus status = service.try_submit(fs, ticket);
+    if (status == SubmitStatus::kAccepted) {
+      ++accepted;
+    } else {
+      ASSERT_EQ(status, SubmitStatus::kShed);
+      ++shed;
+      // A shed ticket is immediately done and reusable — waiting on it
+      // must not hang.
+      EXPECT_TRUE(ticket.done());
+      EXPECT_EQ(ticket.outcome(), RequestOutcome::kPending);
+    }
+  }
+  EXPECT_EQ(accepted, 4u);  // exactly the ring capacity
+  EXPECT_EQ(shed, 3u);
+  EXPECT_EQ(service.queue_depth(), 4u);
+
+  service.resume();
+  for (auto& ticket : tickets) ticket.wait();
+
+  const ServiceStatsSnapshot snap = service.stats();
+  EXPECT_EQ(snap.enqueued, 4u);
+  EXPECT_EQ(snap.scored, 4u);
+  EXPECT_EQ(snap.shed, 3u);
+  EXPECT_EQ(snap.deadline_missed, 0u);
+  EXPECT_EQ(snap.failed, 0u);
+  EXPECT_EQ(snap.in_flight(), 0u);  // every submission reached a terminal state
+  EXPECT_EQ(snap.latency.total, 4u);
+}
+
+TEST(ServeService, ExpiredRequestsAreDeadlineMissedNotScored) {
+  const trace::FeatureSet fs = make_features(5);
+  ServeConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 8;
+  ScoringService service(test_epoch(0.1), config);
+  service.pause();
+
+  std::vector<ScoreTicket> tickets(3);
+  const auto deadline = ServiceClock::now() + 2ms;
+  for (auto& ticket : tickets) {
+    ASSERT_EQ(service.try_submit(fs, ticket, deadline), SubmitStatus::kAccepted);
+  }
+  std::this_thread::sleep_for(10ms);  // let every deadline lapse while queued
+  service.resume();
+  for (auto& ticket : tickets) {
+    ticket.wait();
+    EXPECT_EQ(ticket.outcome(), RequestOutcome::kDeadlineMissed);
+    EXPECT_TRUE(ticket.scores().empty());
+  }
+  const ServiceStatsSnapshot snap = service.stats();
+  EXPECT_EQ(snap.enqueued, 3u);
+  EXPECT_EQ(snap.deadline_missed, 3u);
+  EXPECT_EQ(snap.scored, 0u);
+  EXPECT_EQ(snap.in_flight(), 0u);
+}
+
+TEST(ServeService, CloseRejectsNewWorkAndDrainsAccepted) {
+  const trace::FeatureSet fs = make_features(5);
+  ServeConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 8;
+  ScoringService service(test_epoch(0.1), config);
+
+  ScoreTicket before;
+  ASSERT_EQ(service.submit(fs, before), SubmitStatus::kAccepted);
+  service.close();
+  ScoreTicket after;
+  EXPECT_EQ(service.submit(fs, after), SubmitStatus::kClosed);
+  EXPECT_TRUE(after.done());
+  before.wait();
+  EXPECT_EQ(before.outcome(), RequestOutcome::kScored);  // drained, not dropped
+  const std::vector<const trace::FeatureSet*> batch{&fs};
+  EXPECT_THROW((void)service.score_all(batch), std::runtime_error);
+  const ServiceStatsSnapshot snap = service.stats();
+  EXPECT_EQ(snap.rejected_closed, 2u);  // the bare submit + score_all's attempt
+  EXPECT_EQ(snap.in_flight(), 0u);
+}
+
+TEST(ServeService, BadFeatureSetFailsThatRequestOnly) {
+  // A feature set without the epoch's view must complete (exactly once)
+  // as kFailed — and must not take the worker down with it.
+  trace::FeatureSet wrong_view;
+  wrong_view.put(trace::FeatureConfig{trace::FeatureView::kInsnCategory, 512},
+                 {{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}});
+  const trace::FeatureSet good = make_features(5);
+  ServeConfig config;
+  config.num_workers = 1;
+  ScoringService service(test_epoch(0.1), config);
+
+  ScoreTicket bad_ticket;
+  ASSERT_EQ(service.submit(wrong_view, bad_ticket), SubmitStatus::kAccepted);
+  bad_ticket.wait();
+  EXPECT_EQ(bad_ticket.outcome(), RequestOutcome::kFailed);
+  EXPECT_TRUE(bad_ticket.scores().empty());
+
+  ScoreTicket good_ticket;
+  ASSERT_EQ(service.submit(good, good_ticket), SubmitStatus::kAccepted);
+  good_ticket.wait();
+  EXPECT_EQ(good_ticket.outcome(), RequestOutcome::kScored);
+
+  const ServiceStatsSnapshot snap = service.stats();
+  EXPECT_EQ(snap.failed, 1u);
+  EXPECT_EQ(snap.scored, 1u);
+  EXPECT_EQ(snap.in_flight(), 0u);
+}
+
+// --------------------------------------- epoch swaps under load (criterion c)
+
+TEST(ServeService, EpochSwapPartitionsFaultStats) {
+  const std::vector<trace::FeatureSet> workload = make_workload(8);
+  const auto batch = as_pointers(workload);
+  ServeConfig config;
+  config.num_workers = 2;
+  ScoringService service(test_epoch(0.5), config);
+  (void)service.score_all(batch);
+  const std::uint64_t second = service.install_epoch(test_epoch(0.0));
+  (void)service.score_all(batch);
+
+  const ServiceStatsSnapshot snap = service.stats();
+  ASSERT_EQ(snap.per_epoch_faults.size(), 2u);
+  EXPECT_GT(snap.per_epoch_faults.at(1).faults, 0u);  // er = 0.5 epoch faulted
+  EXPECT_GT(snap.per_epoch_faults.at(second).operations, 0u);
+  EXPECT_EQ(snap.per_epoch_faults.at(second).faults, 0u);  // er = 0 epoch exact
+  EXPECT_EQ(snap.epoch_swaps, 2u);  // construction + explicit install
+}
+
+TEST(ServeService, EpochSwapsUnderSustainedLoadLoseNothing) {
+  // Criterion (c), and the TSan target: concurrent producers hammer the
+  // queue while the control plane re-rolls the epoch; every request must
+  // reach a terminal state, scored under exactly one coherent epoch.
+  constexpr std::size_t kProducers = 3;
+  constexpr std::size_t kPerProducer = 120;
+  constexpr int kSwaps = 20;
+  const std::vector<trace::FeatureSet> workload = make_workload(8);
+  ServeConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 32;
+  ScoringService service(test_epoch(0.2), config);
+
+  std::atomic<std::uint64_t> scored{0};
+  std::atomic<std::uint64_t> max_epoch_seen{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      ScoreTicket ticket;
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_EQ(service.submit(workload[(p + i) % workload.size()], ticket),
+                  SubmitStatus::kAccepted);
+        ticket.wait();
+        ASSERT_EQ(ticket.outcome(), RequestOutcome::kScored);
+        ASSERT_GE(ticket.epoch_id(), 1u);
+        std::uint64_t seen = max_epoch_seen.load(std::memory_order_relaxed);
+        while (seen < ticket.epoch_id() &&
+               !max_epoch_seen.compare_exchange_weak(seen, ticket.epoch_id(),
+                                                     std::memory_order_relaxed)) {
+        }
+        scored.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::uint64_t last_installed = 1;
+  for (int s = 0; s < kSwaps; ++s) {
+    std::this_thread::sleep_for(1ms);
+    last_installed = service.install_epoch(test_epoch(s % 2 == 0 ? 0.05 : 0.35));
+  }
+  for (std::thread& t : producers) t.join();
+
+  EXPECT_EQ(scored.load(), kProducers * kPerProducer);
+  EXPECT_LE(max_epoch_seen.load(), last_installed);
+  const ServiceStatsSnapshot snap = service.stats();
+  EXPECT_EQ(snap.enqueued, kProducers * kPerProducer);
+  EXPECT_EQ(snap.scored, kProducers * kPerProducer);
+  EXPECT_EQ(snap.deadline_missed, 0u);
+  EXPECT_EQ(snap.failed, 0u);
+  EXPECT_EQ(snap.in_flight(), 0u);
+  EXPECT_EQ(snap.epoch_swaps, 1u + kSwaps);
+  // Every fault-stat bucket belongs to an epoch that was actually
+  // installed — a torn epoch would surface as an impossible id.
+  for (const auto& [id, stats] : snap.per_epoch_faults) {
+    EXPECT_GE(id, 1u);
+    EXPECT_LE(id, last_installed);
+    EXPECT_GT(stats.operations, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace shmd::serve

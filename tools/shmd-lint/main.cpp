@@ -2,7 +2,8 @@
 //
 //   shmd-lint [--root <repo-root>] [--list-rules] [path...]
 //
-// Paths default to "src" under the root; directories are scanned
+// Paths default to "src", "bench" and "examples" under the root (each
+// rule still decides which trees it applies to); directories are scanned
 // recursively for .cpp/.hpp. Exit status: 0 clean, 1 violations found,
 // 2 usage or I/O error. Wired into the build as `cmake --build build
 // --target lint` and into CI as the `lint` job.
@@ -71,7 +72,11 @@ int main(int argc, char** argv) {
     list_rules(linter);
     return 0;
   }
-  if (paths.empty()) paths.emplace_back("src");
+  if (paths.empty()) {
+    paths.emplace_back("src");
+    paths.emplace_back("bench");
+    paths.emplace_back("examples");
+  }
 
   std::size_t violations = 0;
   std::size_t files = 0;

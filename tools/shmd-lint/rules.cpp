@@ -445,7 +445,12 @@ class HeaderHygieneRule final : public Rule {
            "includes — so include-what-you-use stays reviewable at production scale";
   }
 
-  [[nodiscard]] bool applies(const SourceFile& f) const override { return f.in_dir("src/"); }
+  [[nodiscard]] bool applies(const SourceFile& f) const override {
+    // Header hygiene extends beyond the library: the bench and example
+    // binaries are the project's public face, and unsorted includes there
+    // rot just as fast.
+    return f.in_dir("src/") || f.in_dir("bench/") || f.in_dir("examples/");
+  }
 
   void check(const SourceFile& f, std::vector<Diagnostic>& out) const override {
     if (f.is_header()) check_pragma_once(f, out);
