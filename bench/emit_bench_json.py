@@ -3,6 +3,7 @@
 
 Usage: emit_bench_json.py <benchmark_out.json> [BENCH_micro.json]
        emit_bench_json.py --serve <serve_loadgen_out.json> [BENCH_serve.json]
+       emit_bench_json.py --net <net_loadgen_out.json> [BENCH_net.json]
 
 Micro mode: the CI bench-smoke job runs micro_inference with
 --benchmark_out and feeds the raw google-benchmark dump through this
@@ -16,6 +17,12 @@ BENCH_serve.json scorecard — closed-loop peak throughput, open-loop shed
 fraction and tail latency past saturation, and the accounting invariant
 (every request terminal, nothing lost). Stdlib only — CI installs no
 Python packages.
+
+Net mode (--net): reduces a net_loadgen JSON report to the BENCH_net.json
+scorecard — closed-loop round-trip latency and pipelined throughput per
+transport (TCP vs Unix socket, or the remote endpoint in --connect runs),
+shed fraction, and the wire accounting invariant (every frame sent came
+back as exactly one reply; nothing failed in the stack).
 """
 
 import json
@@ -82,9 +89,58 @@ def emit_serve(argv):
     return 0
 
 
+def emit_net(argv):
+    if len(argv) < 1 or len(argv) > 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    raw_path = argv[0]
+    out_path = argv[1] if len(argv) == 2 else "BENCH_net.json"
+
+    with open(raw_path, encoding="utf-8") as f:
+        raw = json.load(f)
+
+    # Phase names are <transport>_<model>; keep whichever transports ran
+    # (tcp+uds self-hosted, or just "remote" in --connect mode).
+    phases = {}
+    for name, p in raw.items():
+        if name in ("config", "totals") or not isinstance(p, dict):
+            continue
+        sent = p.get("sent", 0)
+        phases[name] = {
+            "throughput_rps": p.get("throughput_rps"),
+            "p50_us": p.get("p50_us"),
+            "p99_us": p.get("p99_us"),
+            "shed_fraction": (p.get("shed", 0) / sent) if sent else 0.0,
+            "errors": p.get("errors", 0),
+        }
+    if not phases:
+        print("emit_bench_json: no phases in net report", file=sys.stderr)
+        return 1
+
+    totals = raw.get("totals", {})
+    scorecard = {
+        "phases": phases,
+        # The transport's core promise: replies == sends, no frame lost or
+        # failed anywhere between the socket and the scoring ring.
+        "accounting_ok": bool(totals.get("accounting_ok"))
+        and totals.get("server_failed", 0) == 0
+        and totals.get("server_in_flight", 0) == 0,
+        "epoch_swaps": totals.get("epoch_swaps"),
+        "config": raw.get("config", {}),
+    }
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(scorecard, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"emit_bench_json: wrote net scorecard to {out_path}")
+    return 0
+
+
 def main(argv):
     if len(argv) >= 2 and argv[1] == "--serve":
         return emit_serve(argv[2:])
+    if len(argv) >= 2 and argv[1] == "--net":
+        return emit_net(argv[2:])
     if len(argv) < 2 or len(argv) > 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -1,0 +1,127 @@
+// shmd-served: the scoring service as an actual network daemon.
+//
+// Everything the serving stack provides in-process — bounded admission,
+// deadline-aware scoring, moving-target epoch reconfiguration — behind
+// real sockets: a TCP endpoint for remote monitors and an optional
+// Unix-domain socket for same-host collectors. Clients speak the framed
+// wire protocol in src/net/frame.hpp (NetClient implements it; so does
+// bench/net_loadgen.cpp).
+//
+// The daemon re-rolls the detector's stochastic operating point every
+// --epoch-period-ms, so a connected attacker probes a moving target: the
+// boundary they reverse-engineer this epoch is gone the next. Runs until
+// --duration-s elapses, or until SIGINT/SIGTERM when --duration-s=0.
+//
+//   shmd-served --listen 127.0.0.1:7433 --unix /tmp/shmd.sock --er 0.10
+#include <csignal>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hmd/stochastic_hmd.hpp"
+#include "net/server.hpp"
+#include "nn/network.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "serve/scoring_service.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace shmd;
+
+constexpr std::size_t kInputs = 16;
+
+// SIGINT/SIGTERM land here; the main loop polls it. A handler may only
+// touch lock-free sig_atomic storage, hence no condition variable.
+volatile std::sig_atomic_t g_stop = 0;
+extern "C" void handle_stop(int) { g_stop = 1; }
+
+nn::Network make_net(std::uint64_t seed) {
+  const std::vector<std::size_t> topo{kInputs, 32, 16, 1};
+  return nn::Network(topo, nn::Activation::kSigmoid, nn::Activation::kSigmoid,
+                     static_cast<unsigned>(seed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_flag("listen", "TCP endpoint, host:port (port 0 = ephemeral)", "127.0.0.1:7433");
+  cli.add_flag("unix", "also serve a unix-domain socket at this path", "");
+  cli.add_flag("workers", "scoring workers (0 = all cores)", "0");
+  cli.add_flag("queue", "admission ring capacity", "256");
+  cli.add_flag("er", "stochastic error rate of the detector", "0.10");
+  cli.add_flag("seed", "service seed (fault-stream anchor)", "24942");
+  cli.add_flag("epoch-period-ms", "moving-target re-roll period (0 = static)", "250");
+  cli.add_flag("duration-s", "run time in seconds (0 = until SIGINT/SIGTERM)", "0");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const double er = cli.get_double("er");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::chrono::milliseconds epoch_period(cli.get_int("epoch-period-ms"));
+  const double duration_s = cli.get_double("duration-s");
+
+  const trace::FeatureConfig fc{trace::FeatureView::kInsnCategory, 2048};
+  const nn::Network net = make_net(seed);
+  const hmd::StochasticHmd hmd(net, fc, er);
+
+  serve::ServeConfig config;
+  config.num_workers = static_cast<std::size_t>(cli.get_int("workers"));
+  config.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
+  config.seed = seed;
+  serve::ScoringService service(serve::make_epoch(hmd), config);
+
+  net::NetServer server(service);
+  const util::Endpoint tcp = server.add_listener(util::parse_endpoint(cli.get("listen")));
+  std::optional<util::Endpoint> uds;
+  if (!cli.get("unix").empty()) {
+    uds = server.add_listener(util::parse_endpoint("unix:" + cli.get("unix")));
+  }
+  server.start();
+  std::printf("shmd-served: scoring on %s%s%s  (workers=%zu queue=%zu er=%.3f)\n",
+              tcp.to_string().c_str(), uds ? " and " : "",
+              uds ? uds->to_string().c_str() : "", service.num_workers(),
+              config.queue_capacity, er);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+
+  // Moving-target schedule: alternate operating points around the
+  // configured rate, a fresh epoch each period. In-flight requests finish
+  // on the epoch they were admitted under (RCU slot), so reconfiguration
+  // never tears a score.
+  const std::vector<double> schedule = {er, er * 0.5, er * 1.5};
+  std::size_t epoch_i = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::microseconds(static_cast<std::int64_t>(duration_s * 1e6));
+  auto next_roll = start + epoch_period;
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto now = std::chrono::steady_clock::now();
+    if (duration_s > 0.0 && now >= deadline) break;
+    if (epoch_period.count() > 0 && now >= next_roll) {
+      const hmd::StochasticHmd moved(net, fc, schedule[++epoch_i % schedule.size()]);
+      service.install_epoch(serve::make_epoch(moved));
+      next_roll = now + epoch_period;
+    }
+  }
+
+  server.stop();
+  service.close();
+  const serve::ServiceStatsSnapshot stats = service.stats();
+  const net::NetServerStats nstats = server.stats();
+  std::printf(
+      "shmd-served: done. conns=%llu frames_in=%llu scored=%llu shed=%llu "
+      "epoch_swaps=%llu protocol_errors=%llu\n",
+      static_cast<unsigned long long>(nstats.accepted_connections),
+      static_cast<unsigned long long>(nstats.frames_in),
+      static_cast<unsigned long long>(stats.scored),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.epoch_swaps),
+      static_cast<unsigned long long>(nstats.protocol_errors));
+  return 0;
+}

@@ -43,6 +43,8 @@ struct FaultStats {
     faults += other.faults;
     for (std::size_t b = 0; b < bit_flips.size(); ++b) bit_flips[b] += other.bit_flips[b];
   }
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
 };
 
 class FaultInjector {

@@ -1,0 +1,261 @@
+#include "net/frame.hpp"
+
+#include <bit>
+#include <cstring>
+#include <utility>
+
+namespace shmd::net {
+
+namespace {
+
+// Little-endian primitives. Writers append to a byte vector; the reader
+// walks a span with explicit bounds checks and a sticky ok flag, so a
+// truncated or hostile payload yields nullopt instead of UB.
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() { return take(1) ? bytes_[at_ - 1] : 0; }
+
+  std::uint16_t u16() {
+    if (!take(2)) return 0;
+    return static_cast<std::uint16_t>(std::uint16_t{bytes_[at_ - 2]} |
+                                      (std::uint16_t{bytes_[at_ - 1]} << 8));
+  }
+
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes_[at_ - 4 + i]} << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes_[at_ - 8 + i]} << (8 * i);
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::span<const std::uint8_t> raw(std::size_t n) {
+    if (!take(n)) return {};
+    return bytes_.subspan(at_ - n, n);
+  }
+
+  /// True iff every read so far was in bounds AND the payload is fully
+  /// consumed — trailing garbage is as malformed as truncation.
+  [[nodiscard]] bool exhausted() const noexcept { return ok_ && at_ == bytes_.size(); }
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - at_; }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || bytes_.size() - at_ < n) {
+      ok_ = false;
+      return false;
+    }
+    at_ += n;
+    return true;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t at_ = 0;
+  bool ok_ = true;
+};
+
+std::uint32_t read_u32_at(const std::vector<std::uint8_t>& buffer, std::size_t offset) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{buffer[offset + i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64_at(const std::vector<std::uint8_t>& buffer, std::size_t offset) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{buffer[offset + i]} << (8 * i);
+  return v;
+}
+
+bool known_type(std::uint8_t type) {
+  return type <= static_cast<std::uint8_t>(FrameType::kError);
+}
+
+}  // namespace
+
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + kHeaderSize + frame.payload.size());
+  put_u32(out, kMagic);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(frame.type));
+  put_u16(out, 0);  // reserved
+  put_u64(out, frame.request_id);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+}
+
+std::vector<std::uint8_t> encode_score_request(const ScoreRequest& req) {
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + 8 * req.width * req.windows.size());
+  out.push_back(req.view);
+  out.push_back(0);  // reserved
+  put_u16(out, 0);   // reserved
+  put_u32(out, req.period);
+  put_u32(out, req.deadline_us);
+  put_u32(out, static_cast<std::uint32_t>(req.windows.size()));
+  put_u32(out, static_cast<std::uint32_t>(req.width));
+  for (const std::vector<double>& window : req.windows) {
+    for (const double x : window) put_f64(out, x);
+  }
+  return out;
+}
+
+std::optional<ScoreRequest> decode_score_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  ScoreRequest req;
+  req.view = r.u8();
+  (void)r.u8();
+  (void)r.u16();
+  req.period = r.u32();
+  req.deadline_us = r.u32();
+  const std::uint32_t n_windows = r.u32();
+  const std::uint32_t width = r.u32();
+  req.width = width;
+  if (!r.ok()) return std::nullopt;
+  // The declared matrix must match the remaining bytes exactly; checking
+  // before allocating keeps a hostile header from reserving gigabytes.
+  if (width == 0 || n_windows == 0 ||
+      r.remaining() != std::uint64_t{n_windows} * width * 8) {
+    return std::nullopt;
+  }
+  req.windows.assign(n_windows, std::vector<double>(width));
+  for (std::vector<double>& window : req.windows) {
+    for (double& x : window) x = r.f64();
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return req;
+}
+
+std::vector<std::uint8_t> encode_score_result(const ScoreResult& result) {
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + 8 * result.scores.size());
+  out.push_back(result.outcome);
+  out.push_back(result.verdict ? 1 : 0);
+  put_u16(out, 0);  // reserved
+  put_u64(out, result.epoch_id);
+  put_u64(out, result.latency_ns);
+  put_u32(out, static_cast<std::uint32_t>(result.scores.size()));
+  for (const double s : result.scores) put_f64(out, s);
+  return out;
+}
+
+std::optional<ScoreResult> decode_score_result(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  ScoreResult result;
+  result.outcome = r.u8();
+  result.verdict = r.u8() != 0;
+  (void)r.u16();
+  result.epoch_id = r.u64();
+  result.latency_ns = r.u64();
+  const std::uint32_t n_scores = r.u32();
+  if (!r.ok() || r.remaining() != std::uint64_t{n_scores} * 8) return std::nullopt;
+  result.scores.resize(n_scores);
+  for (double& s : result.scores) s = r.f64();
+  if (!r.exhausted()) return std::nullopt;
+  return result;
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorBody& error) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + error.message.size());
+  put_u16(out, static_cast<std::uint16_t>(error.code));
+  put_u16(out, static_cast<std::uint16_t>(error.message.size()));
+  for (const char c : error.message) out.push_back(static_cast<std::uint8_t>(c));
+  return out;
+}
+
+std::optional<ErrorBody> decode_error(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  ErrorBody error;
+  error.code = static_cast<ErrorCode>(r.u16());
+  const std::uint16_t len = r.u16();
+  const std::span<const std::uint8_t> text = r.raw(len);
+  if (!r.exhausted()) return std::nullopt;
+  error.message.assign(text.begin(), text.end());
+  return error;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (failed_) return;  // sticky: a broken stream stays broken
+  // Compact the parsed prefix before growing — the buffer never holds
+  // more than one partial frame plus whatever feed() just delivered.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (failed_ || buffer_.size() - consumed_ < kHeaderSize) return std::nullopt;
+  const std::size_t base = consumed_;
+  if (read_u32_at(buffer_, base) != kMagic) {
+    fail("bad magic (not a Stochastic-HMD frame stream)");
+    return std::nullopt;
+  }
+  if (buffer_[base + 4] != kProtocolVersion) {
+    fail("unsupported protocol version " + std::to_string(buffer_[base + 4]));
+    return std::nullopt;
+  }
+  if (!known_type(buffer_[base + 5])) {
+    fail("unknown frame type " + std::to_string(buffer_[base + 5]));
+    return std::nullopt;
+  }
+  if (buffer_[base + 6] != 0 || buffer_[base + 7] != 0) {
+    fail("nonzero reserved header bytes");
+    return std::nullopt;
+  }
+  const std::uint32_t payload_len = read_u32_at(buffer_, base + 16);
+  if (payload_len > max_payload_) {
+    fail("payload length " + std::to_string(payload_len) + " exceeds limit " +
+         std::to_string(max_payload_));
+    return std::nullopt;
+  }
+  if (buffer_.size() - base < kHeaderSize + payload_len) return std::nullopt;  // need more
+  Frame frame;
+  frame.type = static_cast<FrameType>(buffer_[base + 5]);
+  frame.request_id = read_u64_at(buffer_, base + 8);
+  frame.payload.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(base + kHeaderSize),
+                       buffer_.begin() +
+                           static_cast<std::ptrdiff_t>(base + kHeaderSize + payload_len));
+  consumed_ = base + kHeaderSize + payload_len;
+  return frame;
+}
+
+void FrameDecoder::fail(std::string reason) {
+  failed_ = true;
+  error_ = std::move(reason);
+  buffer_.clear();
+  consumed_ = 0;
+}
+
+}  // namespace shmd::net

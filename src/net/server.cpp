@@ -1,0 +1,618 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "trace/features.hpp"
+
+namespace shmd::net {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error(errno_text("fcntl(O_NONBLOCK)"));
+  }
+}
+
+in_addr_t resolve_ipv4(const std::string& host) {
+  if (host.empty() || host == "*") return htonl(INADDR_ANY);
+  if (host == "localhost") return htonl(INADDR_LOOPBACK);
+  in_addr addr{};
+  if (::inet_pton(AF_INET, host.c_str(), &addr) == 1) return addr.s_addr;
+  throw std::runtime_error("NetServer: cannot resolve host '" + host +
+                           "' (numeric IPv4, \"localhost\", or \"*\" only — no DNS)");
+}
+
+}  // namespace
+
+// -- Poller -----------------------------------------------------------------
+
+/// Readiness multiplexer: epoll where available, poll() everywhere. Both
+/// backends present identical semantics so the reactor is backend-blind
+/// and the test suite can force the fallback (NetServerConfig::force_poll).
+class NetServer::Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;
+  };
+
+  explicit Poller(bool force_poll) {
+#ifdef __linux__
+    if (!force_poll) epfd_ = ::epoll_create1(EPOLL_CLOEXEC);  // < 0 => poll() fallback
+#else
+    (void)force_poll;
+#endif
+  }
+
+  ~Poller() {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// Add-or-update interest for `fd`.
+  void set(int fd, bool read, bool write) {
+    const auto it = interest_.find(fd);
+#ifdef __linux__
+    if (epfd_ >= 0) {
+      epoll_event ev{};
+      ev.events = (read ? static_cast<std::uint32_t>(EPOLLIN) : 0u) |
+                  (write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+      ev.data.fd = fd;
+      ::epoll_ctl(epfd_, it == interest_.end() ? EPOLL_CTL_ADD : EPOLL_CTL_MOD, fd, &ev);
+    }
+#endif
+    const short mask = static_cast<short>((read ? 1 : 0) | (write ? 2 : 0));
+    if (it == interest_.end()) {
+      interest_.emplace(fd, mask);
+    } else {
+      it->second = mask;
+    }
+  }
+
+  void remove(int fd) {
+#ifdef __linux__
+    if (epfd_ >= 0) ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+    interest_.erase(fd);
+  }
+
+  const std::vector<Event>& wait(int timeout_ms) {
+    events_.clear();
+#ifdef __linux__
+    if (epfd_ >= 0) {
+      epoll_event raw[64];
+      const int n = ::epoll_wait(epfd_, raw, 64, timeout_ms);
+      for (int i = 0; i < n; ++i) {
+        Event ev;
+        ev.fd = raw[i].data.fd;
+        ev.readable = (raw[i].events & EPOLLIN) != 0;
+        ev.writable = (raw[i].events & EPOLLOUT) != 0;
+        ev.hangup = (raw[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+        events_.push_back(ev);
+      }
+      return events_;
+    }
+#endif
+    pollfds_.clear();
+    for (const auto& [fd, mask] : interest_) {
+      pollfd p{};
+      p.fd = fd;
+      p.events = static_cast<short>(((mask & 1) != 0 ? POLLIN : 0) |
+                                    ((mask & 2) != 0 ? POLLOUT : 0));
+      pollfds_.push_back(p);
+    }
+    const int n = ::poll(pollfds_.data(), pollfds_.size(), timeout_ms);
+    if (n > 0) {
+      for (const pollfd& p : pollfds_) {
+        if (p.revents == 0) continue;
+        Event ev;
+        ev.fd = p.fd;
+        ev.readable = (p.revents & POLLIN) != 0;
+        ev.writable = (p.revents & POLLOUT) != 0;
+        ev.hangup = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+        events_.push_back(ev);
+      }
+    }
+    return events_;
+  }
+
+ private:
+  int epfd_ = -1;
+  std::unordered_map<int, short> interest_;
+  std::vector<Event> events_;
+  std::vector<pollfd> pollfds_;
+};
+
+// -- reactor-owned per-connection / per-request state -----------------------
+
+struct NetServer::Connection {
+  explicit Connection(std::size_t max_payload) : decoder(max_payload) {}
+
+  std::uint64_t id = 0;
+  int fd = -1;
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> out;  ///< encoded frames awaiting the socket
+  std::size_t out_at = 0;         ///< written prefix of `out`
+  bool reads_paused = false;      ///< backpressure: write buffer over limit
+  bool close_after_flush = false;  ///< protocol error: drain out, then die
+  bool dead = false;               ///< fatal I/O error or peer EOF observed
+};
+
+/// One in-flight score: owns the ticket and the feature set for exactly as
+/// long as the service contract requires (submission -> completion). Heap-
+/// allocated and never moved, because ScoreTicket is address-stable by
+/// design. If the client disconnects mid-score, conn_id is zeroed and the
+/// completion is discarded on arrival — the ticket still completes, so the
+/// service's accounting stays exact.
+struct NetServer::Pending {
+  NetServer* server = nullptr;
+  std::uint64_t key = 0;      ///< reactor-assigned; mailbox token
+  std::uint64_t conn_id = 0;  ///< 0 = orphaned (connection died first)
+  std::uint64_t request_id = 0;
+  trace::FeatureSet features;
+  serve::ScoreTicket ticket;
+};
+
+// -- lifecycle --------------------------------------------------------------
+
+NetServer::NetServer(serve::ScoringService& service, NetServerConfig config)
+    : service_(service),
+      config_(config),
+      poller_(std::make_unique<Poller>(config.force_poll)) {
+  if (::pipe(wake_fds_) != 0) throw std::runtime_error(errno_text("NetServer: pipe()"));
+  set_nonblocking(wake_fds_[0]);
+  set_nonblocking(wake_fds_[1]);
+}
+
+NetServer::~NetServer() {
+  stop();
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+}
+
+util::Endpoint NetServer::add_listener(const util::Endpoint& endpoint) {
+  if (started_) throw std::runtime_error("NetServer::add_listener: server already started");
+  int fd = -1;
+  util::Endpoint resolved = endpoint;
+  if (endpoint.kind == util::Endpoint::Kind::kUnix) {
+    sockaddr_un sun{};
+    if (endpoint.path.size() >= sizeof(sun.sun_path)) {
+      throw std::runtime_error("NetServer: unix socket path too long: " + endpoint.path);
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error(errno_text("NetServer: socket(AF_UNIX)"));
+    ::unlink(endpoint.path.c_str());  // stale socket from a crashed predecessor
+    sun.sun_family = AF_UNIX;
+    std::memcpy(sun.sun_path, endpoint.path.c_str(), endpoint.path.size());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&sun), sizeof(sun)) != 0) {
+      const std::string msg = errno_text("NetServer: bind()");
+      ::close(fd);
+      throw std::runtime_error(msg + " on " + endpoint.to_string());
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error(errno_text("NetServer: socket(AF_INET)"));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_addr.s_addr = resolve_ipv4(endpoint.host);
+    sin.sin_port = htons(endpoint.port);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&sin), sizeof(sin)) != 0) {
+      const std::string msg = errno_text("NetServer: bind()");
+      ::close(fd);
+      throw std::runtime_error(msg + " on " + endpoint.to_string());
+    }
+    if (endpoint.port == 0) {  // report the kernel-assigned ephemeral port
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+        resolved.port = ntohs(bound.sin_port);
+      }
+    }
+  }
+  if (::listen(fd, 128) != 0) {
+    const std::string msg = errno_text("NetServer: listen()");
+    ::close(fd);
+    throw std::runtime_error(msg + " on " + endpoint.to_string());
+  }
+  set_nonblocking(fd);
+  listeners_.push_back(Listener{fd, resolved});
+  return resolved;
+}
+
+void NetServer::start() {
+  if (started_) throw std::runtime_error("NetServer::start: already started");
+  if (listeners_.empty()) {
+    throw std::runtime_error("NetServer::start: no listeners (call add_listener first)");
+  }
+  poller_->set(wake_fds_[0], /*read=*/true, /*write=*/false);
+  for (const Listener& listener : listeners_) {
+    poller_->set(listener.fd, /*read=*/true, /*write=*/false);
+  }
+  started_ = true;
+  reactor_ = std::thread([this] { event_loop(); });
+}
+
+void NetServer::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (reactor_.joinable()) {
+    wake();
+    reactor_.join();
+  }
+  // A completing worker may still be inside score_complete_hook (between
+  // its mailbox push and its last read of `this`); outlive it.
+  while (hooks_in_flight_.load(std::memory_order_acquire) != 0) std::this_thread::yield();
+  for (Listener& listener : listeners_) {
+    if (listener.fd >= 0) {  // reactor never started; close here instead
+      ::close(listener.fd);
+      listener.fd = -1;
+    }
+    if (listener.endpoint.kind == util::Endpoint::Kind::kUnix) {
+      ::unlink(listener.endpoint.path.c_str());
+    }
+  }
+}
+
+NetServerStats NetServer::stats() const {
+  NetServerStats s;
+  s.accepted_connections = stats_.accepted_connections.load(std::memory_order_relaxed);
+  s.closed_connections = stats_.closed_connections.load(std::memory_order_relaxed);
+  s.frames_in = stats_.frames_in.load(std::memory_order_relaxed);
+  s.frames_out = stats_.frames_out.load(std::memory_order_relaxed);
+  s.scores_submitted = stats_.scores_submitted.load(std::memory_order_relaxed);
+  s.shed_responses = stats_.shed_responses.load(std::memory_order_relaxed);
+  s.protocol_errors = stats_.protocol_errors.load(std::memory_order_relaxed);
+  s.reads_paused = stats_.reads_paused.load(std::memory_order_relaxed);
+  s.out_buffer_peak = stats_.out_buffer_peak.load(std::memory_order_relaxed);
+  return s;
+}
+
+// -- reactor ----------------------------------------------------------------
+
+void NetServer::wake() noexcept {
+  const char byte = 1;
+  // EAGAIN means a wake is already pending — exactly what we want.
+  (void)!::write(wake_fds_[1], &byte, 1);
+}
+
+NetServer::Connection* NetServer::find_conn(std::uint64_t conn_id) noexcept {
+  const auto it = conns_.find(conn_id);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+void NetServer::event_loop() {
+  bool listeners_closed = false;
+  while (true) {
+    const bool stopping = stop_requested_.load(std::memory_order_acquire);
+    if (stopping && !listeners_closed) {
+      for (Listener& listener : listeners_) {
+        if (listener.fd >= 0) {
+          poller_->remove(listener.fd);
+          ::close(listener.fd);
+          listener.fd = -1;
+        }
+      }
+      listeners_closed = true;
+    }
+    drain_completions();
+    // Every accepted ticket is completed by the service (drain semantics),
+    // so this empties and the loop exits without dropping a reply.
+    if (stopping && pending_.empty()) break;
+
+    const auto& events = poller_->wait(stopping ? 20 : 200);
+    for (const Poller::Event& ev : events) {
+      if (ev.fd == wake_fds_[0]) {
+        char buf[256];
+        while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      bool is_listener = false;
+      for (const Listener& listener : listeners_) {
+        if (listener.fd == ev.fd) {
+          is_listener = true;
+          break;
+        }
+      }
+      if (is_listener) {
+        handle_accept(ev.fd);
+        continue;
+      }
+      const auto it = conn_by_fd_.find(ev.fd);
+      if (it == conn_by_fd_.end()) continue;  // closed earlier in this batch
+      const std::uint64_t cid = it->second;
+      if (ev.writable) {
+        if (Connection* conn = find_conn(cid); conn != nullptr && !flush(*conn)) {
+          close_connection(cid);
+        }
+      }
+      if (ev.readable) {
+        if (Connection* conn = find_conn(cid)) handle_readable(*conn);
+      }
+      if (ev.hangup && find_conn(cid) != nullptr) close_connection(cid);
+    }
+  }
+  // Teardown: best-effort final flush, then close everything.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    if (Connection* conn = find_conn(id)) (void)flush(*conn);
+    close_connection(id);
+  }
+}
+
+void NetServer::handle_accept(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN, or a transient error — the poller will re-arm us
+    }
+    try {
+      set_nonblocking(fd);
+    } catch (const std::runtime_error&) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;  // latency over batching; a no-op (error) on AF_UNIX
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(config_.max_payload);
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    conn_by_fd_[fd] = conn->id;
+    poller_->set(fd, /*read=*/true, /*write=*/false);
+    conns_.emplace(conn->id, std::move(conn));
+    stats_.accepted_connections.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void NetServer::handle_readable(Connection& conn) {
+  std::uint8_t buf[64 * 1024];
+  while (!conn.dead && !conn.reads_paused && !conn.close_after_flush) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n == 0) {  // orderly peer close
+      conn.dead = true;
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) conn.dead = true;
+      break;
+    }
+    conn.decoder.feed(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+    while (std::optional<Frame> frame = conn.decoder.next()) {
+      handle_frame(conn, std::move(*frame));
+      if (conn.dead || conn.close_after_flush) break;
+    }
+    if (conn.decoder.failed() && !conn.dead && !conn.close_after_flush) {
+      // Framing garbage: the one offense that costs the connection.
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      conn.close_after_flush = true;
+      send_error(conn, 0, ErrorCode::kBadFrame, conn.decoder.error());
+    }
+  }
+  if (conn.dead) {
+    close_connection(conn.id);
+    return;
+  }
+  if (conn.close_after_flush && !flush(conn)) close_connection(conn.id);
+}
+
+void NetServer::handle_frame(Connection& conn, Frame frame) {
+  stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+  switch (frame.type) {
+    case FrameType::kPing:
+      send_frame(conn, FrameType::kPong, frame.request_id, std::move(frame.payload));
+      break;
+    case FrameType::kScore:
+      handle_score(conn, frame);
+      break;
+    case FrameType::kStats:
+      send_frame(conn, FrameType::kStatsResult, frame.request_id,
+                 serve::serialize(service_.stats()));
+      break;
+    default:
+      send_error(conn, frame.request_id, ErrorCode::kUnsupported,
+                 "server does not accept this frame type");
+      break;
+  }
+}
+
+void NetServer::handle_score(Connection& conn, const Frame& frame) {
+  std::optional<ScoreRequest> req = decode_score_request(frame.payload);
+  if (!req.has_value() || req->view >= trace::kNumViews) {
+    stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    conn.close_after_flush = true;  // before send: flush may finish the job
+    send_error(conn, frame.request_id, ErrorCode::kBadFrame, "malformed score request");
+    return;
+  }
+  auto owned = std::make_unique<Pending>();
+  Pending* pending = owned.get();
+  pending->server = this;
+  pending->key = next_pending_key_++;
+  pending->conn_id = conn.id;
+  pending->request_id = frame.request_id;
+  pending->features.put(
+      trace::FeatureConfig{static_cast<trace::FeatureView>(req->view), req->period},
+      std::move(req->windows));
+  pending->ticket.set_completion_hook(&NetServer::score_complete_hook, pending);
+  std::optional<serve::ServiceClock::time_point> deadline;
+  if (req->deadline_us > 0) {
+    deadline = serve::ServiceClock::now() + std::chrono::microseconds(req->deadline_us);
+  }
+  pending_.emplace(pending->key, std::move(owned));
+  const serve::SubmitStatus status =
+      service_.try_submit(pending->features, pending->ticket, deadline);
+  if (status == serve::SubmitStatus::kAccepted) {
+    stats_.scores_submitted.fetch_add(1, std::memory_order_relaxed);
+    return;  // the reply travels via score_complete_hook -> drain_completions
+  }
+  // Rejected: the hook already pushed this key; erasing the entry makes
+  // the mailbox token stale, and drain_completions skips stale keys.
+  pending_.erase(pending->key);
+  stats_.shed_responses.fetch_add(1, std::memory_order_relaxed);
+  const bool shed = status == serve::SubmitStatus::kShed;
+  send_error(conn, frame.request_id, shed ? ErrorCode::kShed : ErrorCode::kClosed,
+             shed ? "request queue full; retry later" : "scoring service closed");
+}
+
+void NetServer::score_complete_hook(void* arg) noexcept {
+  auto* pending = static_cast<Pending*>(arg);
+  // `pending` stays alive until the reactor consumes the key we are about
+  // to push, and the server outlives the hook window via hooks_in_flight_;
+  // past the push, touch only the locals.
+  NetServer* server = pending->server;
+  server->hooks_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t key = pending->key;
+  {
+    const std::lock_guard lock(server->completed_mu_);
+    server->completed_.push_back(key);
+  }
+  server->wake();
+  server->hooks_in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
+void NetServer::drain_completions() {
+  std::vector<std::uint64_t> keys;
+  {
+    const std::lock_guard lock(completed_mu_);
+    keys.swap(completed_);
+  }
+  for (const std::uint64_t key : keys) {
+    const auto it = pending_.find(key);
+    if (it == pending_.end()) continue;  // stale: rejected submission, handled inline
+    const std::unique_ptr<Pending> pending = std::move(it->second);
+    pending_.erase(it);
+    if (pending->conn_id == 0) continue;  // client left before the verdict
+    Connection* conn = find_conn(pending->conn_id);
+    if (conn == nullptr) continue;
+    ScoreResult result;
+    result.outcome = static_cast<std::uint8_t>(pending->ticket.outcome());
+    result.verdict = pending->ticket.verdict();
+    result.epoch_id = pending->ticket.epoch_id();
+    result.latency_ns = static_cast<std::uint64_t>(pending->ticket.latency().count());
+    result.scores = pending->ticket.scores();
+    send_frame(*conn, FrameType::kScoreResult, pending->request_id,
+               encode_score_result(result));
+    if (conn->dead) close_connection(conn->id);
+  }
+}
+
+// -- write path -------------------------------------------------------------
+
+void NetServer::send_frame(Connection& conn, FrameType type, std::uint64_t request_id,
+                           std::vector<std::uint8_t> payload) {
+  if (conn.dead) return;
+  Frame frame;
+  frame.type = type;
+  frame.request_id = request_id;
+  frame.payload = std::move(payload);
+  encode_frame(frame, conn.out);
+  stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t depth = conn.out.size() - conn.out_at;
+  if (depth > stats_.out_buffer_peak.load(std::memory_order_relaxed)) {
+    stats_.out_buffer_peak.store(depth, std::memory_order_relaxed);  // reactor-only writer
+  }
+  (void)flush(conn);
+}
+
+void NetServer::send_error(Connection& conn, std::uint64_t request_id, ErrorCode code,
+                           std::string message) {
+  ErrorBody body;
+  body.code = code;
+  body.message = std::move(message);
+  send_frame(conn, FrameType::kError, request_id, encode_error(body));
+}
+
+bool NetServer::flush(Connection& conn) {
+  if (conn.dead) return false;
+  while (conn.out_at < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_at,
+                             conn.out.size() - conn.out_at, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_at += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    conn.dead = true;  // EPIPE / ECONNRESET / anything fatal
+    return false;
+  }
+  if (conn.out_at == conn.out.size()) {
+    conn.out.clear();
+    conn.out_at = 0;
+  } else if (conn.out_at > 64 * 1024) {  // reclaim the written prefix
+    conn.out.erase(conn.out.begin(), conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_at));
+    conn.out_at = 0;
+  }
+  if (conn.close_after_flush && conn.out.empty()) {
+    conn.dead = true;  // error frame delivered; the connection is done
+    return false;
+  }
+  update_interest(conn);
+  return true;
+}
+
+void NetServer::update_interest(Connection& conn) {
+  const std::size_t backlog = conn.out.size() - conn.out_at;
+  if (backlog > config_.write_buffer_limit) {
+    if (!conn.reads_paused) {
+      // Bounded buffering: stop reading so TCP flow control pushes back on
+      // the client instead of this buffer absorbing the flood.
+      conn.reads_paused = true;
+      stats_.reads_paused.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (conn.reads_paused && backlog <= config_.write_buffer_limit / 2) {
+    conn.reads_paused = false;
+  }
+  const bool want_read = !conn.reads_paused && !conn.close_after_flush;
+  poller_->set(conn.fd, want_read, backlog > 0);
+}
+
+void NetServer::close_connection(std::uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  poller_->remove(conn.fd);
+  conn_by_fd_.erase(conn.fd);
+  ::close(conn.fd);
+  // Orphan this connection's in-flight scores: the tickets still complete
+  // (service accounting stays exact); the replies just have nowhere to go.
+  for (auto& [key, pending] : pending_) {
+    if (pending->conn_id == conn_id) pending->conn_id = 0;
+  }
+  conns_.erase(it);
+  stats_.closed_connections.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace shmd::net

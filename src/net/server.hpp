@@ -1,0 +1,159 @@
+// NetServer: the socket front-end of serve::ScoringService.
+//
+// One reactor thread multiplexes every connection with non-blocking I/O —
+// epoll on Linux, poll() as the portable fallback (also selectable at
+// runtime for test coverage via NetServerConfig::force_poll). The reactor
+// NEVER blocks on the scoring plane: submissions go through try_submit(),
+// and completions flow back through ScoreTicket's completion hook, which
+// hands the reactor a key over a self-wake pipe. Scoring threads never
+// touch a socket; the reactor never waits on a ticket.
+//
+// Backpressure discipline (the whole point of fronting a *bounded* queue):
+//   * a full RequestQueue surfaces as an in-protocol kShed Error frame on
+//     the live connection — never a disconnect, never hidden buffering;
+//   * per-connection write buffers are bounded: past the limit the
+//     reactor stops reading that connection (so TCP flow control pushes
+//     back on the client) until the buffer drains;
+//   * only protocol garbage — bad magic, wrong version, oversized or
+//     malformed frames — costs the connection: one kBadFrame Error frame,
+//     flushed best-effort, then close.
+//
+// Determinism rides along untouched: the service seeds each request's
+// fault stream from its admission sequence number, and a single pipelined
+// connection admits requests in wire order, so scores over loopback are
+// bit-identical to the same submissions made in-process.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "serve/scoring_service.hpp"
+#include "util/cli.hpp"
+
+namespace shmd::net {
+
+struct NetServerConfig {
+  /// Largest accepted frame payload; larger = protocol error.
+  std::size_t max_payload = kDefaultMaxPayload;
+  /// Per-connection outbound buffer ceiling. Above it the reactor stops
+  /// reading that connection until the buffer drains below half.
+  std::size_t write_buffer_limit = 256 * 1024;
+  /// Use the poll() reactor even where epoll is available (test knob —
+  /// both reactors must pass the same suite).
+  bool force_poll = false;
+};
+
+/// Reactor-thread counters, snapshot via NetServer::stats().
+struct NetServerStats {
+  std::uint64_t accepted_connections = 0;
+  std::uint64_t closed_connections = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t scores_submitted = 0;  ///< accepted by the service
+  std::uint64_t shed_responses = 0;    ///< kShed/kClosed Error frames sent
+  std::uint64_t protocol_errors = 0;   ///< connections killed for garbage
+  std::uint64_t reads_paused = 0;      ///< backpressure engagements
+  std::uint64_t out_buffer_peak = 0;   ///< high-water mark of any write buffer
+};
+
+class NetServer {
+ public:
+  explicit NetServer(serve::ScoringService& service, NetServerConfig config = {});
+  ~NetServer();  ///< stop()
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Bind + listen on a TCP host:port or Unix path. Call before start().
+  /// Returns the resolved endpoint — for TCP port 0 the kernel-assigned
+  /// ephemeral port is filled in, so tests can bind "127.0.0.1:0" and
+  /// learn where to connect. Throws std::runtime_error on bind failure.
+  util::Endpoint add_listener(const util::Endpoint& endpoint);
+
+  /// Start the reactor thread. Requires at least one listener.
+  void start();
+
+  /// Stop accepting, wait for every in-flight score to complete (each
+  /// accepted ticket is completed by the service, never dropped), close
+  /// all connections, join the reactor. Idempotent.
+  void stop();
+
+  [[nodiscard]] NetServerStats stats() const;
+
+ private:
+  struct Connection;
+  struct Pending;
+  class Poller;
+
+  void event_loop();
+  void wake() noexcept;
+  void handle_accept(int listen_fd);
+  void handle_readable(Connection& conn);
+  void handle_frame(Connection& conn, Frame frame);
+  void handle_score(Connection& conn, const Frame& frame);
+  void drain_completions();
+  void send_frame(Connection& conn, FrameType type, std::uint64_t request_id,
+                  std::vector<std::uint8_t> payload);
+  void send_error(Connection& conn, std::uint64_t request_id, ErrorCode code,
+                  std::string message);
+  /// Write as much of conn.out as the socket accepts; updates poller
+  /// interest and read-pause state. Returns false if the connection died.
+  bool flush(Connection& conn);
+  /// Recompute poller interest from buffered output and pause state.
+  void update_interest(Connection& conn);
+  void close_connection(std::uint64_t conn_id);
+  Connection* find_conn(std::uint64_t conn_id) noexcept;
+  static void score_complete_hook(void* arg) noexcept;
+
+  serve::ScoringService& service_;
+  NetServerConfig config_;
+
+  struct Listener {
+    int fd = -1;
+    util::Endpoint endpoint;  ///< resolved
+  };
+  std::vector<Listener> listeners_;
+
+  // Reactor state — touched only by the reactor thread once start()ed.
+  std::unique_ptr<Poller> poller_;
+  std::unordered_map<int, std::uint64_t> conn_by_fd_;  ///< fd -> conn id (fds recycle; ids don't)
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Pending>> pending_;
+  std::uint64_t next_conn_id_ = 1;
+  std::uint64_t next_pending_key_ = 1;
+
+  // Completion mailbox: scoring threads push keys, the reactor drains.
+  std::mutex completed_mu_;
+  std::vector<std::uint64_t> completed_;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] read (reactor), [1] write (hook)
+  /// Hooks between their mailbox push and their last touch of `this`;
+  /// stop() spins to zero before returning so a completing worker can
+  /// never race server destruction.
+  std::atomic<std::size_t> hooks_in_flight_{0};
+
+  std::thread reactor_;
+  std::atomic<bool> stop_requested_{false};
+  bool started_ = false;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> accepted_connections{0};
+    std::atomic<std::uint64_t> closed_connections{0};
+    std::atomic<std::uint64_t> frames_in{0};
+    std::atomic<std::uint64_t> frames_out{0};
+    std::atomic<std::uint64_t> scores_submitted{0};
+    std::atomic<std::uint64_t> shed_responses{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> reads_paused{0};
+    std::atomic<std::uint64_t> out_buffer_peak{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace shmd::net

@@ -81,6 +81,22 @@ class ScoreTicket {
   ScoreTicket(const ScoreTicket&) = delete;
   ScoreTicket& operator=(const ScoreTicket&) = delete;
 
+  /// Push-style completion for event-loop callers (the network front-end):
+  /// `hook(arg)` fires on the completing thread every time the ticket
+  /// transitions to done — after a worker finishes the request AND after a
+  /// rejected submission. It runs strictly after the done-notification, so
+  /// a reactor woken by the hook may free the ticket without racing the
+  /// worker's notify; a caller that does so must not also wait() on the
+  /// ticket from another thread. The hook must be noexcept and cheap (it
+  /// runs on the scoring worker); it survives begin(), so set it once per
+  /// ticket lifetime. Set before submitting — never while a submission is
+  /// in flight.
+  using CompletionHook = void (*)(void*) noexcept;
+  void set_completion_hook(CompletionHook hook, void* arg) noexcept {
+    hook_ = hook;
+    hook_arg_ = arg;
+  }
+
   /// Block until no submission is in flight. A fresh ticket (and one
   /// whose submission was rejected) is already done with outcome
   /// kPending, so wait() only ever blocks on an accepted submission —
@@ -114,16 +130,26 @@ class ScoreTicket {
     done_.store(false, std::memory_order_relaxed);
   }
   void complete(RequestOutcome outcome) noexcept {
+    // Copy the hook out BEFORE publishing done_: the instant the store
+    // lands, a wait()ing owner may destroy the ticket, so no member may
+    // be touched past this line. (notify_all is safe on the published
+    // atomic: libstdc++ keys its waiter table by address.)
+    const CompletionHook hook = hook_;
+    void* const hook_arg = hook_arg_;
     outcome_ = outcome;
     done_.store(true, std::memory_order_release);
     done_.notify_all();
+    if (hook != nullptr) hook(hook_arg);
   }
   /// Undo begin() after a rejected submission (no worker ever saw the
   /// request): the ticket is done() again with outcome kPending, so shed
   /// tickets can be resubmitted — and never hang a wait().
   void abort_submit() noexcept {
+    const CompletionHook hook = hook_;  // same discipline as complete()
+    void* const hook_arg = hook_arg_;
     done_.store(true, std::memory_order_release);
     done_.notify_all();
+    if (hook != nullptr) hook(hook_arg);
   }
 
   std::vector<double> scores_;
@@ -132,6 +158,8 @@ class ScoreTicket {
   bool verdict_ = false;
   RequestOutcome outcome_ = RequestOutcome::kPending;
   std::atomic<bool> done_{true};  // fresh = done-with-no-result; begin() arms it
+  CompletionHook hook_ = nullptr;  // survives begin(): per-lifetime, not per-submit
+  void* hook_arg_ = nullptr;
 };
 
 class ScoringService {

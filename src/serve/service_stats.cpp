@@ -37,6 +37,89 @@ void ServiceStats::on_scored(std::uint64_t latency_ns, std::uint64_t epoch_id,
   per_epoch_faults_[epoch_id].merge(faults);
 }
 
+namespace {
+
+// Explicit little-endian byte encoding: the wire format must not depend
+// on host endianness or struct layout.
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> bytes, std::size_t offset) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes[offset + i]} << (8 * i);
+  return v;
+}
+
+constexpr std::uint8_t kSnapshotFormat = 1;
+constexpr std::size_t kCounterWords = 7;
+constexpr std::size_t kEpochEntryWords =
+    3 + static_cast<std::size_t>(faultsim::BitFaultDistribution::kBits);
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const ServiceStatsSnapshot& snap) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 8 * (kCounterWords + 1 + LatencyHistogram::kBuckets +
+                       kEpochEntryWords * snap.per_epoch_faults.size()));
+  out.push_back(kSnapshotFormat);
+  put_u64(out, snap.enqueued);
+  put_u64(out, snap.shed);
+  put_u64(out, snap.rejected_closed);
+  put_u64(out, snap.scored);
+  put_u64(out, snap.deadline_missed);
+  put_u64(out, snap.failed);
+  put_u64(out, snap.epoch_swaps);
+  for (const std::uint64_t count : snap.latency.counts) put_u64(out, count);
+  put_u64(out, snap.per_epoch_faults.size());
+  for (const auto& [epoch_id, faults] : snap.per_epoch_faults) {
+    put_u64(out, epoch_id);
+    put_u64(out, faults.operations);
+    put_u64(out, faults.faults);
+    for (const std::uint64_t flips : faults.bit_flips) put_u64(out, flips);
+  }
+  return out;
+}
+
+std::optional<ServiceStatsSnapshot> deserialize_snapshot(std::span<const std::uint8_t> bytes) {
+  constexpr std::size_t kFixed = 1 + 8 * (kCounterWords + LatencyHistogram::kBuckets + 1);
+  if (bytes.size() < kFixed || bytes[0] != kSnapshotFormat) return std::nullopt;
+  ServiceStatsSnapshot snap;
+  std::size_t at = 1;
+  const auto next = [&] {
+    const std::uint64_t v = get_u64(bytes, at);
+    at += 8;
+    return v;
+  };
+  snap.enqueued = next();
+  snap.shed = next();
+  snap.rejected_closed = next();
+  snap.scored = next();
+  snap.deadline_missed = next();
+  snap.failed = next();
+  snap.epoch_swaps = next();
+  for (std::uint64_t& count : snap.latency.counts) {
+    count = next();
+    snap.latency.total += count;
+  }
+  const std::uint64_t n_epochs = next();
+  // Reject a length that cannot match the remaining bytes BEFORE trusting
+  // it (a hostile count must not drive reads, allocations, or overflow).
+  constexpr std::uint64_t kEntryBytes = 8 * kEpochEntryWords;
+  if (n_epochs > (bytes.size() - at) / kEntryBytes ||
+      bytes.size() - at != n_epochs * kEntryBytes) {
+    return std::nullopt;
+  }
+  for (std::uint64_t e = 0; e < n_epochs; ++e) {
+    const std::uint64_t epoch_id = next();
+    faultsim::FaultStats& faults = snap.per_epoch_faults[epoch_id];
+    faults.operations = next();
+    faults.faults = next();
+    for (std::uint64_t& flips : faults.bit_flips) flips = next();
+  }
+  return snap;
+}
+
 ServiceStatsSnapshot ServiceStats::snapshot() const {
   ServiceStatsSnapshot snap;
   // Terminal counters are read BEFORE enqueued_: a request that lands

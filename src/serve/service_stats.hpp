@@ -17,6 +17,9 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
 
 #include "faultsim/fault_injector.hpp"
 
@@ -37,6 +40,8 @@ struct LatencyHistogram {
   [[nodiscard]] double quantile_ns(double q) const noexcept;
   [[nodiscard]] double p50_ns() const noexcept { return quantile_ns(0.50); }
   [[nodiscard]] double p99_ns() const noexcept { return quantile_ns(0.99); }
+
+  friend bool operator==(const LatencyHistogram&, const LatencyHistogram&) = default;
 };
 
 /// One coherent read of the service's counters (see ServiceStats).
@@ -58,7 +63,18 @@ struct ServiceStatsSnapshot {
   [[nodiscard]] std::uint64_t in_flight() const noexcept {
     return enqueued - scored - deadline_missed - failed;
   }
+
+  friend bool operator==(const ServiceStatsSnapshot&, const ServiceStatsSnapshot&) = default;
 };
+
+/// Compact fixed-width little-endian serialization of a snapshot — the
+/// payload of the network Stats frame, so a remote client reads the same
+/// accounting a local caller would. The layout is versioned (one leading
+/// format byte); deserialize_snapshot rejects unknown versions and
+/// truncated or trailing-garbage buffers with nullopt, never UB.
+[[nodiscard]] std::vector<std::uint8_t> serialize(const ServiceStatsSnapshot& snap);
+[[nodiscard]] std::optional<ServiceStatsSnapshot> deserialize_snapshot(
+    std::span<const std::uint8_t> bytes);
 
 /// Live, thread-safe counter block owned by the ScoringService.
 class ServiceStats {

@@ -5,6 +5,47 @@
 
 namespace shmd::util {
 
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) {
+      throw std::invalid_argument("endpoint '" + spec + "': unix: needs a socket path");
+    }
+    return ep;
+  }
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("endpoint '" + spec +
+                                "': expected host:port or unix:/path");
+  }
+  ep.kind = Endpoint::Kind::kTcp;
+  ep.host = colon == 0 ? "*" : spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  if (port_text.empty() || port_text.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("endpoint '" + spec + "': port '" + port_text +
+                                "' is not a number in [0, 65535]");
+  }
+  unsigned long port = 0;  // NOLINT(google-runtime-int): stoul's return type
+  try {
+    port = std::stoul(port_text);
+  } catch (const std::out_of_range&) {
+    port = 65536;  // flows into the range check below
+  }
+  if (port > 65535) {
+    throw std::invalid_argument("endpoint '" + spec + "': port '" + port_text +
+                                "' is not a number in [0, 65535]");
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
 void CliParser::add_flag(const std::string& name, const std::string& help,
                          std::string default_value) {
   flags_[name] = Flag{help, std::move(default_value), /*is_bool=*/false};

@@ -5,12 +5,37 @@
 // instead of silently running the default configuration.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace shmd::util {
+
+/// A parsed listen/connect address for the network front-end: either a
+/// TCP host:port or a Unix-domain socket path. Pure string parsing — no
+/// socket calls — so every binary can validate flags before src/net/
+/// touches the kernel.
+struct Endpoint {
+  enum class Kind : std::uint8_t { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host;        ///< TCP only; numeric IPv4, "localhost", or "*"
+  std::uint16_t port = 0;  ///< TCP only; 0 = ephemeral (server picks)
+  std::string path;        ///< Unix only; filesystem path of the socket
+
+  /// Canonical spec string ("host:port" or "unix:/path"), parseable back.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Parse "host:port" (e.g. "127.0.0.1:7433", "localhost:0", "*:7433") or
+/// "unix:/path" (e.g. "unix:/run/shmd.sock"). An empty host means every
+/// interface ("*"). Throws std::invalid_argument with a message naming
+/// the spec and the defect — flag typos in deploy scripts must fail
+/// loudly, not bind somewhere surprising.
+[[nodiscard]] Endpoint parse_endpoint(const std::string& spec);
 
 class CliParser {
  public:

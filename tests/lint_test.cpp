@@ -301,6 +301,46 @@ TEST(LintR4, AppliesToBenchAndExamplesButDefenseRulesDoNot) {
   EXPECT_TRUE(lint("tests/fixture.cpp", unsorted).empty());
 }
 
+// ------------------------------------------------------ R5 socket discipline
+
+TEST(LintR5, SocketCallOutsideNetIsFlagged) {
+  const std::string fixture =
+      "#include <sys/socket.h>\n"
+      "int f() {\n"
+      "  return socket(2, 1, 0);\n"  // line 3
+      "}\n";
+  EXPECT_EQ(lines_of(lint("src/serve/fixture.cpp", fixture), "R5"), (std::vector<int>{3}));
+  EXPECT_TRUE(lint("src/net/fixture.cpp", fixture).empty())
+      << "src/net/ is the sanctioned transport layer";
+}
+
+TEST(LintR5, NonCallUsesAndCommentsAreNotFlagged) {
+  const std::string fixture =
+      "// discussing connect() or epoll_wait() in a comment is fine\n"
+      "void f(Widget& w) {\n"
+      "  w.accept = true;\n"          // field access, not a call
+      "  const char* s = \"listen\";\n"  // string literal
+      "  (void)s;\n"
+      "}\n";
+  EXPECT_TRUE(lint("src/serve/fixture.cpp", fixture).empty());
+}
+
+TEST(LintR5, SuppressionTagClearsTheDiagnostic) {
+  const std::string fixture =
+      "int f(int fd) {\n"
+      "  return shutdown(fd, 2);  // shmd-lint: socket-ok(harness teardown path)\n"
+      "}\n";
+  EXPECT_TRUE(lint("src/serve/fixture.cpp", fixture).empty());
+}
+
+TEST(LintR5, HarnessTreesAreOutOfScope) {
+  // Benches and examples legitimately drive NetClient::connect() etc.
+  const std::string fixture = "void f(NetClient& c, Endpoint e) { c.connect(e); }\n";
+  EXPECT_TRUE(lint("bench/fixture.cpp", fixture).empty());
+  EXPECT_TRUE(lint("examples/fixture.cpp", fixture).empty());
+  EXPECT_EQ(lines_of(lint("src/runtime/fixture.cpp", fixture), "R5"), (std::vector<int>{1}));
+}
+
 // ----------------------------------------------------- R0 annotation hygiene
 
 TEST(LintR0, AnnotationWithoutReasonIsMalformed) {
@@ -369,7 +409,7 @@ TEST(LintDriver, RegistryShipsAllRulesInIdOrder) {
     EXPECT_FALSE(rule->rationale().empty()) << rule->id();
     EXPECT_FALSE(rule->suppression_tag().empty()) << rule->id();
   }
-  EXPECT_EQ(ids, (std::vector<std::string>{"R1", "R2", "R3", "R4"}));
+  EXPECT_EQ(ids, (std::vector<std::string>{"R1", "R2", "R3", "R4", "R5"}));
 }
 
 TEST(LintDriver, LexerSurvivesAdversarialInput) {

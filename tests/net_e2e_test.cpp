@@ -1,0 +1,411 @@
+// End-to-end tests for the socket front-end (src/net/): a real NetServer
+// over loopback TCP and Unix-domain sockets, driven by NetClient.
+//
+// The load-bearing property is the determinism contract: for a fixed
+// (seed, admission order), scores over the wire must be BIT-identical to
+// the same submissions made in-process — the transport may fragment,
+// coalesce, and reorder completions, but it must never perturb a score.
+// The overload tests pin the backpressure discipline: a full RequestQueue
+// surfaces as kShed Error frames on a live connection, and only protocol
+// garbage costs the connection. The NetE2E suite runs under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hmd/stochastic_hmd.hpp"
+#include "net/client.hpp"
+#include "nn/network.hpp"
+#include "net/frame.hpp"
+#include "net/server.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "serve/scoring_service.hpp"
+#include "util/cli.hpp"
+
+namespace shmd::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::size_t kInputs = 8;
+const trace::FeatureConfig kFc{trace::FeatureView::kInsnCategory, 2048};
+
+nn::Network make_net() {
+  const std::vector<std::size_t> topo{kInputs, 12, 1};
+  return nn::Network(topo, nn::Activation::kSigmoid, nn::Activation::kSigmoid, 1);
+}
+
+serve::DetectorEpoch test_epoch(double error_rate) {
+  const hmd::StochasticHmd det(make_net(), kFc, error_rate);
+  return serve::make_epoch(det);
+}
+
+/// One program's windows, in both submission forms: the in-process
+/// FeatureSet and the on-the-wire ScoreRequest carry identical doubles.
+struct Workload {
+  std::vector<trace::FeatureSet> features;
+  std::vector<ScoreRequest> requests;
+};
+
+Workload make_workload(std::size_t n, std::size_t n_windows = 4) {
+  Workload w;
+  for (std::size_t i = 0; i < n; ++i) {
+    rng::Xoshiro256ss gen(1000 + i);
+    std::vector<std::vector<double>> windows(n_windows, std::vector<double>(kInputs));
+    for (auto& window : windows) {
+      for (double& x : window) x = gen.uniform01();
+    }
+    ScoreRequest req;
+    req.view = static_cast<std::uint8_t>(kFc.view);
+    req.period = static_cast<std::uint32_t>(kFc.period);
+    req.width = kInputs;
+    req.windows = windows;
+    w.requests.push_back(std::move(req));
+    trace::FeatureSet fs;
+    fs.put(kFc, std::move(windows));
+    w.features.push_back(std::move(fs));
+  }
+  return w;
+}
+
+/// Reference scores: the same workload submitted in-process, one request
+/// at a time, against a fresh service with the given config.
+std::vector<std::vector<double>> in_process_scores(const Workload& w,
+                                                   const serve::ServeConfig& config) {
+  serve::ScoringService service(test_epoch(0.05), config);
+  std::vector<std::vector<double>> scores;
+  for (const trace::FeatureSet& fs : w.features) {
+    serve::ScoreTicket ticket;
+    EXPECT_EQ(service.submit(fs, ticket), serve::SubmitStatus::kAccepted);
+    ticket.wait();
+    EXPECT_EQ(ticket.outcome(), serve::RequestOutcome::kScored);
+    scores.push_back(ticket.scores());
+  }
+  return scores;
+}
+
+std::string temp_uds_path(const char* tag) {
+  return "/tmp/shmd_e2e_" + std::string(tag) + "_" + std::to_string(::getpid()) + ".sock";
+}
+
+// --------------------------------------------------------------- liveness
+
+TEST(NetE2E, PingAndStatsOverTcp) {
+  serve::ScoringService service(test_epoch(0.05), serve::ServeConfig{.num_workers = 2});
+  NetServer server(service);
+  const util::Endpoint ep = server.add_listener(util::parse_endpoint("127.0.0.1:0"));
+  ASSERT_NE(ep.port, 0) << "ephemeral port must be resolved";
+  server.start();
+
+  NetClient client;
+  client.connect(ep);
+  EXPECT_TRUE(client.ping());
+  const std::optional<serve::ServiceStatsSnapshot> stats = client.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->scored, 0u);
+  server.stop();
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(NetE2E, LoopbackScoresBitIdenticalToInProcessOverTcpAndUds) {
+  const Workload w = make_workload(24);
+  const serve::ServeConfig config{.num_workers = 2};
+  const std::vector<std::vector<double>> reference = in_process_scores(w, config);
+
+  const std::string uds = temp_uds_path("det");
+  const util::Endpoint endpoints[] = {util::parse_endpoint("127.0.0.1:0"),
+                                      util::parse_endpoint("unix:" + uds)};
+  for (const util::Endpoint& want : endpoints) {
+    // Fresh service per transport: same seed, same epoch, same admission
+    // order => the wire must reproduce the reference bit-for-bit.
+    serve::ScoringService service(test_epoch(0.05), config);
+    NetServer server(service);
+    const util::Endpoint ep = server.add_listener(want);
+    server.start();
+    NetClient client;
+    client.connect(ep);
+    for (std::size_t i = 0; i < w.requests.size(); ++i) {
+      const Reply reply = client.score(w.requests[i]);
+      ASSERT_EQ(reply.type, FrameType::kScoreResult) << ep.to_string();
+      ASSERT_TRUE(reply.result.has_value());
+      EXPECT_EQ(reply.result->outcome,
+                static_cast<std::uint8_t>(serve::RequestOutcome::kScored));
+      EXPECT_EQ(reply.result->scores, reference[i])
+          << "score divergence over " << ep.to_string() << " at request " << i;
+    }
+    client.close();
+    server.stop();
+  }
+  EXPECT_NE(::access(uds.c_str(), F_OK), 0) << "stop() must unlink the unix socket";
+}
+
+TEST(NetE2E, PipelinedSubmissionPreservesAdmissionOrderDeterminism) {
+  // Many in-flight requests on one connection: completions may come back
+  // out of order (4 workers race), but admission follows wire order, so
+  // each request id must still map to its reference scores.
+  const Workload w = make_workload(32);
+  const serve::ServeConfig config{.num_workers = 4};
+  const std::vector<std::vector<double>> reference = in_process_scores(w, config);
+
+  serve::ScoringService service(test_epoch(0.05), config);
+  NetServer server(service);
+  const util::Endpoint ep = server.add_listener(util::parse_endpoint("127.0.0.1:0"));
+  server.start();
+  NetClient client;
+  client.connect(ep);
+
+  std::map<std::uint64_t, std::size_t> index_of;
+  for (std::size_t i = 0; i < w.requests.size(); ++i) {
+    index_of[client.send_score(w.requests[i])] = i;
+  }
+  for (std::size_t got = 0; got < w.requests.size(); ++got) {
+    const Reply reply = client.recv_reply();
+    ASSERT_EQ(reply.type, FrameType::kScoreResult);
+    ASSERT_TRUE(index_of.contains(reply.request_id));
+    ASSERT_TRUE(reply.result.has_value());
+    EXPECT_EQ(reply.result->scores, reference[index_of[reply.request_id]]);
+  }
+  server.stop();
+}
+
+TEST(NetE2E, PollFallbackServesIdentically) {
+  // Same contract through the poll() reactor (force_poll exercises the
+  // portable backend on Linux too).
+  const Workload w = make_workload(8);
+  const serve::ServeConfig config{.num_workers = 2};
+  const std::vector<std::vector<double>> reference = in_process_scores(w, config);
+
+  serve::ScoringService service(test_epoch(0.05), config);
+  NetServer server(service, NetServerConfig{.force_poll = true});
+  const util::Endpoint ep = server.add_listener(util::parse_endpoint("localhost:0"));
+  server.start();
+  NetClient client;
+  client.connect(ep);
+  for (std::size_t i = 0; i < w.requests.size(); ++i) {
+    const Reply reply = client.score(w.requests[i]);
+    ASSERT_TRUE(reply.result.has_value());
+    EXPECT_EQ(reply.result->scores, reference[i]);
+  }
+  server.stop();
+}
+
+// ----------------------------------------------------------------- overload
+
+TEST(NetE2E, OverloadSurfacesAsShedErrorFramesOnLiveConnection) {
+  serve::ScoringService service(test_epoch(0.05),
+                                serve::ServeConfig{.num_workers = 1, .queue_capacity = 2});
+  service.pause();  // hold the workers: the ring observably fills
+  NetServer server(service);
+  const util::Endpoint ep = server.add_listener(util::parse_endpoint("127.0.0.1:0"));
+  server.start();
+
+  const Workload w = make_workload(10);
+  NetClient client;
+  client.connect(ep);
+  std::vector<std::uint64_t> ids;
+  for (const ScoreRequest& req : w.requests) ids.push_back(client.send_score(req));
+
+  // 2 fit the ring; 8 must come back as in-protocol kShed errors, on the
+  // SAME connection — overload never disconnects.
+  std::size_t shed = 0;
+  std::size_t scored = 0;
+  for (std::size_t got = 0; got < w.requests.size(); ++got) {
+    if (got == 8) service.resume();  // after the 8 sheds, let the 2 queued score
+    const Reply reply = client.recv_reply();
+    if (reply.type == FrameType::kError) {
+      ASSERT_TRUE(reply.error.has_value());
+      EXPECT_EQ(reply.error->code, ErrorCode::kShed);
+      ++shed;
+    } else {
+      ASSERT_EQ(reply.type, FrameType::kScoreResult);
+      ++scored;
+    }
+  }
+  EXPECT_EQ(shed, 8u);
+  EXPECT_EQ(scored, 2u);
+  EXPECT_TRUE(client.ping()) << "the connection must survive shedding";
+  EXPECT_EQ(server.stats().shed_responses, 8u);
+
+  const serve::ServiceStatsSnapshot stats = service.stats();
+  EXPECT_EQ(stats.shed, 8u);
+  EXPECT_EQ(stats.scored, 2u);
+  server.stop();
+}
+
+TEST(NetE2E, BackpressurePausesReadsAndStaysBounded) {
+  // A slow reader over a Unix socket (fixed, small kernel buffers): the
+  // server's write buffer crosses its limit, reads pause, and — because
+  // the ring is bounded — total buffering stays bounded instead of
+  // absorbing the flood. Everything still completes once the reader
+  // drains.
+  const std::size_t kRequests = 64;
+  const Workload w = make_workload(kRequests, /*n_windows=*/2000);  // ~16 KiB replies
+  serve::ScoringService service(test_epoch(0.01), serve::ServeConfig{.num_workers = 2});
+  NetServer server(service, NetServerConfig{.write_buffer_limit = 2048});
+  const std::string uds = temp_uds_path("bp");
+  const util::Endpoint ep = server.add_listener(util::parse_endpoint("unix:" + uds));
+  server.start();
+
+  NetClient client;
+  client.connect(ep);
+  std::atomic<std::size_t> sent{0};
+  std::thread sender([&client, &w, &sent] {
+    for (const ScoreRequest& req : w.requests) {
+      (void)client.send_score(req);
+      sent.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::this_thread::sleep_for(300ms);  // let replies pile up unread
+  std::size_t replies = 0;
+  for (; replies < kRequests; ++replies) {
+    const Reply reply = client.recv_reply();
+    ASSERT_EQ(reply.type, FrameType::kScoreResult);
+    ASSERT_EQ(reply.result->scores.size(), 2000u);
+  }
+  sender.join();
+  EXPECT_EQ(sent.load(), kRequests);
+  EXPECT_EQ(replies, kRequests);
+  const NetServerStats stats = server.stats();
+  EXPECT_GE(stats.reads_paused, 1u) << "the write-buffer limit must engage";
+  EXPECT_EQ(stats.scores_submitted, kRequests);
+  server.stop();
+
+  const serve::ServiceStatsSnapshot served = service.stats();
+  EXPECT_EQ(served.scored, kRequests);
+  EXPECT_EQ(served.enqueued, served.scored) << "accounting drift through the transport";
+}
+
+// ----------------------------------------------------------- protocol abuse
+
+/// Minimal raw TCP client for sending deliberately malformed bytes.
+class RawConn {
+ public:
+  explicit RawConn(const util::Endpoint& ep) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(ep.port);
+    ::inet_pton(AF_INET, ep.host.c_str(), &sin.sin_addr);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<const sockaddr*>(&sin), sizeof(sin)), 0);
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  void send_bytes(const std::vector<std::uint8_t>& bytes) const {
+    EXPECT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  /// Read until EOF; returns everything received.
+  std::vector<std::uint8_t> drain() const {
+    std::vector<std::uint8_t> all;
+    std::uint8_t buf[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      all.insert(all.end(), buf, buf + n);
+    }
+    return all;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(NetE2E, GarbageBytesGetBadFrameErrorThenDisconnect) {
+  serve::ScoringService service(test_epoch(0.05), serve::ServeConfig{.num_workers = 1});
+  NetServer server(service);
+  const util::Endpoint ep = server.add_listener(util::parse_endpoint("127.0.0.1:0"));
+  server.start();
+
+  RawConn raw(ep);
+  raw.send_bytes({'G', 'E', 'T', ' ', '/', ' ', 'H', 'T', 'T', 'P', '/', '1', '.', '1',
+                  '\r', '\n', '\r', '\n', 0, 0, 0, 0});
+  const std::vector<std::uint8_t> reply = raw.drain();  // ends at server-side close
+
+  FrameDecoder decoder;
+  decoder.feed(reply);
+  const std::optional<Frame> frame = decoder.next();
+  ASSERT_TRUE(frame.has_value()) << "garbage must be answered with an Error frame";
+  EXPECT_EQ(frame->type, FrameType::kError);
+  const std::optional<ErrorBody> body = decode_error(frame->payload);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body->code, ErrorCode::kBadFrame);
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+  server.stop();
+}
+
+TEST(NetE2E, MalformedScorePayloadGetsBadFrameWithEchoedId) {
+  serve::ScoringService service(test_epoch(0.05), serve::ServeConfig{.num_workers = 1});
+  NetServer server(service);
+  const util::Endpoint ep = server.add_listener(util::parse_endpoint("127.0.0.1:0"));
+  server.start();
+
+  Frame frame;
+  frame.type = FrameType::kScore;
+  frame.request_id = 0xABCD;
+  frame.payload = {1, 2, 3};  // far too short for a ScoreRequest
+  std::vector<std::uint8_t> wire;
+  encode_frame(frame, wire);
+  RawConn raw(ep);
+  raw.send_bytes(wire);
+  FrameDecoder decoder;
+  decoder.feed(raw.drain());
+  const std::optional<Frame> reply = decoder.next();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_EQ(reply->request_id, 0xABCDu) << "the offending request id is echoed";
+  const std::optional<ErrorBody> body = decode_error(reply->payload);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body->code, ErrorCode::kBadFrame);
+  server.stop();
+
+  // The service never saw the request.
+  EXPECT_EQ(service.stats().enqueued, 0u);
+}
+
+// ---------------------------------------------------------------- lifecycle
+
+TEST(NetE2E, StopDrainsInFlightScoresWithoutDroppingAny) {
+  serve::ScoringService service(test_epoch(0.05), serve::ServeConfig{.num_workers = 2});
+  NetServer server(service);
+  const util::Endpoint ep = server.add_listener(util::parse_endpoint("127.0.0.1:0"));
+  server.start();
+
+  const Workload w = make_workload(16);
+  NetClient client;
+  client.connect(ep);
+  for (const ScoreRequest& req : w.requests) (void)client.send_score(req);
+  server.stop();  // races the in-flight scores on purpose
+
+  const serve::ServiceStatsSnapshot stats = service.stats();
+  EXPECT_EQ(stats.enqueued, stats.scored + stats.deadline_missed + stats.failed)
+      << "stop() must complete every accepted request";
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(NetE2E, ServerRequiresAListenerAndClientReportsRefusal) {
+  serve::ScoringService service(test_epoch(0.05), serve::ServeConfig{.num_workers = 1});
+  NetServer server(service);
+  EXPECT_THROW(server.start(), std::runtime_error);
+
+  NetClient client;
+  EXPECT_THROW(client.connect(util::parse_endpoint("127.0.0.1:1")), std::runtime_error);
+  EXPECT_THROW(client.connect(util::parse_endpoint("unix:/nonexistent/shmd.sock")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace shmd::net

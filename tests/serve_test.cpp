@@ -170,6 +170,114 @@ TEST(ServeEpoch, SlotSwapKeepsReaderSnapshotAlive) {
 
 // -------------------------------------------------------------- ServiceStats
 
+TEST(ServeQueue, BlockedProducersAllWakeOnClose) {
+  RequestQueue q(1);
+  const trace::FeatureSet fs = make_features(1);
+  Request fill;
+  fill.features = &fs;
+  ASSERT_EQ(q.try_push(fill), SubmitStatus::kAccepted);  // the ring is now full
+
+  std::atomic<int> woke{0};
+  std::vector<std::thread> producers;
+  producers.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    producers.emplace_back([&q, &fs, &woke] {
+      Request r;
+      r.features = &fs;
+      EXPECT_EQ(q.push(r), SubmitStatus::kClosed);  // blocks until close()
+      woke.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(woke.load(), 0) << "producers must actually block on the full ring";
+  q.close();
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(woke.load(), 3) << "close() must wake every blocked producer";
+  EXPECT_EQ(q.size(), 1u) << "the accepted request still drains";
+}
+
+TEST(ServeStats, SnapshotSerializationRoundTrips) {
+  ServiceStatsSnapshot snap;
+  snap.enqueued = 100;
+  snap.shed = 7;
+  snap.rejected_closed = 2;
+  snap.scored = 90;
+  snap.deadline_missed = 1;
+  snap.failed = 0;
+  snap.epoch_swaps = 3;
+  snap.latency.counts[10] = 40;
+  snap.latency.counts[11] = 50;
+  snap.latency.total = 90;
+  faultsim::FaultStats& f1 = snap.per_epoch_faults[1];
+  f1.operations = 12345;
+  f1.faults = 42;
+  f1.bit_flips[0] = 20;
+  f1.bit_flips[63] = 22;
+  snap.per_epoch_faults[9].operations = 99;
+
+  const std::vector<std::uint8_t> wire = serialize(snap);
+  const std::optional<ServiceStatsSnapshot> back = deserialize_snapshot(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, snap);
+}
+
+TEST(ServeStats, DeserializeRejectsCorruptedInput) {
+  ServiceStatsSnapshot snap;
+  snap.scored = 5;
+  snap.per_epoch_faults[1].operations = 10;
+  const std::vector<std::uint8_t> wire = serialize(snap);
+
+  std::vector<std::uint8_t> truncated(wire.begin(), wire.end() - 1);
+  EXPECT_FALSE(deserialize_snapshot(truncated).has_value());
+
+  std::vector<std::uint8_t> bad_format = wire;
+  bad_format[0] ^= 0xFF;
+  EXPECT_FALSE(deserialize_snapshot(bad_format).has_value());
+
+  std::vector<std::uint8_t> trailing = wire;
+  trailing.push_back(0);
+  EXPECT_FALSE(deserialize_snapshot(trailing).has_value());
+
+  // A hostile epoch count must be rejected before it drives reads or
+  // allocation (the count field sits right after the latency buckets).
+  std::vector<std::uint8_t> hostile = wire;
+  const std::size_t count_at = 1 + 8 * (7 + LatencyHistogram::kBuckets);
+  for (std::size_t i = 0; i < 8; ++i) hostile[count_at + i] = 0xFF;
+  EXPECT_FALSE(deserialize_snapshot(hostile).has_value());
+
+  EXPECT_FALSE(deserialize_snapshot({}).has_value());
+}
+
+TEST(ServeService, CompletionHookFiresOnCompleteAndOnReject) {
+  ScoringService service(test_epoch(0.05), ServeConfig{.num_workers = 1, .queue_capacity = 1});
+  const auto workload = make_workload(1);
+  std::atomic<int> fired{0};
+  ScoreTicket ticket;
+  ticket.set_completion_hook(
+      [](void* arg) noexcept {
+        static_cast<std::atomic<int>*>(arg)->fetch_add(1, std::memory_order_relaxed);
+      },
+      &fired);
+
+  ASSERT_EQ(service.try_submit(workload[0], ticket), SubmitStatus::kAccepted);
+  // The hook fires strictly AFTER the done-notification, so wait() alone
+  // does not order it — poll the hook itself.
+  while (fired.load(std::memory_order_relaxed) == 0) std::this_thread::yield();
+  EXPECT_TRUE(ticket.done());
+  EXPECT_EQ(ticket.outcome(), RequestOutcome::kScored);
+
+  // Rejection path: the hook fires synchronously inside try_submit.
+  service.pause();
+  ScoreTicket filler;
+  ASSERT_EQ(service.try_submit(workload[0], filler), SubmitStatus::kAccepted);
+  EXPECT_EQ(service.try_submit(workload[0], ticket), SubmitStatus::kShed);
+  EXPECT_EQ(fired.load(std::memory_order_relaxed), 2);
+  EXPECT_TRUE(ticket.done()) << "a rejected ticket is immediately done again";
+
+  service.resume();
+  filler.wait();  // the worker must finish with `filler` before it leaves scope
+}
+
 TEST(ServeStats, HistogramQuantilesUseBucketUpperEdges) {
   ServiceStats stats;
   const faultsim::FaultStats none;

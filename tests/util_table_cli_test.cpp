@@ -112,5 +112,49 @@ TEST(Cli, UnregisteredGetThrows) {
   EXPECT_THROW((void)cli.get("nothing"), std::invalid_argument);
 }
 
+TEST(Endpoint, ParsesTcpHostPort) {
+  const Endpoint ep = parse_endpoint("127.0.0.1:7433");
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, 7433);
+  EXPECT_EQ(ep.to_string(), "127.0.0.1:7433");
+  EXPECT_EQ(parse_endpoint(ep.to_string()), ep) << "to_string() round-trips";
+}
+
+TEST(Endpoint, ParsesEphemeralAndWildcard) {
+  EXPECT_EQ(parse_endpoint("localhost:0").port, 0) << "port 0 = ephemeral";
+  const Endpoint any = parse_endpoint(":7433");
+  EXPECT_EQ(any.host, "*") << "empty host means every interface";
+  EXPECT_EQ(any, parse_endpoint("*:7433"));
+}
+
+TEST(Endpoint, ParsesUnixPath) {
+  const Endpoint ep = parse_endpoint("unix:/run/shmd.sock");
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(ep.path, "/run/shmd.sock");
+  EXPECT_EQ(ep.to_string(), "unix:/run/shmd.sock");
+  EXPECT_EQ(parse_endpoint(ep.to_string()), ep);
+}
+
+TEST(Endpoint, RejectsMalformedSpecsWithNamedSpec) {
+  // Every rejection names the offending spec so deploy-script typos are
+  // diagnosable from the error alone.
+  for (const char* bad : {"nocolon", "unix:", "host:", "host:notaport", "host:99999",
+                          "host:65536", "host:12x"}) {
+    try {
+      (void)parse_endpoint(bad);
+      ADD_FAILURE() << "accepted malformed spec: " << bad;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(bad), std::string::npos)
+          << "error message must name the spec: " << e.what();
+    }
+  }
+}
+
+TEST(Endpoint, AcceptsPortBoundaries) {
+  EXPECT_EQ(parse_endpoint("h:65535").port, 65535);
+  EXPECT_EQ(parse_endpoint("h:1").port, 1);
+}
+
 }  // namespace
 }  // namespace shmd::util

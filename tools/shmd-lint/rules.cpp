@@ -525,6 +525,51 @@ class HeaderHygieneRule final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// R5 — socket discipline
+// ---------------------------------------------------------------------------
+
+class SocketDisciplineRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const noexcept override { return "R5"; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "socket-discipline"; }
+  [[nodiscard]] std::string_view suppression_tag() const noexcept override { return "socket-ok"; }
+  [[nodiscard]] std::string_view rationale() const noexcept override {
+    return "all socket and readiness syscalls live in src/net/ — transport concerns leaking "
+           "into scoring, fault, or model code couple the detector to I/O and make the "
+           "determinism contract unauditable";
+  }
+
+  [[nodiscard]] bool applies(const SourceFile& f) const override {
+    return f.in_dir("src/") && !f.in_dir("src/net/");
+  }
+
+  void check(const SourceFile& f, std::vector<Diagnostic>& out) const override {
+    static const std::set<std::string_view> kBanned = {
+        "socket",     "bind",          "listen",     "accept",    "accept4",
+        "connect",    "send",          "recv",       "sendto",    "recvfrom",
+        "sendmsg",    "recvmsg",       "setsockopt", "getsockopt", "shutdown",
+        "epoll_create", "epoll_create1", "epoll_ctl", "epoll_wait", "eventfd"};
+    const std::vector<Token>& toks = f.tokens();
+    const std::vector<std::size_t> code = code_indices(toks);
+    for (std::size_t ci = 0; ci < code.size(); ++ci) {
+      const Token& tok = toks[code[ci]];
+      if (tok.kind != TokenKind::kIdentifier || !kBanned.contains(tok.text)) continue;
+      // Only flag *calls* — `conn.send(...)` method declarations elsewhere
+      // would be a different name anyway, but `foo.accept` as a field read
+      // is not a syscall.
+      if (ci + 1 >= code.size() || toks[code[ci + 1]].kind != TokenKind::kPunct ||
+          toks[code[ci + 1]].text != "(") {
+        continue;
+      }
+      out.push_back({f.path(), tok.line, std::string(id()),
+                     "socket/readiness call '" + tok.text + "' outside src/net/",
+                     "keep transport syscalls behind the src/net/ boundary (NetServer/NetClient); "
+                     "a deliberate exception takes // shmd-lint: socket-ok(<reason>)"});
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> default_rules() {
@@ -533,6 +578,7 @@ std::vector<std::unique_ptr<Rule>> default_rules() {
   rules.push_back(std::make_unique<RngDisciplineRule>());
   rules.push_back(std::make_unique<StreamHygieneRule>());
   rules.push_back(std::make_unique<HeaderHygieneRule>());
+  rules.push_back(std::make_unique<SocketDisciplineRule>());
   return rules;
 }
 

@@ -18,6 +18,10 @@
 //        library computes, benches and examples narrate.
 //   R4 header-hygiene  — #pragma once first in every header, include
 //        blocks sorted, no duplicate includes.
+//   R5 socket-discipline — socket/readiness syscalls (socket, bind, send,
+//        recv, epoll_*, ...) only inside src/net/; transport leaking into
+//        scoring or model code couples the detector to I/O and makes the
+//        determinism contract unauditable.
 //   R0 annotation      — suppression annotations must be well-formed and
 //        carry a reason; emitted by the linter driver, not the registry.
 //
