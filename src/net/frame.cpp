@@ -142,8 +142,12 @@ std::optional<ScoreRequest> decode_score_request(std::span<const std::uint8_t> p
   if (!r.ok()) return std::nullopt;
   // The declared matrix must match the remaining bytes exactly; checking
   // before allocating keeps a hostile header from reserving gigabytes.
-  if (width == 0 || n_windows == 0 ||
-      r.remaining() != std::uint64_t{n_windows} * width * 8) {
+  // Division-shaped on purpose: n_windows * width * 8 can wrap mod 2^64
+  // (e.g. n_windows=2^31, width=2^30 gives 0), so a product comparison
+  // would wave exactly the allocation bomb through that it exists to stop.
+  const std::uint64_t window_bytes = std::uint64_t{width} * 8;  // <= 2^35, cannot wrap
+  if (width == 0 || n_windows == 0 || r.remaining() % window_bytes != 0 ||
+      r.remaining() / window_bytes != n_windows) {
     return std::nullopt;
   }
   req.windows.assign(n_windows, std::vector<double>(width));

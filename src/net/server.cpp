@@ -77,8 +77,11 @@ class NetServer::Poller {
   Poller(const Poller&) = delete;
   Poller& operator=(const Poller&) = delete;
 
-  /// Add-or-update interest for `fd`.
-  void set(int fd, bool read, bool write) {
+  /// Add-or-update interest for `fd`. Returns false if the kernel refused
+  /// the registration (e.g. EPOLL_CTL_ADD hitting the epoll watch limit):
+  /// an unregistered fd would never be polled again, so the caller must
+  /// close it rather than leave the connection hanging silently.
+  [[nodiscard]] bool set(int fd, bool read, bool write) {
     const auto it = interest_.find(fd);
 #ifdef __linux__
     if (epfd_ >= 0) {
@@ -86,7 +89,10 @@ class NetServer::Poller {
       ev.events = (read ? static_cast<std::uint32_t>(EPOLLIN) : 0u) |
                   (write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
       ev.data.fd = fd;
-      ::epoll_ctl(epfd_, it == interest_.end() ? EPOLL_CTL_ADD : EPOLL_CTL_MOD, fd, &ev);
+      if (::epoll_ctl(epfd_, it == interest_.end() ? EPOLL_CTL_ADD : EPOLL_CTL_MOD, fd,
+                      &ev) != 0) {
+        return false;
+      }
     }
 #endif
     const short mask = static_cast<short>((read ? 1 : 0) | (write ? 2 : 0));
@@ -95,6 +101,7 @@ class NetServer::Poller {
     } else {
       it->second = mask;
     }
+    return true;
   }
 
   void remove(int fd) {
@@ -190,12 +197,16 @@ NetServer::NetServer(serve::ScoringService& service, NetServerConfig config)
   if (::pipe(wake_fds_) != 0) throw std::runtime_error(errno_text("NetServer: pipe()"));
   set_nonblocking(wake_fds_[0]);
   set_nonblocking(wake_fds_[1]);
+  // Reserved fd released to accept-and-close under EMFILE/ENFILE (see
+  // handle_accept); best-effort — -1 just disables the shed path.
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
 }
 
 NetServer::~NetServer() {
   stop();
   if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
   if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+  if (spare_fd_ >= 0) ::close(spare_fd_);
 }
 
 util::Endpoint NetServer::add_listener(const util::Endpoint& endpoint) {
@@ -254,9 +265,13 @@ void NetServer::start() {
   if (listeners_.empty()) {
     throw std::runtime_error("NetServer::start: no listeners (call add_listener first)");
   }
-  poller_->set(wake_fds_[0], /*read=*/true, /*write=*/false);
+  if (!poller_->set(wake_fds_[0], /*read=*/true, /*write=*/false)) {
+    throw std::runtime_error("NetServer::start: cannot register wake pipe with poller");
+  }
   for (const Listener& listener : listeners_) {
-    poller_->set(listener.fd, /*read=*/true, /*write=*/false);
+    if (!poller_->set(listener.fd, /*read=*/true, /*write=*/false)) {
+      throw std::runtime_error("NetServer::start: cannot register listener with poller");
+    }
   }
   started_ = true;
   reactor_ = std::thread([this] { event_loop(); });
@@ -293,6 +308,7 @@ NetServerStats NetServer::stats() const {
   s.protocol_errors = stats_.protocol_errors.load(std::memory_order_relaxed);
   s.reads_paused = stats_.reads_paused.load(std::memory_order_relaxed);
   s.out_buffer_peak = stats_.out_buffer_peak.load(std::memory_order_relaxed);
+  s.accept_overflow = stats_.accept_overflow.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -376,6 +392,21 @@ void NetServer::handle_accept(int listen_fd) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // fd exhaustion: the pending connection stays in the backlog, so
+        // with a level-triggered poller the listener stays readable and
+        // the reactor would busy-spin. Release the reserved spare fd,
+        // accept-and-close the head of the backlog, then re-reserve.
+        if (spare_fd_ >= 0) {
+          ::close(spare_fd_);
+          spare_fd_ = -1;
+          const int victim = ::accept(listen_fd, nullptr, nullptr);
+          if (victim >= 0) ::close(victim);
+          spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+          stats_.accept_overflow.fetch_add(1, std::memory_order_relaxed);
+          if (victim >= 0 && spare_fd_ >= 0) continue;  // keep draining the backlog
+        }
+      }
       break;  // EAGAIN, or a transient error — the poller will re-arm us
     }
     try {
@@ -387,12 +418,18 @@ void NetServer::handle_accept(int listen_fd) {
     const int one = 1;  // latency over batching; a no-op (error) on AF_UNIX
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_unique<Connection>(config_.max_payload);
-    conn->id = next_conn_id_++;
+    const std::uint64_t conn_id = next_conn_id_++;
+    conn->id = conn_id;
     conn->fd = fd;
-    conn_by_fd_[fd] = conn->id;
-    poller_->set(fd, /*read=*/true, /*write=*/false);
-    conns_.emplace(conn->id, std::move(conn));
+    conn_by_fd_[fd] = conn_id;
+    conns_.emplace(conn_id, std::move(conn));
     stats_.accepted_connections.fetch_add(1, std::memory_order_relaxed);
+    if (!poller_->set(fd, /*read=*/true, /*write=*/false)) {
+      // Registration refused (epoll watch limit): an unmonitored socket
+      // would hang forever; close it so the client sees a clean reset.
+      stats_.accept_overflow.fetch_add(1, std::memory_order_relaxed);
+      close_connection(conn_id);
+    }
   }
 }
 
@@ -579,11 +616,14 @@ bool NetServer::flush(Connection& conn) {
     conn.dead = true;  // error frame delivered; the connection is done
     return false;
   }
-  update_interest(conn);
+  if (!update_interest(conn)) {
+    conn.dead = true;  // poller refused the fd; unmonitored = hung forever
+    return false;
+  }
   return true;
 }
 
-void NetServer::update_interest(Connection& conn) {
+bool NetServer::update_interest(Connection& conn) {
   const std::size_t backlog = conn.out.size() - conn.out_at;
   if (backlog > config_.write_buffer_limit) {
     if (!conn.reads_paused) {
@@ -596,7 +636,7 @@ void NetServer::update_interest(Connection& conn) {
     conn.reads_paused = false;
   }
   const bool want_read = !conn.reads_paused && !conn.close_after_flush;
-  poller_->set(conn.fd, want_read, backlog > 0);
+  return poller_->set(conn.fd, want_read, backlog > 0);
 }
 
 void NetServer::close_connection(std::uint64_t conn_id) {

@@ -61,6 +61,7 @@ struct NetServerStats {
   std::uint64_t protocol_errors = 0;   ///< connections killed for garbage
   std::uint64_t reads_paused = 0;      ///< backpressure engagements
   std::uint64_t out_buffer_peak = 0;   ///< high-water mark of any write buffer
+  std::uint64_t accept_overflow = 0;   ///< connections shed: fd exhaustion or poller refusal
 };
 
 class NetServer {
@@ -107,7 +108,9 @@ class NetServer {
   /// interest and read-pause state. Returns false if the connection died.
   bool flush(Connection& conn);
   /// Recompute poller interest from buffered output and pause state.
-  void update_interest(Connection& conn);
+  /// Returns false if the poller refused the fd (the connection must die
+  /// — an unmonitored socket would hang silently forever).
+  [[nodiscard]] bool update_interest(Connection& conn);
   void close_connection(std::uint64_t conn_id);
   Connection* find_conn(std::uint64_t conn_id) noexcept;
   static void score_complete_hook(void* arg) noexcept;
@@ -133,6 +136,10 @@ class NetServer {
   std::mutex completed_mu_;
   std::vector<std::uint64_t> completed_;
   int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] read (reactor), [1] write (hook)
+  /// Reserved fd (open /dev/null) released under EMFILE/ENFILE so
+  /// handle_accept can accept-and-close instead of busy-spinning on a
+  /// level-triggered listener whose backlog it cannot drain.
+  int spare_fd_ = -1;
   /// Hooks between their mailbox push and their last touch of `this`;
   /// stop() spins to zero before returning so a completing worker can
   /// never race server destruction.
@@ -152,6 +159,7 @@ class NetServer {
     std::atomic<std::uint64_t> protocol_errors{0};
     std::atomic<std::uint64_t> reads_paused{0};
     std::atomic<std::uint64_t> out_buffer_peak{0};
+    std::atomic<std::uint64_t> accept_overflow{0};
   };
   mutable AtomicStats stats_;
 };

@@ -35,6 +35,16 @@ void ServiceStats::on_scored(std::uint64_t latency_ns, std::uint64_t epoch_id,
   latency_buckets_[bucket_of(latency_ns)].fetch_add(1, std::memory_order_relaxed);
   const std::lock_guard lock(faults_mu_);
   per_epoch_faults_[epoch_id].merge(faults);
+  // Bound the map: a moving-target service re-rolls epochs indefinitely,
+  // so without aging this grows (and the serialized Stats payload with
+  // it) until snapshots blow the frame payload limit. Fold the oldest
+  // epochs into the aggregate; no fault count is ever lost.
+  while (per_epoch_faults_.size() > kMaxTrackedEpochs) {
+    const auto oldest = per_epoch_faults_.begin();
+    folded_faults_.merge(oldest->second);
+    ++folded_epochs_;
+    per_epoch_faults_.erase(oldest);
+  }
 }
 
 namespace {
@@ -51,16 +61,17 @@ std::uint64_t get_u64(std::span<const std::uint8_t> bytes, std::size_t offset) {
   return v;
 }
 
-constexpr std::uint8_t kSnapshotFormat = 1;
+constexpr std::uint8_t kSnapshotFormat = 2;  // v2: added folded-epoch aggregate
 constexpr std::size_t kCounterWords = 7;
-constexpr std::size_t kEpochEntryWords =
-    3 + static_cast<std::size_t>(faultsim::BitFaultDistribution::kBits);
+constexpr std::size_t kFaultStatsWords =
+    2 + static_cast<std::size_t>(faultsim::BitFaultDistribution::kBits);
+constexpr std::size_t kEpochEntryWords = 1 + kFaultStatsWords;
 
 }  // namespace
 
 std::vector<std::uint8_t> serialize(const ServiceStatsSnapshot& snap) {
   std::vector<std::uint8_t> out;
-  out.reserve(1 + 8 * (kCounterWords + 1 + LatencyHistogram::kBuckets +
+  out.reserve(1 + 8 * (kCounterWords + 1 + kFaultStatsWords + 1 + LatencyHistogram::kBuckets +
                        kEpochEntryWords * snap.per_epoch_faults.size()));
   out.push_back(kSnapshotFormat);
   put_u64(out, snap.enqueued);
@@ -71,6 +82,10 @@ std::vector<std::uint8_t> serialize(const ServiceStatsSnapshot& snap) {
   put_u64(out, snap.failed);
   put_u64(out, snap.epoch_swaps);
   for (const std::uint64_t count : snap.latency.counts) put_u64(out, count);
+  put_u64(out, snap.folded_epochs);
+  put_u64(out, snap.folded_faults.operations);
+  put_u64(out, snap.folded_faults.faults);
+  for (const std::uint64_t flips : snap.folded_faults.bit_flips) put_u64(out, flips);
   put_u64(out, snap.per_epoch_faults.size());
   for (const auto& [epoch_id, faults] : snap.per_epoch_faults) {
     put_u64(out, epoch_id);
@@ -82,7 +97,8 @@ std::vector<std::uint8_t> serialize(const ServiceStatsSnapshot& snap) {
 }
 
 std::optional<ServiceStatsSnapshot> deserialize_snapshot(std::span<const std::uint8_t> bytes) {
-  constexpr std::size_t kFixed = 1 + 8 * (kCounterWords + LatencyHistogram::kBuckets + 1);
+  constexpr std::size_t kFixed =
+      1 + 8 * (kCounterWords + LatencyHistogram::kBuckets + 1 + kFaultStatsWords + 1);
   if (bytes.size() < kFixed || bytes[0] != kSnapshotFormat) return std::nullopt;
   ServiceStatsSnapshot snap;
   std::size_t at = 1;
@@ -102,6 +118,10 @@ std::optional<ServiceStatsSnapshot> deserialize_snapshot(std::span<const std::ui
     count = next();
     snap.latency.total += count;
   }
+  snap.folded_epochs = next();
+  snap.folded_faults.operations = next();
+  snap.folded_faults.faults = next();
+  for (std::uint64_t& flips : snap.folded_faults.bit_flips) flips = next();
   const std::uint64_t n_epochs = next();
   // Reject a length that cannot match the remaining bytes BEFORE trusting
   // it (a hostile count must not drive reads, allocations, or overflow).
@@ -140,6 +160,8 @@ ServiceStatsSnapshot ServiceStats::snapshot() const {
   {
     const std::lock_guard lock(faults_mu_);
     snap.per_epoch_faults = per_epoch_faults_;
+    snap.folded_faults = folded_faults_;
+    snap.folded_epochs = folded_epochs_;
   }
   return snap;
 }

@@ -56,8 +56,14 @@ struct ServiceStatsSnapshot {
   LatencyHistogram latency;           ///< enqueue→completion, scored only
   /// Fault statistics per detector epoch (keyed by DetectorEpoch::id) —
   /// the serving-layer equivalent of StochasticHmd::fault_stats(), split
-  /// at reconfiguration boundaries.
+  /// at reconfiguration boundaries. Bounded: only the most recent
+  /// ServiceStats::kMaxTrackedEpochs epochs are listed individually;
+  /// older ones are folded into `folded_faults` so a long-lived service
+  /// re-rolling epochs every few hundred milliseconds cannot grow this
+  /// map (and the serialized Stats payload) without bound.
   std::map<std::uint64_t, faultsim::FaultStats> per_epoch_faults;
+  faultsim::FaultStats folded_faults;  ///< aggregate of epochs aged out of the map
+  std::uint64_t folded_epochs = 0;     ///< how many epochs were folded
 
   /// Requests accepted but not yet terminal (0 once the service drains).
   [[nodiscard]] std::uint64_t in_flight() const noexcept {
@@ -79,6 +85,12 @@ struct ServiceStatsSnapshot {
 /// Live, thread-safe counter block owned by the ScoringService.
 class ServiceStats {
  public:
+  /// Oldest epochs beyond this count fold into an aggregate (see
+  /// ServiceStatsSnapshot::folded_faults). 256 × ~536 wire bytes keeps a
+  /// worst-case serialized snapshot near 140 KiB, comfortably inside the
+  /// frame layer's 1 MiB default payload limit.
+  static constexpr std::size_t kMaxTrackedEpochs = 256;
+
   void on_enqueued() noexcept { enqueued_.fetch_add(1, std::memory_order_relaxed); }
   void on_shed() noexcept { shed_.fetch_add(1, std::memory_order_relaxed); }
   void on_rejected_closed() noexcept {
@@ -108,6 +120,8 @@ class ServiceStats {
   std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBuckets> latency_buckets_{};
   mutable std::mutex faults_mu_;
   std::map<std::uint64_t, faultsim::FaultStats> per_epoch_faults_;
+  faultsim::FaultStats folded_faults_;  ///< aged-out epochs, aggregated
+  std::uint64_t folded_epochs_ = 0;
 };
 
 }  // namespace shmd::serve

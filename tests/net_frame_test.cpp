@@ -106,6 +106,21 @@ TEST(NetFrame, DecodersRejectHostileLengthFields) {
   EXPECT_FALSE(decode_score_result(rw).has_value());
 }
 
+TEST(NetFrame, ScoreRequestRejectsDimensionsWhoseProductWraps) {
+  // n_windows=2^31, width=2^30: the 64-bit product n_windows*width*8 is
+  // exactly 2^64 ≡ 0, which equals remaining()=0 for a 20-byte payload.
+  // A product-shaped size check passes and the decoder then attempts a
+  // multi-GiB allocation — the check must be division-shaped instead.
+  std::vector<std::uint8_t> wire = encode_score_request(make_request(5, 1, 1));
+  wire.resize(20);  // header only: view/pad/period/deadline/n_windows/width
+  const auto put32 = [&wire](std::size_t at, std::uint32_t v) {
+    for (std::size_t i = 0; i < 4; ++i) wire[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  put32(12, 0x80000000u);  // n_windows = 2^31
+  put32(16, 0x40000000u);  // width = 2^30
+  EXPECT_FALSE(decode_score_request(wire).has_value());
+}
+
 TEST(NetFrame, PayloadDecoderFuzzNeverCrashes) {
   // Random bytes through every payload decoder: any outcome but UB/throw
   // is correct (ASan/UBSan in CI make violations fatal).

@@ -214,6 +214,10 @@ TEST(ServeStats, SnapshotSerializationRoundTrips) {
   f1.bit_flips[0] = 20;
   f1.bit_flips[63] = 22;
   snap.per_epoch_faults[9].operations = 99;
+  snap.folded_epochs = 4;
+  snap.folded_faults.operations = 777;
+  snap.folded_faults.faults = 5;
+  snap.folded_faults.bit_flips[31] = 3;
 
   const std::vector<std::uint8_t> wire = serialize(snap);
   const std::optional<ServiceStatsSnapshot> back = deserialize_snapshot(wire);
@@ -239,9 +243,11 @@ TEST(ServeStats, DeserializeRejectsCorruptedInput) {
   EXPECT_FALSE(deserialize_snapshot(trailing).has_value());
 
   // A hostile epoch count must be rejected before it drives reads or
-  // allocation (the count field sits right after the latency buckets).
+  // allocation (the count field sits after the latency buckets and the
+  // folded-epoch aggregate).
   std::vector<std::uint8_t> hostile = wire;
-  const std::size_t count_at = 1 + 8 * (7 + LatencyHistogram::kBuckets);
+  const std::size_t count_at =
+      1 + 8 * (7 + LatencyHistogram::kBuckets + 1 + 2 + faultsim::BitFaultDistribution::kBits);
   for (std::size_t i = 0; i < 8; ++i) hostile[count_at + i] = 0xFF;
   EXPECT_FALSE(deserialize_snapshot(hostile).has_value());
 
@@ -311,6 +317,32 @@ TEST(ServeStats, AccountingIdentityAndPerEpochFaults) {
   EXPECT_EQ(snap.per_epoch_faults.at(1).operations, 10u);
   EXPECT_EQ(snap.per_epoch_faults.at(2).operations, 20u);
   EXPECT_EQ(snap.per_epoch_faults.at(2).faults, 4u);
+}
+
+TEST(ServeStats, PerEpochFaultsAreBoundedAndFoldWithoutLoss) {
+  // A moving-target service rolls epochs forever; the per-epoch map (and
+  // with it the serialized Stats payload) must stay bounded, with aged-out
+  // epochs folded into the aggregate so no fault count is ever lost.
+  ServiceStats stats;
+  faultsim::FaultStats delta;
+  delta.operations = 3;
+  delta.faults = 1;
+  const std::uint64_t kEpochs = ServiceStats::kMaxTrackedEpochs + 40;
+  for (std::uint64_t e = 1; e <= kEpochs; ++e) stats.on_scored(100, e, delta);
+
+  const ServiceStatsSnapshot snap = stats.snapshot();
+  EXPECT_EQ(snap.per_epoch_faults.size(), ServiceStats::kMaxTrackedEpochs);
+  EXPECT_EQ(snap.folded_epochs, 40u);
+  // The oldest epochs folded; the newest survive individually.
+  EXPECT_EQ(snap.per_epoch_faults.count(1), 0u);
+  EXPECT_EQ(snap.per_epoch_faults.count(kEpochs), 1u);
+  faultsim::FaultStats total = snap.folded_faults;
+  for (const auto& [id, faults] : snap.per_epoch_faults) total.merge(faults);
+  EXPECT_EQ(total.operations, 3u * kEpochs);
+  EXPECT_EQ(total.faults, kEpochs);
+  // The bounded snapshot must serialize well inside the frame layer's
+  // default payload limit no matter how long the service has been up.
+  EXPECT_LT(serialize(snap).size(), 1024u * 1024u / 4);
 }
 
 // ------------------------------------------------- determinism (criterion a)
