@@ -39,6 +39,9 @@ SERIES = {
     "dot_faulty_skipahead_er0": "BM_DotFaultySkipAhead/0",
     "dot_faulty_skipahead_er1": "BM_DotFaultySkipAhead/10",
     "dot_faulty_scalar_er1": "BM_DotFaultyScalar/10",
+    "forward_batch_exact_rows1": "BM_ForwardBatchExact/1",
+    "forward_batch_exact_rows16": "BM_ForwardBatchExact/16",
+    "forward_batch_faulty_rows16": "BM_ForwardBatchFaulty/16",
 }
 
 
@@ -64,6 +67,8 @@ def emit_serve(argv):
             "p99_us": p.get("p99_us"),
             "shed_fraction": (p.get("shed", 0) / submitted) if submitted else 0.0,
             "deadline_missed": p.get("deadline_missed", 0),
+            "missed_wait_p50_us": p.get("missed_wait_p50_us"),
+            "missed_wait_p99_us": p.get("missed_wait_p99_us"),
             "epoch_swaps": p.get("epoch_swaps", 0),
         }
 
@@ -79,6 +84,10 @@ def emit_serve(argv):
         # The serving layer's core promise: after the drain every accepted
         # request reached a terminal state and nothing was silently lost.
         "accounting_ok": totals.get("in_flight") == 0 and totals.get("failed") == 0,
+        # Determinism probe digest: FNV-1a over the score bits of a fixed
+        # (seed, admission order) workload. Two runs at different --batch
+        # values must print the same hash — CI compares them.
+        "score_hash": totals.get("score_hash"),
         "config": raw.get("config", {}),
     }
 

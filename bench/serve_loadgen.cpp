@@ -17,6 +17,7 @@
 // Emits a raw JSON report (stdout or --out); CI reduces it to
 // BENCH_serve.json with bench/emit_bench_json.py --serve.
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -83,6 +84,8 @@ struct PhaseReport {
   double throughput_rps = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  double missed_wait_p50_us = 0.0;  ///< queue wait of deadline-missed requests
+  double missed_wait_p99_us = 0.0;
 };
 
 PhaseReport phase_report(std::string mode, double duration_s, std::uint64_t submitted,
@@ -100,6 +103,9 @@ PhaseReport phase_report(std::string mode, double duration_s, std::uint64_t subm
   const serve::LatencyHistogram hist = diff_hist(after.latency, before.latency);
   r.p50_us = hist.p50_ns() / 1e3;
   r.p99_us = hist.p99_ns() / 1e3;
+  const serve::LatencyHistogram missed = diff_hist(after.missed_wait, before.missed_wait);
+  r.missed_wait_p50_us = missed.p50_ns() / 1e3;
+  r.missed_wait_p99_us = missed.p99_ns() / 1e3;
   return r;
 }
 
@@ -114,14 +120,54 @@ void print_phase(std::FILE* out, const PhaseReport& r, bool last) {
                "    \"epoch_swaps\": %llu,\n"
                "    \"throughput_rps\": %.1f,\n"
                "    \"p50_us\": %.1f,\n"
-               "    \"p99_us\": %.1f\n"
+               "    \"p99_us\": %.1f,\n"
+               "    \"missed_wait_p50_us\": %.1f,\n"
+               "    \"missed_wait_p99_us\": %.1f\n"
                "  }%s\n",
                r.mode.c_str(), r.duration_s, static_cast<unsigned long long>(r.submitted),
                static_cast<unsigned long long>(r.scored),
                static_cast<unsigned long long>(r.shed),
                static_cast<unsigned long long>(r.deadline_missed),
                static_cast<unsigned long long>(r.epoch_swaps), r.throughput_rps, r.p50_us,
-               r.p99_us, last ? "" : ",");
+               r.p99_us, r.missed_wait_p50_us, r.missed_wait_p99_us, last ? "" : ",");
+}
+
+/// FNV-1a over the raw bit patterns of every score double, in request
+/// order — a stable fingerprint of the full score tensor.
+std::uint64_t score_hash(const std::vector<std::vector<double>>& scores) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::vector<double>& request : scores) {
+    for (const double s : request) {
+      const std::uint64_t bits = std::bit_cast<std::uint64_t>(s);
+      for (int i = 0; i < 8; ++i) {
+        h ^= (bits >> (8 * i)) & 0xFF;
+        h *= 0x100000001b3ULL;
+      }
+    }
+  }
+  return h;
+}
+
+/// Determinism probe: a fresh service with a FIXED seed scores a fixed
+/// workload in a fixed admission order. Scores are a pure function of
+/// (seed, admission order) — per-request fault streams re-anchor at
+/// request boundaries within each tile — so the hash must be identical
+/// for ANY --batch and ANY --workers. CI runs the loadgen at --batch 1
+/// and --batch 16 and asserts the two hashes match bit-for-bit.
+std::uint64_t determinism_probe(const nn::Network& net, const trace::FeatureConfig& fc,
+                                std::size_t max_batch) {
+  const hmd::StochasticHmd det(net, fc, 0.10);
+  serve::ServeConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 256;
+  config.max_batch = max_batch;
+  config.seed = 0xD5EEDULL;
+  serve::ScoringService probe(serve::make_epoch(det), config);
+  const std::vector<trace::FeatureSet> workload = make_workload(48, 8, fc);
+  std::vector<const trace::FeatureSet*> ptrs;
+  ptrs.reserve(workload.size());
+  for (const trace::FeatureSet& fs : workload) ptrs.push_back(&fs);
+  return score_hash(probe.score_all(ptrs));
 }
 
 /// Re-rolls the operating point every `period` until `stop`: the bench's
@@ -149,6 +195,7 @@ int main(int argc, char** argv) {
   cli.add_flag("duration-s", "seconds per phase", "2");
   cli.add_flag("rate", "open-loop target rate, requests/s", "200000");
   cli.add_flag("windows", "windows per feature set", "16");
+  cli.add_flag("batch", "max requests a worker drains per queue pop", "16");
   cli.add_flag("epoch-period-ms", "epoch re-roll period (0 = no roller)", "100");
   cli.add_flag("deadline-ms", "open-loop per-request deadline (0 = none)", "0");
   cli.add_flag("out", "write the JSON report here instead of stdout", "");
@@ -160,6 +207,7 @@ int main(int argc, char** argv) {
   const double duration_s = cli.get_double("duration-s");
   const double rate = cli.get_double("rate");
   const auto windows = static_cast<std::size_t>(cli.get_int("windows"));
+  const auto max_batch = static_cast<std::size_t>(cli.get_int("batch"));
   const std::chrono::milliseconds epoch_period(cli.get_int("epoch-period-ms"));
   const std::chrono::milliseconds deadline_ms(cli.get_int("deadline-ms"));
   const std::string out_path = cli.get("out");
@@ -169,9 +217,14 @@ int main(int argc, char** argv) {
   const hmd::StochasticHmd hmd(net, fc, 0.10);
   const std::vector<trace::FeatureSet> workload = make_workload(64, windows, fc);
 
+  // Deterministic fingerprint before the load phases: same (seed,
+  // admission order) must hash identically no matter the batch size.
+  const std::uint64_t probe_hash = determinism_probe(net, fc, max_batch);
+
   serve::ServeConfig config;
   config.num_workers = workers;
   config.queue_capacity = queue_capacity;
+  config.max_batch = max_batch;
   serve::ScoringService service(serve::make_epoch(hmd), config);
 
   std::atomic<bool> stop_roller{false};
@@ -281,10 +334,11 @@ int main(int argc, char** argv) {
                "    \"queue_capacity\": %zu,\n"
                "    \"windows_per_request\": %zu,\n"
                "    \"target_rate_rps\": %.0f,\n"
+               "    \"batch\": %zu,\n"
                "    \"epoch_period_ms\": %lld,\n"
                "    \"mac_per_request\": %zu\n"
                "  },\n",
-               service.num_workers(), n_clients, queue_capacity, windows, rate,
+               service.num_workers(), n_clients, queue_capacity, windows, rate, max_batch,
                static_cast<long long>(epoch_period.count()),
                windows * net.mac_count());
   print_phase(out, closed, /*last=*/false);
@@ -297,7 +351,8 @@ int main(int argc, char** argv) {
                "    \"deadline_missed\": %llu,\n"
                "    \"failed\": %llu,\n"
                "    \"epoch_swaps\": %llu,\n"
-               "    \"in_flight\": %llu\n"
+               "    \"in_flight\": %llu,\n"
+               "    \"score_hash\": \"0x%016llx\"\n"
                "  }\n",
                static_cast<unsigned long long>(final_stats.enqueued),
                static_cast<unsigned long long>(final_stats.scored),
@@ -305,7 +360,8 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(final_stats.deadline_missed),
                static_cast<unsigned long long>(final_stats.failed),
                static_cast<unsigned long long>(final_stats.epoch_swaps),
-               static_cast<unsigned long long>(final_stats.in_flight()));
+               static_cast<unsigned long long>(final_stats.in_flight()),
+               static_cast<unsigned long long>(probe_hash));
   std::fprintf(out, "}\n");
   if (out != stdout) std::fclose(out);
   return 0;

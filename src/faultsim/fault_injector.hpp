@@ -96,6 +96,10 @@ class FaultInjector {
   /// consumes no randomness); returns 0 on every call when er == 1.
   /// Geometric memorylessness makes it sound to discard the tail of a
   /// sampled gap at a span boundary and resample for the next span.
+  /// The er == 0 no-draw guarantee is load-bearing beyond speed:
+  /// FaultyContext::gemm reblocks its tile through the exact kernel at
+  /// er == 0 precisely because the generator state is untouched either
+  /// way, keeping the batched path stream-identical to per-row dot().
   [[nodiscard]] std::size_t next_fault_gap();
 
   /// Unconditionally fault one product the caller selected via

@@ -15,7 +15,7 @@
 // Additions/accumulations stay exact everywhere: §II observed no faults in
 // adders under undervolting.
 //
-// Two granularities:
+// Three granularities:
 //
 //   mul(a, b)     — one product, the paper's literal per-MAC hook;
 //   dot(w, x, n)  — one output row's worth of products, exact-accumulated
@@ -24,6 +24,13 @@
 //                   construction; the shipped contexts override it with
 //                   span-level kernels that preserve the per-product fault
 //                   model while skipping the per-MAC virtual dispatch.
+//   gemm(...)     — one layer over a windows-major tile of inputs (the
+//                   cross-request batched forward). The default loops
+//                   dot() row-major, so the per-product order — and hence
+//                   any context's randomness consumption — is identical
+//                   to running the rows one at a time; overrides may
+//                   block for throughput only where no product consumes
+//                   randomness (exact spans).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +39,59 @@
 #include "rng/random_source.hpp"
 
 namespace shmd::nn {
+
+namespace detail {
+
+/// Blocked exact GEMM kernel shared by ExactContext::gemm and the
+/// fault-free fast path of FaultyContext::gemm: four windows (rows of x)
+/// advance together so each weight load is reused four times. Every
+/// (row, output) accumulator still sums its products in ascending index
+/// order, so each output is bit-identical to a standalone exact dot of
+/// that row — blocking reorders *independent* accumulations only, never
+/// the summands within one (and the project never enables -ffast-math,
+/// so the compiler cannot either).
+inline void exact_gemm(const double* w, const double* bias, const double* x, std::size_t rows,
+                       std::size_t in_dim, std::size_t out_dim, double* y) {
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* x0 = x + r * in_dim;
+    const double* x1 = x0 + in_dim;
+    const double* x2 = x1 + in_dim;
+    const double* x3 = x2 + in_dim;
+    double* yr = y + r * out_dim;
+    for (std::size_t o = 0; o < out_dim; ++o) {
+      const double* wo = w + o * in_dim;
+      double a0 = 0.0;
+      double a1 = 0.0;
+      double a2 = 0.0;
+      double a3 = 0.0;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        const double wi = wo[i];
+        a0 += wi * x0[i];
+        a1 += wi * x1[i];
+        a2 += wi * x2[i];
+        a3 += wi * x3[i];
+      }
+      const double b = bias[o];
+      yr[o] = b + a0;
+      yr[out_dim + o] = b + a1;
+      yr[2 * out_dim + o] = b + a2;
+      yr[3 * out_dim + o] = b + a3;
+    }
+  }
+  for (; r < rows; ++r) {
+    const double* xr = x + r * in_dim;
+    double* yr = y + r * out_dim;
+    for (std::size_t o = 0; o < out_dim; ++o) {
+      const double* wo = w + o * in_dim;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < in_dim; ++i) acc += wo[i] * xr[i];
+      yr[o] = bias[o] + acc;
+    }
+  }
+}
+
+}  // namespace detail
 
 class ArithmeticContext {
  public:
@@ -50,6 +110,26 @@ class ArithmeticContext {
     double acc = 0.0;
     for (std::size_t i = 0; i < n; ++i) acc += mul(w[i], x[i]);
     return acc;
+  }
+
+  /// One dense layer over a windows-major tile: `rows` input rows of
+  /// width in_dim (x[r * in_dim + i]), out_dim weight rows (row-major,
+  /// w[o * in_dim + i]), producing y[r * out_dim + o] =
+  /// bias[o] + dot(w_o, x_r). The bias joins the exact accumulation, as
+  /// in Network::forward. The fallback runs the rows in ascending r and,
+  /// within a row, the outputs in ascending o via dot() — the exact
+  /// per-product order of the unbatched forward — so a stateful context's
+  /// randomness consumption is identical to scoring the rows one at a
+  /// time. Overrides must preserve that per-product order wherever a
+  /// product consumes randomness; only randomness-free spans may be
+  /// reblocked for throughput.
+  virtual void gemm(const double* w, const double* bias, const double* x, std::size_t rows,
+                    std::size_t in_dim, std::size_t out_dim, double* y) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* xr = x + r * in_dim;
+      double* yr = y + r * out_dim;
+      for (std::size_t o = 0; o < out_dim; ++o) yr[o] = bias[o] + dot(w + o * in_dim, xr, in_dim);
+    }
   }
 
   [[nodiscard]] std::uint64_t mac_count() const noexcept { return macs_; }
@@ -83,6 +163,17 @@ class ExactContext final : public ArithmeticContext {
     double acc = 0.0;
     for (std::size_t i = 0; i < n; ++i) acc += w[i] * x[i];
     return acc;
+  }
+
+  /// Blocked matrix–matrix kernel: four windows share one traversal of
+  /// each weight row (see detail::exact_gemm). Exact products consume no
+  /// randomness and every (row, output) accumulator sums in ascending
+  /// index order, so results are bit-identical to the dot()-looping
+  /// fallback.
+  void gemm(const double* w, const double* bias, const double* x, std::size_t rows,
+            std::size_t in_dim, std::size_t out_dim, double* y) override {
+    count_macs(static_cast<std::uint64_t>(rows) * in_dim * out_dim);
+    detail::exact_gemm(w, bias, x, rows, in_dim, out_dim, y);
   }
 
   [[nodiscard]] const char* name() const noexcept override { return "exact"; }
@@ -148,6 +239,36 @@ class FaultyContext final : public ArithmeticContext {
       i = end + 1;
     }
     return acc;
+  }
+
+  /// Tiled faulty forward. At the fault-free operating point (er == 0)
+  /// no product consumes randomness — next_fault_gap() returns kNoFault
+  /// without touching the RNG — so the whole tile runs through the
+  /// blocked exact kernel, bit- and RNG-stream-identical to the row-wise
+  /// path; only the FaultStats opportunity count need match. Under
+  /// faults the stream is live: products must be consumed in the exact
+  /// row-major order of the fallback (the per-request fault stream is
+  /// anchored to admission order, and each dot() call re-anchors the
+  /// geometric gap at its row boundary exactly as the unbatched forward
+  /// does), so the tile loops this class's own dot() — resolved
+  /// non-virtually, keeping one (devirtualized) call per output row.
+  void gemm(const double* w, const double* bias, const double* x, std::size_t rows,
+            std::size_t in_dim, std::size_t out_dim, double* y) override {
+    faultsim::FaultInjector& inj = *injector_;
+    if (inj.error_rate() <= 0.0) {
+      const std::uint64_t n = static_cast<std::uint64_t>(rows) * in_dim * out_dim;
+      count_macs(n);
+      inj.count_operations(n);
+      detail::exact_gemm(w, bias, x, rows, in_dim, out_dim, y);
+      return;
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* xr = x + r * in_dim;
+      double* yr = y + r * out_dim;
+      for (std::size_t o = 0; o < out_dim; ++o) {
+        yr[o] = bias[o] + FaultyContext::dot(w + o * in_dim, xr, in_dim);
+      }
+    }
   }
 
   [[nodiscard]] const char* name() const noexcept override { return "undervolt-faulty"; }

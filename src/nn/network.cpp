@@ -105,6 +105,41 @@ std::span<const double> Network::forward(std::span<const double> input, Arithmet
   return std::span<const double>(*current);
 }
 
+std::span<const double> Network::forward_batch(std::span<const double> x, std::size_t rows,
+                                               ArithmeticContext& ctx,
+                                               ForwardScratch& scratch) const {
+  if (layers_.empty()) throw std::logic_error("Network::forward_batch: empty network");
+  if (x.size() != rows * input_dim()) {
+    throw std::invalid_argument("Network::forward_batch: tile size mismatch");
+  }
+  if (rows == 0) return {};
+  // Same width cache as forward(), scaled by the tile height: both
+  // ping-pong buffers grow to rows x widest-layer once, so a worker
+  // scoring same-shaped tiles allocates nothing in steady state.
+  if (scratch.net_ != this) {
+    std::size_t max_width = input_dim();
+    for (const Layer& layer : layers_) max_width = std::max(max_width, layer.out_dim);
+    scratch.max_width_ = max_width;
+    scratch.net_ = this;
+  }
+  scratch.a_.reserve(rows * scratch.max_width_);
+  scratch.b_.reserve(rows * scratch.max_width_);
+  std::vector<double>* current = &scratch.a_;
+  std::vector<double>* next = &scratch.b_;
+  const double* in = x.data();  // first layer reads the caller's tile directly
+  for (const Layer& layer : layers_) {
+    next->resize(rows * layer.out_dim);
+    ctx.gemm(layer.weights.data(), layer.biases.data(), in, rows, layer.in_dim, layer.out_dim,
+             next->data());
+    // Activation is elementwise and exact — applying it after the whole
+    // tile's GEMM reorders nothing a context could observe.
+    for (double& v : *next) v = activate(layer.activation, v);
+    in = next->data();
+    std::swap(current, next);
+  }
+  return std::span<const double>(current->data(), rows * layers_.back().out_dim);
+}
+
 std::vector<double> Network::forward(std::span<const double> input) const {
   ExactContext exact;
   return forward(input, exact);

@@ -90,6 +90,24 @@ class Network {
                                                 ArithmeticContext& ctx,
                                                 ForwardScratch& scratch) const;
 
+  /// Batched inference over a windows-major tile: `x` holds `rows` input
+  /// rows of input_dim() each (x[r * input_dim() + i]); the result span
+  /// holds rows * output_dim() values, y[r * output_dim() + o]. Layers
+  /// run tile-at-a-time through ctx.gemm, each layer visiting rows in
+  /// ascending order (the documented gemm fallback order). For a
+  /// stateless context (exact) every row's result is bit-identical to
+  /// forward() on that row. A stateful context (the fault injector)
+  /// consumes its stream layer-major across the tile — deterministic in
+  /// (context state, tile), but a different interleaving than calling
+  /// forward() row by row; callers needing per-item streams re-anchor the
+  /// generator at item boundaries and batch per item (see
+  /// ScoringService::worker_loop). The returned span aliases `scratch`
+  /// (grown to rows x widest-layer once, then reused) and is valid until
+  /// its next use.
+  [[nodiscard]] std::span<const double> forward_batch(std::span<const double> x, std::size_t rows,
+                                                      ArithmeticContext& ctx,
+                                                      ForwardScratch& scratch) const;
+
   /// Convenience: exact-arithmetic inference.
   [[nodiscard]] std::vector<double> forward(std::span<const double> input) const;
 

@@ -51,6 +51,25 @@ bool RequestQueue::pop(Request& out) {
   return true;
 }
 
+std::size_t RequestQueue::pop_batch(std::vector<Request>& out, std::size_t max_batch) {
+  out.clear();
+  {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || (count_ > 0 && !paused_); });
+    if (count_ == 0) return 0;  // closed and drained
+    const std::size_t n = count_ < max_batch ? count_ : max_batch;
+    for (std::size_t k = 0; k < n; ++k) {
+      out.push_back(ring_[head_]);
+      head_ = (head_ + 1) % ring_.size();
+    }
+    count_ -= n;
+  }
+  // Up to max_batch slots opened at once: wake every blocked producer,
+  // not just one.
+  not_full_.notify_all();
+  return out.size();
+}
+
 void RequestQueue::close() {
   {
     const std::lock_guard lock(mu_);

@@ -76,6 +76,15 @@ class RequestQueue {
   /// a worker, never dropped.
   [[nodiscard]] bool pop(Request& out);
 
+  /// Blocking batch dequeue: waits until at least one request is
+  /// available (same pause/close gating as pop), then drains up to
+  /// `max_batch` requests — whatever is queued RIGHT NOW, never waiting
+  /// to fill the batch (batching amortizes the lock, it must not add
+  /// latency) — into `out` (cleared first) in FIFO admission order,
+  /// all under one lock acquisition. Returns out.size(); 0 only when the
+  /// queue is closed AND drained.
+  [[nodiscard]] std::size_t pop_batch(std::vector<Request>& out, std::size_t max_batch);
+
   /// Stop accepting new requests and wake every waiter. Requests already
   /// accepted remain poppable (drain semantics). Idempotent.
   void close();

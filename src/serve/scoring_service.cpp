@@ -25,6 +25,9 @@ std::uint64_t request_seed(std::uint64_t base, std::uint64_t seq) noexcept {
 
 ScoringService::ScoringService(DetectorEpoch initial_epoch, ServeConfig config)
     : config_(config), queue_(config.queue_capacity) {
+  if (config_.max_batch == 0) {
+    throw std::invalid_argument("ScoringService: max_batch must be >= 1");
+  }
   const std::size_t n_workers = runtime::resolve_workers(config_.num_workers);
   workers_.reserve(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) {
@@ -143,53 +146,109 @@ void ScoringService::close() {
 
 void ScoringService::worker_loop(std::size_t w) {
   Worker& worker = workers_[w];
-  Request request;
-  while (queue_.pop(request)) {
+  // Per-batch scratch, reused across batches: the drained requests, the
+  // windows-major tile their windows flatten into, and the per-request
+  // row ranges within that tile. All grow to steady-state size once.
+  std::vector<Request> batch;
+  batch.reserve(config_.max_batch);
+  struct Pending {
+    const Request* request;    ///< element of `batch`
+    std::size_t row_begin;     ///< first tile row of this request's windows
+    std::size_t rows;          ///< number of windows
+  };
+  std::vector<Pending> pending;
+  pending.reserve(config_.max_batch);
+  std::vector<double> tile;
+  while (queue_.pop_batch(batch, config_.max_batch) > 0) {
+    // One epoch load and (at most) one injector reconfiguration per
+    // tile: every request drained together scores under one coherent
+    // operating point — requests dequeued after a swap score under the
+    // new epoch, exactly as in the unbatched path.
     const std::shared_ptr<const DetectorEpoch> epoch = slot_.current();
-    ScoreTicket& ticket = *request.ticket;
-    const ServiceClock::time_point start = ServiceClock::now();
-    ticket.epoch_id_ = epoch->id;
-    if (start >= request.deadline) {
-      ticket.latency_ = start - request.enqueue_time;
-      stats_.on_deadline_missed();
-      ticket.complete(RequestOutcome::kDeadlineMissed);
-      continue;
-    }
     faultsim::FaultInjector& injector = worker.injector;
-    injector.set_error_rate(epoch->error_rate);
-    injector.set_distribution(epoch->distribution);
-    injector.generator() = rng::Xoshiro256ss(request_seed(config_.seed, request.seq));
-    injector.reset_stats();  // per-request delta, attributed to this epoch below
-    nn::FaultyContext ctx(injector);
-    bool ok = true;
-    try {
-      const std::vector<std::vector<double>>& windows =
-          request.features->windows(epoch->features);
-      ticket.scores_.reserve(windows.size());
-      for (const std::vector<double>& window : windows) {
-        ticket.scores_.push_back(epoch->network.forward(window, ctx, worker.scratch)[0]);
-      }
-      ticket.verdict_ =
-          hmd::fraction_vote(ticket.scores_, epoch->threshold, epoch->vote_fraction);
-    } catch (...) {
-      // A worker must outlive any single bad request (e.g. a feature set
-      // missing the epoch's view). The ticket still completes — exactly
-      // once — with kFailed.
-      ticket.scores_.clear();
-      ok = false;
+    if (worker.configured_epoch != epoch->id) {
+      injector.set_error_rate(epoch->error_rate);
+      injector.set_distribution(epoch->distribution);
+      worker.configured_epoch = epoch->id;
     }
-    const ServiceClock::time_point end = ServiceClock::now();
-    ticket.latency_ = end - request.enqueue_time;
-    if (ok) {
-      stats_.on_scored(static_cast<std::uint64_t>(
-                           std::chrono::duration_cast<std::chrono::nanoseconds>(
-                               end - request.enqueue_time)
-                               .count()),
-                       epoch->id, injector.stats());
-      ticket.complete(RequestOutcome::kScored);
-    } else {
-      stats_.on_failed();
-      ticket.complete(RequestOutcome::kFailed);
+    const std::size_t in_dim = epoch->network.input_dim();
+    const std::size_t out_dim = epoch->network.output_dim();
+    // Phase 1 — admission triage and tile build: expire requests whose
+    // deadline passed in the queue, flatten survivors' windows into the
+    // tile, and fail (without killing the worker or the rest of the
+    // batch) any request whose feature set violates the epoch's contract.
+    pending.clear();
+    tile.clear();
+    for (const Request& request : batch) {
+      ScoreTicket& ticket = *request.ticket;
+      ticket.epoch_id_ = epoch->id;
+      const ServiceClock::time_point start = ServiceClock::now();
+      if (start >= request.deadline) {
+        const ServiceClock::duration wait = start - request.enqueue_time;
+        ticket.latency_ = wait;
+        stats_.on_deadline_missed(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count()));
+        ticket.complete(RequestOutcome::kDeadlineMissed);
+        continue;
+      }
+      const std::size_t row_begin = tile.size() / in_dim;
+      try {
+        const std::vector<std::vector<double>>& windows =
+            request.features->windows(epoch->features);
+        for (const std::vector<double>& window : windows) {
+          if (window.size() != in_dim) {
+            throw std::invalid_argument("window width != network input width");
+          }
+          tile.insert(tile.end(), window.begin(), window.end());
+        }
+        pending.push_back(Pending{&request, row_begin, windows.size()});
+      } catch (...) {
+        tile.resize(row_begin * in_dim);  // discard any partial flatten
+        ticket.scores_.clear();
+        ticket.latency_ = ServiceClock::now() - request.enqueue_time;
+        stats_.on_failed();
+        ticket.complete(RequestOutcome::kFailed);
+      }
+    }
+    // Phase 2 — score each surviving request's sub-tile. Requests stay
+    // contiguous and are scored in admission order; the injector stream
+    // is re-anchored from (seed, seq) at each request boundary, so every
+    // request's fault stream — and therefore its scores — is bit-identical
+    // to the unbatched path regardless of which requests share its tile.
+    nn::FaultyContext ctx(injector);
+    for (const Pending& p : pending) {
+      const Request& request = *p.request;
+      ScoreTicket& ticket = *request.ticket;
+      injector.generator() = rng::Xoshiro256ss(request_seed(config_.seed, request.seq));
+      injector.reset_stats();  // per-request delta, attributed to this epoch below
+      bool ok = true;
+      try {
+        const std::span<const double> in(tile.data() + p.row_begin * in_dim, p.rows * in_dim);
+        const std::span<const double> out =
+            epoch->network.forward_batch(in, p.rows, ctx, worker.scratch);
+        ticket.scores_.resize(p.rows);
+        for (std::size_t r = 0; r < p.rows; ++r) ticket.scores_[r] = out[r * out_dim];
+        ticket.verdict_ =
+            hmd::fraction_vote(ticket.scores_, epoch->threshold, epoch->vote_fraction);
+      } catch (...) {
+        // A worker must outlive any single bad request. The ticket still
+        // completes — exactly once — with kFailed.
+        ticket.scores_.clear();
+        ok = false;
+      }
+      const ServiceClock::time_point end = ServiceClock::now();
+      ticket.latency_ = end - request.enqueue_time;
+      if (ok) {
+        stats_.on_scored(static_cast<std::uint64_t>(
+                             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 end - request.enqueue_time)
+                                 .count()),
+                         epoch->id, injector.stats());
+        ticket.complete(RequestOutcome::kScored);
+      } else {
+        stats_.on_failed();
+        ticket.complete(RequestOutcome::kFailed);
+      }
     }
   }
 }

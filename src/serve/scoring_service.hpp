@@ -59,6 +59,14 @@ struct ServeConfig {
   std::size_t queue_capacity = 1024;
   /// Base seed for the per-request fault streams.
   std::uint64_t seed = 0x5E7F1CEULL;
+  /// Upper bound on how many queued requests one worker drains and scores
+  /// per queue round-trip (cross-request batching: one lock acquisition,
+  /// one epoch load, one injector reconfiguration per tile). Batching
+  /// never delays a lone request — a batch pop returns with whatever is
+  /// queued — and never changes scores: per-request fault streams are
+  /// re-anchored at request boundaries within the tile, so results are
+  /// bit-identical for any max_batch. Must be >= 1.
+  std::size_t max_batch = 16;
 };
 
 /// Terminal disposition of an accepted request.
@@ -227,6 +235,10 @@ class ScoringService {
   struct Worker {
     faultsim::FaultInjector injector;
     nn::ForwardScratch scratch;
+    /// Epoch id the injector was last configured for: reconfiguration
+    /// (error rate + alias-table copy) happens per epoch *change*, not
+    /// per request. 0 matches no epoch (install_epoch stamps from 1).
+    std::uint64_t configured_epoch = 0;
   };
 
   SubmitStatus do_submit(const trace::FeatureSet& features, ScoreTicket& ticket,

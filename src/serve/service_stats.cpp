@@ -1,6 +1,7 @@
 #include "serve/service_stats.hpp"
 
 #include <bit>
+#include <cmath>
 
 namespace shmd::serve {
 
@@ -23,10 +24,16 @@ double LatencyHistogram::quantile_ns(double q) const noexcept {
   for (std::size_t b = 0; b < kBuckets; ++b) {
     cumulative += static_cast<double>(counts[b]);
     if (cumulative >= target && counts[b] > 0) {
-      return static_cast<double>(std::uint64_t{1} << (b + 1));  // bucket upper edge
+      // Geometric midpoint of [2^b, 2^(b+1)): sqrt(2^b * 2^(b+1)).
+      return std::exp2(static_cast<double>(b) + 0.5);
     }
   }
-  return static_cast<double>(std::uint64_t{1} << kBuckets);
+  return std::exp2(static_cast<double>(kBuckets) - 0.5);
+}
+
+void ServiceStats::on_deadline_missed(std::uint64_t wait_ns) noexcept {
+  deadline_missed_.fetch_add(1, std::memory_order_relaxed);
+  missed_wait_buckets_[bucket_of(wait_ns)].fetch_add(1, std::memory_order_relaxed);
 }
 
 void ServiceStats::on_scored(std::uint64_t latency_ns, std::uint64_t epoch_id,
@@ -61,7 +68,8 @@ std::uint64_t get_u64(std::span<const std::uint8_t> bytes, std::size_t offset) {
   return v;
 }
 
-constexpr std::uint8_t kSnapshotFormat = 2;  // v2: added folded-epoch aggregate
+constexpr std::uint8_t kSnapshotFormat = 3;  // v3: added missed-wait histogram
+                                             // (v2 added the folded-epoch aggregate)
 constexpr std::size_t kCounterWords = 7;
 constexpr std::size_t kFaultStatsWords =
     2 + static_cast<std::size_t>(faultsim::BitFaultDistribution::kBits);
@@ -71,7 +79,7 @@ constexpr std::size_t kEpochEntryWords = 1 + kFaultStatsWords;
 
 std::vector<std::uint8_t> serialize(const ServiceStatsSnapshot& snap) {
   std::vector<std::uint8_t> out;
-  out.reserve(1 + 8 * (kCounterWords + 1 + kFaultStatsWords + 1 + LatencyHistogram::kBuckets +
+  out.reserve(1 + 8 * (kCounterWords + 1 + kFaultStatsWords + 1 + 2 * LatencyHistogram::kBuckets +
                        kEpochEntryWords * snap.per_epoch_faults.size()));
   out.push_back(kSnapshotFormat);
   put_u64(out, snap.enqueued);
@@ -82,6 +90,7 @@ std::vector<std::uint8_t> serialize(const ServiceStatsSnapshot& snap) {
   put_u64(out, snap.failed);
   put_u64(out, snap.epoch_swaps);
   for (const std::uint64_t count : snap.latency.counts) put_u64(out, count);
+  for (const std::uint64_t count : snap.missed_wait.counts) put_u64(out, count);
   put_u64(out, snap.folded_epochs);
   put_u64(out, snap.folded_faults.operations);
   put_u64(out, snap.folded_faults.faults);
@@ -98,7 +107,7 @@ std::vector<std::uint8_t> serialize(const ServiceStatsSnapshot& snap) {
 
 std::optional<ServiceStatsSnapshot> deserialize_snapshot(std::span<const std::uint8_t> bytes) {
   constexpr std::size_t kFixed =
-      1 + 8 * (kCounterWords + LatencyHistogram::kBuckets + 1 + kFaultStatsWords + 1);
+      1 + 8 * (kCounterWords + 2 * LatencyHistogram::kBuckets + 1 + kFaultStatsWords + 1);
   if (bytes.size() < kFixed || bytes[0] != kSnapshotFormat) return std::nullopt;
   ServiceStatsSnapshot snap;
   std::size_t at = 1;
@@ -117,6 +126,10 @@ std::optional<ServiceStatsSnapshot> deserialize_snapshot(std::span<const std::ui
   for (std::uint64_t& count : snap.latency.counts) {
     count = next();
     snap.latency.total += count;
+  }
+  for (std::uint64_t& count : snap.missed_wait.counts) {
+    count = next();
+    snap.missed_wait.total += count;
   }
   snap.folded_epochs = next();
   snap.folded_faults.operations = next();
@@ -156,6 +169,8 @@ ServiceStatsSnapshot ServiceStats::snapshot() const {
   for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
     snap.latency.counts[b] = latency_buckets_[b].load(std::memory_order_relaxed);
     snap.latency.total += snap.latency.counts[b];
+    snap.missed_wait.counts[b] = missed_wait_buckets_[b].load(std::memory_order_relaxed);
+    snap.missed_wait.total += snap.missed_wait.counts[b];
   }
   {
     const std::lock_guard lock(faults_mu_);

@@ -33,10 +33,12 @@ struct LatencyHistogram {
   std::array<std::uint64_t, kBuckets> counts{};
   std::uint64_t total = 0;
 
-  /// Latency (ns) at quantile `q` in [0, 1]: the upper edge of the first
-  /// bucket whose cumulative count reaches q * total (a ≤ 2x
-  /// overestimate, which is what a shedding decision wants to err
-  /// toward). Returns 0 when the histogram is empty.
+  /// Latency (ns) at quantile `q` in [0, 1]: the geometric midpoint
+  /// 2^(b+0.5) of the first bucket whose cumulative count reaches
+  /// q * total — the unbiased point estimate under a log-uniform
+  /// within-bucket assumption. (The upper edge overstated every quantile
+  /// by up to 2x: bucket 0 reported 2 ns for sub-nanosecond samples.)
+  /// Returns 0 when the histogram is empty.
   [[nodiscard]] double quantile_ns(double q) const noexcept;
   [[nodiscard]] double p50_ns() const noexcept { return quantile_ns(0.50); }
   [[nodiscard]] double p99_ns() const noexcept { return quantile_ns(0.99); }
@@ -54,6 +56,12 @@ struct ServiceStatsSnapshot {
   std::uint64_t failed = 0;           ///< scoring threw (contract violation by caller)
   std::uint64_t epoch_swaps = 0;      ///< install_epoch() calls
   LatencyHistogram latency;           ///< enqueue→completion, scored only
+  /// Queue-wait of deadline-missed requests (enqueue→expiry-detection).
+  /// Kept separate from `latency` so scored-path quantiles stay
+  /// survivor-only, while overload analysis still sees how long the
+  /// expired requests sat — before this histogram, missed requests left
+  /// no latency trace at all and overload p50/p99 reflected survivors.
+  LatencyHistogram missed_wait;
   /// Fault statistics per detector epoch (keyed by DetectorEpoch::id) —
   /// the serving-layer equivalent of StochasticHmd::fault_stats(), split
   /// at reconfiguration boundaries. Bounded: only the most recent
@@ -96,9 +104,9 @@ class ServiceStats {
   void on_rejected_closed() noexcept {
     rejected_closed_.fetch_add(1, std::memory_order_relaxed);
   }
-  void on_deadline_missed() noexcept {
-    deadline_missed_.fetch_add(1, std::memory_order_relaxed);
-  }
+  /// Record one deadline miss, with how long the request waited in the
+  /// queue before a worker found it expired.
+  void on_deadline_missed(std::uint64_t wait_ns) noexcept;
   void on_failed() noexcept { failed_.fetch_add(1, std::memory_order_relaxed); }
   void on_epoch_swap() noexcept { epoch_swaps_.fetch_add(1, std::memory_order_relaxed); }
 
@@ -118,6 +126,7 @@ class ServiceStats {
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> epoch_swaps_{0};
   std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBuckets> latency_buckets_{};
+  std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBuckets> missed_wait_buckets_{};
   mutable std::mutex faults_mu_;
   std::map<std::uint64_t, faultsim::FaultStats> per_epoch_faults_;
   faultsim::FaultStats folded_faults_;  ///< aged-out epochs, aggregated

@@ -163,6 +163,60 @@ TEST(LintR1, DotOutsideArithmeticContextSubclassIsStillFlagged) {
   EXPECT_EQ(lines_of(lint("src/nn/helper.hpp", non_override), "R1"), (std::vector<int>{7}));
 }
 
+TEST(LintR1, GemmOverrideInArithmeticContextSubclassIsSanctioned) {
+  // The batched span kernel: a gemm() override of an ArithmeticContext
+  // subclass is bound by the same per-product contract as dot(), so its
+  // body is sanctioned the same way.
+  const std::string fixture =
+      "#pragma once\n"
+      "namespace shmd::nn {\n"
+      "class TiledContext final : public ArithmeticContext {\n"
+      " public:\n"
+      "  double mul(double a, double b) override { return a * b; }\n"  // line 5: NOT sanctioned
+      "  void gemm(const double* w, const double* bias, const double* x, std::size_t rows,\n"
+      "            std::size_t in_dim, std::size_t out_dim, double* y) override {\n"
+      "    for (std::size_t r = 0; r < rows; ++r)\n"
+      "      for (std::size_t o = 0; o < out_dim; ++o) {\n"
+      "        double acc = bias[o];\n"
+      "        for (std::size_t i = 0; i < in_dim; ++i) acc += w[o * in_dim + i] * x[i];\n"
+      "        y[r * out_dim + o] = acc;\n"
+      "      }\n"
+      "  }\n"
+      "};\n"
+      "}  // namespace shmd::nn\n";
+  const auto diags = lint("src/nn/tiled_context.hpp", fixture);
+  EXPECT_EQ(lines_of(diags, "R1"), (std::vector<int>{5}))
+      << "only the gemm() override body is sanctioned, not sibling members";
+}
+
+TEST(LintR1, GemmWithoutOverrideOrContextIsStillFlagged) {
+  // gemm() in an unrelated class, or a non-override gemm member of a
+  // context subclass, gets no structural sanction.
+  const std::string unrelated_class =
+      "#pragma once\n"
+      "namespace shmd::nn {\n"
+      "class Blas {\n"
+      " public:\n"
+      "  void gemm(const double* w, const double* x, std::size_t n, double* y) {\n"
+      "    y[0] = w[0] * x[0];\n"  // line 6
+      "  }\n"
+      "};\n"
+      "}  // namespace shmd::nn\n";
+  EXPECT_EQ(lines_of(lint("src/nn/blas.hpp", unrelated_class), "R1"), (std::vector<int>{6}));
+
+  const std::string non_override =
+      "#pragma once\n"
+      "namespace shmd::nn {\n"
+      "class Helper final : public ArithmeticContext {\n"
+      " public:\n"
+      "  void gemm(const double* w, const double* x, std::size_t n, double* y) {\n"
+      "    y[0] = w[0] * x[0];\n"  // line 6
+      "  }\n"
+      "};\n"
+      "}  // namespace shmd::nn\n";
+  EXPECT_EQ(lines_of(lint("src/nn/helper.hpp", non_override), "R1"), (std::vector<int>{6}));
+}
+
 TEST(LintR1, SpanKernelTagSuppressesLikeExactOk) {
   const std::string fixture =
       "void accumulate(double* acc, const double* w, const double* x, std::size_t n) {\n"

@@ -152,6 +152,86 @@ TEST(Network, ScratchForwardMatchesAllocatingForward) {
   }
 }
 
+TEST(Network, ForwardBatchBitIdenticalToPerRowForwardExact) {
+  const std::vector<std::size_t> topo{6, 9, 4, 2};
+  const Network net(topo, Activation::kTanh, Activation::kSigmoid, 99);
+  rng::Xoshiro256ss gen(5);
+  // 7 rows: exercises both the 4-wide blocked kernel and the remainder loop.
+  const std::size_t rows = 7;
+  std::vector<double> tile(rows * net.input_dim());
+  for (double& v : tile) v = gen.uniform(-1.0, 1.0);
+
+  ExactContext ctx;
+  ForwardScratch scratch;
+  const std::span<const double> batched = net.forward_batch(tile, rows, ctx, scratch);
+  ASSERT_EQ(batched.size(), rows * net.output_dim());
+  const std::vector<double> batched_copy(batched.begin(), batched.end());
+  EXPECT_EQ(ctx.mac_count(), rows * net.mac_count());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::span<const double> row(tile.data() + r * net.input_dim(), net.input_dim());
+    const std::vector<double> reference = net.forward(row, ctx);
+    for (std::size_t o = 0; o < net.output_dim(); ++o) {
+      EXPECT_EQ(batched_copy[r * net.output_dim() + o], reference[o]) << r << "," << o;
+    }
+  }
+}
+
+TEST(Network, ForwardBatchFaultyMatchesDotLoopFallbackOrder) {
+  // The gemm contract: every override consumes the stream in the
+  // documented fallback order — per layer, rows ascending, one dot() per
+  // output — so FaultyContext::gemm must be bit-identical to a hand-rolled
+  // dot() loop in that order, in both the skip-ahead (er = 0.05) and
+  // dense-Bernoulli (er = 0.5) regimes, and at er = 0 where the blocked
+  // exact kernel takes over without touching the RNG.
+  const std::vector<std::size_t> topo{6, 9, 2};
+  const Network net(topo, Activation::kSigmoid, Activation::kSigmoid, 3);
+  rng::Xoshiro256ss gen(6);
+  const std::size_t rows = 5;
+  std::vector<double> tile(rows * net.input_dim());
+  for (double& v : tile) v = gen.uniform(-1.0, 1.0);
+
+  for (const double er : {0.0, 0.05, 0.5}) {
+    const auto dist = faultsim::BitFaultDistribution::measured();
+    faultsim::FaultInjector ref_inj(er, dist, 0xABCDEF);
+    FaultyContext ref_ctx(ref_inj);
+    std::vector<double> cur(tile.begin(), tile.end());
+    std::vector<double> nxt;
+    for (std::size_t l = 0; l < net.num_layers(); ++l) {
+      const Layer& layer = net.layer(l);
+      nxt.resize(rows * layer.out_dim);
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t o = 0; o < layer.out_dim; ++o) {
+          const double acc = layer.biases[o] + ref_ctx.dot(&layer.weights[o * layer.in_dim],
+                                                           &cur[r * layer.in_dim], layer.in_dim);
+          nxt[r * layer.out_dim + o] = activate(layer.activation, acc);
+        }
+      }
+      cur = nxt;
+    }
+
+    faultsim::FaultInjector inj(er, dist, 0xABCDEF);
+    FaultyContext ctx(inj);
+    ForwardScratch scratch;
+    const std::span<const double> batched = net.forward_batch(tile, rows, ctx, scratch);
+    ASSERT_EQ(batched.size(), cur.size()) << er;
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      EXPECT_EQ(batched[i], cur[i]) << "er=" << er << " i=" << i;
+    }
+    // Span-kernel accounting matches too: same fault opportunities either way.
+    EXPECT_EQ(inj.stats().operations, ref_inj.stats().operations) << er;
+  }
+}
+
+TEST(Network, ForwardBatchRejectsMismatchedTile) {
+  const std::vector<std::size_t> topo{4, 3, 1};
+  const Network net(topo, Activation::kSigmoid, Activation::kSigmoid, 1);
+  ExactContext ctx;
+  ForwardScratch scratch;
+  const std::vector<double> tile(4 * 2 + 1);  // not a whole number of rows
+  EXPECT_THROW((void)net.forward_batch(tile, 2, ctx, scratch), std::invalid_argument);
+  EXPECT_TRUE(net.forward_batch(std::span<const double>{}, 0, ctx, scratch).empty());
+}
+
 // ------------------------------------------------------- arithmetic contexts
 
 TEST(Arithmetic, ExactContextIsExactAndCounts) {

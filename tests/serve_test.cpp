@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -122,6 +123,80 @@ TEST(ServeQueue, CloseRejectsNewAndDrainsOld) {
   EXPECT_FALSE(q.pop(out));  // closed AND drained
 }
 
+TEST(ServeQueue, PopBatchDrainsFifoWithoutWaitingForAFullBatch) {
+  RequestQueue q(8);
+  const trace::FeatureSet fs = make_features(1);
+  Request r;
+  r.features = &fs;
+  for (int i = 0; i < 5; ++i) ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);
+  std::vector<Request> out;
+  // A batch pop takes what is queued right now, up to max_batch — it must
+  // never block waiting to fill the batch.
+  ASSERT_EQ(q.pop_batch(out, 3), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(out[i].seq, i);  // FIFO within the batch
+  ASSERT_EQ(q.pop_batch(out, 8), 2u);  // partial: only 2 queued
+  EXPECT_EQ(out[0].seq, 3u);
+  EXPECT_EQ(out[1].seq, 4u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(ServeQueue, PopBatchSeqStampingUnaffectedByBatchSize) {
+  // seq is stamped at ADMISSION, not at dequeue: however the requests are
+  // later grouped into batches, the k-th accepted request carries seq k.
+  const trace::FeatureSet fs = make_features(1);
+  Request r;
+  r.features = &fs;
+  std::vector<std::uint64_t> seqs_batched;
+  std::vector<std::uint64_t> seqs_unbatched;
+  for (const std::size_t max_batch : {std::size_t{3}, std::size_t{1}}) {
+    RequestQueue q(8);
+    for (int i = 0; i < 6; ++i) ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);
+    std::vector<std::uint64_t>& seqs = max_batch == 1 ? seqs_unbatched : seqs_batched;
+    std::vector<Request> out;
+    while (q.size() > 0) {
+      ASSERT_GT(q.pop_batch(out, max_batch), 0u);
+      for (const Request& popped : out) seqs.push_back(popped.seq);
+    }
+  }
+  EXPECT_EQ(seqs_batched, seqs_unbatched);
+  EXPECT_EQ(seqs_batched, (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ServeQueue, PopBatchPartialBatchOnCloseAndDrain) {
+  RequestQueue q(8);
+  const trace::FeatureSet fs = make_features(1);
+  Request r;
+  r.features = &fs;
+  for (int i = 0; i < 3; ++i) ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);
+  q.close();
+  std::vector<Request> out;
+  ASSERT_EQ(q.pop_batch(out, 8), 3u);  // accepted requests survive close()
+  EXPECT_EQ(q.pop_batch(out, 8), 0u);  // closed AND drained
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ServeQueue, PopBatchBlocksWhilePaused) {
+  RequestQueue q(4);
+  const trace::FeatureSet fs = make_features(1);
+  Request r;
+  r.features = &fs;
+  ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);
+  q.set_paused(true);
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    std::vector<Request> out;
+    EXPECT_EQ(q.pop_batch(out, 4), 1u);
+    popped.store(true, std::memory_order_relaxed);
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(popped.load(std::memory_order_relaxed))
+      << "pop_batch must block while the queue is paused, even with work queued";
+  q.set_paused(false);
+  consumer.join();
+  EXPECT_TRUE(popped.load(std::memory_order_relaxed));
+}
+
 TEST(ServeQueue, CloseOverridesPause) {
   RequestQueue q(2);
   const trace::FeatureSet fs = make_features(1);
@@ -208,6 +283,8 @@ TEST(ServeStats, SnapshotSerializationRoundTrips) {
   snap.latency.counts[10] = 40;
   snap.latency.counts[11] = 50;
   snap.latency.total = 90;
+  snap.missed_wait.counts[20] = 1;
+  snap.missed_wait.total = 1;
   faultsim::FaultStats& f1 = snap.per_epoch_faults[1];
   f1.operations = 12345;
   f1.faults = 42;
@@ -243,11 +320,11 @@ TEST(ServeStats, DeserializeRejectsCorruptedInput) {
   EXPECT_FALSE(deserialize_snapshot(trailing).has_value());
 
   // A hostile epoch count must be rejected before it drives reads or
-  // allocation (the count field sits after the latency buckets and the
-  // folded-epoch aggregate).
+  // allocation (the count field sits after the two latency histograms and
+  // the folded-epoch aggregate).
   std::vector<std::uint8_t> hostile = wire;
   const std::size_t count_at =
-      1 + 8 * (7 + LatencyHistogram::kBuckets + 1 + 2 + faultsim::BitFaultDistribution::kBits);
+      1 + 8 * (7 + 2 * LatencyHistogram::kBuckets + 1 + 2 + faultsim::BitFaultDistribution::kBits);
   for (std::size_t i = 0; i < 8; ++i) hostile[count_at + i] = 0xFF;
   EXPECT_FALSE(deserialize_snapshot(hostile).has_value());
 
@@ -284,16 +361,33 @@ TEST(ServeService, CompletionHookFiresOnCompleteAndOnReject) {
   filler.wait();  // the worker must finish with `filler` before it leaves scope
 }
 
-TEST(ServeStats, HistogramQuantilesUseBucketUpperEdges) {
+TEST(ServeStats, HistogramQuantilesUseGeometricMidpoints) {
   ServiceStats stats;
   const faultsim::FaultStats none;
-  for (int i = 0; i < 50; ++i) stats.on_scored(10, 1, none);    // bucket [8, 16)
-  for (int i = 0; i < 50; ++i) stats.on_scored(1500, 1, none);  // bucket [1024, 2048)
+  for (int i = 0; i < 50; ++i) stats.on_scored(10, 1, none);    // bucket 3: [8, 16)
+  for (int i = 0; i < 50; ++i) stats.on_scored(1500, 1, none);  // bucket 10: [1024, 2048)
   const LatencyHistogram hist = stats.snapshot().latency;
   EXPECT_EQ(hist.total, 100u);
-  EXPECT_DOUBLE_EQ(hist.p50_ns(), 16.0);
-  EXPECT_DOUBLE_EQ(hist.p99_ns(), 2048.0);
-  EXPECT_DOUBLE_EQ(LatencyHistogram{}.quantile_ns(0.5), 0.0);  // empty histogram
+  // Each quantile reports its bucket's geometric midpoint 2^(b+0.5) — the
+  // upper edge overstated by up to 2x.
+  EXPECT_DOUBLE_EQ(hist.p50_ns(), std::exp2(3.5));
+  EXPECT_DOUBLE_EQ(hist.p99_ns(), std::exp2(10.5));
+  // q = 0 lands in the first non-empty bucket, q = 1 in the last.
+  EXPECT_DOUBLE_EQ(hist.quantile_ns(0.0), std::exp2(3.5));
+  EXPECT_DOUBLE_EQ(hist.quantile_ns(1.0), std::exp2(10.5));
+}
+
+TEST(ServeStats, HistogramQuantileSingleBucketAndEmpty) {
+  LatencyHistogram single;
+  single.counts[5] = 7;  // every sample in [32, 64)
+  single.total = 7;
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(single.quantile_ns(q), std::exp2(5.5)) << q;
+  }
+  const LatencyHistogram empty;
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(empty.quantile_ns(q), 0.0) << q;
+  }
 }
 
 TEST(ServeStats, AccountingIdentityAndPerEpochFaults) {
@@ -305,7 +399,7 @@ TEST(ServeStats, AccountingIdentityAndPerEpochFaults) {
   stats.on_scored(100, 1, delta);
   stats.on_scored(100, 2, delta);
   stats.on_scored(100, 2, delta);
-  stats.on_deadline_missed();
+  stats.on_deadline_missed(3000);  // waited ~3 µs before expiring
   stats.on_failed();
   stats.on_shed();
   const ServiceStatsSnapshot snap = stats.snapshot();
@@ -313,6 +407,11 @@ TEST(ServeStats, AccountingIdentityAndPerEpochFaults) {
   EXPECT_EQ(snap.scored, 3u);
   EXPECT_EQ(snap.in_flight(), 0u);
   EXPECT_EQ(snap.shed, 1u);
+  // The miss left its queue-wait in the second histogram — and nothing in
+  // the scored-only latency histogram.
+  EXPECT_EQ(snap.missed_wait.total, 1u);
+  EXPECT_EQ(snap.missed_wait.counts[11], 1u);  // 3000 ns -> bucket [2048, 4096)
+  EXPECT_EQ(snap.latency.total, 3u);
   ASSERT_EQ(snap.per_epoch_faults.size(), 2u);
   EXPECT_EQ(snap.per_epoch_faults.at(1).operations, 10u);
   EXPECT_EQ(snap.per_epoch_faults.at(2).operations, 20u);
@@ -371,6 +470,38 @@ TEST(ServeService, SameSeedIsBitIdenticalUnderAnyWorkerCount) {
   config.seed = 43;
   ScoringService other(test_epoch(0.3), config);
   EXPECT_NE(other.score_all(batch), runs[0]);
+}
+
+TEST(ServeService, BatchedScoresBitIdenticalToUnbatched) {
+  // The tentpole contract: cross-request batching is a pure throughput
+  // optimization. For a fixed (seed, admission order), scores must be
+  // bit-identical for ANY max_batch and ANY worker count — the per-request
+  // fault stream is re-anchored from (seed, seq) at each request boundary
+  // within a tile, so batch composition can never leak into results.
+  const std::vector<trace::FeatureSet> workload = make_workload(24);
+  const auto batch = as_pointers(workload);
+  ServeConfig config;
+  config.seed = 42;
+  config.queue_capacity = 64;
+
+  std::vector<std::vector<std::vector<double>>> runs;
+  const std::pair<std::size_t, std::size_t> shapes[] = {{1, 1}, {1, 16}, {3, 16}, {2, 5}};
+  for (const auto& [workers, max_batch] : shapes) {
+    config.num_workers = workers;
+    config.max_batch = max_batch;
+    ScoringService service(test_epoch(0.3), config);
+    runs.push_back(service.score_all(batch));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0], runs[i]) << "workers=" << shapes[i].first
+                                << " max_batch=" << shapes[i].second;
+  }
+}
+
+TEST(ServeService, RejectsZeroMaxBatch) {
+  ServeConfig config;
+  config.max_batch = 0;
+  EXPECT_THROW(ScoringService(test_epoch(0.1), config), std::invalid_argument);
 }
 
 TEST(ServeService, ConsecutiveRoundsRerollTheBoundary) {
@@ -485,6 +616,11 @@ TEST(ServeService, ExpiredRequestsAreDeadlineMissedNotScored) {
   EXPECT_EQ(snap.deadline_missed, 3u);
   EXPECT_EQ(snap.scored, 0u);
   EXPECT_EQ(snap.in_flight(), 0u);
+  // Missed requests leave their queue-wait in the second histogram (they
+  // waited >= 10ms here), keeping the scored-only latency histogram clean.
+  EXPECT_EQ(snap.missed_wait.total, 3u);
+  EXPECT_GE(snap.missed_wait.p50_ns(), 1e7 / 2);
+  EXPECT_EQ(snap.latency.total, 0u);
 }
 
 TEST(ServeService, CloseRejectsNewWorkAndDrainsAccepted) {

@@ -154,7 +154,7 @@ class FaultCoverageRule final : public Rule {
            "route inference-path products through the active ArithmeticContext (ctx.mul(a, b) "
            "or ctx.dot(w, x, n)); if this product never runs on the undervolted path, annotate "
            "it: // shmd-lint: exact-ok(<why exact arithmetic is sound here>); a span kernel "
-           "the dot()-override heuristic misses takes // shmd-lint: span-kernel(<reason>)"});
+           "the dot()/gemm()-override heuristic misses takes // shmd-lint: span-kernel(<reason>)"});
     }
   }
 
@@ -173,10 +173,11 @@ class FaultCoverageRule final : public Rule {
     return code.size();
   }
 
-  /// Code-index ranges covering the bodies of dot(...) overrides declared
-  /// inside classes that derive from ArithmeticContext. Raw products there
-  /// ARE the sanctioned span kernels — the override contract (arithmetic.hpp)
-  /// already binds them to the per-product fault model, so R1 skips them.
+  /// Code-index ranges covering the bodies of dot(...) and gemm(...)
+  /// overrides declared inside classes that derive from ArithmeticContext.
+  /// Raw products there ARE the sanctioned span kernels — the override
+  /// contract (arithmetic.hpp) already binds them to the per-product fault
+  /// model, so R1 skips them.
   static std::vector<std::pair<std::size_t, std::size_t>> span_kernel_ranges(
       const std::vector<Token>& toks, const std::vector<std::size_t>& code) {
     std::vector<std::pair<std::size_t, std::size_t>> ranges;
@@ -199,10 +200,10 @@ class FaultCoverageRule final : public Rule {
       const std::size_t body_close = match_brace(toks, code, body_open);
       for (std::size_t j = body_open + 1; j + 1 < body_close && j + 1 < code.size(); ++j) {
         const Token& m = toks[code[j]];
-        if (m.kind != TokenKind::kIdentifier || m.text != "dot") continue;
+        if (m.kind != TokenKind::kIdentifier || (m.text != "dot" && m.text != "gemm")) continue;
         if (toks[code[j + 1]].kind != TokenKind::kPunct || toks[code[j + 1]].text != "(") continue;
-        // Member named dot: require `override` between the parameter list
-        // and the function body to count it as a span kernel.
+        // Member named dot/gemm: require `override` between the parameter
+        // list and the function body to count it as a span kernel.
         bool is_override = false;
         std::size_t fn_open = body_close;
         for (std::size_t k = j + 2; k < body_close; ++k) {
