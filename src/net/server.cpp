@@ -532,7 +532,7 @@ void NetServer::score_complete_hook(void* arg) noexcept {
   server->hooks_in_flight_.fetch_add(1, std::memory_order_acq_rel);
   const std::uint64_t key = pending->key;
   {
-    const std::lock_guard lock(server->completed_mu_);
+    const util::MutexLock lock(server->completed_mu_);
     server->completed_.push_back(key);
   }
   server->wake();
@@ -542,7 +542,7 @@ void NetServer::score_complete_hook(void* arg) noexcept {
 void NetServer::drain_completions() {
   std::vector<std::uint64_t> keys;
   {
-    const std::lock_guard lock(completed_mu_);
+    const util::MutexLock lock(completed_mu_);
     keys.swap(completed_);
   }
   for (const std::uint64_t key : keys) {

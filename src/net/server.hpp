@@ -28,7 +28,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +35,8 @@
 #include "net/frame.hpp"
 #include "serve/scoring_service.hpp"
 #include "util/cli.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace shmd::net {
 
@@ -133,8 +134,8 @@ class NetServer {
   std::uint64_t next_pending_key_ = 1;
 
   // Completion mailbox: scoring threads push keys, the reactor drains.
-  std::mutex completed_mu_;
-  std::vector<std::uint64_t> completed_;
+  util::Mutex completed_mu_;
+  std::vector<std::uint64_t> completed_ SHMD_GUARDED_BY(completed_mu_);
   int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] read (reactor), [1] write (hook)
   /// Reserved fd (open /dev/null) released under EMFILE/ENFILE so
   /// handle_accept can accept-and-close instead of busy-spinning on a

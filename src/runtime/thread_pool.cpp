@@ -34,7 +34,7 @@ ThreadPool::ThreadPool(std::size_t n_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     stop_ = true;
   }
   start_cv_.notify_all();
@@ -46,8 +46,8 @@ void ThreadPool::worker_loop(std::size_t id) {
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
     {
-      std::unique_lock lock(mu_);
-      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      const util::MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen) start_cv_.wait(mu_);
       if (stop_) return;
       seen = generation_;
       job = job_;
@@ -55,11 +55,11 @@ void ThreadPool::worker_loop(std::size_t id) {
     try {
       (*job)(id);
     } catch (...) {
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       if (--pending_ == 0) done_cv_.notify_all();
     }
   }
@@ -68,13 +68,13 @@ void ThreadPool::worker_loop(std::size_t id) {
 void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   std::exception_ptr err;
   {
-    std::unique_lock lock(mu_);
+    const util::MutexLock lock(mu_);
     job_ = &fn;
     first_error_ = nullptr;
     pending_ = threads_.size();
     ++generation_;
     start_cv_.notify_all();
-    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    while (pending_ != 0) done_cv_.wait(mu_);
     job_ = nullptr;
     err = std::exchange(first_error_, nullptr);
   }

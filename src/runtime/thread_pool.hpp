@@ -10,14 +10,15 @@
 // detectors' per-item cost is near-uniform, so stealing would buy little.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace shmd::runtime {
 
@@ -63,14 +64,14 @@ class ThreadPool {
   void worker_loop(std::size_t id);
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  std::size_t pending_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_error_;
+  util::Mutex mu_;
+  util::CondVar start_cv_ SHMD_CV_WAITS_ON(mu_);
+  util::CondVar done_cv_ SHMD_CV_WAITS_ON(mu_);
+  const std::function<void(std::size_t)>* job_ SHMD_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t generation_ SHMD_GUARDED_BY(mu_) = 0;
+  std::size_t pending_ SHMD_GUARDED_BY(mu_) = 0;
+  bool stop_ SHMD_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ SHMD_GUARDED_BY(mu_);
 };
 
 }  // namespace shmd::runtime

@@ -21,7 +21,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "faultsim/bit_fault_distribution.hpp"
 #include "hmd/deployment.hpp"
@@ -29,6 +28,8 @@
 #include "hmd/stochastic_hmd.hpp"
 #include "nn/network.hpp"
 #include "trace/dataset.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "volt/volt_fault_model.hpp"
 
 namespace shmd::serve {
@@ -74,12 +75,12 @@ struct DetectorEpoch {
 class EpochSlot {
  public:
   void install(std::shared_ptr<const DetectorEpoch> epoch) {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     epoch_ = std::move(epoch);
   }
 
   [[nodiscard]] std::shared_ptr<const DetectorEpoch> current() const {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     return epoch_;
   }
 
@@ -88,8 +89,8 @@ class EpochSlot {
   // refcount operation (~ns), is immune to the libstdc++ spinlock's TSan
   // blind spots, and keeps the swap semantics obvious. Contention is one
   // load per *request*, not per MAC.
-  mutable std::mutex mu_;
-  std::shared_ptr<const DetectorEpoch> epoch_;
+  mutable util::Mutex mu_;
+  std::shared_ptr<const DetectorEpoch> epoch_ SHMD_GUARDED_BY(mu_);
 };
 
 }  // namespace shmd::serve

@@ -10,7 +10,7 @@ RequestQueue::RequestQueue(std::size_t capacity) : ring_(capacity) {
 
 SubmitStatus RequestQueue::try_push(const Request& request) {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (closed_) return SubmitStatus::kClosed;
     if (count_ == ring_.size()) return SubmitStatus::kShed;
     Request& slot = ring_[(head_ + count_) % ring_.size()];
@@ -24,8 +24,8 @@ SubmitStatus RequestQueue::try_push(const Request& request) {
 
 SubmitStatus RequestQueue::push(const Request& request) {
   {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || count_ < ring_.size(); });
+    const util::MutexLock lock(mu_);
+    while (!closed_ && count_ == ring_.size()) not_full_.wait(mu_);
     if (closed_) return SubmitStatus::kClosed;
     Request& slot = ring_[(head_ + count_) % ring_.size()];
     slot = request;
@@ -38,10 +38,10 @@ SubmitStatus RequestQueue::push(const Request& request) {
 
 bool RequestQueue::pop(Request& out) {
   {
-    std::unique_lock lock(mu_);
+    const util::MutexLock lock(mu_);
     // While paused, consumers sleep even with work queued (so overload is
     // observable); close() overrides pause so shutdown always drains.
-    not_empty_.wait(lock, [&] { return closed_ || (count_ > 0 && !paused_); });
+    while (!closed_ && (count_ == 0 || paused_)) not_empty_.wait(mu_);
     if (count_ == 0) return false;  // closed and drained
     out = ring_[head_];
     head_ = (head_ + 1) % ring_.size();
@@ -54,8 +54,8 @@ bool RequestQueue::pop(Request& out) {
 std::size_t RequestQueue::pop_batch(std::vector<Request>& out, std::size_t max_batch) {
   out.clear();
   {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || (count_ > 0 && !paused_); });
+    const util::MutexLock lock(mu_);
+    while (!closed_ && (count_ == 0 || paused_)) not_empty_.wait(mu_);
     if (count_ == 0) return 0;  // closed and drained
     const std::size_t n = count_ < max_batch ? count_ : max_batch;
     for (std::size_t k = 0; k < n; ++k) {
@@ -72,7 +72,7 @@ std::size_t RequestQueue::pop_batch(std::vector<Request>& out, std::size_t max_b
 
 void RequestQueue::close() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     closed_ = true;
   }
   not_full_.notify_all();
@@ -81,19 +81,19 @@ void RequestQueue::close() {
 
 void RequestQueue::set_paused(bool paused) {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     paused_ = paused;
   }
   not_empty_.notify_all();
 }
 
 bool RequestQueue::closed() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return closed_;
 }
 
 std::size_t RequestQueue::size() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return count_;
 }
 

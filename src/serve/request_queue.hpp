@@ -21,11 +21,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace shmd::trace {
 class FeatureSet;
@@ -100,15 +101,19 @@ class RequestQueue {
   [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
+  mutable util::Mutex mu_;
+  util::CondVar not_full_ SHMD_CV_WAITS_ON(mu_);
+  util::CondVar not_empty_ SHMD_CV_WAITS_ON(mu_);
+  /// The ring buffer itself is sized once in the constructor and never
+  /// reallocated; only its slots are written under the lock. capacity()
+  /// reads the invariant size lock-free.
   std::vector<Request> ring_;
-  std::size_t head_ = 0;   ///< index of the oldest queued request
-  std::size_t count_ = 0;  ///< queued requests
-  std::uint64_t next_seq_ = 0;  ///< admission counter (stamps Request::seq)
-  bool closed_ = false;
-  bool paused_ = false;
+  std::size_t head_ SHMD_GUARDED_BY(mu_) = 0;   ///< index of the oldest queued request
+  std::size_t count_ SHMD_GUARDED_BY(mu_) = 0;  ///< queued requests
+  /// Admission counter (stamps Request::seq).
+  std::uint64_t next_seq_ SHMD_GUARDED_BY(mu_) = 0;
+  bool closed_ SHMD_GUARDED_BY(mu_) = false;
+  bool paused_ SHMD_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace shmd::serve

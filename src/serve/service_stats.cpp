@@ -40,7 +40,7 @@ void ServiceStats::on_scored(std::uint64_t latency_ns, std::uint64_t epoch_id,
                              const faultsim::FaultStats& faults) {
   scored_.fetch_add(1, std::memory_order_relaxed);
   latency_buckets_[bucket_of(latency_ns)].fetch_add(1, std::memory_order_relaxed);
-  const std::lock_guard lock(faults_mu_);
+  const util::MutexLock lock(faults_mu_);
   per_epoch_faults_[epoch_id].merge(faults);
   // Bound the map: a moving-target service re-rolls epochs indefinitely,
   // so without aging this grows (and the serialized Stats payload with
@@ -173,7 +173,7 @@ ServiceStatsSnapshot ServiceStats::snapshot() const {
     snap.missed_wait.total += snap.missed_wait.counts[b];
   }
   {
-    const std::lock_guard lock(faults_mu_);
+    const util::MutexLock lock(faults_mu_);
     snap.per_epoch_faults = per_epoch_faults_;
     snap.folded_faults = folded_faults_;
     snap.folded_epochs = folded_epochs_;

@@ -16,12 +16,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "faultsim/fault_injector.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace shmd::serve {
 
@@ -127,10 +128,11 @@ class ServiceStats {
   std::atomic<std::uint64_t> epoch_swaps_{0};
   std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBuckets> latency_buckets_{};
   std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBuckets> missed_wait_buckets_{};
-  mutable std::mutex faults_mu_;
-  std::map<std::uint64_t, faultsim::FaultStats> per_epoch_faults_;
-  faultsim::FaultStats folded_faults_;  ///< aged-out epochs, aggregated
-  std::uint64_t folded_epochs_ = 0;
+  mutable util::Mutex faults_mu_;
+  std::map<std::uint64_t, faultsim::FaultStats> per_epoch_faults_ SHMD_GUARDED_BY(faults_mu_);
+  /// Aged-out epochs, aggregated.
+  faultsim::FaultStats folded_faults_ SHMD_GUARDED_BY(faults_mu_);
+  std::uint64_t folded_epochs_ SHMD_GUARDED_BY(faults_mu_) = 0;
 };
 
 }  // namespace shmd::serve

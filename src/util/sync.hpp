@@ -1,0 +1,100 @@
+// Annotated synchronization primitives: the project's lockable types.
+//
+// Clang Thread Safety Analysis (thread_annotations.hpp) tracks
+// capabilities only on types that declare them, and libstdc++'s std::mutex
+// does not — a std::lock_guard over a std::mutex is invisible to the
+// analysis, so every GUARDED_BY member would falsely warn. These thin
+// wrappers carry the attributes and delegate everything to the standard
+// primitives, so they cost nothing at runtime (every method is a single
+// inlined forwarding call), stay fully visible to TSan, and make
+// `-Wthread-safety -Werror` a meaningful gate.
+//
+// Idioms the analysis can follow (and the ones it cannot):
+//
+//   MutexLock lock(mu_);                 // scoped acquire, checked
+//   while (!ready_) cv_.wait(mu_);       // explicit wait loop, checked
+//   cv_.wait(lock, [&] { ... });         // NOT offered: a capturing
+//                                        // predicate is analyzed as its
+//                                        // own unannotated function, so
+//                                        // every guarded read inside it
+//                                        // would warn. Write the loop.
+//
+// notify_one/notify_all intentionally take no capability: waking waiters
+// after releasing the mutex is legal (and how most call sites here do it).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace shmd::util {
+
+/// std::mutex with capability annotations. Satisfies Lockable, so generic
+/// code (std::lock_guard) still works — but prefer MutexLock, which the
+/// analysis checks.
+class SHMD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SHMD_ACQUIRE() { mu_.lock(); }
+  void unlock() SHMD_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() SHMD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Underlying std::mutex — for CondVar's adopt-lock bridge only. Not
+  /// annotated: going through native() bypasses the analysis.
+  [[nodiscard]] std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over a Mutex (the annotated std::lock_guard). Acquires on
+/// construction, releases on destruction; the analysis verifies both ends.
+class SHMD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SHMD_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SHMD_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable whose wait() states its mutex contract in the
+/// signature: wait(mu) requires mu held, releases it while sleeping, and
+/// re-acquires before returning — the net effect the analysis needs (held
+/// at entry, held at exit) expressed with SHMD_REQUIRES. Callers write the
+/// standard explicit loop:
+///
+///   MutexLock lock(mu_);
+///   while (!condition) cv_.wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, sleep until notified, re-acquire `mu`.
+  /// Spurious wakeups happen; always wait in a predicate loop.
+  void wait(Mutex& mu) SHMD_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the std::condition_variable
+    // protocol, then release the unique_lock's ownership claim so the
+    // MutexLock at the call site keeps sole responsibility for unlocking.
+    std::unique_lock<std::mutex> native_lock(mu.native(), std::adopt_lock);
+    cv_.wait(native_lock);
+    (void)native_lock.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace shmd::util

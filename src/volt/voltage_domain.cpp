@@ -12,12 +12,16 @@ std::uint64_t VoltageDomain::acquire_exclusive() {
   if (token_.has_value()) {
     throw VoltageControlError("voltage rail is already under exclusive control");
   }
-  token_ = ++next_token_;
-  return *token_;
+  const std::uint64_t token = ++next_token_;
+  token_ = token;
+  return token;
 }
 
 void VoltageDomain::release_exclusive(std::uint64_t token) {
-  if (!token_.has_value() || *token_ != token) {
+  // optional<uint64_t> != uint64_t is false for an empty optional, so this
+  // one comparison covers both "not under exclusive control" and "wrong
+  // token" — and never dereferences the optional.
+  if (token_ != token) {
     throw VoltageControlError("release_exclusive: wrong control token");
   }
   token_.reset();

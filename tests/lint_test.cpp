@@ -22,6 +22,11 @@ std::vector<Diagnostic> lint(const std::string& path, const std::string& content
   return Linter{}.lint_source(path, content);
 }
 
+/// Lint a set of fixtures as one project (per-file + cross-file rules).
+std::vector<Diagnostic> lint_project(std::vector<RawSource> sources, std::size_t jobs = 1) {
+  return Linter{}.lint_project(std::move(sources), jobs);
+}
+
 /// Lines (1-based) on which a diagnostic with `rule_id` fires.
 std::vector<int> lines_of(const std::vector<Diagnostic>& diags, const std::string& rule_id) {
   std::vector<int> lines;
@@ -395,6 +400,235 @@ TEST(LintR5, HarnessTreesAreOutOfScope) {
   EXPECT_EQ(lines_of(lint("src/runtime/fixture.cpp", fixture), "R5"), (std::vector<int>{1}));
 }
 
+// ------------------------------------------------------- R6 lock discipline
+
+TEST(LintR6, RawStdSyncPrimitivesAreFlagged) {
+  const std::string fixture =
+      "#pragma once\n"
+      "#include <mutex>\n"
+      "class Foo {\n"
+      "  void f() { const std::lock_guard lock(mu_); }\n"  // line 4
+      "  std::mutex mu_;\n"                                // line 5
+      "  std::condition_variable cv_;\n"                   // line 6
+      "};\n";
+  EXPECT_EQ(lines_of(lint("src/serve/fixture.hpp", fixture), "R6"), (std::vector<int>{4, 5, 6}));
+  EXPECT_TRUE(lines_of(lint("src/volt/fixture.hpp", fixture), "R6").empty())
+      << "R6 scopes to the concurrent layers (serve/net/runtime) only";
+}
+
+TEST(LintR6, UnguardedMutexIsFlaggedAndAnnotatedOneIsClean) {
+  const std::string unguarded =
+      "#pragma once\n"
+      "#include \"util/sync.hpp\"\n"
+      "class Foo {\n"
+      "  util::Mutex mu_;\n"  // line 4: guards nothing annotated
+      "  int count_ = 0;\n"
+      "};\n";
+  EXPECT_EQ(lines_of(lint("src/runtime/fixture.hpp", unguarded), "R6"), (std::vector<int>{4}));
+
+  const std::string guarded =
+      "#pragma once\n"
+      "#include \"util/sync.hpp\"\n"
+      "#include \"util/thread_annotations.hpp\"\n"
+      "class Foo {\n"
+      "  util::Mutex mu_;\n"
+      "  int count_ SHMD_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_TRUE(lint("src/runtime/fixture.hpp", guarded).empty());
+}
+
+TEST(LintR6, CondVarMustDeclareItsMutex) {
+  const std::string unpaired =
+      "#pragma once\n"
+      "#include \"util/sync.hpp\"\n"
+      "class Foo {\n"
+      "  util::Mutex mu_;\n"
+      "  util::CondVar cv_;\n"  // line 5: which mutex does it wait on?
+      "  int n_ SHMD_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_EQ(lines_of(lint("src/serve/fixture.hpp", unpaired), "R6"), (std::vector<int>{5}));
+
+  const std::string paired =
+      "#pragma once\n"
+      "#include \"util/sync.hpp\"\n"
+      "#include \"util/thread_annotations.hpp\"\n"
+      "class Foo {\n"
+      "  util::Mutex mu_;\n"
+      "  util::CondVar cv_ SHMD_CV_WAITS_ON(mu_);\n"
+      "  int n_ SHMD_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_TRUE(lint("src/serve/fixture.hpp", paired).empty());
+}
+
+TEST(LintR6, LockFreeTagSuppresses) {
+  const std::string fixture =
+      "#pragma once\n"
+      "#include \"util/sync.hpp\"\n"
+      "class Foo {\n"
+      "  util::Mutex mu_;  // shmd-lint: lock-free(serializes an external resource, no state)\n"
+      "};\n";
+  EXPECT_TRUE(lint("src/net/fixture.hpp", fixture).empty());
+}
+
+// ---------------------------------------------- R7 atomic ordering (project)
+
+TEST(LintR7, CrossFileAtomicMemberUseIsChecked) {
+  // The member is declared in the header; the defaulted-order call sits in
+  // the .cpp — only the whole-project registry can connect the two.
+  const std::string header =
+      "#pragma once\n"
+      "#include <atomic>\n"
+      "class Stats {\n"
+      " public:\n"
+      "  std::uint64_t read() const;\n"
+      "  std::atomic<std::uint64_t> hits_{0};\n"
+      "};\n";
+  const std::string bad_cpp =
+      "#include \"serve/stats.hpp\"\n"
+      "std::uint64_t Stats::read() const {\n"
+      "  return hits_.load();\n"  // line 3: implicit seq_cst
+      "}\n";
+  const auto diags = lint_project({{"src/serve/stats.hpp", header}, {"src/serve/stats.cpp", bad_cpp}});
+  EXPECT_EQ(lines_of(diags, "R7"), (std::vector<int>{3}));
+
+  const std::string good_cpp =
+      "#include \"serve/stats.hpp\"\n"
+      "std::uint64_t Stats::read() const {\n"
+      "  return hits_.load(std::memory_order_relaxed);\n"
+      "}\n";
+  EXPECT_TRUE(
+      lint_project({{"src/serve/stats.hpp", header}, {"src/serve/stats.cpp", good_cpp}}).empty());
+}
+
+TEST(LintR7, UnambiguousAtomicMethodsNeedNoRegistry) {
+  const std::string fixture =
+      "void f(Counter& c) {\n"
+      "  c.count.fetch_add(1);\n"  // line 2: only atomics have fetch_add
+      "  c.count.fetch_add(1, std::memory_order_relaxed);\n"
+      "}\n";
+  EXPECT_EQ(lines_of(lint_project({{"src/util/fixture.cpp", fixture}}), "R7"),
+            (std::vector<int>{2}));
+}
+
+TEST(LintR7, SubscriptedAtomicArrayReceiverIsResolved) {
+  const std::string fixture =
+      "#include <atomic>\n"
+      "struct H {\n"
+      "  std::array<std::atomic<std::uint64_t>, 8> buckets_{};\n"
+      "  void hit(std::size_t b) { buckets_[b].store(1); }\n"  // line 4
+      "};\n";
+  EXPECT_EQ(lines_of(lint_project({{"src/serve/fixture.hpp", "#pragma once\n" + fixture}}), "R7"),
+            (std::vector<int>{5}));
+}
+
+TEST(LintR7, NonAtomicLoadAndFreeExchangeAreNotFlagged) {
+  const std::string fixture =
+      "#include <utility>\n"
+      "void f(Network& net, int& err) {\n"
+      "  net.load(\"weights.bin\");\n"          // Network::load is file I/O
+      "  auto e = std::exchange(err, 0);\n"     // free function, not atomic
+      "  (void)e;\n"
+      "}\n";
+  EXPECT_TRUE(lint_project({{"src/nn/fixture.cpp", fixture}}).empty());
+}
+
+TEST(LintR7, SeqCstOkTagSuppresses) {
+  const std::string fixture =
+      "#include <atomic>\n"
+      "struct F {\n"
+      "  std::atomic<bool> ready_{false};\n"
+      "  // shmd-lint: seq-cst-ok(publication must order with every prior write)\n"
+      "  void go() { ready_.store(true); }\n"
+      "};\n";
+  EXPECT_TRUE(lint_project({{"src/serve/fixture.hpp", "#pragma once\n" + fixture}}).empty());
+}
+
+// ------------------------------------------------------ R8 determinism taint
+
+TEST(LintR8, ClocksAndThreadStateAreFlaggedInPureLayers) {
+  const std::string fixture =
+      "#include <chrono>\n"
+      "#include <thread>\n"
+      "double jitter() {\n"
+      "  auto t = std::chrono::steady_clock::now();\n"           // line 4
+      "  auto id = std::this_thread::get_id();\n"                // line 5
+      "  thread_local double scratch = 0.0;\n"                   // line 6
+      "  (void)t; (void)id; return scratch;\n"
+      "}\n";
+  for (const char* path : {"src/nn/fixture.cpp", "src/hmd/fixture.cpp",
+                           "src/faultsim/fixture.cpp", "src/rng/fixture.cpp"}) {
+    EXPECT_EQ(lines_of(lint(path, fixture), "R8"), (std::vector<int>{4, 5, 6})) << path;
+  }
+  // The serving layers measure latency by design; entropy.* is the one
+  // sanctioned nondeterminism source in rng/.
+  EXPECT_TRUE(lines_of(lint("src/serve/fixture.cpp", fixture), "R8").empty());
+  EXPECT_TRUE(lines_of(lint("src/rng/entropy.cpp", fixture), "R8").empty());
+}
+
+TEST(LintR8, GlobalTimeCallIsFlaggedButTimeNamedVariablesAreNot) {
+  const std::string fixture =
+      "#include <ctime>\n"
+      "double f(double time) {\n"     // a parameter named `time` is fine
+      "  auto t = ::time(nullptr);\n"  // line 3: the libc call is not
+      "  return time + t;\n"
+      "}\n";
+  EXPECT_EQ(lines_of(lint("src/faultsim/fixture.cpp", fixture), "R8"), (std::vector<int>{3}));
+}
+
+TEST(LintR8, DeterminismOkTagSuppresses) {
+  const std::string fixture =
+      "#include <chrono>\n"
+      "// shmd-lint: determinism-ok(debug-build watchdog, compiled out of scoring)\n"
+      "auto deadline() { return std::chrono::steady_clock::now(); }\n";
+  EXPECT_TRUE(lint("src/hmd/fixture.cpp", fixture).empty());
+}
+
+// ------------------------------------------------------- R9 layering (project)
+
+TEST(LintR9, UpwardIncludeViolatesTheDag) {
+  // serve (layer 6) reaching up into net (layer 7) — the DAG-violating
+  // fixture: the scoring plane must never know about the transport.
+  const std::string fixture =
+      "#pragma once\n"
+      "#include \"net/frame.hpp\"\n"  // line 2
+      "#include \"util/cli.hpp\"\n";  // downward: fine
+  EXPECT_EQ(lines_of(lint_project({{"src/serve/fixture.hpp", fixture}}), "R9"),
+            (std::vector<int>{2}));
+}
+
+TEST(LintR9, SameLayerIncludeIsSideways) {
+  // trace and faultsim are both layer 1: mutually independent by design.
+  const std::string fixture =
+      "#pragma once\n"
+      "#include \"faultsim/fault_injector.hpp\"\n";  // line 2
+  EXPECT_EQ(lines_of(lint_project({{"src/trace/fixture.hpp", fixture}}), "R9"),
+            (std::vector<int>{2}));
+}
+
+TEST(LintR9, DownwardIncludesAndUnconstrainedTreesAreClean) {
+  const std::string net_down =
+      "#pragma once\n"
+      "#include \"serve/scoring_service.hpp\"\n"
+      "#include \"util/cli.hpp\"\n";
+  const std::string bench_any =
+      "#include \"net/server.hpp\"\n"
+      "#include \"serve/scoring_service.hpp\"\n";
+  const std::string same_dir =
+      "#pragma once\n"
+      "#include \"serve/epoch.hpp\"\n";
+  EXPECT_TRUE(lint_project({{"src/net/fixture.hpp", net_down},
+                            {"bench/fixture.cpp", bench_any},
+                            {"src/serve/fixture.hpp", same_dir}})
+                  .empty());
+}
+
+TEST(LintR9, LayerOkTagSuppressesOnTheIncludeLine) {
+  const std::string fixture =
+      "#pragma once\n"
+      "#include \"net/frame.hpp\"  // shmd-lint: layer-ok(wire-format reuse, reviewed)\n";
+  EXPECT_TRUE(lint_project({{"src/serve/fixture.hpp", fixture}}).empty());
+}
+
 // ----------------------------------------------------- R0 annotation hygiene
 
 TEST(LintR0, AnnotationWithoutReasonIsMalformed) {
@@ -428,6 +662,22 @@ TEST(LintDriver, EveryRuleListsItsPrimaryTagFirst) {
     ASSERT_FALSE(tags.empty()) << rule->id();
     EXPECT_EQ(tags.front(), rule->suppression_tag()) << rule->id();
   }
+  for (const auto& rule : linter.project_rules()) {
+    const auto tags = rule->suppression_tags();
+    ASSERT_FALSE(tags.empty()) << rule->id();
+    EXPECT_EQ(tags.front(), rule->suppression_tag()) << rule->id();
+  }
+}
+
+TEST(LintDriver, ProjectRuleTagsAreKnownToTheAnnotationChecker) {
+  // A seq-cst-ok annotation in a file is legal even though only the
+  // project pass consumes it — the R0 unknown-tag check must span both
+  // registries.
+  const std::string fixture =
+      "void f() {\n"
+      "  int x = 0;  // shmd-lint: seq-cst-ok(placed for a future atomic)\n"
+      "}\n";
+  EXPECT_TRUE(lines_of(lint("src/util/fixture.cpp", fixture), "R0").empty());
 }
 
 // ------------------------------------------------------------ driver details
@@ -463,7 +713,44 @@ TEST(LintDriver, RegistryShipsAllRulesInIdOrder) {
     EXPECT_FALSE(rule->rationale().empty()) << rule->id();
     EXPECT_FALSE(rule->suppression_tag().empty()) << rule->id();
   }
-  EXPECT_EQ(ids, (std::vector<std::string>{"R1", "R2", "R3", "R4", "R5"}));
+  EXPECT_EQ(ids, (std::vector<std::string>{"R1", "R2", "R3", "R4", "R5", "R6", "R8"}));
+
+  std::vector<std::string> project_ids;
+  for (const auto& rule : linter.project_rules()) {
+    project_ids.emplace_back(rule->id());
+    EXPECT_FALSE(rule->rationale().empty()) << rule->id();
+    EXPECT_FALSE(rule->suppression_tag().empty()) << rule->id();
+  }
+  EXPECT_EQ(project_ids, (std::vector<std::string>{"R7", "R9"}));
+}
+
+TEST(LintDriver, ProjectOutputIsIdenticalAcrossJobCounts) {
+  // The parallel per-file phase must not leak scheduling order into the
+  // output: any --jobs value yields byte-identical diagnostics.
+  std::vector<RawSource> sources;
+  for (int i = 0; i < 12; ++i) {
+    const std::string tag = std::to_string(i);
+    sources.push_back({"src/nn/fix" + tag + ".cpp",
+                       "#include <cstdlib>\n"
+                       "double f" + tag + "(double a, double b) {\n"
+                       "  std::srand(7);\n"
+                       "  return a * b;\n"
+                       "}\n"});
+  }
+  sources.push_back({"src/serve/up.hpp", "#pragma once\n#include \"net/frame.hpp\"\n"});
+  const auto serial = lint_project(sources, 1);
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{4}, std::size_t{0}}) {
+    const auto parallel = lint_project(sources, jobs);
+    ASSERT_EQ(parallel.size(), serial.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].file, serial[i].file) << "jobs=" << jobs;
+      EXPECT_EQ(parallel[i].line, serial[i].line) << "jobs=" << jobs;
+      EXPECT_EQ(parallel[i].rule_id, serial[i].rule_id) << "jobs=" << jobs;
+      EXPECT_EQ(parallel[i].message, serial[i].message) << "jobs=" << jobs;
+    }
+  }
+  // And the project sees violations at all: 12 files x (R1 + R2) + one R9.
+  EXPECT_EQ(serial.size(), 25u);
 }
 
 TEST(LintDriver, LexerSurvivesAdversarialInput) {
@@ -483,7 +770,9 @@ TEST(LintDriver, LexerSurvivesAdversarialInput) {
 }
 
 // The shipped tree must lint clean (the same invariant `--target lint`
-// enforces); run it here too so plain ctest catches regressions.
+// enforces); run it here too so plain ctest catches regressions. This is
+// the full project pass — per-file rules plus the cross-file R7/R9 over
+// the real include/declaration graph.
 #ifdef SHMD_LINT_SOURCE_DIR
 TEST(LintDriver, ShippedTreeIsClean) {
   const std::filesystem::path root = SHMD_LINT_SOURCE_DIR;
@@ -495,12 +784,9 @@ TEST(LintDriver, ShippedTreeIsClean) {
     sources.insert(sources.end(), extra.begin(), extra.end());
   }
   const Linter linter;
-  std::vector<Diagnostic> all;
-  for (const auto& file : sources) {
-    const auto diags = linter.lint_file(file, root);
-    all.insert(all.end(), diags.begin(), diags.end());
+  for (const auto& d : linter.lint_project_files(sources, root)) {
+    ADD_FAILURE() << format_diagnostic(d);
   }
-  for (const auto& d : all) ADD_FAILURE() << format_diagnostic(d);
 }
 #endif
 

@@ -1,15 +1,28 @@
 #include "shmd-lint/linter.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
-namespace shmd::lint {
+#include "runtime/thread_pool.hpp"
 
-std::vector<Diagnostic> Linter::lint_source(std::string path, std::string content) const {
-  const SourceFile file(std::move(path), std::move(content));
+namespace shmd::lint {
+namespace {
+
+void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return std::tie(a.file, a.line, a.rule_id) < std::tie(b.file, b.line, b.rule_id);
+  });
+}
+
+}  // namespace
+
+std::vector<Diagnostic> Linter::lint_lexed(const SourceFile& file) const {
   std::vector<Diagnostic> out;
 
   for (const std::unique_ptr<Rule>& rule : rules_) {
@@ -30,15 +43,19 @@ std::vector<Diagnostic> Linter::lint_source(std::string path, std::string conten
                    "write // shmd-lint: <tag>(<reason>), e.g. "
                    "// shmd-lint: exact-ok(training-only path)"});
   }
+  // The tag registry spans both rule kinds: a seq-cst-ok annotation is
+  // legal in a file even though only the project pass consumes it.
   std::set<std::string_view> known_tags;
-  std::string valid_tags;  // registry order, so the hint reads R1..R4
-  for (const std::unique_ptr<Rule>& rule : rules_) {
-    for (const std::string_view tag : rule->suppression_tags()) {
+  std::string valid_tags;  // registry order, so the hint reads R1..R9
+  const auto register_tags = [&](const RuleInfo& rule) {
+    for (const std::string_view tag : rule.suppression_tags()) {
       if (!known_tags.insert(tag).second) continue;
       if (!valid_tags.empty()) valid_tags += ", ";
       valid_tags += tag;
     }
-  }
+  };
+  for (const std::unique_ptr<Rule>& rule : rules_) register_tags(*rule);
+  for (const std::unique_ptr<ProjectRule>& rule : project_rules_) register_tags(*rule);
   for (const Suppression& s : file.suppressions()) {
     if (!known_tags.contains(s.tag)) {
       out.push_back({file.path(), s.line, "R0", "unknown suppression tag '" + s.tag + "'",
@@ -50,6 +67,11 @@ std::vector<Diagnostic> Linter::lint_source(std::string path, std::string conten
     return std::tie(a.line, a.rule_id) < std::tie(b.line, b.rule_id);
   });
   return out;
+}
+
+std::vector<Diagnostic> Linter::lint_source(std::string path, std::string content) const {
+  const SourceFile file(std::move(path), std::move(content));
+  return lint_lexed(file);
 }
 
 std::vector<Diagnostic> Linter::lint_file(const std::filesystem::path& file,
@@ -64,6 +86,101 @@ std::vector<Diagnostic> Linter::lint_file(const std::filesystem::path& file,
   std::ostringstream buf;
   buf << in.rdbuf();
   return lint_source(rel.generic_string(), std::move(buf).str());
+}
+
+void Linter::run_project_rules(const std::vector<SourceFile>& files,
+                               std::vector<Diagnostic>& out) const {
+  for (const std::unique_ptr<ProjectRule>& rule : project_rules_) {
+    std::vector<Diagnostic> found;
+    rule->check_project(files, found);
+    const std::vector<std::string_view> tags = rule->suppression_tags();
+    for (Diagnostic& diag : found) {
+      const SourceFile* origin = nullptr;
+      for (const SourceFile& f : files) {
+        if (f.path() == diag.file) {
+          origin = &f;
+          break;
+        }
+      }
+      const bool covered =
+          origin != nullptr && std::any_of(tags.begin(), tags.end(), [&](std::string_view tag) {
+            return origin->suppressed(diag.line, tag);
+          });
+      if (!covered) out.push_back(std::move(diag));
+    }
+  }
+}
+
+std::vector<Diagnostic> Linter::lint_project(std::vector<RawSource> sources,
+                                             std::size_t jobs) const {
+  const std::size_t n = sources.size();
+  // Slot-indexed storage keeps the merge deterministic: worker threads
+  // race only over *which* slot they fill, never over its position.
+  std::vector<std::unique_ptr<SourceFile>> files(n);
+  std::vector<std::vector<Diagnostic>> per_file(n);
+
+  const auto lint_slot = [&](std::size_t i) {
+    files[i] =
+        std::make_unique<SourceFile>(std::move(sources[i].path), std::move(sources[i].content));
+    per_file[i] = lint_lexed(*files[i]);
+  };
+
+  const std::size_t workers = std::min(runtime::resolve_workers(jobs), std::max<std::size_t>(n, 1));
+  if (workers <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) lint_slot(i);
+  } else {
+    // Dynamic slot claiming: files vary wildly in size, so a static
+    // partition would leave workers idle behind whoever drew server.cpp.
+    std::atomic<std::size_t> next{0};
+    runtime::ThreadPool pool(workers);
+    pool.run([&](std::size_t) {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        lint_slot(i);
+      }
+    });
+  }
+
+  std::vector<Diagnostic> out;
+  for (std::vector<Diagnostic>& diags : per_file) {
+    out.insert(out.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+
+  std::vector<SourceFile> lexed;
+  lexed.reserve(n);
+  for (std::unique_ptr<SourceFile>& f : files) lexed.push_back(std::move(*f));
+  run_project_rules(lexed, out);
+
+  sort_diagnostics(out);
+  return out;
+}
+
+std::vector<Diagnostic> Linter::lint_project_files(const std::vector<std::filesystem::path>& files,
+                                                   const std::filesystem::path& repo_root,
+                                                   std::size_t jobs) const {
+  std::vector<RawSource> sources;
+  sources.reserve(files.size());
+  std::vector<Diagnostic> io_errors;
+  for (const std::filesystem::path& file : files) {
+    std::error_code ec;
+    std::filesystem::path rel = std::filesystem::relative(file, repo_root, ec);
+    if (ec || rel.empty()) rel = file;
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      io_errors.push_back(
+          {rel.generic_string(), 0, "IO", "cannot read file", "check the path and permissions"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    sources.push_back({rel.generic_string(), std::move(buf).str()});
+  }
+  std::vector<Diagnostic> out = lint_project(std::move(sources), jobs);
+  out.insert(out.end(), std::make_move_iterator(io_errors.begin()),
+             std::make_move_iterator(io_errors.end()));
+  sort_diagnostics(out);
+  return out;
 }
 
 std::vector<std::filesystem::path> collect_sources(const std::filesystem::path& path) {

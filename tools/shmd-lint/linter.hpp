@@ -5,8 +5,17 @@
 // matching `// shmd-lint: <tag>(<reason>)` annotation covers, and adds R0
 // diagnostics for malformed annotations and for tags no rule owns. Split
 // from main.cpp so tests/lint_test.cpp can lint in-memory fixtures.
+//
+// Two entry points:
+//   * lint_source/lint_file — one translation unit, per-file rules only.
+//   * lint_project — the whole file set at once: per-file rules run in
+//     parallel across worker threads (output independent of the thread
+//     count — results are merged in slot order), then the cross-file
+//     rules (R7 atomic-ordering, R9 layering) run serially over the
+//     lexed project.
 #pragma once
 
+#include <cstddef>
 #include <filesystem>
 #include <string>
 #include <string_view>
@@ -16,12 +25,20 @@
 
 namespace shmd::lint {
 
+/// One unread source handed to lint_project: repo-relative path (forward
+/// slashes) plus its content. Lexing happens inside the parallel phase.
+struct RawSource {
+  std::string path;
+  std::string content;
+};
+
 class Linter {
  public:
-  Linter() : rules_(default_rules()) {}
+  Linter() : rules_(default_rules()), project_rules_(default_project_rules()) {}
 
   /// Lint one in-memory source. `path` must be repo-relative with forward
-  /// slashes (e.g. "src/nn/network.cpp") — rules scope on it.
+  /// slashes (e.g. "src/nn/network.cpp") — rules scope on it. Per-file
+  /// rules only; the cross-file rules need lint_project.
   [[nodiscard]] std::vector<Diagnostic> lint_source(std::string path, std::string content) const;
 
   /// Lint a file on disk; `repo_root` anchors the repo-relative path.
@@ -29,10 +46,32 @@ class Linter {
   [[nodiscard]] std::vector<Diagnostic> lint_file(const std::filesystem::path& file,
                                                   const std::filesystem::path& repo_root) const;
 
+  /// Lint `sources` as one project: parallel per-file phase (`jobs`
+  /// workers; 0 = all cores), then the serial cross-file phase.
+  /// Diagnostics are sorted by (file, line, rule) regardless of `jobs`.
+  [[nodiscard]] std::vector<Diagnostic> lint_project(std::vector<RawSource> sources,
+                                                     std::size_t jobs = 0) const;
+
+  /// Read `files` from disk and lint them as one project. Unreadable
+  /// files yield an "IO" diagnostic, like lint_file.
+  [[nodiscard]] std::vector<Diagnostic> lint_project_files(
+      const std::vector<std::filesystem::path>& files, const std::filesystem::path& repo_root,
+      std::size_t jobs = 0) const;
+
   [[nodiscard]] const std::vector<std::unique_ptr<Rule>>& rules() const noexcept { return rules_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<ProjectRule>>& project_rules() const noexcept {
+    return project_rules_;
+  }
 
  private:
+  /// Per-file rules + R0 annotation checks on an already-lexed file.
+  [[nodiscard]] std::vector<Diagnostic> lint_lexed(const SourceFile& file) const;
+  /// Run the project rules over `files` and drop suppressed diagnostics.
+  void run_project_rules(const std::vector<SourceFile>& files,
+                         std::vector<Diagnostic>& out) const;
+
   std::vector<std::unique_ptr<Rule>> rules_;
+  std::vector<std::unique_ptr<ProjectRule>> project_rules_;
 };
 
 /// Recursively collect the .cpp/.hpp files under `path` (or `path` itself

@@ -1,14 +1,22 @@
 // shmd-lint CLI.
 //
-//   shmd-lint [--root <repo-root>] [--list-rules] [path...]
+//   shmd-lint [--root <repo-root>] [--jobs <n>] [--list-rules] [path...]
 //
 // Paths default to "src", "bench" and "examples" under the root (each
 // rule still decides which trees it applies to); directories are scanned
-// recursively for .cpp/.hpp. Exit status: 0 clean, 1 violations found,
+// recursively for .cpp/.hpp. The whole file set is linted as ONE project:
+// per-file rules run across --jobs worker threads (0 = all cores, the
+// default) and the cross-file rules (R7 atomic-ordering, R9 layering)
+// run over the combined include/declaration graph, so the output is
+// identical for any job count. A per-rule diagnostic count table goes to
+// stderr after the scan. Exit status: 0 clean, 1 violations found,
 // 2 usage or I/O error. Wired into the build as `cmake --build build
 // --target lint` and into CI as the `lint` job.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,15 +27,29 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--root <repo-root>] [--list-rules] [path...]\n"
+               "usage: %s [--root <repo-root>] [--jobs <n>] [--list-rules] [path...]\n"
                "  Scans .cpp/.hpp files for Stochastic-HMD project-invariant violations.\n"
-               "  Paths are resolved against --root (default: current directory).\n",
+               "  Paths are resolved against --root (default: current directory).\n"
+               "  --jobs 0 (default) uses every hardware thread for the per-file phase.\n",
                argv0);
   return 2;
 }
 
+/// Both registries merged and ordered by id, for --list-rules and the
+/// count table.
+std::vector<const shmd::lint::RuleInfo*> all_rules(const shmd::lint::Linter& linter) {
+  std::vector<const shmd::lint::RuleInfo*> rules;
+  for (const auto& rule : linter.rules()) rules.push_back(rule.get());
+  for (const auto& rule : linter.project_rules()) rules.push_back(rule.get());
+  std::sort(rules.begin(), rules.end(),
+            [](const shmd::lint::RuleInfo* a, const shmd::lint::RuleInfo* b) {
+              return a->id() < b->id();
+            });
+  return rules;
+}
+
 void list_rules(const shmd::lint::Linter& linter) {
-  for (const auto& rule : linter.rules()) {
+  for (const shmd::lint::RuleInfo* rule : all_rules(linter)) {
     std::string tags;
     for (const std::string_view tag : rule->suppression_tags()) {
       if (!tags.empty()) tags += " or ";
@@ -43,18 +65,40 @@ void list_rules(const shmd::lint::Linter& linter) {
               "    suppression annotations themselves must be well-formed and carry a reason\n");
 }
 
+/// Per-rule diagnostic counts, every shipped rule listed (zeros included)
+/// so the CI log shows at a glance which invariants fired.
+void print_rule_counts(const shmd::lint::Linter& linter,
+                       const std::vector<shmd::lint::Diagnostic>& diags) {
+  std::map<std::string, std::size_t> counts;
+  for (const shmd::lint::Diagnostic& diag : diags) ++counts[diag.rule_id];
+  std::fprintf(stderr, "shmd-lint: per-rule diagnostics:\n");
+  std::fprintf(stderr, "  R0 %-18s %zu\n", "annotation", counts["R0"]);
+  for (const shmd::lint::RuleInfo* rule : all_rules(linter)) {
+    std::fprintf(stderr, "  %s %-18s %zu\n", std::string(rule->id()).c_str(),
+                 std::string(rule->name()).c_str(), counts[std::string(rule->id())]);
+  }
+  if (counts.contains("IO")) std::fprintf(stderr, "  IO %-18s %zu\n", "unreadable", counts["IO"]);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::filesystem::path root = std::filesystem::current_path();
   std::vector<std::filesystem::path> paths;
   bool want_rule_list = false;
+  std::size_t jobs = 0;  // 0 = all cores
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root") {
       if (++i >= argc) return usage(argv[0]);
       root = argv[i];
+    } else if (arg == "--jobs" || arg == "-j") {
+      if (++i >= argc) return usage(argv[0]);
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0') return usage(argv[0]);
+      jobs = static_cast<std::size_t>(parsed);
     } else if (arg == "--list-rules") {
       want_rule_list = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -78,8 +122,7 @@ int main(int argc, char** argv) {
     paths.emplace_back("examples");
   }
 
-  std::size_t violations = 0;
-  std::size_t files = 0;
+  std::vector<std::filesystem::path> files;
   bool io_error = false;
   for (const std::filesystem::path& raw : paths) {
     const std::filesystem::path base = raw.is_absolute() ? raw : root / raw;
@@ -88,21 +131,24 @@ int main(int argc, char** argv) {
       io_error = true;
       continue;
     }
-    for (const std::filesystem::path& file : shmd::lint::collect_sources(base)) {
-      ++files;
-      for (const shmd::lint::Diagnostic& diag : linter.lint_file(file, root)) {
-        if (diag.rule_id == "IO") io_error = true;
-        ++violations;
-        std::printf("%s\n", shmd::lint::format_diagnostic(diag).c_str());
-      }
+    for (std::filesystem::path& file : shmd::lint::collect_sources(base)) {
+      files.push_back(std::move(file));
     }
   }
 
-  if (violations == 0) {
-    std::fprintf(stderr, "shmd-lint: %zu files clean\n", files);
-  } else {
-    std::fprintf(stderr, "shmd-lint: %zu violation(s) in %zu files scanned\n", violations, files);
+  const std::vector<shmd::lint::Diagnostic> diags = linter.lint_project_files(files, root, jobs);
+  for (const shmd::lint::Diagnostic& diag : diags) {
+    if (diag.rule_id == "IO") io_error = true;
+    std::printf("%s\n", shmd::lint::format_diagnostic(diag).c_str());
   }
+
+  if (diags.empty()) {
+    std::fprintf(stderr, "shmd-lint: %zu files clean\n", files.size());
+  } else {
+    std::fprintf(stderr, "shmd-lint: %zu violation(s) in %zu files scanned\n", diags.size(),
+                 files.size());
+  }
+  print_rule_counts(linter, diags);
   if (io_error) return 2;
-  return violations == 0 ? 0 : 1;
+  return diags.empty() ? 0 : 1;
 }

@@ -571,6 +571,398 @@ class SocketDisciplineRule final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// R6 — lock discipline
+// ---------------------------------------------------------------------------
+
+class LockDisciplineRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const noexcept override { return "R6"; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "lock-discipline"; }
+  [[nodiscard]] std::string_view suppression_tag() const noexcept override { return "lock-free"; }
+  [[nodiscard]] std::string_view rationale() const noexcept override {
+    return "concurrent layers use the annotated util::Mutex/util::CondVar primitives so Clang "
+           "-Wthread-safety can prove the lock protocol; raw std::mutex is invisible to the "
+           "analysis, and an unannotated guard documents nothing";
+  }
+
+  [[nodiscard]] bool applies(const SourceFile& f) const override {
+    return f.in_dir("src/serve/") || f.in_dir("src/net/") || f.in_dir("src/runtime/");
+  }
+
+  void check(const SourceFile& f, std::vector<Diagnostic>& out) const override {
+    const std::vector<Token>& toks = f.tokens();
+    const std::vector<std::size_t> code = code_indices(toks);
+    check_raw_primitives(f, toks, code, out);
+
+    // Names that appear as an argument of any SHMD_* thread-safety macro
+    // anywhere in this file — the set of mutexes something is annotated
+    // against.
+    std::set<std::string_view> annotated_against;
+    for (std::size_t ci = 0; ci < code.size(); ++ci) {
+      const Token& tok = toks[code[ci]];
+      if (tok.kind != TokenKind::kIdentifier || !tok.text.starts_with("SHMD_")) continue;
+      if (ci + 1 >= code.size() || toks[code[ci + 1]].text != "(") continue;
+      int depth = 0;
+      for (std::size_t j = ci + 1; j < code.size(); ++j) {
+        const Token& a = toks[code[j]];
+        if (a.kind == TokenKind::kPunct && a.text == "(") ++depth;
+        if (a.kind == TokenKind::kPunct && a.text == ")" && --depth == 0) break;
+        if (a.kind == TokenKind::kIdentifier) annotated_against.insert(a.text);
+      }
+    }
+
+    for (std::size_t ci = 0; ci + 1 < code.size(); ++ci) {
+      const Token& tok = toks[code[ci]];
+      if (tok.kind != TokenKind::kIdentifier) continue;
+      const Token& next = toks[code[ci + 1]];
+      if (next.kind != TokenKind::kIdentifier) continue;  // `Mutex&` params etc.
+      if (tok.text == "Mutex" && is_declaration(toks, code, ci + 1)) {
+        // A mutex that guards nothing annotated is either dead or hiding
+        // its protocol from the analysis.
+        if (!annotated_against.contains(next.text)) {
+          out.push_back({f.path(), next.line, std::string(id()),
+                         "mutex '" + next.text + "' guards no annotated state",
+                         "annotate the members it protects with SHMD_GUARDED_BY(" + next.text +
+                             ") (and condition variables with SHMD_CV_WAITS_ON(" + next.text +
+                             ")); a mutex that intentionally guards no member takes "
+                             "// shmd-lint: lock-free(<reason>)"});
+        }
+      } else if (tok.text == "CondVar" && is_declaration(toks, code, ci + 1)) {
+        // The declaration (through `;`) must name the mutex the CV waits
+        // on — CVs have no Clang TSA model, so this marker is the only
+        // machine-visible record of the pairing.
+        bool paired = false;
+        for (std::size_t j = ci + 2; j < code.size(); ++j) {
+          const Token& d = toks[code[j]];
+          if (d.kind == TokenKind::kPunct && (d.text == ";" || d.text == "{")) break;
+          if (d.kind == TokenKind::kIdentifier &&
+              (d.text == "SHMD_CV_WAITS_ON" || d.text == "SHMD_GUARDED_BY")) {
+            paired = true;
+            break;
+          }
+        }
+        if (!paired) {
+          out.push_back({f.path(), next.line, std::string(id()),
+                         "condition variable '" + next.text + "' does not declare its mutex",
+                         "append SHMD_CV_WAITS_ON(<mutex>) to the declaration so the wait "
+                         "protocol is machine-readable; a deliberate exception takes "
+                         "// shmd-lint: lock-free(<reason>)"});
+        }
+      }
+    }
+  }
+
+ private:
+  /// True when code[name_index] looks like a declared entity name: the
+  /// token after it is `;`, `{` (brace init), or an SHMD_* annotation.
+  static bool is_declaration(const std::vector<Token>& toks, const std::vector<std::size_t>& code,
+                             std::size_t name_index) {
+    if (name_index + 1 >= code.size()) return false;
+    const Token& after = toks[code[name_index + 1]];
+    if (after.kind == TokenKind::kPunct && (after.text == ";" || after.text == "{")) return true;
+    return after.kind == TokenKind::kIdentifier && after.text.starts_with("SHMD_");
+  }
+
+  static void check_raw_primitives(const SourceFile& f, const std::vector<Token>& toks,
+                                   const std::vector<std::size_t>& code,
+                                   std::vector<Diagnostic>& out) {
+    // std primitives invisible to thread-safety analysis, with the
+    // annotated replacement to name in the hint.
+    static const std::set<std::string_view> kRawMutex = {
+        "mutex", "timed_mutex", "recursive_mutex", "recursive_timed_mutex", "shared_mutex",
+        "shared_timed_mutex"};
+    static const std::set<std::string_view> kRawCv = {"condition_variable",
+                                                      "condition_variable_any"};
+    static const std::set<std::string_view> kRawLock = {"lock_guard", "unique_lock", "scoped_lock",
+                                                        "shared_lock"};
+    for (const std::size_t i : code) {
+      const Token& tok = toks[i];
+      if (tok.kind != TokenKind::kIdentifier) continue;
+      std::string replacement;
+      if (kRawMutex.contains(tok.text)) {
+        replacement = "util::Mutex";
+      } else if (kRawCv.contains(tok.text)) {
+        replacement = "util::CondVar";
+      } else if (kRawLock.contains(tok.text)) {
+        replacement = "util::MutexLock";
+      } else {
+        continue;
+      }
+      out.push_back({f.path(), tok.line, "R6",
+                     "raw std::" + tok.text + " is invisible to thread-safety analysis",
+                     "use " + replacement + " (util/sync.hpp) so Clang -Wthread-safety can see "
+                     "the acquire/release protocol; a deliberate exception takes "
+                     "// shmd-lint: lock-free(<reason>)"});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// R8 — determinism taint
+// ---------------------------------------------------------------------------
+
+class DeterminismTaintRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const noexcept override { return "R8"; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "determinism-taint"; }
+  [[nodiscard]] std::string_view suppression_tag() const noexcept override {
+    return "determinism-ok";
+  }
+  [[nodiscard]] std::string_view rationale() const noexcept override {
+    return "the pure scoring layers must be replayable bit-for-bit from (seed, input): a wall "
+           "clock, thread id, or thread_local read makes the verdict depend on when or where "
+           "it ran, which no test can pin down";
+  }
+
+  [[nodiscard]] bool applies(const SourceFile& f) const override {
+    return (f.in_dir("src/nn/") || f.in_dir("src/hmd/") || f.in_dir("src/faultsim/") ||
+            f.in_dir("src/rng/")) &&
+           !f.in_dir("src/rng/entropy.");
+  }
+
+  void check(const SourceFile& f, std::vector<Diagnostic>& out) const override {
+    static const std::set<std::string_view> kBanned = {
+        "system_clock", "steady_clock", "high_resolution_clock", "clock_gettime", "gettimeofday",
+        "timespec_get", "localtime",    "gmtime",                "mktime",        "get_id",
+        "thread_local"};
+    const std::vector<Token>& toks = f.tokens();
+    const std::vector<std::size_t> code = code_indices(toks);
+    for (std::size_t ci = 0; ci < code.size(); ++ci) {
+      const Token& tok = toks[code[ci]];
+      if (tok.kind != TokenKind::kIdentifier) continue;
+      bool hit = kBanned.contains(tok.text);
+      // `::time(...)` / `std::time(...)` — the bare name is too common
+      // (variables, members) to ban outright.
+      if (!hit && tok.text == "time" && ci > 0 && ci + 1 < code.size()) {
+        hit = toks[code[ci - 1]].text == "::" && toks[code[ci + 1]].text == "(";
+      }
+      if (!hit) continue;
+      out.push_back({f.path(), tok.line, std::string(id()),
+                     "'" + tok.text + "' taints the deterministic scoring path",
+                     "pure layers compute from (seed, input) only — take timestamps or ids as "
+                     "parameters from the runtime/serve layer if needed; a sound exception "
+                     "takes // shmd-lint: determinism-ok(<reason>)"});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// R7 — atomic ordering (whole-project)
+// ---------------------------------------------------------------------------
+
+class AtomicOrderingRule final : public ProjectRule {
+ public:
+  [[nodiscard]] std::string_view id() const noexcept override { return "R7"; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "atomic-ordering"; }
+  [[nodiscard]] std::string_view suppression_tag() const noexcept override { return "seq-cst-ok"; }
+  [[nodiscard]] std::string_view rationale() const noexcept override {
+    return "every atomic operation in src/ names its std::memory_order explicitly: an implicit "
+           "seq_cst is a fence nobody chose and a review burden nobody can discharge; the "
+           "member registry is cross-file so uses in a .cpp of atomics declared in its header "
+           "are still checked";
+  }
+
+  void check_project(const std::vector<SourceFile>& files,
+                     std::vector<Diagnostic>& out) const override {
+    // Pass 1: every std::atomic<...>/std::atomic_flag member or variable
+    // name declared anywhere in the project.
+    std::set<std::string> atomics;
+    for (const SourceFile& f : files) collect_atomic_names(f, atomics);
+
+    // Pass 2: judge the call sites.
+    for (const SourceFile& f : files) {
+      if (!f.in_dir("src/")) continue;
+      check_calls(f, atomics, out);
+    }
+  }
+
+ private:
+  static void collect_atomic_names(const SourceFile& f, std::set<std::string>& atomics) {
+    const std::vector<Token>& toks = f.tokens();
+    const std::vector<std::size_t> code = code_indices(toks);
+    for (std::size_t ci = 0; ci + 1 < code.size(); ++ci) {
+      const Token& tok = toks[code[ci]];
+      if (tok.kind != TokenKind::kIdentifier) continue;
+      if (tok.text == "atomic_flag") {
+        const Token& next = toks[code[ci + 1]];
+        if (next.kind == TokenKind::kIdentifier) atomics.insert(next.text);
+        continue;
+      }
+      if (tok.text != "atomic" || toks[code[ci + 1]].text != "<") continue;
+      // Walk the template argument list. When the angle depth returns to
+      // zero the next token is the declared name — unless the atomic was
+      // itself a template argument (std::array<std::atomic<u64>, N> x),
+      // in which case a `,` or `>` follows and the name comes after the
+      // *enclosing* list closes.
+      int depth = 0;
+      for (std::size_t j = ci + 1; j < code.size(); ++j) {
+        const Token& t = toks[code[j]];
+        if (t.kind == TokenKind::kPunct) {
+          if (t.text == "<") ++depth;
+          if (t.text == ">") --depth;
+          if (t.text == ">>") depth -= 2;
+          if (t.text == ";") break;  // declaration ended without a name we can see
+        }
+        if (depth > 0) continue;
+        if (j + 1 >= code.size()) break;
+        const Token& next = toks[code[j + 1]];
+        if (next.kind == TokenKind::kIdentifier) {
+          atomics.insert(next.text);
+          break;
+        }
+        if (next.kind == TokenKind::kPunct && (next.text == "," || next.text == ">")) {
+          depth = 1;  // still inside an enclosing template list; keep walking
+          continue;
+        }
+        break;
+      }
+    }
+  }
+
+  static void check_calls(const SourceFile& f, const std::set<std::string>& atomics,
+                          std::vector<Diagnostic>& out) {
+    // Methods only an atomic has — checked wherever they are called.
+    static const std::set<std::string_view> kUnambiguous = {
+        "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+        "compare_exchange_weak", "compare_exchange_strong", "test_and_set"};
+    // Methods many types have — checked only when the receiver is a known
+    // atomic member (this is what the cross-file registry buys).
+    static const std::set<std::string_view> kReceiverGated = {"load",  "store", "exchange",
+                                                              "wait",  "test",  "clear"};
+    const std::vector<Token>& toks = f.tokens();
+    const std::vector<std::size_t> code = code_indices(toks);
+    for (std::size_t ci = 1; ci + 1 < code.size(); ++ci) {
+      const Token& tok = toks[code[ci]];
+      if (tok.kind != TokenKind::kIdentifier) continue;
+      const Token& before = toks[code[ci - 1]];
+      if (before.kind != TokenKind::kPunct || (before.text != "." && before.text != "->")) {
+        continue;
+      }
+      if (toks[code[ci + 1]].text != "(") continue;
+      bool check = false;
+      if (kUnambiguous.contains(tok.text)) {
+        check = true;
+      } else if (kReceiverGated.contains(tok.text) && ci >= 2) {
+        const std::string receiver = receiver_name(toks, code, ci - 2);
+        check = atomics.contains(receiver);
+      }
+      if (!check) continue;
+      if (names_memory_order(toks, code, ci + 1)) continue;
+      out.push_back(
+          {f.path(), tok.line, "R7",
+           "atomic '" + tok.text + "' call relies on the implicit seq_cst memory order",
+           "name the ordering explicitly (e.g. std::memory_order_relaxed for counters, "
+           "acquire/release for handoffs); where sequential consistency is genuinely required, "
+           "say so: // shmd-lint: seq-cst-ok(<why>)"});
+    }
+  }
+
+  /// Name of the expression ending at code[end]: an identifier directly,
+  /// or the identifier before a balanced `[...]` subscript
+  /// (latency_buckets_[b].load). Empty when unresolvable.
+  static std::string receiver_name(const std::vector<Token>& toks,
+                                   const std::vector<std::size_t>& code, std::size_t end) {
+    const Token& last = toks[code[end]];
+    if (last.kind == TokenKind::kIdentifier) return last.text;
+    if (last.kind == TokenKind::kPunct && last.text == "]") {
+      int depth = 0;
+      for (std::size_t j = end;; --j) {
+        const Token& t = toks[code[j]];
+        if (t.kind == TokenKind::kPunct && t.text == "]") ++depth;
+        if (t.kind == TokenKind::kPunct && t.text == "[" && --depth == 0) {
+          if (j == 0) return {};
+          const Token& base = toks[code[j - 1]];
+          return base.kind == TokenKind::kIdentifier ? base.text : std::string{};
+        }
+        if (j == 0) break;
+      }
+    }
+    return {};
+  }
+
+  /// True when the balanced argument list opening at code[open_paren]
+  /// contains an identifier naming a std::memory_order constant.
+  static bool names_memory_order(const std::vector<Token>& toks,
+                                 const std::vector<std::size_t>& code, std::size_t open_paren) {
+    int depth = 0;
+    for (std::size_t j = open_paren; j < code.size(); ++j) {
+      const Token& t = toks[code[j]];
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(") ++depth;
+        if (t.text == ")" && --depth == 0) return false;
+      }
+      if (t.kind == TokenKind::kIdentifier && t.text.starts_with("memory_order")) return true;
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// R9 — layering (whole-project)
+// ---------------------------------------------------------------------------
+
+class LayeringRule final : public ProjectRule {
+ public:
+  [[nodiscard]] std::string_view id() const noexcept override { return "R9"; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "layering"; }
+  [[nodiscard]] std::string_view suppression_tag() const noexcept override { return "layer-ok"; }
+  [[nodiscard]] std::string_view rationale() const noexcept override {
+    return "cross-directory includes must descend the layer DAG (util/rng at the bottom, net "
+           "at the top): an upward or sideways include couples a pure layer to a concurrent "
+           "or transport one and the determinism contract stops being auditable";
+  }
+
+  /// Directory layers. An include from A to B (A != B) is legal iff
+  /// layer(A) > layer(B) — strictly, so same-layer directories stay
+  /// mutually independent. Directories not listed (and files outside
+  /// src/: bench, examples, tools, tests) are unconstrained consumers.
+  static constexpr std::pair<std::string_view, int> kLayers[] = {
+      {"util", 0}, {"rng", 0},     {"trace", 1},   {"faultsim", 1}, {"volt", 1},
+      {"nn", 2},   {"eval", 3},    {"sys", 3},     {"hmd", 4},      {"attack", 5},
+      {"runtime", 5}, {"serve", 6}, {"net", 7},
+  };
+
+  static int layer_of(std::string_view dir) {
+    for (const auto& [name, layer] : kLayers) {
+      if (name == dir) return layer;
+    }
+    return -1;
+  }
+
+  void check_project(const std::vector<SourceFile>& files,
+                     std::vector<Diagnostic>& out) const override {
+    for (const SourceFile& f : files) {
+      if (!f.in_dir("src/")) continue;
+      const std::string_view path = f.path();
+      const std::size_t dir_end = path.find('/', 4);
+      if (dir_end == std::string_view::npos) continue;  // src/shmd.hpp: umbrella, unconstrained
+      const std::string_view from_dir = path.substr(4, dir_end - 4);
+      const int from_layer = layer_of(from_dir);
+      if (from_layer < 0) continue;
+      for (const Token& tok : f.tokens()) {
+        if (tok.kind != TokenKind::kDirective) continue;
+        const std::optional<IncludeLine> inc = parse_include(tok);
+        if (!inc) continue;
+        const std::size_t slash = inc->path.find('/');
+        if (slash == std::string::npos) continue;  // system or local header
+        const std::string_view to_dir = std::string_view(inc->path).substr(0, slash);
+        if (to_dir == from_dir) continue;
+        const int to_layer = layer_of(to_dir);
+        if (to_layer < 0 || from_layer > to_layer) continue;
+        out.push_back(
+            {f.path(), inc->line, "R9",
+             "layering violation: src/" + std::string(from_dir) + "/ (layer " +
+                 std::to_string(from_layer) + ") includes \"" + inc->path + "\" (layer " +
+                 std::to_string(to_layer) + ")",
+             "the layer DAG descends net > serve > runtime/attack > hmd > eval/sys > nn > "
+             "trace/faultsim/volt > util/rng; move the shared piece down a layer or invert the "
+             "dependency; a deliberate exception takes // shmd-lint: layer-ok(<reason>)"});
+      }
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> default_rules() {
@@ -580,6 +972,15 @@ std::vector<std::unique_ptr<Rule>> default_rules() {
   rules.push_back(std::make_unique<StreamHygieneRule>());
   rules.push_back(std::make_unique<HeaderHygieneRule>());
   rules.push_back(std::make_unique<SocketDisciplineRule>());
+  rules.push_back(std::make_unique<LockDisciplineRule>());
+  rules.push_back(std::make_unique<DeterminismTaintRule>());
+  return rules;
+}
+
+std::vector<std::unique_ptr<ProjectRule>> default_project_rules() {
+  std::vector<std::unique_ptr<ProjectRule>> rules;
+  rules.push_back(std::make_unique<AtomicOrderingRule>());
+  rules.push_back(std::make_unique<LayeringRule>());
   return rules;
 }
 
