@@ -8,6 +8,7 @@
 #include "faultsim/fault_injector.hpp"
 #include "hmd/stochastic_hmd.hpp"
 #include "nn/arithmetic.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "nn/network.hpp"
 #include "rng/lgm_prng.hpp"
 #include "rng/trng_sim.hpp"
@@ -196,7 +197,7 @@ void BM_DotFaultySkipAhead(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kDotLen));
 }
-BENCHMARK(BM_DotFaultySkipAhead)->Arg(0)->Arg(10)->Arg(100)->Arg(500);
+BENCHMARK(BM_DotFaultySkipAhead)->Arg(0)->Arg(10)->Arg(50)->Arg(100)->Arg(500);
 
 void BM_DotFaultyScalar(benchmark::State& state) {
   const std::vector<double> w = dot_operand(1);
@@ -208,7 +209,69 @@ void BM_DotFaultyScalar(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kDotLen));
 }
-BENCHMARK(BM_DotFaultyScalar)->Arg(0)->Arg(10)->Arg(100)->Arg(500);
+BENCHMARK(BM_DotFaultyScalar)->Arg(0)->Arg(10)->Arg(50)->Arg(100)->Arg(500);
+
+// --------------------------------------------------- raw kernel tables
+//
+// The dispatched tables themselves, no ArithmeticContext accounting in
+// the loop: BM_DotPortable vs BM_DotAvx2 is the honest SIMD speedup
+// (both obey the same lane-blocked contract, so this is reblocking-free
+// apples-to-apples), and BM_GemmKernel* shows the 4-row weight-reuse
+// payoff on a model-shaped (rows x 1024) x (1024 -> 32) tile.
+
+void bench_kernel_dot(benchmark::State& state, const nn::kernels::KernelTable* kt) {
+  if (kt == nullptr) {
+    state.SkipWithError("kernel table not runnable on this host");
+    return;
+  }
+  const std::vector<double> w = dot_operand(1);
+  const std::vector<double> x = dot_operand(2);
+  for (auto _ : state) benchmark::DoNotOptimize(kt->dot(w.data(), x.data(), kDotLen));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kDotLen));
+}
+
+void BM_DotPortable(benchmark::State& state) {
+  bench_kernel_dot(state, &nn::kernels::portable_table());
+}
+BENCHMARK(BM_DotPortable);
+
+void BM_DotAvx2(benchmark::State& state) {
+  bench_kernel_dot(state, nn::kernels::avx2_if_supported());
+}
+BENCHMARK(BM_DotAvx2);
+
+void bench_kernel_gemm(benchmark::State& state, const nn::kernels::KernelTable* kt) {
+  if (kt == nullptr) {
+    state.SkipWithError("kernel table not runnable on this host");
+    return;
+  }
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kIn = kDotLen;
+  constexpr std::size_t kOut = 32;
+  rng::Xoshiro256ss gen(9);
+  std::vector<double> w(kOut * kIn), bias(kOut), x(rows * kIn), y(rows * kOut);
+  for (double& v : w) v = gen.uniform(-1.0, 1.0);
+  for (double& v : bias) v = gen.uniform(-1.0, 1.0);
+  for (double& v : x) v = gen.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    kt->gemm(w.data(), bias.data(), x.data(), rows, kIn, kOut, y.data());
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * kIn * kOut));
+}
+
+void BM_GemmKernelPortable(benchmark::State& state) {
+  bench_kernel_gemm(state, &nn::kernels::portable_table());
+}
+BENCHMARK(BM_GemmKernelPortable)->Arg(1)->Arg(16);
+
+void BM_GemmKernelAvx2(benchmark::State& state) {
+  bench_kernel_gemm(state, nn::kernels::avx2_if_supported());
+}
+BENCHMARK(BM_GemmKernelAvx2)->Arg(1)->Arg(16);
 
 void BM_CorruptProduct(benchmark::State& state) {
   faultsim::FaultInjector inj(1.0, faultsim::BitFaultDistribution::measured());

@@ -52,12 +52,4 @@ double BitFaultDistribution::pmf(int bit) const {
   return pmf_[static_cast<std::size_t>(bit)];
 }
 
-int BitFaultDistribution::sample(rng::Xoshiro256ss& gen) const {
-  const double u = gen.uniform01();
-  for (int b = 0; b < kBits; ++b) {
-    if (u < cdf_[static_cast<std::size_t>(b)]) return b;
-  }
-  return kBits - 2;  // unreachable given cdf_[63] == 1, but keeps the type total
-}
-
 }  // namespace shmd::faultsim

@@ -13,6 +13,7 @@
 // ablation baseline (DESIGN.md choice #1).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 
@@ -42,8 +43,17 @@ class BitFaultDistribution {
   /// Probability that a fault lands on `bit` (0 for protected bits).
   [[nodiscard]] double pmf(int bit) const;
 
-  /// Sample a fault location.
-  [[nodiscard]] int sample(rng::Xoshiro256ss& gen) const;
+  /// Sample a fault location. Binary search for the first CDF bin
+  /// exceeding the draw — the identical u -> bit mapping as a linear
+  /// first-`u < cdf` scan (plateaus over protected bits are skipped by
+  /// both), at ~6 probes instead of ~40. Inline because it sits on the
+  /// per-fault-site hot path of the skip-ahead dot kernel.
+  [[nodiscard]] int sample(rng::Xoshiro256ss& gen) const {
+    const double u = gen.uniform01();
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) return kBits - 2;  // unreachable given cdf_[63] == 1
+    return static_cast<int>(it - cdf_.begin());
+  }
 
   /// True when `bit` can ever flip (not the sign bit, not a low LSB).
   [[nodiscard]] static constexpr bool eligible(int bit) noexcept {

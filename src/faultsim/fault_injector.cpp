@@ -3,8 +3,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "faultsim/fixed_point.hpp"
-
 namespace shmd::faultsim {
 
 double FaultStats::bit_error_rate(int bit) const {
@@ -52,44 +50,6 @@ std::uint64_t FaultInjector::corrupt_u64(std::uint64_t product, double p) {
   ++stats_.operations;
   if (!gen_.bernoulli(p)) return product;
   return apply_fault_u64(product);
-}
-
-double FaultInjector::corrupt_product(double product) {
-  ++stats_.operations;
-  // A non-finite product has no Q16.47 bit image to flip; pass it through
-  // untouched (before consuming any RNG, so fault streams are unaffected).
-  if (!std::isfinite(product)) return product;
-  if (!gen_.bernoulli(error_rate_)) return product;
-  const int bit = distribution_.sample(gen_);
-  ++stats_.faults;
-  ++stats_.bit_flips[static_cast<std::size_t>(bit)];
-  const std::int64_t q = to_q(product);
-  const auto flipped = static_cast<std::int64_t>(
-      static_cast<std::uint64_t>(q) ^ (std::uint64_t{1} << bit));
-  return from_q(flipped);
-}
-
-std::size_t FaultInjector::next_fault_gap() {
-  if (error_rate_ <= 0.0) return kNoFault;
-  if (error_rate_ >= 1.0) return 0;
-  // Inversion: u ~ U[0,1) -> floor(log(1-u) / log(1-er)) ~ Geometric(er),
-  // the count of fault-free trials before the first success. log1p keeps
-  // full precision at the small error rates the paper sweeps (er <= 1e-2).
-  const double u = gen_.uniform01();
-  const double gap = std::floor(std::log1p(-u) * inv_log1m_er_);
-  if (gap >= static_cast<double>(kNoFault)) return kNoFault;
-  return static_cast<std::size_t>(gap);
-}
-
-double FaultInjector::corrupt_product_at_fault(double product) {
-  if (!std::isfinite(product)) return product;
-  const int bit = distribution_.sample(gen_);
-  ++stats_.faults;
-  ++stats_.bit_flips[static_cast<std::size_t>(bit)];
-  const std::int64_t q = to_q(product);
-  const auto flipped = static_cast<std::int64_t>(
-      static_cast<std::uint64_t>(q) ^ (std::uint64_t{1} << bit));
-  return from_q(flipped);
 }
 
 }  // namespace shmd::faultsim

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -75,8 +76,23 @@ class FaultInjector {
 
   /// Corrupt a real-valued MAC product through the Q16.47 lens: with
   /// probability er, flip one eligible bit of the fixed-point image and
-  /// convert back. Used by the Stochastic-HMD inference path.
-  [[nodiscard]] double corrupt_product(double product);
+  /// convert back. Used by the Stochastic-HMD inference path. Inline:
+  /// this is the per-product cost of the dense-fault dot regime.
+  [[nodiscard]] double corrupt_product(double product) {
+    ++stats_.operations;
+    // A non-finite product has no Q16.47 bit image to flip; pass it
+    // through untouched (before consuming any RNG, so fault streams are
+    // unaffected).
+    if (!std::isfinite(product)) return product;
+    if (!gen_.bernoulli(error_rate_)) return product;
+    const int bit = distribution_.sample(gen_);
+    ++stats_.faults;
+    ++stats_.bit_flips[static_cast<std::size_t>(bit)];
+    const std::int64_t q = to_q(product);
+    const auto flipped =
+        static_cast<std::int64_t>(static_cast<std::uint64_t>(q) ^ (std::uint64_t{1} << bit));
+    return from_q(flipped);
+  }
 
   // -- span-level (skip-ahead) fault sampling ------------------------------
   //
@@ -100,14 +116,35 @@ class FaultInjector {
   /// FaultyContext::gemm reblocks its tile through the exact kernel at
   /// er == 0 precisely because the generator state is untouched either
   /// way, keeping the batched path stream-identical to per-row dot().
-  [[nodiscard]] std::size_t next_fault_gap();
+  /// Inline (like corrupt_product_at_fault): one call per fault site is
+  /// the entire non-SIMD cost of the skip-ahead dot kernel.
+  [[nodiscard]] std::size_t next_fault_gap() {
+    if (error_rate_ <= 0.0) return kNoFault;
+    if (error_rate_ >= 1.0) return 0;
+    // Inversion: u ~ U[0,1) -> floor(log(1-u) / log(1-er)) ~ Geometric(er),
+    // the count of fault-free trials before the first success. log1p keeps
+    // full precision at the small error rates the paper sweeps (er <= 1e-2).
+    const double u = gen_.uniform01();
+    const double gap = std::floor(std::log1p(-u) * inv_log1m_er_);
+    if (gap >= static_cast<double>(kNoFault)) return kNoFault;
+    return static_cast<std::size_t>(gap);
+  }
 
   /// Unconditionally fault one product the caller selected via
   /// next_fault_gap(): flip one eligible Q16.47 bit and count the fault.
   /// Does NOT advance the operations counter — span callers account for
   /// whole spans with count_operations(). Non-finite products have no bit
   /// image and pass through unfaulted, exactly as in corrupt_product().
-  [[nodiscard]] double corrupt_product_at_fault(double product);
+  [[nodiscard]] double corrupt_product_at_fault(double product) {
+    if (!std::isfinite(product)) return product;
+    const int bit = distribution_.sample(gen_);
+    ++stats_.faults;
+    ++stats_.bit_flips[static_cast<std::size_t>(bit)];
+    const std::int64_t q = to_q(product);
+    const auto flipped =
+        static_cast<std::int64_t>(static_cast<std::uint64_t>(q) ^ (std::uint64_t{1} << bit));
+    return from_q(flipped);
+  }
 
   /// Advance the operations counter by a whole span of products, so
   /// FaultStats sees the same opportunity count whether a span ran through

@@ -19,11 +19,14 @@
 //
 //   mul(a, b)     — one product, the paper's literal per-MAC hook;
 //   dot(w, x, n)  — one output row's worth of products, exact-accumulated
-//                   (adders never fault, §II). The default implementation
-//                   loops mul(), so every context is correct by
-//                   construction; the shipped contexts override it with
-//                   span-level kernels that preserve the per-product fault
-//                   model while skipping the per-MAC virtual dispatch.
+//                   (adders never fault, §II) under the lane-blocked
+//                   contract (kernels/kernels.hpp): four strided partial
+//                   accumulators (lane k sums indices j % 4 == k,
+//                   ascending), reduced in fixed lane order. Every
+//                   context — including the mul()-looping fallback —
+//                   implements that one order, so results are
+//                   bit-identical across contexts, ISAs, and kernel
+//                   dispatch choices.
 //   gemm(...)     — one layer over a windows-major tile of inputs (the
 //                   cross-request batched forward). The default loops
 //                   dot() row-major, so the per-product order — and hence
@@ -36,59 +39,22 @@
 #include <cstdint>
 
 #include "faultsim/fault_injector.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "rng/random_source.hpp"
 
 namespace shmd::nn {
 
 namespace detail {
 
-/// Blocked exact GEMM kernel shared by ExactContext::gemm and the
-/// fault-free fast path of FaultyContext::gemm: four windows (rows of x)
-/// advance together so each weight load is reused four times. Every
-/// (row, output) accumulator still sums its products in ascending index
-/// order, so each output is bit-identical to a standalone exact dot of
-/// that row — blocking reorders *independent* accumulations only, never
-/// the summands within one (and the project never enables -ffast-math,
-/// so the compiler cannot either).
+/// Exact GEMM entry shared by ExactContext::gemm and the fault-free fast
+/// path of FaultyContext::gemm: routes to the dispatched lane-blocked
+/// kernel table (AVX2 when the host has it, portable scalar otherwise).
+/// Every (row, output) output is bit-identical to a standalone
+/// kernels dot() of that row — blocking reorders *independent*
+/// accumulations only, never the summands within one.
 inline void exact_gemm(const double* w, const double* bias, const double* x, std::size_t rows,
                        std::size_t in_dim, std::size_t out_dim, double* y) {
-  std::size_t r = 0;
-  for (; r + 4 <= rows; r += 4) {
-    const double* x0 = x + r * in_dim;
-    const double* x1 = x0 + in_dim;
-    const double* x2 = x1 + in_dim;
-    const double* x3 = x2 + in_dim;
-    double* yr = y + r * out_dim;
-    for (std::size_t o = 0; o < out_dim; ++o) {
-      const double* wo = w + o * in_dim;
-      double a0 = 0.0;
-      double a1 = 0.0;
-      double a2 = 0.0;
-      double a3 = 0.0;
-      for (std::size_t i = 0; i < in_dim; ++i) {
-        const double wi = wo[i];
-        a0 += wi * x0[i];
-        a1 += wi * x1[i];
-        a2 += wi * x2[i];
-        a3 += wi * x3[i];
-      }
-      const double b = bias[o];
-      yr[o] = b + a0;
-      yr[out_dim + o] = b + a1;
-      yr[2 * out_dim + o] = b + a2;
-      yr[3 * out_dim + o] = b + a3;
-    }
-  }
-  for (; r < rows; ++r) {
-    const double* xr = x + r * in_dim;
-    double* yr = y + r * out_dim;
-    for (std::size_t o = 0; o < out_dim; ++o) {
-      const double* wo = w + o * in_dim;
-      double acc = 0.0;
-      for (std::size_t i = 0; i < in_dim; ++i) acc += wo[i] * xr[i];
-      yr[o] = bias[o] + acc;
-    }
-  }
+  kernels::active().gemm(w, bias, x, rows, in_dim, out_dim, y);
 }
 
 }  // namespace detail
@@ -101,21 +67,23 @@ class ArithmeticContext {
   [[nodiscard]] virtual double mul(double a, double b) = 0;
 
   /// One dot product of length n: sum of (possibly perturbed) products
-  /// w[i]*x[i], accumulated exactly in ascending index order (§II: adders
-  /// never fault). The fallback routes every product through mul(), so a
-  /// context that only implements mul() keeps bit-identical behavior;
-  /// overrides must perturb each product with the same marginal
-  /// distribution mul() would.
+  /// w[i]*x[i], accumulated exactly (§II: adders never fault) under the
+  /// lane-blocked contract — lane i % 4 takes product i, lanes reduce in
+  /// fixed order (kernels/kernels.hpp). The fallback routes every
+  /// product through mul() in ascending i, so a context that only
+  /// implements mul() keeps bit-identical behavior; overrides must
+  /// perturb each product with the same marginal distribution mul()
+  /// would and accumulate under the same lane schedule.
   [[nodiscard]] virtual double dot(const double* w, const double* x, std::size_t n) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) acc += mul(w[i], x[i]);
-    return acc;
+    kernels::Acc4 acc{};
+    for (std::size_t i = 0; i < n; ++i) acc.lane[i % kernels::kLanes] += mul(w[i], x[i]);
+    return kernels::reduce(acc);
   }
 
   /// One dense layer over a windows-major tile: `rows` input rows of
   /// width in_dim (x[r * in_dim + i]), out_dim weight rows (row-major,
   /// w[o * in_dim + i]), producing y[r * out_dim + o] =
-  /// bias[o] + dot(w_o, x_r). The bias joins the exact accumulation, as
+  /// bias[o] + dot(w_o, x_r). The bias joins after the lane reduction, as
   /// in Network::forward. The fallback runs the rows in ascending r and,
   /// within a row, the outputs in ascending o via dot() — the exact
   /// per-product order of the unbatched forward — so a stateful context's
@@ -154,22 +122,20 @@ class ExactContext final : public ArithmeticContext {
     return a * b;
   }
 
-  /// Plain dot product, free of per-MAC virtual dispatch. Same ascending
-  /// accumulation order as the mul() fallback, so results stay
-  /// bit-identical (the compiler may not reorder FP sums without
-  /// -ffast-math, which this project never enables).
+  /// Dispatched lane-blocked dot (kernels::active(): AVX2 on capable
+  /// x86 hosts, portable scalar otherwise), free of per-MAC virtual
+  /// dispatch. Both kernel tables realize the identical operation
+  /// sequence as the mul() fallback's lane loop, so results stay
+  /// bit-identical across contexts and dispatch choices.
   [[nodiscard]] double dot(const double* w, const double* x, std::size_t n) override {
     count_macs(n);
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) acc += w[i] * x[i];
-    return acc;
+    return kernels::active().dot(w, x, n);
   }
 
-  /// Blocked matrix–matrix kernel: four windows share one traversal of
-  /// each weight row (see detail::exact_gemm). Exact products consume no
-  /// randomness and every (row, output) accumulator sums in ascending
-  /// index order, so results are bit-identical to the dot()-looping
-  /// fallback.
+  /// Dispatched lane-blocked GEMM: the kernel may reblock rows for
+  /// weight reuse because exact products consume no randomness and every
+  /// (row, output) keeps its own lane accumulators — results are
+  /// bit-identical to the dot()-looping fallback.
   void gemm(const double* w, const double* bias, const double* x, std::size_t rows,
             std::size_t in_dim, std::size_t out_dim, double* y) override {
     count_macs(static_cast<std::uint64_t>(rows) * in_dim * out_dim);
@@ -200,55 +166,85 @@ class FaultyContext final : public ArithmeticContext {
 
   /// Geometric skip-ahead kernel: a Bernoulli(er) fault decision per
   /// product is equivalent to sampling the gap to the next fault site
-  /// from Geometric(er), so the products between sampled sites run as an
-  /// exact dot product and only the sites themselves pay for bit-flip
-  /// corruption. Marginal per-product fault probability, bit-location
-  /// distribution, and FaultStats.operations accounting all match the
-  /// scalar mul() path (geometric memorylessness makes resampling at span
-  /// boundaries sound); only the RNG consumption pattern differs, which
-  /// is exactly the moving-target randomness the defense wants fresh per
-  /// inference anyway.
+  /// from Geometric(er), so the products between sampled sites are exact
+  /// and only the sites themselves pay for bit-flip corruption. The
+  /// fault-free runs accumulate under the lane-blocked contract through
+  /// the dispatched block kernel (full SIMD width between fault sites):
+  /// lane assignment is by global index, so a scalar head aligns each
+  /// run to a block boundary, the block kernel eats the middle, and a
+  /// scalar tail plus the corrupted product finish it — the exact value
+  /// an entirely-scalar lane-blocked loop would produce. Marginal
+  /// per-product fault probability, bit-location distribution, and
+  /// FaultStats.operations accounting all match the scalar mul() path
+  /// (geometric memorylessness makes resampling at span boundaries
+  /// sound); only the RNG consumption pattern differs, which is exactly
+  /// the moving-target randomness the defense wants fresh per inference
+  /// anyway.
   [[nodiscard]] double dot(const double* w, const double* x, std::size_t n) override {
     count_macs(n);
     faultsim::FaultInjector& inj = *injector_;
-    if (inj.error_rate() > kSkipAheadMaxRate) {
+    const double er = inj.error_rate();
+    if (er <= 0.0) {
+      // Fault-free operating point: no product consumes randomness, so
+      // the whole row runs through the dispatched exact kernel —
+      // bit- and RNG-stream-identical to the sampled path below, which
+      // would draw nothing either (next_fault_gap() returns kNoFault
+      // without touching the generator).
+      inj.count_operations(n);
+      return kernels::active().dot(w, x, n);
+    }
+    if (er > kSkipAheadMaxRate) {
       // Dense-fault regime: geometric gaps are mostly tiny and a log()
       // per gap costs more than a Bernoulli draw per product, so corrupt
       // per product (still one virtual call per row, not per MAC).
-      double acc = 0.0;
-      for (std::size_t i = 0; i < n; ++i) acc += inj.corrupt_product(w[i] * x[i]);
-      return acc;
+      // corrupt_product() advances FaultStats.operations itself, one per
+      // product — the same opportunity count the sampled branch books in
+      // bulk via count_operations(n).
+      kernels::Acc4 acc{};
+      for (std::size_t i = 0; i < n; ++i) {
+        acc.lane[i % kernels::kLanes] += inj.corrupt_product(w[i] * x[i]);
+      }
+      return kernels::reduce(acc);
     }
     inj.count_operations(n);
-    double acc = 0.0;
+    const kernels::KernelTable& kt = kernels::active();
+    kernels::Acc4 acc{};
     std::size_t i = 0;
     while (i < n) {
       const std::size_t gap = inj.next_fault_gap();
       const bool fault_free = gap >= n - i;
-      const std::size_t end = fault_free ? n : i + gap;
-      // Accumulate the exact span into a local whose live range crosses no
-      // call: `acc` itself is live across next_fault_gap(), so compilers
-      // keep it spilled — and `span` must stay simultaneously live with
-      // `acc` at the += below or regalloc coalesces them back into the
-      // stack slot, paying a store/reload per product.
-      double span = 0.0;
-      for (std::size_t j = i; j < end; ++j) span += w[j] * x[j];
-      acc += span;
+      const std::size_t site = fault_free ? n : i + gap;
+      // Scalar head up to the next lane-aligned index, dispatched block
+      // kernel over the aligned middle, scalar tail to the fault site.
+      // The head/tail code is inline — identical machine code whichever
+      // kernel table is active — so native and forced-portable runs of
+      // one binary agree bit-for-bit.
+      const std::size_t aligned = i + (kernels::kLanes - i % kernels::kLanes) % kernels::kLanes;
+      const std::size_t head_end = aligned < site ? aligned : site;
+      kernels::accumulate_scalar(w, x, i, head_end, acc);
+      i = head_end;
+      const std::size_t blocks = (site - i) / kernels::kLanes;
+      if (blocks > 0) {
+        kt.accumulate_blocks(w + i, x + i, blocks, acc);
+        i += blocks * kernels::kLanes;
+      }
+      kernels::accumulate_scalar(w, x, i, site, acc);
+      i = site;
       if (fault_free) break;
-      acc += inj.corrupt_product_at_fault(w[end] * x[end]);
-      i = end + 1;
+      acc.lane[i % kernels::kLanes] += inj.corrupt_product_at_fault(w[i] * x[i]);
+      ++i;
     }
-    return acc;
+    return kernels::reduce(acc);
   }
 
   /// Tiled faulty forward. At the fault-free operating point (er == 0)
   /// no product consumes randomness — next_fault_gap() returns kNoFault
   /// without touching the RNG — so the whole tile runs through the
-  /// blocked exact kernel, bit- and RNG-stream-identical to the row-wise
-  /// path; only the FaultStats opportunity count need match. Under
-  /// faults the stream is live: products must be consumed in the exact
-  /// row-major order of the fallback (the per-request fault stream is
-  /// anchored to admission order, and each dot() call re-anchors the
+  /// dispatched exact kernel, bit- and RNG-stream-identical to the
+  /// row-wise path; only the FaultStats opportunity count need match.
+  /// Under faults the stream is live: products must be consumed in the
+  /// exact row-major order of the fallback (the per-request fault stream
+  /// is anchored to admission order, and each dot() call re-anchors the
   /// geometric gap at its row boundary exactly as the unbatched forward
   /// does), so the tile loops this class's own dot() — resolved
   /// non-virtually, keeping one (devirtualized) call per output row.
@@ -292,15 +288,18 @@ class NoiseContext final : public ArithmeticContext {
     return a * b + sigma_ * source_->gaussian();
   }
 
-  /// Batched row loop. Still one gaussian() query per product — the
-  /// per-query randomness cost is the very overhead §VIII measures, so it
-  /// must not be amortized away; only the per-MAC virtual dispatch is.
+  /// Batched row loop, lane-blocked like every other dot(). Still one
+  /// gaussian() query per product — the per-query randomness cost is the
+  /// very overhead §VIII measures, so it must not be amortized away;
+  /// only the per-MAC virtual dispatch is.
   [[nodiscard]] double dot(const double* w, const double* x, std::size_t n) override {
     count_macs(n);
     rng::RandomSource& src = *source_;
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) acc += w[i] * x[i] + sigma_ * src.gaussian();
-    return acc;
+    kernels::Acc4 acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      acc.lane[i % kernels::kLanes] += w[i] * x[i] + sigma_ * src.gaussian();
+    }
+    return kernels::reduce(acc);
   }
 
   [[nodiscard]] const char* name() const noexcept override { return "additive-noise"; }

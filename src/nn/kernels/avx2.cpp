@@ -1,0 +1,110 @@
+// AVX2 realization of the lane-blocked accumulation contract
+// (kernels.hpp). One 256-bit accumulator vector IS the Acc4: vector lane
+// k holds contract lane k, and each block step is one mul_pd + one add_pd
+// — deliberately NOT an FMA. The contract rounds every product before
+// its accumulate so the portable scalar table computes the identical
+// value; FMA's fused rounding would diverge in the last bit. (FMA units
+// still speed this TU up elsewhere — -mfma stays on so mul/add dual-issue
+// scheduling is unconstrained — but vfmadd must never appear in the
+// accumulation chain, which -ffp-contract=off guarantees.)
+//
+// This TU compiles with -mavx2 -mfma -ffp-contract=off on x86 (see
+// src/nn/CMakeLists.txt) and as a nullptr stub elsewhere. Only
+// dispatch.cpp may call through the table, after a cpuid check.
+#include "nn/kernels/kernels.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace shmd::nn::kernels {
+namespace {
+
+void accumulate_blocks_avx2(const double* w, const double* x, std::size_t blocks, Acc4& acc) {
+  __m256d v = _mm256_load_pd(acc.lane);
+  for (std::size_t b = 0; b < blocks; ++b, w += kLanes, x += kLanes) {
+    v = _mm256_add_pd(v, _mm256_mul_pd(_mm256_loadu_pd(w), _mm256_loadu_pd(x)));
+  }
+  _mm256_store_pd(acc.lane, v);
+}
+
+double dot_avx2(const double* w, const double* x, std::size_t n) {
+  Acc4 acc{};
+  const std::size_t blocked = n - n % kLanes;
+  accumulate_blocks_avx2(w, x, blocked / kLanes, acc);
+  accumulate_scalar(w, x, blocked, n, acc);
+  return reduce(acc);
+}
+
+void gemm_avx2(const double* w, const double* bias, const double* x, std::size_t rows,
+               std::size_t in_dim, std::size_t out_dim, double* y) {
+  // Four windows advance together so each weight vector load is reused
+  // four times; every (row, output) keeps its own accumulator vector, so
+  // the per-output value is exactly dot_avx2 of that row.
+  const std::size_t blocked = in_dim - in_dim % kLanes;
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* x0 = x + r * in_dim;
+    const double* x1 = x0 + in_dim;
+    const double* x2 = x1 + in_dim;
+    const double* x3 = x2 + in_dim;
+    double* yr = y + r * out_dim;
+    for (std::size_t o = 0; o < out_dim; ++o) {
+      const double* wo = w + o * in_dim;
+      __m256d a0 = _mm256_setzero_pd();
+      __m256d a1 = _mm256_setzero_pd();
+      __m256d a2 = _mm256_setzero_pd();
+      __m256d a3 = _mm256_setzero_pd();
+      for (std::size_t i = 0; i < blocked; i += kLanes) {
+        const __m256d wv = _mm256_loadu_pd(wo + i);
+        a0 = _mm256_add_pd(a0, _mm256_mul_pd(wv, _mm256_loadu_pd(x0 + i)));
+        a1 = _mm256_add_pd(a1, _mm256_mul_pd(wv, _mm256_loadu_pd(x1 + i)));
+        a2 = _mm256_add_pd(a2, _mm256_mul_pd(wv, _mm256_loadu_pd(x2 + i)));
+        a3 = _mm256_add_pd(a3, _mm256_mul_pd(wv, _mm256_loadu_pd(x3 + i)));
+      }
+      Acc4 t0;
+      Acc4 t1;
+      Acc4 t2;
+      Acc4 t3;
+      _mm256_store_pd(t0.lane, a0);
+      _mm256_store_pd(t1.lane, a1);
+      _mm256_store_pd(t2.lane, a2);
+      _mm256_store_pd(t3.lane, a3);
+      accumulate_scalar(wo, x0, blocked, in_dim, t0);
+      accumulate_scalar(wo, x1, blocked, in_dim, t1);
+      accumulate_scalar(wo, x2, blocked, in_dim, t2);
+      accumulate_scalar(wo, x3, blocked, in_dim, t3);
+      const double b = bias[o];
+      yr[o] = b + reduce(t0);
+      yr[out_dim + o] = b + reduce(t1);
+      yr[2 * out_dim + o] = b + reduce(t2);
+      yr[3 * out_dim + o] = b + reduce(t3);
+    }
+  }
+  for (; r < rows; ++r) {
+    const double* xr = x + r * in_dim;
+    double* yr = y + r * out_dim;
+    for (std::size_t o = 0; o < out_dim; ++o) {
+      yr[o] = bias[o] + dot_avx2(w + o * in_dim, xr, in_dim);
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable* avx2_table() noexcept {
+  static constexpr KernelTable kTable{dot_avx2, gemm_avx2, accumulate_blocks_avx2, "avx2"};
+  return &kTable;
+}
+
+}  // namespace shmd::nn::kernels
+
+#else  // non-x86 build: no AVX2 table in this binary.
+
+namespace shmd::nn::kernels {
+
+const KernelTable* avx2_table() noexcept { return nullptr; }
+
+}  // namespace shmd::nn::kernels
+
+#endif

@@ -1,0 +1,43 @@
+// One-time runtime dispatch for the lane-blocked kernel tables
+// (kernels.hpp). The choice is latched in a magic static on first use:
+// per-process, thread-safe, never re-read. SHMD_FORCE_PORTABLE exists so
+// the CI portable-parity job can run the whole suite and the serve
+// loadgen through the scalar table in the same binary — by the
+// lane-blocked contract the scores must come out bit-identical, so the
+// env var is a throughput knob that doubles as a correctness probe, not
+// a determinism taint.
+#include <cstdlib>
+
+#include "nn/kernels/kernels.hpp"
+
+namespace shmd::nn::kernels {
+
+namespace {
+
+bool force_portable() noexcept {
+  const char* v = std::getenv("SHMD_FORCE_PORTABLE");
+  if (v == nullptr || v[0] == '\0') return false;
+  return !(v[0] == '0' && v[1] == '\0');  // "0" opts back out, anything else forces
+}
+
+const KernelTable& resolve() noexcept {
+  if (force_portable()) return portable_table();
+  if (const KernelTable* avx2 = avx2_if_supported()) return *avx2;
+  return portable_table();
+}
+
+}  // namespace
+
+const KernelTable* avx2_if_supported() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) return avx2_table();
+#endif
+  return nullptr;
+}
+
+const KernelTable& active() noexcept {
+  static const KernelTable& kActive = resolve();
+  return kActive;
+}
+
+}  // namespace shmd::nn::kernels

@@ -1,0 +1,123 @@
+// Vectorized span kernels behind ArithmeticContext: the lane-blocked
+// accumulation contract.
+//
+// Every exact-accumulated span in the project — ExactContext::dot/gemm,
+// the fault-free runs inside FaultyContext::dot, the blocked exact GEMM —
+// sums its products under ONE canonical order so results are bit-identical
+// across ISAs, dispatch choices, batch sizes, and worker counts:
+//
+//   Lane-blocked accumulation (K = kLanes = 4):
+//     * lane k accumulates the products at global indices j with
+//       j % K == k, in ascending j order;
+//     * each product is rounded separately before the add — fl(w*x) then
+//       fl(lane + p): no FMA fusion inside the accumulation (kernel TUs
+//       compile with -ffp-contract=off so the portable scalar form
+//       `lane[j % K] += w[j] * x[j]` and the AVX2 mul_pd/add_pd form are
+//       the same IEEE operation sequence);
+//     * the final reduction is the fixed tree ((l0 + l1) + l2) + l3;
+//     * the bias (where a caller adds one) joins after the reduction:
+//       y = bias + reduce(acc).
+//
+// K is pinned at 4 — the lane count of one 256-bit double vector — and
+// does NOT track the widest vector unit on the host. A wider ISA (AVX-512)
+// must still produce the K=4 schedule (two 256-bit lanes per 512-bit
+// vector, or split registers), because the contract is the *value*, not
+// the instruction count: scores must not move when a binary migrates
+// between hosts. A scalar ISA implements the same schedule with four
+// independent accumulators, which compilers auto-vectorize legally — the
+// per-lane add order is preserved, so no -ffast-math-style reassociation
+// is involved.
+//
+// Dispatch is one-time and per-process: AVX2+FMA when the CPU has it,
+// portable otherwise, with SHMD_FORCE_PORTABLE=1 overriding for parity
+// testing. Because both implementations realize the identical operation
+// sequence, dispatch choice never changes a score — CI's portable-parity
+// job gates that claim.
+//
+// NaN carve-out: a NaN result is guaranteed to be *some* NaN, but its
+// payload and sign bits are unspecified — IEEE 754 leaves which NaN an
+// operation propagates to the implementation, and compilers may commute
+// multiply operands (x86 mul/add return the first source's payload), so
+// scalar and vector codegen legally disagree on the payload. Every
+// determinate value — including ±inf, denormals, and signed zero — is
+// bit-exact across tables. No finite model weight or feature produces
+// NaN, so scores are unaffected; the carve-out only matters to the
+// property tests, which compare NaN results as "both NaN" and everything
+// else bit-for-bit.
+#pragma once
+
+#include <cstddef>
+
+namespace shmd::nn::kernels {
+
+/// Lane count of the accumulation contract. Fixed forever at 4 (see the
+/// header comment): changing it changes every er>0 score in the project.
+inline constexpr std::size_t kLanes = 4;
+
+/// One lane-blocked partial-accumulator set. 32-byte aligned so the AVX2
+/// kernels can spill/restore it with aligned vector moves.
+struct alignas(32) Acc4 {
+  double lane[kLanes];
+};
+
+/// Final reduction of the contract: fixed tree, bias joins outside.
+[[nodiscard]] inline double reduce(const Acc4& acc) noexcept {
+  return ((acc.lane[0] + acc.lane[1]) + acc.lane[2]) + acc.lane[3];
+}
+
+/// Scalar lane-blocked accumulation of the global index range [from, to)
+/// of w·x into acc. Lane assignment is by GLOBAL index (j % kLanes), so
+/// callers can stitch scalar heads/tails around block-aligned runs — the
+/// faulty span kernel in arithmetic.hpp does exactly that around fault
+/// sites. Inline (header) on purpose: within one binary the head/tail
+/// code is the same machine code no matter which kernel table is active,
+/// so it cannot break native/portable parity.
+inline void accumulate_scalar(const double* w, const double* x, std::size_t from, std::size_t to,
+                              Acc4& acc) noexcept {
+  for (std::size_t j = from; j < to; ++j) acc.lane[j % kLanes] += w[j] * x[j];
+}
+
+/// One ISA's implementation of the contract. All three entry points
+/// produce bit-identical results across tables — that is the contract,
+/// and tests/kernels_test.cpp plus the CI portable-parity job enforce it.
+struct KernelTable {
+  /// Full lane-blocked dot product of length n (blocks + tail + reduce).
+  double (*dot)(const double* w, const double* x, std::size_t n);
+
+  /// Lane-blocked GEMM over a windows-major tile:
+  /// y[r * out_dim + o] = bias[o] + dot(w + o * in_dim, x + r * in_dim).
+  /// Bit-identical to calling dot() per (row, output); implementations
+  /// may reblock rows for weight reuse because the per-(row, output)
+  /// accumulators stay independent.
+  void (*gemm)(const double* w, const double* bias, const double* x, std::size_t rows,
+               std::size_t in_dim, std::size_t out_dim, double* y);
+
+  /// Accumulate `blocks` full kLanes-wide blocks starting at w/x into
+  /// acc (w[4b + k] * x[4b + k] into lane k, blocks ascending). The
+  /// caller guarantees the pointers sit at a lane-aligned global index.
+  void (*accumulate_blocks)(const double* w, const double* x, std::size_t blocks, Acc4& acc);
+
+  /// Implementation name for logs/benches: "portable" or "avx2".
+  const char* name;
+};
+
+/// The portable scalar reference implementation (always available).
+[[nodiscard]] const KernelTable& portable_table() noexcept;
+
+/// The AVX2+FMA implementation compiled into this binary, or nullptr when
+/// the build targets a non-x86 ISA. Does NOT check the running CPU — use
+/// avx2_if_supported() before calling through it.
+[[nodiscard]] const KernelTable* avx2_table() noexcept;
+
+/// avx2_table() gated on a runtime cpuid check (AVX2 and FMA): nullptr
+/// when the binary has no AVX2 kernel or the host CPU cannot run it.
+[[nodiscard]] const KernelTable* avx2_if_supported() noexcept;
+
+/// One-time process-wide dispatch: SHMD_FORCE_PORTABLE (set, non-empty,
+/// not "0") pins the portable table; otherwise the best table the host
+/// supports. The choice is latched on first use and never re-read —
+/// and by the lane-blocked contract it cannot change any score either
+/// way, only throughput.
+[[nodiscard]] const KernelTable& active() noexcept;
+
+}  // namespace shmd::nn::kernels

@@ -1,0 +1,50 @@
+// Portable scalar realization of the lane-blocked accumulation contract
+// (kernels.hpp). This TU compiles with -ffp-contract=off (see
+// src/nn/CMakeLists.txt): the contract separates each product rounding
+// from its accumulate, so the compiler must not fuse
+// `lane[k] += w[j] * x[j]` into an FMA — that would change results versus
+// the AVX2 table's mul_pd/add_pd sequence and break dispatch parity.
+// Plain auto-vectorization of the four independent lanes is legal and
+// expected: it preserves the per-lane add order exactly.
+#include "nn/kernels/kernels.hpp"
+
+namespace shmd::nn::kernels {
+namespace {
+
+void accumulate_blocks_portable(const double* w, const double* x, std::size_t blocks, Acc4& acc) {
+  for (std::size_t b = 0; b < blocks; ++b, w += kLanes, x += kLanes) {
+    acc.lane[0] += w[0] * x[0];
+    acc.lane[1] += w[1] * x[1];
+    acc.lane[2] += w[2] * x[2];
+    acc.lane[3] += w[3] * x[3];
+  }
+}
+
+double dot_portable(const double* w, const double* x, std::size_t n) {
+  Acc4 acc{};
+  const std::size_t blocked = n - n % kLanes;
+  accumulate_blocks_portable(w, x, blocked / kLanes, acc);
+  accumulate_scalar(w, x, blocked, n, acc);
+  return reduce(acc);
+}
+
+void gemm_portable(const double* w, const double* bias, const double* x, std::size_t rows,
+                   std::size_t in_dim, std::size_t out_dim, double* y) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* xr = x + r * in_dim;
+    double* yr = y + r * out_dim;
+    for (std::size_t o = 0; o < out_dim; ++o) {
+      yr[o] = bias[o] + dot_portable(w + o * in_dim, xr, in_dim);
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable& portable_table() noexcept {
+  static constexpr KernelTable kTable{dot_portable, gemm_portable, accumulate_blocks_portable,
+                                      "portable"};
+  return kTable;
+}
+
+}  // namespace shmd::nn::kernels

@@ -94,7 +94,9 @@ class Network {
   /// rows of input_dim() each (x[r * input_dim() + i]); the result span
   /// holds rows * output_dim() values, y[r * output_dim() + o]. Layers
   /// run tile-at-a-time through ctx.gemm, each layer visiting rows in
-  /// ascending order (the documented gemm fallback order). For a
+  /// ascending order with each (row, output) cell accumulated under the
+  /// lane-blocked contract of src/nn/kernels/kernels.hpp (the documented
+  /// gemm fallback order). For a
   /// stateless context (exact) every row's result is bit-identical to
   /// forward() on that row. A stateful context (the fault injector)
   /// consumes its stream layer-major across the tile — deterministic in

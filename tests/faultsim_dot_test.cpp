@@ -288,6 +288,51 @@ TEST(FaultsimDot, AccountingAdvancesByWholeSpansInBothRegimes) {
   }
 }
 
+TEST(FaultsimDot, DenseAndSkipAheadBranchesBookIdenticalOpportunities) {
+  // Audit regression for the FaultStats opportunity contract: the dense
+  // branch accounts one operation per product inside corrupt_product(),
+  // the skip-ahead branch books whole spans up front via
+  // count_operations(n), and the er == 0 gemm fast path books the whole
+  // tile — three different mechanisms that must land on the same number
+  // for the same workload. A change that double-counts (count_operations
+  // plus self-counting corrupt_product) or skips a branch shows up here
+  // as a rate-dependent operations count.
+  const std::vector<std::size_t> kRowLens{1024, 1, 7, 333, 0, 512};
+  std::uint64_t total = 0;
+  for (const std::size_t n : kRowLens) total += n;
+
+  std::vector<std::uint64_t> ops_by_rate;
+  for (const double er : {0.05, 0.2}) {  // skip-ahead regime, dense regime
+    faultsim::FaultInjector inj = make_injector(er, 0xACC2ULL);
+    nn::FaultyContext ctx(inj);
+    for (const std::size_t n : kRowLens) {
+      const std::vector<double> w = random_vector(n, 7000 + n);
+      const std::vector<double> x = random_vector(n, 8000 + n);
+      (void)ctx.dot(w.data(), x.data(), n);
+    }
+    EXPECT_EQ(inj.stats().operations, total) << "er=" << er;
+    ops_by_rate.push_back(inj.stats().operations);
+  }
+  EXPECT_EQ(ops_by_rate[0], ops_by_rate[1])
+      << "opportunity accounting must not depend on which branch ran";
+
+  // The er == 0 gemm fast path (tile through the exact kernel) books the
+  // same opportunities the row-wise path would.
+  constexpr std::size_t kRows = 5;
+  constexpr std::size_t kIn = 33;
+  constexpr std::size_t kOut = 4;
+  const std::vector<double> wmat = random_vector(kIn * kOut, 9001);
+  const std::vector<double> bias = random_vector(kOut, 9002);
+  const std::vector<double> tile = random_vector(kRows * kIn, 9003);
+  std::vector<double> y(kRows * kOut);
+  faultsim::FaultInjector inj0 = make_injector(0.0, 0xACC3ULL);
+  nn::FaultyContext ctx0(inj0);
+  ctx0.gemm(wmat.data(), bias.data(), tile.data(), kRows, kIn, kOut, y.data());
+  EXPECT_EQ(inj0.stats().operations, kRows * kIn * kOut);
+  EXPECT_EQ(ctx0.mac_count(), kRows * kIn * kOut);
+  EXPECT_EQ(inj0.stats().faults, 0u);
+}
+
 TEST(FaultsimDot, NonFiniteProductsPassThroughTheSpanKernel) {
   // A non-finite product has no Q16.47 image; the kernel must pass it
   // through unfaulted in both regimes without disturbing the sum's

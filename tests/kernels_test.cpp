@@ -1,0 +1,168 @@
+// Property tests for the lane-blocked kernel tables (src/nn/kernels/):
+// the dispatched table must equal the portable reference BIT-FOR-BIT on
+// every determinate value — infinities, denormals, signed zero, the same
+// non-finite care the Q16.47 to_q fix needed — with NaN results matching
+// as "both NaN" (payload/sign unspecified per the kernels.hpp carve-out;
+// ASan builds surfaced real scalar-vs-vector payload divergence) — and
+// the lane-blocked sum must stay within the standard summation-error
+// envelope of the naive ascending sum it replaced.
+//
+// On the tolerance: the issue's "within 1 ULP" phrasing is NOT achievable
+// for a reassociated sum — two summation orders over n random terms
+// differ by a rounding-error random walk of order n·eps·Σ|w_i·x_i|, tens
+// of ULPs of the result at n = 5000 — and no correct implementation could
+// pass it. What IS guaranteed (Higham, Accuracy and Stability of
+// Numerical Algorithms, §4.2: any summation order has forward error
+// ≤ (n-1)·u·Σ|terms| to first order) is that both orders sit within that
+// envelope of the true sum, so they sit within twice it of each other.
+// The bit-for-bit property against the portable reference is the strong
+// contract; the envelope property pins the lane-blocked sum to the
+// ascending one it replaced.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "nn/kernels/kernels.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::nn::kernels {
+namespace {
+
+/// The contract's equality: bit-for-bit for every determinate value
+/// (+0 != -0, denormals and infinities exact), with the documented NaN
+/// carve-out — a NaN matches any NaN, because IEEE 754 leaves the
+/// propagated payload/sign to the implementation and scalar vs vector
+/// codegen legally disagree (see kernels.hpp).
+bool same_bits(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Random operand vector seasoned with the special values the Q16.47
+/// path had to learn to pass through: NaN, ±inf, denormals, signed zero.
+std::vector<double> seasoned_vector(std::size_t n, rng::Xoshiro256ss& gen, bool specials) {
+  std::vector<double> v(n);
+  for (double& x : v) x = gen.uniform(-3.0, 3.0);
+  if (!specials || n == 0) return v;
+  const auto pick = [&] { return static_cast<std::size_t>(gen() % n); };
+  v[pick()] = std::numeric_limits<double>::quiet_NaN();
+  v[pick()] = std::numeric_limits<double>::infinity();
+  v[pick()] = -std::numeric_limits<double>::infinity();
+  v[pick()] = std::numeric_limits<double>::denorm_min();
+  v[pick()] = -4.9406564584124654e-320;  // subnormal
+  v[pick()] = -0.0;
+  return v;
+}
+
+std::vector<std::size_t> sweep_lengths(rng::Xoshiro256ss& gen) {
+  // Every tail phase 0..16, then random lengths up to the issue's 5000.
+  std::vector<std::size_t> lens;
+  for (std::size_t n = 0; n <= 16; ++n) lens.push_back(n);
+  for (int i = 0; i < 24; ++i) lens.push_back(17 + gen() % 4984);
+  return lens;
+}
+
+TEST(Kernels, ActiveDotMatchesPortableBitForBitIncludingSpecials) {
+  const KernelTable& act = active();
+  const KernelTable& ref = portable_table();
+  rng::Xoshiro256ss gen(0xD07);
+  for (const bool specials : {false, true}) {
+    for (const std::size_t n : sweep_lengths(gen)) {
+      const std::vector<double> w = seasoned_vector(n, gen, specials);
+      const std::vector<double> x = seasoned_vector(n, gen, specials);
+      const double got = act.dot(w.data(), x.data(), n);
+      const double want = ref.dot(w.data(), x.data(), n);
+      EXPECT_TRUE(same_bits(got, want))
+          << act.name << " vs portable, n=" << n << " specials=" << specials << " got=" << got
+          << " want=" << want;
+    }
+  }
+}
+
+TEST(Kernels, ActiveGemmMatchesPerRowPortableDotBitForBit) {
+  // The gemm contract: y[r, o] = bias[o] + dot(w_o, x_r), bit-identical
+  // to assembling the tile from standalone portable dots — reblocking may
+  // reorder independent accumulators only.
+  const KernelTable& act = active();
+  const KernelTable& ref = portable_table();
+  rng::Xoshiro256ss gen(0x6E33);
+  for (int iter = 0; iter < 12; ++iter) {
+    const std::size_t rows = 1 + gen() % 9;  // crosses the 4-row blocking boundary
+    const std::size_t in_dim = gen() % 67;
+    const std::size_t out_dim = 1 + gen() % 9;
+    const bool specials = (iter % 3) == 0 && in_dim > 0;
+    const std::vector<double> w = seasoned_vector(out_dim * in_dim, gen, specials);
+    const std::vector<double> bias = seasoned_vector(out_dim, gen, false);
+    const std::vector<double> x = seasoned_vector(rows * in_dim, gen, specials);
+    std::vector<double> y(rows * out_dim, 42.0);
+    act.gemm(w.data(), bias.data(), x.data(), rows, in_dim, out_dim, y.data());
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t o = 0; o < out_dim; ++o) {
+        const double want = bias[o] + ref.dot(w.data() + o * in_dim, x.data() + r * in_dim, in_dim);
+        EXPECT_TRUE(same_bits(y[r * out_dim + o], want))
+            << act.name << " r=" << r << " o=" << o << " rows=" << rows << " in=" << in_dim;
+      }
+    }
+  }
+}
+
+TEST(Kernels, Avx2TableAgreesWithPortableWhenRunnable) {
+  // Redundant with the Active* tests whenever dispatch picked AVX2, but
+  // this pins the claim even under SHMD_FORCE_PORTABLE (where active()
+  // is the portable table and the AVX2 code would otherwise go untested).
+  const KernelTable* avx2 = avx2_if_supported();
+  if (avx2 == nullptr) GTEST_SKIP() << "no runnable AVX2 kernel on this host";
+  const KernelTable& ref = portable_table();
+  rng::Xoshiro256ss gen(0xA2);
+  for (const std::size_t n : sweep_lengths(gen)) {
+    const std::vector<double> w = seasoned_vector(n, gen, true);
+    const std::vector<double> x = seasoned_vector(n, gen, true);
+    EXPECT_TRUE(same_bits(avx2->dot(w.data(), x.data(), n), ref.dot(w.data(), x.data(), n)))
+        << "n=" << n;
+    // accumulate_blocks from a non-trivial running state, as the faulty
+    // span kernel uses it between fault sites.
+    Acc4 a{{0.125, -3.5, 1e-300, 7.0}};
+    Acc4 b = a;
+    ref.accumulate_blocks(w.data(), x.data(), n / kLanes, a);
+    avx2->accumulate_blocks(w.data(), x.data(), n / kLanes, b);
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      EXPECT_TRUE(same_bits(a.lane[k], b.lane[k])) << "n=" << n << " lane=" << k;
+    }
+  }
+}
+
+TEST(Kernels, LaneBlockedSumStaysInTheAscendingErrorEnvelope) {
+  const KernelTable& act = active();
+  rng::Xoshiro256ss gen(0x51);
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  for (const std::size_t n : sweep_lengths(gen)) {
+    const std::vector<double> w = seasoned_vector(n, gen, false);
+    const std::vector<double> x = seasoned_vector(n, gen, false);
+    double ascending = 0.0;
+    double abs_terms = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ascending += w[i] * x[i];
+      abs_terms += std::abs(w[i] * x[i]);
+    }
+    // Twice the (n-1)·u·Σ|terms| forward bound (one envelope per order),
+    // with slack for the second-order terms the bound drops.
+    const double tol = 4.0 * static_cast<double>(n) * kEps * abs_terms +
+                       std::numeric_limits<double>::denorm_min();
+    EXPECT_NEAR(act.dot(w.data(), x.data(), n), ascending, tol) << "n=" << n;
+  }
+}
+
+TEST(Kernels, DispatchIsLatchedAndNamed) {
+  const KernelTable& first = active();
+  EXPECT_TRUE(std::string(first.name) == "avx2" || std::string(first.name) == "portable");
+  EXPECT_EQ(&first, &active()) << "dispatch must latch one table per process";
+  EXPECT_EQ(std::string(portable_table().name), "portable");
+}
+
+}  // namespace
+}  // namespace shmd::nn::kernels

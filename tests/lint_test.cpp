@@ -233,6 +233,40 @@ TEST(LintR1, SpanKernelTagSuppressesLikeExactOk) {
   EXPECT_EQ(lines_of(diags, "R1"), (std::vector<int>{4}));
 }
 
+TEST(LintR1, KernelNamespaceInKernelsTreeIsSanctioned) {
+  // The lane-blocked kernel tables (src/nn/kernels/) are the span
+  // contract's implementation: bodies inside their `kernels` namespace
+  // are structurally sanctioned, while a multiply in the same file but
+  // OUTSIDE the namespace stays in scope.
+  const std::string fixture =
+      "#include \"nn/kernels/kernels.hpp\"\n"
+      "static double leak(double a, double b) { return a * b; }\n"  // line 2: outside
+      "namespace shmd::nn::kernels {\n"
+      "namespace {\n"
+      "double dot_portable(const double* w, const double* x, std::size_t n) {\n"
+      "  double acc = 0.0;\n"
+      "  for (std::size_t i = 0; i < n; ++i) acc += w[i] * x[i];\n"  // sanctioned
+      "  return acc;\n"
+      "}\n"
+      "}  // namespace\n"
+      "}  // namespace shmd::nn::kernels\n";
+  EXPECT_EQ(lines_of(lint("src/nn/kernels/fixture.cpp", fixture), "R1"), (std::vector<int>{2}));
+}
+
+TEST(LintR1, KernelNamespaceOutsideKernelsTreeEarnsNoExemption) {
+  // The structural sanction is scoped to src/nn/kernels/ — naming a
+  // namespace `kernels` elsewhere must not launder raw products.
+  const std::string fixture =
+      "namespace shmd::hmd::kernels {\n"
+      "double dot(const double* w, const double* x, std::size_t n) {\n"
+      "  double acc = 0.0;\n"
+      "  for (std::size_t i = 0; i < n; ++i) acc += w[i] * x[i];\n"  // line 4: flagged
+      "  return acc;\n"
+      "}\n"
+      "}  // namespace shmd::hmd::kernels\n";
+  EXPECT_EQ(lines_of(lint("src/hmd/fixture.cpp", fixture), "R1"), (std::vector<int>{4}));
+}
+
 TEST(LintR1, OnlyFaultInjectableDirectoriesAreInScope) {
   const std::string fixture = "double f(double a, double b) { return a * b; }\n";
   EXPECT_TRUE(lint("src/attack/fixture.cpp", fixture).empty());
@@ -620,6 +654,43 @@ TEST(LintR9, DownwardIncludesAndUnconstrainedTreesAreClean) {
                             {"bench/fixture.cpp", bench_any},
                             {"src/serve/fixture.hpp", same_dir}})
                   .empty());
+}
+
+TEST(LintR9, KernelsSubmoduleIsALeafOnlyNnMayReach) {
+  // nn -> nn/kernels is the sanctioned parent -> nested-submodule edge;
+  // the reverse (kernels reaching back up into nn) and a sideways reach
+  // from another layer-2+ consumer's subordinate position are violations.
+  const std::string parent_down =
+      "#pragma once\n"
+      "#include \"faultsim/fault_injector.hpp\"\n"  // downward: fine
+      "#include \"nn/kernels/kernels.hpp\"\n";  // parent -> child: fine
+  const std::string child_up =
+      "#pragma once\n"
+      "#include \"nn/arithmetic.hpp\"\n";  // line 2: child -> parent
+  const std::string child_sideways =
+      "#pragma once\n"
+      "#include \"trace/features.hpp\"\n";  // child downward: fine (layer 2 > 1)
+  EXPECT_TRUE(lint_project({{"src/nn/arithmetic.hpp", parent_down},
+                            {"src/nn/kernels/fixture.hpp", child_sideways}})
+                  .empty());
+  EXPECT_EQ(lines_of(lint_project({{"src/nn/kernels/fixture.hpp", child_up}}), "R9"),
+            (std::vector<int>{2}));
+}
+
+TEST(LintR9, SiblingLayersMayNotReachIntoTheKernelsSubmodule) {
+  // hmd sits above nn so plain "nn/..." includes are legal — but the
+  // nested submodule is nn-private only in the sideways/same-layer sense:
+  // an eval/sys-or-above consumer descending the DAG may still use it,
+  // while a same-layer module may not.
+  const std::string from_hmd =
+      "#pragma once\n"
+      "#include \"nn/kernels/kernels.hpp\"\n";  // layer 4 > 2: descends the DAG
+  EXPECT_TRUE(lint_project({{"src/hmd/fixture.hpp", from_hmd}}).empty());
+  const std::string from_trace =
+      "#pragma once\n"
+      "#include \"nn/kernels/kernels.hpp\"\n";  // line 2: layer 1 reaching up
+  EXPECT_EQ(lines_of(lint_project({{"src/trace/fixture.hpp", from_trace}}), "R9"),
+            (std::vector<int>{2}));
 }
 
 TEST(LintR9, LayerOkTagSuppressesOnTheIncludeLine) {

@@ -179,7 +179,8 @@ TEST(Network, ForwardBatchBitIdenticalToPerRowForwardExact) {
 TEST(Network, ForwardBatchFaultyMatchesDotLoopFallbackOrder) {
   // The gemm contract: every override consumes the stream in the
   // documented fallback order — per layer, rows ascending, one dot() per
-  // output — so FaultyContext::gemm must be bit-identical to a hand-rolled
+  // output, each dot accumulating lane-blocked per kernels.hpp — so
+  // FaultyContext::gemm must be bit-identical to a hand-rolled
   // dot() loop in that order, in both the skip-ahead (er = 0.05) and
   // dense-Bernoulli (er = 0.5) regimes, and at er = 0 where the blocked
   // exact kernel takes over without touching the RNG.

@@ -129,7 +129,16 @@ class FaultCoverageRule final : public Rule {
   void check(const SourceFile& f, std::vector<Diagnostic>& out) const override {
     const std::vector<Token>& toks = f.tokens();
     const std::vector<std::size_t> code = code_indices(toks);
-    const std::vector<std::pair<std::size_t, std::size_t>> kernels = span_kernel_ranges(toks, code);
+    std::vector<std::pair<std::size_t, std::size_t>> kernels = span_kernel_ranges(toks, code);
+    // Files under src/nn/kernels/ ARE the lane-blocked kernel tables the
+    // span contract dispatches to (kernels.hpp documents the binding to
+    // the per-product fault model), so bodies inside their `kernels`
+    // namespace are sanctioned structurally — multiplies outside that
+    // namespace in the same files stay in scope, and a `kernels`
+    // namespace anywhere else earns no exemption.
+    if (f.in_dir("src/nn/kernels/")) {
+      append_kernel_namespace_ranges(toks, code, kernels);
+    }
     int bracket_depth = 0;
     for (std::size_t ci = 0; ci < code.size(); ++ci) {
       const Token& tok = toks[code[ci]];
@@ -221,6 +230,33 @@ class FaultCoverageRule final : public Rule {
       }
     }
     return ranges;
+  }
+
+  /// Append the code-index ranges of `namespace ...kernels... { ... }`
+  /// bodies (qualified spellings like `namespace shmd::nn::kernels` count;
+  /// nested anonymous namespaces are covered by the enclosing range).
+  /// Only called for files under src/nn/kernels/.
+  static void append_kernel_namespace_ranges(
+      const std::vector<Token>& toks, const std::vector<std::size_t>& code,
+      std::vector<std::pair<std::size_t, std::size_t>>& ranges) {
+    for (std::size_t ci = 0; ci + 1 < code.size(); ++ci) {
+      const Token& t = toks[code[ci]];
+      if (t.kind != TokenKind::kIdentifier || t.text != "namespace") continue;
+      bool is_kernels = false;
+      std::size_t body_open = code.size();
+      for (std::size_t j = ci + 1; j < code.size(); ++j) {
+        const Token& h = toks[code[j]];
+        if (h.kind == TokenKind::kIdentifier && h.text == "kernels") is_kernels = true;
+        if (h.kind == TokenKind::kPunct && (h.text == ";" || h.text == "{")) {
+          if (h.text == "{") body_open = j;
+          break;
+        }
+      }
+      if (!is_kernels || body_open == code.size()) continue;
+      const std::size_t body_close = match_brace(toks, code, body_open);
+      ranges.emplace_back(body_open, body_close);
+      ci = body_open;  // nested namespaces are inside the recorded range
+    }
   }
 
   static bool inside_any(const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
@@ -913,21 +949,47 @@ class LayeringRule final : public ProjectRule {
            "or transport one and the determinism contract stops being auditable";
   }
 
-  /// Directory layers. An include from A to B (A != B) is legal iff
-  /// layer(A) > layer(B) — strictly, so same-layer directories stay
-  /// mutually independent. Directories not listed (and files outside
-  /// src/: bench, examples, tools, tests) are unconstrained consumers.
+  /// Module layers. A module is the longest table entry that prefixes a
+  /// path on a '/' boundary — nested submodules (nn/kernels under nn) get
+  /// their own row. An include from A to B (A != B) is legal iff
+  /// layer(A) > layer(B) — strictly, so same-layer modules stay mutually
+  /// independent — with one structural exception: a parent module may
+  /// include its own nested submodule (nn -> nn/kernels), never the
+  /// reverse, keeping the submodule a leaf. Modules not listed (and files
+  /// outside src/: bench, examples, tools, tests) are unconstrained
+  /// consumers.
   static constexpr std::pair<std::string_view, int> kLayers[] = {
       {"util", 0}, {"rng", 0},     {"trace", 1},   {"faultsim", 1}, {"volt", 1},
-      {"nn", 2},   {"eval", 3},    {"sys", 3},     {"hmd", 4},      {"attack", 5},
-      {"runtime", 5}, {"serve", 6}, {"net", 7},
+      {"nn", 2},   {"nn/kernels", 2}, {"eval", 3},  {"sys", 3},     {"hmd", 4},
+      {"attack", 5}, {"runtime", 5}, {"serve", 6},  {"net", 7},
   };
 
-  static int layer_of(std::string_view dir) {
+  /// Longest kLayers entry that is a whole-segment prefix of `rel`
+  /// ("nn/kernels/dot.cpp" -> "nn/kernels", "nn/network.cpp" -> "nn"),
+  /// or empty when no entry matches.
+  static std::string_view module_of(std::string_view rel) {
+    std::string_view best;
     for (const auto& [name, layer] : kLayers) {
-      if (name == dir) return layer;
+      (void)layer;
+      if (rel.size() <= name.size() || rel[name.size()] != '/') continue;
+      if (!rel.starts_with(name)) continue;
+      if (name.size() > best.size()) best = name;
+    }
+    return best;
+  }
+
+  static int layer_of(std::string_view module) {
+    for (const auto& [name, layer] : kLayers) {
+      if (name == module) return layer;
     }
     return -1;
+  }
+
+  /// True when `inner` is a nested submodule of `outer` (outer == "nn",
+  /// inner == "nn/kernels").
+  static bool submodule_of(std::string_view inner, std::string_view outer) {
+    return inner.size() > outer.size() && inner[outer.size()] == '/' &&
+           inner.starts_with(outer);
   }
 
   void check_project(const std::vector<SourceFile>& files,
@@ -935,29 +997,28 @@ class LayeringRule final : public ProjectRule {
     for (const SourceFile& f : files) {
       if (!f.in_dir("src/")) continue;
       const std::string_view path = f.path();
-      const std::size_t dir_end = path.find('/', 4);
-      if (dir_end == std::string_view::npos) continue;  // src/shmd.hpp: umbrella, unconstrained
-      const std::string_view from_dir = path.substr(4, dir_end - 4);
-      const int from_layer = layer_of(from_dir);
-      if (from_layer < 0) continue;
+      const std::string_view from_mod = module_of(path.substr(4));
+      if (from_mod.empty()) continue;  // src/shmd.hpp: umbrella, unconstrained
+      const int from_layer = layer_of(from_mod);
       for (const Token& tok : f.tokens()) {
         if (tok.kind != TokenKind::kDirective) continue;
         const std::optional<IncludeLine> inc = parse_include(tok);
         if (!inc) continue;
-        const std::size_t slash = inc->path.find('/');
-        if (slash == std::string::npos) continue;  // system or local header
-        const std::string_view to_dir = std::string_view(inc->path).substr(0, slash);
-        if (to_dir == from_dir) continue;
-        const int to_layer = layer_of(to_dir);
-        if (to_layer < 0 || from_layer > to_layer) continue;
+        if (inc->path.find('/') == std::string::npos) continue;  // system or local header
+        const std::string_view to_mod = module_of(inc->path);
+        if (to_mod.empty() || to_mod == from_mod) continue;
+        if (submodule_of(to_mod, from_mod)) continue;  // parent -> own nested submodule
+        const int to_layer = layer_of(to_mod);
+        if (from_layer > to_layer) continue;
         out.push_back(
             {f.path(), inc->line, "R9",
-             "layering violation: src/" + std::string(from_dir) + "/ (layer " +
+             "layering violation: src/" + std::string(from_mod) + "/ (layer " +
                  std::to_string(from_layer) + ") includes \"" + inc->path + "\" (layer " +
                  std::to_string(to_layer) + ")",
              "the layer DAG descends net > serve > runtime/attack > hmd > eval/sys > nn > "
-             "trace/faultsim/volt > util/rng; move the shared piece down a layer or invert the "
-             "dependency; a deliberate exception takes // shmd-lint: layer-ok(<reason>)"});
+             "trace/faultsim/volt > util/rng, and nn/kernels is a leaf submodule only nn may "
+             "reach into; move the shared piece down a layer or invert the dependency; a "
+             "deliberate exception takes // shmd-lint: layer-ok(<reason>)"});
       }
     }
   }
