@@ -218,7 +218,10 @@ class FaultyContext final : public ArithmeticContext {
       // kernel over the aligned middle, scalar tail to the fault site.
       // The head/tail code is inline — identical machine code whichever
       // kernel table is active — so native and forced-portable runs of
-      // one binary agree bit-for-bit.
+      // one binary agree bit-for-bit. Across BUILDS it agrees because
+      // contraction is off project-wide: with default -ffp-contract a
+      // baseline-FMA target would fuse these inlined accumulates into
+      // FMA and split er>0 scores from the kernel-TU value.
       const std::size_t aligned = i + (kernels::kLanes - i % kernels::kLanes) % kernels::kLanes;
       const std::size_t head_end = aligned < site ? aligned : site;
       kernels::accumulate_scalar(w, x, i, head_end, acc);

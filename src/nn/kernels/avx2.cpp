@@ -6,11 +6,12 @@
 // value; FMA's fused rounding would diverge in the last bit. (FMA units
 // still speed this TU up elsewhere — -mfma stays on so mul/add dual-issue
 // scheduling is unconstrained — but vfmadd must never appear in the
-// accumulation chain, which -ffp-contract=off guarantees.)
+// accumulation chain, which the project-wide -ffp-contract=off
+// (top-level CMakeLists.txt) guarantees.)
 //
-// This TU compiles with -mavx2 -mfma -ffp-contract=off on x86 (see
-// src/nn/CMakeLists.txt) and as a nullptr stub elsewhere. Only
-// dispatch.cpp may call through the table, after a cpuid check.
+// This TU compiles with -mavx2 -mfma on x86 (see src/nn/CMakeLists.txt)
+// and as a nullptr stub elsewhere. Only dispatch.cpp may call through
+// the table, after a cpuid check.
 #include "nn/kernels/kernels.hpp"
 
 #if defined(__AVX2__) && defined(__FMA__)

@@ -10,10 +10,12 @@
 //     * lane k accumulates the products at global indices j with
 //       j % K == k, in ascending j order;
 //     * each product is rounded separately before the add — fl(w*x) then
-//       fl(lane + p): no FMA fusion inside the accumulation (kernel TUs
-//       compile with -ffp-contract=off so the portable scalar form
+//       fl(lane + p): no FMA fusion inside the accumulation (the build
+//       disables contraction PROJECT-WIDE — -ffp-contract=off, top-level
+//       CMakeLists — so the portable scalar form
 //       `lane[j % K] += w[j] * x[j]` and the AVX2 mul_pd/add_pd form are
-//       the same IEEE operation sequence);
+//       the same IEEE operation sequence in every TU that instantiates
+//       the inline helpers, not just the kernel TUs);
 //     * the final reduction is the fixed tree ((l0 + l1) + l2) + l3;
 //     * the bias (where a caller adds one) joins after the reduction:
 //       y = bias + reduce(acc).
@@ -71,7 +73,13 @@ struct alignas(32) Acc4 {
 /// faulty span kernel in arithmetic.hpp does exactly that around fault
 /// sites. Inline (header) on purpose: within one binary the head/tail
 /// code is the same machine code no matter which kernel table is active,
-/// so it cannot break native/portable parity.
+/// so it cannot break native/portable parity. Cross-BUILD parity is a
+/// separate obligation: this helper instantiates into every consumer TU
+/// with that TU's flags, so the contract's no-FMA rule must hold
+/// project-wide — the top-level CMakeLists sets -ffp-contract=off
+/// globally (a baseline-FMA target would otherwise fuse `lane += w*x`
+/// here while the kernel TUs do not), and CI's contraction-parity job
+/// gates it.
 inline void accumulate_scalar(const double* w, const double* x, std::size_t from, std::size_t to,
                               Acc4& acc) noexcept {
   for (std::size_t j = from; j < to; ++j) acc.lane[j % kLanes] += w[j] * x[j];

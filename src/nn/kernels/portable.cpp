@@ -1,6 +1,8 @@
 // Portable scalar realization of the lane-blocked accumulation contract
-// (kernels.hpp). This TU compiles with -ffp-contract=off (see
-// src/nn/CMakeLists.txt): the contract separates each product rounding
+// (kernels.hpp). The project compiles with -ffp-contract=off everywhere
+// (top-level CMakeLists.txt — the contract's scalar helpers are
+// header-inline, so the flag must cover every TU, not just this one):
+// the contract separates each product rounding
 // from its accumulate, so the compiler must not fuse
 // `lane[k] += w[j] * x[j]` into an FMA — that would change results versus
 // the AVX2 table's mul_pd/add_pd sequence and break dispatch parity.
