@@ -7,17 +7,25 @@
 // This bench quantifies both sides of that trade: how much proxy fidelity
 // and evasion success the attacker buys per k, and what it costs in victim
 // queries — the detection-side opportunity (each query is an observable
-// probe of a security monitor).
+// probe of a security monitor). The whole kill chain runs as a
+// redteam::Campaign through an attack::InProcessOracle, i.e. the same
+// code path an over-the-wire campaign drives against shmd-served, with
+// every victim contact (labeling, the effectiveness measurement, AND the
+// transfer measurement) on one query meter.
 #include <cstdio>
 
 #include "common.hpp"
 
-#include "attack/transferability.hpp"
+#include "attack/oracle.hpp"
 #include "hmd/space_exploration.hpp"
+#include "redteam/campaign.hpp"
 
 namespace {
 
 using namespace shmd;
+
+// Fault-stream anchor; matches shmd-served's default --seed.
+constexpr std::uint64_t kServiceSeed = 24942;
 
 int run(const bench::BenchConfig& cfg) {
   const trace::Dataset ds = trace::Dataset::build(cfg.dataset);
@@ -26,7 +34,7 @@ int run(const bench::BenchConfig& cfg) {
   hmd::BaselineHmd baseline = hmd::make_baseline(ds, folds.victim_training, fc, cfg.train);
   const auto explored =
       hmd::explore_error_rate(ds, folds.victim_training, baseline.network(), fc);
-  hmd::StochasticHmd victim(baseline.network(), fc, explored.error_rate);
+  const hmd::StochasticHmd victim(baseline.network(), fc, explored.error_rate);
   const std::vector<std::size_t> targets =
       bench::malware_subset(ds, folds, cfg.attack_samples);
   const attack::EvasionConfig evasion_base = bench::make_evasion_config(ds, folds);
@@ -34,25 +42,25 @@ int run(const bench::BenchConfig& cfg) {
   std::printf("Ablation — adaptive (repeat-query, majority-label) attacker "
               "vs Stochastic-HMD at er=%.2f\n\n", explored.error_rate);
 
-  attack::ReverseEngineer re(ds);
-  util::Table table({"queries per window", "victim queries", "RE effectiveness",
-                     "evasion success", "detected"});
+  util::Table table({"queries per window", "label queries", "total victim queries",
+                     "RE effectiveness", "evasion success", "detected"});
   for (int k : {1, 3, 8, 16}) {
-    attack::ReverseEngineerConfig rc;
-    rc.kind = attack::ProxyKind::kMlp;
-    rc.proxy_configs = {fc};
-    rc.repeat_queries = k;
-    rc.label_rule = k == 1 ? attack::ReverseEngineerConfig::LabelRule::kSingle
-                           : attack::ReverseEngineerConfig::LabelRule::kMajority;
-    const auto proxy = re.run(victim, folds.victim_training, folds.testing, rc);
-    attack::EvasionConfig ec = evasion_base;
-    ec.craft_threshold = proxy.craft_threshold;
-    const auto transfer = attack::TransferabilityEval(ds, ec)
-                              .run(victim, *proxy.proxy, targets, rc.proxy_configs);
-    table.add_row({std::to_string(k), std::to_string(proxy.query_count),
-                   util::Table::pct(proxy.effectiveness, 1),
-                   util::Table::pct(transfer.success_rate(), 1),
-                   util::Table::pct(transfer.detected_rate(), 1)});
+    redteam::CampaignConfig ccfg;
+    ccfg.re.kind = attack::ProxyKind::kMlp;
+    ccfg.re.proxy_configs = {fc};
+    ccfg.re.repeat_queries = k;
+    ccfg.re.label_rule = k == 1 ? attack::ReverseEngineerConfig::LabelRule::kSingle
+                                : attack::ReverseEngineerConfig::LabelRule::kMajority;
+    ccfg.evasion = evasion_base;
+    attack::InProcessOracle oracle(victim, kServiceSeed);
+    const redteam::CampaignResult res =
+        redteam::Campaign(ds, ccfg)
+            .run(oracle, nullptr, folds.victim_training, folds.testing, targets);
+    table.add_row({std::to_string(k), std::to_string(res.label_queries),
+                   std::to_string(res.queries_used),
+                   util::Table::pct(res.re_effectiveness, 1),
+                   util::Table::pct(res.transfer.success_rate(), 1),
+                   util::Table::pct(res.transfer.detected_rate(), 1)});
   }
   bench::emit(table, cfg);
   std::printf(

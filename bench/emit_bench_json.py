@@ -4,6 +4,7 @@
 Usage: emit_bench_json.py <benchmark_out.json> [BENCH_micro.json]
        emit_bench_json.py --serve <serve_loadgen_out.json> [BENCH_serve.json]
        emit_bench_json.py --net <net_loadgen_out.json> [BENCH_net.json]
+       emit_bench_json.py --attack <redteam_campaign_out.json> [BENCH_attack.json]
 
 Micro mode: the CI bench-smoke job runs micro_inference with
 --benchmark_out and feeds the raw google-benchmark dump through this
@@ -23,6 +24,15 @@ scorecard — closed-loop round-trip latency and pipelined throughput per
 transport (TCP vs Unix socket, or the remote endpoint in --connect runs),
 shed fraction, and the wire accounting invariant (every frame sent came
 back as exactly one reply; nothing failed in the stack).
+
+Attack mode (--attack): reduces a redteam_campaign JSON report to the
+BENCH_attack.json scorecard — the evasion-transfer vs. epoch-period
+series measured over the wire (the moving-target headline: shorter epochs
+buy lower transfer), the query-budget and label-rule series, the
+cross-device fleet row, and three gates: cross-transport bit parity
+(every cell's in-process and over-the-wire campaigns produced identical
+decision hashes), wire accounting (every campaign query scored exactly
+once, decision-only), and the epoch trend.
 """
 
 import json
@@ -156,11 +166,116 @@ def emit_net(argv):
     return 0
 
 
+def emit_attack(argv):
+    if len(argv) < 1 or len(argv) > 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    raw_path = argv[0]
+    out_path = argv[1] if len(argv) == 2 else "BENCH_attack.json"
+
+    with open(raw_path, encoding="utf-8") as f:
+        raw = json.load(f)
+
+    cells = raw.get("cells", [])
+    if not cells:
+        print("emit_bench_json: no cells in attack report", file=sys.stderr)
+        return 1
+
+    def is_base(c):
+        return c.get("label_rule") == "single" and c.get("query_budget", 0) == 0
+
+    def series_point(c, key):
+        wire, inproc = c.get("wire", {}), c.get("inproc", {})
+        return {
+            key: c.get(key),
+            "wire_transfer_rate": wire.get("transfer_rate"),
+            "inproc_transfer_rate": inproc.get("transfer_rate"),
+            "re_effectiveness": wire.get("re_effectiveness"),
+            "queries_used": wire.get("queries_used"),
+            "epochs_rolled": wire.get("epochs_rolled"),
+            "parity_ok": bool(c.get("parity_ok")),
+        }
+
+    # The headline series: transfer over the wire as the defender's epoch
+    # clock tightens (base label rule, unlimited budget).
+    epoch_series = sorted(
+        (series_point(c, "epoch_period_queries") for c in cells if is_base(c)),
+        key=lambda p: p["epoch_period_queries"],
+        reverse=True,
+    )
+    budget_series = sorted(
+        (
+            series_point(c, "query_budget")
+            for c in cells
+            if c.get("label_rule") == "single" and c.get("query_budget", 0) > 0
+            and c.get("epoch_period_queries", 0) == 0
+        ),
+        key=lambda p: p["query_budget"],
+    )
+    rule_series = [
+        dict(series_point(c, "label_rule"), repeat_queries=c.get("repeat_queries"))
+        for c in cells
+        if c.get("epoch_period_queries", 0) == 0 and c.get("query_budget", 0) == 0
+    ]
+
+    # Trend gate: the static victim (period 0 sorts first) must transfer at
+    # least as much as the fastest-rolling one, modulo a small-sample
+    # slack. Only checkable when the sweep actually ran (self-hosted mode;
+    # the --connect smoke has a single cell and passes vacuously).
+    trend_ok = True
+    statics = [p for p in epoch_series if p["epoch_period_queries"] == 0]
+    rolling = [p for p in epoch_series if p["epoch_period_queries"] > 0]
+    if statics and rolling:
+        fastest = min(rolling, key=lambda p: p["epoch_period_queries"])
+        trend_ok = fastest["wire_transfer_rate"] <= statics[0]["wire_transfer_rate"] + 0.05
+
+    totals = raw.get("totals", {})
+    fleet = raw.get("fleet", {})
+    members = fleet.get("members", [])
+    rates = [m.get("transfer_rate", 0.0) for m in members if not m.get("frozen")]
+    scorecard = {
+        "epoch_transfer_series": epoch_series,
+        "budget_series": budget_series,
+        "label_rule_series": rule_series,
+        "fleet": {
+            "devices": fleet.get("devices", 0),
+            "crafted_evasive": fleet.get("crafted_evasive", 0),
+            "transfer_rate_min": min(rates) if rates else None,
+            "transfer_rate_max": max(rates) if rates else None,
+            "members": members,
+        },
+        # Cross-transport bit parity: for every cell the in-process replica
+        # and the over-the-wire campaign observed identical decisions
+        # (equal FNV-1a hashes). This is the subsystem's core promise.
+        "parity_ok": bool(totals.get("parity_ok")),
+        # Wire accounting: queries == scored == decision-only verdicts per
+        # served instance; nothing shed, failed, or in flight.
+        "accounting_ok": bool(totals.get("accounting_ok")),
+        "trend_ok": trend_ok,
+        "config": raw.get("config", {}),
+    }
+    ok = scorecard["parity_ok"] and scorecard["accounting_ok"] and trend_ok
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(scorecard, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"emit_bench_json: wrote attack scorecard to {out_path}")
+    if not ok:
+        print("emit_bench_json: attack gates failed "
+              f"(parity_ok={scorecard['parity_ok']} "
+              f"accounting_ok={scorecard['accounting_ok']} trend_ok={trend_ok})",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv):
     if len(argv) >= 2 and argv[1] == "--serve":
         return emit_serve(argv[2:])
     if len(argv) >= 2 and argv[1] == "--net":
         return emit_net(argv[2:])
+    if len(argv) >= 2 and argv[1] == "--attack":
+        return emit_attack(argv[2:])
     if len(argv) < 2 or len(argv) > 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -1,0 +1,451 @@
+// redteam_campaign: the end-to-end adaptive adversary against the live
+// service, over the wire.
+//
+// Every attack bench so far measured the kill chain in-process. This one
+// runs redteam::Campaign (label -> proxy -> craft -> ship) through BOTH
+// oracles for every configuration cell:
+//
+//   * attack::InProcessOracle  — the request-anchored replica, and
+//   * redteam::NetOracle       — a real NetServer over a Unix socket,
+//     decision-only kVerdict frames, pipelined queries,
+//
+// and asserts the two runs are bit-identical (equal decision hashes, equal
+// transfer counts). On top of the parity probe it sweeps the three
+// campaign knobs — epoch roll period (in queries), query budget, and the
+// repeat-query label rule — so the report carries the evasion-transfer
+// vs. epoch-period series (the moving target's headline: shorter epochs
+// buy lower transfer), plus a fleet section: one evasive set crafted
+// against the reference die, shipped to N served instances whose volt/
+// profiles put each die at a different effective error rate.
+//
+// Default mode is self-hosted (the bench owns every service). --connect
+// <endpoint> instead drives ONE parity cell against an external
+// shmd-served — the CI attack-smoke split. The daemon must be freshly
+// started with --epoch-period-ms=0 and the same --seed/--er, because the
+// parity contract anchors per-request noise to the admission sequence.
+//
+// Emits a raw JSON report (stdout or --out); CI reduces it to
+// BENCH_attack.json with bench/emit_bench_json.py --attack.
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common.hpp"
+
+#include "attack/oracle.hpp"
+#include "attack/transferability.hpp"
+#include "hmd/stochastic_hmd.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "redteam/campaign.hpp"
+#include "redteam/fleet.hpp"
+#include "redteam/net_oracle.hpp"
+#include "serve/scoring_service.hpp"
+
+namespace {
+
+using namespace shmd;
+using attack::ReverseEngineerConfig;
+
+/// One point of the sweep lattice.
+struct Cell {
+  std::uint64_t epoch_period_queries = 0;
+  std::uint64_t query_budget = 0;
+  ReverseEngineerConfig::LabelRule rule = ReverseEngineerConfig::LabelRule::kSingle;
+  int repeat_queries = 1;
+};
+
+const char* rule_name(ReverseEngineerConfig::LabelRule rule) {
+  switch (rule) {
+    case ReverseEngineerConfig::LabelRule::kSingle: return "single";
+    case ReverseEngineerConfig::LabelRule::kAny: return "any";
+    case ReverseEngineerConfig::LabelRule::kMajority: return "majority";
+  }
+  return "?";
+}
+
+/// Wire-side bookkeeping for one cell: the campaign outcome plus the
+/// server's own view of it.
+struct WireOutcome {
+  redteam::CampaignResult result;
+  serve::ServiceStatsSnapshot stats;
+  std::uint64_t shed = 0;
+  bool accounting_ok = false;
+};
+
+struct CellReport {
+  Cell cell;
+  redteam::CampaignResult inproc;
+  WireOutcome wire;
+  bool parity_ok = false;
+};
+
+redteam::CampaignConfig campaign_config(const Cell& cell, const trace::FeatureConfig& fc,
+                                        const attack::EvasionConfig& evasion) {
+  redteam::CampaignConfig ccfg;
+  ccfg.re.kind = attack::ProxyKind::kMlp;
+  ccfg.re.proxy_configs = {fc};
+  ccfg.re.repeat_queries = cell.repeat_queries;
+  ccfg.re.label_rule = cell.rule;
+  ccfg.evasion = evasion;
+  ccfg.query_budget = cell.query_budget;
+  ccfg.epoch_period_queries = cell.epoch_period_queries;
+  return ccfg;
+}
+
+/// The in-process leg: replica oracle + in-process epoch roller.
+redteam::CampaignResult run_inproc(const trace::Dataset& ds, const hmd::StochasticHmd& victim,
+                                   std::uint64_t service_seed,
+                                   const std::vector<double>& schedule,
+                                   const redteam::CampaignConfig& ccfg,
+                                   const trace::FoldSplit& folds,
+                                   const std::vector<std::size_t>& targets) {
+  attack::InProcessOracle oracle(victim, service_seed);
+  redteam::InProcessEpochController controller(oracle, schedule);
+  const redteam::Campaign campaign(ds, ccfg);
+  return campaign.run(oracle, ccfg.epoch_period_queries > 0 ? &controller : nullptr,
+                      folds.attacker_training, folds.testing, targets);
+}
+
+/// The wire leg: a fresh service + NetServer per cell (the parity contract
+/// anchors noise to the admission sequence, which restarts at 0 with the
+/// service), decision-only listener, campaign through a NetOracle.
+WireOutcome run_wire(const trace::Dataset& ds, const nn::Network& net,
+                     const trace::FeatureConfig& fc, double er, std::uint64_t service_seed,
+                     std::size_t workers, const std::vector<double>& schedule,
+                     const redteam::CampaignConfig& ccfg, const trace::FoldSplit& folds,
+                     const std::vector<std::size_t>& targets, const std::string& uds_path) {
+  serve::ServeConfig config;
+  config.num_workers = workers;
+  config.seed = service_seed;
+  serve::ScoringService service(serve::make_epoch(hmd::StochasticHmd(net, fc, er)), config);
+  net::NetServerConfig net_config;
+  net_config.allow_raw_scores = false;  // the §V posture shmd-served deploys
+  net::NetServer server(service, net_config);
+  const util::Endpoint ep =
+      server.add_listener(util::parse_endpoint("unix:" + uds_path), /*trusted=*/false);
+  server.start();
+
+  WireOutcome out;
+  {
+    net::NetClient client;
+    client.connect(ep);
+    redteam::NetOracleConfig ocfg;
+    ocfg.features = fc;
+    ocfg.recv_timeout = std::chrono::milliseconds(30000);
+    redteam::NetOracle oracle(client, ocfg);
+    redteam::ServiceEpochController controller(service, net, fc, schedule);
+    const redteam::Campaign campaign(ds, ccfg);
+    out.result = campaign.run(oracle, ccfg.epoch_period_queries > 0 ? &controller : nullptr,
+                              folds.attacker_training, folds.testing, targets);
+  }
+  server.stop();
+  service.close();
+  out.stats = service.stats();
+  const net::NetServerStats nstats = server.stats();
+  out.shed = out.stats.shed;
+  // Wire accounting: the campaign's query count must be exactly what the
+  // server scored AND what it scored decision-only — no raw-score leak,
+  // no shed reply silently counted as a verdict, nothing lost in flight.
+  out.accounting_ok = out.stats.failed == 0 && out.stats.in_flight() == 0 &&
+                      out.stats.shed == 0 && nstats.protocol_errors == 0 &&
+                      out.stats.scored == out.result.queries_used &&
+                      out.stats.verdict_queries == out.result.queries_used;
+  return out;
+}
+
+bool results_match(const redteam::CampaignResult& a, const redteam::CampaignResult& b) {
+  return a.decision_hash == b.decision_hash && a.queries_used == b.queries_used &&
+         a.epochs_rolled == b.epochs_rolled &&
+         a.transfer.transferred == b.transfer.transferred &&
+         a.transfer.proxy_evaded == b.transfer.proxy_evaded &&
+         a.train_programs == b.train_programs;
+}
+
+void print_result(std::FILE* out, const char* key, const redteam::CampaignResult& r,
+                  bool last) {
+  std::fprintf(out,
+               "      \"%s\": {\n"
+               "        \"re_effectiveness\": %.6f,\n"
+               "        \"train_programs\": %zu,\n"
+               "        \"label_queries\": %llu,\n"
+               "        \"malware_tested\": %zu,\n"
+               "        \"proxy_evaded\": %zu,\n"
+               "        \"transferred\": %zu,\n"
+               "        \"transfer_rate\": %.6f,\n"
+               "        \"detected_rate\": %.6f,\n"
+               "        \"queries_used\": %llu,\n"
+               "        \"epochs_rolled\": %llu,\n"
+               "        \"decision_hash\": \"0x%016llx\"\n"
+               "      }%s\n",
+               key, r.re_effectiveness, r.train_programs,
+               static_cast<unsigned long long>(r.label_queries), r.transfer.malware_tested,
+               r.transfer.proxy_evaded, r.transfer.transferred, r.transfer.success_rate(),
+               r.transfer.detected_rate(), static_cast<unsigned long long>(r.queries_used),
+               static_cast<unsigned long long>(r.epochs_rolled),
+               static_cast<unsigned long long>(r.decision_hash), last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_flag("connect", "drive an external shmd-served at this endpoint instead", "");
+  cli.add_flag("er", "victim stochastic error rate", "0.10");
+  cli.add_flag("service-seed", "service fault-stream anchor (must match the daemon's --seed "
+               "in --connect mode)", "24942");
+  cli.add_flag("budget", "query budget for the --connect parity cell (0 = unlimited)", "0");
+  cli.add_flag("fleet-devices", "fleet size for the cross-device section (0 = skip)", "4");
+  cli.add_flag("fleet-seed", "device-profile sampling seed", "61423");
+  cli.add_flag("fleet-temp", "fleet die temperature, Celsius", "45");
+  cli.add_flag("out", "write the JSON report here instead of stdout", "");
+  const auto cfg = bench::parse_bench_args(argc, argv, cli);
+  if (!cfg) return 0;
+
+  const std::string connect = cli.get("connect");
+  const double er = cli.get_double("er");
+  const auto service_seed = static_cast<std::uint64_t>(cli.get_int("service-seed"));
+  // shmd-served's moving-target schedule, translated to the query clock.
+  const std::vector<double> schedule = {er * 0.5, er * 1.5, er};
+
+  const trace::Dataset ds = trace::Dataset::build(cfg->dataset);
+  const trace::FeatureConfig fc = bench::victim_config(ds);
+  const trace::FoldSplit folds = ds.folds(0);
+  const std::vector<std::size_t> targets = bench::malware_subset(ds, folds, cfg->attack_samples);
+  const attack::EvasionConfig evasion = bench::make_evasion_config(ds, folds);
+
+  // The victim boundary. Self-hosted trains the fig3-style detector;
+  // --connect replicates the daemon's untrained reference network from
+  // its seed (the parity probe needs the boundary, not a good detector).
+  const nn::Network net =
+      connect.empty()
+          ? hmd::make_baseline(ds, folds.victim_training, fc, cfg->train).network()
+          : redteam::served_reference_network(service_seed);
+  const hmd::StochasticHmd victim(net, fc, er);
+
+  // Scale-invariant sweep values: the epoch periods and budgets are
+  // derived from the fold sizes so the same trend is probed at --quick
+  // and --paper-scale alike.
+  const std::uint64_t n_train = folds.attacker_training.size();
+  const std::uint64_t reserved = folds.testing.size() + targets.size();
+  const std::uint64_t total_est = n_train + reserved;
+  std::vector<Cell> cells;
+  if (connect.empty()) {
+    // Epoch series (the headline): static victim down to ~32 rolls/run.
+    for (const std::uint64_t p : {std::uint64_t{0}, total_est / 2, total_est / 8,
+                                  total_est / 32}) {
+      cells.push_back({p, 0, ReverseEngineerConfig::LabelRule::kSingle, 1});
+    }
+    // Budget series: unlimited is above; mid and starved attackers.
+    cells.push_back({0, reserved + n_train / 2, ReverseEngineerConfig::LabelRule::kSingle, 1});
+    cells.push_back({0, reserved + n_train / 5, ReverseEngineerConfig::LabelRule::kSingle, 1});
+    // Label-rule series: the repeat-query adaptive attackers.
+    cells.push_back({0, 0, ReverseEngineerConfig::LabelRule::kMajority, 3});
+    cells.push_back({0, 0, ReverseEngineerConfig::LabelRule::kAny, 3});
+    // Cross term: rolling victim vs budgeted majority attacker.
+    cells.push_back({total_est / 8, reserved + 3 * n_train / 2,
+                     ReverseEngineerConfig::LabelRule::kMajority, 3});
+  } else {
+    cells.push_back({0, static_cast<std::uint64_t>(cli.get_int("budget")),
+                     ReverseEngineerConfig::LabelRule::kSingle, 1});
+  }
+
+  const std::string uds_base =
+      "/tmp/shmd_redteam_" + std::to_string(::getpid()) + "_";
+  std::vector<CellReport> reports;
+  reports.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    std::fprintf(stderr,
+                 "cell %zu/%zu: period=%llu budget=%llu rule=%s x%d ...\n", i + 1,
+                 cells.size(), static_cast<unsigned long long>(cell.epoch_period_queries),
+                 static_cast<unsigned long long>(cell.query_budget), rule_name(cell.rule),
+                 cell.repeat_queries);
+    const redteam::CampaignConfig ccfg = campaign_config(cell, fc, evasion);
+    CellReport report;
+    report.cell = cell;
+    report.inproc = run_inproc(ds, victim, service_seed, schedule, ccfg, folds, targets);
+    if (connect.empty()) {
+      report.wire = run_wire(ds, net, fc, er, service_seed, cfg->workers, schedule, ccfg,
+                             folds, targets, uds_base + std::to_string(i) + ".sock");
+    } else {
+      // External daemon: one campaign against the remote endpoint. Server
+      // stats are out of reach; accounting reduces to "every query got a
+      // scored reply", which NetOracle already enforces by throwing.
+      net::NetClient client;
+      client.connect(util::parse_endpoint(connect));
+      redteam::NetOracleConfig ocfg;
+      ocfg.features = redteam::kServedFeatureConfig;
+      ocfg.recv_timeout = std::chrono::milliseconds(30000);
+      redteam::NetOracle oracle(client, ocfg);
+      const redteam::Campaign campaign(ds, ccfg);
+      report.wire.result =
+          campaign.run(oracle, nullptr, folds.attacker_training, folds.testing, targets);
+      report.wire.accounting_ok = true;
+    }
+    report.parity_ok = results_match(report.inproc, report.wire.result);
+    std::fprintf(stderr, "  transfer wire=%.3f inproc=%.3f parity=%s accounting=%s\n",
+                 report.wire.result.transfer.success_rate(),
+                 report.inproc.transfer.success_rate(), report.parity_ok ? "ok" : "MISMATCH",
+                 report.wire.accounting_ok ? "ok" : "FAIL");
+    reports.push_back(std::move(report));
+  }
+
+  // Fleet section (self-hosted only): craft ONE evasive set against the
+  // reference die's boundary, then ship it to every served instance.
+  const auto n_fleet =
+      connect.empty() ? static_cast<std::size_t>(cli.get_int("fleet-devices")) : 0;
+  std::vector<redteam::FleetDevice> fleet;
+  std::vector<redteam::FleetDeviceOutcome> fleet_outcomes;
+  std::size_t fleet_crafted = 0;
+  bool fleet_accounting_ok = true;
+  if (n_fleet > 0) {
+    const double temp_c = cli.get_double("fleet-temp");
+    fleet = redteam::sample_fleet(n_fleet, static_cast<std::uint64_t>(cli.get_int("fleet-seed")),
+                                  er, temp_c);
+    std::fprintf(stderr, "fleet: %zu devices at %.0f C, rail %.1f mV ...\n", fleet.size(),
+                 temp_c, fleet.front().offset_mv);
+    // Attacker side, against device 0 (the die the rail was calibrated on).
+    attack::InProcessOracle ref_oracle(victim, service_seed);
+    attack::ReverseEngineerConfig rc;
+    rc.proxy_configs = {fc};
+    const auto proxy = attack::ReverseEngineer(ds).run(ref_oracle, folds.attacker_training,
+                                                       folds.testing, rc);
+    attack::EvasionConfig ec = evasion;
+    ec.craft_threshold = proxy.craft_threshold;
+    const attack::CraftOutcome crafted =
+        attack::TransferabilityEval(ds, ec).craft(*proxy.proxy, targets, rc.proxy_configs);
+    fleet_crafted = crafted.evasive.size();
+
+    // Defender side: one served instance per viable die, each at its own
+    // effective error rate, each with its own connection.
+    std::vector<std::unique_ptr<serve::ScoringService>> services(fleet.size());
+    std::vector<std::unique_ptr<net::NetServer>> servers(fleet.size());
+    std::vector<std::unique_ptr<net::NetClient>> clients(fleet.size());
+    for (const redteam::FleetDevice& dev : fleet) {
+      if (dev.frozen) continue;
+      serve::ServeConfig sc;
+      sc.num_workers = cfg->workers;
+      sc.seed = service_seed + dev.index;  // each die streams its own noise
+      services[dev.index] = std::make_unique<serve::ScoringService>(
+          serve::make_epoch(hmd::StochasticHmd(net, fc, dev.error_rate)), sc);
+      net::NetServerConfig nc;
+      nc.allow_raw_scores = false;
+      servers[dev.index] = std::make_unique<net::NetServer>(*services[dev.index], nc);
+      const util::Endpoint ep = servers[dev.index]->add_listener(
+          util::parse_endpoint("unix:" + uds_base + "fleet" + std::to_string(dev.index) +
+                               ".sock"),
+          /*trusted=*/false);
+      servers[dev.index]->start();
+      clients[dev.index] = std::make_unique<net::NetClient>();
+      clients[dev.index]->connect(ep);
+    }
+    redteam::NetOracleConfig ocfg;
+    ocfg.features = fc;
+    ocfg.recv_timeout = std::chrono::milliseconds(30000);
+    fleet_outcomes = redteam::measure_fleet_transfer(
+        ds, crafted, fleet,
+        [&](const redteam::FleetDevice& dev) {
+          return std::make_unique<redteam::NetOracle>(*clients[dev.index], ocfg);
+        },
+        ec);
+    for (const redteam::FleetDevice& dev : fleet) {
+      if (dev.frozen) continue;
+      servers[dev.index]->stop();
+      services[dev.index]->close();
+      const serve::ServiceStatsSnapshot stats = services[dev.index]->stats();
+      if (stats.failed != 0 || stats.in_flight() != 0 || stats.shed != 0 ||
+          stats.verdict_queries != stats.scored) {
+        fleet_accounting_ok = false;
+      }
+    }
+  }
+
+  bool parity_ok = true;
+  bool accounting_ok = fleet_accounting_ok;
+  for (const CellReport& r : reports) {
+    parity_ok = parity_ok && r.parity_ok;
+    accounting_ok = accounting_ok && r.wire.accounting_ok;
+  }
+
+  const std::string out_path = cli.get("out");
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr)
+      throw std::runtime_error("redteam_campaign: cannot open " + out_path);
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"config\": {\n"
+               "    \"mode\": \"%s\",\n"
+               "    \"er\": %.4f,\n"
+               "    \"service_seed\": %llu,\n"
+               "    \"train_fold\": %llu,\n"
+               "    \"test_fold\": %zu,\n"
+               "    \"attack_samples\": %zu\n"
+               "  },\n",
+               connect.empty() ? "self_hosted" : "connect", er,
+               static_cast<unsigned long long>(service_seed),
+               static_cast<unsigned long long>(n_train), folds.testing.size(),
+               targets.size());
+  std::fprintf(out, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const CellReport& r = reports[i];
+    std::fprintf(out,
+                 "    {\n"
+                 "      \"epoch_period_queries\": %llu,\n"
+                 "      \"query_budget\": %llu,\n"
+                 "      \"label_rule\": \"%s\",\n"
+                 "      \"repeat_queries\": %d,\n"
+                 "      \"parity_ok\": %s,\n"
+                 "      \"wire_accounting_ok\": %s,\n"
+                 "      \"server_shed\": %llu,\n",
+                 static_cast<unsigned long long>(r.cell.epoch_period_queries),
+                 static_cast<unsigned long long>(r.cell.query_budget),
+                 rule_name(r.cell.rule), r.cell.repeat_queries,
+                 r.parity_ok ? "true" : "false",
+                 r.wire.accounting_ok ? "true" : "false",
+                 static_cast<unsigned long long>(r.wire.shed));
+    print_result(out, "wire", r.wire.result, /*last=*/false);
+    print_result(out, "inproc", r.inproc, /*last=*/true);
+    std::fprintf(out, "    }%s\n", i + 1 == reports.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"fleet\": {\n"
+               "    \"devices\": %zu,\n"
+               "    \"crafted_evasive\": %zu,\n"
+               "    \"accounting_ok\": %s,\n"
+               "    \"members\": [\n",
+               fleet.size(), fleet_crafted, fleet_accounting_ok ? "true" : "false");
+  for (std::size_t i = 0; i < fleet_outcomes.size(); ++i) {
+    const redteam::FleetDeviceOutcome& o = fleet_outcomes[i];
+    std::fprintf(out,
+                 "      {\"device\": %zu, \"offset_mv\": %.2f, \"error_rate\": %.6f, "
+                 "\"frozen\": %s, \"proxy_evaded\": %zu, \"transferred\": %zu, "
+                 "\"transfer_rate\": %.6f, \"queries_used\": %llu, "
+                 "\"decision_hash\": \"0x%016llx\"}%s\n",
+                 o.device.index, o.device.offset_mv, o.device.error_rate,
+                 o.device.frozen ? "true" : "false", o.transfer.proxy_evaded,
+                 o.transfer.transferred, o.transfer.success_rate(),
+                 static_cast<unsigned long long>(o.queries_used),
+                 static_cast<unsigned long long>(o.decision_hash),
+                 i + 1 == fleet_outcomes.size() ? "" : ",");
+  }
+  std::fprintf(out, "    ]\n  },\n");
+  std::fprintf(out,
+               "  \"totals\": {\n"
+               "    \"cells\": %zu,\n"
+               "    \"parity_ok\": %s,\n"
+               "    \"accounting_ok\": %s\n"
+               "  }\n}\n",
+               reports.size(), parity_ok ? "true" : "false",
+               accounting_ok ? "true" : "false");
+  if (out != stdout) std::fclose(out);
+  return parity_ok && accounting_ok ? 0 : 1;
+}

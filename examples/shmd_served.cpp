@@ -23,6 +23,7 @@
 #include "hmd/stochastic_hmd.hpp"
 #include "net/server.hpp"
 #include "nn/network.hpp"
+#include "redteam/campaign.hpp"
 #include "rng/xoshiro256ss.hpp"
 #include "serve/scoring_service.hpp"
 #include "util/cli.hpp"
@@ -31,18 +32,10 @@ namespace {
 
 using namespace shmd;
 
-constexpr std::size_t kInputs = 16;
-
 // SIGINT/SIGTERM land here; the main loop polls it. A handler may only
 // touch lock-free sig_atomic storage, hence no condition variable.
 volatile std::sig_atomic_t g_stop = 0;
 extern "C" void handle_stop(int) { g_stop = 1; }
-
-nn::Network make_net(std::uint64_t seed) {
-  const std::vector<std::size_t> topo{kInputs, 32, 16, 1};
-  return nn::Network(topo, nn::Activation::kSigmoid, nn::Activation::kSigmoid,
-                     static_cast<unsigned>(seed));
-}
 
 }  // namespace
 
@@ -56,6 +49,9 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "service seed (fault-stream anchor)", "24942");
   cli.add_flag("epoch-period-ms", "moving-target re-roll period (0 = static)", "250");
   cli.add_flag("duration-s", "run time in seconds (0 = until SIGINT/SIGTERM)", "0");
+  cli.add_bool("no-raw-scores",
+               "refuse kScore from untrusted (TCP) endpoints; they get the "
+               "decision-only kVerdict channel (the unix listener stays trusted)");
   if (!cli.parse(argc, argv)) return 0;
 
   const double er = cli.get_double("er");
@@ -63,8 +59,10 @@ int main(int argc, char** argv) {
   const std::chrono::milliseconds epoch_period(cli.get_int("epoch-period-ms"));
   const double duration_s = cli.get_double("duration-s");
 
-  const trace::FeatureConfig fc{trace::FeatureView::kInsnCategory, 2048};
-  const nn::Network net = make_net(seed);
+  // The reference network lives in redteam::served_reference_network so
+  // red-team tooling can replicate this daemon's boundary from --seed.
+  const trace::FeatureConfig fc = redteam::kServedFeatureConfig;
+  const nn::Network net = redteam::served_reference_network(seed);
   const hmd::StochasticHmd hmd(net, fc, er);
 
   serve::ServeConfig config;
@@ -73,11 +71,18 @@ int main(int argc, char** argv) {
   config.seed = seed;
   serve::ScoringService service(serve::make_epoch(hmd), config);
 
-  net::NetServer server(service);
-  const util::Endpoint tcp = server.add_listener(util::parse_endpoint(cli.get("listen")));
+  net::NetServerConfig net_config;
+  net_config.allow_raw_scores = !cli.get_bool("no-raw-scores");
+  net::NetServer server(service, net_config);
+  // Trust split under --no-raw-scores: remote (TCP) clients are the §V
+  // adversary and get decisions only; the same-host unix socket is the
+  // defender's own collector and keeps the raw-score channel.
+  const util::Endpoint tcp =
+      server.add_listener(util::parse_endpoint(cli.get("listen")), /*trusted=*/false);
   std::optional<util::Endpoint> uds;
   if (!cli.get("unix").empty()) {
-    uds = server.add_listener(util::parse_endpoint("unix:" + cli.get("unix")));
+    uds = server.add_listener(util::parse_endpoint("unix:" + cli.get("unix")),
+                              /*trusted=*/true);
   }
   server.start();
   std::printf("shmd-served: scoring on %s%s%s  (workers=%zu queue=%zu er=%.3f)\n",

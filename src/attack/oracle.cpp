@@ -1,0 +1,113 @@
+#include "attack/oracle.hpp"
+
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace shmd::attack {
+
+namespace {
+
+/// FNV-1a, one byte at a time — the same digest idiom the loadgens use
+/// for score hashes.
+constexpr std::uint64_t fnv1a(std::uint64_t hash, std::uint8_t byte) noexcept {
+  return (hash ^ byte) * 0x100000001B3ULL;
+}
+
+}  // namespace
+
+OracleReply QueryOracle::query(const trace::FeatureSet& features) {
+  charge(1);
+  OracleReply reply = do_query(features);
+  observe(reply);
+  return reply;
+}
+
+std::vector<OracleReply> QueryOracle::query_many(
+    std::span<const trace::FeatureSet* const> batch) {
+  charge(batch.size());
+  std::vector<OracleReply> replies = do_query_many(batch);
+  for (const OracleReply& reply : replies) observe(reply);
+  return replies;
+}
+
+std::vector<OracleReply> QueryOracle::do_query_many(
+    std::span<const trace::FeatureSet* const> batch) {
+  std::vector<OracleReply> replies;
+  replies.reserve(batch.size());
+  for (const trace::FeatureSet* features : batch) replies.push_back(do_query(*features));
+  return replies;
+}
+
+void QueryOracle::charge(std::uint64_t n) {
+  if (budget_ && used_ + n > *budget_) throw OracleBudgetExhausted();
+  used_ += n;
+}
+
+void QueryOracle::observe(const OracleReply& reply) noexcept {
+  for (const bool d : reply.decisions) hash_ = fnv1a(hash_, d ? 1 : 0);
+  hash_ = fnv1a(hash_, reply.verdict ? 1 : 0);
+  for (int b = 0; b < 8; ++b) {
+    hash_ = fnv1a(hash_, static_cast<std::uint8_t>(reply.epoch_id >> (8 * b)));
+  }
+}
+
+OracleReply DetectorOracle::do_query(const trace::FeatureSet& features) {
+  OracleReply reply;
+  std::vector<double> scores = victim_->window_scores(features);
+  reply.decisions.resize(scores.size());
+  for (std::size_t w = 0; w < scores.size(); ++w) {
+    reply.decisions[w] = scores[w] >= threshold_;
+  }
+  reply.verdict = hmd::fraction_vote(scores, threshold_, vote_fraction_);
+  if (leak_scores_) reply.scores = std::move(scores);
+  return reply;
+}
+
+InProcessOracle::InProcessOracle(const hmd::StochasticHmd& victim,
+                                 std::uint64_t service_seed, double threshold,
+                                 double vote_fraction)
+    : net_(victim.network()), config_(victim.feature_config()),
+      injector_(victim.error_rate(), victim.fault_distribution(), service_seed),
+      threshold_(threshold), vote_fraction_(vote_fraction), seed_(service_seed) {}
+
+std::uint64_t InProcessOracle::install_error_rate(double error_rate) {
+  injector_.set_error_rate(error_rate);
+  return ++epoch_id_;
+}
+
+OracleReply InProcessOracle::do_query(const trace::FeatureSet& features) {
+  // Mirror of the ScoringService worker's scoring path, batch of one:
+  // flatten the program's windows into a windows-major tile, re-anchor
+  // the private fault stream at the admission sequence number, forward
+  // the whole tile, vote. Any divergence here breaks the in-process vs
+  // over-the-wire parity guarantee — change both or neither.
+  const std::vector<std::vector<double>>& windows = features.windows(config_);
+  const std::size_t in_dim = net_.input_dim();
+  const std::size_t out_dim = net_.output_dim();
+  tile_.clear();
+  for (const std::vector<double>& window : windows) {
+    if (window.size() != in_dim) {
+      throw std::invalid_argument("InProcessOracle: window width != network input width");
+    }
+    tile_.insert(tile_.end(), window.begin(), window.end());
+  }
+  injector_.generator() = rng::Xoshiro256ss(rng::stream_seed(seed_, next_seq_++));
+  injector_.reset_stats();
+  nn::FaultyContext ctx(injector_);
+  const std::span<const double> out =
+      net_.forward_batch(tile_, windows.size(), ctx, scratch_);
+
+  OracleReply reply;
+  reply.epoch_id = epoch_id_;
+  std::vector<double> scores(windows.size());
+  reply.decisions.resize(windows.size());
+  for (std::size_t r = 0; r < windows.size(); ++r) {
+    scores[r] = out[r * out_dim];
+    reply.decisions[r] = scores[r] >= threshold_;
+  }
+  reply.verdict = hmd::fraction_vote(scores, threshold_, vote_fraction_);
+  // Decision-only: the deployed channel never leaks scores.
+  return reply;
+}
+
+}  // namespace shmd::attack

@@ -57,7 +57,7 @@ std::vector<std::vector<double>> proxy_windows(const trace::ProgramSample& sampl
 }  // namespace
 
 std::vector<nn::TrainSample> ReverseEngineer::query_victim(
-    hmd::Detector& victim, std::span<const std::size_t> indices,
+    QueryOracle& oracle, std::span<const std::size_t> indices,
     std::span<const trace::FeatureConfig> proxy_configs, int repeat_queries,
     ReverseEngineerConfig::LabelRule rule) const {
   if (proxy_configs.empty()) throw std::invalid_argument("query_victim: no proxy configs");
@@ -67,19 +67,30 @@ std::vector<nn::TrainSample> ReverseEngineer::query_victim(
       throw std::invalid_argument("query_victim: proxy configs must share one period");
     }
   }
-  std::vector<nn::TrainSample> out;
-  std::vector<int> flag_counts;
+  // One batch for the whole labeling pass (program-major, repeat-minor):
+  // a wire-backed oracle overlaps every round trip, an in-process one
+  // answers sequentially in the same order — identical replies either
+  // way. The labels the attacker sees are the victim's *observed*
+  // decisions, randomness and all; repeated queries re-sample it.
+  std::vector<const trace::FeatureSet*> batch;
+  batch.reserve(indices.size() * static_cast<std::size_t>(repeat_queries));
   for (std::size_t idx : indices) {
     const trace::ProgramSample& sample = dataset_->samples().at(idx);
-    // Live queries per decision epoch: the labels the attacker sees are
-    // the victim's *observed* verdicts, randomness and all. Repeated
-    // queries re-sample that randomness.
-    std::vector<double> live = victim.window_scores(sample.features);
-    flag_counts.assign(live.size(), 0);
+    for (int q = 0; q < repeat_queries; ++q) batch.push_back(&sample.features);
+  }
+  const std::vector<OracleReply> replies = oracle.query_many(batch);
+
+  std::vector<nn::TrainSample> out;
+  std::vector<int> flag_counts;
+  std::size_t at = 0;
+  for (std::size_t idx : indices) {
+    const trace::ProgramSample& sample = dataset_->samples().at(idx);
+    flag_counts.assign(replies[at].decisions.size(), 0);
     for (int q = 0; q < repeat_queries; ++q) {
-      if (q > 0) live = victim.window_scores(sample.features);
-      for (std::size_t w = 0; w < live.size(); ++w) {
-        if (live[w] >= 0.5) ++flag_counts[w];
+      const OracleReply& reply = replies[at++];
+      const std::size_t n = std::min(flag_counts.size(), reply.decisions.size());
+      for (std::size_t w = 0; w < n; ++w) {
+        if (reply.decisions[w]) ++flag_counts[w];
       }
     }
     std::vector<std::vector<double>> features = proxy_windows(sample, proxy_configs);
@@ -101,13 +112,21 @@ std::vector<nn::TrainSample> ReverseEngineer::query_victim(
   return out;
 }
 
-ReverseEngineeringResult ReverseEngineer::run(hmd::Detector& victim,
+std::vector<nn::TrainSample> ReverseEngineer::query_victim(
+    hmd::Detector& victim, std::span<const std::size_t> indices,
+    std::span<const trace::FeatureConfig> proxy_configs, int repeat_queries,
+    ReverseEngineerConfig::LabelRule rule) const {
+  DetectorOracle oracle(victim);
+  return query_victim(oracle, indices, proxy_configs, repeat_queries, rule);
+}
+
+ReverseEngineeringResult ReverseEngineer::run(QueryOracle& oracle,
                                               std::span<const std::size_t> query_indices,
                                               std::span<const std::size_t> test_indices,
                                               const ReverseEngineerConfig& config) const {
   ReverseEngineeringResult result;
   const std::vector<nn::TrainSample> labeled = query_victim(
-      victim, query_indices, config.proxy_configs, config.repeat_queries, config.label_rule);
+      oracle, query_indices, config.proxy_configs, config.repeat_queries, config.label_rule);
   if (labeled.empty()) throw std::invalid_argument("ReverseEngineer: no labeled windows");
   result.query_count = labeled.size() * static_cast<std::size_t>(config.repeat_queries);
 
@@ -196,14 +215,19 @@ ReverseEngineeringResult ReverseEngineer::run(hmd::Detector& victim,
   // defense claims.
   std::size_t agree = 0;
   std::size_t total = 0;
+  std::vector<const trace::FeatureSet*> test_batch;
+  test_batch.reserve(test_indices.size());
   for (std::size_t idx : test_indices) {
-    const trace::ProgramSample& sample = dataset_->samples().at(idx);
-    const std::vector<double> live = victim.window_scores(sample.features);
+    test_batch.push_back(&dataset_->samples().at(idx).features);
+  }
+  const std::vector<OracleReply> replies = oracle.query_many(test_batch);
+  for (std::size_t i = 0; i < test_indices.size(); ++i) {
+    const trace::ProgramSample& sample = dataset_->samples().at(test_indices[i]);
     const std::vector<std::vector<double>> features =
         proxy_windows(sample, config.proxy_configs);
-    const std::size_t n = std::min(live.size(), features.size());
+    const std::size_t n = std::min(replies[i].decisions.size(), features.size());
     for (std::size_t w = 0; w < n; ++w) {
-      const bool victim_says = live[w] >= 0.5;
+      const bool victim_says = replies[i].decisions[w];
       const bool proxy_says = result.proxy->classify(features[w]);
       agree += (victim_says == proxy_says) ? 1 : 0;
       ++total;
@@ -211,6 +235,14 @@ ReverseEngineeringResult ReverseEngineer::run(hmd::Detector& victim,
   }
   result.effectiveness = total == 0 ? 0.0 : static_cast<double>(agree) / static_cast<double>(total);
   return result;
+}
+
+ReverseEngineeringResult ReverseEngineer::run(hmd::Detector& victim,
+                                              std::span<const std::size_t> query_indices,
+                                              std::span<const std::size_t> test_indices,
+                                              const ReverseEngineerConfig& config) const {
+  DetectorOracle oracle(victim);
+  return run(oracle, query_indices, test_indices, config);
 }
 
 }  // namespace shmd::attack

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "attack/oracle.hpp"
 #include "hmd/detector.hpp"
 #include "nn/classifier.hpp"
 #include "trace/dataset.hpp"
@@ -79,16 +80,32 @@ class ReverseEngineer {
  public:
   explicit ReverseEngineer(const trace::Dataset& dataset) : dataset_(&dataset) {}
 
-  /// Query `victim` on the programs of `query_indices` (victim-training or
-  /// attacker-training fold, per the two attack scenarios of §VII.A),
-  /// train the proxy, and score it on `test_indices`.
+  /// Query the victim behind `oracle` on the programs of `query_indices`
+  /// (victim-training or attacker-training fold, per the two attack
+  /// scenarios of §VII.A), train the proxy, and score it on
+  /// `test_indices`. All victim contact — labeling AND the effectiveness
+  /// measurement — goes through the oracle, so the same campaign runs
+  /// in-process or over the wire and is charged against one budget.
+  [[nodiscard]] ReverseEngineeringResult run(QueryOracle& oracle,
+                                             std::span<const std::size_t> query_indices,
+                                             std::span<const std::size_t> test_indices,
+                                             const ReverseEngineerConfig& config) const;
+
+  /// Convenience: wrap a live detector in a DetectorOracle (score-leaking
+  /// legacy channel; decisions at threshold 0.5 — identical labels).
   [[nodiscard]] ReverseEngineeringResult run(hmd::Detector& victim,
                                              std::span<const std::size_t> query_indices,
                                              std::span<const std::size_t> test_indices,
                                              const ReverseEngineerConfig& config) const;
 
-  /// Build (features, label) pairs by querying the live victim — exposed
-  /// for tests and ablations.
+  /// Build (features, label) pairs by querying the victim — exposed for
+  /// tests and ablations. Repeat queries for one program are pipelined
+  /// through QueryOracle::query_many.
+  [[nodiscard]] std::vector<nn::TrainSample> query_victim(
+      QueryOracle& oracle, std::span<const std::size_t> indices,
+      std::span<const trace::FeatureConfig> proxy_configs, int repeat_queries = 1,
+      ReverseEngineerConfig::LabelRule rule =
+          ReverseEngineerConfig::LabelRule::kSingle) const;
   [[nodiscard]] std::vector<nn::TrainSample> query_victim(
       hmd::Detector& victim, std::span<const std::size_t> indices,
       std::span<const trace::FeatureConfig> proxy_configs, int repeat_queries = 1,

@@ -2,16 +2,14 @@
 
 namespace shmd::attack {
 
-TransferabilityResult TransferabilityEval::run(
-    hmd::Detector& victim, const nn::Classifier& proxy, std::span<const std::size_t> indices,
+CraftOutcome TransferabilityEval::craft(
+    const nn::Classifier& proxy, std::span<const std::size_t> indices,
     std::span<const trace::FeatureConfig> proxy_configs) const {
-  TransferabilityResult result;
-  std::size_t injected_total = 0;
-
+  CraftOutcome out;
   for (std::size_t idx : indices) {
     const trace::ProgramSample& sample = dataset_->samples().at(idx);
     if (!sample.malware()) continue;
-    ++result.malware_tested;
+    ++out.malware_tested;
 
     EvasionConfig cfg = evasion_config_;
     cfg.seed = evasion_config_.seed ^ (0x9E3779B97F4A7C15ULL * (idx + 1));
@@ -19,22 +17,60 @@ TransferabilityResult TransferabilityEval::run(
     const std::vector<trace::Instruction> original = dataset_->trace_of(idx);
     EvasionResult evasive = attack.craft(original, proxy, proxy_configs);
     if (!evasive.proxy_evaded) continue;
-    ++result.proxy_evaded;
-    injected_total += evasive.injected;
 
-    // Ship the evasive sample: the victim re-classifies it every round for
-    // as long as it executes; one flagged round is a detection.
-    const trace::FeatureSet features =
-        trace::extract_feature_set(evasive.trace, dataset_->config().periods);
-    bool detected = false;
-    for (int round = 0; round < detection_rounds_ && !detected; ++round) {
-      detected = victim.detect(features);
+    out.evasive.push_back(EvasiveSample{
+        idx, trace::extract_feature_set(evasive.trace, dataset_->config().periods),
+        evasive.injected});
+  }
+  return out;
+}
+
+TransferabilityResult TransferabilityEval::measure(QueryOracle& oracle,
+                                                   const CraftOutcome& crafted) const {
+  TransferabilityResult result;
+  result.malware_tested = crafted.malware_tested;
+  result.proxy_evaded = crafted.evasive.size();
+
+  std::size_t injected_total = 0;
+  for (const EvasiveSample& s : crafted.evasive) injected_total += s.injected;
+
+  if (detection_rounds_ == 1) {
+    // Single-decision metric: one pipelined batch, one verdict each.
+    std::vector<const trace::FeatureSet*> batch;
+    batch.reserve(crafted.evasive.size());
+    for (const EvasiveSample& s : crafted.evasive) batch.push_back(&s.features);
+    const std::vector<OracleReply> replies = oracle.query_many(batch);
+    for (const OracleReply& reply : replies) {
+      if (!reply.verdict) ++result.transferred;
     }
-    if (!detected) ++result.transferred;
+  } else {
+    // Multi-round monitoring: the shipped sample is re-classified round
+    // after round; one flagged round is a detection. Sequential per
+    // sample so the victim's query order matches the pre-oracle code.
+    for (const EvasiveSample& s : crafted.evasive) {
+      bool detected = false;
+      for (int round = 0; round < detection_rounds_ && !detected; ++round) {
+        detected = oracle.query(s.features).verdict;
+      }
+      if (!detected) ++result.transferred;
+    }
   }
 
   if (result.proxy_evaded > 0) result.mean_injected = injected_total / result.proxy_evaded;
   return result;
+}
+
+TransferabilityResult TransferabilityEval::run(
+    QueryOracle& oracle, const nn::Classifier& proxy, std::span<const std::size_t> indices,
+    std::span<const trace::FeatureConfig> proxy_configs) const {
+  return measure(oracle, craft(proxy, indices, proxy_configs));
+}
+
+TransferabilityResult TransferabilityEval::run(
+    hmd::Detector& victim, const nn::Classifier& proxy, std::span<const std::size_t> indices,
+    std::span<const trace::FeatureConfig> proxy_configs) const {
+  DetectorOracle oracle(victim);
+  return run(oracle, proxy, indices, proxy_configs);
 }
 
 }  // namespace shmd::attack

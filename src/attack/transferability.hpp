@@ -5,12 +5,20 @@
 //  designed to evade the reverse-engineered model that can also evade the
 //  victim HMD's detection" — Fig. 4 reports that success rate; Fig. 5
 // reports its complement (% of evasive malware *detected*).
+//
+// The evaluation is split in two halves: craft() runs entirely on the
+// attacker's side (proxy only, zero victim queries) and measure() ships
+// the surviving evasive samples through a QueryOracle — so one crafted
+// set can be measured against many victims (the fleet cross-device
+// scenario) and every victim contact is budget-accounted.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "attack/evasion.hpp"
+#include "attack/oracle.hpp"
 #include "hmd/detector.hpp"
 #include "nn/classifier.hpp"
 #include "trace/dataset.hpp"
@@ -36,6 +44,19 @@ struct TransferabilityResult {
   }
 };
 
+/// One malware program that beat the proxy, ready to ship to a victim.
+struct EvasiveSample {
+  std::size_t index = 0;        ///< dataset index of the original program
+  trace::FeatureSet features;   ///< extracted features of the evasive trace
+  std::size_t injected = 0;     ///< benign instructions the attack inserted
+};
+
+/// Attacker-side output of the crafting stage.
+struct CraftOutcome {
+  std::size_t malware_tested = 0;       ///< programs attacked (denominator)
+  std::vector<EvasiveSample> evasive;   ///< the proxy-evading survivors
+};
+
 class TransferabilityEval {
  public:
   /// `detection_rounds`: how many program-level detection rounds the
@@ -51,8 +72,25 @@ class TransferabilityEval {
       : dataset_(&dataset), evasion_config_(evasion_config),
         detection_rounds_(detection_rounds) {}
 
-  /// Attack every malware program in `indices` with `proxy`, then test the
-  /// surviving evasive traces against the live `victim`.
+  /// Attack every malware program in `indices` with `proxy` (no victim
+  /// contact): per-program seeded evasion, survivors re-extracted at the
+  /// dataset's periods.
+  [[nodiscard]] CraftOutcome craft(const nn::Classifier& proxy,
+                                   std::span<const std::size_t> indices,
+                                   std::span<const trace::FeatureConfig> proxy_configs) const;
+
+  /// Ship the crafted survivors through the oracle: each sample is
+  /// queried `detection_rounds` times; one flagged verdict is a
+  /// detection. Single-round measurement is pipelined via query_many.
+  [[nodiscard]] TransferabilityResult measure(QueryOracle& oracle,
+                                              const CraftOutcome& crafted) const;
+
+  /// craft() + measure() against one victim.
+  [[nodiscard]] TransferabilityResult run(
+      QueryOracle& oracle, const nn::Classifier& proxy,
+      std::span<const std::size_t> indices,
+      std::span<const trace::FeatureConfig> proxy_configs) const;
+  /// Convenience: wraps a live detector in a score-leaking DetectorOracle.
   [[nodiscard]] TransferabilityResult run(
       hmd::Detector& victim, const nn::Classifier& proxy,
       std::span<const std::size_t> indices,

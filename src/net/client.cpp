@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -72,6 +73,27 @@ void NetClient::connect(const util::Endpoint& endpoint) {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
   fd_ = fd;
+  apply_recv_deadline();
+}
+
+void NetClient::set_recv_deadline(std::chrono::milliseconds timeout) {
+  if (timeout.count() < 0) {
+    throw std::invalid_argument("NetClient::set_recv_deadline: negative timeout");
+  }
+  recv_deadline_ = timeout;
+  if (fd_ >= 0) apply_recv_deadline();
+}
+
+void NetClient::apply_recv_deadline() {
+  // SO_RCVTIMEO: the kernel bounds each blocking recv(); an expiry
+  // surfaces as EAGAIN, which read_frame() turns into
+  // RecvDeadlineExpired. A zero timeval restores wait-forever.
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(recv_deadline_.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((recv_deadline_.count() % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw std::runtime_error(errno_text("NetClient: setsockopt(SO_RCVTIMEO)"));
+  }
 }
 
 void NetClient::send_frame(FrameType type, std::uint64_t request_id,
@@ -107,6 +129,7 @@ Frame NetClient::read_frame() {
     if (n == 0) throw std::runtime_error("NetClient: connection closed by server");
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) throw RecvDeadlineExpired();
       throw std::runtime_error(errno_text("NetClient: recv()"));
     }
     decoder_.feed(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
@@ -121,6 +144,11 @@ Reply NetClient::to_reply(Frame frame) {
     reply.result = decode_score_result(frame.payload);
     if (!reply.result.has_value()) {
       throw std::runtime_error("NetClient: malformed ScoreResult payload");
+    }
+  } else if (frame.type == FrameType::kVerdictResult) {
+    reply.verdict = decode_verdict_result(frame.payload);
+    if (!reply.verdict.has_value()) {
+      throw std::runtime_error("NetClient: malformed VerdictResult payload");
     }
   } else if (frame.type == FrameType::kError) {
     reply.error = decode_error(frame.payload);
@@ -160,6 +188,12 @@ std::optional<serve::ServiceStatsSnapshot> NetClient::stats() {
 std::uint64_t NetClient::send_score(const ScoreRequest& request) {
   const std::uint64_t id = next_id_++;
   send_frame(FrameType::kScore, id, encode_score_request(request));
+  return id;
+}
+
+std::uint64_t NetClient::send_verdict(const ScoreRequest& request) {
+  const std::uint64_t id = next_id_++;
+  send_frame(FrameType::kVerdict, id, encode_score_request(request));
   return id;
 }
 

@@ -19,8 +19,10 @@
 // concurrent reader thread.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -35,9 +37,19 @@ namespace shmd::net {
 struct Reply {
   std::uint64_t request_id = 0;
   FrameType type = FrameType::kPong;
-  std::optional<ScoreResult> result;  ///< set when type == kScoreResult
-  std::optional<ErrorBody> error;     ///< set when type == kError (e.g. kShed)
-  std::vector<std::uint8_t> payload;  ///< raw payload (kPong / kStatsResult)
+  std::optional<ScoreResult> result;          ///< set when type == kScoreResult
+  std::optional<VerdictResult> verdict;       ///< set when type == kVerdictResult
+  std::optional<ErrorBody> error;             ///< set when type == kError (e.g. kShed)
+  std::vector<std::uint8_t> payload;          ///< raw payload (kPong / kStatsResult)
+};
+
+/// Thrown when a receive deadline (set_recv_deadline) expires with no
+/// bytes from the server — the dead-daemon guard. The connection is NOT
+/// torn down: a caller that wants to keep waiting may simply retry.
+class RecvDeadlineExpired : public std::runtime_error {
+ public:
+  RecvDeadlineExpired()
+      : std::runtime_error("NetClient: receive deadline expired (server unresponsive)") {}
 };
 
 class NetClient {
@@ -53,6 +65,16 @@ class NetClient {
   void connect(const util::Endpoint& endpoint);
   void close() noexcept;
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Bound every blocking receive: a read_frame() that sees no bytes for
+  /// `timeout` throws RecvDeadlineExpired instead of hanging forever on a
+  /// dead or half-open server. zero() disables (the default: wait
+  /// forever, the pre-deadline behavior). Applies to the current
+  /// connection immediately and to any future connect().
+  void set_recv_deadline(std::chrono::milliseconds timeout);
+  [[nodiscard]] std::chrono::milliseconds recv_deadline() const noexcept {
+    return recv_deadline_;
+  }
 
   // -- synchronous API -----------------------------------------------------
 
@@ -74,17 +96,25 @@ class NetClient {
   /// read-pause backpressure under overload).
   std::uint64_t send_score(const ScoreRequest& request);
 
+  /// Decision-only sibling of send_score(): same request payload on a
+  /// kVerdict frame; the server answers with kVerdictResult (decisions,
+  /// no raw scores). This is the only scoring call a --no-raw-scores
+  /// server accepts from untrusted endpoints.
+  std::uint64_t send_verdict(const ScoreRequest& request);
+
   /// Block for the next reply frame, in server completion order.
   Reply recv_reply();
 
  private:
   void send_frame(FrameType type, std::uint64_t request_id,
                   std::vector<std::uint8_t> payload);
-  Frame read_frame();  ///< blocking; throws on EOF / garbage
+  void apply_recv_deadline();
+  Frame read_frame();  ///< blocking; throws on EOF / garbage / deadline
   static Reply to_reply(Frame frame);
 
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
+  std::chrono::milliseconds recv_deadline_{0};  ///< 0 = wait forever
   FrameDecoder decoder_;
 };
 

@@ -96,7 +96,7 @@ std::uint64_t read_u64_at(const std::vector<std::uint8_t>& buffer, std::size_t o
 }
 
 bool known_type(std::uint8_t type) {
-  return type <= static_cast<std::uint8_t>(FrameType::kError);
+  return type <= static_cast<std::uint8_t>(FrameType::kVerdictResult);
 }
 
 }  // namespace
@@ -184,6 +184,54 @@ std::optional<ScoreResult> decode_score_result(std::span<const std::uint8_t> pay
   result.scores.resize(n_scores);
   for (double& s : result.scores) s = r.f64();
   if (!r.exhausted()) return std::nullopt;
+  return result;
+}
+
+std::vector<std::uint8_t> encode_verdict_result(const VerdictResult& result) {
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + (result.decisions.size() + 7) / 8);
+  out.push_back(result.outcome);
+  out.push_back(result.verdict ? 1 : 0);
+  put_u16(out, 0);  // reserved
+  put_u64(out, result.epoch_id);
+  put_u64(out, result.latency_ns);
+  put_u32(out, static_cast<std::uint32_t>(result.decisions.size()));
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < result.decisions.size(); ++i) {
+    if (result.decisions[i]) acc |= static_cast<std::uint8_t>(1u << (i % 8));
+    if (i % 8 == 7) {
+      out.push_back(acc);
+      acc = 0;
+    }
+  }
+  if (result.decisions.size() % 8 != 0) out.push_back(acc);
+  return out;
+}
+
+std::optional<VerdictResult> decode_verdict_result(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  VerdictResult result;
+  result.outcome = r.u8();
+  result.verdict = r.u8() != 0;
+  (void)r.u16();
+  result.epoch_id = r.u64();
+  result.latency_ns = r.u64();
+  const std::uint32_t n = r.u32();
+  // Exact-length check before allocating (same discipline as the score
+  // codecs); (n + 7) / 8 cannot wrap — n is 32-bit.
+  if (!r.ok() || r.remaining() != (std::uint64_t{n} + 7) / 8) return std::nullopt;
+  const std::span<const std::uint8_t> bits = r.raw(r.remaining());
+  if (!r.exhausted()) return std::nullopt;
+  result.decisions.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    result.decisions[i] = (bits[i / 8] >> (i % 8)) & 1u;
+  }
+  // Pad bits in the final byte must be zero: a sloppy or hostile encoder
+  // does not get a free side channel.
+  if (n % 8 != 0 && !bits.empty() &&
+      (bits.back() >> (n % 8)) != 0) {
+    return std::nullopt;
+  }
   return result;
 }
 

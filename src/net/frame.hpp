@@ -52,6 +52,13 @@ enum class FrameType : std::uint8_t {
   kStats = 4,        ///< request a ServiceStatsSnapshot (empty payload)
   kStatsResult = 5,  ///< serve::serialize()d snapshot
   kError = 6,        ///< in-protocol rejection (ErrorBody payload)
+  /// Decision-only scoring (the deployed attack surface, §V threat
+  /// model): same ScoreRequest payload as kScore, but the reply is a
+  /// kVerdictResult that exposes per-window DECISIONS at the serving
+  /// epoch's threshold — never the raw scores. A server run with
+  /// --no-raw-scores answers untrusted endpoints only on this pair.
+  kVerdict = 7,
+  kVerdictResult = 8,  ///< terminal decision-only outcome (VerdictResult payload)
 };
 
 /// Error frame codes. kShed is the overload-control path: a full
@@ -101,6 +108,21 @@ struct ScoreResult {
   friend bool operator==(const ScoreResult&, const ScoreResult&) = default;
 };
 
+/// kVerdictResult payload: the decision-only sibling of ScoreResult.
+/// Wire layout: outcome u8, verdict u8, reserved u16, epoch_id u64,
+/// latency_ns u64, n_decisions u32, then ceil(n/8) bytes of decision
+/// bits (LSB-first within each byte; pad bits in the last byte MUST be
+/// zero — a nonzero pad is rejected as malformed).
+struct VerdictResult {
+  std::uint8_t outcome = 0;  ///< serve::RequestOutcome underlying value
+  bool verdict = false;      ///< program-level fraction-vote verdict
+  std::uint64_t epoch_id = 0;
+  std::uint64_t latency_ns = 0;
+  std::vector<bool> decisions;  ///< per-window decisions at the epoch threshold
+
+  friend bool operator==(const VerdictResult&, const VerdictResult&) = default;
+};
+
 struct ErrorBody {
   ErrorCode code = ErrorCode::kBadFrame;
   std::string message;
@@ -114,6 +136,10 @@ struct ErrorBody {
 
 [[nodiscard]] std::vector<std::uint8_t> encode_score_result(const ScoreResult& result);
 [[nodiscard]] std::optional<ScoreResult> decode_score_result(
+    std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_verdict_result(const VerdictResult& result);
+[[nodiscard]] std::optional<VerdictResult> decode_verdict_result(
     std::span<const std::uint8_t> payload);
 
 [[nodiscard]] std::vector<std::uint8_t> encode_error(const ErrorBody& error);

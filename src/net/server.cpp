@@ -171,6 +171,7 @@ struct NetServer::Connection {
   bool reads_paused = false;      ///< backpressure: write buffer over limit
   bool close_after_flush = false;  ///< protocol error: drain out, then die
   bool dead = false;               ///< fatal I/O error or peer EOF observed
+  bool trusted = true;             ///< inherited from the accepting listener
 };
 
 /// One in-flight score: owns the ticket and the feature set for exactly as
@@ -184,6 +185,7 @@ struct NetServer::Pending {
   std::uint64_t key = 0;      ///< reactor-assigned; mailbox token
   std::uint64_t conn_id = 0;  ///< 0 = orphaned (connection died first)
   std::uint64_t request_id = 0;
+  bool decision_only = false;  ///< kVerdict request: reply without scores
   trace::FeatureSet features;
   serve::ScoreTicket ticket;
 };
@@ -209,7 +211,7 @@ NetServer::~NetServer() {
   if (spare_fd_ >= 0) ::close(spare_fd_);
 }
 
-util::Endpoint NetServer::add_listener(const util::Endpoint& endpoint) {
+util::Endpoint NetServer::add_listener(const util::Endpoint& endpoint, bool trusted) {
   if (started_) throw std::runtime_error("NetServer::add_listener: server already started");
   int fd = -1;
   util::Endpoint resolved = endpoint;
@@ -256,7 +258,7 @@ util::Endpoint NetServer::add_listener(const util::Endpoint& endpoint) {
     throw std::runtime_error(msg + " on " + endpoint.to_string());
   }
   set_nonblocking(fd);
-  listeners_.push_back(Listener{fd, resolved});
+  listeners_.push_back(Listener{fd, resolved, trusted});
   return resolved;
 }
 
@@ -388,6 +390,13 @@ void NetServer::event_loop() {
 }
 
 void NetServer::handle_accept(int listen_fd) {
+  bool trusted = true;
+  for (const Listener& listener : listeners_) {
+    if (listener.fd == listen_fd) {
+      trusted = listener.trusted;
+      break;
+    }
+  }
   while (true) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
@@ -421,6 +430,7 @@ void NetServer::handle_accept(int listen_fd) {
     const std::uint64_t conn_id = next_conn_id_++;
     conn->id = conn_id;
     conn->fd = fd;
+    conn->trusted = trusted;
     conn_by_fd_[fd] = conn_id;
     conns_.emplace(conn_id, std::move(conn));
     stats_.accepted_connections.fetch_add(1, std::memory_order_relaxed);
@@ -472,7 +482,17 @@ void NetServer::handle_frame(Connection& conn, Frame frame) {
       send_frame(conn, FrameType::kPong, frame.request_id, std::move(frame.payload));
       break;
     case FrameType::kScore:
-      handle_score(conn, frame);
+      if (!config_.allow_raw_scores && !conn.trusted) {
+        // Policy refusal, not a protocol error: the connection stays up
+        // and may keep querying through the decision-only channel.
+        send_error(conn, frame.request_id, ErrorCode::kUnsupported,
+                   "raw scores disabled for untrusted endpoints; use kVerdict");
+        break;
+      }
+      handle_score(conn, frame, /*decision_only=*/false);
+      break;
+    case FrameType::kVerdict:
+      handle_score(conn, frame, /*decision_only=*/true);
       break;
     case FrameType::kStats:
       send_frame(conn, FrameType::kStatsResult, frame.request_id,
@@ -485,7 +505,7 @@ void NetServer::handle_frame(Connection& conn, Frame frame) {
   }
 }
 
-void NetServer::handle_score(Connection& conn, const Frame& frame) {
+void NetServer::handle_score(Connection& conn, const Frame& frame, bool decision_only) {
   std::optional<ScoreRequest> req = decode_score_request(frame.payload);
   if (!req.has_value() || req->view >= trace::kNumViews) {
     stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
@@ -499,6 +519,8 @@ void NetServer::handle_score(Connection& conn, const Frame& frame) {
   pending->key = next_pending_key_++;
   pending->conn_id = conn.id;
   pending->request_id = frame.request_id;
+  pending->decision_only = decision_only;
+  pending->ticket.set_decision_only(decision_only);
   pending->features.put(
       trace::FeatureConfig{static_cast<trace::FeatureView>(req->view), req->period},
       std::move(req->windows));
@@ -553,14 +575,32 @@ void NetServer::drain_completions() {
     if (pending->conn_id == 0) continue;  // client left before the verdict
     Connection* conn = find_conn(pending->conn_id);
     if (conn == nullptr) continue;
-    ScoreResult result;
-    result.outcome = static_cast<std::uint8_t>(pending->ticket.outcome());
-    result.verdict = pending->ticket.verdict();
-    result.epoch_id = pending->ticket.epoch_id();
-    result.latency_ns = static_cast<std::uint64_t>(pending->ticket.latency().count());
-    result.scores = pending->ticket.scores();
-    send_frame(*conn, FrameType::kScoreResult, pending->request_id,
-               encode_score_result(result));
+    if (pending->decision_only) {
+      // Decision-only reply: per-window decisions at the scoring epoch's
+      // threshold (stamped into the ticket by the worker) — the raw
+      // scores never reach the wire.
+      VerdictResult result;
+      result.outcome = static_cast<std::uint8_t>(pending->ticket.outcome());
+      result.verdict = pending->ticket.verdict();
+      result.epoch_id = pending->ticket.epoch_id();
+      result.latency_ns = static_cast<std::uint64_t>(pending->ticket.latency().count());
+      const std::vector<double>& scores = pending->ticket.scores();
+      result.decisions.resize(scores.size());
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        result.decisions[i] = scores[i] >= pending->ticket.threshold();
+      }
+      send_frame(*conn, FrameType::kVerdictResult, pending->request_id,
+                 encode_verdict_result(result));
+    } else {
+      ScoreResult result;
+      result.outcome = static_cast<std::uint8_t>(pending->ticket.outcome());
+      result.verdict = pending->ticket.verdict();
+      result.epoch_id = pending->ticket.epoch_id();
+      result.latency_ns = static_cast<std::uint64_t>(pending->ticket.latency().count());
+      result.scores = pending->ticket.scores();
+      send_frame(*conn, FrameType::kScoreResult, pending->request_id,
+                 encode_score_result(result));
+    }
     if (conn->dead) close_connection(conn->id);
   }
 }

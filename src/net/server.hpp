@@ -49,6 +49,12 @@ struct NetServerConfig {
   /// Use the poll() reactor even where epoll is available (test knob —
   /// both reactors must pass the same suite).
   bool force_poll = false;
+  /// When false, kScore frames from UNTRUSTED listeners (see
+  /// add_listener) are refused with an in-protocol kUnsupported error:
+  /// untrusted endpoints get the decision-only kVerdict channel, never
+  /// raw scores. The paper's threat model hands the attacker decisions;
+  /// this knob keeps the wire from leaking more than the model assumes.
+  bool allow_raw_scores = true;
 };
 
 /// Reactor-thread counters, snapshot via NetServer::stats().
@@ -77,7 +83,10 @@ class NetServer {
   /// Returns the resolved endpoint — for TCP port 0 the kernel-assigned
   /// ephemeral port is filled in, so tests can bind "127.0.0.1:0" and
   /// learn where to connect. Throws std::runtime_error on bind failure.
-  util::Endpoint add_listener(const util::Endpoint& endpoint);
+  /// `trusted` marks connections accepted here as trusted for the
+  /// allow_raw_scores policy (typical deployment: local Unix socket
+  /// trusted, TCP untrusted).
+  util::Endpoint add_listener(const util::Endpoint& endpoint, bool trusted = true);
 
   /// Start the reactor thread. Requires at least one listener.
   void start();
@@ -99,7 +108,7 @@ class NetServer {
   void handle_accept(int listen_fd);
   void handle_readable(Connection& conn);
   void handle_frame(Connection& conn, Frame frame);
-  void handle_score(Connection& conn, const Frame& frame);
+  void handle_score(Connection& conn, const Frame& frame, bool decision_only);
   void drain_completions();
   void send_frame(Connection& conn, FrameType type, std::uint64_t request_id,
                   std::vector<std::uint8_t> payload);
@@ -122,6 +131,7 @@ class NetServer {
   struct Listener {
     int fd = -1;
     util::Endpoint endpoint;  ///< resolved
+    bool trusted = true;      ///< connections inherit this trust marking
   };
   std::vector<Listener> listeners_;
 

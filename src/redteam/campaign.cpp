@@ -1,0 +1,153 @@
+#include "redteam/campaign.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "hmd/stochastic_hmd.hpp"
+#include "serve/epoch.hpp"
+
+namespace shmd::redteam {
+
+nn::Network served_reference_network(std::uint64_t seed) {
+  // Must stay in lockstep with shmd-served (examples/shmd_served.cpp
+  // builds its detector through this function): topology or seeding drift
+  // here silently breaks every --connect campaign's parity check.
+  const std::vector<std::size_t> topo{16, 32, 16, 1};
+  return nn::Network(topo, nn::Activation::kSigmoid, nn::Activation::kSigmoid,
+                     static_cast<unsigned>(seed));
+}
+
+// ------------------------------------------------------------ controllers
+
+InProcessEpochController::InProcessEpochController(attack::InProcessOracle& oracle,
+                                                   std::vector<double> schedule)
+    : oracle_(&oracle), schedule_(std::move(schedule)) {
+  if (schedule_.empty()) {
+    throw std::invalid_argument("InProcessEpochController: empty schedule");
+  }
+}
+
+std::uint64_t InProcessEpochController::roll() {
+  return oracle_->install_error_rate(schedule_[next_++ % schedule_.size()]);
+}
+
+ServiceEpochController::ServiceEpochController(serve::ScoringService& service,
+                                               nn::Network network,
+                                               trace::FeatureConfig features,
+                                               std::vector<double> schedule)
+    : service_(&service), network_(std::move(network)), features_(features),
+      schedule_(std::move(schedule)) {
+  if (schedule_.empty()) {
+    throw std::invalid_argument("ServiceEpochController: empty schedule");
+  }
+}
+
+std::uint64_t ServiceEpochController::roll() {
+  const hmd::StochasticHmd moved(network_, features_,
+                                 schedule_[next_++ % schedule_.size()]);
+  return service_->install_epoch(serve::make_epoch(moved));
+}
+
+// ---------------------------------------------------------- RollingOracle
+
+RollingOracle::RollingOracle(attack::QueryOracle& inner, EpochController* controller,
+                             std::uint64_t period)
+    : inner_(&inner), controller_(controller), period_(period) {}
+
+void RollingOracle::note_queries(std::uint64_t n) {
+  if (period_ == 0 || controller_ == nullptr) return;
+  since_roll_ += n;
+  while (since_roll_ >= period_) {
+    (void)controller_->roll();
+    ++rolls_;
+    since_roll_ -= period_;
+  }
+}
+
+attack::OracleReply RollingOracle::do_query(const trace::FeatureSet& features) {
+  attack::OracleReply reply = inner_->query(features);
+  note_queries(1);
+  return reply;
+}
+
+std::vector<attack::OracleReply> RollingOracle::do_query_many(
+    std::span<const trace::FeatureSet* const> batch) {
+  if (period_ == 0 || controller_ == nullptr) return inner_->query_many(batch);
+  // Split at roll boundaries so a roll never lands mid-pipeline: the
+  // chunk before it has all its replies in hand (query_many blocks for
+  // them) before the epoch moves, on every transport.
+  std::vector<attack::OracleReply> replies;
+  replies.reserve(batch.size());
+  std::size_t at = 0;
+  while (at < batch.size()) {
+    const std::uint64_t until_roll = period_ - since_roll_;
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(batch.size() - at, until_roll));
+    std::vector<attack::OracleReply> chunk =
+        inner_->query_many(batch.subspan(at, take));
+    for (attack::OracleReply& reply : chunk) replies.push_back(std::move(reply));
+    note_queries(take);
+    at += take;
+  }
+  return replies;
+}
+
+// --------------------------------------------------------------- Campaign
+
+CampaignResult Campaign::run(attack::QueryOracle& victim, EpochController* controller,
+                             std::span<const std::size_t> query_indices,
+                             std::span<const std::size_t> test_indices,
+                             std::span<const std::size_t> malware_indices) const {
+  RollingOracle oracle(victim, controller, config_.epoch_period_queries);
+  if (config_.query_budget > 0) oracle.set_budget(config_.query_budget);
+
+  // Budget layout: the effectiveness measurement (one query per test
+  // program) and the transfer measurement (worst case detection_rounds
+  // per malware program) are reserved up front; whatever remains buys
+  // labels. Truncating the TRAINING set — rather than letting a query
+  // mid-stage throw — keeps a budgeted campaign a weaker attacker, not a
+  // crashed one.
+  const std::uint64_t repeat =
+      config_.re.repeat_queries > 0 ? static_cast<std::uint64_t>(config_.re.repeat_queries) : 1;
+  const std::uint64_t rounds =
+      config_.detection_rounds > 0 ? static_cast<std::uint64_t>(config_.detection_rounds) : 1;
+  const std::uint64_t reserved =
+      static_cast<std::uint64_t>(test_indices.size()) +
+      static_cast<std::uint64_t>(malware_indices.size()) * rounds;
+  std::size_t n_train = query_indices.size();
+  if (config_.query_budget > 0) {
+    if (config_.query_budget < reserved + repeat) {
+      throw std::invalid_argument(
+          "Campaign: query budget cannot cover the reserved measurements plus one "
+          "labeled program");
+    }
+    n_train = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n_train, (config_.query_budget - reserved) / repeat));
+  }
+  const std::vector<std::size_t> train_indices(query_indices.begin(),
+                                               query_indices.begin() +
+                                                   static_cast<std::ptrdiff_t>(n_train));
+
+  const attack::ReverseEngineer re(*dataset_);
+  const attack::ReverseEngineeringResult proxy =
+      re.run(oracle, train_indices, test_indices, config_.re);
+
+  attack::EvasionConfig evasion = config_.evasion;
+  if (config_.calibrate_craft_threshold) evasion.craft_threshold = proxy.craft_threshold;
+  const attack::TransferabilityEval eval(*dataset_, evasion, config_.detection_rounds);
+  const attack::CraftOutcome crafted =
+      eval.craft(*proxy.proxy, malware_indices, config_.re.proxy_configs);
+
+  CampaignResult result;
+  result.transfer = eval.measure(oracle, crafted);
+  result.re_effectiveness = proxy.effectiveness;
+  result.train_programs = train_indices.size();
+  result.label_queries = static_cast<std::uint64_t>(train_indices.size()) * repeat;
+  result.queries_used = oracle.queries_used();
+  result.epochs_rolled = oracle.rolls();
+  result.decision_hash = oracle.decision_hash();
+  return result;
+}
+
+}  // namespace shmd::redteam

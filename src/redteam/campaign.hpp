@@ -1,0 +1,172 @@
+// Campaign: the end-to-end adaptive adversary loop against a live victim.
+//
+// The paper's evaluation (§VII) measures each attack stage in isolation;
+// a deployment review needs the whole kill chain run against the moving
+// target as one budgeted campaign:
+//
+//   1. label  — query the victim on attacker-held programs through a
+//               QueryOracle, observing decisions only;
+//   2. train  — fit a proxy on the observed labels (ReverseEngineer);
+//   3. craft  — mutate malware until the proxy clears it (EvasionAttack,
+//               zero victim contact);
+//   4. ship   — measure which evasive samples transfer to the real
+//               victim, again through the oracle.
+//
+// while the defender re-rolls the stochastic operating point UNDERNEATH
+// the campaign — modeled here as an epoch roll every N oracle queries
+// (RollingOracle + EpochController), the query-clock analogue of
+// shmd-served's wall-clock --epoch-period-ms. Query-count pacing keeps
+// campaigns deterministic: the k-th query always lands on the same epoch
+// for a fixed (seed, schedule, period), in-process or over the wire, so
+// the bit-parity guarantee extends to rolling victims.
+//
+// The oracle is the ONLY victim contact in all four stages, which is what
+// makes the budget accounting and the cross-transport parity hash honest.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "attack/evasion.hpp"
+#include "attack/oracle.hpp"
+#include "attack/reverse_engineer.hpp"
+#include "attack/transferability.hpp"
+#include "nn/network.hpp"
+#include "serve/scoring_service.hpp"
+#include "trace/dataset.hpp"
+
+namespace shmd::redteam {
+
+/// The topology shmd-served deploys ({16, 32, 16, 1}, sigmoid throughout),
+/// seeded identically — shared here so red-team tooling can replicate a
+/// daemon's boundary bit-for-bit from its --seed alone.
+[[nodiscard]] nn::Network served_reference_network(std::uint64_t seed);
+
+/// Feature key the reference daemon serves.
+inline constexpr trace::FeatureConfig kServedFeatureConfig{trace::FeatureView::kInsnCategory,
+                                                           2048};
+
+/// Rolls the victim's operating point. Implementations move whichever
+/// victim the campaign targets; roll() returns the newly stamped epoch id
+/// so schedules can be cross-checked between transports.
+class EpochController {
+ public:
+  EpochController() = default;
+  EpochController(const EpochController&) = delete;
+  EpochController& operator=(const EpochController&) = delete;
+  virtual ~EpochController() = default;
+
+  virtual std::uint64_t roll() = 0;
+};
+
+/// Moves an InProcessOracle through an error-rate schedule (cycled).
+class InProcessEpochController final : public EpochController {
+ public:
+  InProcessEpochController(attack::InProcessOracle& oracle, std::vector<double> schedule);
+  std::uint64_t roll() override;
+
+ private:
+  attack::InProcessOracle* oracle_;
+  std::vector<double> schedule_;
+  std::size_t next_ = 0;
+};
+
+/// Moves a live ScoringService through the same schedule: each roll
+/// installs a fresh epoch over the same network/feature config. Epoch ids
+/// advance exactly as InProcessOracle's (initial point = 1, rolls stamp
+/// 2, 3, ...), so a rolling wire campaign stays bit-identical to its
+/// in-process twin.
+class ServiceEpochController final : public EpochController {
+ public:
+  ServiceEpochController(serve::ScoringService& service, nn::Network network,
+                         trace::FeatureConfig features, std::vector<double> schedule);
+  std::uint64_t roll() override;
+
+ private:
+  serve::ScoringService* service_;
+  nn::Network network_;
+  trace::FeatureConfig features_;
+  std::vector<double> schedule_;
+  std::size_t next_ = 0;
+};
+
+/// Decorator that rolls the victim every `period` queries. Batches are
+/// split at roll boundaries: the queries before a roll complete (replies
+/// received) before the roll happens, matching what a wire campaign
+/// observes — pre-roll requests score under the old epoch on both
+/// transports. period = 0 (or a null controller) disables rolling.
+class RollingOracle final : public attack::QueryOracle {
+ public:
+  RollingOracle(attack::QueryOracle& inner, EpochController* controller, std::uint64_t period);
+
+  [[nodiscard]] std::uint64_t rolls() const noexcept { return rolls_; }
+
+ protected:
+  [[nodiscard]] attack::OracleReply do_query(const trace::FeatureSet& features) override;
+  [[nodiscard]] std::vector<attack::OracleReply> do_query_many(
+      std::span<const trace::FeatureSet* const> batch) override;
+
+ private:
+  void note_queries(std::uint64_t n);
+
+  attack::QueryOracle* inner_;
+  EpochController* controller_;
+  std::uint64_t period_;
+  std::uint64_t since_roll_ = 0;
+  std::uint64_t rolls_ = 0;
+};
+
+struct CampaignConfig {
+  /// Proxy model, label rule, repeat queries, proxy feature configs.
+  attack::ReverseEngineerConfig re;
+  attack::EvasionConfig evasion;
+  /// Total victim queries the campaign may spend (0 = unlimited). The
+  /// label stage is truncated to whatever the budget leaves after the
+  /// effectiveness and transfer measurements are reserved.
+  std::uint64_t query_budget = 0;
+  /// Roll the victim's epoch every this many queries (0 = static victim).
+  std::uint64_t epoch_period_queries = 0;
+  /// Detection rounds per shipped sample (see TransferabilityEval).
+  int detection_rounds = 1;
+  /// Re-target the evasion threshold from the trained proxy's calibrated
+  /// craft threshold (what the benches do) instead of the static default.
+  bool calibrate_craft_threshold = true;
+};
+
+struct CampaignResult {
+  /// Proxy/victim agreement on the testing fold.
+  double re_effectiveness = 0.0;
+  /// Programs actually labeled after budget truncation.
+  std::size_t train_programs = 0;
+  std::uint64_t label_queries = 0;
+  attack::TransferabilityResult transfer;
+  std::uint64_t queries_used = 0;
+  std::uint64_t epochs_rolled = 0;
+  /// FNV-1a digest of every observed reply, in query order — equal
+  /// between an in-process and an over-the-wire run of the same campaign
+  /// iff the victim behaved bit-identically.
+  std::uint64_t decision_hash = 0;
+};
+
+class Campaign {
+ public:
+  Campaign(const trace::Dataset& dataset, CampaignConfig config)
+      : dataset_(&dataset), config_(config) {}
+
+  /// Run the full loop against `victim`. `controller` (may be null) is
+  /// invoked by the query-clock roller; all victim contact is charged
+  /// against config.query_budget. Throws std::invalid_argument when the
+  /// budget cannot cover even the reserved measurements plus one labeled
+  /// program.
+  [[nodiscard]] CampaignResult run(attack::QueryOracle& victim, EpochController* controller,
+                                   std::span<const std::size_t> query_indices,
+                                   std::span<const std::size_t> test_indices,
+                                   std::span<const std::size_t> malware_indices) const;
+
+ private:
+  const trace::Dataset* dataset_;
+  CampaignConfig config_;
+};
+
+}  // namespace shmd::redteam

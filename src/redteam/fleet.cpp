@@ -1,0 +1,56 @@
+#include "redteam/fleet.hpp"
+
+#include <stdexcept>
+
+#include "volt/volt_fault_model.hpp"
+
+namespace shmd::redteam {
+
+std::vector<FleetDevice> sample_fleet(std::size_t n_devices, std::uint64_t profile_seed,
+                                      double calibrated_er, double temp_c) {
+  if (n_devices == 0) throw std::invalid_argument("sample_fleet: n_devices must be >= 1");
+  std::vector<FleetDevice> fleet;
+  fleet.reserve(n_devices);
+  // The defender calibrates the rail on device 0 (the reference die) for
+  // the target error rate, then programs the SAME offset fleet-wide —
+  // the realistic rollout, since per-device calibration is exactly the
+  // burden §IX flags. Every peer die answers at whatever error rate its
+  // own silicon yields at that depth.
+  const volt::DeviceProfile reference = volt::DeviceProfile::sample(profile_seed);
+  const double offset_mv =
+      volt::VoltFaultModel(reference).offset_for_error_rate(calibrated_er, temp_c);
+  for (std::size_t i = 0; i < n_devices; ++i) {
+    FleetDevice device;
+    device.index = i;
+    device.profile = volt::DeviceProfile::sample(profile_seed + i);
+    device.offset_mv = offset_mv;
+    const volt::VoltFaultModel model(device.profile);
+    device.frozen = model.freezes(offset_mv, temp_c);
+    device.error_rate = device.frozen ? 0.0 : model.fault_probability(offset_mv, temp_c);
+    fleet.push_back(device);
+  }
+  return fleet;
+}
+
+std::vector<FleetDeviceOutcome> measure_fleet_transfer(
+    const trace::Dataset& dataset, const attack::CraftOutcome& crafted,
+    std::span<const FleetDevice> fleet, const OracleFactory& make_oracle,
+    const attack::EvasionConfig& evasion, int detection_rounds) {
+  const attack::TransferabilityEval eval(dataset, evasion, detection_rounds);
+  std::vector<FleetDeviceOutcome> outcomes;
+  outcomes.reserve(fleet.size());
+  for (const FleetDevice& device : fleet) {
+    FleetDeviceOutcome outcome;
+    outcome.device = device;
+    if (!device.frozen) {
+      const std::unique_ptr<attack::QueryOracle> oracle = make_oracle(device);
+      outcome.transfer = eval.measure(*oracle, crafted);
+      outcome.queries_used = oracle->queries_used();
+      outcome.decision_hash = oracle->decision_hash();
+    }
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
+
+}  // namespace shmd::redteam

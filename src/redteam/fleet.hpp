@@ -1,0 +1,80 @@
+// Fleet: cross-device evasion transfer (§IX, "Calibration").
+//
+// Undervolting faults are a property of the individual die: the paper
+// measures fault onset between −103 mV and −145 mV *depending on the
+// chip and temperature*, which is why every deployment is calibrated
+// per device. That variability is itself a defense-in-depth property —
+// an attacker who reverse-engineers ONE device's stochastic boundary
+// holds a proxy of that die's error rate, not the fleet's.
+//
+// This module models a fleet as N sampled DeviceProfiles all programmed
+// with the SAME rail offset — the offset the defender calibrated on a
+// reference device for a target error rate. Process variation then gives
+// every other die a different effective error rate at that offset, so
+// evasive malware crafted against the reference device meets a subtly
+// different boundary on each peer. measure() ships one crafted evasive
+// set through a per-device oracle (in-process replicas, or NetOracles
+// against N served instances) and reports per-device transfer — the
+// cross-device row of BENCH_attack.json.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "attack/oracle.hpp"
+#include "attack/transferability.hpp"
+#include "trace/dataset.hpp"
+#include "volt/device_profile.hpp"
+
+namespace shmd::redteam {
+
+/// One fleet member: its silicon, and what the calibrated rail offset
+/// does to it.
+struct FleetDevice {
+  std::size_t index = 0;
+  volt::DeviceProfile profile;
+  /// Fleet-wide rail programming (mV, negative = undervolt), calibrated
+  /// on device 0 for the defender's target error rate.
+  double offset_mv = 0.0;
+  /// This die's effective per-MAC error rate at that offset.
+  double error_rate = 0.0;
+  /// True when the shared offset would freeze this die — such a device
+  /// cannot serve and is excluded from measurement (but still reported,
+  /// because a fleet rollout that freezes silicon is a finding).
+  bool frozen = false;
+};
+
+/// Per-device outcome of shipping one crafted evasive set.
+struct FleetDeviceOutcome {
+  FleetDevice device;
+  attack::TransferabilityResult transfer;
+  std::uint64_t queries_used = 0;
+  std::uint64_t decision_hash = 0;
+};
+
+/// Sample `n_devices` dies (deterministic in profile_seed; device i uses
+/// profile_seed + i), calibrate the rail on device 0 so ITS error rate is
+/// `calibrated_er` at `temp_c`, and report what that shared offset does
+/// to every die.
+[[nodiscard]] std::vector<FleetDevice> sample_fleet(std::size_t n_devices,
+                                                    std::uint64_t profile_seed,
+                                                    double calibrated_er, double temp_c);
+
+/// Builds the query channel to one device's victim — an InProcessOracle
+/// for simulation-only campaigns, or a NetOracle bound to that device's
+/// served instance for the over-the-wire fleet.
+using OracleFactory =
+    std::function<std::unique_ptr<attack::QueryOracle>(const FleetDevice&)>;
+
+/// Ship `crafted` (one evasive set, built against the reference device's
+/// proxy) to every non-frozen device and measure per-device transfer.
+/// Frozen devices appear in the result with an empty measurement.
+[[nodiscard]] std::vector<FleetDeviceOutcome> measure_fleet_transfer(
+    const trace::Dataset& dataset, const attack::CraftOutcome& crafted,
+    std::span<const FleetDevice> fleet, const OracleFactory& make_oracle,
+    const attack::EvasionConfig& evasion = {}, int detection_rounds = 1);
+
+}  // namespace shmd::redteam

@@ -1,0 +1,111 @@
+#include "redteam/net_oracle.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/scoring_service.hpp"
+
+namespace shmd::redteam {
+
+namespace {
+
+/// A reply that is not a scored result is a campaign-fatal condition:
+/// report exactly what the server said instead of fabricating a label.
+[[noreturn]] void throw_rejection(const net::Reply& reply) {
+  if (reply.error.has_value()) {
+    throw std::runtime_error("NetOracle: server rejected query: " + reply.error->message);
+  }
+  throw std::runtime_error("NetOracle: unexpected reply frame type " +
+                           std::to_string(static_cast<unsigned>(reply.type)));
+}
+
+void require_scored(std::uint8_t outcome) {
+  if (outcome != static_cast<std::uint8_t>(serve::RequestOutcome::kScored)) {
+    throw std::runtime_error("NetOracle: request completed without a verdict (outcome " +
+                             std::to_string(static_cast<unsigned>(outcome)) + ")");
+  }
+}
+
+}  // namespace
+
+NetOracle::NetOracle(net::NetClient& client, NetOracleConfig config)
+    : client_(&client), config_(config) {
+  if (config_.pipeline_depth == 0) {
+    throw std::invalid_argument("NetOracle: pipeline_depth must be >= 1");
+  }
+  client_->set_recv_deadline(config_.recv_timeout);
+}
+
+std::uint64_t NetOracle::send_query(const trace::FeatureSet& features) {
+  const std::vector<std::vector<double>>& windows = features.windows(config_.features);
+  net::ScoreRequest req;
+  req.view = static_cast<std::uint8_t>(config_.features.view);
+  req.period = static_cast<std::uint32_t>(config_.features.period);
+  req.deadline_us = config_.deadline_us;
+  req.width = windows.empty() ? 0 : windows.front().size();
+  req.windows = windows;
+  return config_.use_verdict_frames ? client_->send_verdict(req) : client_->send_score(req);
+}
+
+attack::OracleReply NetOracle::to_oracle_reply(const net::Reply& reply) const {
+  attack::OracleReply out;
+  if (reply.verdict.has_value()) {
+    require_scored(reply.verdict->outcome);
+    out.decisions = reply.verdict->decisions;
+    out.verdict = reply.verdict->verdict;
+    out.epoch_id = reply.verdict->epoch_id;
+    return out;  // decision-only: scores stay empty, as deployed
+  }
+  if (reply.result.has_value()) {
+    require_scored(reply.result->outcome);
+    out.decisions.reserve(reply.result->scores.size());
+    for (const double s : reply.result->scores) out.decisions.push_back(s >= config_.threshold);
+    out.verdict = reply.result->verdict;
+    out.epoch_id = reply.result->epoch_id;
+    out.scores = reply.result->scores;  // trusted channel leaks scores
+    return out;
+  }
+  throw_rejection(reply);
+}
+
+attack::OracleReply NetOracle::do_query(const trace::FeatureSet& features) {
+  const std::uint64_t id = send_query(features);
+  const net::Reply reply = client_->recv_reply();
+  if (reply.request_id != id) {
+    throw std::runtime_error("NetOracle: out-of-order reply to a synchronous query");
+  }
+  return to_oracle_reply(reply);
+}
+
+std::vector<attack::OracleReply> NetOracle::do_query_many(
+    std::span<const trace::FeatureSet* const> batch) {
+  // Sliding-window pipelining over one connection. The service stamps
+  // admission seq in wire order, so the k-th request sent here is the
+  // k-th accepted request regardless of depth — replies may complete out
+  // of order, which is why they are re-keyed by request id before the
+  // base class folds them into the decision hash in QUERY order.
+  std::vector<attack::OracleReply> replies(batch.size());
+  std::unordered_map<std::uint64_t, std::size_t> index_of;
+  index_of.reserve(config_.pipeline_depth * 2);
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  while (received < batch.size()) {
+    while (sent < batch.size() && sent - received < config_.pipeline_depth) {
+      index_of.emplace(send_query(*batch[sent]), sent);
+      ++sent;
+    }
+    const net::Reply reply = client_->recv_reply();
+    const auto it = index_of.find(reply.request_id);
+    if (it == index_of.end()) {
+      throw std::runtime_error("NetOracle: reply to a request id never issued");
+    }
+    replies[it->second] = to_oracle_reply(reply);
+    index_of.erase(it);
+    ++received;
+  }
+  return replies;
+}
+
+}  // namespace shmd::redteam

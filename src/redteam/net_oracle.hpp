@@ -1,0 +1,75 @@
+// NetOracle: the attack::QueryOracle that actually crosses a socket.
+//
+// Everything below attack/ treats the victim as an abstract query channel;
+// this class is the channel's deployed form — a live shmd-served daemon
+// reached through net::NetClient. It is the top of the layer DAG on
+// purpose: redteam may include attack, net, and serve, so the adaptive
+// adversary pipeline (reverse-engineer → craft → measure) runs unchanged
+// whether the oracle is an in-process replica or this wire-backed one,
+// and the two are bit-identical for a fixed service seed (the parity
+// property tests/redteam_test.cpp and CI's attack-smoke job pin down).
+//
+// Transport discipline:
+//   * decision-only by default — queries ride kVerdict frames and replies
+//     expose per-window decisions, never raw scores (the §V threat
+//     model); score-leaking kScore mode exists for trusted ablations;
+//   * query_many() pipelines up to `pipeline_depth` requests in flight on
+//     the one connection, then reorders replies by request id, so the
+//     observed labels are independent of server completion order while
+//     wall-clock stays round-trip-bound, not request-bound;
+//   * every in-protocol rejection (kShed, kClosed, policy refusals) and
+//     every non-scored outcome throws — a red-team campaign must never
+//     silently count a dropped query as a benign verdict.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+
+#include "attack/oracle.hpp"
+#include "net/client.hpp"
+#include "trace/dataset.hpp"
+
+namespace shmd::redteam {
+
+struct NetOracleConfig {
+  /// Feature view/period the victim epoch serves; queries ship this
+  /// program's windows under exactly this key.
+  trace::FeatureConfig features;
+  /// kVerdict (decision-only, the deployed channel) when true; kScore
+  /// (raw scores, trusted endpoints only) when false.
+  bool use_verdict_frames = true;
+  /// Receive deadline per blocking read (0 = wait forever). Applied to
+  /// the client on construction — the dead-daemon guard for unattended
+  /// campaigns.
+  std::chrono::milliseconds recv_timeout{0};
+  /// Relative per-request deadline shipped in the request (0 = none).
+  std::uint32_t deadline_us = 0;
+  /// Max requests in flight during query_many().
+  std::size_t pipeline_depth = 32;
+  /// Decision threshold used to derive per-window decisions in kScore
+  /// mode (kVerdict replies carry server-side decisions already).
+  double threshold = 0.5;
+};
+
+class NetOracle final : public attack::QueryOracle {
+ public:
+  /// `client` must already be connected; the oracle borrows it (one
+  /// oracle per connection — request ids and reply order are per-socket
+  /// state).
+  NetOracle(net::NetClient& client, NetOracleConfig config);
+
+ protected:
+  [[nodiscard]] attack::OracleReply do_query(const trace::FeatureSet& features) override;
+  [[nodiscard]] std::vector<attack::OracleReply> do_query_many(
+      std::span<const trace::FeatureSet* const> batch) override;
+
+ private:
+  [[nodiscard]] std::uint64_t send_query(const trace::FeatureSet& features);
+  [[nodiscard]] attack::OracleReply to_oracle_reply(const net::Reply& reply) const;
+
+  net::NetClient* client_;
+  NetOracleConfig config_;
+};
+
+}  // namespace shmd::redteam

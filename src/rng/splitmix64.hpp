@@ -26,4 +26,16 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Deterministic per-item stream seed: splitmix over a base seed and a
+/// golden-ratio-spread sequence number. This is THE request-anchoring
+/// formula of the serving determinism contract — the scoring service
+/// derives request k's fault stream from stream_seed(seed, k), and the
+/// in-process attack oracle replays the same formula so an in-process
+/// campaign is bit-identical to one run over the wire.
+[[nodiscard]] constexpr std::uint64_t stream_seed(std::uint64_t base,
+                                                  std::uint64_t seq) noexcept {
+  SplitMix64 mix(base ^ ((seq + 1) * 0x9E3779B97F4A7C15ULL));
+  return mix();
+}
+
 }  // namespace shmd::rng

@@ -13,12 +13,12 @@ namespace shmd::serve {
 
 namespace {
 
-/// Deterministic per-request stream seed: splitmix over the base seed and
-/// a golden-ratio-spread sequence number, so request k's fault stream is
-/// a function of (seed, k) alone — never of which worker scored it.
+/// Deterministic per-request stream seed, so request k's fault stream is
+/// a function of (seed, k) alone — never of which worker scored it. The
+/// formula lives in rng::stream_seed because attack::InProcessOracle
+/// replays it to predict the service bit-for-bit.
 std::uint64_t request_seed(std::uint64_t base, std::uint64_t seq) noexcept {
-  rng::SplitMix64 mix(base ^ ((seq + 1) * 0x9E3779B97F4A7C15ULL));
-  return mix();
+  return rng::stream_seed(base, seq);
 }
 
 }  // namespace
@@ -182,6 +182,7 @@ void ScoringService::worker_loop(std::size_t w) {
     for (const Request& request : batch) {
       ScoreTicket& ticket = *request.ticket;
       ticket.epoch_id_ = epoch->id;
+      ticket.threshold_ = epoch->threshold;
       const ServiceClock::time_point start = ServiceClock::now();
       if (start >= request.deadline) {
         const ServiceClock::duration wait = start - request.enqueue_time;
@@ -244,6 +245,10 @@ void ScoringService::worker_loop(std::size_t w) {
                                  end - request.enqueue_time)
                                  .count()),
                          epoch->id, injector.stats());
+        // Decision-only traffic is the attack surface: count it against
+        // the operating point that answered, so the defender can read
+        // hostile query volume per epoch off the snapshot.
+        if (ticket.decision_only_) stats_.on_verdict_query(epoch->id);
         ticket.complete(RequestOutcome::kScored);
       } else {
         stats_.on_failed();

@@ -123,8 +123,20 @@ class ScoreTicket {
   [[nodiscard]] bool verdict() const noexcept { return verdict_; }
   /// Epoch that completed this request (DetectorEpoch::id).
   [[nodiscard]] std::uint64_t epoch_id() const noexcept { return epoch_id_; }
+  /// The scoring epoch's decision threshold, stamped by the worker — how
+  /// a decision-only front-end turns scores() into per-window decisions
+  /// without being told the (defender-private) operating point.
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
   /// Enqueue→completion time.
   [[nodiscard]] std::chrono::nanoseconds latency() const noexcept { return latency_; }
+
+  /// Mark this ticket's submissions as decision-only queries (kVerdict
+  /// traffic): the service counts them per epoch in ServiceStats so a
+  /// defender can see hostile query volume per operating point. Like the
+  /// completion hook this survives begin() — set once per ticket
+  /// lifetime, before submitting.
+  void set_decision_only(bool decision_only) noexcept { decision_only_ = decision_only; }
+  [[nodiscard]] bool decision_only() const noexcept { return decision_only_; }
 
  private:
   friend class ScoringService;
@@ -134,6 +146,7 @@ class ScoreTicket {
     scores_.clear();  // capacity retained: steady-state reuse allocates nothing
     verdict_ = false;
     epoch_id_ = 0;
+    threshold_ = 0.5;
     latency_ = std::chrono::nanoseconds{0};
     done_.store(false, std::memory_order_relaxed);
   }
@@ -163,11 +176,13 @@ class ScoreTicket {
   std::vector<double> scores_;
   std::chrono::nanoseconds latency_{0};
   std::uint64_t epoch_id_ = 0;
+  double threshold_ = 0.5;
   bool verdict_ = false;
   RequestOutcome outcome_ = RequestOutcome::kPending;
   std::atomic<bool> done_{true};  // fresh = done-with-no-result; begin() arms it
   CompletionHook hook_ = nullptr;  // survives begin(): per-lifetime, not per-submit
   void* hook_arg_ = nullptr;
+  bool decision_only_ = false;  // survives begin(), like the hook
 };
 
 class ScoringService {

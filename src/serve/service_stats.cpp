@@ -54,6 +54,18 @@ void ServiceStats::on_scored(std::uint64_t latency_ns, std::uint64_t epoch_id,
   }
 }
 
+void ServiceStats::on_verdict_query(std::uint64_t epoch_id) {
+  verdict_queries_.fetch_add(1, std::memory_order_relaxed);
+  const util::MutexLock lock(faults_mu_);
+  ++per_epoch_verdicts_[epoch_id];
+  // Same aging discipline as the fault map: the total survives folding.
+  while (per_epoch_verdicts_.size() > kMaxTrackedEpochs) {
+    const auto oldest = per_epoch_verdicts_.begin();
+    folded_verdict_queries_ += oldest->second;
+    per_epoch_verdicts_.erase(oldest);
+  }
+}
+
 namespace {
 
 // Explicit little-endian byte encoding: the wire format must not depend
@@ -68,9 +80,9 @@ std::uint64_t get_u64(std::span<const std::uint8_t> bytes, std::size_t offset) {
   return v;
 }
 
-constexpr std::uint8_t kSnapshotFormat = 3;  // v3: added missed-wait histogram
-                                             // (v2 added the folded-epoch aggregate)
-constexpr std::size_t kCounterWords = 7;
+constexpr std::uint8_t kSnapshotFormat = 4;  // v4: verdict-query counter + per-epoch
+                                             // verdict map (v3 added missed-wait)
+constexpr std::size_t kCounterWords = 8;
 constexpr std::size_t kFaultStatsWords =
     2 + static_cast<std::size_t>(faultsim::BitFaultDistribution::kBits);
 constexpr std::size_t kEpochEntryWords = 1 + kFaultStatsWords;
@@ -80,7 +92,8 @@ constexpr std::size_t kEpochEntryWords = 1 + kFaultStatsWords;
 std::vector<std::uint8_t> serialize(const ServiceStatsSnapshot& snap) {
   std::vector<std::uint8_t> out;
   out.reserve(1 + 8 * (kCounterWords + 1 + kFaultStatsWords + 1 + 2 * LatencyHistogram::kBuckets +
-                       kEpochEntryWords * snap.per_epoch_faults.size()));
+                       kEpochEntryWords * snap.per_epoch_faults.size() + 2 +
+                       2 * snap.per_epoch_verdicts.size()));
   out.push_back(kSnapshotFormat);
   put_u64(out, snap.enqueued);
   put_u64(out, snap.shed);
@@ -89,6 +102,7 @@ std::vector<std::uint8_t> serialize(const ServiceStatsSnapshot& snap) {
   put_u64(out, snap.deadline_missed);
   put_u64(out, snap.failed);
   put_u64(out, snap.epoch_swaps);
+  put_u64(out, snap.verdict_queries);
   for (const std::uint64_t count : snap.latency.counts) put_u64(out, count);
   for (const std::uint64_t count : snap.missed_wait.counts) put_u64(out, count);
   put_u64(out, snap.folded_epochs);
@@ -102,12 +116,21 @@ std::vector<std::uint8_t> serialize(const ServiceStatsSnapshot& snap) {
     put_u64(out, faults.faults);
     for (const std::uint64_t flips : faults.bit_flips) put_u64(out, flips);
   }
+  put_u64(out, snap.folded_verdict_queries);
+  put_u64(out, snap.per_epoch_verdicts.size());
+  for (const auto& [epoch_id, count] : snap.per_epoch_verdicts) {
+    put_u64(out, epoch_id);
+    put_u64(out, count);
+  }
   return out;
 }
 
 std::optional<ServiceStatsSnapshot> deserialize_snapshot(std::span<const std::uint8_t> bytes) {
+  // Fixed part: format byte, counters, both histograms, folded faults,
+  // fault-map length — plus (after the variable fault section) the folded
+  // verdict counter and the verdict-map length.
   constexpr std::size_t kFixed =
-      1 + 8 * (kCounterWords + 2 * LatencyHistogram::kBuckets + 1 + kFaultStatsWords + 1);
+      1 + 8 * (kCounterWords + 2 * LatencyHistogram::kBuckets + 1 + kFaultStatsWords + 1 + 2);
   if (bytes.size() < kFixed || bytes[0] != kSnapshotFormat) return std::nullopt;
   ServiceStatsSnapshot snap;
   std::size_t at = 1;
@@ -123,6 +146,7 @@ std::optional<ServiceStatsSnapshot> deserialize_snapshot(std::span<const std::ui
   snap.deadline_missed = next();
   snap.failed = next();
   snap.epoch_swaps = next();
+  snap.verdict_queries = next();
   for (std::uint64_t& count : snap.latency.counts) {
     count = next();
     snap.latency.total += count;
@@ -138,9 +162,12 @@ std::optional<ServiceStatsSnapshot> deserialize_snapshot(std::span<const std::ui
   const std::uint64_t n_epochs = next();
   // Reject a length that cannot match the remaining bytes BEFORE trusting
   // it (a hostile count must not drive reads, allocations, or overflow).
+  // The fault entries must leave room for the verdict section's two fixed
+  // words; the verdict-map check below then consumes the rest exactly.
   constexpr std::uint64_t kEntryBytes = 8 * kEpochEntryWords;
-  if (n_epochs > (bytes.size() - at) / kEntryBytes ||
-      bytes.size() - at != n_epochs * kEntryBytes) {
+  constexpr std::uint64_t kVerdictFixedBytes = 8 * 2;
+  if (bytes.size() - at < kVerdictFixedBytes ||
+      n_epochs > (bytes.size() - at - kVerdictFixedBytes) / kEntryBytes) {
     return std::nullopt;
   }
   for (std::uint64_t e = 0; e < n_epochs; ++e) {
@@ -149,6 +176,18 @@ std::optional<ServiceStatsSnapshot> deserialize_snapshot(std::span<const std::ui
     faults.operations = next();
     faults.faults = next();
     for (std::uint64_t& flips : faults.bit_flips) flips = next();
+  }
+  if (bytes.size() - at < kVerdictFixedBytes) return std::nullopt;
+  snap.folded_verdict_queries = next();
+  const std::uint64_t n_verdicts = next();
+  constexpr std::uint64_t kVerdictEntryBytes = 8 * 2;
+  if (n_verdicts > (bytes.size() - at) / kVerdictEntryBytes ||
+      bytes.size() - at != n_verdicts * kVerdictEntryBytes) {
+    return std::nullopt;
+  }
+  for (std::uint64_t e = 0; e < n_verdicts; ++e) {
+    const std::uint64_t epoch_id = next();
+    snap.per_epoch_verdicts[epoch_id] = next();
   }
   return snap;
 }
@@ -166,6 +205,7 @@ ServiceStatsSnapshot ServiceStats::snapshot() const {
   snap.shed = shed_.load(std::memory_order_relaxed);
   snap.rejected_closed = rejected_closed_.load(std::memory_order_relaxed);
   snap.epoch_swaps = epoch_swaps_.load(std::memory_order_relaxed);
+  snap.verdict_queries = verdict_queries_.load(std::memory_order_relaxed);
   for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
     snap.latency.counts[b] = latency_buckets_[b].load(std::memory_order_relaxed);
     snap.latency.total += snap.latency.counts[b];
@@ -177,6 +217,8 @@ ServiceStatsSnapshot ServiceStats::snapshot() const {
     snap.per_epoch_faults = per_epoch_faults_;
     snap.folded_faults = folded_faults_;
     snap.folded_epochs = folded_epochs_;
+    snap.per_epoch_verdicts = per_epoch_verdicts_;
+    snap.folded_verdict_queries = folded_verdict_queries_;
   }
   return snap;
 }

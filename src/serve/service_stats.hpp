@@ -56,6 +56,7 @@ struct ServiceStatsSnapshot {
   std::uint64_t deadline_missed = 0;  ///< expired in the queue, never scored
   std::uint64_t failed = 0;           ///< scoring threw (contract violation by caller)
   std::uint64_t epoch_swaps = 0;      ///< install_epoch() calls
+  std::uint64_t verdict_queries = 0;  ///< decision-only (kVerdict) requests scored
   LatencyHistogram latency;           ///< enqueue→completion, scored only
   /// Queue-wait of deadline-missed requests (enqueue→expiry-detection).
   /// Kept separate from `latency` so scored-path quantiles stay
@@ -73,6 +74,13 @@ struct ServiceStatsSnapshot {
   std::map<std::uint64_t, faultsim::FaultStats> per_epoch_faults;
   faultsim::FaultStats folded_faults;  ///< aggregate of epochs aged out of the map
   std::uint64_t folded_epochs = 0;     ///< how many epochs were folded
+  /// Decision-only query volume per detector epoch — the defender-side
+  /// view of a black-box adversary's probing: how many kVerdict requests
+  /// each operating point answered before it was rotated away. Bounded
+  /// exactly like per_epoch_faults; aged-out epochs fold into
+  /// `folded_verdict_queries` so no query is ever lost from the total.
+  std::map<std::uint64_t, std::uint64_t> per_epoch_verdicts;
+  std::uint64_t folded_verdict_queries = 0;  ///< verdict queries aged out of the map
 
   /// Requests accepted but not yet terminal (0 once the service drains).
   [[nodiscard]] std::uint64_t in_flight() const noexcept {
@@ -116,6 +124,10 @@ class ServiceStats {
   void on_scored(std::uint64_t latency_ns, std::uint64_t epoch_id,
                  const faultsim::FaultStats& faults);
 
+  /// Record one decision-only (kVerdict) request, attributed to the epoch
+  /// that answered it. Called in addition to on_scored for such requests.
+  void on_verdict_query(std::uint64_t epoch_id);
+
   [[nodiscard]] ServiceStatsSnapshot snapshot() const;
 
  private:
@@ -126,6 +138,7 @@ class ServiceStats {
   std::atomic<std::uint64_t> deadline_missed_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> epoch_swaps_{0};
+  std::atomic<std::uint64_t> verdict_queries_{0};
   std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBuckets> latency_buckets_{};
   std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBuckets> missed_wait_buckets_{};
   mutable util::Mutex faults_mu_;
@@ -133,6 +146,8 @@ class ServiceStats {
   /// Aged-out epochs, aggregated.
   faultsim::FaultStats folded_faults_ SHMD_GUARDED_BY(faults_mu_);
   std::uint64_t folded_epochs_ SHMD_GUARDED_BY(faults_mu_) = 0;
+  std::map<std::uint64_t, std::uint64_t> per_epoch_verdicts_ SHMD_GUARDED_BY(faults_mu_);
+  std::uint64_t folded_verdict_queries_ SHMD_GUARDED_BY(faults_mu_) = 0;
 };
 
 }  // namespace shmd::serve

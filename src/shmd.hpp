@@ -15,10 +15,14 @@
 //   serve/               the always-on scoring service: bounded request
 //                        queue, resident workers, epoch-swap moving target
 //   attack/              the black-box evasion pipeline and white-box probe
+//   net/                 the framed wire protocol, socket server, client
+//   redteam/             end-to-end adaptive adversary campaigns against
+//                        the live service (oracles, epoch rolling, fleets)
 #pragma once
 
 #include "attack/composite_proxy.hpp"
 #include "attack/evasion.hpp"
+#include "attack/oracle.hpp"
 #include "attack/reverse_engineer.hpp"
 #include "attack/transferability.hpp"
 #include "attack/whitebox.hpp"
@@ -41,6 +45,9 @@
 #include "hmd/space_exploration.hpp"
 #include "hmd/stochastic_hmd.hpp"
 #include "hmd/train.hpp"
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/server.hpp"
 #include "nn/activation.hpp"
 #include "nn/arithmetic.hpp"
 #include "nn/classifier.hpp"
@@ -50,6 +57,9 @@
 #include "nn/mlp_classifier.hpp"
 #include "nn/network.hpp"
 #include "nn/trainer.hpp"
+#include "redteam/campaign.hpp"
+#include "redteam/fleet.hpp"
+#include "redteam/net_oracle.hpp"
 #include "rng/entropy.hpp"
 #include "rng/lgm_prng.hpp"
 #include "rng/random_source.hpp"

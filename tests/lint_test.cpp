@@ -693,6 +693,23 @@ TEST(LintR9, SiblingLayersMayNotReachIntoTheKernelsSubmodule) {
             (std::vector<int>{2}));
 }
 
+TEST(LintR9, RedteamIsTheTopOfTheDag) {
+  // redteam (layer 8) may reach everything below it...
+  const std::string redteam_down =
+      "#pragma once\n"
+      "#include \"attack/oracle.hpp\"\n"
+      "#include \"net/client.hpp\"\n"
+      "#include \"serve/scoring_service.hpp\"\n";
+  EXPECT_TRUE(lint_project({{"src/redteam/fixture.hpp", redteam_down}}).empty());
+  // ...but nothing may reach up into the adversary tooling — the victim
+  // stack must not depend on its own red team.
+  const std::string net_up =
+      "#pragma once\n"
+      "#include \"redteam/net_oracle.hpp\"\n";  // line 2: layer 7 reaching up
+  EXPECT_EQ(lines_of(lint_project({{"src/net/fixture.hpp", net_up}}), "R9"),
+            (std::vector<int>{2}));
+}
+
 TEST(LintR9, LayerOkTagSuppressesOnTheIncludeLine) {
   const std::string fixture =
       "#pragma once\n"

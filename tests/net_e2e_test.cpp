@@ -202,6 +202,121 @@ TEST(NetE2E, PollFallbackServesIdentically) {
   server.stop();
 }
 
+TEST(NetE2E, VerdictRepliesCarryExactlyTheScoreDecisions) {
+  // The decision-only channel must answer with precisely the decisions a
+  // kScore reply implies (score >= epoch threshold), same verdict, same
+  // epoch id — and no scores. Fresh service per channel: same seed, same
+  // admission order, so the two channels sample identical fault streams.
+  const Workload w = make_workload(12);
+  const serve::ServeConfig config{.num_workers = 2};
+
+  std::vector<ScoreResult> scored;
+  {
+    serve::ScoringService service(test_epoch(0.05), config);
+    NetServer server(service);
+    const util::Endpoint ep = server.add_listener(util::parse_endpoint("127.0.0.1:0"));
+    server.start();
+    NetClient client;
+    client.connect(ep);
+    for (const ScoreRequest& req : w.requests) {
+      const Reply reply = client.score(req);
+      ASSERT_TRUE(reply.result.has_value());
+      scored.push_back(*reply.result);
+    }
+    server.stop();
+  }
+
+  serve::ScoringService service(test_epoch(0.05), config);
+  NetServer server(service);
+  const util::Endpoint ep = server.add_listener(util::parse_endpoint("127.0.0.1:0"));
+  server.start();
+  NetClient client;
+  client.connect(ep);
+  for (std::size_t i = 0; i < w.requests.size(); ++i) {
+    const std::uint64_t id = client.send_verdict(w.requests[i]);
+    const Reply reply = client.recv_reply();
+    ASSERT_EQ(reply.request_id, id);
+    ASSERT_EQ(reply.type, FrameType::kVerdictResult);
+    ASSERT_TRUE(reply.verdict.has_value());
+    const VerdictResult& v = *reply.verdict;
+    EXPECT_EQ(v.outcome, scored[i].outcome);
+    EXPECT_EQ(v.verdict, scored[i].verdict);
+    EXPECT_EQ(v.epoch_id, scored[i].epoch_id);
+    ASSERT_EQ(v.decisions.size(), scored[i].scores.size());
+    for (std::size_t k = 0; k < v.decisions.size(); ++k) {
+      EXPECT_EQ(v.decisions[k], scored[i].scores[k] >= 0.5) << "request " << i;
+    }
+  }
+  server.stop();
+  // The decision-only traffic is visible to the defender's telemetry.
+  EXPECT_EQ(service.stats().verdict_queries, w.requests.size());
+}
+
+TEST(NetE2E, NoRawScoresPolicyRefusesKScoreInProtocol) {
+  serve::ScoringService service(test_epoch(0.05), serve::ServeConfig{.num_workers = 1});
+  NetServer server(service, NetServerConfig{.allow_raw_scores = false});
+  const util::Endpoint untrusted =
+      server.add_listener(util::parse_endpoint("127.0.0.1:0"), /*trusted=*/false);
+  const std::string uds = temp_uds_path("policy");
+  const util::Endpoint trusted =
+      server.add_listener(util::parse_endpoint("unix:" + uds), /*trusted=*/true);
+  server.start();
+
+  const Workload w = make_workload(1);
+  NetClient attacker;
+  attacker.connect(untrusted);
+  // kScore from the untrusted side: refused in-protocol, with the id
+  // echoed — and the connection survives (a policy refusal is not abuse).
+  const Reply refused = attacker.score(w.requests[0]);
+  ASSERT_EQ(refused.type, FrameType::kError);
+  ASSERT_TRUE(refused.error.has_value());
+  EXPECT_EQ(refused.error->code, ErrorCode::kUnsupported);
+  EXPECT_TRUE(attacker.ping()) << "policy refusal must not disconnect";
+  // The verdict channel still works on the same connection.
+  (void)attacker.send_verdict(w.requests[0]);
+  const Reply verdict = attacker.recv_reply();
+  EXPECT_EQ(verdict.type, FrameType::kVerdictResult);
+  // The request the policy refused never reached the service.
+  EXPECT_EQ(service.stats().enqueued, 1u);
+
+  // The trusted (same-host collector) listener keeps raw scores.
+  NetClient collector;
+  collector.connect(trusted);
+  const Reply reply = collector.score(w.requests[0]);
+  ASSERT_EQ(reply.type, FrameType::kScoreResult);
+  EXPECT_FALSE(reply.result->scores.empty());
+  server.stop();
+}
+
+TEST(NetE2E, RecvDeadlineGuardsAgainstHalfOpenServer) {
+  // A listening socket that never accept()s: connect() succeeds out of
+  // the backlog, then the "server" goes silent forever. Without a recv
+  // deadline the client would block indefinitely; with one it must throw
+  // RecvDeadlineExpired and keep the connection for a retry.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sin.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&sin), sizeof(sin)), 0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(sin);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&sin), &len), 0);
+
+  NetClient client;
+  client.set_recv_deadline(std::chrono::milliseconds(100));
+  client.connect(util::parse_endpoint("127.0.0.1:" + std::to_string(ntohs(sin.sin_port))));
+  const Workload w = make_workload(1);
+  (void)client.send_verdict(w.requests[0]);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)client.recv_reply(), RecvDeadlineExpired);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 5s) << "must time out, not hang";
+  EXPECT_TRUE(client.connected()) << "deadline expiry is retryable, not fatal";
+  EXPECT_THROW((void)client.recv_reply(), RecvDeadlineExpired) << "retry also bounded";
+  ::close(listener);
+}
+
 // ----------------------------------------------------------------- overload
 
 TEST(NetE2E, OverloadSurfacesAsShedErrorFramesOnLiveConnection) {

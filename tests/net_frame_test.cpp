@@ -63,6 +63,62 @@ TEST(NetFrame, ScoreResultRoundTripsBitExactly) {
   EXPECT_EQ(*back, result);
 }
 
+TEST(NetFrame, VerdictResultRoundTripsBitExactly) {
+  // Decision counts straddling the byte-packing boundaries: empty, less
+  // than one byte, exactly one byte, ragged tail.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{5}, std::size_t{8},
+                              std::size_t{13}, std::size_t{64}}) {
+    rng::Xoshiro256ss gen(n);
+    VerdictResult result;
+    result.outcome = 1;
+    result.verdict = n % 2 == 0;
+    result.epoch_id = 7 + n;
+    result.latency_ns = 987654321;
+    result.decisions.resize(n);
+    for (std::size_t i = 0; i < n; ++i) result.decisions[i] = gen.bernoulli(0.5);
+    const std::optional<VerdictResult> back =
+        decode_verdict_result(encode_verdict_result(result));
+    ASSERT_TRUE(back.has_value()) << n;
+    EXPECT_EQ(*back, result) << n;
+  }
+}
+
+TEST(NetFrame, VerdictResultRejectsTruncationAndTrailingGarbage) {
+  VerdictResult result;
+  result.decisions = {true, false, true, true, false, true, false, true, true};
+  const std::vector<std::uint8_t> wire = encode_verdict_result(result);
+  for (const std::size_t cut : {std::size_t{1}, wire.size() / 2, wire.size() - 1}) {
+    const std::vector<std::uint8_t> truncated(wire.begin(),
+                                              wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(decode_verdict_result(truncated).has_value()) << "cut at " << cut;
+  }
+  std::vector<std::uint8_t> trailing = wire;
+  trailing.push_back(0);
+  EXPECT_FALSE(decode_verdict_result(trailing).has_value());
+  EXPECT_FALSE(decode_verdict_result({}).has_value());
+}
+
+TEST(NetFrame, VerdictResultRejectsNonzeroPadBits) {
+  // 9 decisions -> 2 bytes, 7 pad bits in the tail byte. A sender that
+  // sets any of them is smuggling out-of-contract state; reject.
+  VerdictResult result;
+  result.decisions.assign(9, true);
+  std::vector<std::uint8_t> wire = encode_verdict_result(result);
+  ASSERT_TRUE(decode_verdict_result(wire).has_value());
+  wire.back() |= 0x80;  // highest pad bit of the tail byte
+  EXPECT_FALSE(decode_verdict_result(wire).has_value());
+}
+
+TEST(NetFrame, VerdictResultRejectsHostileDecisionCount) {
+  // Huge declared n_decisions (u32 at offset 20) must be rejected by
+  // arithmetic against the actual payload size, never by allocating.
+  VerdictResult result;
+  result.decisions = {true, false};
+  std::vector<std::uint8_t> wire = encode_verdict_result(result);
+  for (std::size_t i = 0; i < 4; ++i) wire[20 + i] = 0xFF;
+  EXPECT_FALSE(decode_verdict_result(wire).has_value());
+}
+
 TEST(NetFrame, ErrorBodyRoundTrips) {
   ErrorBody body;
   body.code = ErrorCode::kShed;
@@ -130,6 +186,7 @@ TEST(NetFrame, PayloadDecoderFuzzNeverCrashes) {
     for (std::uint8_t& b : bytes) b = static_cast<std::uint8_t>(gen() & 0xFF);
     (void)decode_score_request(bytes);
     (void)decode_score_result(bytes);
+    (void)decode_verdict_result(bytes);
     (void)decode_error(bytes);
   }
   // Mutated valid payloads: flip one byte anywhere; must decode or reject,
@@ -278,7 +335,7 @@ TEST(NetFrame, DecoderFuzzRandomBytesNeverCrash) {
         chunk[2] = 0x48;
         chunk[3] = 0x53;
         chunk[4] = kProtocolVersion;
-        chunk[5] = static_cast<std::uint8_t>(gen.below(7));
+        chunk[5] = static_cast<std::uint8_t>(gen.below(9));  // all frame types incl. kVerdict*
       }
       decoder.feed(chunk);
       fed += chunk.size();

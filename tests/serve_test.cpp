@@ -295,6 +295,10 @@ TEST(ServeStats, SnapshotSerializationRoundTrips) {
   snap.folded_faults.operations = 777;
   snap.folded_faults.faults = 5;
   snap.folded_faults.bit_flips[31] = 3;
+  snap.verdict_queries = 17;
+  snap.per_epoch_verdicts[1] = 12;
+  snap.per_epoch_verdicts[9] = 5;
+  snap.folded_verdict_queries = 8;
 
   const std::vector<std::uint8_t> wire = serialize(snap);
   const std::optional<ServiceStatsSnapshot> back = deserialize_snapshot(wire);
@@ -324,9 +328,16 @@ TEST(ServeStats, DeserializeRejectsCorruptedInput) {
   // the folded-epoch aggregate).
   std::vector<std::uint8_t> hostile = wire;
   const std::size_t count_at =
-      1 + 8 * (7 + 2 * LatencyHistogram::kBuckets + 1 + 2 + faultsim::BitFaultDistribution::kBits);
+      1 + 8 * (8 + 2 * LatencyHistogram::kBuckets + 1 + 2 + faultsim::BitFaultDistribution::kBits);
   for (std::size_t i = 0; i < 8; ++i) hostile[count_at + i] = 0xFF;
   EXPECT_FALSE(deserialize_snapshot(hostile).has_value());
+
+  // Same for the verdict-map count: it is the second-to-last word of a
+  // snapshot with an empty verdict map.
+  std::vector<std::uint8_t> hostile_verdicts = wire;
+  const std::size_t verdict_count_at = wire.size() - 8;
+  for (std::size_t i = 0; i < 8; ++i) hostile_verdicts[verdict_count_at + i] = 0xFF;
+  EXPECT_FALSE(deserialize_snapshot(hostile_verdicts).has_value());
 
   EXPECT_FALSE(deserialize_snapshot({}).has_value());
 }

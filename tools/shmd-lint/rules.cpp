@@ -944,9 +944,9 @@ class LayeringRule final : public ProjectRule {
   [[nodiscard]] std::string_view name() const noexcept override { return "layering"; }
   [[nodiscard]] std::string_view suppression_tag() const noexcept override { return "layer-ok"; }
   [[nodiscard]] std::string_view rationale() const noexcept override {
-    return "cross-directory includes must descend the layer DAG (util/rng at the bottom, net "
-           "at the top): an upward or sideways include couples a pure layer to a concurrent "
-           "or transport one and the determinism contract stops being auditable";
+    return "cross-directory includes must descend the layer DAG (util/rng at the bottom, "
+           "redteam at the top): an upward or sideways include couples a pure layer to a "
+           "concurrent or transport one and the determinism contract stops being auditable";
   }
 
   /// Module layers. A module is the longest table entry that prefixes a
@@ -961,7 +961,7 @@ class LayeringRule final : public ProjectRule {
   static constexpr std::pair<std::string_view, int> kLayers[] = {
       {"util", 0}, {"rng", 0},     {"trace", 1},   {"faultsim", 1}, {"volt", 1},
       {"nn", 2},   {"nn/kernels", 2}, {"eval", 3},  {"sys", 3},     {"hmd", 4},
-      {"attack", 5}, {"runtime", 5}, {"serve", 6},  {"net", 7},
+      {"attack", 5}, {"runtime", 5}, {"serve", 6},  {"net", 7},     {"redteam", 8},
   };
 
   /// Longest kLayers entry that is a whole-segment prefix of `rel`
@@ -1015,10 +1015,10 @@ class LayeringRule final : public ProjectRule {
              "layering violation: src/" + std::string(from_mod) + "/ (layer " +
                  std::to_string(from_layer) + ") includes \"" + inc->path + "\" (layer " +
                  std::to_string(to_layer) + ")",
-             "the layer DAG descends net > serve > runtime/attack > hmd > eval/sys > nn > "
-             "trace/faultsim/volt > util/rng, and nn/kernels is a leaf submodule only nn may "
-             "reach into; move the shared piece down a layer or invert the dependency; a "
-             "deliberate exception takes // shmd-lint: layer-ok(<reason>)"});
+             "the layer DAG descends redteam > net > serve > runtime/attack > hmd > eval/sys "
+             "> nn > trace/faultsim/volt > util/rng, and nn/kernels is a leaf submodule only "
+             "nn may reach into; move the shared piece down a layer or invert the dependency; "
+             "a deliberate exception takes // shmd-lint: layer-ok(<reason>)"});
       }
     }
   }
