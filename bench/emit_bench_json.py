@@ -14,16 +14,19 @@ er = 0 / 10% / 50%, the PRNG additive-noise baseline, and the raw dot()
 kernels the span-level arithmetic API added.
 
 Serve mode (--serve): reduces a serve_loadgen JSON report to the
-BENCH_serve.json scorecard — closed-loop peak throughput, open-loop shed
-fraction and tail latency past saturation, and the accounting invariant
-(every request terminal, nothing lost). Stdlib only — CI installs no
-Python packages.
+BENCH_serve.json scorecard. The headline is GOODPUT — requests scored
+within their deadline per second — not raw throughput: past saturation a
+server can stay "busy" scoring requests whose deadlines already passed,
+and only goodput tells those apart. Also carries open-loop shed/reject
+fractions, survivor tail latency, and the accounting invariant (every
+request terminal, nothing lost). Stdlib only — CI installs no Python
+packages.
 
 Net mode (--net): reduces a net_loadgen JSON report to the BENCH_net.json
 scorecard — closed-loop round-trip latency and pipelined throughput per
 transport (TCP vs Unix socket, or the remote endpoint in --connect runs),
-shed fraction, and the wire accounting invariant (every frame sent came
-back as exactly one reply; nothing failed in the stack).
+shed/throttle fractions, and the wire accounting invariant (every frame
+sent came back as exactly one reply; nothing failed in the stack).
 
 Attack mode (--attack): reduces a redteam_campaign JSON report to the
 BENCH_attack.json scorecard — the evasion-transfer vs. epoch-period
@@ -83,10 +86,17 @@ def emit_serve(argv):
             return None
         submitted = p.get("submitted", 0)
         return {
+            # Headline: useful work per second. Old reports (pre-v5) lack
+            # the field; fall back to raw throughput so diffs stay readable.
+            "goodput_rps": p.get("goodput_rps", p.get("throughput_rps")),
             "throughput_rps": p.get("throughput_rps"),
+            "achieved_rate_rps": p.get("achieved_rate_rps"),
             "p50_us": p.get("p50_us"),
             "p99_us": p.get("p99_us"),
             "shed_fraction": (p.get("shed", 0) / submitted) if submitted else 0.0,
+            "rejected_fraction": (p.get("rejected", 0) / submitted) if submitted else 0.0,
+            "evicted": p.get("evicted", 0),
+            "scored_late": p.get("scored_late", 0),
             "deadline_missed": p.get("deadline_missed", 0),
             "missed_wait_p50_us": p.get("missed_wait_p50_us"),
             "missed_wait_p99_us": p.get("missed_wait_p99_us"),
@@ -99,9 +109,13 @@ def emit_serve(argv):
 
     totals = raw.get("totals", {})
     scorecard = {
+        "goodput_rps": open_.get("goodput_rps"),  # the headline serving metric
         "closed_loop": closed,
         "open_loop": open_,
         "epoch_swaps": totals.get("epoch_swaps"),
+        "rejected_on_admission": totals.get("rejected_on_admission"),
+        "evicted": totals.get("evicted"),
+        "throttled": totals.get("throttled"),
         # The serving layer's core promise: after the drain every accepted
         # request reached a terminal state and nothing was silently lost.
         "accounting_ok": totals.get("in_flight") == 0 and totals.get("failed") == 0,
@@ -141,6 +155,8 @@ def emit_net(argv):
             "p50_us": p.get("p50_us"),
             "p99_us": p.get("p99_us"),
             "shed_fraction": (p.get("shed", 0) / sent) if sent else 0.0,
+            "throttled_fraction": (p.get("throttled", 0) / sent) if sent else 0.0,
+            "rejected": p.get("rejected", 0),
             "errors": p.get("errors", 0),
         }
     if not phases:
@@ -155,6 +171,7 @@ def emit_net(argv):
         "accounting_ok": bool(totals.get("accounting_ok"))
         and totals.get("server_failed", 0) == 0
         and totals.get("server_in_flight", 0) == 0,
+        "server_throttled": totals.get("server_throttled", 0),
         "epoch_swaps": totals.get("epoch_swaps"),
         "config": raw.get("config", {}),
     }

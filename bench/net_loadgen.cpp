@@ -75,7 +75,9 @@ struct PhaseResult {
   std::uint64_t sent = 0;
   std::uint64_t scored = 0;
   std::uint64_t shed = 0;
-  std::uint64_t errors = 0;  ///< non-shed error replies (should stay 0)
+  std::uint64_t throttled = 0;  ///< kThrottled error replies (fair-share limiter)
+  std::uint64_t rejected = 0;   ///< result frames with outcome kRejected (admission)
+  std::uint64_t errors = 0;     ///< any other error reply (should stay 0)
   double throughput_rps = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
@@ -98,10 +100,18 @@ void finish(PhaseResult& r, double elapsed_s, std::vector<double>& lat_us) {
 
 void count_reply(const net::Reply& reply, PhaseResult& r) {
   if (reply.type == net::FrameType::kScoreResult) {
-    ++r.scored;
+    if (reply.result &&
+        reply.result->outcome == static_cast<std::uint8_t>(serve::RequestOutcome::kRejected)) {
+      ++r.rejected;  // admission control said no — still a result frame, not an error
+    } else {
+      ++r.scored;
+    }
   } else if (reply.type == net::FrameType::kError && reply.error &&
              reply.error->code == net::ErrorCode::kShed) {
     ++r.shed;
+  } else if (reply.type == net::FrameType::kError && reply.error &&
+             reply.error->code == net::ErrorCode::kThrottled) {
+    ++r.throttled;  // fair-share limiter; the connection stays open
   } else {
     ++r.errors;
   }
@@ -137,6 +147,8 @@ PhaseResult run_closed(const util::Endpoint& ep, std::size_t n_clients, double d
       result.sent += local.sent;
       result.scored += local.scored;
       result.shed += local.shed;
+      result.throttled += local.throttled;
+      result.rejected += local.rejected;
       result.errors += local.errors;
       all_lat_us.insert(all_lat_us.end(), lat_us.begin(), lat_us.end());
     });
@@ -192,6 +204,8 @@ void print_phase(std::FILE* out, const PhaseResult& r, bool last) {
                "    \"sent\": %llu,\n"
                "    \"scored\": %llu,\n"
                "    \"shed\": %llu,\n"
+               "    \"throttled\": %llu,\n"
+               "    \"rejected\": %llu,\n"
                "    \"errors\": %llu,\n"
                "    \"throughput_rps\": %.1f,\n"
                "    \"p50_us\": %.1f,\n"
@@ -200,6 +214,8 @@ void print_phase(std::FILE* out, const PhaseResult& r, bool last) {
                r.name.c_str(), r.duration_s, static_cast<unsigned long long>(r.sent),
                static_cast<unsigned long long>(r.scored),
                static_cast<unsigned long long>(r.shed),
+               static_cast<unsigned long long>(r.throttled),
+               static_cast<unsigned long long>(r.rejected),
                static_cast<unsigned long long>(r.errors), r.throughput_rps, r.p50_us,
                r.p99_us, last ? "" : ",");
 }
@@ -216,6 +232,8 @@ int main(int argc, char** argv) {
   cli.add_flag("duration-s", "seconds per phase", "2");
   cli.add_flag("windows", "feature windows per request", "16");
   cli.add_flag("epoch-period-ms", "epoch re-roll period, self-hosted (0 = static)", "100");
+  cli.add_flag("throttle-rps", "per-connection fair-share limit; >0 switches to the "
+                               "sustained-hostile-traffic scenario (self-hosted only)", "0");
   cli.add_flag("out", "write the JSON report here instead of stdout", "");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -225,6 +243,12 @@ int main(int argc, char** argv) {
   const double duration_s = cli.get_double("duration-s");
   const auto windows = static_cast<std::size_t>(cli.get_int("windows"));
   const std::chrono::milliseconds epoch_period(cli.get_int("epoch-period-ms"));
+  const double throttle_rps = cli.get_double("throttle-rps");
+  const bool hostile = throttle_rps > 0.0;
+  if (hostile && !connect.empty()) {
+    std::fprintf(stderr, "net_loadgen: --throttle-rps requires self-hosted mode\n");
+    return 1;
+  }
   const std::vector<net::ScoreRequest> workload = make_workload(64, windows);
 
   // Self-hosted plumbing (unused in --connect mode).
@@ -240,7 +264,9 @@ int main(int argc, char** argv) {
     config.num_workers = static_cast<std::size_t>(cli.get_int("workers"));
     config.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
     service.emplace(serve::make_epoch(hmd::StochasticHmd(network, fc, 0.10)), config);
-    server.emplace(*service);
+    net::NetServerConfig net_config;
+    net_config.throttle_rps = throttle_rps;  // 0 disables the limiter
+    server.emplace(*service, net_config);
     transports.emplace_back("tcp", server->add_listener(util::parse_endpoint("127.0.0.1:0")));
     transports.emplace_back("uds", server->add_listener(util::parse_endpoint("unix:" + uds_path)));
     server->start();
@@ -266,13 +292,35 @@ int main(int argc, char** argv) {
   }
 
   std::vector<PhaseResult> phases;
-  for (const auto& [tag, ep] : transports) {
-    std::fprintf(stderr, "%s closed loop: %zu connections x %.1fs against %s...\n",
-                 tag.c_str(), n_clients, duration_s, ep.to_string().c_str());
-    phases.push_back(run_closed(ep, n_clients, duration_s, workload, tag + "_closed"));
-    std::fprintf(stderr, "%s pipelined: window %zu x %.1fs...\n", tag.c_str(), window,
-                 duration_s);
-    phases.push_back(run_pipelined(ep, window, duration_s, workload, tag + "_pipelined"));
+  if (hostile) {
+    // Sustained-hostile-traffic scenario: one flooding pipelined connection
+    // races the fair-share limiter while polite closed-loop clients share
+    // the same server. The limiter should absorb the flood as kThrottled
+    // replies (never a disconnect) and leave the polite clients' goodput
+    // intact — the flooder's in-window frames beyond its budget bounce
+    // cheaply before payload decode.
+    const auto& [tag, ep] = transports.front();
+    std::fprintf(stderr,
+                 "%s hostile: 1 flooder (window %zu) vs %zu polite clients x %.1fs, "
+                 "%.0f rps/conn budget...\n",
+                 tag.c_str(), window, n_clients, duration_s, throttle_rps);
+    PhaseResult flood;
+    std::thread flooder([&] {
+      flood = run_pipelined(ep, window, duration_s, workload, "hostile_flood");
+    });
+    PhaseResult polite = run_closed(ep, n_clients, duration_s, workload, "hostile_polite");
+    flooder.join();
+    phases.push_back(std::move(flood));
+    phases.push_back(std::move(polite));
+  } else {
+    for (const auto& [tag, ep] : transports) {
+      std::fprintf(stderr, "%s closed loop: %zu connections x %.1fs against %s...\n",
+                   tag.c_str(), n_clients, duration_s, ep.to_string().c_str());
+      phases.push_back(run_closed(ep, n_clients, duration_s, workload, tag + "_closed"));
+      std::fprintf(stderr, "%s pipelined: window %zu x %.1fs...\n", tag.c_str(), window,
+                   duration_s);
+      phases.push_back(run_pipelined(ep, window, duration_s, workload, tag + "_pipelined"));
+    }
   }
 
   if (roller.joinable()) {
@@ -285,12 +333,18 @@ int main(int argc, char** argv) {
   // and nothing in the stack failed or leaked in flight.
   bool accounting_ok = true;
   for (const PhaseResult& r : phases) {
-    if (r.sent != r.scored + r.shed + r.errors || r.errors != 0) accounting_ok = false;
+    if (r.sent != r.scored + r.shed + r.throttled + r.rejected + r.errors ||
+        r.errors != 0) {
+      accounting_ok = false;
+    }
   }
   std::uint64_t server_failed = 0;
   std::uint64_t server_in_flight = 0;
   std::uint64_t epoch_swaps = 0;
+  std::uint64_t server_throttled = 0;
   if (server) {
+    const net::NetServerStats net_stats = server->stats();
+    server_throttled = net_stats.throttled_responses;
     server->stop();
     service->close();
     const serve::ServiceStatsSnapshot stats = service->stats();
@@ -313,21 +367,24 @@ int main(int argc, char** argv) {
                "    \"clients\": %zu,\n"
                "    \"window\": %zu,\n"
                "    \"windows_per_request\": %zu,\n"
-               "    \"epoch_period_ms\": %lld\n"
+               "    \"epoch_period_ms\": %lld,\n"
+               "    \"throttle_rps\": %.0f\n"
                "  },\n",
                connect.empty() ? "self_hosted" : "connect", n_clients, window, windows,
-               static_cast<long long>(epoch_period.count()));
+               static_cast<long long>(epoch_period.count()), throttle_rps);
   for (const PhaseResult& r : phases) print_phase(out, r, /*last=*/false);
   std::fprintf(out,
                "  \"totals\": {\n"
                "    \"accounting_ok\": %s,\n"
                "    \"server_failed\": %llu,\n"
                "    \"server_in_flight\": %llu,\n"
+               "    \"server_throttled\": %llu,\n"
                "    \"epoch_swaps\": %llu\n"
                "  }\n}\n",
                accounting_ok ? "true" : "false",
                static_cast<unsigned long long>(server_failed),
                static_cast<unsigned long long>(server_in_flight),
+               static_cast<unsigned long long>(server_throttled),
                static_cast<unsigned long long>(epoch_swaps));
   if (out != stdout) std::fclose(out);
   return accounting_ok ? 0 : 1;

@@ -21,11 +21,13 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "admit/policy.hpp"
 #include "hmd/stochastic_hmd.hpp"
 #include "nn/network.hpp"
 #include "rng/xoshiro256ss.hpp"
@@ -79,9 +81,15 @@ struct PhaseReport {
   std::uint64_t submitted = 0;
   std::uint64_t scored = 0;
   std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;        ///< admission-control rejections (at the door)
+  std::uint64_t evicted = 0;         ///< drop-oldest displacements
+  std::uint64_t scored_late = 0;     ///< scored past the deadline (excluded from goodput)
   std::uint64_t deadline_missed = 0;
   std::uint64_t epoch_swaps = 0;
-  double throughput_rps = 0.0;
+  double goodput_rps = 0.0;     ///< requests scored WITHIN deadline per second — the
+                                ///< headline metric; == throughput when no deadline
+  double throughput_rps = 0.0;  ///< raw scored per second (work done, useful or not)
+  double achieved_rate_rps = 0.0;  ///< offered rate the pacer actually sustained
   double p50_us = 0.0;
   double p99_us = 0.0;
   double missed_wait_p50_us = 0.0;  ///< queue wait of deadline-missed requests
@@ -97,9 +105,15 @@ PhaseReport phase_report(std::string mode, double duration_s, std::uint64_t subm
   r.submitted = submitted;
   r.scored = after.scored - before.scored;
   r.shed = after.shed - before.shed;
+  r.rejected = after.rejected_on_admission - before.rejected_on_admission;
+  r.evicted = after.evicted - before.evicted;
+  r.scored_late = after.scored_late - before.scored_late;
   r.deadline_missed = after.deadline_missed - before.deadline_missed;
   r.epoch_swaps = after.epoch_swaps - before.epoch_swaps;
+  const std::uint64_t good = r.scored - r.scored_late;
+  r.goodput_rps = duration_s > 0.0 ? static_cast<double>(good) / duration_s : 0.0;
   r.throughput_rps = duration_s > 0.0 ? static_cast<double>(r.scored) / duration_s : 0.0;
+  r.achieved_rate_rps = duration_s > 0.0 ? static_cast<double>(submitted) / duration_s : 0.0;
   const serve::LatencyHistogram hist = diff_hist(after.latency, before.latency);
   r.p50_us = hist.p50_ns() / 1e3;
   r.p99_us = hist.p99_ns() / 1e3;
@@ -116,9 +130,14 @@ void print_phase(std::FILE* out, const PhaseReport& r, bool last) {
                "    \"submitted\": %llu,\n"
                "    \"scored\": %llu,\n"
                "    \"shed\": %llu,\n"
+               "    \"rejected\": %llu,\n"
+               "    \"evicted\": %llu,\n"
+               "    \"scored_late\": %llu,\n"
                "    \"deadline_missed\": %llu,\n"
                "    \"epoch_swaps\": %llu,\n"
+               "    \"goodput_rps\": %.1f,\n"
                "    \"throughput_rps\": %.1f,\n"
+               "    \"achieved_rate_rps\": %.1f,\n"
                "    \"p50_us\": %.1f,\n"
                "    \"p99_us\": %.1f,\n"
                "    \"missed_wait_p50_us\": %.1f,\n"
@@ -127,9 +146,13 @@ void print_phase(std::FILE* out, const PhaseReport& r, bool last) {
                r.mode.c_str(), r.duration_s, static_cast<unsigned long long>(r.submitted),
                static_cast<unsigned long long>(r.scored),
                static_cast<unsigned long long>(r.shed),
+               static_cast<unsigned long long>(r.rejected),
+               static_cast<unsigned long long>(r.evicted),
+               static_cast<unsigned long long>(r.scored_late),
                static_cast<unsigned long long>(r.deadline_missed),
-               static_cast<unsigned long long>(r.epoch_swaps), r.throughput_rps, r.p50_us,
-               r.p99_us, r.missed_wait_p50_us, r.missed_wait_p99_us, last ? "" : ",");
+               static_cast<unsigned long long>(r.epoch_swaps), r.goodput_rps,
+               r.throughput_rps, r.achieved_rate_rps, r.p50_us, r.p99_us,
+               r.missed_wait_p50_us, r.missed_wait_p99_us, last ? "" : ",");
 }
 
 /// FNV-1a over the raw bit patterns of every score double, in request
@@ -155,13 +178,14 @@ std::uint64_t score_hash(const std::vector<std::vector<double>>& scores) {
 /// for ANY --batch and ANY --workers. CI runs the loadgen at --batch 1
 /// and --batch 16 and asserts the two hashes match bit-for-bit.
 std::uint64_t determinism_probe(const nn::Network& net, const trace::FeatureConfig& fc,
-                                std::size_t max_batch) {
+                                std::size_t max_batch, admit::PolicyKind policy) {
   const hmd::StochasticHmd det(net, fc, 0.10);
   serve::ServeConfig config;
   config.num_workers = 2;
   config.queue_capacity = 256;
   config.max_batch = max_batch;
   config.seed = 0xD5EEDULL;
+  config.admission_policy = policy;
   serve::ScoringService probe(serve::make_epoch(det), config);
   const std::vector<trace::FeatureSet> workload = make_workload(48, 8, fc);
   std::vector<const trace::FeatureSet*> ptrs;
@@ -198,6 +222,7 @@ int main(int argc, char** argv) {
   cli.add_flag("batch", "max requests a worker drains per queue pop", "16");
   cli.add_flag("epoch-period-ms", "epoch re-roll period (0 = no roller)", "100");
   cli.add_flag("deadline-ms", "open-loop per-request deadline (0 = none)", "0");
+  cli.add_flag("policy", "admission policy: fifo | drop-oldest | lifo", "fifo");
   cli.add_flag("out", "write the JSON report here instead of stdout", "");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -210,6 +235,12 @@ int main(int argc, char** argv) {
   const auto max_batch = static_cast<std::size_t>(cli.get_int("batch"));
   const std::chrono::milliseconds epoch_period(cli.get_int("epoch-period-ms"));
   const std::chrono::milliseconds deadline_ms(cli.get_int("deadline-ms"));
+  const std::optional<admit::PolicyKind> policy = admit::parse_policy(cli.get("policy"));
+  if (!policy.has_value()) {
+    std::fprintf(stderr, "serve_loadgen: unknown --policy '%s' (want fifo | drop-oldest | lifo)\n",
+                 cli.get("policy").c_str());
+    return 1;
+  }
   const std::string out_path = cli.get("out");
 
   const trace::FeatureConfig fc{trace::FeatureView::kInsnCategory, 2048};
@@ -219,12 +250,13 @@ int main(int argc, char** argv) {
 
   // Deterministic fingerprint before the load phases: same (seed,
   // admission order) must hash identically no matter the batch size.
-  const std::uint64_t probe_hash = determinism_probe(net, fc, max_batch);
+  const std::uint64_t probe_hash = determinism_probe(net, fc, max_batch, *policy);
 
   serve::ServeConfig config;
   config.num_workers = workers;
   config.queue_capacity = queue_capacity;
   config.max_batch = max_batch;
+  config.admission_policy = *policy;
   serve::ScoringService service(serve::make_epoch(hmd), config);
 
   std::atomic<bool> stop_roller{false};
@@ -286,25 +318,39 @@ int main(int argc, char** argv) {
     // silently degrades into a closed one and overload becomes invisible.
     std::vector<serve::ScoreTicket> pool(queue_capacity + 4 * service.num_workers() + 8);
     const std::chrono::nanoseconds period(static_cast<std::int64_t>(1e9 / rate));
+    // Batched catch-up pacing. The old per-request `sleep_until(next_send)`
+    // oversleeps by the scheduler quantum (tens of µs) at µs periods, so at
+    // 50k+ rps it silently capped the *achieved* rate far below target. The
+    // schedule is absolute — request k is due at open_start + k*period — and
+    // each wake submits EVERY request already due as one burst, so oversleep
+    // shifts individual send times but never loses offered load. Sleep only
+    // when ahead by more than one scheduler quantum; spin across the residue.
+    constexpr std::chrono::microseconds kSleepSlack(150);
     Clock::time_point next_send = open_start;
     std::size_t slot = 0;
     std::size_t i = 0;
     for (;;) {
       const Clock::time_point now = Clock::now();
       if (now >= open_end) break;
-      if (next_send > now) std::this_thread::sleep_until(next_send);
-      next_send += period;  // if behind schedule, the next send fires immediately
-      serve::ScoreTicket& ticket = pool[slot++ % pool.size()];
-      ++open_submitted;
-      if (!ticket.done()) {
-        ++open_shed_client;
-        continue;
+      if (next_send > now) {
+        if (next_send - now > kSleepSlack) {
+          std::this_thread::sleep_until(next_send - kSleepSlack);
+        }
+        continue;  // spin (re-check the clock) through the final stretch
       }
       const auto deadline =
-          deadline_ms.count() > 0
-              ? std::optional<Clock::time_point>(Clock::now() + deadline_ms)
-              : std::nullopt;
-      (void)service.try_submit(workload[i++ % workload.size()], ticket, deadline);
+          deadline_ms.count() > 0 ? std::optional<Clock::time_point>(now + deadline_ms)
+                                  : std::nullopt;
+      do {  // submit the whole overdue burst before looking at the clock again
+        next_send += period;
+        serve::ScoreTicket& ticket = pool[slot++ % pool.size()];
+        ++open_submitted;
+        if (!ticket.done()) {
+          ++open_shed_client;
+          continue;
+        }
+        (void)service.try_submit(workload[i++ % workload.size()], ticket, deadline);
+      } while (next_send <= now);
     }
     for (serve::ScoreTicket& ticket : pool) ticket.wait();
   }
@@ -336,10 +382,14 @@ int main(int argc, char** argv) {
                "    \"target_rate_rps\": %.0f,\n"
                "    \"batch\": %zu,\n"
                "    \"epoch_period_ms\": %lld,\n"
+               "    \"deadline_ms\": %lld,\n"
+               "    \"policy\": \"%s\",\n"
                "    \"mac_per_request\": %zu\n"
                "  },\n",
                service.num_workers(), n_clients, queue_capacity, windows, rate, max_batch,
                static_cast<long long>(epoch_period.count()),
+               static_cast<long long>(deadline_ms.count()),
+               std::string(admit::policy_name(*policy)).c_str(),
                windows * net.mac_count());
   print_phase(out, closed, /*last=*/false);
   print_phase(out, open, /*last=*/false);
@@ -348,6 +398,11 @@ int main(int argc, char** argv) {
                "    \"enqueued\": %llu,\n"
                "    \"scored\": %llu,\n"
                "    \"shed\": %llu,\n"
+               "    \"rejected_on_admission\": %llu,\n"
+               "    \"evicted\": %llu,\n"
+               "    \"scored_late\": %llu,\n"
+               "    \"throttled\": %llu,\n"
+               "    \"goodput\": %llu,\n"
                "    \"deadline_missed\": %llu,\n"
                "    \"failed\": %llu,\n"
                "    \"epoch_swaps\": %llu,\n"
@@ -357,6 +412,11 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(final_stats.enqueued),
                static_cast<unsigned long long>(final_stats.scored),
                static_cast<unsigned long long>(final_stats.shed),
+               static_cast<unsigned long long>(final_stats.rejected_on_admission),
+               static_cast<unsigned long long>(final_stats.evicted),
+               static_cast<unsigned long long>(final_stats.scored_late),
+               static_cast<unsigned long long>(final_stats.throttled),
+               static_cast<unsigned long long>(final_stats.goodput()),
                static_cast<unsigned long long>(final_stats.deadline_missed),
                static_cast<unsigned long long>(final_stats.failed),
                static_cast<unsigned long long>(final_stats.epoch_swaps),

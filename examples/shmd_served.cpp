@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "admit/policy.hpp"
 #include "hmd/stochastic_hmd.hpp"
 #include "net/server.hpp"
 #include "nn/network.hpp"
@@ -49,6 +50,9 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "service seed (fault-stream anchor)", "24942");
   cli.add_flag("epoch-period-ms", "moving-target re-roll period (0 = static)", "250");
   cli.add_flag("duration-s", "run time in seconds (0 = until SIGINT/SIGTERM)", "0");
+  cli.add_flag("policy", "overload policy: fifo | drop-oldest | lifo", "fifo");
+  cli.add_flag("throttle-rps",
+               "per-connection fair-share limit, requests/s (0 = unlimited)", "0");
   cli.add_bool("no-raw-scores",
                "refuse kScore from untrusted (TCP) endpoints; they get the "
                "decision-only kVerdict channel (the unix listener stays trusted)");
@@ -56,6 +60,12 @@ int main(int argc, char** argv) {
 
   const double er = cli.get_double("er");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::optional<admit::PolicyKind> policy = admit::parse_policy(cli.get("policy"));
+  if (!policy.has_value()) {
+    std::fprintf(stderr, "shmd-served: unknown --policy '%s' (want fifo | drop-oldest | lifo)\n",
+                 cli.get("policy").c_str());
+    return 1;
+  }
   const std::chrono::milliseconds epoch_period(cli.get_int("epoch-period-ms"));
   const double duration_s = cli.get_double("duration-s");
 
@@ -69,10 +79,12 @@ int main(int argc, char** argv) {
   config.num_workers = static_cast<std::size_t>(cli.get_int("workers"));
   config.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
   config.seed = seed;
+  config.admission_policy = *policy;
   serve::ScoringService service(serve::make_epoch(hmd), config);
 
   net::NetServerConfig net_config;
   net_config.allow_raw_scores = !cli.get_bool("no-raw-scores");
+  net_config.throttle_rps = cli.get_double("throttle-rps");
   net::NetServer server(service, net_config);
   // Trust split under --no-raw-scores: remote (TCP) clients are the §V
   // adversary and get decisions only; the same-host unix socket is the

@@ -1,0 +1,94 @@
+#include "admit/policy.hpp"
+
+namespace shmd::admit {
+namespace {
+
+class FifoPolicy final : public AdmissionPolicy {
+ public:
+  [[nodiscard]] PolicyKind kind() const noexcept override {
+    return PolicyKind::kFifo;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "fifo";
+  }
+  [[nodiscard]] bool evict_oldest_on_overflow() const noexcept override {
+    return false;
+  }
+  [[nodiscard]] bool pop_newest_first(std::size_t /*depth*/,
+                                      std::size_t /*capacity*/) const noexcept override {
+    return false;
+  }
+};
+
+class DropOldestPolicy final : public AdmissionPolicy {
+ public:
+  [[nodiscard]] PolicyKind kind() const noexcept override {
+    return PolicyKind::kDropOldest;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "drop-oldest";
+  }
+  [[nodiscard]] bool evict_oldest_on_overflow() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] bool pop_newest_first(std::size_t /*depth*/,
+                                      std::size_t /*capacity*/) const noexcept override {
+    return false;
+  }
+};
+
+class LifoPolicy final : public AdmissionPolicy {
+ public:
+  [[nodiscard]] PolicyKind kind() const noexcept override {
+    return PolicyKind::kLifo;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "lifo";
+  }
+  [[nodiscard]] bool evict_oldest_on_overflow() const noexcept override {
+    return false;
+  }
+  [[nodiscard]] bool pop_newest_first(std::size_t depth,
+                                      std::size_t capacity) const noexcept override {
+    // Stay FIFO while the queue is shallow: below half capacity every
+    // waiter is young enough to make its deadline, and FIFO preserves
+    // arrival fairness. Past that the queue is in overload and newest-
+    // first maximizes in-deadline completions.
+    return depth * 2 > capacity;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AdmissionPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kDropOldest:
+      return std::make_unique<DropOldestPolicy>();
+    case PolicyKind::kLifo:
+      return std::make_unique<LifoPolicy>();
+    case PolicyKind::kFifo:
+      break;
+  }
+  return std::make_unique<FifoPolicy>();
+}
+
+std::optional<PolicyKind> parse_policy(std::string_view name) {
+  if (name == "fifo") return PolicyKind::kFifo;
+  if (name == "drop-oldest") return PolicyKind::kDropOldest;
+  if (name == "lifo") return PolicyKind::kLifo;
+  return std::nullopt;
+}
+
+std::string_view policy_name(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kDropOldest:
+      return "drop-oldest";
+    case PolicyKind::kLifo:
+      return "lifo";
+    case PolicyKind::kFifo:
+      break;
+  }
+  return "fifo";
+}
+
+}  // namespace shmd::admit

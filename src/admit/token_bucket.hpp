@@ -1,0 +1,77 @@
+// TokenBucket: per-connection fair-share limiter for the net reactor.
+//
+// Classic token bucket: capacity `burst` tokens, refilled at `rate_rps`
+// tokens per second, one token consumed per scoring request. A
+// connection that exhausts its bucket gets an in-protocol kThrottled
+// Error frame (never a disconnect) until the refill catches up — one hot
+// client degrades to its fair share instead of starving the queue for
+// everyone behind the same reactor.
+//
+// Deliberately single-threaded and clock-free: the bucket is owned by
+// the reactor thread (one per Connection), and `try_take` receives the
+// caller's steady_clock timestamp instead of reading a clock itself.
+// That keeps it trivially testable (tests feed synthetic time) and keeps
+// clock reads out of this header — the reactor already has `now` in hand
+// when a frame arrives.
+//
+// Fractional tokens accumulate in double precision so slow refill rates
+// (e.g. 10 rps) work without quantization; burst bounds the stored
+// credit so an idle connection cannot bank unlimited tokens.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace shmd::admit {
+
+class TokenBucket {
+ public:
+  /// `rate_rps` tokens per second, up to `burst` banked. rate_rps == 0
+  /// disables the limiter: try_take always succeeds.
+  TokenBucket(double rate_rps, double burst) noexcept
+      : rate_rps_(rate_rps < 0.0 ? 0.0 : rate_rps),
+        burst_(burst < 1.0 ? 1.0 : burst),
+        tokens_(burst_) {}
+
+  /// Consume one token if available after refilling to `now`.
+  /// Returns false when the bucket is empty (caller throttles).
+  [[nodiscard]] bool try_take(std::chrono::steady_clock::time_point now) noexcept {
+    if (rate_rps_ == 0.0) return true;
+    refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Tokens currently banked (after refilling to `now`); observability.
+  [[nodiscard]] double available(std::chrono::steady_clock::time_point now) noexcept {
+    if (rate_rps_ == 0.0) return burst_;
+    refill(now);
+    return tokens_;
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return rate_rps_ > 0.0; }
+
+ private:
+  void refill(std::chrono::steady_clock::time_point now) noexcept {
+    if (!initialized_) {
+      last_ = now;
+      initialized_ = true;
+      return;
+    }
+    if (now <= last_) return;
+    const double elapsed_s =
+        std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_rps_);
+  }
+
+  double rate_rps_;
+  double burst_;
+  double tokens_;
+  bool initialized_ = false;
+  std::chrono::steady_clock::time_point last_{};
+};
+
+}  // namespace shmd::admit

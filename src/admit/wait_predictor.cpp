@@ -1,0 +1,50 @@
+#include "admit/wait_predictor.hpp"
+
+#include <bit>
+
+namespace shmd::admit {
+
+WaitPredictor::WaitPredictor(double alpha) noexcept
+    : alpha_(alpha > 0.0 && alpha <= 1.0 ? alpha : 0.1),
+      ewma_bits_(std::bit_cast<std::uint64_t>(0.0)),
+      samples_(0) {}
+
+void WaitPredictor::record_service_ns(std::uint64_t service_ns) noexcept {
+  const double sample = static_cast<double>(service_ns);
+  std::uint64_t observed = ewma_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const double current = std::bit_cast<double>(observed);
+    // First sample seeds the EWMA directly so a cold predictor does not
+    // take 1/alpha requests to climb from zero.
+    const double next =
+        current == 0.0 ? sample : current + alpha_ * (sample - current);
+    if (ewma_bits_.compare_exchange_weak(
+            observed, std::bit_cast<std::uint64_t>(next),
+            std::memory_order_relaxed, std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t WaitPredictor::ewma_service_ns() const noexcept {
+  const double ewma =
+      std::bit_cast<double>(ewma_bits_.load(std::memory_order_relaxed));
+  return ewma <= 0.0 ? 0 : static_cast<std::uint64_t>(ewma);
+}
+
+std::uint64_t WaitPredictor::predicted_wait_ns(std::size_t queue_depth,
+                                               std::size_t workers) const noexcept {
+  const double ewma =
+      std::bit_cast<double>(ewma_bits_.load(std::memory_order_relaxed));
+  if (ewma <= 0.0 || queue_depth == 0) return 0;
+  const double lanes = workers == 0 ? 1.0 : static_cast<double>(workers);
+  const double wait = ewma * static_cast<double>(queue_depth) / lanes;
+  return static_cast<std::uint64_t>(wait);
+}
+
+std::uint64_t WaitPredictor::samples() const noexcept {
+  return samples_.load(std::memory_order_relaxed);
+}
+
+}  // namespace shmd::admit

@@ -1,0 +1,78 @@
+// WaitPredictor: the admission plane's estimate of how long a request
+// arriving NOW would wait in the queue before a worker reaches it.
+//
+// The estimator is deliberately minimal — an exponentially-weighted
+// moving average of per-request service time, multiplied out by the
+// current queue depth and divided by the worker count:
+//
+//   predicted_wait ≈ ewma(service_ns) * depth / workers
+//
+// That is the textbook fluid approximation for a multi-server queue, and
+// it is exactly the quantity reject-on-arrival needs: if
+// now + predicted_wait already exceeds the request's deadline, the
+// request is doomed — admitting it would burn a ring slot and a worker
+// dequeue only to count a deadline miss. The serving layer rejects it at
+// the door instead (SubmitStatus::kRejected), which is what keeps
+// survivor latency honest under overload: the queue holds only requests
+// that still have a chance.
+//
+// Concurrency: record() is called by every scoring worker per completed
+// request; predicted_wait_ns() by every submitting thread. Both sides are
+// lock-free. The EWMA lives in one atomic as the bit pattern of a double,
+// updated with a compare-exchange loop under relaxed ordering — the
+// estimator feeds a heuristic admission decision, never the determinism
+// contract, so no ordering beyond the atomicity of each update is needed
+// (the R7 rules: every access names its ordering explicitly). A lost race
+// between two workers costs one sample's worth of smoothing, nothing
+// more.
+//
+// Cold start: until the first sample lands the EWMA is 0 and every
+// request is predicted to wait 0 ns — admission control admits
+// everything, which is the correct failure mode for an estimator with no
+// data (shedding on a guess would reject traffic an idle service could
+// trivially score).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace shmd::admit {
+
+class WaitPredictor {
+ public:
+  /// `alpha` is the EWMA smoothing factor in (0, 1]: the weight of the
+  /// newest sample. 0.1 remembers roughly the last ~10 requests — long
+  /// enough to ride out one slow outlier, short enough to track an epoch
+  /// swap that changes the error rate (and thus the per-request cost).
+  explicit WaitPredictor(double alpha = 0.1) noexcept;
+
+  WaitPredictor(const WaitPredictor&) = delete;
+  WaitPredictor& operator=(const WaitPredictor&) = delete;
+
+  /// Fold one completed request's service time (queue-exit to completion)
+  /// into the EWMA. Called by scoring workers; lock-free.
+  void record_service_ns(std::uint64_t service_ns) noexcept;
+
+  /// Current smoothed per-request service time estimate; 0 until the
+  /// first sample.
+  [[nodiscard]] std::uint64_t ewma_service_ns() const noexcept;
+
+  /// Predicted queue wait for a request arriving behind `queue_depth`
+  /// already-admitted requests, with `workers` draining in parallel
+  /// (workers == 0 is treated as 1). 0 while the predictor is cold.
+  [[nodiscard]] std::uint64_t predicted_wait_ns(std::size_t queue_depth,
+                                                std::size_t workers) const noexcept;
+
+  /// How many samples record_service_ns has folded in (observability).
+  [[nodiscard]] std::uint64_t samples() const noexcept;
+
+ private:
+  double alpha_;
+  /// EWMA of service time in ns, stored as the bit pattern of a double so
+  /// one atomic word carries it; updated by CAS (see file comment).
+  std::atomic<std::uint64_t> ewma_bits_;
+  std::atomic<std::uint64_t> samples_;
+};
+
+}  // namespace shmd::admit

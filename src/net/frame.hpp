@@ -69,6 +69,8 @@ enum class ErrorCode : std::uint16_t {
   kClosed = 2,       ///< service shutting down; no more scoring
   kBadFrame = 3,     ///< malformed payload in an otherwise valid frame
   kUnsupported = 4,  ///< frame type the server does not handle
+  kThrottled = 5,    ///< per-connection fair-share rate limit; retry later —
+                     ///< never a disconnect (the connection stays usable)
 };
 
 struct Frame {

@@ -20,6 +20,7 @@
 #include <string>
 #include <utility>
 
+#include "admit/token_bucket.hpp"
 #include "trace/features.hpp"
 
 namespace shmd::net {
@@ -161,11 +162,16 @@ class NetServer::Poller {
 // -- reactor-owned per-connection / per-request state -----------------------
 
 struct NetServer::Connection {
-  explicit Connection(std::size_t max_payload) : decoder(max_payload) {}
+  explicit Connection(const NetServerConfig& config)
+      : decoder(config.max_payload), bucket(config.throttle_rps, config.throttle_burst) {}
 
   std::uint64_t id = 0;
   int fd = -1;
   FrameDecoder decoder;
+  /// Fair-share limiter: one token per scoring request. Reactor-owned
+  /// like everything else here, so no synchronization.
+  admit::TokenBucket bucket;
+  std::uint64_t throttled = 0;    ///< kThrottled frames sent on this connection
   std::vector<std::uint8_t> out;  ///< encoded frames awaiting the socket
   std::size_t out_at = 0;         ///< written prefix of `out`
   bool reads_paused = false;      ///< backpressure: write buffer over limit
@@ -311,6 +317,9 @@ NetServerStats NetServer::stats() const {
   s.reads_paused = stats_.reads_paused.load(std::memory_order_relaxed);
   s.out_buffer_peak = stats_.out_buffer_peak.load(std::memory_order_relaxed);
   s.accept_overflow = stats_.accept_overflow.load(std::memory_order_relaxed);
+  s.throttled_responses = stats_.throttled_responses.load(std::memory_order_relaxed);
+  s.rejected_responses = stats_.rejected_responses.load(std::memory_order_relaxed);
+  s.throttled_conn_peak = stats_.throttled_conn_peak.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -426,7 +435,7 @@ void NetServer::handle_accept(int listen_fd) {
     }
     const int one = 1;  // latency over batching; a no-op (error) on AF_UNIX
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_unique<Connection>(config_.max_payload);
+    auto conn = std::make_unique<Connection>(config_);
     const std::uint64_t conn_id = next_conn_id_++;
     conn->id = conn_id;
     conn->fd = fd;
@@ -506,6 +515,23 @@ void NetServer::handle_frame(Connection& conn, Frame frame) {
 }
 
 void NetServer::handle_score(Connection& conn, const Frame& frame, bool decision_only) {
+  // Fair share first, before any decode work: a flooding connection must
+  // not even cost the reactor payload parsing beyond its share. The
+  // refusal is in-protocol and the connection stays fully usable — the
+  // next token refill readmits it.
+  if (conn.bucket.enabled() &&
+      !conn.bucket.try_take(std::chrono::steady_clock::now())) {
+    ++conn.throttled;
+    stats_.throttled_responses.fetch_add(1, std::memory_order_relaxed);
+    if (conn.throttled > stats_.throttled_conn_peak.load(std::memory_order_relaxed)) {
+      stats_.throttled_conn_peak.store(conn.throttled,
+                                       std::memory_order_relaxed);  // reactor-only writer
+    }
+    service_.record_throttled();
+    send_error(conn, frame.request_id, ErrorCode::kThrottled,
+               "per-connection rate limit; retry later");
+    return;
+  }
   std::optional<ScoreRequest> req = decode_score_request(frame.payload);
   if (!req.has_value() || req->view >= trace::kNumViews) {
     stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
@@ -539,6 +565,26 @@ void NetServer::handle_score(Connection& conn, const Frame& frame, bool decision
   // Rejected: the hook already pushed this key; erasing the entry makes
   // the mailbox token stale, and drain_completions skips stale keys.
   pending_.erase(pending->key);
+  if (status == serve::SubmitStatus::kRejected) {
+    // Admission control judged the DEADLINE unmeetable — a request-level
+    // disposition, not a transport condition, so it travels as a result
+    // frame with outcome kRejected (exactly how a queue-expired request
+    // reports kDeadlineMissed), never as an Error frame.
+    stats_.rejected_responses.fetch_add(1, std::memory_order_relaxed);
+    const auto outcome = static_cast<std::uint8_t>(serve::RequestOutcome::kRejected);
+    if (decision_only) {
+      VerdictResult result;
+      result.outcome = outcome;
+      send_frame(conn, FrameType::kVerdictResult, frame.request_id,
+                 encode_verdict_result(result));
+    } else {
+      ScoreResult result;
+      result.outcome = outcome;
+      send_frame(conn, FrameType::kScoreResult, frame.request_id,
+                 encode_score_result(result));
+    }
+    return;
+  }
   stats_.shed_responses.fetch_add(1, std::memory_order_relaxed);
   const bool shed = status == serve::SubmitStatus::kShed;
   send_error(conn, frame.request_id, shed ? ErrorCode::kShed : ErrorCode::kClosed,

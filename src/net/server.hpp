@@ -11,6 +11,14 @@
 // Backpressure discipline (the whole point of fronting a *bounded* queue):
 //   * a full RequestQueue surfaces as an in-protocol kShed Error frame on
 //     the live connection — never a disconnect, never hidden buffering;
+//   * an unmeetable deadline (admission-control kRejected) surfaces as a
+//     Score/VerdictResult whose outcome is kRejected — the request-level
+//     disposition, distinct from transport-level rejections;
+//   * each connection owns a fair-share token bucket (throttle_rps): a
+//     hot client that exceeds its share gets in-protocol kThrottled Error
+//     frames — never a disconnect — so one flooding connection degrades
+//     to its fair share instead of starving every other client behind
+//     the shared queue;
 //   * per-connection write buffers are bounded: past the limit the
 //     reactor stops reading that connection (so TCP flow control pushes
 //     back on the client) until the buffer drains;
@@ -55,6 +63,14 @@ struct NetServerConfig {
   /// raw scores. The paper's threat model hands the attacker decisions;
   /// this knob keeps the wire from leaking more than the model assumes.
   bool allow_raw_scores = true;
+  /// Per-connection fair-share limit on scoring requests (kScore +
+  /// kVerdict), in requests per second; 0 disables throttling. Excess
+  /// requests get an in-protocol kThrottled Error frame — the connection
+  /// is never closed for being hot.
+  double throttle_rps = 0.0;
+  /// Token-bucket burst: how many requests a connection may issue
+  /// back-to-back before the per-second rate binds.
+  double throttle_burst = 32.0;
 };
 
 /// Reactor-thread counters, snapshot via NetServer::stats().
@@ -69,6 +85,12 @@ struct NetServerStats {
   std::uint64_t reads_paused = 0;      ///< backpressure engagements
   std::uint64_t out_buffer_peak = 0;   ///< high-water mark of any write buffer
   std::uint64_t accept_overflow = 0;   ///< connections shed: fd exhaustion or poller refusal
+  std::uint64_t throttled_responses = 0;  ///< kThrottled Error frames sent
+  std::uint64_t rejected_responses = 0;   ///< admission-control kRejected replies sent
+  /// High-water mark of any single connection's throttle count — reads as
+  /// "the hottest client was turned away this many times" (fair-share
+  /// evidence: a polite client's count stays near zero while this climbs).
+  std::uint64_t throttled_conn_peak = 0;
 };
 
 class NetServer {
@@ -171,6 +193,9 @@ class NetServer {
     std::atomic<std::uint64_t> reads_paused{0};
     std::atomic<std::uint64_t> out_buffer_peak{0};
     std::atomic<std::uint64_t> accept_overflow{0};
+    std::atomic<std::uint64_t> throttled_responses{0};
+    std::atomic<std::uint64_t> rejected_responses{0};
+    std::atomic<std::uint64_t> throttled_conn_peak{0};
   };
   mutable AtomicStats stats_;
 };

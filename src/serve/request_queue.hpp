@@ -12,7 +12,16 @@
 //               (blocks until space, for cooperative in-process callers).
 //   deadlines — each request carries an absolute deadline; expiry is
 //               checked at *dequeue* so a stale request costs a counter
-//               bump, not an inference.
+//               bump, not an inference. The serving layer additionally
+//               rejects on arrival when the predicted queue wait already
+//               exceeds the deadline (admit::WaitPredictor), so doomed
+//               requests never occupy a slot.
+//   policy    — overload behavior (what to do on overflow, which end of
+//               the ring to pop from) is pluggable via
+//               admit::AdmissionPolicy. Policies change WHICH requests
+//               get scored, never WHAT a surviving request scores: seq
+//               is stamped at admission under the mutex and each fault
+//               stream is a pure function of (seed, seq).
 //   mutex+cv  — the ring holds trivially-copyable Request structs under
 //               one mutex with two condition variables. At the service's
 //               operating point (requests cost ~µs of inference each) the
@@ -23,8 +32,10 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "admit/policy.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -43,6 +54,9 @@ enum class SubmitStatus : std::uint8_t {
   kAccepted,  ///< enqueued; the ticket will be completed exactly once
   kShed,      ///< queue full (try_submit only); no worker will see the request
   kClosed,    ///< service is shutting down; no worker will see the request
+  kRejected,  ///< admission control: the deadline is unmeetable (already
+              ///< expired, or predicted queue wait exceeds the budget);
+              ///< no worker will see the request
 };
 
 /// One queued scoring request. Plain data — the ring stores these by
@@ -59,14 +73,24 @@ struct Request {
 
 class RequestQueue {
  public:
-  explicit RequestQueue(std::size_t capacity);
+  /// `policy` selects the overload behavior (see admit::AdmissionPolicy);
+  /// nullptr installs the FIFO baseline.
+  explicit RequestQueue(std::size_t capacity,
+                        std::unique_ptr<const admit::AdmissionPolicy> policy = nullptr);
 
   RequestQueue(const RequestQueue&) = delete;
   RequestQueue& operator=(const RequestQueue&) = delete;
 
   /// Non-blocking enqueue: kShed when the ring is full, kClosed after
   /// close(). The overload-shedding path.
-  [[nodiscard]] SubmitStatus try_push(const Request& request);
+  ///
+  /// Under a drop-oldest policy a full ring evicts instead of shedding:
+  /// the oldest admitted request is moved into `*evicted` (its ticket
+  /// non-null; the CALLER must complete it — the queue never touches
+  /// tickets) and the newcomer is admitted with a fresh seq. With
+  /// `evicted == nullptr` a full ring always sheds, whatever the policy —
+  /// callers that cannot complete a victim opt out of eviction.
+  [[nodiscard]] SubmitStatus try_push(const Request& request, Request* evicted = nullptr);
 
   /// Blocking enqueue: waits for space. Returns kClosed if the queue is
   /// (or becomes) closed while waiting.
@@ -99,8 +123,14 @@ class RequestQueue {
   [[nodiscard]] bool closed() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  [[nodiscard]] const admit::AdmissionPolicy& policy() const noexcept { return *policy_; }
 
  private:
+  /// Pop one request off whichever end the policy selects (mu_ held).
+  [[nodiscard]] Request take_one() SHMD_REQUIRES(mu_);
+
+  /// Installed before any thread sees the queue; immutable afterwards.
+  const std::unique_ptr<const admit::AdmissionPolicy> policy_;
   mutable util::Mutex mu_;
   util::CondVar not_full_ SHMD_CV_WAITS_ON(mu_);
   util::CondVar not_empty_ SHMD_CV_WAITS_ON(mu_);

@@ -24,7 +24,9 @@ std::uint64_t request_seed(std::uint64_t base, std::uint64_t seq) noexcept {
 }  // namespace
 
 ScoringService::ScoringService(DetectorEpoch initial_epoch, ServeConfig config)
-    : config_(config), queue_(config.queue_capacity) {
+    : config_(config),
+      queue_(config.queue_capacity, admit::make_policy(config.admission_policy)),
+      predictor_(config.ewma_alpha) {
   if (config_.max_batch == 0) {
     throw std::invalid_argument("ScoringService: max_batch must be >= 1");
   }
@@ -76,12 +78,48 @@ SubmitStatus ScoringService::do_submit(const trace::FeatureSet& features, ScoreT
   // worker may complete it at any moment, and a late reset would wipe the
   // result. On rejection no worker ever saw the request, so the ticket is
   // still exclusively ours and abort_submit() restores it to a completed,
-  // immediately reusable state (outcome kPending, empty scores).
+  // immediately reusable state (outcome kPending / kRejected, empty
+  // scores).
   ticket.begin();
-  const SubmitStatus status = blocking ? queue_.push(request) : queue_.try_push(request);
+  // Admission control: a request whose deadline is unmeetable must not
+  // occupy a ring slot. Two tiers — (1) already expired at submit: reject
+  // unconditionally on both paths (the dequeue-time expiry check would
+  // only rediscover this after the request wasted queue space); (2)
+  // predicted-wait rejection on the non-blocking overload path: with
+  // `depth` requests ahead and the workers' EWMA service time, the
+  // request would come up for scoring past its deadline, so admitting it
+  // trades a slot a viable request could use for a guaranteed miss.
+  if (deadline.has_value()) {
+    bool doomed = request.enqueue_time >= request.deadline;
+    if (!doomed && !blocking && config_.reject_on_arrival) {
+      const std::uint64_t predicted_ns =
+          predictor_.predicted_wait_ns(queue_.size(), workers_.size());
+      doomed = request.enqueue_time + std::chrono::nanoseconds(predicted_ns) >
+               request.deadline;
+    }
+    if (doomed) {
+      ticket.abort_submit(RequestOutcome::kRejected);
+      stats_.on_rejected_admission();
+      return SubmitStatus::kRejected;
+    }
+  }
+  Request evicted;  // ticket stays null unless a drop-oldest policy fires
+  const SubmitStatus status =
+      blocking ? queue_.push(request) : queue_.try_push(request, &evicted);
   switch (status) {
     case SubmitStatus::kAccepted:
       stats_.on_enqueued();
+      if (evicted.ticket != nullptr) {
+        // The queue handed the displaced oldest request back to us; its
+        // submitter may be wait()ing, so it completes here — exactly
+        // once, as kRejected — with its queue wait recorded alongside the
+        // expiry casualties.
+        const ServiceClock::duration wait = request.enqueue_time - evicted.enqueue_time;
+        evicted.ticket->latency_ = wait;
+        stats_.on_evicted(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count()));
+        evicted.ticket->complete(RequestOutcome::kRejected);
+      }
       break;
     case SubmitStatus::kShed:
       ticket.abort_submit();
@@ -91,6 +129,8 @@ SubmitStatus ScoringService::do_submit(const trace::FeatureSet& features, ScoreT
       ticket.abort_submit();
       stats_.on_rejected_closed();
       break;
+    case SubmitStatus::kRejected:
+      break;  // unreachable: rejection is decided above, not by the queue
   }
   return status;
 }
@@ -217,6 +257,12 @@ void ScoringService::worker_loop(std::size_t w) {
     // request's fault stream — and therefore its scores — is bit-identical
     // to the unbatched path regardless of which requests share its tile.
     nn::FaultyContext ctx(injector);
+    // Service-time marker for the WaitPredictor: each request's share is
+    // the gap between consecutive completion timestamps (the first gap
+    // also absorbs this batch's triage + reconfig cost — which is honest,
+    // since an arriving request waits behind that too). Reuses the `end`
+    // clock read each iteration already makes.
+    ServiceClock::time_point service_mark = ServiceClock::now();
     for (const Pending& p : pending) {
       const Request& request = *p.request;
       ScoreTicket& ticket = *request.ticket;
@@ -239,12 +285,18 @@ void ScoringService::worker_loop(std::size_t w) {
       }
       const ServiceClock::time_point end = ServiceClock::now();
       ticket.latency_ = end - request.enqueue_time;
+      predictor_.record_service_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end - service_mark).count()));
+      service_mark = end;
       if (ok) {
+        // A request that finishes past its deadline still returns its
+        // scores (the work is done), but counts against goodput.
+        const bool late = end > request.deadline;
         stats_.on_scored(static_cast<std::uint64_t>(
                              std::chrono::duration_cast<std::chrono::nanoseconds>(
                                  end - request.enqueue_time)
                                  .count()),
-                         epoch->id, injector.stats());
+                         epoch->id, injector.stats(), late);
         // Decision-only traffic is the attack surface: count it against
         // the operating point that answered, so the defender can read
         // hostile query volume per epoch off the snapshot.

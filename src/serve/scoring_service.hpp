@@ -27,10 +27,18 @@
 // Overload discipline: the ring is bounded; try_submit() sheds with
 // kShed instead of queueing unboundedly (a request flood must not be able
 // to starve the detector — see request_queue.hpp), and every request
-// carries an optional absolute deadline checked at dequeue. ServiceStats
-// accounts each submission as exactly one of scored / shed /
-// deadline-missed (plus a failed counter that stays zero unless a caller
-// violates the feature-set contract).
+// carries an optional absolute deadline checked at dequeue. On top of
+// that sits deadline-aware admission (src/admit/): try_submit rejects on
+// arrival (kRejected) when the deadline is already unmeetable — expired
+// at submit, or the WaitPredictor's estimated queue wait exceeds the
+// remaining budget — so doomed requests never occupy a ring slot; and the
+// configured AdmissionPolicy decides overflow behavior (shed newcomer /
+// evict oldest) and dequeue order (FIFO / LIFO-under-overload).
+// ServiceStats accounts each submission as exactly one of scored / shed /
+// rejected / deadline-missed / evicted (plus a failed counter that stays
+// zero unless a caller violates the feature-set contract), and scored
+// splits into on-time and late so goodput — scored within deadline — is
+// first-class.
 #pragma once
 
 #include <atomic>
@@ -42,6 +50,8 @@
 #include <thread>
 #include <vector>
 
+#include "admit/policy.hpp"
+#include "admit/wait_predictor.hpp"
 #include "faultsim/fault_injector.hpp"
 #include "nn/network.hpp"
 #include "serve/epoch.hpp"
@@ -67,6 +77,16 @@ struct ServeConfig {
   /// re-anchored at request boundaries within the tile, so results are
   /// bit-identical for any max_batch. Must be >= 1.
   std::size_t max_batch = 16;
+  /// Overload policy installed on the queue (see admit::AdmissionPolicy).
+  /// Every policy preserves the determinism contract.
+  admit::PolicyKind admission_policy = admit::PolicyKind::kFifo;
+  /// When true, try_submit with a deadline returns kRejected if the
+  /// WaitPredictor's estimated queue wait already exceeds the deadline
+  /// budget (reject-on-arrival). Requests without a deadline are never
+  /// rejected this way.
+  bool reject_on_arrival = true;
+  /// EWMA smoothing factor for the per-request service-time estimate.
+  double ewma_alpha = 0.1;
 };
 
 /// Terminal disposition of an accepted request.
@@ -75,6 +95,9 @@ enum class RequestOutcome : std::uint8_t {
   kScored,          ///< scored under the epoch recorded in epoch_id()
   kDeadlineMissed,  ///< expired in the queue; never scored
   kFailed,          ///< scoring threw (e.g. feature set lacks the epoch's view)
+  kRejected,        ///< turned away by admission control (unmeetable deadline
+                    ///< at submit) or evicted by a drop-oldest overflow policy;
+                    ///< never scored
 };
 
 /// Caller-owned completion slot for one request. Submit it, wait() (or
@@ -163,11 +186,14 @@ class ScoreTicket {
     if (hook != nullptr) hook(hook_arg);
   }
   /// Undo begin() after a rejected submission (no worker ever saw the
-  /// request): the ticket is done() again with outcome kPending, so shed
-  /// tickets can be resubmitted — and never hang a wait().
-  void abort_submit() noexcept {
+  /// request): the ticket is done() again — with outcome kPending for a
+  /// shed/closed rejection (nothing decided about the request itself), or
+  /// kRejected when admission control turned it away — so rejected
+  /// tickets can be resubmitted and never hang a wait().
+  void abort_submit(RequestOutcome outcome = RequestOutcome::kPending) noexcept {
     const CompletionHook hook = hook_;  // same discipline as complete()
     void* const hook_arg = hook_arg_;
+    outcome_ = outcome;
     done_.store(true, std::memory_order_release);
     done_.notify_all();
     if (hook != nullptr) hook(hook_arg);
@@ -213,9 +239,12 @@ class ScoringService {
   SubmitStatus submit(const trace::FeatureSet& features, ScoreTicket& ticket,
                       std::optional<ServiceClock::time_point> deadline = std::nullopt);
 
-  /// Non-blocking submission: kShed when the ring is full — the
-  /// overload-control path. A rejected ticket is done() with outcome
-  /// kPending and may be resubmitted immediately.
+  /// Non-blocking submission: kShed when the ring is full (or, under a
+  /// drop-oldest policy, the OLDEST queued request is evicted to admit
+  /// this one), kRejected when the deadline is unmeetable on arrival —
+  /// the overload-control path. A shed ticket is done() with outcome
+  /// kPending, an admission-rejected one with kRejected; either may be
+  /// resubmitted immediately.
   SubmitStatus try_submit(const trace::FeatureSet& features, ScoreTicket& ticket,
                           std::optional<ServiceClock::time_point> deadline = std::nullopt);
 
@@ -245,6 +274,15 @@ class ScoringService {
   [[nodiscard]] std::size_t num_workers() const noexcept { return workers_.size(); }
   [[nodiscard]] std::size_t queue_capacity() const noexcept { return queue_.capacity(); }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  /// The admission plane's service-time estimator (read-only outside the
+  /// workers; exposed for observability and tests).
+  [[nodiscard]] const admit::WaitPredictor& wait_predictor() const noexcept {
+    return predictor_;
+  }
+  /// Account one transport-level fair-share throttle rejection (called by
+  /// the network front-end so the snapshot a remote client reads includes
+  /// throttling — net sits above serve in the layering DAG).
+  void record_throttled() noexcept { stats_.on_throttled(); }
 
  private:
   struct Worker {
@@ -264,6 +302,7 @@ class ScoringService {
   RequestQueue queue_;
   EpochSlot slot_;
   ServiceStats stats_;
+  admit::WaitPredictor predictor_;
   std::atomic<std::uint64_t> next_epoch_id_{0};
   std::vector<Worker> workers_;      ///< sized once; never reallocated while serving
   std::vector<std::thread> threads_;

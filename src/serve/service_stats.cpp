@@ -36,9 +36,18 @@ void ServiceStats::on_deadline_missed(std::uint64_t wait_ns) noexcept {
   missed_wait_buckets_[bucket_of(wait_ns)].fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServiceStats::on_evicted(std::uint64_t wait_ns) noexcept {
+  evicted_.fetch_add(1, std::memory_order_relaxed);
+  missed_wait_buckets_[bucket_of(wait_ns)].fetch_add(1, std::memory_order_relaxed);
+}
+
 void ServiceStats::on_scored(std::uint64_t latency_ns, std::uint64_t epoch_id,
-                             const faultsim::FaultStats& faults) {
+                             const faultsim::FaultStats& faults, bool late) {
+  // scored_ is bumped BEFORE scored_late_ and snapshot() reads them in
+  // the opposite order, so goodput() (scored - scored_late) never
+  // underflows — same discipline as enqueued_ vs the terminal counters.
   scored_.fetch_add(1, std::memory_order_relaxed);
+  if (late) scored_late_.fetch_add(1, std::memory_order_relaxed);
   latency_buckets_[bucket_of(latency_ns)].fetch_add(1, std::memory_order_relaxed);
   const util::MutexLock lock(faults_mu_);
   per_epoch_faults_[epoch_id].merge(faults);
@@ -80,9 +89,11 @@ std::uint64_t get_u64(std::span<const std::uint8_t> bytes, std::size_t offset) {
   return v;
 }
 
-constexpr std::uint8_t kSnapshotFormat = 4;  // v4: verdict-query counter + per-epoch
-                                             // verdict map (v3 added missed-wait)
-constexpr std::size_t kCounterWords = 8;
+constexpr std::uint8_t kSnapshotFormat = 5;  // v5: admission-control counters
+                                             // (rejected_on_admission, evicted,
+                                             // scored_late, throttled); v4 added
+                                             // the verdict-query counter + map
+constexpr std::size_t kCounterWords = 12;
 constexpr std::size_t kFaultStatsWords =
     2 + static_cast<std::size_t>(faultsim::BitFaultDistribution::kBits);
 constexpr std::size_t kEpochEntryWords = 1 + kFaultStatsWords;
@@ -103,6 +114,10 @@ std::vector<std::uint8_t> serialize(const ServiceStatsSnapshot& snap) {
   put_u64(out, snap.failed);
   put_u64(out, snap.epoch_swaps);
   put_u64(out, snap.verdict_queries);
+  put_u64(out, snap.rejected_on_admission);
+  put_u64(out, snap.evicted);
+  put_u64(out, snap.scored_late);
+  put_u64(out, snap.throttled);
   for (const std::uint64_t count : snap.latency.counts) put_u64(out, count);
   for (const std::uint64_t count : snap.missed_wait.counts) put_u64(out, count);
   put_u64(out, snap.folded_epochs);
@@ -147,6 +162,10 @@ std::optional<ServiceStatsSnapshot> deserialize_snapshot(std::span<const std::ui
   snap.failed = next();
   snap.epoch_swaps = next();
   snap.verdict_queries = next();
+  snap.rejected_on_admission = next();
+  snap.evicted = next();
+  snap.scored_late = next();
+  snap.throttled = next();
   for (std::uint64_t& count : snap.latency.counts) {
     count = next();
     snap.latency.total += count;
@@ -198,14 +217,20 @@ ServiceStatsSnapshot ServiceStats::snapshot() const {
   // between the two reads then inflates in_flight() instead of
   // underflowing it (a request increments enqueued_ strictly before its
   // terminal counter, so this order keeps enqueued >= scored + missed).
+  // scored_late_ before scored_ for the same reason (goodput() must not
+  // underflow).
+  snap.scored_late = scored_late_.load(std::memory_order_relaxed);
   snap.scored = scored_.load(std::memory_order_relaxed);
   snap.deadline_missed = deadline_missed_.load(std::memory_order_relaxed);
   snap.failed = failed_.load(std::memory_order_relaxed);
+  snap.evicted = evicted_.load(std::memory_order_relaxed);
   snap.enqueued = enqueued_.load(std::memory_order_relaxed);
   snap.shed = shed_.load(std::memory_order_relaxed);
   snap.rejected_closed = rejected_closed_.load(std::memory_order_relaxed);
   snap.epoch_swaps = epoch_swaps_.load(std::memory_order_relaxed);
   snap.verdict_queries = verdict_queries_.load(std::memory_order_relaxed);
+  snap.rejected_on_admission = rejected_on_admission_.load(std::memory_order_relaxed);
+  snap.throttled = throttled_.load(std::memory_order_relaxed);
   for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
     snap.latency.counts[b] = latency_buckets_[b].load(std::memory_order_relaxed);
     snap.latency.total += snap.latency.counts[b];

@@ -57,6 +57,23 @@ struct ServiceStatsSnapshot {
   std::uint64_t failed = 0;           ///< scoring threw (contract violation by caller)
   std::uint64_t epoch_swaps = 0;      ///< install_epoch() calls
   std::uint64_t verdict_queries = 0;  ///< decision-only (kVerdict) requests scored
+  /// Admission-control rejections at the door (deadline already expired
+  /// at submit, or predicted queue wait exceeds the deadline budget).
+  /// Like `shed`, these were never enqueued — reported separately from
+  /// the accounting identity.
+  std::uint64_t rejected_on_admission = 0;
+  /// Admitted requests dropped by a drop-oldest overflow policy. A
+  /// terminal disposition of an ENQUEUED request, so it participates in
+  /// in_flight() alongside scored/deadline_missed/failed.
+  std::uint64_t evicted = 0;
+  /// Subset of `scored` that completed AFTER the request's deadline —
+  /// work the service did but the client could no longer use. Goodput
+  /// (the headline serving metric) is scored - scored_late.
+  std::uint64_t scored_late = 0;
+  /// Fair-share throttle rejections at the transport (kThrottled Error
+  /// frames sent by NetServer). Transport-level like `shed`: never
+  /// enqueued, reported separately.
+  std::uint64_t throttled = 0;
   LatencyHistogram latency;           ///< enqueue→completion, scored only
   /// Queue-wait of deadline-missed requests (enqueue→expiry-detection).
   /// Kept separate from `latency` so scored-path quantiles stay
@@ -84,8 +101,13 @@ struct ServiceStatsSnapshot {
 
   /// Requests accepted but not yet terminal (0 once the service drains).
   [[nodiscard]] std::uint64_t in_flight() const noexcept {
-    return enqueued - scored - deadline_missed - failed;
+    return enqueued - scored - deadline_missed - failed - evicted;
   }
+
+  /// Requests scored within their deadline — the headline serving metric
+  /// under overload (raw `scored` counts work; goodput counts USEFUL
+  /// work).
+  [[nodiscard]] std::uint64_t goodput() const noexcept { return scored - scored_late; }
 
   friend bool operator==(const ServiceStatsSnapshot&, const ServiceStatsSnapshot&) = default;
 };
@@ -118,11 +140,22 @@ class ServiceStats {
   void on_deadline_missed(std::uint64_t wait_ns) noexcept;
   void on_failed() noexcept { failed_.fetch_add(1, std::memory_order_relaxed); }
   void on_epoch_swap() noexcept { epoch_swaps_.fetch_add(1, std::memory_order_relaxed); }
+  /// Admission-control rejection at the door (never enqueued).
+  void on_rejected_admission() noexcept {
+    rejected_on_admission_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Drop-oldest eviction of an admitted request, with how long the
+  /// victim waited before being displaced (recorded into the missed-wait
+  /// histogram: evictions and expiries are both queue-wait casualties).
+  void on_evicted(std::uint64_t wait_ns) noexcept;
+  /// Transport fair-share throttle rejection (kThrottled Error frame).
+  void on_throttled() noexcept { throttled_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Record one completed scoring: latency plus the request's fault-stat
-  /// delta attributed to the epoch that scored it.
+  /// delta attributed to the epoch that scored it. `late` marks a request
+  /// that completed past its deadline (counts against goodput).
   void on_scored(std::uint64_t latency_ns, std::uint64_t epoch_id,
-                 const faultsim::FaultStats& faults);
+                 const faultsim::FaultStats& faults, bool late = false);
 
   /// Record one decision-only (kVerdict) request, attributed to the epoch
   /// that answered it. Called in addition to on_scored for such requests.
@@ -139,6 +172,10 @@ class ServiceStats {
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> epoch_swaps_{0};
   std::atomic<std::uint64_t> verdict_queries_{0};
+  std::atomic<std::uint64_t> rejected_on_admission_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+  std::atomic<std::uint64_t> scored_late_{0};
+  std::atomic<std::uint64_t> throttled_{0};
   std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBuckets> latency_buckets_{};
   std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBuckets> missed_wait_buckets_{};
   mutable util::Mutex faults_mu_;

@@ -17,8 +17,8 @@
 // libstdc++'s std::mutex is not one — so the annotated primitives in
 // sync.hpp (util::Mutex, util::MutexLock, util::CondVar) are the project's
 // lockables, and shmd-lint rule R6 enforces that every synchronization
-// member in src/serve, src/net and src/runtime participates in these
-// annotations (or carries a reasoned `lock-free` tag).
+// member in src/serve, src/net, src/runtime and src/admit participates in
+// these annotations (or carries a reasoned `lock-free` tag).
 //
 // SHMD_CV_WAITS_ON is ours, not clang's: the analysis has no model for
 // condition variables, so the macro expands to nothing everywhere and

@@ -1,0 +1,182 @@
+// Tests for src/admit/: the wait predictor behind reject-on-arrival, the
+// per-connection token bucket behind the fair-share limiter, and the
+// pluggable overload-policy factory. All three are deliberately small,
+// clock-free (time is injected) and lock-free (atomics only), so the
+// tests pin exact numeric behavior rather than racing wall-clock time.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "admit/policy.hpp"
+#include "admit/token_bucket.hpp"
+#include "admit/wait_predictor.hpp"
+
+namespace shmd::admit {
+namespace {
+
+using namespace std::chrono_literals;
+using TimePoint = std::chrono::steady_clock::time_point;
+
+// ---------------------------------------------------------- WaitPredictor
+
+TEST(AdmitPredictor, ColdPredictorAdmitsEverything) {
+  WaitPredictor p;
+  EXPECT_EQ(p.samples(), 0u);
+  EXPECT_EQ(p.ewma_service_ns(), 0.0);
+  // No samples yet -> no basis for a prediction -> predicted wait 0, so
+  // reject-on-arrival never fires before the first request completes.
+  EXPECT_EQ(p.predicted_wait_ns(1000, 1), 0u);
+}
+
+TEST(AdmitPredictor, FirstSampleSeedsTheEwmaDirectly) {
+  WaitPredictor p(0.1);
+  p.record_service_ns(8000);
+  EXPECT_EQ(p.samples(), 1u);
+  // Seeding (not 0.1 * 8000): a cold EWMA that averaged against zero
+  // would under-predict for the first ~1/alpha requests.
+  EXPECT_DOUBLE_EQ(p.ewma_service_ns(), 8000.0);
+}
+
+TEST(AdmitPredictor, EwmaConvergesWithAlpha) {
+  WaitPredictor p(0.5);
+  p.record_service_ns(1000);
+  p.record_service_ns(2000);  // 1000 + 0.5 * (2000 - 1000)
+  EXPECT_DOUBLE_EQ(p.ewma_service_ns(), 1500.0);
+  p.record_service_ns(1500);
+  EXPECT_DOUBLE_EQ(p.ewma_service_ns(), 1500.0);
+}
+
+TEST(AdmitPredictor, PredictedWaitIsFluidApproximation) {
+  WaitPredictor p(0.5);
+  p.record_service_ns(1000);
+  // depth * ewma / workers: 6 queued behind 2 workers ~ 3 service times.
+  EXPECT_EQ(p.predicted_wait_ns(6, 2), 3000u);
+  EXPECT_EQ(p.predicted_wait_ns(0, 2), 0u);   // empty queue -> no wait
+  EXPECT_EQ(p.predicted_wait_ns(4, 0), 4000u);  // workers clamped to >= 1
+}
+
+TEST(AdmitPredictor, ConcurrentRecordsStayWithinSampleRange) {
+  // The relaxed CAS loop may lose interleavings but must never produce an
+  // EWMA outside the convex hull of the recorded samples.
+  WaitPredictor p(0.2);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&p, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        p.record_service_ns(1000 + 100 * static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(p.samples(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_GE(p.ewma_service_ns(), 1000.0);
+  EXPECT_LE(p.ewma_service_ns(), 1300.0);
+}
+
+// ------------------------------------------------------------ TokenBucket
+
+TEST(AdmitBucket, BurstThenEmptyThenRefill) {
+  TokenBucket bucket(10.0, 2.0);  // 10 tokens/s, 2 banked
+  EXPECT_TRUE(bucket.enabled());
+  TimePoint t{};
+  EXPECT_TRUE(bucket.try_take(t));
+  EXPECT_TRUE(bucket.try_take(t));
+  EXPECT_FALSE(bucket.try_take(t));  // burst exhausted at the same instant
+  t += 100ms;                        // 10 rps -> exactly one token back
+  EXPECT_TRUE(bucket.try_take(t));
+  EXPECT_FALSE(bucket.try_take(t));
+}
+
+TEST(AdmitBucket, RefillIsCappedAtBurst) {
+  TokenBucket bucket(1000.0, 4.0);
+  TimePoint t{};
+  EXPECT_TRUE(bucket.try_take(t));  // initializes last_ = t
+  t += 10s;                         // would bank 10000 tokens uncapped
+  EXPECT_DOUBLE_EQ(bucket.available(t), 4.0);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(bucket.try_take(t)) << i;
+  EXPECT_FALSE(bucket.try_take(t));
+}
+
+TEST(AdmitBucket, FractionalTokensAccumulate) {
+  TokenBucket bucket(10.0, 1.0);
+  TimePoint t{};
+  EXPECT_TRUE(bucket.try_take(t));
+  t += 50ms;  // half a token: not enough
+  EXPECT_FALSE(bucket.try_take(t));
+  t += 50ms;  // the two halves add up
+  EXPECT_TRUE(bucket.try_take(t));
+}
+
+TEST(AdmitBucket, ZeroRateDisablesTheLimiter) {
+  TokenBucket bucket(0.0, 2.0);
+  EXPECT_FALSE(bucket.enabled());
+  TimePoint t{};
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.try_take(t));
+}
+
+TEST(AdmitBucket, BurstAndRateAreSanitized) {
+  TokenBucket tiny(5.0, 0.25);  // burst below one request is useless
+  TimePoint t{};
+  EXPECT_TRUE(tiny.try_take(t));  // clamped up to 1
+  TokenBucket negative(-3.0, 2.0);  // negative rate == disabled, not NaN
+  EXPECT_FALSE(negative.enabled());
+  EXPECT_TRUE(negative.try_take(t));
+}
+
+TEST(AdmitBucket, TimeGoingBackwardsIsIgnored) {
+  TokenBucket bucket(10.0, 1.0);
+  TimePoint t{};
+  t += 1s;
+  EXPECT_TRUE(bucket.try_take(t));
+  EXPECT_FALSE(bucket.try_take(t - 500ms));  // no refund from the past
+  EXPECT_TRUE(bucket.try_take(t + 100ms));
+}
+
+// ----------------------------------------------------------- policy table
+
+TEST(AdmitPolicy, FactoryParseAndNamesRoundTrip) {
+  for (const PolicyKind kind :
+       {PolicyKind::kFifo, PolicyKind::kDropOldest, PolicyKind::kLifo}) {
+    const auto policy = make_policy(kind);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->kind(), kind);
+    EXPECT_EQ(policy->name(), policy_name(kind));
+    const auto parsed = parse_policy(policy_name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_policy("").has_value());
+  EXPECT_FALSE(parse_policy("FIFO").has_value());  // names are exact
+  EXPECT_FALSE(parse_policy("drop_oldest").has_value());
+}
+
+TEST(AdmitPolicy, FifoNeverEvictsNorReorders) {
+  const auto fifo = make_policy(PolicyKind::kFifo);
+  EXPECT_FALSE(fifo->evict_oldest_on_overflow());
+  for (std::size_t depth = 0; depth <= 8; ++depth) {
+    EXPECT_FALSE(fifo->pop_newest_first(depth, 8));
+  }
+}
+
+TEST(AdmitPolicy, DropOldestEvictsButKeepsFifoOrder) {
+  const auto drop = make_policy(PolicyKind::kDropOldest);
+  EXPECT_TRUE(drop->evict_oldest_on_overflow());
+  EXPECT_FALSE(drop->pop_newest_first(8, 8));
+}
+
+TEST(AdmitPolicy, LifoKicksInPastHalfCapacity) {
+  const auto lifo = make_policy(PolicyKind::kLifo);
+  EXPECT_FALSE(lifo->evict_oldest_on_overflow());
+  EXPECT_FALSE(lifo->pop_newest_first(2, 4));  // exactly half: still FIFO
+  EXPECT_TRUE(lifo->pop_newest_first(3, 4));
+  EXPECT_TRUE(lifo->pop_newest_first(4, 4));
+  EXPECT_FALSE(lifo->pop_newest_first(0, 4));
+}
+
+}  // namespace
+}  // namespace shmd::admit

@@ -620,7 +620,7 @@ TEST(LintR8, DeterminismOkTagSuppresses) {
 // ------------------------------------------------------- R9 layering (project)
 
 TEST(LintR9, UpwardIncludeViolatesTheDag) {
-  // serve (layer 6) reaching up into net (layer 7) — the DAG-violating
+  // serve (layer 7) reaching up into net (layer 8) — the DAG-violating
   // fixture: the scoring plane must never know about the transport.
   const std::string fixture =
       "#pragma once\n"
@@ -694,7 +694,7 @@ TEST(LintR9, SiblingLayersMayNotReachIntoTheKernelsSubmodule) {
 }
 
 TEST(LintR9, RedteamIsTheTopOfTheDag) {
-  // redteam (layer 8) may reach everything below it...
+  // redteam (layer 9) may reach everything below it...
   const std::string redteam_down =
       "#pragma once\n"
       "#include \"attack/oracle.hpp\"\n"
@@ -705,8 +705,36 @@ TEST(LintR9, RedteamIsTheTopOfTheDag) {
   // stack must not depend on its own red team.
   const std::string net_up =
       "#pragma once\n"
-      "#include \"redteam/net_oracle.hpp\"\n";  // line 2: layer 7 reaching up
+      "#include \"redteam/net_oracle.hpp\"\n";  // line 2: layer 8 reaching up
   EXPECT_EQ(lines_of(lint_project({{"src/net/fixture.hpp", net_up}}), "R9"),
+            (std::vector<int>{2}));
+}
+
+TEST(LintR9, AdmitSitsBetweenRuntimeAndServe) {
+  // admit (layer 6) is the admission-control plane: serve (7) and net (8)
+  // consume it, and it may reach only the pure layers below runtime.
+  const std::string serve_down =
+      "#pragma once\n"
+      "#include \"admit/policy.hpp\"\n"
+      "#include \"admit/wait_predictor.hpp\"\n";
+  const std::string admit_down =
+      "#pragma once\n"
+      "#include \"util/sync.hpp\"\n";
+  EXPECT_TRUE(lint_project({{"src/serve/fixture.hpp", serve_down},
+                            {"src/admit/fixture.hpp", admit_down}})
+                  .empty());
+  // The reverse edges break the DAG: admission logic reading serve state
+  // (or runtime reaching up into policy) would make the determinism
+  // contract circular.
+  const std::string admit_up =
+      "#pragma once\n"
+      "#include \"serve/request_queue.hpp\"\n";  // line 2: layer 6 reaching up
+  EXPECT_EQ(lines_of(lint_project({{"src/admit/fixture.hpp", admit_up}}), "R9"),
+            (std::vector<int>{2}));
+  const std::string runtime_up =
+      "#pragma once\n"
+      "#include \"admit/token_bucket.hpp\"\n";  // line 2: layer 5 reaching up
+  EXPECT_EQ(lines_of(lint_project({{"src/runtime/fixture.hpp", runtime_up}}), "R9"),
             (std::vector<int>{2}));
 }
 

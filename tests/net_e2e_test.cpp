@@ -511,6 +511,91 @@ TEST(NetE2E, StopDrainsInFlightScoresWithoutDroppingAny) {
   EXPECT_EQ(stats.failed, 0u);
 }
 
+TEST(NetE2E, ThrottledConnectionGetsErrorFrameAndStaysUsable) {
+  // Fair-share limiter: a connection that exhausts its token bucket gets
+  // in-protocol kThrottled Error frames — never a disconnect — and keeps
+  // working within its budget. Near-zero refill makes the test exact: the
+  // burst is the whole budget for the test's lifetime.
+  const Workload w = make_workload(4);
+  serve::ScoringService service(test_epoch(0.05), serve::ServeConfig{.num_workers = 1});
+  NetServer server(service,
+                   NetServerConfig{.throttle_rps = 1e-6, .throttle_burst = 2.0});
+  const util::Endpoint ep = server.add_listener(util::parse_endpoint("127.0.0.1:0"));
+  server.start();
+
+  NetClient client;
+  client.connect(ep);
+  for (int i = 0; i < 2; ++i) {
+    const Reply reply = client.score(w.requests[i]);
+    ASSERT_EQ(reply.type, FrameType::kScoreResult) << "within budget at " << i;
+    ASSERT_TRUE(reply.result.has_value());
+    EXPECT_EQ(reply.result->outcome,
+              static_cast<std::uint8_t>(serve::RequestOutcome::kScored));
+  }
+  for (int i = 0; i < 3; ++i) {
+    const Reply reply = client.score(w.requests[2]);
+    ASSERT_EQ(reply.type, FrameType::kError) << "past budget at " << i;
+    ASSERT_TRUE(reply.error.has_value());
+    EXPECT_EQ(reply.error->code, ErrorCode::kThrottled);
+  }
+  // The connection survives the refusals: control frames still flow.
+  EXPECT_TRUE(client.ping());
+  EXPECT_TRUE(client.connected());
+
+  // A fresh connection brings a fresh bucket — the limit is per
+  // connection, not per process.
+  NetClient second;
+  second.connect(ep);
+  const Reply fresh = second.score(w.requests[3]);
+  EXPECT_EQ(fresh.type, FrameType::kScoreResult);
+
+  const NetServerStats net_stats = server.stats();
+  EXPECT_EQ(net_stats.throttled_responses, 3u);
+  EXPECT_EQ(net_stats.throttled_conn_peak, 3u);
+  const serve::ServiceStatsSnapshot stats = service.stats();
+  EXPECT_EQ(stats.throttled, 3u);   // surfaced in the service snapshot too
+  EXPECT_EQ(stats.enqueued, 3u);    // throttled requests never reached the ring
+  EXPECT_EQ(stats.in_flight(), 0u);
+  server.stop();
+}
+
+TEST(NetE2E, HopelessDeadlineComesBackAsRejectedResultFrame) {
+  // Admission control over the wire: a deadline the service cannot meet
+  // is a request-level disposition — a result frame with outcome
+  // kRejected — not a transport error, and not a silent deadline miss
+  // after queueing.
+  Workload w = make_workload(2);
+  serve::ScoringService service(test_epoch(0.05), serve::ServeConfig{.num_workers = 1});
+  NetServer server(service);
+  const util::Endpoint ep = server.add_listener(util::parse_endpoint("127.0.0.1:0"));
+  server.start();
+
+  NetClient client;
+  client.connect(ep);
+  // Warm the wait predictor so reject-on-arrival has a service-time EWMA.
+  (void)client.score(w.requests[0]);
+  service.pause();  // build a backlog the predictor can see
+  const std::uint64_t backlog_id = client.send_score(w.requests[0]);
+
+  w.requests[1].deadline_us = 1;  // hopeless against any backlog
+  const Reply reply = client.score(w.requests[1]);
+  ASSERT_EQ(reply.type, FrameType::kScoreResult);
+  ASSERT_TRUE(reply.result.has_value());
+  EXPECT_EQ(reply.result->outcome,
+            static_cast<std::uint8_t>(serve::RequestOutcome::kRejected));
+  EXPECT_TRUE(reply.result->scores.empty());
+  EXPECT_TRUE(client.connected());
+
+  service.resume();
+  const Reply drained = client.recv_reply();  // the backlogged request scores
+  EXPECT_EQ(drained.request_id, backlog_id);
+  EXPECT_EQ(drained.type, FrameType::kScoreResult);
+  const serve::ServiceStatsSnapshot stats = service.stats();
+  EXPECT_EQ(stats.rejected_on_admission, 1u);
+  EXPECT_EQ(stats.in_flight(), 0u);
+  server.stop();
+}
+
 TEST(NetE2E, ServerRequiresAListenerAndClientReportsRefusal) {
   serve::ScoringService service(test_epoch(0.05), serve::ServeConfig{.num_workers = 1});
   NetServer server(service);

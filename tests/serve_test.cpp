@@ -299,6 +299,10 @@ TEST(ServeStats, SnapshotSerializationRoundTrips) {
   snap.per_epoch_verdicts[1] = 12;
   snap.per_epoch_verdicts[9] = 5;
   snap.folded_verdict_queries = 8;
+  snap.rejected_on_admission = 13;  // v5 counters
+  snap.evicted = 6;
+  snap.scored_late = 4;
+  snap.throttled = 9;
 
   const std::vector<std::uint8_t> wire = serialize(snap);
   const std::optional<ServiceStatsSnapshot> back = deserialize_snapshot(wire);
@@ -324,11 +328,12 @@ TEST(ServeStats, DeserializeRejectsCorruptedInput) {
   EXPECT_FALSE(deserialize_snapshot(trailing).has_value());
 
   // A hostile epoch count must be rejected before it drives reads or
-  // allocation (the count field sits after the two latency histograms and
-  // the folded-epoch aggregate).
+  // allocation (the count field sits after the v5 counters, the two
+  // latency histograms, and the folded-epoch aggregate).
   std::vector<std::uint8_t> hostile = wire;
   const std::size_t count_at =
-      1 + 8 * (8 + 2 * LatencyHistogram::kBuckets + 1 + 2 + faultsim::BitFaultDistribution::kBits);
+      1 +
+      8 * (12 + 2 * LatencyHistogram::kBuckets + 1 + 2 + faultsim::BitFaultDistribution::kBits);
   for (std::size_t i = 0; i < 8; ++i) hostile[count_at + i] = 0xFF;
   EXPECT_FALSE(deserialize_snapshot(hostile).has_value());
 
@@ -762,6 +767,207 @@ TEST(ServeService, EpochSwapsUnderSustainedLoadLoseNothing) {
     EXPECT_LE(id, last_installed);
     EXPECT_GT(stats.operations, 0u);
   }
+}
+
+// ------------------------------- admission control & overload policies
+
+TEST(ServeQueue, DropOldestEvictsHeadAndAdmitsNewcomer) {
+  RequestQueue q(2, admit::make_policy(admit::PolicyKind::kDropOldest));
+  const trace::FeatureSet fs = make_features(1);
+  Request r;
+  r.features = &fs;
+  ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);  // seq 0
+  ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);  // seq 1
+  Request victim;
+  ASSERT_EQ(q.try_push(r, &victim), SubmitStatus::kAccepted);  // seq 2 displaces 0
+  EXPECT_EQ(victim.seq, 0u);
+  EXPECT_EQ(q.size(), 2u);
+  Request out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.seq, 1u);  // eviction preserved FIFO order of the survivors
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.seq, 2u);  // the newcomer's seq is fresh — no seq reuse
+}
+
+TEST(ServeQueue, DropOldestWithoutEvictSlotShedsTheNewcomer) {
+  // A caller that cannot complete a victim (passes no out-slot) must get
+  // plain shed semantics — the queue never drops a request silently.
+  RequestQueue q(1, admit::make_policy(admit::PolicyKind::kDropOldest));
+  const trace::FeatureSet fs = make_features(1);
+  Request r;
+  r.features = &fs;
+  ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);
+  EXPECT_EQ(q.try_push(r), SubmitStatus::kShed);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(ServeQueue, LifoPopsNewestOnlyPastHalfCapacity) {
+  RequestQueue q(4, admit::make_policy(admit::PolicyKind::kLifo));
+  const trace::FeatureSet fs = make_features(1);
+  Request r;
+  r.features = &fs;
+  ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);  // seq 0
+  ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);  // seq 1
+  Request out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.seq, 0u);  // depth 2 of 4: at half, still FIFO
+  ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);  // seq 2
+  ASSERT_EQ(q.try_push(r), SubmitStatus::kAccepted);  // seq 3 -> depth 3 of 4
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.seq, 3u);  // past half: newest first
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.seq, 1u);  // back at depth 2: FIFO resumes at the front
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.seq, 2u);
+}
+
+TEST(ServeService, ExpiredAtSubmitIsRejectedNeverScored) {
+  // Regression: a request whose deadline has already passed at submit
+  // time must be refused at the door — not enqueued, not scored, and
+  // counted as rejected_on_admission rather than deadline_missed.
+  const trace::FeatureSet fs = make_features(5);
+  ServeConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 8;
+  ScoringService service(test_epoch(0.1), config);
+
+  ScoreTicket ticket;
+  const auto expired = ServiceClock::now() - 1ms;
+  EXPECT_EQ(service.try_submit(fs, ticket, expired), SubmitStatus::kRejected);
+  EXPECT_TRUE(ticket.done());
+  EXPECT_EQ(ticket.outcome(), RequestOutcome::kRejected);
+  EXPECT_TRUE(ticket.scores().empty());
+
+  const ServiceStatsSnapshot snap = service.stats();
+  EXPECT_EQ(snap.rejected_on_admission, 1u);
+  EXPECT_EQ(snap.enqueued, 0u);
+  EXPECT_EQ(snap.scored, 0u);
+  EXPECT_EQ(snap.deadline_missed, 0u);
+  EXPECT_EQ(snap.in_flight(), 0u);
+}
+
+TEST(ServeService, RejectOnArrivalUsesThePredictedWait) {
+  const trace::FeatureSet fs = make_features(5);
+  ServeConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 8;
+  ScoringService service(test_epoch(0.1), config);
+
+  // Warm the predictor: a few scored requests give it a service-time EWMA.
+  ScoreTicket warm;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(service.submit(fs, warm), SubmitStatus::kAccepted);
+    warm.wait();
+  }
+  ASSERT_GT(service.wait_predictor().samples(), 0u);
+  ASSERT_GT(service.wait_predictor().ewma_service_ns(), 0.0);
+
+  // Hold the workers and build a backlog the predictor can see.
+  service.pause();
+  std::vector<ScoreTicket> backlog(4);
+  for (auto& t : backlog) ASSERT_EQ(service.try_submit(fs, t), SubmitStatus::kAccepted);
+
+  // A deadline tighter than the predicted wait for 4 queued requests is
+  // hopeless — reject at the door instead of scoring garbage later.
+  ScoreTicket doomed;
+  const auto tight = ServiceClock::now() + std::chrono::nanoseconds(50);
+  EXPECT_EQ(service.try_submit(fs, doomed, tight), SubmitStatus::kRejected);
+  EXPECT_EQ(doomed.outcome(), RequestOutcome::kRejected);
+
+  // No deadline -> no basis for rejection, whatever the backlog.
+  ScoreTicket patient;
+  EXPECT_EQ(service.try_submit(fs, patient), SubmitStatus::kAccepted);
+
+  service.resume();
+  for (auto& t : backlog) t.wait();
+  patient.wait();
+  EXPECT_EQ(patient.outcome(), RequestOutcome::kScored);
+  const ServiceStatsSnapshot snap = service.stats();
+  EXPECT_EQ(snap.rejected_on_admission, 1u);
+  EXPECT_EQ(snap.in_flight(), 0u);
+}
+
+TEST(ServeService, DropOldestEvictionCompletesTheVictimAndAccounts) {
+  const trace::FeatureSet fs = make_features(5);
+  ServeConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 2;
+  config.admission_policy = admit::PolicyKind::kDropOldest;
+  ScoringService service(test_epoch(0.1), config);
+  service.pause();
+
+  std::vector<ScoreTicket> tickets(3);
+  for (auto& t : tickets) ASSERT_EQ(service.try_submit(fs, t), SubmitStatus::kAccepted);
+  // The third submit displaced the first: its ticket completed as
+  // kRejected without ever reaching a worker.
+  EXPECT_TRUE(tickets[0].done());
+  EXPECT_EQ(tickets[0].outcome(), RequestOutcome::kRejected);
+  EXPECT_TRUE(tickets[0].scores().empty());
+
+  service.resume();
+  for (auto& t : tickets) t.wait();
+  EXPECT_EQ(tickets[1].outcome(), RequestOutcome::kScored);
+  EXPECT_EQ(tickets[2].outcome(), RequestOutcome::kScored);
+
+  const ServiceStatsSnapshot snap = service.stats();
+  EXPECT_EQ(snap.enqueued, 3u);
+  EXPECT_EQ(snap.evicted, 1u);
+  EXPECT_EQ(snap.scored, 2u);
+  EXPECT_EQ(snap.in_flight(), 0u);  // evicted is terminal in the identity
+  // The victim's queue wait landed in the missed-wait histogram, keeping
+  // the scored-only latency histogram clean.
+  EXPECT_EQ(snap.missed_wait.total, 1u);
+  EXPECT_EQ(snap.latency.total, 2u);
+}
+
+TEST(ServeStats, ExtendedAccountingIdentityWithV5Counters) {
+  ServiceStats stats;
+  const faultsim::FaultStats none;
+  for (int i = 0; i < 6; ++i) stats.on_enqueued();
+  stats.on_scored(100, 1, none);
+  stats.on_scored(100, 1, none, /*late=*/true);  // scored but past deadline
+  stats.on_deadline_missed(3000);
+  stats.on_failed();
+  stats.on_evicted(5000);
+  stats.on_rejected_admission();  // pre-enqueue: outside the identity
+  stats.on_throttled();           // transport-level: outside the identity
+  const ServiceStatsSnapshot snap = stats.snapshot();
+  EXPECT_EQ(snap.enqueued, 6u);
+  EXPECT_EQ(snap.scored, 2u);
+  EXPECT_EQ(snap.scored_late, 1u);
+  EXPECT_EQ(snap.goodput(), 1u);  // scored minus scored-late
+  EXPECT_EQ(snap.evicted, 1u);
+  EXPECT_EQ(snap.rejected_on_admission, 1u);
+  EXPECT_EQ(snap.throttled, 1u);
+  // enqueued = scored + deadline_missed + failed + evicted + in_flight
+  EXPECT_EQ(snap.in_flight(), 1u);  // the sixth request is still queued
+  // Evicted and missed waits share the missed-wait histogram.
+  EXPECT_EQ(snap.missed_wait.total, 2u);
+  EXPECT_EQ(snap.latency.total, 2u);
+}
+
+TEST(ServeService, ScoresAreBitIdenticalUnderEveryAdmissionPolicy) {
+  // Policies change WHICH requests are admitted under overload, never
+  // what an admitted request scores. Below saturation (blocking submits,
+  // no overflow) every policy admits everything in the same order, so
+  // the full score vectors must match bit for bit.
+  const std::vector<trace::FeatureSet> workload = make_workload(24);
+  const auto batch = as_pointers(workload);
+  std::vector<std::vector<std::vector<double>>> per_policy;
+  for (const admit::PolicyKind kind :
+       {admit::PolicyKind::kFifo, admit::PolicyKind::kDropOldest,
+        admit::PolicyKind::kLifo}) {
+    ServeConfig config;
+    config.num_workers = 2;
+    config.queue_capacity = 8;
+    config.seed = 42;
+    config.admission_policy = kind;
+    ScoringService service(test_epoch(0.25), config);
+    per_policy.push_back(service.score_all(batch));
+  }
+  ASSERT_EQ(per_policy.size(), 3u);
+  EXPECT_EQ(per_policy[0], per_policy[1]);
+  EXPECT_EQ(per_policy[0], per_policy[2]);
 }
 
 }  // namespace

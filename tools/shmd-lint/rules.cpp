@@ -623,7 +623,8 @@ class LockDisciplineRule final : public Rule {
   }
 
   [[nodiscard]] bool applies(const SourceFile& f) const override {
-    return f.in_dir("src/serve/") || f.in_dir("src/net/") || f.in_dir("src/runtime/");
+    return f.in_dir("src/serve/") || f.in_dir("src/net/") || f.in_dir("src/runtime/") ||
+           f.in_dir("src/admit/");
   }
 
   void check(const SourceFile& f, std::vector<Diagnostic>& out) const override {
@@ -961,7 +962,8 @@ class LayeringRule final : public ProjectRule {
   static constexpr std::pair<std::string_view, int> kLayers[] = {
       {"util", 0}, {"rng", 0},     {"trace", 1},   {"faultsim", 1}, {"volt", 1},
       {"nn", 2},   {"nn/kernels", 2}, {"eval", 3},  {"sys", 3},     {"hmd", 4},
-      {"attack", 5}, {"runtime", 5}, {"serve", 6},  {"net", 7},     {"redteam", 8},
+      {"attack", 5}, {"runtime", 5}, {"admit", 6},  {"serve", 7},   {"net", 8},
+      {"redteam", 9},
   };
 
   /// Longest kLayers entry that is a whole-segment prefix of `rel`
@@ -1015,10 +1017,10 @@ class LayeringRule final : public ProjectRule {
              "layering violation: src/" + std::string(from_mod) + "/ (layer " +
                  std::to_string(from_layer) + ") includes \"" + inc->path + "\" (layer " +
                  std::to_string(to_layer) + ")",
-             "the layer DAG descends redteam > net > serve > runtime/attack > hmd > eval/sys "
-             "> nn > trace/faultsim/volt > util/rng, and nn/kernels is a leaf submodule only "
-             "nn may reach into; move the shared piece down a layer or invert the dependency; "
-             "a deliberate exception takes // shmd-lint: layer-ok(<reason>)"});
+             "the layer DAG descends redteam > net > serve > admit > runtime/attack > hmd > "
+             "eval/sys > nn > trace/faultsim/volt > util/rng, and nn/kernels is a leaf "
+             "submodule only nn may reach into; move the shared piece down a layer or invert "
+             "the dependency; a deliberate exception takes // shmd-lint: layer-ok(<reason>)"});
       }
     }
   }
